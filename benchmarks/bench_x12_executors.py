@@ -1,0 +1,111 @@
+"""X12 -- executor scaling: reference vs hash engine vs physical plans.
+
+Not a paper table -- an engineering benchmark for the library's own
+claims: the hash-join engine and the physical operator layer must be
+(a) semantically identical to the reference interpreter and (b)
+asymptotically faster on equi-joins.  Reported: wall time of each
+executor on a growing two-table equi-join plus a GROUP BY.
+"""
+
+import random
+import time
+
+from repro.exec import execute
+from repro.expr import BaseRel, Database, GroupBy, evaluate, inner
+from repro.expr.predicates import eq
+from repro.physical import compile_plan, run_plan
+from repro.relalg import Relation
+from repro.relalg.aggregates import count_star
+
+from harness import report, table
+
+SIZES = (100, 300, 900)
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+
+
+def make_db(rng, n):
+    rows1 = [(rng.randrange(n // 4), rng.randrange(50)) for _ in range(n)]
+    rows2 = [(rng.randrange(n // 4), rng.randrange(50)) for _ in range(n)]
+    return Database(
+        {
+            "r1": Relation.base("r1", ["r1_a0", "r1_a1"], rows1),
+            "r2": Relation.base("r2", ["r2_a0", "r2_a1"], rows2),
+        }
+    )
+
+
+def run_scaling():
+    query = GroupBy(
+        inner(R1, R2, eq("r1_a0", "r2_a0")),
+        ("r1_a0",),
+        (count_star("n"),),
+        "g",
+    )
+    rows = []
+    for n in SIZES:
+        rng = random.Random(n)
+        db = make_db(rng, n)
+
+        start = time.perf_counter()
+        want = evaluate(query, db)
+        t_reference = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fast = execute(query, db)
+        t_fast = time.perf_counter() - start
+
+        plan = compile_plan(query)
+        start = time.perf_counter()
+        physical = run_plan(plan, db)
+        t_physical = time.perf_counter() - start
+
+        plan_merge = compile_plan(query, prefer_merge=True)
+        start = time.perf_counter()
+        merged = run_plan(plan_merge, db)
+        t_merge = time.perf_counter() - start
+
+        same = (
+            fast.same_content(want)
+            and physical.same_content(want)
+            and merged.same_content(want)
+        )
+        rows.append(
+            {
+                "n": n,
+                "reference_ms": t_reference * 1000,
+                "hash_ms": t_fast * 1000,
+                "physical_ms": t_physical * 1000,
+                "merge_ms": t_merge * 1000,
+                "same": same,
+            }
+        )
+    return rows
+
+
+def test_x12_executors(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    assert all(r["same"] for r in rows)
+    biggest = rows[-1]
+    assert biggest["hash_ms"] < biggest["reference_ms"] / 3
+    assert biggest["physical_ms"] < biggest["reference_ms"] / 3
+    lines = table(
+        ["rows/side", "reference (ms)", "hash engine", "physical hash", "physical merge"],
+        [
+            [
+                r["n"],
+                f"{r['reference_ms']:.0f}",
+                f"{r['hash_ms']:.0f}",
+                f"{r['physical_ms']:.0f}",
+                f"{r['merge_ms']:.0f}",
+            ]
+            for r in rows
+        ],
+    )
+    lines += [
+        "",
+        "All executors agree bit for bit; the hash/merge implementations",
+        "leave the quadratic reference interpreter behind, as they must.",
+    ]
+    report("x12_executors", "X12: executor scaling", lines)

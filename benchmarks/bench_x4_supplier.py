@@ -1,0 +1,98 @@
+"""X4 -- Example 1.1: aggregate-first vs join-first on the supplier data.
+
+The paper argues: executed as written, the aggregation over the whole
+of ``detail95`` runs before the outer join; when the ``BANKRUPT``
+filter is selective, combining the relations first and aggregating at
+the root wins.  This bench sweeps the bankrupt fraction and reports
+*measured* C_out (true intermediate cardinalities) for the as-written
+plan and for the optimizer's GS-reordered plan, plus the crossover.
+"""
+
+import random
+
+from repro.core.pipeline import reorder_pipeline
+from repro.expr import evaluate
+from repro.optimizer import Statistics, measured_cost, optimize
+from repro.workloads.supplier import supplier_database, supplier_query
+
+from harness import report, table
+
+FRACTIONS = (0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def run_sweep():
+    rows = []
+    query = supplier_query()
+    for fraction in FRACTIONS:
+        rng = random.Random(42)
+        db = supplier_database(
+            rng,
+            n_suppliers=16,
+            n_parts=6,
+            detail_rows=480,
+            bankrupt_fraction=fraction,
+        )
+        stats = Statistics.from_database(db)
+        result = optimize(query, stats, max_plans=400)
+        as_written_cost = measured_cost(query, db)
+        chosen_cost = measured_cost(result.best, db)
+        # the oracle: the truly cheapest plan in the space (the space
+        # includes the as-written shape, so the oracle never loses)
+        plans = reorder_pipeline(query, max_plans=400)
+        oracle_cost = min(measured_cost(p, db) for p in plans)
+        same = evaluate(result.best, db).same_content(evaluate(query, db))
+        rows.append(
+            {
+                "fraction": fraction,
+                "as_written": as_written_cost,
+                "chosen": chosen_cost,
+                "oracle": oracle_cost,
+                "ratio": as_written_cost / max(1, oracle_cost),
+                "same": same,
+                "plans": result.plans_considered,
+            }
+        )
+    return rows
+
+
+def test_x4_supplier(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert all(r["same"] for r in rows)
+    # the paper's claim: at low bankrupt fractions, join-first wins
+    assert rows[0]["oracle"] < rows[0]["as_written"]
+    # the advantage shrinks as selectivity worsens
+    assert rows[0]["ratio"] > rows[-1]["ratio"]
+    # the space always contains the as-written shape: no regression
+    assert all(r["oracle"] <= r["as_written"] for r in rows)
+    lines = table(
+        [
+            "bankrupt fraction",
+            "as-written C_out",
+            "optimizer pick",
+            "best in space",
+            "best speedup",
+            "plans",
+            "equal",
+        ],
+        [
+            [
+                f"{r['fraction']:.2f}",
+                r["as_written"],
+                r["chosen"],
+                r["oracle"],
+                f"{r['ratio']:.2f}x",
+                r["plans"],
+                r["same"],
+            ]
+            for r in rows
+        ],
+    )
+    lines += [
+        "",
+        "Shape check: join-first (GS-reordered, aggregation pushed to the",
+        "root) wins while the BANKRUPT filter is selective; the advantage",
+        "shrinks toward parity as selectivity degrades -- the paper's",
+        "qualitative claim.  The plan space retains the as-written shape,",
+        "so the enumeration never regresses ('best in space' column).",
+    ]
+    report("x4_supplier", "X4: Example 1.1 selectivity sweep", lines)

@@ -1,0 +1,106 @@
+"""X5 -- Section 1.1 join-aggregate queries: TIS vs unnested vs reordered.
+
+Sweeps |r1| for the paper's doubly nested correlated COUNT query and
+reports:
+
+* TIS work (predicate evaluations of the nested loops -- the strategy
+  GANS87/MURA92 unnest away from);
+* measured C_out of the unnested outer-join/GROUP BY plan (Query 2/3);
+* measured C_out of the best reordering of the unnested plan, which
+  requires the paper's machinery because the inner correlation
+  ``r2.e = r3.e AND r1.f = r3.f`` is a complex predicate.
+
+Results of all three strategies are checked identical.
+"""
+
+import random
+
+from repro.core.pipeline import reorder_pipeline
+from repro.core.unnest import example_join_aggregate, execute_tis, unnest
+from repro.expr import evaluate
+from repro.optimizer import Statistics, measured_cost
+from repro.optimizer.baselines import tis_cost
+from repro.optimizer.cost import estimated_cost
+from repro.workloads.nested import nested_query_database
+
+from harness import report, table
+
+SCALES = (1, 2, 3, 4)
+
+
+def run_sweep():
+    query = example_join_aggregate(">", "<")
+    plan = unnest(query)
+    rows = []
+    for scale in SCALES:
+        n_r1 = 8 * scale
+        rng = random.Random(7)
+        db = nested_query_database(rng, n_r1=n_r1, n_r2=8 * scale, n_r3=8 * scale)
+        stats = Statistics.from_database(db)
+        tis_work = tis_cost(query, db)
+        unnested_cost = measured_cost(plan, db)
+        candidates = reorder_pipeline(plan, max_plans=600)
+        best = min(candidates, key=lambda p: estimated_cost(p, stats))
+        best_cost = measured_cost(best, db)
+        want = execute_tis(query, db)
+        same = (
+            evaluate(plan, db).same_content(want)
+            and evaluate(best, db).same_content(want)
+        )
+        rows.append(
+            {
+                "n_r1": n_r1,
+                "tis": tis_work,
+                "unnested": unnested_cost,
+                "reordered": best_cost,
+                "plans": len(candidates),
+                "same": same,
+            }
+        )
+    return rows
+
+
+def test_x5_unnesting(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    assert all(r["same"] for r in rows)
+    # shape: the TIS-to-unnested work gap is large and widens with |r1|
+    first_gap = rows[0]["tis"] / rows[0]["unnested"]
+    last_gap = rows[-1]["tis"] / rows[-1]["unnested"]
+    assert last_gap > first_gap
+    assert last_gap > 10
+    lines = table(
+        [
+            "|r1|",
+            "TIS work",
+            "unnested C_out",
+            "reordered C_out",
+            "plans",
+            "equal",
+        ],
+        [
+            [
+                r["n_r1"],
+                r["tis"],
+                r["unnested"],
+                r["reordered"],
+                r["plans"],
+                r["same"],
+            ]
+            for r in rows
+        ],
+    )
+    lines += [
+        "",
+        f"TIS does {first_gap:.0f}x the unnested plan's work at |r1|={rows[0]['n_r1']} and",
+        f"{last_gap:.0f}x at |r1|={rows[-1]['n_r1']} -- the unnesting",
+        "motivation of Section 1.1, with the complex-predicate LOJ made",
+        "reorderable by generalized selection.",
+        "",
+        "Note: under logical C_out the best reordering of the unnested",
+        "plan ties the as-unnested order on this data; the paper's",
+        "further advantage for joining r2,r3 first presumes an access",
+        "path (an index on the inner relations), which a logical cost",
+        "measure does not model.  The reordered plan space does contain",
+        "those orders (see `plans`).",
+    ]
+    report("x5_unnesting", "X5: join-aggregate unnesting sweep", lines)

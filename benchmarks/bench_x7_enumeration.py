@@ -1,0 +1,93 @@
+"""X7 -- Section 4: enumeration scalability.
+
+The paper argues the machinery drops into a System-R style enumerator
+with the preserved/conflict sets computed once.  This bench measures,
+per query size: association-tree counting (the DP the paper sketches),
+full rewrite-closure enumeration, and single-plan optimization time,
+over chain topologies with complex predicates.
+"""
+
+import time
+
+from repro.core.assoc_tree import count_association_trees
+from repro.core.transform import enumerate_plans
+from repro.expr import JoinKind
+from repro.hypergraph import hypergraph_of
+from repro.optimizer import Statistics, TableStats, optimize
+from repro.workloads.topologies import chain_query
+
+from harness import report, table
+
+SIZES = (3, 4, 5, 6)
+
+
+def default_stats(n: int) -> Statistics:
+    stats = Statistics()
+    for i in range(1, n + 1):
+        stats.add(
+            f"r{i}",
+            TableStats(100 * i, {f"r{i}_a0": 20, f"r{i}_a1": 20}),
+        )
+    return stats
+
+
+def run_scaling():
+    rows = []
+    for n in SIZES:
+        kinds = tuple(
+            JoinKind.LEFT if i == 0 else JoinKind.INNER for i in range(n - 1)
+        )
+        query = chain_query(n, kinds=kinds, complex_every=3)
+        graph = hypergraph_of(query)
+
+        t0 = time.perf_counter()
+        trees = count_association_trees(graph, breakup=True)
+        t_count = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        plans = enumerate_plans(query, max_plans=6000)
+        t_closure = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        optimize(query, default_stats(n), max_plans=6000)
+        t_optimize = time.perf_counter() - t0
+
+        rows.append(
+            {
+                "n": n,
+                "trees": trees,
+                "count_ms": t_count * 1000,
+                "plans": len(plans),
+                "closure_ms": t_closure * 1000,
+                "optimize_ms": t_optimize * 1000,
+            }
+        )
+    return rows
+
+
+def test_x7_enumeration(benchmark):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    assert all(r["trees"] >= 1 for r in rows)
+    assert rows[-1]["plans"] > rows[0]["plans"]
+    lines = table(
+        [
+            "relations",
+            "assoc trees",
+            "tree-count DP (ms)",
+            "closure plans",
+            "closure (ms)",
+            "optimize (ms)",
+        ],
+        [
+            [
+                r["n"],
+                r["trees"],
+                f"{r['count_ms']:.1f}",
+                r["plans"],
+                f"{r['closure_ms']:.0f}",
+                f"{r['optimize_ms']:.0f}",
+            ]
+            for r in rows
+        ],
+    )
+    report("x7_enumeration", "X7: enumeration scalability", lines)

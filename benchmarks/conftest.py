@@ -1,0 +1,5 @@
+import sys
+from pathlib import Path
+
+# make `harness` importable regardless of invocation directory
+sys.path.insert(0, str(Path(__file__).parent))

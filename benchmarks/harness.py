@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures (or a sweep
+its prose argues qualitatively); the rows are printed and also written
+to ``benchmarks/results/<bench>.txt`` so ``--benchmark-only`` runs
+leave an auditable record.  EXPERIMENTS.md summarizes paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, title: str, lines: list[str]) -> str:
+    """Print and persist a bench report; returns the rendered text."""
+    text = "\n".join([f"== {title} ==", *lines, ""])
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    return text
+
+
+def table(headers: list[str], rows: list[list[object]]) -> list[str]:
+    """Render an aligned ASCII table as a list of lines."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    out += [" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    return out

@@ -1,0 +1,93 @@
+"""Plan explorer: every reordering of the paper's Q4, ranked by cost.
+
+Run:  python examples/plan_explorer.py
+
+Builds Example 3.2's query Q4, shows its hypergraph (Figure 1), counts
+association trees under Definition 3.2 vs the BHAR95a baseline,
+enumerates the operator-assigned plan closure, and prints the cheapest
+plans under a synthetic statistics profile -- including the break-up
+plans (r2 joined with r4 or r5 alone) that only the paper's machinery
+can produce.
+"""
+
+from repro.core.assoc_tree import association_trees
+from repro.core.transform import enumerate_plans
+from repro.expr import BaseRel, Join, inner, left_outer, to_algebra
+from repro.expr.predicates import eq, make_conjunction
+from repro.hypergraph import hypergraph_of, pres
+from repro.optimizer import Statistics, TableStats
+from repro.optimizer.cost import estimated_cost
+
+
+def q4():
+    r1 = BaseRel("r1", ("a1",))
+    r2 = BaseRel("r2", ("a2", "b2"))
+    r3 = BaseRel("r3", ("a3",))
+    r4 = BaseRel("r4", ("a4",))
+    r5 = BaseRel("r5", ("a5", "b5", "c5"))
+    core = inner(inner(r4, r5, eq("a4", "a5")), r3, eq("a3", "b5"))
+    return left_outer(
+        r1,
+        left_outer(r2, core, make_conjunction([eq("a2", "a4"), eq("b2", "c5")])),
+        eq("a1", "a2"),
+    )
+
+
+def main() -> None:
+    query = q4()
+    graph = hypergraph_of(query)
+    print("Q4 =", to_algebra(query))
+    print()
+    print("hypergraph (the paper's Figure 1):")
+    print(graph.to_text())
+    h2 = next(e for e in graph.edges if e.complex)
+    print(f"pres({h2.eid}) = {sorted(pres(graph, h2))}   (paper: {{r1, r2}})")
+    print()
+
+    new_trees = association_trees(graph, breakup=True)
+    old_trees = association_trees(graph, breakup=False)
+    print(f"association trees, Definition 3.2 : {len(new_trees)}")
+    print(f"association trees, BHAR95a        : {len(old_trees)}")
+    print()
+
+    plans = enumerate_plans(query, max_plans=3000)
+    print(f"operator-assigned plans in the closure: {len(plans)}")
+
+    stats = Statistics(
+        {
+            "r1": TableStats(50, {"a1": 25}),
+            "r2": TableStats(1000, {"a2": 25, "b2": 500}),
+            "r3": TableStats(40, {"a3": 40}),
+            "r4": TableStats(30, {"a4": 30}),
+            "r5": TableStats(1000, {"a5": 30, "b5": 40, "c5": 500}),
+        }
+    )
+    ranked = sorted(plans, key=lambda p: estimated_cost(p, stats))
+    print("cheapest five plans under the synthetic statistics:")
+    for plan in ranked[:5]:
+        print(f"  cost {estimated_cost(plan, stats):10.0f}  {to_algebra(plan)}")
+    print()
+
+    def joins_pair(plan, pair):
+        return any(
+            isinstance(n, Join)
+            and n.left.base_names | n.right.base_names == pair
+            for n in plan.walk()
+        )
+
+    breakups = [
+        p
+        for p in plans
+        if joins_pair(p, frozenset({"r2", "r4"}))
+        or joins_pair(p, frozenset({"r2", "r5"}))
+    ]
+    print(
+        f"plans that combine r2 with r4 or r5 alone (hyperedge h2 broken "
+        f"up): {len(breakups)}"
+    )
+    print("one of them:")
+    print(" ", to_algebra(breakups[0]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Join-aggregate unnesting: from nested loops to outer joins.
+
+Run:  python examples/unnesting_demo.py
+
+Takes the paper's doubly nested correlated COUNT query (Section 1.1),
+executes it under literal tuple iteration semantics, unnests it into
+the outer-join / GROUP BY / generalized-selection form (the paper's
+Queries 2-3, COUNT-bug-proof), and compares results and work.
+"""
+
+import random
+
+from repro.core.pipeline import reorder_pipeline
+from repro.core.unnest import example_join_aggregate, execute_tis, unnest
+from repro.expr import evaluate
+from repro.expr.display import to_tree
+from repro.optimizer import measured_cost
+from repro.optimizer.baselines import tis_cost
+from repro.workloads.nested import nested_query_database
+
+
+def main() -> None:
+    query = example_join_aggregate(theta1=">", theta2="<")
+    print("the nested query (SQL shape):")
+    print("  SELECT r1.a FROM r1")
+    print("  WHERE r1.b > (SELECT count(*) FROM r2")
+    print("                WHERE r2.c = r1.c")
+    print("                  AND r2.d < (SELECT count(*) FROM r3")
+    print("                              WHERE r2.e = r3.e AND r1.f = r3.f))")
+    print()
+
+    plan = unnest(query)
+    print("unnested plan (note the complex-predicate outer join and the")
+    print("COUNT-bug-proof generalized selection):")
+    print(to_tree(plan))
+    print()
+
+    rng = random.Random(3)
+    db = nested_query_database(rng, n_r1=24, n_r2=24, n_r3=24)
+    tis_result = execute_tis(query, db)
+    unnested_result = evaluate(plan, db)
+    print(f"TIS result rows      : {len(tis_result)}")
+    print(f"unnested result rows : {len(unnested_result)}")
+    print(f"results identical    : {unnested_result.same_content(tis_result)}")
+    print()
+    print(f"TIS predicate evaluations : {tis_cost(query, db)}")
+    print(f"unnested plan C_out       : {measured_cost(plan, db)}")
+    print()
+
+    plans = reorder_pipeline(plan, max_plans=300)
+    print(f"the unnested join core reorders into {len(plans)} plans;")
+    print("every one evaluates to the same result:")
+    ok = all(evaluate(p, db).same_content(tis_result) for p in plans)
+    print(f"  all equivalent: {ok}")
+
+
+if __name__ == "__main__":
+    main()

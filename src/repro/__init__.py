@@ -1,0 +1,39 @@
+"""repro -- a reproduction of Goel & Iyer (SIGMOD 1996),
+"SQL Query Optimization: Reordering for a General Class of Queries".
+
+Quick tour of the public API:
+
+* :mod:`repro.relalg` -- the relational substrate: relations with
+  virtual row ids, NULL semantics, (outer) joins, generalized
+  projection, and the paper's **generalized selection** operator.
+* :mod:`repro.expr` -- logical query trees, a reference interpreter
+  (:func:`repro.expr.evaluate`) and a paper-style pretty printer.
+* :mod:`repro.hypergraph` -- query hypergraphs, preserved sets and
+  conflict sets (Definitions 3.1/3.3).
+* :mod:`repro.core` -- the reordering machinery: identities (1)-(8),
+  conjunct deferral, association trees (Definition 3.2), the rewrite
+  closure, aggregation push-up, unnesting, simplification.
+* :mod:`repro.optimizer` -- cardinality estimation, C_out costing, the
+  plan chooser and the paper's baselines.
+* :mod:`repro.sql` -- a SQL front-end for the subset the paper uses.
+* :mod:`repro.workloads` -- the motivating scenarios as generators.
+
+See ``examples/quickstart.py`` for a five-minute walkthrough.
+"""
+
+from repro.expr import Database, evaluate, to_algebra
+from repro.core import enumerate_plans, reorder_pipeline
+from repro.optimizer import Statistics, optimize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "evaluate",
+    "to_algebra",
+    "enumerate_plans",
+    "reorder_pipeline",
+    "Statistics",
+    "optimize",
+    "__version__",
+]

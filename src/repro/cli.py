@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+    python -m repro run script.sql --data DIR [--fast]
+    python -m repro explain script.sql --data DIR [--plans N]
+    python -m repro demo
+
+``DIR`` holds one CSV per base table (header row = column names;
+values parsed as int, then float, then string; empty cells are NULL).
+A script is a sequence of ``;``-separated statements; ``create view``
+statements register views, each ``select`` runs (or is explained).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+from repro.exec import execute
+from repro.expr import Database, evaluate
+from repro.expr.display import to_tree
+from repro.optimizer import Statistics, measured_cost, optimize
+from repro.relalg import Relation
+from repro.relalg.nulls import NULL
+from repro.sql import SqlCatalog, parse_statements, translate
+from repro.sql.ast import CreateViewStmt, SelectStmt, UnionStmt
+
+
+def _parse_value(text: str):
+    if text == "":
+        return NULL
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return Fraction(text)
+    except ValueError:
+        return text
+
+
+def load_csv_database(directory: Path) -> tuple[Database, SqlCatalog]:
+    """Load every ``*.csv`` in ``directory`` as a base table."""
+    db = Database()
+    catalog = SqlCatalog()
+    files = sorted(directory.glob("*.csv"))
+    if not files:
+        raise SystemExit(f"no .csv files found in {directory}")
+    for path in files:
+        name = path.stem
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise SystemExit(f"{path} is empty (no header row)")
+            rows = [tuple(_parse_value(cell) for cell in row) for row in reader]
+        catalog.add_table(name, tuple(header))
+        db.add(name, Relation.base(name, header, rows))
+    return db, catalog
+
+
+def run_script(
+    text: str,
+    db: Database,
+    catalog: SqlCatalog,
+    out=None,
+    fast: bool = False,
+    explain: bool = False,
+    plans: int = 3,
+) -> None:
+    out = out if out is not None else sys.stdout
+    statements = parse_statements(text)
+    for statement in statements:
+        if isinstance(statement, CreateViewStmt):
+            catalog.add_view(statement)
+            print(f"-- view {statement.name} registered", file=out)
+            continue
+        assert isinstance(statement, (SelectStmt, UnionStmt))
+        translation = translate(statement, catalog)
+        if explain:
+            _explain(translation.expr, db, out, plans)
+            continue
+        runner = execute if fast else evaluate
+        result = runner(translation.expr, db)
+        result = _order_and_limit(result, translation)
+        renamed = _friendly_columns(result, translation.columns)
+        ordered = bool(translation.order_by)
+        print(renamed.to_text(preserve_order=ordered), file=out)
+        print(f"-- {len(renamed)} row(s)", file=out)
+
+
+def _sort_key(value):
+    from repro.relalg.nulls import is_null
+
+    if is_null(value):
+        return (1, "", 0)
+    return (0, type(value).__name__, value)
+
+
+def _order_and_limit(relation: Relation, translation) -> Relation:
+    """Apply the statement's ORDER BY / LIMIT presentation directives."""
+    rows = list(relation.rows)
+    for attr, descending in reversed(translation.order_by):
+        rows.sort(key=lambda row: _sort_key(row[attr]), reverse=descending)
+    if translation.limit is not None:
+        rows = rows[: translation.limit]
+    return relation.with_rows(rows)
+
+
+def _friendly_columns(relation: Relation, columns) -> Relation:
+    from repro.relalg.operators import project, rename
+
+    attrs = [attr for _, attr in columns]
+    unique = list(dict.fromkeys(attrs))
+    narrowed = project(relation, unique)
+    mapping = {}
+    used = set()
+    for exposed, attr in columns:
+        if attr in mapping or exposed in used:
+            continue
+        if exposed != attr and exposed not in narrowed.real:
+            mapping[attr] = exposed
+            used.add(exposed)
+    return rename(narrowed, mapping) if mapping else narrowed
+
+
+def _explain(expr, db: Database, out, plans: int) -> None:
+    stats = Statistics.from_database(db)
+    result = optimize(expr, stats, max_plans=2000, keep_ranked=max(3, plans))
+    print("-- query plan (as written):", file=out)
+    print(to_tree(expr), file=out)
+    print(f"-- plans considered : {result.plans_considered}", file=out)
+    print(f"-- estimated cost   : {result.original_cost:.0f} (as written)", file=out)
+    print(f"--                    {result.best_cost:.0f} (chosen)", file=out)
+    print(
+        f"-- measured C_out   : {measured_cost(expr, db)} (as written), "
+        f"{measured_cost(result.best, db)} (chosen)",
+        file=out,
+    )
+    print("-- chosen plan:", file=out)
+    print(to_tree(result.best), file=out)
+    ranked = result.ranked[:plans]
+    print(f"-- top {len(ranked)} plans by estimated cost:", file=out)
+    for cost, plan in ranked:
+        from repro.expr import to_algebra
+
+        print(f"--   {cost:10.0f}  {to_algebra(plan)}", file=out)
+
+
+DEMO_SCRIPT = """
+create view busy as
+  select dept as d, n = count(*) from emp group by dept;
+select dname, n from busy left outer join dept on busy.d = dept.did;
+"""
+
+
+def run_demo(out=None) -> None:
+    out = out if out is not None else sys.stdout
+    db = Database(
+        {
+            "emp": Relation.base(
+                "emp",
+                ["eid", "dept", "salary"],
+                [(1, 10, 100), (2, 10, 200), (3, 20, 300), (4, 99, 50)],
+            ),
+            "dept": Relation.base(
+                "dept", ["did", "dname"], [(10, "eng"), (20, "ops"), (30, "hr")]
+            ),
+        }
+    )
+    catalog = SqlCatalog(
+        {"emp": ("eid", "dept", "salary"), "dept": ("did", "dname")}
+    )
+    print("-- demo: employees per department, outer-joined to names", file=out)
+    run_script(DEMO_SCRIPT, db, catalog, out=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reordering for a general class of queries (SIGMOD 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a SQL script over CSV tables")
+    run_p.add_argument("script", type=Path)
+    run_p.add_argument("--data", type=Path, required=True)
+    run_p.add_argument("--fast", action="store_true", help="hash-join executor")
+
+    explain_p = sub.add_parser("explain", help="show plans instead of rows")
+    explain_p.add_argument("script", type=Path)
+    explain_p.add_argument("--data", type=Path, required=True)
+    explain_p.add_argument("--plans", type=int, default=3)
+
+    sub.add_parser("demo", help="run a canned demonstration")
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        run_demo()
+        return 0
+    db, catalog = load_csv_database(args.data)
+    text = args.script.read_text()
+    if args.command == "run":
+        run_script(text, db, catalog, fast=args.fast)
+    else:
+        run_script(text, db, catalog, explain=True, plans=args.plans)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

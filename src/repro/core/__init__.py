@@ -1,0 +1,45 @@
+"""The paper's core contribution: reordering with generalized selection.
+
+* :mod:`repro.core.split` -- breaking conjuncts off (outer) join
+  predicates, compensated by a generalized selection at the root
+  (identities (1)-(8), Theorem 1).
+* :mod:`repro.core.identities` -- the eight identities of Section 3.1
+  in their literal forms (with the corrected identity (6)).
+* :mod:`repro.core.assoc_tree` -- association-tree enumeration per
+  Definition 3.2, with the BHAR95a Definition 2.3 baseline.
+* :mod:`repro.core.transform` -- the rewrite-closure plan enumerator
+  (commutativity, guarded associativity, GS deferral).
+* :mod:`repro.core.aggregation` -- aggregation push-up with deferred
+  predicates (Example 3.1 / Section 4 step a).
+* :mod:`repro.core.simplify` -- outer-join simplification (BHAR95c
+  prerequisite: queries must be *simple*).
+* :mod:`repro.core.unnest` -- Ganski/Muralikrishna unnesting of
+  correlated join-aggregate queries (Section 1.1, Queries 2-3).
+* :mod:`repro.core.pipeline` -- the end-to-end reordering pipeline
+  (Section 4).
+"""
+
+from repro.core.split import DeferResult, SplitError, defer_conjunct, defer_conjuncts
+from repro.core.assoc_tree import (
+    AssocLeaf,
+    AssocNode,
+    association_trees,
+    count_association_trees,
+)
+from repro.core.simplify import simplify_outer_joins
+from repro.core.transform import enumerate_plans
+from repro.core.pipeline import reorder_pipeline
+
+__all__ = [
+    "DeferResult",
+    "SplitError",
+    "defer_conjunct",
+    "defer_conjuncts",
+    "AssocLeaf",
+    "AssocNode",
+    "association_trees",
+    "count_association_trees",
+    "simplify_outer_joins",
+    "enumerate_plans",
+    "reorder_pipeline",
+]

@@ -1,0 +1,169 @@
+"""Association trees -- Definition 3.2 and the BHAR95a baseline.
+
+An association tree for a query hypergraph fixes the order in which
+relations are combined (it carries no operators).  Definition 3.2
+item 3 is the paper's liberalization: a hyperedge may be *broken up*,
+so subsets of its hypernodes may be combined before the hypernodes are
+complete -- e.g. ``h2 = ⟨{r2},{r4,r5}⟩`` of Q4 lets ``r2`` combine
+with ``r4`` alone.  The BHAR95a Definition 2.3 baseline requires whole
+hyperedges, which rules such trees out.
+
+Enumeration is the bottom-up construction Section 4 sketches: start
+from single leaves and combine two subtrees whenever the combination
+satisfies the definition; counting uses the same recurrence with
+memoization over connected node subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from itertools import combinations
+from typing import Iterator
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class AssocLeaf:
+    """A single relation."""
+
+    name: str
+
+    @property
+    def leaves(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AssocNode:
+    """An unordered combination of two subtrees."""
+
+    first: "AssocLeaf | AssocNode"
+    second: "AssocLeaf | AssocNode"
+
+    def __post_init__(self) -> None:
+        # canonical order makes (A.B) and (B.A) the same tree
+        if str(self.first) > str(self.second):
+            first, second = self.second, self.first
+            object.__setattr__(self, "first", first)
+            object.__setattr__(self, "second", second)
+
+    @cached_property
+    def leaves(self) -> frozenset[str]:
+        return self.first.leaves | self.second.leaves
+
+    def __str__(self) -> str:
+        return f"({self.first}.{self.second})"
+
+
+AssocTree = AssocLeaf | AssocNode
+
+
+def _connected(graph: Hypergraph, subset: frozenset[str], breakup: bool) -> bool:
+    if breakup:
+        return graph.is_connected(within=subset)
+    # whole-edge connectivity: only edges with both hypernodes inside
+    sub_edges = [
+        e for e in graph.edges if e.left <= subset and e.right <= subset
+    ]
+    return Hypergraph(subset, sub_edges).is_connected()
+
+
+def _combinable(
+    graph: Hypergraph,
+    left: frozenset[str],
+    right: frozenset[str],
+    breakup: bool,
+) -> bool:
+    """May subtrees over ``left`` and ``right`` be combined?  (item 3)."""
+    if breakup:
+        return bool(graph.crossing_edges(left, right))
+    for edge in graph.edges:
+        if (edge.left <= left and edge.right <= right) or (
+            edge.left <= right and edge.right <= left
+        ):
+            return True
+    return False
+
+
+def association_trees(
+    graph: Hypergraph, breakup: bool = True
+) -> list[AssocTree]:
+    """All association trees of ``graph`` (Definition 3.2).
+
+    ``breakup=False`` gives the BHAR95a Definition 2.3 baseline
+    (hyperedges must be used whole).
+    """
+    nodes = sorted(graph.nodes)
+    memo: dict[frozenset[str], list[AssocTree]] = {}
+    for name in nodes:
+        memo[frozenset((name,))] = [AssocLeaf(name)]
+
+    universe = list(nodes)
+    for size in range(2, len(universe) + 1):
+        for combo in combinations(universe, size):
+            subset = frozenset(combo)
+            if not _connected(graph, subset, breakup):
+                continue
+            trees: list[AssocTree] = []
+            seen: set[str] = set()
+            for split in _proper_splits(subset):
+                left, right = split
+                if left not in memo or right not in memo:
+                    continue
+                if not _combinable(graph, left, right, breakup):
+                    continue
+                for lt in memo[left]:
+                    for rt in memo[right]:
+                        node = AssocNode(lt, rt)
+                        key = str(node)
+                        if key not in seen:
+                            seen.add(key)
+                            trees.append(node)
+            if trees:
+                memo[subset] = trees
+    return memo.get(frozenset(graph.nodes), [])
+
+
+def count_association_trees(graph: Hypergraph, breakup: bool = True) -> int:
+    """Number of association trees, by dynamic programming.
+
+    Counts match ``len(association_trees(...))`` but scale to larger
+    hypergraphs (no tree materialization).
+    """
+    nodes = sorted(graph.nodes)
+    memo: dict[frozenset[str], int] = {
+        frozenset((n,)): 1 for n in nodes
+    }
+    for size in range(2, len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            subset = frozenset(combo)
+            if not _connected(graph, subset, breakup):
+                continue
+            total = 0
+            for left, right in _proper_splits(subset):
+                if left in memo and right in memo:
+                    if _combinable(graph, left, right, breakup):
+                        total += memo[left] * memo[right]
+            if total:
+                memo[subset] = total
+    return memo.get(frozenset(graph.nodes), 0)
+
+
+def _proper_splits(
+    subset: frozenset[str],
+) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
+    """Unordered two-way partitions of ``subset``."""
+    items = sorted(subset)
+    anchor = items[0]
+    rest = items[1:]
+    for size in range(0, len(rest)):
+        for combo in combinations(rest, size):
+            left = frozenset((anchor,) + combo)
+            right = subset - left
+            if right:
+                yield left, right

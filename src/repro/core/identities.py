@@ -1,0 +1,200 @@
+"""The eight association identities of Section 3.1, literal forms.
+
+Each function builds the paper's left-hand side and right-hand side as
+expression trees over caller-supplied operands, so tests and the X3
+bench can evaluate both on data and compare.  Identity (6) is
+implemented in its *corrected* form -- the printed preserved argument
+``r2r3`` over-preserves (see DESIGN.md); the correct compensation
+preserves only ``r1``.  ``identity_6_as_printed`` builds the printed
+(incorrect) form so the erratum can be demonstrated.
+
+Notation: ``p1`` is the deferred conjunct, ``p2`` the remainder;
+``⊙`` ranges over join and the outer joins, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import (
+    Expr,
+    GenSelect,
+    Join,
+    JoinKind,
+    full_outer,
+    inner,
+    left_outer,
+    preserved_for,
+    right_outer,
+)
+from repro.expr.predicates import Predicate, make_conjunction
+
+
+def _conj(p1: Predicate, p2: Predicate) -> Predicate:
+    return make_conjunction([p1, p2])
+
+
+def _names(expr: Expr) -> frozenset[str]:
+    return expr.base_names
+
+
+def identity_1(r1: Expr, r2: Expr, p1: Predicate, p2: Predicate) -> tuple[Expr, Expr]:
+    """(1)  r1 →^{p1∧p2} r2  =  σ*_{p1}[r1](r1 →^{p2} r2)."""
+    lhs = left_outer(r1, r2, _conj(p1, p2))
+    inner_expr = left_outer(r1, r2, p2)
+    rhs = GenSelect(inner_expr, p1, (preserved_for(inner_expr, _names(r1)),))
+    return lhs, rhs
+
+
+def identity_2(r1: Expr, r2: Expr, p1: Predicate, p2: Predicate) -> tuple[Expr, Expr]:
+    """(2)  r1 ↔^{p1∧p2} r2  =  σ*_{p1}[r1, r2](r1 ↔^{p2} r2)."""
+    lhs = full_outer(r1, r2, _conj(p1, p2))
+    inner_expr = full_outer(r1, r2, p2)
+    rhs = GenSelect(
+        inner_expr,
+        p1,
+        (
+            preserved_for(inner_expr, _names(r1)),
+            preserved_for(inner_expr, _names(r2)),
+        ),
+    )
+    return lhs, rhs
+
+
+def identity_3(
+    r1: Expr,
+    r2: Expr,
+    r3: Expr,
+    kind: JoinKind,
+    p12: Predicate,
+    p13: Predicate,
+    p23: Predicate,
+) -> tuple[Expr, Expr]:
+    """(3)  (r1 ⊙ r2) →^{p13∧p23} r3 = σ*_{p13}[r1r2]((r1 ⊙ r2) →^{p23} r3)."""
+    left = Join(kind, r1, r2, p12)
+    lhs = left_outer(left, r3, _conj(p13, p23))
+    inner_expr = left_outer(left, r3, p23)
+    rhs = GenSelect(
+        inner_expr, p13, (preserved_for(inner_expr, _names(r1) | _names(r2)),)
+    )
+    return lhs, rhs
+
+
+def identity_4(
+    r1: Expr,
+    r2: Expr,
+    r3: Expr,
+    kind: JoinKind,
+    p12: Predicate,
+    p13: Predicate,
+    p23: Predicate,
+) -> tuple[Expr, Expr]:
+    """(4)  (r1 ⊙ r2) ↔^{p13∧p23} r3 = σ*_{p13}[r1r2, r3]((r1 ⊙ r2) ↔^{p23} r3)."""
+    left = Join(kind, r1, r2, p12)
+    lhs = full_outer(left, r3, _conj(p13, p23))
+    inner_expr = full_outer(left, r3, p23)
+    rhs = GenSelect(
+        inner_expr,
+        p13,
+        (
+            preserved_for(inner_expr, _names(r1) | _names(r2)),
+            preserved_for(inner_expr, _names(r3)),
+        ),
+    )
+    return lhs, rhs
+
+
+def identity_5(
+    r1: Expr, r2: Expr, r3: Expr, p12: Predicate, p1: Predicate, p2: Predicate
+) -> tuple[Expr, Expr]:
+    """(5)  r1 →^{p12} (r2 ⋈^{p1∧p2} r3) = σ*_{p1}[r1](r1 →^{p12} (r2 ⋈^{p2} r3))."""
+    lhs = left_outer(r1, inner(r2, r3, _conj(p1, p2)), p12)
+    inner_expr = left_outer(r1, inner(r2, r3, p2), p12)
+    rhs = GenSelect(inner_expr, p1, (preserved_for(inner_expr, _names(r1)),))
+    return lhs, rhs
+
+
+def identity_6(
+    r1: Expr, r2: Expr, r3: Expr, p12: Predicate, p1: Predicate, p2: Predicate
+) -> tuple[Expr, Expr]:
+    """(6), corrected:  r1 ↔^{p12} (r2 ⋈^{p1∧p2} r3) = σ*_{p1}[r1](...).
+
+    The printed preserved argument ``r2r3`` is an erratum: the inner
+    join filters p2∧¬p1 pairs out of the left-hand side before the
+    full outer join can preserve them, so re-adding them at the top is
+    wrong.  See ``identity_6_as_printed``.
+    """
+    lhs = full_outer(r1, inner(r2, r3, _conj(p1, p2)), p12)
+    inner_expr = full_outer(r1, inner(r2, r3, p2), p12)
+    rhs = GenSelect(inner_expr, p1, (preserved_for(inner_expr, _names(r1)),))
+    return lhs, rhs
+
+
+def identity_6_as_printed(
+    r1: Expr, r2: Expr, r3: Expr, p12: Predicate, p1: Predicate, p2: Predicate
+) -> tuple[Expr, Expr]:
+    """Identity (6) exactly as printed -- demonstrably over-preserving."""
+    lhs = full_outer(r1, inner(r2, r3, _conj(p1, p2)), p12)
+    inner_expr = full_outer(r1, inner(r2, r3, p2), p12)
+    rhs = GenSelect(
+        inner_expr,
+        p1,
+        (
+            preserved_for(inner_expr, _names(r1)),
+            preserved_for(inner_expr, _names(r2) | _names(r3)),
+        ),
+    )
+    return lhs, rhs
+
+
+def identity_7(
+    r1: Expr, r2: Expr, r3: Expr, p12: Predicate, p1: Predicate, p2: Predicate
+) -> tuple[Expr, Expr]:
+    """(7)  r1 ↔^{p12} (r2 ←^{p1∧p2} r3) = σ*_{p1}[r1, r3](...)."""
+    lhs = full_outer(r1, right_outer(r2, r3, _conj(p1, p2)), p12)
+    inner_expr = full_outer(r1, right_outer(r2, r3, p2), p12)
+    rhs = GenSelect(
+        inner_expr,
+        p1,
+        (
+            preserved_for(inner_expr, _names(r1)),
+            preserved_for(inner_expr, _names(r3)),
+        ),
+    )
+    return lhs, rhs
+
+
+def identity_8(
+    r1: Expr,
+    r2: Expr,
+    r3: Expr,
+    r4: Expr,
+    p12: Predicate,
+    p1: Predicate,
+    p2: Predicate,
+    p24: Predicate,
+) -> tuple[Expr, Expr]:
+    """(8)  r1 ↔^{p12} ((r2 ⋈^{p1∧p2} r3) ←^{p24} r4) = σ*_{p1}[r1, r4](...)."""
+    lhs = full_outer(
+        r1, right_outer(inner(r2, r3, _conj(p1, p2)), r4, p24), p12
+    )
+    inner_expr = full_outer(r1, right_outer(inner(r2, r3, p2), r4, p24), p12)
+    rhs = GenSelect(
+        inner_expr,
+        p1,
+        (
+            preserved_for(inner_expr, _names(r1)),
+            preserved_for(inner_expr, _names(r4)),
+        ),
+    )
+    return lhs, rhs
+
+
+ALL_IDENTITIES = {
+    1: identity_1,
+    2: identity_2,
+    3: identity_3,
+    4: identity_4,
+    5: identity_5,
+    6: identity_6,
+    7: identity_7,
+    8: identity_8,
+}

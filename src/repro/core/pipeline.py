@@ -1,0 +1,66 @@
+"""The end-to-end reordering pipeline (Section 4).
+
+Step a) push aggregations to the root, deferring any predicate
+conjunct that references an aggregated column (Example 3.1); step b)
+enumerate all equivalent expression trees of the join core (complex
+predicates broken up via generalized selection).  The optimizer picks
+the cheapest tree; :func:`reorder_pipeline` yields them all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.expr.nodes import (
+    AdjustPadding,
+    Expr,
+    GenSelect,
+    GroupBy,
+    Project,
+    Select,
+)
+from repro.core.aggregation import pull_up_aggregations
+from repro.core.simplify import simplify_outer_joins
+from repro.core.transform import enumerate_plans
+
+
+def reorder_pipeline(
+    query: Expr, max_plans: int = 20000
+) -> list[Expr]:
+    """All equivalent plans for ``query``.
+
+    The query is simplified, its aggregations are pulled to the root
+    (predicates on aggregated columns deferred with generalized
+    selections), and the join core below is enumerated by the rewrite
+    closure.  Each returned plan is equivalent to ``query``.
+    """
+    normalized = pull_up_aggregations(simplify_outer_joins(query))
+
+    # split the tree into (wrapper stack, join core): the core is the
+    # part below the outermost GroupBy/GenSelect chain
+    stack: list[Expr] = []
+    core: Expr = normalized
+    while isinstance(core, (GroupBy, GenSelect, AdjustPadding, Project, Select)):
+        stack.append(core)
+        core = core.children()[0]
+
+    plans = []
+    for core_plan in enumerate_plans(core, max_plans=max_plans):
+        plan = core_plan
+        for wrapper in reversed(stack):
+            plan = _rewrap(wrapper, plan)
+        plans.append(plan)
+    # the as-written shape (lazy aggregation) remains a candidate: when
+    # the eager/pushed-up form loses (unselective filters), the
+    # optimizer must still be able to keep the original order
+    if query not in plans:
+        plans.append(query)
+    if normalized not in plans:
+        plans.append(normalized)
+    return plans
+
+
+def _rewrap(wrapper: Expr, child: Expr) -> Expr:
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(wrapper, child=child)

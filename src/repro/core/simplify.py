@@ -1,0 +1,84 @@
+"""Outer-join simplification (the BHAR95c prerequisite).
+
+The paper assumes queries are *simple*: no redundant (full) outer join
+edges.  An outer join's preservation of a side is redundant when some
+ancestor predicate is null-intolerant in the attributes of the *other*
+(null-supplied) side -- the padded rows can never survive it.
+Simplification downgrades:
+
+* ``↔`` to ``→``/``←`` when one side's preservation is redundant;
+* ``→``/``←`` to ``⋈`` when the only preservation is redundant;
+
+iterating to a fixpoint.  This is the classical rewrite (GALI92b,
+BHAR95c) that commercial optimizers run before join reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.expr.nodes import Expr, GenSelect, GroupBy, Join, JoinKind, Select
+from repro.expr.rewrite import ancestors_of, iter_nodes, replace_at
+
+
+def _null_rejecting_attrs(root: Expr, path: tuple[int, ...]) -> frozenset[str]:
+    """Attributes some ancestor predicate requires to be non-NULL.
+
+    Walking from the node upward: a Select's conjunctive predicate
+    rejects rows with a NULL in any referenced attribute; so does a
+    Join's, except that rows entering from a side the join preserves
+    survive the failure (padded), so such an ancestor contributes
+    nothing.  The walk stops at GroupBy / GenSelect boundaries, whose
+    interaction with padding is not a plain rejection.
+    """
+    rejecting: set[str] = set()
+    lineage = ancestors_of(root, path)
+    for depth in range(len(lineage) - 1, -1, -1):
+        _, ancestor = lineage[depth]
+        if isinstance(ancestor, (GroupBy, GenSelect)):
+            break
+        if isinstance(ancestor, Select):
+            for atom in ancestor.predicate.atoms():
+                if atom.null_intolerant:
+                    rejecting |= atom.attrs
+        elif isinstance(ancestor, Join):
+            came_from = path[depth]
+            side_preserved = (
+                ancestor.kind.preserves_left
+                if came_from == 0
+                else ancestor.kind.preserves_right
+            )
+            if not side_preserved:
+                rejecting |= ancestor.predicate.attrs
+    return frozenset(rejecting)
+
+
+def simplify_outer_joins(root: Expr) -> Expr:
+    """Downgrade redundant outer joins until a fixpoint is reached.
+
+    A left outer join's padded rows carry NULLs in the *right* side's
+    attributes; if an upstream predicate is null-intolerant in any of
+    them, the padding is dead and the join degrades to inner (and
+    symmetrically for the other kinds).
+    """
+    changed = True
+    expr = root
+    while changed:
+        changed = False
+        for path, node in iter_nodes(expr):
+            if not isinstance(node, Join) or node.kind is JoinKind.INNER:
+                continue
+            rejecting = _null_rejecting_attrs(expr, path)
+            left_attrs = frozenset(node.left.all_attrs)
+            right_attrs = frozenset(node.right.all_attrs)
+            kind = node.kind
+            # left-preserving padding has NULLs in the right attributes
+            if kind.preserves_left and rejecting & right_attrs:
+                kind = JoinKind.RIGHT if kind is JoinKind.FULL else JoinKind.INNER
+            if kind.preserves_right and rejecting & left_attrs:
+                kind = JoinKind.LEFT if kind is JoinKind.FULL else JoinKind.INNER
+            if kind is not node.kind:
+                expr = replace_at(expr, path, dc_replace(node, kind=kind))
+                changed = True
+                break
+    return expr

@@ -1,0 +1,83 @@
+"""Theorem 1, stated on the hypergraph (Section 3.1).
+
+For a query ``Q = Q1 ⊙^{p1∧p2} Q2`` whose complex predicate sits at
+the *root* (Lemma 1 normalizes other positions), Theorem 1 gives the
+preserved sets of the compensating generalized selection directly from
+the hypergraph:
+
+* ``⊙ = ↔``: ``σ*_{p1}[pres1(h), pres2(h)]``;
+* ``⊙ = →``: ``σ*_{p1}[pres_h(h1), …, pres_h(hn), pres(h)]`` where
+  ``conf(h) = {h1..hn}``;
+* ``⊙ = ⋈``: the ``pres_h(hi)`` only.
+
+This module computes those sets from the hypergraph machinery
+(:mod:`repro.hypergraph.conflicts`); the tests cross-check them
+against the tree-walking computation of :mod:`repro.core.split`, which
+was validated row-by-row on randomized databases.  Note the paper's
+formula always lists ``pres(h)``; when a conflicting outer join's
+far-side component *extends over* the preserved component the two
+collapse (see DESIGN.md's "extension subsumes the far side") -- the
+hypergraph formula below reproduces that collapse so both computations
+agree.
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import Expr, Join, JoinKind
+from repro.hypergraph import conf, hypergraph_of, pres, pres_away, pres_sides
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+
+
+class Theorem1Error(ValueError):
+    """Raised when the query shape is outside the theorem's premise."""
+
+
+def root_edge(graph: Hypergraph, query: Join) -> Hyperedge:
+    """The hyperedge corresponding to the root operator of ``query``."""
+    for edge in graph.edges:
+        if edge.predicate == query.predicate:
+            return edge
+    raise Theorem1Error("no hyperedge matches the root predicate")
+
+
+def theorem1_preserved_sets(query: Expr) -> tuple[frozenset[str], ...]:
+    """The preserved relation groups Theorem 1 prescribes at the root.
+
+    ``query`` must be a Join whose predicate is the complex predicate
+    being split (the theorem's premise).  Returns the groups as sets
+    of base relation names, in a canonical order.
+    """
+    if not isinstance(query, Join):
+        raise Theorem1Error("Theorem 1 needs a binary operator at the root")
+    graph = hypergraph_of(query)
+    h = root_edge(graph, query)
+
+    groups: list[frozenset[str]] = []
+    if query.kind is JoinKind.FULL:
+        left, right = pres_sides(graph, h)
+        groups = [left, right]
+    elif query.kind in (JoinKind.LEFT, JoinKind.RIGHT):
+        base = pres(graph, h)
+        for conflict in conf(graph, h):
+            away = pres_away(graph, conflict, h)
+            if base & away:
+                base = base | away
+            else:
+                groups.append(away)
+        groups.append(base)
+    else:  # inner join
+        for conflict in conf(graph, h):
+            groups.append(pres_away(graph, conflict, h))
+
+    # conflicts on the same side merge transitively
+    merged: list[frozenset[str]] = []
+    for group in groups:
+        absorbed = False
+        for index, existing in enumerate(merged):
+            if group & existing:
+                merged[index] = existing | group
+                absorbed = True
+                break
+        if not absorbed:
+            merged.append(group)
+    return tuple(sorted(merged, key=lambda g: sorted(g)))

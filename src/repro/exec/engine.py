@@ -1,0 +1,135 @@
+"""The fast executor: same semantics as the reference interpreter.
+
+Joins use :func:`repro.exec.hash_join.hash_join`; everything else
+shares the relalg substrate (selection, projection, grouping and
+generalized selection are already hash-based / linear there).
+"""
+
+from __future__ import annotations
+
+from repro.expr.evaluate import Database, _PredicateAdapter
+from repro.expr.nodes import (
+    AdjustPadding,
+    BaseRel,
+    Expr,
+    ExprError,
+    GenSelect,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Rename,
+    Select,
+    SemiJoin,
+    UnionAll,
+)
+from repro.expr.predicates import TRUE
+from repro.exec.hash_join import hash_join
+from repro.relalg import (
+    PreservedSpec,
+    Relation,
+    generalized_projection,
+    generalized_selection,
+    product,
+    project,
+    select,
+)
+from repro.relalg.nulls import NULL
+from repro.relalg.operators import rename as relalg_rename
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema
+
+
+def execute(expr: Expr, db: Database) -> Relation:
+    """Execute ``expr`` against ``db`` with hash-based joins."""
+    if isinstance(expr, BaseRel):
+        relation = db[expr.name]
+        if set(relation.real) != set(expr.attrs):
+            raise ExprError(
+                f"base relation {expr.name!r} has attrs {sorted(relation.real)}, "
+                f"expression expects {sorted(expr.attrs)}"
+            )
+        return relation
+    if isinstance(expr, Select):
+        return select(execute(expr.child, db), _PredicateAdapter(expr.predicate))
+    if isinstance(expr, Project):
+        child = execute(expr.child, db)
+        if expr.distinct:
+            return project(child, expr.attrs, virtual_attrs=(), distinct=True)
+        return project(child, expr.attrs)
+    if isinstance(expr, Join):
+        left = execute(expr.left, db)
+        right = execute(expr.right, db)
+        if expr.kind is JoinKind.INNER and expr.predicate is TRUE:
+            return product(left, right)
+        if expr.kind is JoinKind.RIGHT:
+            # normalize: hash_join preserves via kind flags directly
+            return hash_join(left, right, expr.predicate, JoinKind.RIGHT)
+        return hash_join(left, right, expr.predicate, expr.kind)
+    if isinstance(expr, UnionAll):
+        from repro.relalg import outer_union
+
+        return outer_union(execute(expr.left, db), execute(expr.right, db))
+    if isinstance(expr, SemiJoin):
+        from repro.exec.hash_join import split_equi_conjuncts
+        from repro.relalg.nulls import Truth, is_null
+
+        left = execute(expr.left, db)
+        right = execute(expr.right, db)
+        keys, residual = split_equi_conjuncts(
+            expr.predicate,
+            frozenset(left.all_attrs),
+            frozenset(right.all_attrs),
+        )
+        if keys:
+            left_keys = [k for k, _ in keys]
+            right_keys = [k for _, k in keys]
+            table = {}
+            for row in right.rows:
+                key = row.values_tuple(right_keys)
+                if not any(is_null(v) for v in key):
+                    table.setdefault(key, []).append(row)
+            out = []
+            for row in left.rows:
+                key = row.values_tuple(left_keys)
+                matched = False
+                if not any(is_null(v) for v in key):
+                    for other in table.get(key, ()):  # probe
+                        if residual.evaluate(row.merge(other)) is Truth.TRUE:
+                            matched = True
+                            break
+                if matched != expr.anti:
+                    out.append(row)
+            return left.with_rows(out)
+        from repro.relalg import anti_join, semi_join
+
+        op = anti_join if expr.anti else semi_join
+        return op(left, right, _PredicateAdapter(expr.predicate))
+    if isinstance(expr, GroupBy):
+        child = execute(expr.child, db)
+        return generalized_projection(
+            child, expr.group_by, expr.aggregates, name=expr.name
+        )
+    if isinstance(expr, GenSelect):
+        child = execute(expr.child, db)
+        specs = [
+            PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
+        ]
+        return generalized_selection(child, _PredicateAdapter(expr.predicate), specs)
+    if isinstance(expr, Rename):
+        return relalg_rename(execute(expr.child, db), dict(expr.mapping))
+    if isinstance(expr, AdjustPadding):
+        child = execute(expr.child, db)
+        keep = tuple(a for a in child.real if a != expr.witness) + tuple(
+            child.virtual
+        )
+        rows = []
+        for row in child:
+            data = {a: row[a] for a in keep}
+            if row[expr.witness] == 0:
+                for target in expr.targets:
+                    data[target] = NULL
+            rows.append(Row(data))
+        real = Schema(a for a in child.real if a != expr.witness)
+        return Relation(real, child.virtual, rows)
+    raise ExprError(f"cannot execute node of type {type(expr).__name__}")

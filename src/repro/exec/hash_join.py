@@ -1,0 +1,135 @@
+"""Hash-based (outer) joins.
+
+The join predicate's equality atoms between the two sides become the
+hash key; remaining conjuncts are applied as a residual filter on each
+probe hit.  NULL keys never match (SQL semantics) and never enter the
+hash table.  Outer variants track matched build rows / probe rows to
+emit the null-padded remainder.  When no cross-side equality atom
+exists the join degrades to a (filtered) block nested loop, which is
+the correct general fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.expr.nodes import JoinKind
+from repro.expr.predicates import (
+    Col,
+    Comparison,
+    Predicate,
+    conjuncts_of,
+    make_conjunction,
+)
+from repro.relalg.nulls import Truth, is_null
+from repro.relalg.relation import Relation, pad_row
+from repro.relalg.row import Row
+
+
+def split_equi_conjuncts(
+    predicate: Predicate,
+    left_attrs: frozenset[str],
+    right_attrs: frozenset[str],
+) -> tuple[list[tuple[str, str]], Predicate]:
+    """Split the predicate into hashable key pairs and a residual.
+
+    Returns ``([(left_attr, right_attr), ...], residual_predicate)``;
+    a key pair comes from an equality atom ``Col = Col`` with one
+    column on each side.
+    """
+    keys: list[tuple[str, str]] = []
+    residual: list[Predicate] = []
+    for atom in conjuncts_of(predicate):
+        pair = _equi_pair(atom, left_attrs, right_attrs)
+        if pair is not None:
+            keys.append(pair)
+        else:
+            residual.append(atom)
+    return keys, make_conjunction(residual)
+
+
+def _equi_pair(
+    atom: Predicate,
+    left_attrs: frozenset[str],
+    right_attrs: frozenset[str],
+) -> tuple[str, str] | None:
+    if not (isinstance(atom, Comparison) and atom.op == "="):
+        return None
+    if not (isinstance(atom.left, Col) and isinstance(atom.right, Col)):
+        return None
+    a, b = atom.left.name, atom.right.name
+    if a in left_attrs and b in right_attrs:
+        return (a, b)
+    if b in left_attrs and a in right_attrs:
+        return (b, a)
+    return None
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    predicate: Predicate,
+    kind: JoinKind = JoinKind.INNER,
+) -> Relation:
+    """Join with hash-partitioning on the predicate's equality atoms."""
+    left_attrs = frozenset(left.all_attrs)
+    right_attrs = frozenset(right.all_attrs)
+    keys, residual = split_equi_conjuncts(predicate, left_attrs, right_attrs)
+
+    real = left.real.concat(right.real)
+    virtual = left.virtual.concat(right.virtual)
+    target = tuple(real) + tuple(virtual)
+
+    if not keys:
+        return _nested_loop(left, right, predicate, kind, target, real, virtual)
+
+    left_keys = [k for k, _ in keys]
+    right_keys = [k for _, k in keys]
+
+    # build on the right side
+    table: dict[tuple[Any, ...], list[int]] = {}
+    for index, row in enumerate(right.rows):
+        key = row.values_tuple(right_keys)
+        if any(is_null(v) for v in key):
+            continue
+        table.setdefault(key, []).append(index)
+
+    out: list[Row] = []
+    right_matched = [False] * len(right.rows)
+    for row in left.rows:
+        key = row.values_tuple(left_keys)
+        matched = False
+        if not any(is_null(v) for v in key):
+            for index in table.get(key, ()):
+                candidate = row.merge(right.rows[index])
+                if residual.evaluate(candidate) is Truth.TRUE:
+                    out.append(candidate)
+                    matched = True
+                    right_matched[index] = True
+        if not matched and kind.preserves_left:
+            out.append(pad_row(row, target))
+    if kind.preserves_right:
+        for index, flag in enumerate(right_matched):
+            if not flag:
+                out.append(pad_row(right.rows[index], target))
+    return Relation(real, virtual, out)
+
+
+def _nested_loop(left, right, predicate, kind, target, real, virtual) -> Relation:
+    out: list[Row] = []
+    right_matched = [False] * len(right.rows)
+    for row in left.rows:
+        matched = False
+        for index, other in enumerate(right.rows):
+            candidate = row.merge(other)
+            if predicate.evaluate(candidate) is Truth.TRUE:
+                out.append(candidate)
+                matched = True
+                right_matched[index] = True
+        if not matched and kind.preserves_left:
+            out.append(pad_row(row, target))
+    if kind.preserves_right:
+        for index, flag in enumerate(right_matched):
+            if not flag:
+                out.append(pad_row(right.rows[index], target))
+    return Relation(real, virtual, out)

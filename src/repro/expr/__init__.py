@@ -1,0 +1,68 @@
+"""Logical query expressions.
+
+Predicates (comparison atoms and conjunctions, Section 1.2), logical
+expression trees over the relational-algebra substrate (base
+relations, joins, outer joins, generalized selection/projection), a
+reference interpreter, and a paper-style pretty printer.
+"""
+
+from repro.expr.predicates import (
+    Col,
+    Comparison,
+    Conjunction,
+    Const,
+    Predicate,
+    TRUE,
+    conjuncts_of,
+    make_conjunction,
+)
+from repro.expr.nodes import (
+    AdjustPadding,
+    BaseRel,
+    Expr,
+    GroupBy,
+    Join,
+    JoinKind,
+    Preserved,
+    Project,
+    Rename,
+    Select,
+    GenSelect,
+    inner,
+    left_outer,
+    right_outer,
+    full_outer,
+    preserved_for,
+)
+from repro.expr.evaluate import Database, evaluate
+from repro.expr.display import to_algebra
+
+__all__ = [
+    "AdjustPadding",
+    "Rename",
+    "Col",
+    "Comparison",
+    "Conjunction",
+    "Const",
+    "Predicate",
+    "TRUE",
+    "conjuncts_of",
+    "make_conjunction",
+    "BaseRel",
+    "Expr",
+    "GroupBy",
+    "Join",
+    "JoinKind",
+    "Preserved",
+    "Project",
+    "Select",
+    "GenSelect",
+    "inner",
+    "left_outer",
+    "right_outer",
+    "full_outer",
+    "preserved_for",
+    "Database",
+    "evaluate",
+    "to_algebra",
+]

@@ -1,0 +1,101 @@
+"""Paper-style rendering of expression trees.
+
+``to_algebra`` prints trees with the paper's symbols: ``⋈`` for join,
+``→ ← ↔`` for left/right/full outer join, ``σ*_p[preserved](...)``
+for generalized selection and ``π_{X, f(Y)}(...)`` for generalized
+projection.
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import (
+    AdjustPadding,
+    Rename,
+    SemiJoin,
+    UnionAll,
+    BaseRel,
+    Expr,
+    GenSelect,
+    GroupBy,
+    Join,
+    Project,
+    Select,
+)
+from repro.expr.predicates import TRUE
+
+
+def to_algebra(expr: Expr) -> str:
+    """Render ``expr`` in the paper's algebraic notation."""
+    if isinstance(expr, BaseRel):
+        return expr.name
+    if isinstance(expr, Select):
+        return f"σ[{expr.predicate}]({to_algebra(expr.child)})"
+    if isinstance(expr, Project):
+        marker = "δ" if expr.distinct else "π"
+        attrs = ", ".join(expr.attrs)
+        return f"{marker}[{attrs}]({to_algebra(expr.child)})"
+    if isinstance(expr, Join):
+        if expr.predicate is TRUE:
+            op = "×"
+        else:
+            op = f"{expr.kind.symbol}[{expr.predicate}]"
+        return f"({to_algebra(expr.left)} {op} {to_algebra(expr.right)})"
+    if isinstance(expr, GroupBy):
+        parts = list(expr.group_by)
+        parts += [f"{s.output}={s.label()}" for s in expr.aggregates]
+        return f"π[{', '.join(parts)}]({to_algebra(expr.child)})"
+    if isinstance(expr, GenSelect):
+        preserved = ", ".join(p.name for p in expr.preserved)
+        return f"σ*[{expr.predicate}][{preserved}]({to_algebra(expr.child)})"
+    if isinstance(expr, UnionAll):
+        return f"({to_algebra(expr.left)} ∪ {to_algebra(expr.right)})"
+    if isinstance(expr, SemiJoin):
+        symbol = "▷" if expr.anti else "⋉"
+        return (
+            f"({to_algebra(expr.left)} {symbol}[{expr.predicate}] "
+            f"{to_algebra(expr.right)})"
+        )
+    if isinstance(expr, Rename):
+        pairs = ", ".join(f"{o}→{n}" for o, n in expr.mapping)
+        return f"ρ[{pairs}]({to_algebra(expr.child)})"
+    if isinstance(expr, AdjustPadding):
+        return f"adjust[{expr.witness}]({to_algebra(expr.child)})"
+    return repr(expr)
+
+
+def tree_lines(expr: Expr, indent: str = "") -> list[str]:
+    """Multi-line indented rendering (one node per line)."""
+    label: str
+    if isinstance(expr, BaseRel):
+        label = expr.name
+    elif isinstance(expr, Select):
+        label = f"σ[{expr.predicate}]"
+    elif isinstance(expr, Project):
+        label = f"{'δ' if expr.distinct else 'π'}[{', '.join(expr.attrs)}]"
+    elif isinstance(expr, Join):
+        pred = "true" if expr.predicate is TRUE else str(expr.predicate)
+        label = f"{expr.kind.symbol} [{pred}]"
+    elif isinstance(expr, GroupBy):
+        aggs = ", ".join(f"{s.output}={s.label()}" for s in expr.aggregates)
+        label = f"groupby[{', '.join(expr.group_by)}; {aggs}]"
+    elif isinstance(expr, GenSelect):
+        preserved = ", ".join(p.name for p in expr.preserved)
+        label = f"σ*[{expr.predicate}][{preserved}]"
+    elif isinstance(expr, UnionAll):
+        label = "∪ all"
+    elif isinstance(expr, SemiJoin):
+        label = f"{'▷' if expr.anti else '⋉'} [{expr.predicate}]"
+    elif isinstance(expr, Rename):
+        label = "ρ[" + ", ".join(f"{o}→{n}" for o, n in expr.mapping) + "]"
+    elif isinstance(expr, AdjustPadding):
+        label = f"adjust[{expr.witness}]"
+    else:
+        label = repr(expr)
+    lines = [indent + label]
+    for child in expr.children():
+        lines.extend(tree_lines(child, indent + "  "))
+    return lines
+
+
+def to_tree(expr: Expr) -> str:
+    return "\n".join(tree_lines(expr))

@@ -1,0 +1,160 @@
+"""Reference interpreter: logical expression trees -> relations.
+
+This is the ground-truth executor used by the test suite and the
+benchmark harness to check that every reordering produces the same
+bag of rows.  It evaluates trees bottom-up with the relalg substrate;
+no attempt is made to be fast -- correctness is its job.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.relalg import (
+    PreservedSpec,
+    Relation,
+    full_outer_join,
+    generalized_projection,
+    generalized_selection,
+    join,
+    left_outer_join,
+    product,
+    project,
+    right_outer_join,
+    select,
+)
+from repro.relalg.nulls import Truth
+from repro.relalg.row import Row
+from repro.expr.nodes import (
+    AdjustPadding,
+    Rename,
+    BaseRel,
+    Expr,
+    ExprError,
+    GenSelect,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Select,
+    SemiJoin,
+    UnionAll,
+)
+from repro.expr.predicates import Predicate, TRUE
+
+
+class Database:
+    """A named collection of base relations."""
+
+    def __init__(self, relations: Mapping[str, Relation] | None = None) -> None:
+        self._relations: dict[str, Relation] = dict(relations or {})
+
+    def add(self, name: str, relation: Relation) -> None:
+        self._relations[name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise ExprError(f"no base relation named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+
+class _PredicateAdapter:
+    """Bridge expr predicates to the relalg RowPredicate protocol."""
+
+    __slots__ = ("_predicate",)
+
+    def __init__(self, predicate: Predicate) -> None:
+        self._predicate = predicate
+
+    def evaluate(self, row: Row) -> Truth:
+        return self._predicate.evaluate(row)
+
+    def __repr__(self) -> str:
+        return f"pred({self._predicate})"
+
+
+def evaluate(expr: Expr, db: Database) -> Relation:
+    """Evaluate ``expr`` against ``db`` and return the result relation."""
+    if isinstance(expr, BaseRel):
+        relation = db[expr.name]
+        if set(relation.real) != set(expr.attrs):
+            raise ExprError(
+                f"base relation {expr.name!r} has attrs {sorted(relation.real)}, "
+                f"expression expects {sorted(expr.attrs)}"
+            )
+        return relation
+    if isinstance(expr, Select):
+        return select(evaluate(expr.child, db), _PredicateAdapter(expr.predicate))
+    if isinstance(expr, Project):
+        child = evaluate(expr.child, db)
+        if expr.distinct:
+            return project(child, expr.attrs, virtual_attrs=(), distinct=True)
+        return project(child, expr.attrs)
+    if isinstance(expr, Join):
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        if expr.kind is JoinKind.INNER and expr.predicate is TRUE:
+            return product(left, right)
+        pred = _PredicateAdapter(expr.predicate)
+        if expr.kind is JoinKind.INNER:
+            return join(left, right, pred)
+        if expr.kind is JoinKind.LEFT:
+            return left_outer_join(left, right, pred)
+        if expr.kind is JoinKind.RIGHT:
+            return right_outer_join(left, right, pred)
+        return full_outer_join(left, right, pred)
+    if isinstance(expr, UnionAll):
+        from repro.relalg import outer_union
+
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        return outer_union(left, right)
+    if isinstance(expr, SemiJoin):
+        from repro.relalg import anti_join, semi_join
+
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        op = anti_join if expr.anti else semi_join
+        return op(left, right, _PredicateAdapter(expr.predicate))
+    if isinstance(expr, GroupBy):
+        child = evaluate(expr.child, db)
+        return generalized_projection(
+            child, expr.group_by, expr.aggregates, name=expr.name
+        )
+    if isinstance(expr, GenSelect):
+        child = evaluate(expr.child, db)
+        specs = [
+            PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
+        ]
+        return generalized_selection(child, _PredicateAdapter(expr.predicate), specs)
+    if isinstance(expr, Rename):
+        from repro.relalg.operators import rename as relalg_rename
+
+        child = evaluate(expr.child, db)
+        return relalg_rename(child, dict(expr.mapping))
+    if isinstance(expr, AdjustPadding):
+        child = evaluate(expr.child, db)
+        from repro.relalg.nulls import NULL
+        from repro.relalg.schema import Schema
+
+        keep = tuple(a for a in child.real if a != expr.witness) + tuple(
+            child.virtual
+        )
+        rows = []
+        for row in child:
+            padded_group = row[expr.witness] == 0
+            data = {a: row[a] for a in keep}
+            if padded_group:
+                for target in expr.targets:
+                    data[target] = NULL
+            rows.append(Row(data))
+        real = Schema(a for a in child.real if a != expr.witness)
+        return Relation(real, child.virtual, rows)
+    raise ExprError(f"cannot evaluate node of type {type(expr).__name__}")

@@ -1,0 +1,595 @@
+"""Logical expression tree nodes.
+
+A query is a tree of base relations combined by joins / outer joins /
+full outer joins (Section 1.2), generalized projections (GROUP BY) and
+generalized selections (Definition 2.1), plus ordinary selections and
+projections.  Nodes are immutable and hashable; rewrites build new
+trees.
+
+Every node knows its output schema (real and virtual attributes) and
+an *owner map* assigning to each output attribute the set of base
+relations it derives from.  The owner map is what resolves the paper's
+preserved-relation notation (``σ*_p[r1r2](...)``) into concrete
+attribute sets, including above aggregations where some attributes
+(e.g. ``c = count(r1)``) are derived rather than copied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable
+
+from repro.relalg.aggregates import AggregateSpec
+from repro.relalg.relation import virtual_attr
+from repro.expr.predicates import Predicate, TRUE
+
+
+class JoinKind(enum.Enum):
+    INNER = "join"
+    LEFT = "left outer join"
+    RIGHT = "right outer join"
+    FULL = "full outer join"
+
+    @property
+    def symbol(self) -> str:
+        return {
+            JoinKind.INNER: "⋈",
+            JoinKind.LEFT: "→",
+            JoinKind.RIGHT: "←",
+            JoinKind.FULL: "↔",
+        }[self]
+
+    @property
+    def preserves_left(self) -> bool:
+        return self in (JoinKind.LEFT, JoinKind.FULL)
+
+    @property
+    def preserves_right(self) -> bool:
+        return self in (JoinKind.RIGHT, JoinKind.FULL)
+
+    @property
+    def is_outer(self) -> bool:
+        return self is not JoinKind.INNER
+
+
+@dataclass(frozen=True)
+class Preserved:
+    """A preserved sub-relation argument of a generalized selection."""
+
+    name: str
+    real: frozenset[str]
+    virtual: frozenset[str]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ExprError(ValueError):
+    """Raised on ill-formed expression trees."""
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of all logical nodes."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    @cached_property
+    def base_names(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for child in self.children():
+            out |= child.base_names
+        return out
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        """Map output attribute -> set of base relations it derives from."""
+        raise NotImplementedError
+
+    @property
+    def all_attrs(self) -> tuple[str, ...]:
+        return self.real_attrs + self.virtual_attrs
+
+    # -- convenience for rewrites --
+
+    def walk(self) -> Iterable["Expr"]:
+        """Pre-order traversal of the tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def predicate_relations(self, predicate: Predicate) -> frozenset[str]:
+        """The base relations referenced by ``predicate`` in this scope."""
+        owners: frozenset[str] = frozenset()
+        for attr in predicate.attrs:
+            if attr not in self.attr_owners:
+                raise ExprError(f"predicate attribute {attr!r} not in scope")
+            owners |= self.attr_owners[attr]
+        return owners
+
+
+def _check_predicate_scope(node: Expr, predicate: Predicate) -> None:
+    in_scope = set(node.real_attrs) | set(node.virtual_attrs)
+    missing = predicate.attrs - in_scope
+    if missing:
+        raise ExprError(
+            f"predicate references attributes {sorted(missing)} not in scope"
+        )
+
+
+@dataclass(frozen=True)
+class BaseRel(Expr):
+    """A base relation reference with its real-attribute schema."""
+
+    name: str
+    attrs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attrs)) != len(self.attrs):
+            raise ExprError(f"duplicate attributes in {self.name!r}")
+
+    @cached_property
+    def base_names(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return (virtual_attr(self.name),)
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        owner = frozenset((self.name,))
+        out = {a: owner for a in self.attrs}
+        out[virtual_attr(self.name)] = owner
+        return out
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Plain selection σ_p (e.g. a WHERE clause on one relation)."""
+
+    child: Expr
+    predicate: Predicate
+
+    def __post_init__(self) -> None:
+        _check_predicate_scope(self.child, self.predicate)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.child.real_attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.child.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        return self.child.attr_owners
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """Final (bag or distinct) projection onto ``attrs``."""
+
+    child: Expr
+    attrs: tuple[str, ...]
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        missing = set(self.attrs) - set(self.child.real_attrs)
+        if missing:
+            raise ExprError(f"projection attributes {sorted(missing)} not in child")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return () if self.distinct else self.child.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        owners = self.child.attr_owners
+        return {a: owners[a] for a in self.all_attrs}
+
+
+@dataclass(frozen=True)
+class Join(Expr):
+    """Binary (outer) join with a conjunctive predicate."""
+
+    kind: JoinKind
+    left: Expr
+    right: Expr
+    predicate: Predicate
+
+    def __post_init__(self) -> None:
+        if self.left.base_names & self.right.base_names:
+            raise ExprError(
+                "join operands share base relations "
+                f"{sorted(self.left.base_names & self.right.base_names)}"
+            )
+        overlap = set(self.left.all_attrs) & set(self.right.all_attrs)
+        if overlap:
+            raise ExprError(f"join operands share attributes {sorted(overlap)}")
+        _check_predicate_scope(self, self.predicate)
+        tolerant = [a for a in self.predicate.atoms() if not a.null_intolerant]
+        if tolerant:
+            raise ExprError(
+                f"join predicates must be null in-tolerant (footnote 2); "
+                f"{tolerant[0]} is not -- apply it in a selection instead"
+            )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.left.real_attrs + self.right.real_attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.left.virtual_attrs + self.right.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        out = dict(self.left.attr_owners)
+        out.update(self.right.attr_owners)
+        return out
+
+
+@dataclass(frozen=True)
+class SemiJoin(Expr):
+    """Semi (``EXISTS``) or anti (``NOT EXISTS``) join.
+
+    Output schema is the left operand's; the right operand only
+    filters.  The predicate must be null in-tolerant, like every join
+    predicate (footnote 2).  Semi/anti joins sit outside the paper's
+    reordering identities and are treated as opaque operators by the
+    plan enumerator.
+    """
+
+    left: Expr
+    right: Expr
+    predicate: Predicate
+    anti: bool = False
+
+    def __post_init__(self) -> None:
+        if self.left.base_names & self.right.base_names:
+            raise ExprError("semi-join operands share base relations")
+        in_scope = set(self.left.all_attrs) | set(self.right.all_attrs)
+        missing = self.predicate.attrs - in_scope
+        if missing:
+            raise ExprError(
+                f"predicate references attributes {sorted(missing)} not in scope"
+            )
+        tolerant = [a for a in self.predicate.atoms() if not a.null_intolerant]
+        if tolerant:
+            raise ExprError(
+                f"semi-join predicates must be null in-tolerant; {tolerant[0]}"
+            )
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+    @cached_property
+    def base_names(self) -> frozenset[str]:
+        # only the left side's relations appear in the output, but the
+        # right side is still part of the query (for db resolution)
+        return self.left.base_names | self.right.base_names
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.left.real_attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.left.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        return self.left.attr_owners
+
+    def predicate_relations(self, predicate: Predicate) -> frozenset[str]:
+        owners: frozenset[str] = frozenset()
+        scope = {**self.left.attr_owners, **self.right.attr_owners}
+        for attr in predicate.attrs:
+            owners |= scope[attr]
+        return owners
+
+
+@dataclass(frozen=True)
+class GroupBy(Expr):
+    """Generalized projection π_{X, f(Y)} -- GROUP BY with aggregates.
+
+    ``group_by`` may contain real and virtual attributes of the child
+    (the paper's aggregation push-up groups on virtual attributes).
+    ``name`` labels the node and its fresh output virtual attribute.
+    """
+
+    child: Expr
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    name: str
+
+    def __post_init__(self) -> None:
+        in_scope = set(self.child.all_attrs)
+        missing = set(self.group_by) - in_scope
+        if missing:
+            raise ExprError(f"group-by attributes {sorted(missing)} not in child")
+        for spec in self.aggregates:
+            if spec.arg is not None and spec.arg not in in_scope:
+                raise ExprError(f"aggregate argument {spec.arg!r} not in child")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        child_real = set(self.child.real_attrs)
+        keys = tuple(a for a in self.group_by if a in child_real)
+        return keys + tuple(spec.output for spec in self.aggregates)
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        child_virtual = set(self.child.virtual_attrs)
+        keys = tuple(a for a in self.group_by if a in child_virtual)
+        return keys + (virtual_attr(self.name),)
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        child_owners = self.child.attr_owners
+        out = {a: child_owners[a] for a in self.group_by}
+        for spec in self.aggregates:
+            if spec.arg is None:
+                out[spec.output] = self.child.base_names
+            else:
+                out[spec.output] = child_owners[spec.arg]
+        out[virtual_attr(self.name)] = self.child.base_names
+        return out
+
+
+@dataclass(frozen=True)
+class GenSelect(Expr):
+    """Generalized selection σ*_p[preserved...] -- Definition 2.1."""
+
+    child: Expr
+    predicate: Predicate
+    preserved: tuple[Preserved, ...] = ()
+
+    def __post_init__(self) -> None:
+        _check_predicate_scope(self.child, self.predicate)
+        in_scope = set(self.child.all_attrs)
+        for pres in self.preserved:
+            missing = (pres.real | pres.virtual) - in_scope
+            if missing:
+                raise ExprError(
+                    f"preserved {pres.name!r} references {sorted(missing)} "
+                    "not in child"
+                )
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.child.real_attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.child.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        return self.child.attr_owners
+
+
+@dataclass(frozen=True)
+class UnionAll(Expr):
+    """Bag union of union-compatible inputs (Section 1.2's ∪).
+
+    Operands must expose the same real attribute set; the output keeps
+    the left operand's column order.  Virtual attributes are the union
+    of both sides' (rows are padded with NULL ids for the other side's
+    provenance, as in the outer union ⊎).
+    """
+
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if set(self.left.real_attrs) != set(self.right.real_attrs):
+            raise ExprError(
+                "union operands must expose the same columns: "
+                f"{sorted(self.left.real_attrs)} vs {sorted(self.right.real_attrs)}"
+            )
+        if self.left.base_names & self.right.base_names:
+            raise ExprError("union operands share base relations")
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.left, self.right)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.left.real_attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        seen = set(self.left.virtual_attrs)
+        extra = tuple(
+            a for a in self.right.virtual_attrs if a not in seen
+        )
+        return self.left.virtual_attrs + extra
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        left = self.left.attr_owners
+        right = self.right.attr_owners
+        out: dict[str, frozenset[str]] = {}
+        for attr in self.real_attrs:
+            out[attr] = left[attr] | right[attr]
+        for attr in self.left.virtual_attrs:
+            out[attr] = left[attr]
+        for attr in self.right.virtual_attrs:
+            out.setdefault(attr, right[attr])
+        return out
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """Rename real attributes: ``mapping`` is ((old, new), ...).
+
+    Used by the SQL front-end for table aliases and view expansion;
+    the algebraic machinery itself always works over globally unique
+    attribute names.
+    """
+
+    child: Expr
+    mapping: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        child_real = set(self.child.real_attrs)
+        olds = [old for old, _ in self.mapping]
+        news = [new for _, new in self.mapping]
+        if len(set(olds)) != len(olds) or len(set(news)) != len(news):
+            raise ExprError("rename mapping must be one-to-one")
+        missing = set(olds) - child_real
+        if missing:
+            raise ExprError(f"rename of unknown attributes {sorted(missing)}")
+        clashes = (set(news) & child_real) - set(olds)
+        if clashes:
+            raise ExprError(f"rename targets collide with {sorted(clashes)}")
+
+    def children(self) -> tuple["Expr", ...]:
+        return (self.child,)
+
+    @cached_property
+    def _map(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return tuple(self._map.get(a, a) for a in self.child.real_attrs)
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.child.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        owners = self.child.attr_owners
+        out = {self._map.get(a, a): owners[a] for a in self.child.real_attrs}
+        for a in self.child.virtual_attrs:
+            out[a] = owners[a]
+        return out
+
+
+@dataclass(frozen=True)
+class AdjustPadding(Expr):
+    """Nullify aggregate outputs of padded groups after a GP push-up.
+
+    When a generalized projection is pulled above an outer join, the
+    null-supplied pad rows form provenance-free groups whose COUNT is
+    0 where the original (lazy) aggregation produced NULL padding --
+    the classical COUNT bug.  This node drops the helper ``witness``
+    column (a COUNT over a never-null spine row id) and sets every
+    ``targets`` attribute to NULL on rows where the witness is 0.
+    """
+
+    child: Expr
+    witness: str
+    targets: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        child_real = set(self.child.real_attrs)
+        if self.witness not in child_real:
+            raise ExprError(f"witness {self.witness!r} not in child")
+        missing = set(self.targets) - child_real
+        if missing:
+            raise ExprError(f"targets {sorted(missing)} not in child")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return tuple(a for a in self.child.real_attrs if a != self.witness)
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.child.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        owners = self.child.attr_owners
+        return {a: owners[a] for a in self.all_attrs}
+
+
+# ---- convenience constructors ----
+
+
+def inner(left: Expr, right: Expr, predicate: Predicate = TRUE) -> Join:
+    return Join(JoinKind.INNER, left, right, predicate)
+
+
+def left_outer(left: Expr, right: Expr, predicate: Predicate) -> Join:
+    return Join(JoinKind.LEFT, left, right, predicate)
+
+
+def right_outer(left: Expr, right: Expr, predicate: Predicate) -> Join:
+    return Join(JoinKind.RIGHT, left, right, predicate)
+
+
+def full_outer(left: Expr, right: Expr, predicate: Predicate) -> Join:
+    return Join(JoinKind.FULL, left, right, predicate)
+
+
+def preserved_for(expr: Expr, names: Iterable[str], label: str | None = None) -> Preserved:
+    """Resolve the preserved sub-relation of ``expr`` owned by ``names``.
+
+    Collects every output attribute of ``expr`` whose owner set is a
+    non-empty subset of ``names`` -- e.g. ``preserved_for(e, {"r1",
+    "r2"})`` is the paper's ``r1r2`` argument in ``σ*_p[r1r2](e)``.
+    Above a GroupBy this picks up group keys *and* aggregate outputs
+    derived from those relations.
+    """
+    names = frozenset(names)
+    unknown = names - expr.base_names
+    if unknown:
+        raise ExprError(f"preserved names {sorted(unknown)} not in expression")
+    real = frozenset(
+        a
+        for a in expr.real_attrs
+        if expr.attr_owners[a] and expr.attr_owners[a] <= names
+    )
+    virtual = frozenset(
+        a
+        for a in expr.virtual_attrs
+        if expr.attr_owners[a] and expr.attr_owners[a] <= names
+    )
+    if not real and not virtual:
+        raise ExprError(
+            f"no attributes of {sorted(names)} survive in the expression"
+        )
+    return Preserved(label or "".join(sorted(names)), real, virtual)

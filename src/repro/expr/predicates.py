@@ -1,0 +1,311 @@
+"""Predicates: comparison atoms and conjunctions.
+
+The paper assumes every predicate specified with a binary operation is
+a conjunction ``p = p1 ∧ p2 ∧ ... ∧ pn`` of null-intolerant atoms
+(footnotes 1 and 2).  An atom compares two terms -- attribute columns
+or constants -- under one of ``{=, ≠, ≥, ≤, <, >}``.
+
+``sch(p)`` (the set of attributes a predicate references) drives the
+simple/complex classification: a predicate is *simple* when it
+references exactly two relations, *complex* when more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.relalg.nulls import Truth, compare
+from repro.relalg.row import Row
+
+
+class Term:
+    """A predicate term: a column reference or a constant."""
+
+    __slots__ = ()
+
+    def value(self, row: Row) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def attrs(self) -> frozenset[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Col(Term):
+    """Reference to an attribute by (globally unique) name."""
+
+    name: str
+
+    def value(self, row: Row) -> Any:
+        return row[self.name]
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A literal constant."""
+
+    literal: Any
+
+    def value(self, row: Row) -> Any:
+        return self.literal
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(self.literal)
+
+
+_ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+@dataclass(frozen=True)
+class Arith(Term):
+    """Arithmetic term ``left op right`` with NULL propagation.
+
+    Needed for predicates like the motivating Example 1.1's
+    ``QTY < 2 * 95AGGQTY``.
+    """
+
+    left: Term
+    op: str
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def value(self, row: Row) -> Any:
+        from repro.relalg.nulls import NULL, is_null
+
+        a = self.left.value(row)
+        b = self.right.value(row)
+        if is_null(a) or is_null(b):
+            return NULL
+        return _ARITH_OPS[self.op](a, b)
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return self.left.attrs | self.right.attrs
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Predicate:
+    """Base class for predicates (three-valued evaluation)."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Row) -> Truth:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def attrs(self) -> frozenset[str]:  # pragma: no cover - interface
+        """``sch(p)``: the attributes the predicate references."""
+        raise NotImplementedError
+
+    def atoms(self) -> tuple["Predicate", ...]:
+        """The conjuncts of this predicate (itself, if atomic)."""
+        return (self,)
+
+    @property
+    def null_intolerant(self) -> bool:
+        """True when a NULL in any referenced attribute rejects the row.
+
+        The paper's reordering theory assumes every join predicate is
+        null in-tolerant (footnote 2); null-*tolerant* atoms such as
+        ``IS NULL`` may only appear in selections above the join
+        skeleton, which the SQL translator enforces.
+        """
+        return True
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """Atom ``left op right`` with ``op ∈ {=, <>, <, <=, >, >=}``."""
+
+    left: Term
+    op: str
+    right: Term
+
+    def evaluate(self, row: Row) -> Truth:
+        return compare(self.left.value(row), self.op, self.right.value(row))
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return self.left.attrs | self.right.attrs
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``term IS [NOT] NULL`` -- the null-*tolerant* atom.
+
+    Always evaluates to TRUE or FALSE (never UNKNOWN); because NULLs
+    can satisfy it, it may not ride on a join predicate (it would
+    break the reordering identities) -- only on selections.
+    """
+
+    term: Term
+    negated: bool = False
+
+    def evaluate(self, row: Row) -> Truth:
+        from repro.relalg.nulls import is_null
+
+        null = is_null(self.term.value(row))
+        return Truth.of(null != self.negated)
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return self.term.attrs
+
+    @property
+    def null_intolerant(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{self.term} is {'not ' if self.negated else ''}null"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``term IN (v1, ..., vn)`` over constants; null-intolerant."""
+
+    term: Term
+    values: tuple[Any, ...]
+
+    def evaluate(self, row: Row) -> Truth:
+        from repro.relalg.nulls import is_null
+
+        value = self.term.value(row)
+        if is_null(value):
+            return Truth.UNKNOWN
+        return Truth.of(any(value == v for v in self.values))
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return self.term.attrs
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.term} in ({inner})"
+
+
+@dataclass(frozen=True)
+class _TruePredicate(Predicate):
+    """The empty conjunction; always TRUE (a cartesian product)."""
+
+    def evaluate(self, row: Row) -> Truth:
+        return Truth.TRUE
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset()
+
+    def atoms(self) -> tuple[Predicate, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+TRUE = _TruePredicate()
+
+
+@dataclass(frozen=True)
+class Conjunction(Predicate):
+    """``p1 ∧ p2 ∧ ... ∧ pn`` with n >= 2, flattened."""
+
+    conjuncts: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.conjuncts) < 2:
+            raise ValueError("Conjunction needs at least two conjuncts")
+        if any(isinstance(c, (Conjunction, _TruePredicate)) for c in self.conjuncts):
+            raise ValueError("Conjunction must be flat; use make_conjunction()")
+
+    def evaluate(self, row: Row) -> Truth:
+        truth = Truth.TRUE
+        for conjunct in self.conjuncts:
+            truth = truth.and_(conjunct.evaluate(row))
+            if truth is Truth.FALSE:
+                return Truth.FALSE
+        return truth
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for conjunct in self.conjuncts:
+            out |= conjunct.attrs
+        return out
+
+    def atoms(self) -> tuple[Predicate, ...]:
+        return self.conjuncts
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(c) for c in self.conjuncts)
+
+
+def conjuncts_of(predicate: Predicate) -> tuple[Predicate, ...]:
+    """The atomic conjuncts of ``predicate`` (empty for TRUE)."""
+    return predicate.atoms()
+
+
+def make_conjunction(atoms: Iterable[Predicate]) -> Predicate:
+    """Build the conjunction of ``atoms``, flattening and simplifying."""
+    flat: list[Predicate] = []
+    for atom in atoms:
+        flat.extend(atom.atoms())
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Conjunction(tuple(flat))
+
+
+def substitute(predicate: Predicate, mapping: dict[str, str]) -> Predicate:
+    """Rewrite column references according to ``mapping`` (old -> new)."""
+
+    def term(t: Term) -> Term:
+        if isinstance(t, Col):
+            return Col(mapping.get(t.name, t.name))
+        if isinstance(t, Arith):
+            return Arith(term(t.left), t.op, term(t.right))
+        return t
+
+    def atom(p: Predicate) -> Predicate:
+        if isinstance(p, Comparison):
+            return Comparison(term(p.left), p.op, term(p.right))
+        return p
+
+    return make_conjunction([atom(a) for a in predicate.atoms()]) if predicate.atoms() else predicate
+
+
+def eq(left: str, right: str) -> Comparison:
+    """Shorthand for the ubiquitous column-equality atom."""
+    return Comparison(Col(left), "=", Col(right))
+
+
+def cmp_attr(left: str, op: str, right: str) -> Comparison:
+    return Comparison(Col(left), op, Col(right))
+
+
+def cmp_const(attr: str, op: str, value: Any) -> Comparison:
+    return Comparison(Col(attr), op, Const(value))

@@ -1,0 +1,100 @@
+"""Structural tree utilities: paths, replacement, reconstruction.
+
+Expression nodes are immutable; rewrites produce new trees.  A *path*
+is a tuple of child indices from the root; it addresses a node even
+when structurally equal subtrees occur in several places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, Iterator
+
+from repro.expr.nodes import (
+    AdjustPadding,
+    Rename,
+    SemiJoin,
+    UnionAll,
+    BaseRel,
+    Expr,
+    ExprError,
+    GenSelect,
+    GroupBy,
+    Join,
+    Project,
+    Select,
+)
+
+Path = tuple[int, ...]
+
+
+def node_at(root: Expr, path: Path) -> Expr:
+    """The node addressed by ``path``."""
+    node = root
+    for index in path:
+        children = node.children()
+        if index >= len(children):
+            raise ExprError(f"invalid path {path} at {node!r}")
+        node = children[index]
+    return node
+
+
+def with_children(node: Expr, children: tuple[Expr, ...]) -> Expr:
+    """Rebuild ``node`` with new children (same arity)."""
+    old = node.children()
+    if len(old) != len(children):
+        raise ExprError("child count mismatch")
+    if isinstance(node, (Join, SemiJoin, UnionAll)):
+        return dc_replace(node, left=children[0], right=children[1])
+    if isinstance(node, (Select, Project, GroupBy, GenSelect, AdjustPadding, Rename)):
+        return dc_replace(node, child=children[0])
+    if isinstance(node, BaseRel):
+        return node
+    raise ExprError(f"cannot rebuild {type(node).__name__}")
+
+
+def replace_at(root: Expr, path: Path, new_node: Expr) -> Expr:
+    """A copy of ``root`` with the node at ``path`` replaced."""
+    if not path:
+        return new_node
+    children = list(root.children())
+    index = path[0]
+    children[index] = replace_at(children[index], path[1:], new_node)
+    return with_children(root, tuple(children))
+
+
+def iter_nodes(root: Expr) -> Iterator[tuple[Path, Expr]]:
+    """Pre-order traversal yielding (path, node)."""
+
+    def walk(node: Expr, path: Path) -> Iterator[tuple[Path, Expr]]:
+        yield path, node
+        for i, child in enumerate(node.children()):
+            yield from walk(child, path + (i,))
+
+    return walk(root, ())
+
+
+def find_nodes(
+    root: Expr, want: Callable[[Expr], bool]
+) -> list[tuple[Path, Expr]]:
+    return [(p, n) for p, n in iter_nodes(root) if want(n)]
+
+
+def ancestors_of(root: Expr, path: Path) -> list[tuple[Path, Expr]]:
+    """Ancestors of the node at ``path``, outermost first (root first)."""
+    out = []
+    node = root
+    for depth in range(len(path)):
+        out.append((path[:depth], node))
+        node = node.children()[path[depth]]
+    return out
+
+
+def transform_leaves(
+    root: Expr, fn: Callable[[BaseRel], Expr]
+) -> Expr:
+    """Replace every BaseRel leaf via ``fn``."""
+    if isinstance(root, BaseRel):
+        return fn(root)
+    children = tuple(transform_leaves(c, fn) for c in root.children())
+    return with_children(root, children)

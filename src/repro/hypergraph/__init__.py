@@ -1,0 +1,23 @@
+"""Query hypergraphs (Definition 3.1) and conflict machinery (Definition 3.3)."""
+
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, HypergraphError
+from repro.hypergraph.build import hypergraph_of
+from repro.hypergraph.conflicts import (
+    ccoj,
+    conf,
+    pres,
+    pres_away,
+    pres_sides,
+)
+
+__all__ = [
+    "Hyperedge",
+    "Hypergraph",
+    "HypergraphError",
+    "hypergraph_of",
+    "ccoj",
+    "conf",
+    "pres",
+    "pres_away",
+    "pres_sides",
+]

@@ -1,0 +1,63 @@
+"""Build the query hypergraph from an expression tree.
+
+Each binary join node contributes one hyperedge: the hypernodes are
+the base relations its predicate references on each operand side
+(Example 3.2 -- predicate ``p2,4 ∧ p2,5`` yields ``⟨{r2},{r4,r5}⟩``).
+Right outer joins are normalized to directed (left) orientation.
+Cartesian products (predicate TRUE) connect the full operand relation
+sets so connectivity is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import Expr, GenSelect, GroupBy, Join, JoinKind, Project, Select, SemiJoin
+from repro.expr.predicates import TRUE
+from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, HypergraphError
+
+
+def hypergraph_of(expr: Expr, edge_prefix: str = "h") -> Hypergraph:
+    """The hypergraph of the join structure of ``expr``.
+
+    Unary nodes (Select / Project / GroupBy / GenSelect) are
+    transparent: the hypergraph describes only the binary join
+    skeleton, which is what the reordering machinery works over.
+    """
+    edges: list[Hyperedge] = []
+    counter = [0]
+
+    def visit(node: Expr) -> frozenset[str]:
+        if isinstance(node, (Select, Project, GroupBy, GenSelect)):
+            return visit(node.children()[0])
+        if isinstance(node, SemiJoin):
+            # the right side only filters; it is invisible to reordering
+            return visit(node.left)
+        if isinstance(node, Join):
+            left = visit(node.left)
+            right = visit(node.right)
+            counter[0] += 1
+            eid = f"{edge_prefix}{counter[0]}"
+            if node.predicate is TRUE:
+                hn_left, hn_right = left, right
+            else:
+                refs = node.predicate_relations(node.predicate)
+                hn_left = refs & left
+                hn_right = refs & right
+                if not hn_left or not hn_right:
+                    raise HypergraphError(
+                        f"join predicate {node.predicate} does not reference "
+                        "both operand sides"
+                    )
+            kind = node.kind
+            if kind is JoinKind.RIGHT:
+                kind = JoinKind.LEFT
+                hn_left, hn_right = hn_right, hn_left
+            edges.append(Hyperedge(eid, hn_left, hn_right, kind, node.predicate))
+            return left | right
+        # a leaf (BaseRel) or any node without children to recurse into
+        children = node.children()
+        if not children:
+            return node.base_names
+        return visit(children[0])
+
+    nodes = visit(expr)
+    return Hypergraph(nodes, edges)

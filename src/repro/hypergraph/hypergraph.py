@@ -1,0 +1,244 @@
+"""Query hypergraphs per Definition 3.1.
+
+A hypergraph is a pair ``(V, E)`` where nodes are relation names and a
+hyperedge ``⟨V1, V2⟩`` connects two hypernodes (non-empty node sets).
+A hyperedge is *directed* when it represents an outer join (drawn from
+the preserved hypernode toward the null-supplied one), *bi-directed*
+for a full outer join, and undirected for an inner join.
+
+Connectivity follows the induced-sub-hypergraph semantics of footnote
+6: a hyperedge may be broken up, so within a node subset ``S`` an edge
+``⟨V1, V2⟩`` links ``V1 ∩ S`` with ``V2 ∩ S`` whenever both are
+non-empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator
+
+from repro.expr.nodes import JoinKind
+from repro.expr.predicates import Predicate, TRUE
+
+
+class HypergraphError(ValueError):
+    """Raised on malformed hypergraphs or invalid edge queries."""
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """A hyperedge ``⟨left, right⟩`` carrying its join kind and predicate.
+
+    For directed edges (outer joins) ``left`` is the preserved
+    hypernode and ``right`` the null-supplied one; right outer joins
+    are normalized to this orientation at construction.
+    """
+
+    eid: str
+    left: frozenset[str]
+    right: frozenset[str]
+    kind: JoinKind
+    predicate: Predicate = TRUE
+
+    def __post_init__(self) -> None:
+        if not self.left or not self.right:
+            raise HypergraphError(f"hyperedge {self.eid!r} has an empty hypernode")
+        if self.left & self.right:
+            raise HypergraphError(f"hyperedge {self.eid!r} hypernodes overlap")
+        if self.kind is JoinKind.RIGHT:
+            raise HypergraphError(
+                "normalize right outer joins to LEFT (swap hypernodes)"
+            )
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return self.left | self.right
+
+    @property
+    def directed(self) -> bool:
+        return self.kind is JoinKind.LEFT
+
+    @property
+    def bidirected(self) -> bool:
+        return self.kind is JoinKind.FULL
+
+    @property
+    def undirected(self) -> bool:
+        return self.kind is JoinKind.INNER
+
+    @property
+    def simple(self) -> bool:
+        """An edge between exactly two relations (Section 1.2)."""
+        return len(self.left) == 1 and len(self.right) == 1
+
+    @property
+    def complex(self) -> bool:
+        return len(self.nodes) > 2
+
+    def __str__(self) -> str:
+        arrow = {
+            JoinKind.INNER: "--",
+            JoinKind.LEFT: "->",
+            JoinKind.FULL: "<->",
+        }[self.kind]
+        fmt = lambda side: "{" + ",".join(sorted(side)) + "}"  # noqa: E731
+        return f"{self.eid}: {fmt(self.left)} {arrow} {fmt(self.right)}"
+
+
+class Hypergraph:
+    """An immutable hypergraph ``H = (V, E)``."""
+
+    def __init__(self, nodes: Iterable[str], edges: Iterable[Hyperedge]) -> None:
+        self._nodes = frozenset(nodes)
+        self._edges = tuple(edges)
+        seen: set[str] = set()
+        for edge in self._edges:
+            if edge.eid in seen:
+                raise HypergraphError(f"duplicate hyperedge id {edge.eid!r}")
+            seen.add(edge.eid)
+            stray = edge.nodes - self._nodes
+            if stray:
+                raise HypergraphError(
+                    f"hyperedge {edge.eid!r} references unknown nodes {sorted(stray)}"
+                )
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return self._nodes
+
+    @property
+    def edges(self) -> tuple[Hyperedge, ...]:
+        return self._edges
+
+    def edge(self, eid: str) -> Hyperedge:
+        for edge in self._edges:
+            if edge.eid == eid:
+                return edge
+        raise HypergraphError(f"no hyperedge {eid!r}")
+
+    def __iter__(self) -> Iterator[Hyperedge]:
+        return iter(self._edges)
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(nodes={sorted(self._nodes)}, edges={len(self._edges)})"
+
+    def to_text(self) -> str:
+        lines = ["nodes: " + ", ".join(sorted(self._nodes))]
+        lines += [str(e) for e in self._edges]
+        return "\n".join(lines)
+
+    @cached_property
+    def directed_edges(self) -> tuple[Hyperedge, ...]:
+        return tuple(e for e in self._edges if e.directed)
+
+    @cached_property
+    def bidirected_edges(self) -> tuple[Hyperedge, ...]:
+        return tuple(e for e in self._edges if e.bidirected)
+
+    # ---- connectivity ----
+
+    def components(
+        self,
+        within: frozenset[str] | None = None,
+        removed: frozenset[str] = frozenset(),
+    ) -> list[frozenset[str]]:
+        """Connected components of the (induced) hypergraph.
+
+        ``within`` restricts to a node subset (induced semantics of
+        footnote 6: broken-up sub-edges connect the intersections);
+        ``removed`` names hyperedge ids to ignore.
+        """
+        universe = self._nodes if within is None else frozenset(within)
+        parent = {n: n for n in universe}
+
+        def find(n: str) -> str:
+            while parent[n] != n:
+                parent[n] = parent[parent[n]]
+                n = parent[n]
+            return n
+
+        def link(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for edge in self._edges:
+            if edge.eid in removed:
+                continue
+            left = edge.left & universe
+            right = edge.right & universe
+            if not left or not right:
+                continue
+            anchor = next(iter(left))
+            for n in left | right:
+                link(anchor, n)
+        groups: dict[str, set[str]] = {}
+        for n in universe:
+            groups.setdefault(find(n), set()).add(n)
+        return [frozenset(g) for g in groups.values()]
+
+    def is_connected(
+        self,
+        within: frozenset[str] | None = None,
+        removed: frozenset[str] = frozenset(),
+    ) -> bool:
+        comps = self.components(within=within, removed=removed)
+        return len(comps) <= 1
+
+    def component_of(
+        self,
+        seed: Iterable[str],
+        removed: frozenset[str] = frozenset(),
+    ) -> frozenset[str]:
+        """The connected component containing the ``seed`` nodes.
+
+        Raises if the seed nodes do not all fall in one component.
+        """
+        seed = frozenset(seed)
+        comps = self.components(removed=removed)
+        holding = [c for c in comps if c & seed]
+        if len(holding) != 1:
+            raise HypergraphError(
+                f"seed nodes {sorted(seed)} span {len(holding)} components"
+            )
+        return holding[0]
+
+    def induced(self, subset: Iterable[str]) -> "Hypergraph":
+        """The induced sub-hypergraph on ``subset`` (footnote 6).
+
+        Each edge is restricted to the subset; edges losing a whole
+        hypernode disappear.
+        """
+        subset = frozenset(subset)
+        edges = []
+        for edge in self._edges:
+            left = edge.left & subset
+            right = edge.right & subset
+            if left and right:
+                edges.append(
+                    Hyperedge(edge.eid, left, right, edge.kind, edge.predicate)
+                )
+        return Hypergraph(subset, edges)
+
+    def crossing_edges(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> tuple[tuple[Hyperedge, frozenset[str], frozenset[str]], ...]:
+        """Edges connecting ``left`` with ``right`` (Definition 3.2 item 3).
+
+        Returns ``(edge, left_part, right_part)`` triples where the
+        parts are the hypernode intersections with each side, oriented
+        so ``left_part`` is on ``left``.  An edge whose parts equal its
+        hypernodes is used whole; smaller parts mean the edge is
+        *broken up* (a hypernode may straddle both sides -- the paper's
+        Q4 tree ``(r1.((r2.r4).(r5.r3)))`` uses sub-edge ``⟨{r2},{r5}⟩``
+        of ``h2 = ⟨{r2},{r4,r5}⟩`` with r4 on the r2 side).  Both
+        orientations are reported when both cross.
+        """
+        out = []
+        for edge in self._edges:
+            for a, b in ((edge.left, edge.right), (edge.right, edge.left)):
+                la, rb = a & left, b & right
+                if la and rb:
+                    out.append((edge, la, rb))
+        return tuple(out)

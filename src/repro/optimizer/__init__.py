@@ -1,0 +1,24 @@
+"""Cost-based optimization over the reordering plan space (Section 4)."""
+
+from repro.optimizer.stats import Statistics, TableStats
+from repro.optimizer.cardinality import estimate
+from repro.optimizer.cost import estimated_cost, measured_cost
+from repro.optimizer.planner import OptimizationResult, optimize
+from repro.optimizer.baselines import (
+    as_written,
+    optimize_no_gs,
+    tis_cost,
+)
+
+__all__ = [
+    "Statistics",
+    "TableStats",
+    "estimate",
+    "estimated_cost",
+    "measured_cost",
+    "OptimizationResult",
+    "optimize",
+    "as_written",
+    "optimize_no_gs",
+    "tis_cost",
+]

@@ -1,0 +1,75 @@
+"""Baselines the paper's contribution is measured against.
+
+* ``as_written`` -- no reordering at all: execute the query in the
+  shape the analyst wrote (what a system without outer-join/aggregate
+  reordering must do for these queries);
+* ``optimize_no_gs`` -- classical reordering only (commutativity and
+  the valid associativities), with *no* generalized selection: complex
+  predicates and aggregation-referencing predicates freeze the order,
+  which is the pre-paper state of the art the introduction describes;
+* ``tis_cost`` -- tuple-iteration-semantics cost of a nested
+  join-aggregate query (the execution strategy GANS87/MURA92 unnest
+  away from): number of predicate evaluations of the nested loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import pull_up_aggregations
+from repro.core.simplify import simplify_outer_joins
+from repro.core.transform import enumerate_plans
+from repro.core.unnest import NestedCountQuery
+from repro.expr.evaluate import Database
+from repro.expr.nodes import AdjustPadding, Expr, GenSelect, GroupBy
+from repro.optimizer.cost import estimated_cost
+from repro.optimizer.planner import OptimizationResult
+from repro.optimizer.stats import Statistics
+
+
+def as_written(query: Expr, stats: Statistics) -> float:
+    """Cost of executing the query exactly as written."""
+    return estimated_cost(query, stats)
+
+
+def optimize_no_gs(
+    query: Expr, stats: Statistics, max_plans: int = 5000
+) -> OptimizationResult:
+    """Best plan reachable without generalized selection.
+
+    Aggregations stay where they are (pulling them up requires the GS
+    deferral for predicates on aggregated columns); the join core is
+    reordered with the classical rules only.
+    """
+    normalized = simplify_outer_joins(query)
+    plans = enumerate_plans(normalized, max_plans=max_plans, with_gs=False)
+    scored = sorted(
+        ((estimated_cost(plan, stats), i, plan) for i, plan in enumerate(plans)),
+        key=lambda t: (t[0], t[1]),
+    )
+    best_cost, _, best = scored[0]
+    return OptimizationResult(
+        best=best,
+        best_cost=best_cost,
+        original_cost=estimated_cost(query, stats),
+        plans_considered=len(plans),
+        ranked=[(c, p) for c, _, p in scored[:10]],
+    )
+
+
+def tis_cost(query: NestedCountQuery, db: Database) -> int:
+    """Predicate evaluations performed by tuple iteration semantics."""
+
+    def cost_level(level: NestedCountQuery, depth_rows: int) -> int:
+        relation = db[level.relation.name]
+        evaluations = depth_rows * len(relation)
+        if level.subquery is not None:
+            # every (context, row) pair descends into the subquery; we
+            # charge the full fan-out (the nested loop does not know
+            # which correlations will match before evaluating them)
+            evaluations += cost_level(level.subquery, depth_rows * len(relation))
+        return evaluations
+
+    top = db[query.relation.name]
+    assert query.subquery is not None
+    return len(top) + cost_level(query.subquery, len(top))

@@ -1,0 +1,175 @@
+"""System-R style dynamic programming over connected sub-hypergraphs.
+
+Section 4 proposes embedding the reordering in "the dynamic
+programming approach of existing RDBMS optimizers".  This module is
+that enumerator for inner-join cores: bottom-up over connected node
+subsets, keeping the cheapest plan per subset.
+
+For Bellman optimality the cost of a subset must not depend on the
+shape of the subplan that produced it, so the DP uses the classical
+*shape-independent* cardinality
+
+    card(S) = Π_{r ∈ S} |r|  ×  Π_{atoms inside S} sel(atom)
+
+and C_out(plan) = Σ card(S) over the plan's internal subsets
+(:func:`dp_cost` applies the same measure to any plan, which is how
+the tests verify the DP optimum equals the full closure's optimum
+exactly).  Predicate atoms are attached to the unique join where their
+relations first become available; connectivity uses the hypergraph's
+broken-up sub-edges (Definition 3.2 item 3).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.expr.nodes import BaseRel, Expr, Join, JoinKind
+from repro.expr.predicates import Predicate, conjuncts_of, make_conjunction
+from repro.expr.rewrite import iter_nodes
+from repro.hypergraph import hypergraph_of
+from repro.optimizer.cardinality import Estimate, estimate, selectivity
+from repro.optimizer.stats import Statistics
+
+
+class DpError(ValueError):
+    """Raised when the query shape is outside the DP's scope."""
+
+
+class _Workspace:
+    """Shared state of one DP run: leaves, atoms, selectivities."""
+
+    def __init__(self, query: Expr, stats: Statistics) -> None:
+        self.leaves: dict[str, BaseRel] = {}
+        self.atoms: list[Predicate] = []
+        for _, node in iter_nodes(query):
+            if isinstance(node, Join):
+                if node.kind is not JoinKind.INNER:
+                    raise DpError("dp_join_order handles inner joins only")
+                self.atoms.extend(conjuncts_of(node.predicate))
+            elif isinstance(node, BaseRel):
+                self.leaves[node.name] = node
+            else:
+                raise DpError(
+                    f"unsupported node {type(node).__name__} in the join core"
+                )
+        self.stats = stats
+        self.base_estimates = {
+            name: estimate(rel, stats) for name, rel in self.leaves.items()
+        }
+        self.owner = {
+            attr: name
+            for name, rel in self.leaves.items()
+            for attr in rel.all_attrs
+        }
+        merged_distinct: dict[str, float] = {}
+        merged_freq: dict = {}
+        for est in self.base_estimates.values():
+            merged_distinct.update(est.distinct)
+            merged_freq.update(est.freq)
+        self._global = Estimate(0.0, merged_distinct, merged_freq)
+        self.atom_selectivity = {
+            atom: selectivity(atom, self._global) for atom in self.atoms
+        }
+
+    def attrs_of(self, subset: frozenset[str]) -> set[str]:
+        out: set[str] = set()
+        for name in subset:
+            out.update(self.leaves[name].all_attrs)
+        return out
+
+    def cardinality(self, subset: frozenset[str]) -> float:
+        """Shape-independent estimated cardinality of joining ``subset``."""
+        rows = 1.0
+        for name in subset:
+            rows *= self.base_estimates[name].rows
+        attrs = self.attrs_of(subset)
+        for atom in self.atoms:
+            if atom.attrs <= attrs:
+                rows *= self.atom_selectivity[atom]
+        return rows
+
+    def subset_of(self, expr: Expr) -> frozenset[str]:
+        return expr.base_names
+
+
+def dp_join_order(query: Expr, stats: Statistics) -> Expr:
+    """The cheapest bushy join order for an inner-join query.
+
+    ``query`` must be a tree of inner joins over base relations (outer
+    joins go through the transformation pipeline instead); returns an
+    equivalent tree minimizing the shape-independent C_out.
+    """
+    ws = _Workspace(query, stats)
+    if len(ws.leaves) < 2:
+        return query
+
+    graph = hypergraph_of(query)
+    names = sorted(ws.leaves)
+
+    best: dict[frozenset[str], tuple[float, Expr]] = {
+        frozenset((name,)): (0.0, ws.leaves[name]) for name in names
+    }
+
+    for size in range(2, len(names) + 1):
+        for combo in combinations(names, size):
+            subset = frozenset(combo)
+            if not graph.is_connected(within=subset):
+                continue
+            subset_attrs = ws.attrs_of(subset)
+            output = ws.cardinality(subset)
+            candidate: tuple[float, Expr] | None = None
+            for left, right in _splits(subset):
+                if left not in best or right not in best:
+                    continue
+                left_attrs = ws.attrs_of(left)
+                right_attrs = ws.attrs_of(right)
+                applicable = [
+                    atom
+                    for atom in ws.atoms
+                    if atom.attrs <= subset_attrs
+                    and atom.attrs & left_attrs
+                    and atom.attrs & right_attrs
+                ]
+                if not applicable:
+                    continue
+                cost = best[left][0] + best[right][0] + output
+                if candidate is None or cost < candidate[0]:
+                    plan = Join(
+                        JoinKind.INNER,
+                        best[left][1],
+                        best[right][1],
+                        make_conjunction(applicable),
+                    )
+                    candidate = (cost, plan)
+            if candidate is not None:
+                best[subset] = candidate
+
+    full = frozenset(names)
+    if full not in best:
+        raise DpError("query hypergraph is disconnected")
+    return best[full][1]
+
+
+def dp_cost(plan: Expr, stats: Statistics) -> float:
+    """The DP's own C_out measure applied to an arbitrary inner plan.
+
+    Sum of shape-independent subset cardinalities over the plan's
+    internal nodes; lets the tests compare the DP optimum with every
+    plan of the transformation closure under one consistent measure.
+    """
+    ws = _Workspace(plan, stats)
+    total = 0.0
+    for _, node in iter_nodes(plan):
+        if isinstance(node, Join):
+            total += ws.cardinality(node.base_names)
+    return total
+
+
+def _splits(subset: frozenset[str]):
+    items = sorted(subset)
+    anchor = items[0]
+    rest = items[1:]
+    for size in range(0, len(rest)):
+        for combo in combinations(rest, size):
+            left = frozenset((anchor,) + combo)
+            yield left, subset - left

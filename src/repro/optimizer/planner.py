@@ -1,0 +1,57 @@
+"""The optimizer: enumerate the reordering space, pick the cheapest.
+
+The paper's Section 4 embeds the enumeration in a System-R style
+dynamic program; our enumerator materializes the transformation
+closure (memoized, so each distinct plan is generated once) and costs
+each plan -- equivalent output, simpler to audit, and small enough at
+paper-sized queries (hundreds to a few thousand plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import reorder_pipeline
+from repro.expr.nodes import Expr
+from repro.optimizer.cost import estimated_cost
+from repro.optimizer.stats import Statistics
+
+
+@dataclass
+class OptimizationResult:
+    """The chosen plan plus bookkeeping for reports."""
+
+    best: Expr
+    best_cost: float
+    original_cost: float
+    plans_considered: int
+    ranked: list[tuple[float, Expr]]
+
+    @property
+    def improvement(self) -> float:
+        """original/best cost ratio (>= 1 when optimization helps)."""
+        if self.best_cost == 0:
+            return 1.0 if self.original_cost == 0 else float("inf")
+        return self.original_cost / self.best_cost
+
+
+def optimize(
+    query: Expr,
+    stats: Statistics,
+    max_plans: int = 5000,
+    keep_ranked: int = 10,
+) -> OptimizationResult:
+    """Optimize ``query``: normalize, enumerate, cost, pick the minimum."""
+    plans = reorder_pipeline(query, max_plans=max_plans)
+    scored = sorted(
+        ((estimated_cost(plan, stats), i, plan) for i, plan in enumerate(plans)),
+        key=lambda t: (t[0], t[1]),
+    )
+    best_cost, _, best = scored[0]
+    return OptimizationResult(
+        best=best,
+        best_cost=best_cost,
+        original_cost=estimated_cost(query, stats),
+        plans_considered=len(plans),
+        ranked=[(c, p) for c, _, p in scored[:keep_ranked]],
+    )

@@ -1,0 +1,65 @@
+"""Catalog statistics for cardinality estimation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expr.evaluate import Database
+from repro.relalg.nulls import is_null
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count, distinct counts, and optional value frequencies.
+
+    ``frequencies`` maps attribute -> {value: occurrence count}; when
+    present, constant-comparison selectivities are computed from the
+    actual distribution instead of the uniform 1/distinct guess.
+    """
+
+    row_count: int
+    distinct: dict[str, int] = field(default_factory=dict)
+    frequencies: dict[str, dict] = field(default_factory=dict)
+
+    def distinct_of(self, attr: str) -> int:
+        """Distinct count of ``attr`` (default: a tenth of the rows)."""
+        if attr in self.distinct:
+            return max(1, self.distinct[attr])
+        return max(1, self.row_count // 10)
+
+
+class Statistics:
+    """Per-table statistics, keyed by base relation name."""
+
+    def __init__(self, tables: dict[str, TableStats] | None = None) -> None:
+        self._tables = dict(tables or {})
+
+    def add(self, name: str, stats: TableStats) -> None:
+        self._tables[name] = stats
+
+    def table(self, name: str) -> TableStats:
+        if name not in self._tables:
+            return TableStats(row_count=1000)
+        return self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @staticmethod
+    def from_database(db: Database) -> "Statistics":
+        """Exact statistics (distincts and frequencies) by scanning."""
+        from collections import Counter
+
+        stats = Statistics()
+        for name in db.names():
+            relation = db[name]
+            frequencies = {}
+            distinct = {}
+            for attr in relation.real:
+                counter = Counter(
+                    row[attr] for row in relation if not is_null(row[attr])
+                )
+                distinct[attr] = len(counter)
+                frequencies[attr] = dict(counter)
+            stats.add(name, TableStats(len(relation), distinct, frequencies))
+        return stats

@@ -1,0 +1,22 @@
+"""Physical execution: operator iterators, a physical planner, EXPLAIN.
+
+The logical layer describes *what* to compute; this package chooses
+and runs *how*: pull-based operator iterators (scan, filter, hash /
+merge / nested-loop join, hash aggregation, the generalized-selection
+operator), a planner that picks join implementations from the
+predicate shape and statistics, and ``explain_analyze`` reporting
+actual row counts per operator -- the paper's Section 4 note that the
+generalized selection costs like MGOJ/GOJ becomes concrete here: the
+operator is one build + one probe pass, just like a hash outer join.
+"""
+
+from repro.physical.operators import PhysicalOperator
+from repro.physical.planner import compile_plan
+from repro.physical.explain import explain_analyze, run_plan
+
+__all__ = [
+    "PhysicalOperator",
+    "compile_plan",
+    "explain_analyze",
+    "run_plan",
+]

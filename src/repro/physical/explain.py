@@ -1,0 +1,20 @@
+"""Run physical plans and report EXPLAIN ANALYZE trees."""
+
+from __future__ import annotations
+
+from repro.expr.evaluate import Database
+from repro.physical.operators import PhysicalOperator
+from repro.relalg.relation import Relation
+
+
+def run_plan(plan: PhysicalOperator, db: Database) -> Relation:
+    """Execute the plan to completion and return the result relation."""
+    return plan.to_relation(db)
+
+
+def explain_analyze(plan: PhysicalOperator, db: Database) -> str:
+    """Execute and render the operator tree with actual row counts."""
+    result = run_plan(plan, db)
+    lines = plan.tree_lines()
+    lines.append(f"-- result: {len(result)} row(s)")
+    return "\n".join(lines)

@@ -1,0 +1,525 @@
+"""Pull-based physical operators.
+
+Every operator produces an iterator of :class:`repro.relalg.row.Row`
+and records how many rows it emitted (``rows_out``), which is what
+``explain_analyze`` reports.  Operators are built by the planner from
+logical nodes and carry their output schema (real and virtual
+attribute orders) so results can be wrapped back into relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.expr.evaluate import Database
+from repro.expr.nodes import JoinKind
+from repro.expr.predicates import Predicate
+from repro.relalg.aggregates import AggregateSpec
+from repro.relalg.generalized_projection import generalized_projection
+from repro.relalg.generalized_selection import PreservedSpec
+from repro.relalg.nulls import NULL, Truth, is_null
+from repro.relalg.relation import Relation, pad_row
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema
+
+
+class PhysicalOperator:
+    """Base class: schema metadata, children, and row accounting."""
+
+    def __init__(
+        self,
+        label: str,
+        real: Sequence[str],
+        virtual: Sequence[str],
+        children: Sequence["PhysicalOperator"] = (),
+    ) -> None:
+        self.label = label
+        self.real = tuple(real)
+        self.virtual = tuple(virtual)
+        self.children = tuple(children)
+        self.rows_out = 0
+
+    # -- execution --
+
+    def rows(self, db: Database) -> Iterator[Row]:
+        self.rows_out = 0
+        for row in self._produce(db):
+            self.rows_out += 1
+            yield row
+
+    def _produce(self, db: Database) -> Iterator[Row]:  # pragma: no cover
+        raise NotImplementedError
+
+    def to_relation(self, db: Database) -> Relation:
+        return Relation(Schema(self.real), Schema(self.virtual), self.rows(db))
+
+    # -- reporting --
+
+    def tree_lines(self, indent: str = "") -> list[str]:
+        lines = [f"{indent}{self.label}  (rows={self.rows_out})"]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + "  "))
+        return lines
+
+    @property
+    def all_attrs(self) -> tuple[str, ...]:
+        return self.real + self.virtual
+
+
+class Scan(PhysicalOperator):
+    """Full scan of a base relation."""
+
+    def __init__(self, name: str, real: Sequence[str], virtual: Sequence[str]):
+        super().__init__(f"Scan({name})", real, virtual)
+        self.name = name
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        yield from db[self.name].rows
+
+
+class Filter(PhysicalOperator):
+    """Row filter under three-valued logic (TRUE passes)."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Predicate):
+        super().__init__(f"Filter[{predicate}]", child.real, child.virtual, (child,))
+        self.predicate = predicate
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        for row in self.children[0].rows(db):
+            if self.predicate.evaluate(row) is Truth.TRUE:
+                yield row
+
+
+class ProjectOp(PhysicalOperator):
+    """Column projection (bag, or distinct without virtuals)."""
+
+    def __init__(self, child: PhysicalOperator, attrs: Sequence[str], distinct: bool):
+        virtual = () if distinct else child.virtual
+        label = ("Distinct" if distinct else "Project") + f"[{', '.join(attrs)}]"
+        super().__init__(label, attrs, virtual, (child,))
+        self.distinct = distinct
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        keep = self.all_attrs
+        if not self.distinct:
+            for row in self.children[0].rows(db):
+                yield row.project(keep)
+            return
+        seen: set[Row] = set()
+        for row in self.children[0].rows(db):
+            narrowed = row.project(keep)
+            if narrowed not in seen:
+                seen.add(narrowed)
+                yield narrowed
+
+
+class RenameOp(PhysicalOperator):
+    """Attribute renaming."""
+
+    def __init__(self, child: PhysicalOperator, mapping: dict[str, str]):
+        real = tuple(mapping.get(a, a) for a in child.real)
+        super().__init__(
+            "Rename[" + ", ".join(f"{o}->{n}" for o, n in mapping.items()) + "]",
+            real,
+            child.virtual,
+            (child,),
+        )
+        self.mapping = dict(mapping)
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        child = self.children[0]
+        for row in child.rows(db):
+            data = {self.mapping.get(a, a): row[a] for a in child.real}
+            for a in child.virtual:
+                data[a] = row[a]
+            yield Row(data)
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Block nested-loop join; the general fallback for any predicate."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        predicate: Predicate,
+        kind: JoinKind,
+    ):
+        super().__init__(
+            f"NestedLoopJoin[{kind.name.lower()}; {predicate}]",
+            left.real + right.real,
+            left.virtual + right.virtual,
+            (left, right),
+        )
+        self.predicate = predicate
+        self.kind = kind
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        left, right = self.children
+        inner_rows = list(right.rows(db))
+        right_matched = [False] * len(inner_rows)
+        target = self.all_attrs
+        for row in left.rows(db):
+            matched = False
+            for index, other in enumerate(inner_rows):
+                candidate = row.merge(other)
+                if self.predicate.evaluate(candidate) is Truth.TRUE:
+                    matched = True
+                    right_matched[index] = True
+                    yield candidate
+            if not matched and self.kind.preserves_left:
+                yield pad_row(row, target)
+        if self.kind.preserves_right:
+            for index, flag in enumerate(right_matched):
+                if not flag:
+                    yield pad_row(inner_rows[index], target)
+
+
+class HashJoinOp(PhysicalOperator):
+    """Hash join on extracted equality keys, residual filter on probe."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        keys: Sequence[tuple[str, str]],
+        residual: Predicate,
+        kind: JoinKind,
+    ):
+        key_text = ", ".join(f"{a}={b}" for a, b in keys)
+        super().__init__(
+            f"HashJoin[{kind.name.lower()}; {key_text}]",
+            left.real + right.real,
+            left.virtual + right.virtual,
+            (left, right),
+        )
+        self.keys = tuple(keys)
+        self.residual = residual
+        self.kind = kind
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        left, right = self.children
+        left_keys = [k for k, _ in self.keys]
+        right_keys = [k for _, k in self.keys]
+        build = list(right.rows(db))
+        table: dict[tuple[Any, ...], list[int]] = {}
+        for index, row in enumerate(build):
+            key = row.values_tuple(right_keys)
+            if any(is_null(v) for v in key):
+                continue
+            table.setdefault(key, []).append(index)
+        matched = [False] * len(build)
+        target = self.all_attrs
+        for row in left.rows(db):
+            key = row.values_tuple(left_keys)
+            emitted = False
+            if not any(is_null(v) for v in key):
+                for index in table.get(key, ()):
+                    candidate = row.merge(build[index])
+                    if self.residual.evaluate(candidate) is Truth.TRUE:
+                        emitted = True
+                        matched[index] = True
+                        yield candidate
+            if not emitted and self.kind.preserves_left:
+                yield pad_row(row, target)
+        if self.kind.preserves_right:
+            for index, flag in enumerate(matched):
+                if not flag:
+                    yield pad_row(build[index], target)
+
+
+class MergeJoinOp(PhysicalOperator):
+    """Sort-merge join on equality keys (inner and left outer).
+
+    Both inputs are sorted on the key under a consistent total order
+    (equality matching only needs grouping, so any order works as long
+    as both sides use the same one); NULL keys never match and are
+    emitted as unmatched when the kind preserves their side.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        keys: Sequence[tuple[str, str]],
+        residual: Predicate,
+        kind: JoinKind,
+    ):
+        if kind not in (JoinKind.INNER, JoinKind.LEFT):
+            raise ValueError("MergeJoinOp supports inner and left outer joins")
+        key_text = ", ".join(f"{a}={b}" for a, b in keys)
+        super().__init__(
+            f"MergeJoin[{kind.name.lower()}; {key_text}]",
+            left.real + right.real,
+            left.virtual + right.virtual,
+            (left, right),
+        )
+        self.keys = tuple(keys)
+        self.residual = residual
+        self.kind = kind
+
+    @staticmethod
+    def _order_key(values: tuple) -> tuple:
+        return tuple((type(v).__name__, repr(v)) for v in values)
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        left, right = self.children
+        left_keys = [k for k, _ in self.keys]
+        right_keys = [k for _, k in self.keys]
+        target = self.all_attrs
+
+        left_rows = list(left.rows(db))
+        right_rows = list(right.rows(db))
+
+        def splits(rows: list[Row], keys: list[str]):
+            keyed, nulls = [], []
+            for row in rows:
+                values = row.values_tuple(keys)
+                if any(is_null(v) for v in values):
+                    nulls.append(row)
+                else:
+                    keyed.append((self._order_key(values), row))
+            keyed.sort(key=lambda t: t[0])
+            return keyed, nulls
+
+        left_sorted, left_nulls = splits(left_rows, left_keys)
+        right_sorted, right_nulls = splits(right_rows, right_keys)
+
+        i = j = 0
+        while i < len(left_sorted) and j < len(right_sorted):
+            lk = left_sorted[i][0]
+            rk = right_sorted[j][0]
+            if lk < rk:
+                if self.kind.preserves_left:
+                    yield pad_row(left_sorted[i][1], target)
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                # collect the key groups on both sides
+                i_end = i
+                while i_end < len(left_sorted) and left_sorted[i_end][0] == lk:
+                    i_end += 1
+                j_end = j
+                while j_end < len(right_sorted) and right_sorted[j_end][0] == rk:
+                    j_end += 1
+                for _, lrow in left_sorted[i:i_end]:
+                    emitted = False
+                    for _, rrow in right_sorted[j:j_end]:
+                        candidate = lrow.merge(rrow)
+                        if self.residual.evaluate(candidate) is Truth.TRUE:
+                            emitted = True
+                            yield candidate
+                    if not emitted and self.kind.preserves_left:
+                        yield pad_row(lrow, target)
+                i, j = i_end, j_end
+        if self.kind.preserves_left:
+            while i < len(left_sorted):
+                yield pad_row(left_sorted[i][1], target)
+                i += 1
+            for row in left_nulls:
+                yield pad_row(row, target)
+
+
+class HashSemiJoin(PhysicalOperator):
+    """Hash semi/anti join: probe for existence only."""
+
+    def __init__(
+        self,
+        left: "PhysicalOperator",
+        right: "PhysicalOperator",
+        keys,
+        residual: Predicate,
+        anti: bool,
+    ):
+        label = "HashAntiJoin" if anti else "HashSemiJoin"
+        key_text = ", ".join(f"{a}={b}" for a, b in keys) or str(residual)
+        super().__init__(
+            f"{label}[{key_text}]", left.real, left.virtual, (left, right)
+        )
+        self.keys = tuple(keys)
+        self.residual = residual
+        self.anti = anti
+
+    def _produce(self, db: Database):
+        left, right = self.children
+        build = list(right.rows(db))
+        if self.keys:
+            left_keys = [k for k, _ in self.keys]
+            right_keys = [k for _, k in self.keys]
+            table: dict = {}
+            for row in build:
+                key = row.values_tuple(right_keys)
+                if not any(is_null(v) for v in key):
+                    table.setdefault(key, []).append(row)
+            for row in left.rows(db):
+                key = row.values_tuple(left_keys)
+                matched = False
+                if not any(is_null(v) for v in key):
+                    for other in table.get(key, ()):  # probe
+                        candidate = row.merge(other)
+                        if self.residual.evaluate(candidate) is Truth.TRUE:
+                            matched = True
+                            break
+                if matched != self.anti:
+                    yield row
+            return
+        for row in left.rows(db):
+            matched = False
+            for other in build:
+                if self.residual.evaluate(row.merge(other)) is Truth.TRUE:
+                    matched = True
+                    break
+            if matched != self.anti:
+                yield row
+
+
+class HashAggregate(PhysicalOperator):
+    """Hash aggregation (delegates grouping to the relalg GP)."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        name: str,
+    ):
+        real_keys = [a for a in group_by if a in child.real]
+        virtual_keys = [a for a in group_by if a in child.virtual]
+        real = tuple(real_keys) + tuple(s.output for s in aggregates)
+        virtual = tuple(virtual_keys) + (f"#{name}",)
+        agg_text = ", ".join(f"{s.output}={s.label()}" for s in aggregates)
+        super().__init__(
+            f"HashAggregate[{', '.join(group_by)}; {agg_text}]",
+            real,
+            virtual,
+            (child,),
+        )
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        self.name = name
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        child = self.children[0]
+        relation = Relation(
+            Schema(child.real), Schema(child.virtual), child.rows(db)
+        )
+        out = generalized_projection(
+            relation, self.group_by, self.aggregates, name=self.name
+        )
+        yield from out.rows
+
+
+class GeneralizedSelectionOp(PhysicalOperator):
+    """The paper's σ* as a physical operator: one pass plus padding.
+
+    The child is consumed once; qualifying rows stream through while a
+    hash set per preserved group tracks which parts survived.  A
+    second pass over the buffered non-qualifying parts emits the
+    padding -- the same work profile as a hash outer join (MGOJ), per
+    Section 4.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        predicate: Predicate,
+        preserved: Sequence[PreservedSpec],
+    ):
+        names = ", ".join(spec.name for spec in preserved)
+        super().__init__(
+            f"GeneralizedSelection[{predicate}][{names}]",
+            child.real,
+            child.virtual,
+            (child,),
+        )
+        self.predicate = predicate
+        self.preserved = tuple(preserved)
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        target = self.all_attrs
+        orders = {
+            spec.name: tuple(
+                a
+                for a in target
+                if a in spec.real_attrs or a in spec.virtual_attrs
+            )
+            for spec in self.preserved
+        }
+        surviving: dict[str, set[Row]] = {s.name: set() for s in self.preserved}
+        candidates: dict[str, dict[Row, None]] = {
+            s.name: {} for s in self.preserved
+        }
+        for row in self.children[0].rows(db):
+            if self.predicate.evaluate(row) is Truth.TRUE:
+                for spec in self.preserved:
+                    part = spec.part_of(row, orders[spec.name])
+                    if part is not None:
+                        surviving[spec.name].add(part)
+                yield row
+            else:
+                for spec in self.preserved:
+                    part = spec.part_of(row, orders[spec.name])
+                    if part is not None:
+                        candidates[spec.name][part] = None
+        for spec in self.preserved:
+            for part in candidates[spec.name]:
+                if part not in surviving[spec.name]:
+                    yield pad_row(part, target)
+
+
+class AdjustPaddingOp(PhysicalOperator):
+    """COUNT-bug repair after aggregation push-up (row-local)."""
+
+    def __init__(
+        self, child: PhysicalOperator, witness: str, targets: Sequence[str]
+    ):
+        real = tuple(a for a in child.real if a != witness)
+        super().__init__(
+            f"AdjustPadding[{witness}]", real, child.virtual, (child,)
+        )
+        self.witness = witness
+        self.targets = tuple(targets)
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        keep = self.all_attrs
+        for row in self.children[0].rows(db):
+            data = {a: row[a] for a in keep}
+            if row[self.witness] == 0:
+                for target in self.targets:
+                    data[target] = NULL
+            yield Row(data)
+
+
+class UnionAllOp(PhysicalOperator):
+    """Bag union, padding each side's missing virtual ids with NULL."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        seen = set(left.virtual)
+        virtual = left.virtual + tuple(a for a in right.virtual if a not in seen)
+        super().__init__("UnionAll", left.real, virtual, (left, right))
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        target = self.all_attrs
+        for child in self.children:
+            for row in child.rows(db):
+                yield pad_row(row.project([a for a in row if a in set(target)]), target)
+
+
+class CrossProduct(PhysicalOperator):
+    """Cartesian product (right side materialized)."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        super().__init__(
+            "CrossProduct",
+            left.real + right.real,
+            left.virtual + right.virtual,
+            (left, right),
+        )
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        left, right = self.children
+        inner_rows = list(right.rows(db))
+        for row in left.rows(db):
+            for other in inner_rows:
+                yield row.merge(other)

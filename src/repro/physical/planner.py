@@ -1,0 +1,113 @@
+"""Logical plan -> physical plan compilation.
+
+Join implementation choice:
+
+* a cross-side equality atom exists -> hash join (default) or merge
+  join (``prefer_merge=True``, inner/left only -- right/full fall back
+  to hash);
+* no equality atom -> nested loop;
+* TRUE predicate -> cross product.
+
+Everything else maps one-to-one onto the operator set.
+"""
+
+from __future__ import annotations
+
+from repro.exec.hash_join import split_equi_conjuncts
+from repro.expr.nodes import (
+    AdjustPadding,
+    BaseRel,
+    Expr,
+    ExprError,
+    GenSelect,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Rename,
+    Select,
+    SemiJoin,
+    UnionAll,
+)
+from repro.expr.predicates import TRUE
+from repro.physical.operators import (
+    AdjustPaddingOp,
+    HashSemiJoin,
+    UnionAllOp,
+    CrossProduct,
+    Filter,
+    GeneralizedSelectionOp,
+    HashAggregate,
+    HashJoinOp,
+    MergeJoinOp,
+    NestedLoopJoin,
+    PhysicalOperator,
+    ProjectOp,
+    RenameOp,
+    Scan,
+)
+from repro.relalg.generalized_selection import PreservedSpec
+
+
+def compile_plan(expr: Expr, prefer_merge: bool = False) -> PhysicalOperator:
+    """Compile a logical expression into a physical operator tree."""
+    if isinstance(expr, BaseRel):
+        return Scan(expr.name, expr.real_attrs, expr.virtual_attrs)
+    if isinstance(expr, Select):
+        return Filter(compile_plan(expr.child, prefer_merge), expr.predicate)
+    if isinstance(expr, Project):
+        return ProjectOp(
+            compile_plan(expr.child, prefer_merge), expr.attrs, expr.distinct
+        )
+    if isinstance(expr, Rename):
+        return RenameOp(
+            compile_plan(expr.child, prefer_merge), dict(expr.mapping)
+        )
+    if isinstance(expr, Join):
+        left = compile_plan(expr.left, prefer_merge)
+        right = compile_plan(expr.right, prefer_merge)
+        if expr.predicate is TRUE and expr.kind is JoinKind.INNER:
+            return CrossProduct(left, right)
+        keys, residual = split_equi_conjuncts(
+            expr.predicate,
+            frozenset(left.all_attrs),
+            frozenset(right.all_attrs),
+        )
+        if not keys:
+            return NestedLoopJoin(left, right, expr.predicate, expr.kind)
+        if prefer_merge and expr.kind in (JoinKind.INNER, JoinKind.LEFT):
+            return MergeJoinOp(left, right, keys, residual, expr.kind)
+        return HashJoinOp(left, right, keys, residual, expr.kind)
+    if isinstance(expr, UnionAll):
+        return UnionAllOp(
+            compile_plan(expr.left, prefer_merge),
+            compile_plan(expr.right, prefer_merge),
+        )
+    if isinstance(expr, SemiJoin):
+        left = compile_plan(expr.left, prefer_merge)
+        right = compile_plan(expr.right, prefer_merge)
+        keys, residual = split_equi_conjuncts(
+            expr.predicate,
+            frozenset(left.all_attrs),
+            frozenset(right.all_attrs),
+        )
+        return HashSemiJoin(left, right, keys, residual, expr.anti)
+    if isinstance(expr, GroupBy):
+        return HashAggregate(
+            compile_plan(expr.child, prefer_merge),
+            expr.group_by,
+            expr.aggregates,
+            expr.name,
+        )
+    if isinstance(expr, GenSelect):
+        specs = [
+            PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
+        ]
+        return GeneralizedSelectionOp(
+            compile_plan(expr.child, prefer_merge), expr.predicate, specs
+        )
+    if isinstance(expr, AdjustPadding):
+        return AdjustPaddingOp(
+            compile_plan(expr.child, prefer_merge), expr.witness, expr.targets
+        )
+    raise ExprError(f"cannot compile {type(expr).__name__}")

@@ -1,0 +1,84 @@
+"""Relational algebra substrate with SQL NULL semantics.
+
+This package implements the formal model of Section 1.2 of the paper:
+relations are triples ``<R, V, E>`` of a real-attribute schema ``R``,
+a set of *virtual* attributes ``V`` (row identifiers), and an extension
+``E`` (a bag of rows).  On top of it live every operator the paper
+uses -- selection, projection, cartesian product, (outer) union,
+difference, inner/semi/anti joins, left/right/full outer joins,
+generalized projection (GROUP BY with aggregates, Section 1.2) and the
+paper's novel generalized selection (Definition 2.1).
+"""
+
+from repro.relalg.nulls import NULL, Truth, is_null
+from repro.relalg.schema import Schema
+from repro.relalg.row import Row
+from repro.relalg.relation import Relation
+from repro.relalg.operators import (
+    select,
+    project,
+    product,
+    union,
+    outer_union,
+    difference,
+    rename,
+)
+from repro.relalg.joins import (
+    join,
+    semi_join,
+    anti_join,
+    left_outer_join,
+    right_outer_join,
+    full_outer_join,
+)
+from repro.relalg.aggregates import (
+    AggregateFunction,
+    AggregateSpec,
+    count_star,
+    count,
+    count_distinct,
+    sum_,
+    sum_distinct,
+    avg,
+    avg_distinct,
+    min_,
+    max_,
+)
+from repro.relalg.generalized_projection import generalized_projection
+from repro.relalg.generalized_selection import PreservedSpec, generalized_selection
+
+__all__ = [
+    "NULL",
+    "Truth",
+    "is_null",
+    "Schema",
+    "Row",
+    "Relation",
+    "select",
+    "project",
+    "product",
+    "union",
+    "outer_union",
+    "difference",
+    "rename",
+    "join",
+    "semi_join",
+    "anti_join",
+    "left_outer_join",
+    "right_outer_join",
+    "full_outer_join",
+    "AggregateFunction",
+    "AggregateSpec",
+    "count_star",
+    "count",
+    "count_distinct",
+    "sum_",
+    "sum_distinct",
+    "avg",
+    "avg_distinct",
+    "min_",
+    "max_",
+    "generalized_projection",
+    "PreservedSpec",
+    "generalized_selection",
+]

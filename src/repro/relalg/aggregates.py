@@ -1,0 +1,145 @@
+"""SQL aggregate functions for generalized projection.
+
+Follows SQL semantics: ``COUNT(*)`` counts rows; other aggregates
+ignore NULL inputs; an aggregate over an empty (or all-NULL) group is
+NULL, except COUNT which is 0.  Duplicate-insensitive aggregates
+(``MIN``, ``MAX``, any ``DISTINCT`` form) mark the generalized
+projection as a ``δ`` in the paper's notation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterable
+
+from repro.relalg.nulls import NULL, is_null
+
+
+class AggregateFunction(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate column: ``output = fn([distinct] arg)``.
+
+    ``arg`` is an attribute name, or ``None`` for ``COUNT(*)``.
+    """
+
+    output: str
+    function: AggregateFunction
+    arg: str | None = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arg is None and self.function is not AggregateFunction.COUNT:
+            raise ValueError(f"{self.function.value}(*) is not valid SQL")
+        if self.arg is None and self.distinct:
+            raise ValueError("COUNT(DISTINCT *) is not valid SQL")
+
+    @property
+    def duplicate_insensitive(self) -> bool:
+        """True when the aggregate's value ignores duplicates."""
+        return self.distinct or self.function in (
+            AggregateFunction.MIN,
+            AggregateFunction.MAX,
+        )
+
+    def compute(self, values: Iterable[Any]) -> Any:
+        """Aggregate the attribute values of one group.
+
+        ``values`` are the raw attribute values (COUNT(*) passes a
+        sentinel per row); NULLs are discarded first, per SQL.
+        """
+        if self.arg is None:
+            return sum(1 for _ in values)
+        items = [v for v in values if not is_null(v)]
+        if self.distinct:
+            seen: list[Any] = []
+            for v in items:
+                if v not in seen:
+                    seen.append(v)
+            items = seen
+        if self.function is AggregateFunction.COUNT:
+            return len(items)
+        if not items:
+            return NULL
+        if self.function is AggregateFunction.SUM:
+            return _numeric_sum(items)
+        if self.function is AggregateFunction.MIN:
+            return min(items)
+        if self.function is AggregateFunction.MAX:
+            return max(items)
+        if self.function is AggregateFunction.AVG:
+            total = _numeric_sum(items)
+            if isinstance(total, int):
+                return Fraction(total, len(items))
+            return total / len(items)
+        raise AssertionError(f"unhandled aggregate {self.function}")
+
+    def label(self) -> str:
+        arg = "*" if self.arg is None else self.arg
+        if self.distinct:
+            arg = f"distinct {arg}"
+        return f"{self.function.value}({arg})"
+
+
+def _numeric_sum(items: list[Any]) -> Any:
+    total = items[0]
+    for v in items[1:]:
+        total = total + v
+    return total
+
+
+# ---- convenience constructors ----
+
+
+def count_star(output: str = "count") -> AggregateSpec:
+    return AggregateSpec(output, AggregateFunction.COUNT, None)
+
+
+def count(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(output or f"count_{attr}", AggregateFunction.COUNT, attr)
+
+
+def count_distinct(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(
+        output or f"count_distinct_{attr}",
+        AggregateFunction.COUNT,
+        attr,
+        distinct=True,
+    )
+
+
+def sum_(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(output or f"sum_{attr}", AggregateFunction.SUM, attr)
+
+
+def sum_distinct(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(
+        output or f"sum_distinct_{attr}", AggregateFunction.SUM, attr, distinct=True
+    )
+
+
+def avg(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(output or f"avg_{attr}", AggregateFunction.AVG, attr)
+
+
+def avg_distinct(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(
+        output or f"avg_distinct_{attr}", AggregateFunction.AVG, attr, distinct=True
+    )
+
+
+def min_(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(output or f"min_{attr}", AggregateFunction.MIN, attr)
+
+
+def max_(attr: str, output: str | None = None) -> AggregateSpec:
+    return AggregateSpec(output or f"max_{attr}", AggregateFunction.MAX, attr)

@@ -1,0 +1,99 @@
+"""Generalized projection π_{X, f(Y)} (GROUP BY with aggregates).
+
+Per Section 1.2 (after GUPT95): subscript ``X`` is the grouping
+attribute list; ``f(Y)`` the aggregate columns.  With no aggregates
+the GP is ``SELECT DISTINCT X``.  Each output group receives a fresh
+virtual identifier so the result can participate in further joins and
+in generalized-selection compensation (the paper's push-up of
+aggregations relies on this).
+
+SQL GROUP BY treats NULL as a single grouping value, and so do we.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.relalg.aggregates import AggregateSpec
+from repro.relalg.relation import Relation
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema, SchemaError
+
+_gp_counter = itertools.count()
+
+_COUNT_STAR_SENTINEL = object()
+
+
+def generalized_projection(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregates: Iterable[AggregateSpec] = (),
+    name: str | None = None,
+) -> Relation:
+    """π_{X, f(Y)}(r): group ``relation`` by ``group_by``, aggregate.
+
+    ``name`` labels the output's virtual attribute; a unique one is
+    generated if omitted.  Grouping keys may include virtual
+    attributes of the input (the paper's ``π_{V3 r3 r1' r2', ...}``
+    groups on virtual attributes during aggregation push-up).
+    """
+    aggregates = tuple(aggregates)
+    all_attrs = relation.all_attrs.as_set()
+    for attr in group_by:
+        if attr not in all_attrs:
+            raise SchemaError(f"group-by attribute {attr!r} not in input")
+    for spec in aggregates:
+        if spec.arg is not None and spec.arg not in all_attrs:
+            raise SchemaError(f"aggregate argument {spec.arg!r} not in input")
+        if spec.output in group_by:
+            raise SchemaError(
+                f"aggregate output {spec.output!r} collides with a group key"
+            )
+
+    real_keys = [a for a in group_by if a in relation.real]
+    virtual_keys = [a for a in group_by if a in relation.virtual]
+    out_real = Schema(real_keys + [spec.output for spec in aggregates])
+
+    if name is None:
+        name = f"gp{next(_gp_counter)}"
+    vid = f"#{name}"
+    out_virtual = Schema(virtual_keys + [vid])
+
+    groups: dict[tuple, list[Row]] = {}
+    order: list[tuple] = []
+    for row in relation:
+        key = row.values_tuple(group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    if not group_by and not groups:
+        # SQL: a global aggregate over an empty input yields one row
+        # (COUNT = 0, other aggregates NULL)
+        groups[()] = []
+        order.append(())
+
+    out_rows = []
+    for i, key in enumerate(order):
+        members = groups[key]
+        data = dict(zip(group_by, key))
+        for spec in aggregates:
+            if spec.arg is None:
+                values: Iterable = (_COUNT_STAR_SENTINEL for _ in members)
+            else:
+                values = (m[spec.arg] for m in members)
+            data[spec.output] = spec.compute(values)
+        data[vid] = (name, i)
+        out_rows.append(Row(data))
+    return Relation(out_real, out_virtual, out_rows)
+
+
+def is_duplicate_insensitive(aggregates: Iterable[AggregateSpec]) -> bool:
+    """True when the GP is a ``δ`` (all aggregates duplicate-insensitive).
+
+    A GP with no aggregates is ``SELECT DISTINCT`` and therefore a δ.
+    """
+    aggregates = tuple(aggregates)
+    return all(spec.duplicate_insensitive for spec in aggregates)

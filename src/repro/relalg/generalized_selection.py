@@ -1,0 +1,131 @@
+"""Generalized selection σ*_p[r1, ..., rn](r) -- Definition 2.1.
+
+The generalized selection applies predicate ``p`` to ``r`` and keeps
+the qualifying rows; in addition, for every *preserved* sub-relation
+``ri ⊆ r`` it keeps (null-padded) the tuples of ``ri`` that qualify in
+no surviving row:
+
+    E' = σ_p(r) ⊎_i ( π_{Ri Vi}(r) − π_{Ri Vi}(σ_p(r)) )
+
+A preserved sub-relation is named by its attribute sets ``(Ri, Vi)``;
+it need not be a base relation -- in the paper's compensation rewrites
+it is typically the result of a subexpression such as ``r1r2``.
+
+Provenance rule: a projected part is a tuple of ``ri`` only when at
+least one of its virtual attributes is non-NULL.  Rows of ``r`` in
+which ``ri`` did not participate at all (every ``Vi`` id NULL, e.g.
+the null-supplied side of a full outer join) contribute no ``ri``
+tuple; without this rule the difference above would fabricate an
+all-NULL phantom row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.relalg.nulls import is_null
+from repro.relalg.operators import RowPredicate, select
+from repro.relalg.relation import Relation, pad_row
+from repro.relalg.row import Row
+from repro.relalg.schema import SchemaError
+
+
+@dataclass(frozen=True)
+class PreservedSpec:
+    """A preserved sub-relation ``ri = <Ri, Vi>`` of the GS input."""
+
+    name: str
+    real_attrs: frozenset[str]
+    virtual_attrs: frozenset[str]
+
+    @staticmethod
+    def of(name: str, real_attrs: Iterable[str], virtual_attrs: Iterable[str]) -> "PreservedSpec":
+        spec = PreservedSpec(name, frozenset(real_attrs), frozenset(virtual_attrs))
+        if not spec.real_attrs and not spec.virtual_attrs:
+            raise SchemaError(f"preserved relation {name!r} has no attributes")
+        return spec
+
+    def part_of(self, row: Row, order: Sequence[str]) -> Row | None:
+        """The ``ri``-tuple embedded in ``row``, or None if absent.
+
+        With virtual attributes the test is strict provenance: some row
+        id must be non-NULL.  A spec without virtual attributes (a
+        group-key-identified sub-relation above a generalized
+        projection) is present when any of its values is non-NULL --
+        e.g. an aggregation count of 0 is non-NULL and marks a real
+        group.
+        """
+        if self.virtual_attrs:
+            if all(is_null(row[v]) for v in self.virtual_attrs):
+                return None
+        elif all(is_null(row[a]) for a in self.real_attrs):
+            return None
+        return row.project(order)
+
+
+def generalized_selection(
+    relation: Relation,
+    predicate: RowPredicate,
+    preserved: Sequence[PreservedSpec] = (),
+    strict_provenance: bool = True,
+) -> Relation:
+    """Evaluate σ*_p[preserved...](relation) per Definition 2.1.
+
+    ``strict_provenance=False`` disables the presence rule (every
+    projected part counts as a tuple of the preserved relation, as a
+    fully literal reading of the definition would have it); it exists
+    for the ablation bench, which demonstrates that without the rule
+    full-outer-join compensation fabricates phantom all-NULL rows.
+    """
+    _validate(relation, preserved)
+    selected = select(relation, predicate)
+    target = relation.all_attrs.attrs
+    out_rows = list(selected.rows)
+    for spec in preserved:
+        order = tuple(
+            a
+            for a in target
+            if a in spec.real_attrs or a in spec.virtual_attrs
+        )
+
+        def part_of(row: Row) -> Row | None:
+            if strict_provenance:
+                return spec.part_of(row, order)
+            return row.project(order)
+
+        surviving = {
+            part for row in selected if (part := part_of(row)) is not None
+        }
+        emitted: set[Row] = set()
+        for row in relation:
+            part = part_of(row)
+            if part is None or part in surviving or part in emitted:
+                continue
+            emitted.add(part)
+            out_rows.append(pad_row(part, target))
+    return Relation(relation.real, relation.virtual, out_rows)
+
+
+def _validate(relation: Relation, preserved: Sequence[PreservedSpec]) -> None:
+    real = relation.real.as_set()
+    virtual = relation.virtual.as_set()
+    seen_real: set[str] = set()
+    seen_virtual: set[str] = set()
+    for spec in preserved:
+        if not spec.real_attrs <= real:
+            raise SchemaError(
+                f"preserved {spec.name!r}: real attrs {sorted(spec.real_attrs - real)} "
+                "not in GS input"
+            )
+        if not spec.virtual_attrs <= virtual:
+            raise SchemaError(
+                f"preserved {spec.name!r}: virtual attrs "
+                f"{sorted(spec.virtual_attrs - virtual)} not in GS input"
+            )
+        if spec.real_attrs & seen_real or spec.virtual_attrs & seen_virtual:
+            raise SchemaError(
+                f"preserved relations must be pairwise disjoint; {spec.name!r} overlaps"
+            )
+        seen_real |= spec.real_attrs
+        seen_virtual |= spec.virtual_attrs

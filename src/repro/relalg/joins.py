@@ -1,0 +1,108 @@
+"""Binary join operators: ⋈, semi, anti (▷), →, ←, ↔.
+
+Definitions follow Section 1.2 of the paper.  The left outer join
+``r1 →p r2`` is the union of ``r1 ⋈p r2`` with the null-padded
+anti-join ``r1 ▷p r2``; the full outer join additionally pads the
+unmatched rows of ``r2``.  Predicates are null-intolerant: a NULL in a
+compared attribute makes the comparison UNKNOWN and the row does not
+match.
+"""
+
+from __future__ import annotations
+
+from repro.relalg.nulls import Truth
+from repro.relalg.operators import RowPredicate, product, select
+from repro.relalg.relation import Relation, pad_row
+from repro.relalg.row import Row
+
+
+def join(left: Relation, right: Relation, predicate: RowPredicate) -> Relation:
+    """Inner join r1 ⋈p r2 = σ_p(r1 × r2)."""
+    return select(product(left, right), predicate)
+
+
+def _matched_left(left: Relation, right: Relation, predicate: RowPredicate) -> list[bool]:
+    """For each left row, whether it matches at least one right row."""
+    flags = []
+    for l in left:
+        matched = False
+        for r in right:
+            if predicate.evaluate(l.merge(r)) is Truth.TRUE:
+                matched = True
+                break
+        flags.append(matched)
+    return flags
+
+
+def semi_join(left: Relation, right: Relation, predicate: RowPredicate) -> Relation:
+    """Left semi join: left rows that have at least one match."""
+    flags = _matched_left(left, right, predicate)
+    rows = [row for row, ok in zip(left.rows, flags) if ok]
+    return left.with_rows(rows)
+
+
+def anti_join(left: Relation, right: Relation, predicate: RowPredicate) -> Relation:
+    """Left anti join r1 ▷p r2: left rows with no match."""
+    flags = _matched_left(left, right, predicate)
+    rows = [row for row, ok in zip(left.rows, flags) if not ok]
+    return left.with_rows(rows)
+
+
+def left_outer_join(
+    left: Relation, right: Relation, predicate: RowPredicate
+) -> Relation:
+    """r1 →p r2: matched pairs plus unmatched left rows null-padded."""
+    inner = join(left, right, predicate)
+    target = inner.all_attrs.attrs
+    rows = list(inner.rows)
+    unmatched = anti_join(left, right, predicate)
+    rows += [pad_row(row, target) for row in unmatched]
+    return Relation(inner.real, inner.virtual, rows)
+
+
+def right_outer_join(
+    left: Relation, right: Relation, predicate: RowPredicate
+) -> Relation:
+    """r1 ←p r2: matched pairs plus unmatched right rows null-padded."""
+    inner = join(left, right, predicate)
+    target = inner.all_attrs.attrs
+    rows = list(inner.rows)
+    unmatched = anti_join(right, left, _Flipped(predicate))
+    rows += [pad_row(row, target) for row in unmatched]
+    return Relation(inner.real, inner.virtual, rows)
+
+
+def full_outer_join(
+    left: Relation, right: Relation, predicate: RowPredicate
+) -> Relation:
+    """r1 ↔p r2: matched pairs plus unmatched rows of both sides."""
+    inner = join(left, right, predicate)
+    target = inner.all_attrs.attrs
+    rows = list(inner.rows)
+    rows += [pad_row(row, target) for row in anti_join(left, right, predicate)]
+    rows += [
+        pad_row(row, target)
+        for row in anti_join(right, left, _Flipped(predicate))
+    ]
+    return Relation(inner.real, inner.virtual, rows)
+
+
+class _Flipped:
+    """Predicate adapter for anti-joining right-to-left.
+
+    The merged row an anti-join builds is (right ∪ left); the original
+    predicate reads attributes by name, so evaluation is unchanged --
+    this adapter exists only to document intent and keep merge order
+    irrelevant.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner: RowPredicate) -> None:
+        self._inner = inner
+
+    def evaluate(self, row: Row) -> Truth:
+        return self._inner.evaluate(row)
+
+    def __repr__(self) -> str:
+        return f"flip({self._inner!r})"

@@ -1,0 +1,115 @@
+"""SQL NULL and three-valued logic.
+
+The paper assumes every predicate is *null in-tolerant* (footnote 2):
+a predicate evaluates to FALSE for any row carrying a NULL in one of
+the predicate's attributes.  We obtain exactly that behaviour by
+evaluating comparisons under SQL three-valued logic and qualifying a
+row only when the predicate is :data:`Truth.TRUE`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class NullType:
+    """Singleton marker for the SQL NULL value.
+
+    NULL compares unequal to every ordinary value under three-valued
+    logic, but the singleton is *identical to itself*, which is what
+    row identity (virtual attributes, set difference in Definition 2.1)
+    requires.
+    """
+
+    _instance: "NullType | None" = None
+
+    def __new__(cls) -> "NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __hash__(self) -> int:
+        return hash("repro.relalg.NULL")
+
+    def __bool__(self) -> bool:
+        return False
+
+    # NULL is equal to NULL as a *Python value* (so rows hash and
+    # compare structurally); SQL comparison semantics live in
+    # :func:`compare`, never here.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullType)
+
+    def __ne__(self, other: object) -> bool:
+        return not isinstance(other, NullType)
+
+    def __reduce__(self):
+        return (NullType, ())
+
+
+NULL = NullType()
+
+
+def is_null(value: Any) -> bool:
+    """Return True when ``value`` is the SQL NULL marker."""
+    return isinstance(value, NullType)
+
+
+class Truth(enum.Enum):
+    """SQL three-valued logic truth values."""
+
+    FALSE = 0
+    UNKNOWN = 1
+    TRUE = 2
+
+    def __bool__(self) -> bool:
+        # A row qualifies only on TRUE; UNKNOWN rejects, which is what
+        # makes every predicate null-intolerant.
+        return self is Truth.TRUE
+
+    def and_(self, other: "Truth") -> "Truth":
+        return Truth(min(self.value, other.value))
+
+    def or_(self, other: "Truth") -> "Truth":
+        return Truth(max(self.value, other.value))
+
+    def not_(self) -> "Truth":
+        if self is Truth.UNKNOWN:
+            return Truth.UNKNOWN
+        return Truth.TRUE if self is Truth.FALSE else Truth.FALSE
+
+    @staticmethod
+    def of(value: bool) -> "Truth":
+        return Truth.TRUE if value else Truth.FALSE
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+COMPARISON_OPERATORS = tuple(_COMPARATORS)
+
+
+def compare(left: Any, op: str, right: Any) -> Truth:
+    """Compare two values under SQL three-valued logic.
+
+    Any comparison involving NULL is UNKNOWN.  ``op`` is one of
+    ``= <> != < <= > >=`` (the paper's theta set).
+    """
+    if is_null(left) or is_null(right):
+        return Truth.UNKNOWN
+    try:
+        fn = _COMPARATORS[op]
+    except KeyError:
+        raise ValueError(f"unknown comparison operator: {op!r}") from None
+    return Truth.of(bool(fn(left, right)))

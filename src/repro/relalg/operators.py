@@ -1,0 +1,143 @@
+"""Unary and set operators: σ, π, ×, ∪, ⊎ (outer union), −, rename."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Protocol
+
+from repro.relalg.nulls import Truth
+from repro.relalg.relation import Relation, pad_row
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema, SchemaError
+
+
+class RowPredicate(Protocol):
+    """Anything that evaluates a row under three-valued logic."""
+
+    def evaluate(self, row: Row) -> Truth:  # pragma: no cover - protocol
+        ...
+
+
+class FunctionPredicate:
+    """Adapter turning a plain boolean function into a RowPredicate."""
+
+    __slots__ = ("_fn", "_label")
+
+    def __init__(self, fn: Callable[[Row], Truth | bool], label: str = "<fn>") -> None:
+        self._fn = fn
+        self._label = label
+
+    def evaluate(self, row: Row) -> Truth:
+        result = self._fn(row)
+        if isinstance(result, Truth):
+            return result
+        return Truth.of(bool(result))
+
+    def __repr__(self) -> str:
+        return f"FunctionPredicate({self._label})"
+
+
+def select(relation: Relation, predicate: RowPredicate) -> Relation:
+    """σ_p(r): rows for which the predicate is TRUE (not UNKNOWN)."""
+    rows = [row for row in relation if predicate.evaluate(row) is Truth.TRUE]
+    return relation.with_rows(rows)
+
+
+def project(
+    relation: Relation,
+    real_attrs: Iterable[str],
+    virtual_attrs: Iterable[str] | None = None,
+    distinct: bool = False,
+) -> Relation:
+    """π over real (and optionally virtual) attributes.
+
+    With ``distinct=True`` this is set projection (``SELECT DISTINCT``);
+    otherwise bag projection.  Virtual attributes default to all of the
+    input's virtuals, which keeps row provenance intact.
+    """
+    real = relation.real.restrict(real_attrs)
+    if virtual_attrs is None:
+        virtual = relation.virtual
+    else:
+        virtual = relation.virtual.restrict(virtual_attrs)
+    keep = tuple(real) + tuple(virtual)
+    rows: Iterable[Row] = (row.project(keep) for row in relation)
+    if distinct:
+        seen: set[Row] = set()
+        unique = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        rows = unique
+    return Relation(real, virtual, rows)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product of relations with disjoint attributes."""
+    real = left.real.concat(right.real)
+    virtual = left.virtual.concat(right.virtual)
+    rows = [l.merge(r) for l in left for r in right]
+    return Relation(real, virtual, rows)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Bag union of union-compatible relations (same attribute sets)."""
+    if left.real.as_set() != right.real.as_set():
+        raise SchemaError("union operands must have identical real schemas")
+    if left.virtual.as_set() != right.virtual.as_set():
+        raise SchemaError("union operands must have identical virtual schemas")
+    order = left.all_attrs.attrs
+    rows = list(left.rows) + [row.project(order) for row in right.rows]
+    return Relation(left.real, left.virtual, rows)
+
+
+def outer_union(left: Relation, right: Relation) -> Relation:
+    """⊎: union after null-padding both sides to the merged schema.
+
+    Matches the paper's definition in Section 1.2: rows are padded with
+    NULL for attributes (real or virtual) present only on the other side.
+    """
+    real = left.real.union(right.real)
+    virtual = left.virtual.union(right.virtual)
+    target = tuple(real) + tuple(virtual)
+    rows = [pad_row(row, target) for row in left]
+    rows += [pad_row(row, target) for row in right]
+    return Relation(real, virtual, rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Bag difference over identical schemas (virtuals included)."""
+    if left.real.as_set() != right.real.as_set():
+        raise SchemaError("difference operands must have identical real schemas")
+    if left.virtual.as_set() != right.virtual.as_set():
+        raise SchemaError(
+            "difference operands must have identical virtual schemas"
+        )
+    order = left.all_attrs.attrs
+    remaining = Counter(row.project(order) for row in right)
+    rows = []
+    for row in left:
+        canonical = row.project(order)
+        if remaining[canonical] > 0:
+            remaining[canonical] -= 1
+        else:
+            rows.append(row)
+    return Relation(left.real, left.virtual, rows)
+
+
+def rename(relation: Relation, mapping: dict[str, str]) -> Relation:
+    """Rename real attributes according to ``mapping`` (old -> new)."""
+    for old in mapping:
+        if old not in relation.real:
+            raise SchemaError(f"cannot rename unknown attribute {old!r}")
+    new_real = Schema(mapping.get(a, a) for a in relation.real)
+    rows = []
+    for row in relation:
+        data: dict[str, Any] = {}
+        for attr in relation.real:
+            data[mapping.get(attr, attr)] = row[attr]
+        for attr in relation.virtual:
+            data[attr] = row[attr]
+        rows.append(Row(data))
+    return Relation(new_real, relation.virtual, rows)

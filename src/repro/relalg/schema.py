@@ -1,0 +1,110 @@
+"""Ordered attribute schemas.
+
+A :class:`Schema` is an ordered collection of distinct attribute
+names.  Order matters for display and for positional row construction;
+set operations (union, intersection, difference, subset tests) follow
+the usual relational conventions.  The paper's assumption
+``R1 ∩ R2 = ∅`` for operand relations is enforced by the binary
+operators, which raise :class:`SchemaError` on overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class SchemaError(ValueError):
+    """Raised when schemas are incompatible for the requested operation."""
+
+
+class Schema:
+    """An ordered, duplicate-free tuple of attribute names."""
+
+    __slots__ = ("_attrs", "_index")
+
+    def __init__(self, attrs: Iterable[str] = ()) -> None:
+        attrs = tuple(attrs)
+        index: dict[str, int] = {}
+        for position, name in enumerate(attrs):
+            if not isinstance(name, str):
+                raise SchemaError(f"attribute name must be str, got {name!r}")
+            if name in index:
+                raise SchemaError(f"duplicate attribute name: {name!r}")
+            index[name] = position
+        self._attrs = attrs
+        self._index = index
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        return self._attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, position: int) -> str:
+        return self._attrs[position]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._attrs == other._attrs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attrs)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attrs)!r})"
+
+    def position(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no attribute {name!r} in {self}") from None
+
+    def as_set(self) -> frozenset[str]:
+        return frozenset(self._attrs)
+
+    # ---- set-style operations (order preserved, left operand first) ----
+
+    def union(self, other: "Schema | Iterable[str]") -> "Schema":
+        other_attrs = tuple(other)
+        extra = [a for a in other_attrs if a not in self._index]
+        return Schema(self._attrs + tuple(extra))
+
+    def concat(self, other: "Schema | Iterable[str]") -> "Schema":
+        """Disjoint concatenation; raises on overlap (paper's R1 ∩ R2 = ∅)."""
+        other_attrs = tuple(other)
+        overlap = [a for a in other_attrs if a in self._index]
+        if overlap:
+            raise SchemaError(f"schemas overlap on {overlap!r}")
+        return Schema(self._attrs + other_attrs)
+
+    def intersection(self, other: "Schema | Iterable[str]") -> "Schema":
+        other_set = set(other)
+        return Schema(a for a in self._attrs if a in other_set)
+
+    def difference(self, other: "Schema | Iterable[str]") -> "Schema":
+        other_set = set(other)
+        return Schema(a for a in self._attrs if a not in other_set)
+
+    def is_subset(self, other: "Schema | Iterable[str]") -> bool:
+        other_set = set(other)
+        return all(a in other_set for a in self._attrs)
+
+    def is_disjoint(self, other: "Schema | Iterable[str]") -> bool:
+        other_set = set(other)
+        return all(a not in other_set for a in self._attrs)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        """Sub-schema containing ``names``, in this schema's order."""
+        wanted = set(names)
+        missing = wanted - set(self._attrs)
+        if missing:
+            raise SchemaError(f"attributes {sorted(missing)!r} not in {self}")
+        return Schema(a for a in self._attrs if a in wanted)

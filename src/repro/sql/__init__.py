@@ -1,0 +1,32 @@
+"""SQL front-end: the subset the paper's queries are written in.
+
+Supported grammar (case-insensitive keywords):
+
+* ``SELECT [DISTINCT] item [, item ...]`` where an item is ``*``, a
+  (qualified) column, or an aggregate ``COUNT(*) | COUNT([DISTINCT] c)
+  | SUM | MIN | MAX | AVG``, each with an optional ``AS alias``;
+* ``FROM`` comma-separated table references; a reference is a table
+  (or view) name with an optional alias, a parenthesized subquery with
+  an alias, or a ``[LEFT|RIGHT|FULL] [OUTER] JOIN ... ON ...`` chain;
+* ``WHERE`` / ``ON`` / ``HAVING``: conjunctions of comparisons between
+  columns, literals and arithmetic (``+ - *``) terms, plus correlated
+  scalar ``COUNT`` subqueries (``expr θ (SELECT COUNT(*) ...)``) in
+  ``WHERE``, which the translator routes to the unnesting machinery;
+* ``GROUP BY`` column lists and ``CREATE VIEW name AS ...``.
+"""
+
+from repro.sql.lexer import SqlLexError, tokenize
+from repro.sql.parser import SqlParseError, parse_select, parse_statements
+from repro.sql.catalog import SqlCatalog
+from repro.sql.translate import SqlTranslationError, translate
+
+__all__ = [
+    "SqlLexError",
+    "tokenize",
+    "SqlParseError",
+    "parse_select",
+    "parse_statements",
+    "SqlCatalog",
+    "SqlTranslationError",
+    "translate",
+]

@@ -1,0 +1,187 @@
+"""Abstract syntax trees for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+# ---- scalar expressions ----
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: str | None  # qualifier (table name or alias) or None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ArithExpr:
+    left: "Scalar"
+    op: str  # + - *
+    right: "Scalar"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    function: str  # count / sum / min / max / avg
+    argument: ColumnRef | None  # None = count(*)
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        arg = "*" if self.argument is None else str(self.argument)
+        if self.distinct:
+            arg = f"DISTINCT {arg}"
+        return f"{self.function.upper()}({arg})"
+
+
+Scalar = Union[ColumnRef, Literal, ArithExpr, AggregateCall]
+
+
+# ---- predicates ----
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    left: Scalar
+    op: str
+    right: "Scalar | SubquerySelect"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNullExpr:
+    term: Scalar
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.term} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class InListExpr:
+    term: Scalar
+    values: tuple[object, ...]
+
+    def __str__(self) -> str:
+        return f"{self.term} IN {self.values!r}"
+
+
+@dataclass(frozen=True)
+class ExistsExpr:
+    """``[NOT] EXISTS (SELECT ...)``; resolved into a semi/anti join."""
+
+    query: "SelectStmt"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{'NOT ' if self.negated else ''}EXISTS (SELECT ...)"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    parts: tuple["BooleanExpr", ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.parts)
+
+
+BooleanExpr = Union[ComparisonExpr, IsNullExpr, InListExpr, ExistsExpr, AndExpr]
+
+
+# ---- table references ----
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    query: "SelectStmt"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+@dataclass(frozen=True)
+class JoinRef:
+    kind: str  # inner / left / right / full
+    left: "FromItem"
+    right: "FromItem"
+    condition: BooleanExpr
+
+
+FromItem = Union[TableRef, SubqueryRef, JoinRef]
+
+
+# ---- select ----
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Scalar | str  # '*' for star
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...]
+    where: BooleanExpr | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    having: BooleanExpr | None = None
+    distinct: bool = False
+    order_by: tuple[tuple[ColumnRef, bool], ...] = ()  # (column, descending)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class SubquerySelect:
+    """A scalar subquery used inside a comparison (correlated COUNT)."""
+
+    query: SelectStmt
+
+    def __str__(self) -> str:
+        return "(SELECT ...)"
+
+
+@dataclass(frozen=True)
+class UnionStmt:
+    """``SELECT ... UNION ALL SELECT ...`` (bag union)."""
+
+    left: "SelectStmt | UnionStmt"
+    right: SelectStmt
+
+
+@dataclass(frozen=True)
+class CreateViewStmt:
+    name: str
+    query: SelectStmt
+
+
+Statement = Union[SelectStmt, UnionStmt, CreateViewStmt]

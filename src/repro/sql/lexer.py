@@ -1,0 +1,112 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "as",
+    "on",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "outer",
+    "and",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "avg",
+    "create",
+    "view",
+    "is",
+    "null",
+    "not",
+    "in",
+    "between",
+    "order",
+    "limit",
+    "asc",
+    "desc",
+    "exists",
+    "union",
+    "all",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", ";")
+
+
+class SqlLexError(ValueError):
+    """Raised on unrecognized input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'kw', 'ident', 'number', 'string', 'symbol', 'eof'
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; keywords are lowercased, identifiers kept."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise SqlLexError(f"unterminated string at {i}")
+            tokens.append(Token("string", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("kw", lowered, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlLexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

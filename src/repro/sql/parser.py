@@ -1,0 +1,357 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.sql.ast import (
+    AggregateCall,
+    AndExpr,
+    ExistsExpr,
+    InListExpr,
+    IsNullExpr,
+    ArithExpr,
+    BooleanExpr,
+    ColumnRef,
+    ComparisonExpr,
+    CreateViewStmt,
+    FromItem,
+    JoinRef,
+    Literal,
+    Scalar,
+    SelectItem,
+    SelectStmt,
+    Statement,
+    SubqueryRef,
+    SubquerySelect,
+    TableRef,
+    UnionStmt,
+)
+from repro.sql.lexer import Token, tokenize
+
+_COMPARATORS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+_AGG_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+class SqlParseError(ValueError):
+    """Raised on syntax errors."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ---- token plumbing ----
+
+    def peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        self._pos += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            got = self.peek()
+            want = value or kind
+            raise SqlParseError(
+                f"expected {want!r}, got {got.value!r} at position {got.position}"
+            )
+        return token
+
+    # ---- statements ----
+
+    def parse_statements(self) -> list[Statement]:
+        statements: list[Statement] = []
+        while not self.check("eof"):
+            statements.append(self.parse_statement())
+            self.accept("symbol", ";")
+        return statements
+
+    def parse_statement(self) -> Statement:
+        if self.check("kw", "create"):
+            return self.parse_create_view()
+        return self.parse_select_or_union()
+
+    def parse_select_or_union(self):
+        statement: Statement = self.parse_select()
+        while self.accept("kw", "union"):
+            self.expect("kw", "all")
+            statement = UnionStmt(statement, self.parse_select())
+        return statement
+
+    def parse_create_view(self) -> CreateViewStmt:
+        self.expect("kw", "create")
+        self.expect("kw", "view")
+        name = self.expect("ident").value
+        self.expect("kw", "as")
+        return CreateViewStmt(name, self.parse_select())
+
+    # ---- SELECT ----
+
+    def parse_select(self) -> SelectStmt:
+        self.expect("kw", "select")
+        distinct = bool(self.accept("kw", "distinct"))
+        items = [self.parse_select_item()]
+        while self.accept("symbol", ","):
+            items.append(self.parse_select_item())
+        self.expect("kw", "from")
+        from_items = [self.parse_from_item()]
+        while self.accept("symbol", ","):
+            from_items.append(self.parse_from_item())
+        where = None
+        if self.accept("kw", "where"):
+            where = self.parse_boolean()
+        group_by: tuple = ()
+        if self.accept("kw", "group"):
+            self.expect("kw", "by")
+            columns = [self.parse_column_ref()]
+            while self.accept("symbol", ","):
+                columns.append(self.parse_column_ref())
+            group_by = tuple(columns)
+        having = None
+        if self.accept("kw", "having"):
+            having = self.parse_boolean()
+        order_by = []
+        if self.accept("kw", "order"):
+            self.expect("kw", "by")
+            while True:
+                column = self.parse_column_ref()
+                descending = False
+                if self.accept("kw", "desc"):
+                    descending = True
+                else:
+                    self.accept("kw", "asc")
+                order_by.append((column, descending))
+                if not self.accept("symbol", ","):
+                    break
+        limit = None
+        if self.accept("kw", "limit"):
+            limit = int(self.expect("number").value)
+        return SelectStmt(
+            tuple(items),
+            tuple(from_items),
+            where,
+            group_by,
+            having,
+            distinct,
+            tuple(order_by),
+            limit,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        if self.check("symbol", "*"):
+            self.advance()
+            return SelectItem("*")
+        # ident = expr (the paper writes "c = count(r1)")
+        if (
+            self.check("ident")
+            and self.peek(1).kind == "symbol"
+            and self.peek(1).value == "="
+        ):
+            alias = self.advance().value
+            self.advance()
+            return SelectItem(self.parse_scalar(), alias)
+        expression = self.parse_scalar()
+        alias = None
+        if self.accept("kw", "as"):
+            alias = self.expect("ident").value
+        elif self.check("ident"):
+            alias = self.advance().value
+        return SelectItem(expression, alias)
+
+    # ---- FROM ----
+
+    def parse_from_item(self) -> FromItem:
+        item = self.parse_from_primary()
+        while True:
+            kind = self._join_kind()
+            if kind is None:
+                return item
+            right = self.parse_from_primary()
+            self.expect("kw", "on")
+            condition = self.parse_boolean()
+            item = JoinRef(kind, item, right, condition)
+
+    def _join_kind(self) -> str | None:
+        if self.accept("kw", "join"):
+            return "inner"
+        if self.check("kw", "inner") and self.peek(1).value == "join":
+            self.advance()
+            self.advance()
+            return "inner"
+        for keyword in ("left", "right", "full"):
+            if self.check("kw", keyword) and self.peek(1).value in ("outer", "join"):
+                self.advance()
+                self.accept("kw", "outer")
+                self.expect("kw", "join")
+                return keyword
+        return None
+
+    def parse_from_primary(self) -> FromItem:
+        if self.accept("symbol", "("):
+            if self.check("kw", "select"):
+                query = self.parse_select()
+                self.expect("symbol", ")")
+                alias = None
+                self.accept("kw", "as")
+                if self.check("ident"):
+                    alias = self.advance().value
+                return SubqueryRef(query, alias or f"sub{self._pos}")
+            item = self.parse_from_item()
+            self.expect("symbol", ")")
+            return item
+        name = self.expect("ident").value
+        alias = None
+        if self.accept("kw", "as"):
+            alias = self.expect("ident").value
+        elif self.check("ident"):
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    # ---- predicates ----
+
+    def parse_boolean(self) -> BooleanExpr:
+        parts = [self.parse_comparison()]
+        while self.accept("kw", "and"):
+            parts.append(self.parse_comparison())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(tuple(parts))
+
+    def parse_comparison(self):
+        if self.check("kw", "exists") or (
+            self.check("kw", "not") and self.peek(1).value == "exists"
+        ):
+            negated = bool(self.accept("kw", "not"))
+            self.expect("kw", "exists")
+            self.expect("symbol", "(")
+            query = self.parse_select()
+            self.expect("symbol", ")")
+            return ExistsExpr(query, negated)
+        if self.accept("symbol", "("):
+            inner = self.parse_boolean()
+            self.expect("symbol", ")")
+            if isinstance(inner, AndExpr):
+                raise SqlParseError("parenthesized AND not supported here")
+            return inner
+        left = self.parse_scalar()
+        if self.accept("kw", "is"):
+            negated = bool(self.accept("kw", "not"))
+            self.expect("kw", "null")
+            return IsNullExpr(left, negated)
+        if self.accept("kw", "in"):
+            self.expect("symbol", "(")
+            values = [self._literal_value()]
+            while self.accept("symbol", ","):
+                values.append(self._literal_value())
+            self.expect("symbol", ")")
+            return InListExpr(left, tuple(values))
+        if self.accept("kw", "between"):
+            low = self.parse_scalar()
+            self.expect("kw", "and")
+            high = self.parse_scalar()
+            return AndExpr(
+                (
+                    ComparisonExpr(left, ">=", low),
+                    ComparisonExpr(left, "<=", high),
+                )
+            )
+        op_token = self.expect("symbol")
+        if op_token.value not in _COMPARATORS:
+            raise SqlParseError(f"expected comparison operator, got {op_token.value!r}")
+        if self.check("symbol", "(") and self.peek(1).value == "select":
+            self.advance()
+            subquery = self.parse_select()
+            self.expect("symbol", ")")
+            return ComparisonExpr(left, op_token.value, SubquerySelect(subquery))
+        right = self.parse_scalar()
+        return ComparisonExpr(left, op_token.value, right)
+
+    # ---- scalars ----
+
+    def parse_scalar(self) -> Scalar:
+        term = self.parse_scalar_primary()
+        while self.check("symbol") and self.peek().value in ("+", "-", "*"):
+            op = self.advance().value
+            right = self.parse_scalar_primary()
+            term = ArithExpr(term, op, right)
+        return term
+
+    def parse_scalar_primary(self) -> Scalar:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            if "." in token.value:
+                return Literal(Fraction(token.value))
+            return Literal(int(token.value))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "kw" and token.value in _AGG_FUNCTIONS:
+            return self.parse_aggregate()
+        if token.kind == "ident":
+            return self.parse_column_ref()
+        if token.kind == "symbol" and token.value == "(":
+            self.advance()
+            inner = self.parse_scalar()
+            self.expect("symbol", ")")
+            return inner
+        raise SqlParseError(f"unexpected token {token.value!r} in expression")
+
+    def parse_aggregate(self) -> AggregateCall:
+        function = self.advance().value
+        self.expect("symbol", "(")
+        distinct = bool(self.accept("kw", "distinct"))
+        if self.accept("symbol", "*"):
+            argument = None
+        else:
+            ref = self.parse_column_ref()
+            argument = ref
+        self.expect("symbol", ")")
+        return AggregateCall(function, argument, distinct)
+
+    def _literal_value(self):
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            if "." in token.value:
+                return Fraction(token.value)
+            return int(token.value)
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        raise SqlParseError(f"expected a literal in the IN list, got {token.value!r}")
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect("ident").value
+        if self.accept("symbol", "."):
+            column = self.expect("ident").value
+            return ColumnRef(first, column)
+        return ColumnRef(None, first)
+
+
+def parse_statements(text: str) -> list[Statement]:
+    """Parse a script of ``;``-separated statements."""
+    return _Parser(tokenize(text)).parse_statements()
+
+
+def parse_select(text: str):
+    """Parse a single SELECT (or UNION ALL chain) statement."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.parse_select_or_union()
+    parser.accept("symbol", ";")
+    parser.expect("eof")
+    return stmt

@@ -1,0 +1,101 @@
+"""Equivalence-testing utilities for downstream users.
+
+Rewrites over outer joins are notoriously easy to get subtly wrong
+(this reproduction found two errata in the paper itself), so the
+library ships the randomized checker its own test suite is built on:
+evaluate two expressions on many small randomized databases -- NULLs
+and empty relations included -- and compare bags of rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.expr.evaluate import Database, evaluate
+from repro.expr.nodes import BaseRel, Expr
+from repro.relalg import Relation
+from repro.relalg.nulls import NULL
+
+
+@dataclass
+class Counterexample:
+    """A database on which the two expressions disagree."""
+
+    trial: int
+    db: Database
+    left_rows: int
+    right_rows: int
+
+    def describe(self) -> str:
+        lines = [f"counterexample at trial {self.trial}:"]
+        for name in self.db.names():
+            relation = self.db[name]
+            lines.append(f"  {name}: {[tuple(r[a] for a in relation.real) for r in relation]}")
+        lines.append(
+            f"  left yields {self.left_rows} row(s), right {self.right_rows}"
+        )
+        return "\n".join(lines)
+
+
+def random_database_for(
+    expr: Expr,
+    rng: random.Random,
+    max_rows: int = 3,
+    null_probability: float = 0.15,
+    domain=(1, 2),
+) -> Database:
+    """A randomized database covering every base relation of ``expr``."""
+    db = Database()
+    for node in expr.walk():
+        if isinstance(node, BaseRel) and node.name not in db:
+            rows = []
+            for _ in range(rng.randint(0, max_rows)):
+                rows.append(
+                    tuple(
+                        NULL
+                        if rng.random() < null_probability
+                        else rng.choice(domain)
+                        for _ in node.attrs
+                    )
+                )
+            db.add(node.name, Relation.base(node.name, list(node.attrs), rows))
+    return db
+
+
+def check_equivalent(
+    left: Expr,
+    right: Expr,
+    trials: int = 200,
+    seed: int = 0,
+    max_rows: int = 3,
+    null_probability: float = 0.15,
+) -> Counterexample | None:
+    """Search for a database on which ``left`` and ``right`` differ.
+
+    Returns None when all trials agree; otherwise the first
+    counterexample found.  Both expressions must reference the same
+    base relations.
+    """
+    if left.base_names != right.base_names:
+        raise ValueError(
+            "expressions reference different base relations: "
+            f"{sorted(left.base_names)} vs {sorted(right.base_names)}"
+        )
+    rng = random.Random(seed)
+    for trial in range(trials):
+        db = random_database_for(
+            left, rng, max_rows=max_rows, null_probability=null_probability
+        )
+        a = evaluate(left, db)
+        b = evaluate(right, db)
+        if not a.same_content(b):
+            return Counterexample(trial, db, len(a), len(b))
+    return None
+
+
+def assert_equivalent(left: Expr, right: Expr, **kwargs) -> None:
+    """Raise AssertionError with a readable counterexample on mismatch."""
+    witness = check_equivalent(left, right, **kwargs)
+    if witness is not None:
+        raise AssertionError(witness.describe())

@@ -1,0 +1,19 @@
+"""Workload generators: random databases, query topologies, scenarios."""
+
+from repro.workloads.random_db import (
+    random_database,
+    random_join_query,
+    small_domain_rows,
+)
+from repro.workloads.topologies import chain_query, star_query
+from repro.workloads.supplier import supplier_database, supplier_query
+
+__all__ = [
+    "random_database",
+    "random_join_query",
+    "small_domain_rows",
+    "chain_query",
+    "star_query",
+    "supplier_database",
+    "supplier_query",
+]

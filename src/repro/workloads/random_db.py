@@ -1,0 +1,117 @@
+"""Randomized databases and join queries for equivalence testing.
+
+The master soundness invariant of the library is checked against
+these: every plan the enumerator emits must evaluate to the same bag
+of rows as the original query on randomized inputs.  Small value
+domains maximize the chance of exercising matches, mismatches and
+padding simultaneously; zero-row relations are generated on purpose
+(empty operands break many folklore outer-join identities).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.expr.evaluate import Database
+from repro.expr.nodes import BaseRel, Expr, Join, JoinKind
+from repro.expr.predicates import Comparison, Col, Predicate, make_conjunction
+from repro.relalg.nulls import NULL
+from repro.relalg.relation import Relation
+
+
+def small_domain_rows(
+    rng: random.Random,
+    n_attrs: int,
+    max_rows: int = 3,
+    domain: Sequence[object] = (1, 2),
+    null_probability: float = 0.0,
+    min_rows: int = 0,
+) -> list[tuple]:
+    """Rows over a small domain, optionally salted with NULLs."""
+    n_rows = rng.randint(min_rows, max_rows)
+    rows = []
+    for _ in range(n_rows):
+        row = tuple(
+            NULL
+            if rng.random() < null_probability
+            else rng.choice(domain)
+            for _ in range(n_attrs)
+        )
+        rows.append(row)
+    return rows
+
+
+def random_database(
+    rng: random.Random,
+    rel_names: Sequence[str],
+    attrs_per_rel: int = 2,
+    max_rows: int = 3,
+    null_probability: float = 0.1,
+    min_rows: int = 0,
+) -> Database:
+    """A database over ``rel_names`` with attributes ``a<i>_<name>``."""
+    db = Database()
+    for name in rel_names:
+        attrs = [f"{name}_a{i}" for i in range(attrs_per_rel)]
+        rows = small_domain_rows(
+            rng,
+            attrs_per_rel,
+            max_rows=max_rows,
+            null_probability=null_probability,
+            min_rows=min_rows,
+        )
+        db.add(name, Relation.base(name, attrs, rows))
+    return db
+
+
+def _rel(name: str, attrs_per_rel: int) -> BaseRel:
+    return BaseRel(name, tuple(f"{name}_a{i}" for i in range(attrs_per_rel)))
+
+
+def random_join_query(
+    rng: random.Random,
+    n_relations: int,
+    attrs_per_rel: int = 2,
+    outer_probability: float = 0.5,
+    complex_probability: float = 0.3,
+    ops: Sequence[str] = ("=", "<", "<>"),
+) -> Expr:
+    """A random connected (outer) join tree over ``r1..rn``.
+
+    Built bottom-up: operands are merged pairwise with a predicate
+    joining a random attribute of each side; with
+    ``complex_probability`` an extra conjunct referencing a third
+    relation is added, producing a complex predicate.
+    """
+    forest: list[Expr] = [
+        _rel(f"r{i + 1}", attrs_per_rel) for i in range(n_relations)
+    ]
+    rng.shuffle(forest)
+    while len(forest) > 1:
+        left = forest.pop()
+        right = forest.pop()
+        atoms = [_random_atom(rng, left, right, ops)]
+        if len(left.base_names | right.base_names) > 2 and (
+            rng.random() < complex_probability
+        ):
+            atoms.append(_random_atom(rng, left, right, ops))
+        predicate = make_conjunction(atoms)
+        kind = _random_kind(rng, outer_probability)
+        forest.append(Join(kind, left, right, predicate))
+        rng.shuffle(forest)
+    return forest[0]
+
+
+def _random_atom(
+    rng: random.Random, left: Expr, right: Expr, ops: Sequence[str]
+) -> Predicate:
+    la = rng.choice([a for a in left.real_attrs])
+    ra = rng.choice([a for a in right.real_attrs])
+    return Comparison(Col(la), rng.choice(list(ops)), Col(ra))
+
+
+def _random_kind(rng: random.Random, outer_probability: float) -> JoinKind:
+    if rng.random() >= outer_probability:
+        return JoinKind.INNER
+    return rng.choice((JoinKind.LEFT, JoinKind.RIGHT, JoinKind.FULL))

@@ -1,0 +1,113 @@
+"""The motivating supplier scenario (Example 1.1).
+
+Relations (attribute names prefixed for global uniqueness):
+
+* ``agg94``  -- ``(agg94_supkey, agg94_partkey, agg94_qty)``:
+  aggregated 1994 volumes, relatively small;
+* ``detail95`` -- ``(d95_supkey, d95_partkey, d95_date, d95_qty)``:
+  the large 1995 transaction log;
+* ``supdetail`` -- ``(sup_supkey, sup_rating, sup_info)``.
+
+The analyst's query (views V2 and V3 of the paper):
+
+    V2 = σ_{sup_rating='BANKRUPT'}(agg94 ⋈ supdetail)
+    V3 = π_{d95_supkey, d95_partkey, qty95=count(*)}(detail95)
+    Q  = V2 →[supkey= ∧ partkey= ∧ agg94_qty < 2*qty95] V3
+
+Executed as written, the aggregation over the whole of ``detail95``
+runs first; if few suppliers are bankrupt, joining first and
+aggregating at the root wins -- the claim bench X4 quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.expr.evaluate import Database
+from repro.expr.nodes import BaseRel, Expr, GroupBy, Join, JoinKind, Select
+from repro.expr.predicates import (
+    Arith,
+    Col,
+    Comparison,
+    Const,
+    eq,
+    make_conjunction,
+)
+from repro.relalg.aggregates import count_star
+from repro.relalg.relation import Relation
+
+AGG94 = BaseRel("agg94", ("agg94_supkey", "agg94_partkey", "agg94_qty"))
+DETAIL95 = BaseRel("detail95", ("d95_supkey", "d95_partkey", "d95_date", "d95_qty"))
+SUPDETAIL = BaseRel("supdetail", ("sup_supkey", "sup_rating", "sup_info"))
+
+
+def supplier_database(
+    rng: random.Random,
+    n_suppliers: int = 20,
+    n_parts: int = 10,
+    detail_rows: int = 400,
+    bankrupt_fraction: float = 0.2,
+) -> Database:
+    """Synthetic data for the scenario.
+
+    ``bankrupt_fraction`` controls the selectivity of the
+    ``SUPRATING = 'BANKRUPT'`` filter -- the knob the paper's cost
+    argument turns.
+    """
+    n_bankrupt = max(0, round(n_suppliers * bankrupt_fraction))
+    ratings = ["BANKRUPT"] * n_bankrupt + ["GOOD"] * (n_suppliers - n_bankrupt)
+    rng.shuffle(ratings)
+    sup_rows = [
+        (s, ratings[s], f"supplier-{s}") for s in range(n_suppliers)
+    ]
+    agg_rows = []
+    for s in range(n_suppliers):
+        for p in rng.sample(range(n_parts), k=max(1, n_parts // 2)):
+            agg_rows.append((s, p, rng.randint(1, 100)))
+    detail_rows_data = [
+        (
+            rng.randrange(n_suppliers),
+            rng.randrange(n_parts),
+            rng.randint(1, 365),
+            rng.randint(1, 20),
+        )
+        for _ in range(detail_rows)
+    ]
+    db = Database()
+    db.add("agg94", Relation.base("agg94", list(AGG94.attrs), agg_rows))
+    db.add(
+        "detail95", Relation.base("detail95", list(DETAIL95.attrs), detail_rows_data)
+    )
+    db.add("supdetail", Relation.base("supdetail", list(SUPDETAIL.attrs), sup_rows))
+    return db
+
+
+def supplier_query(qty_attr: str = "qty95") -> Expr:
+    """The Example 1.1 query, as written (aggregation before the join)."""
+    v2 = Select(
+        Join(
+            JoinKind.INNER,
+            AGG94,
+            SUPDETAIL,
+            eq("agg94_supkey", "sup_supkey"),
+        ),
+        Comparison(Col("sup_rating"), "=", Const("BANKRUPT")),
+    )
+    v3 = GroupBy(
+        DETAIL95,
+        ("d95_supkey", "d95_partkey"),
+        (count_star(qty_attr),),
+        "v3",
+    )
+    on = make_conjunction(
+        [
+            eq("agg94_supkey", "d95_supkey"),
+            eq("agg94_partkey", "d95_partkey"),
+            Comparison(
+                Col("agg94_qty"),
+                "<",
+                Arith(Const(2), "*", Col(qty_attr)),
+            ),
+        ]
+    )
+    return Join(JoinKind.LEFT, v2, v3, on)

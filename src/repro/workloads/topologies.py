@@ -1,0 +1,65 @@
+"""Parametric query topologies: chains and stars.
+
+Used by the plan-space (X6) and enumeration-scaling (X7) benches.
+Each relation ``r<i>`` has attributes ``r<i>_a0, r<i>_a1``; predicates
+are equalities between adjacent relations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.expr.nodes import BaseRel, Expr, Join, JoinKind
+from repro.expr.predicates import eq, make_conjunction
+
+
+def _rel(i: int) -> BaseRel:
+    return BaseRel(f"r{i}", (f"r{i}_a0", f"r{i}_a1"))
+
+
+def chain_query(
+    n: int,
+    kinds: Sequence[JoinKind] | None = None,
+    complex_every: int = 0,
+) -> Expr:
+    """A left-deep chain ``((r1 ⊙ r2) ⊙ r3) ⊙ ...``.
+
+    ``kinds[i]`` is the operator joining ``r<i+2>``; defaults to all
+    inner.  With ``complex_every = k > 0`` every k-th join predicate
+    gains an extra conjunct reaching back to the previous relation,
+    making it complex.
+    """
+    if n < 2:
+        raise ValueError("chain needs at least two relations")
+    kinds = tuple(kinds) if kinds else (JoinKind.INNER,) * (n - 1)
+    if len(kinds) != n - 1:
+        raise ValueError(f"need {n - 1} operators for a chain of {n}")
+    expr: Expr = _rel(1)
+    for i in range(2, n + 1):
+        atoms = [eq(f"r{i - 1}_a1", f"r{i}_a0")]
+        if complex_every and i > 2 and (i % complex_every == 0):
+            atoms.append(eq(f"r{i - 2}_a1", f"r{i}_a1"))
+        expr = Join(kinds[i - 2], expr, _rel(i), make_conjunction(atoms))
+    return expr
+
+
+def star_query(
+    n_satellites: int,
+    kinds: Sequence[JoinKind] | None = None,
+) -> Expr:
+    """A star: hub ``r0`` joined with satellites ``r1..rn``.
+
+    The hub relation gets one attribute per satellite so predicates
+    stay independent.
+    """
+    hub_attrs = tuple(f"r0_a{i}" for i in range(max(1, n_satellites)))
+    hub: Expr = BaseRel("r0", hub_attrs)
+    kinds = tuple(kinds) if kinds else (JoinKind.INNER,) * n_satellites
+    if len(kinds) != n_satellites:
+        raise ValueError(f"need {n_satellites} operators")
+    expr = hub
+    for i in range(1, n_satellites + 1):
+        expr = Join(
+            kinds[i - 1], expr, _rel(i), eq(f"r0_a{i - 1}", f"r{i}_a0")
+        )
+    return expr

@@ -1,0 +1,143 @@
+"""TPC-H-lite: a small decision-support schema and query set.
+
+A scaled-down customer/orders/lineitem/supplier schema whose queries
+live squarely in the paper's territory: outer joins against
+aggregating views, GROUP BY over join results, and correlated COUNT
+subqueries.  Query 1 below is the shape of TPC-H's Q13 (customer
+order-count distribution), the best-known production query that needs
+exactly the outer-join + aggregation reordering this library provides.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.expr.evaluate import Database
+from repro.relalg import Relation
+from repro.sql import SqlCatalog
+
+CATALOG_TABLES = {
+    "customer": ("c_key", "c_name", "c_nation", "c_segment"),
+    "orders": ("o_key", "o_custkey", "o_status", "o_total"),
+    "lineitem": ("l_key", "l_orderkey", "l_suppkey", "l_qty", "l_price"),
+    "supplier": ("s_key", "s_name", "s_nation"),
+}
+
+
+def tpch_lite_catalog() -> SqlCatalog:
+    return SqlCatalog(dict(CATALOG_TABLES))
+
+
+def tpch_lite_database(
+    rng: random.Random,
+    customers: int = 30,
+    orders_per_customer: float = 2.0,
+    lines_per_order: float = 2.0,
+    suppliers: int = 8,
+    nations: int = 4,
+) -> Database:
+    """Generate the four tables at the given (fractional) fan-outs.
+
+    A fraction of customers place no orders and a fraction of orders
+    carry no line items, so the outer-join paths are exercised.
+    """
+    segments = ("BUILDING", "MACHINERY", "AUTOMOBILE")
+    customer_rows = [
+        (
+            c,
+            f"cust-{c}",
+            rng.randrange(nations),
+            rng.choice(segments),
+        )
+        for c in range(customers)
+    ]
+    order_rows = []
+    o_key = 0
+    for c in range(customers):
+        if rng.random() < 0.2:
+            continue  # customers without orders (Q13's point)
+        for _ in range(max(1, round(rng.expovariate(1 / orders_per_customer)))):
+            order_rows.append(
+                (o_key, c, rng.choice("OFP"), rng.randint(10, 500))
+            )
+            o_key += 1
+    line_rows = []
+    l_key = 0
+    for (okey, _, _, _) in order_rows:
+        if rng.random() < 0.15:
+            continue  # orders without line items
+        for _ in range(max(1, round(rng.expovariate(1 / lines_per_order)))):
+            line_rows.append(
+                (
+                    l_key,
+                    okey,
+                    rng.randrange(suppliers),
+                    rng.randint(1, 20),
+                    rng.randint(1, 100),
+                )
+            )
+            l_key += 1
+    supplier_rows = [
+        (s, f"supp-{s}", rng.randrange(nations)) for s in range(suppliers)
+    ]
+    db = Database()
+    for name, rows in (
+        ("customer", customer_rows),
+        ("orders", order_rows),
+        ("lineitem", line_rows),
+        ("supplier", supplier_rows),
+    ):
+        db.add(name, Relation.base(name, list(CATALOG_TABLES[name]), rows))
+    return db
+
+
+# -- the query set (SQL scripts; the last statement is the query) --
+
+Q13_CUSTOMER_DISTRIBUTION = """
+create view cust_orders as
+  select c.c_key as ckey, n = count(o.o_key)
+  from customer c left outer join orders o on c.c_key = o.o_custkey
+  group by c.c_key;
+select n, custdist = count(*)
+from cust_orders
+group by n;
+"""
+
+SUPPLIER_VOLUME_VIEW = """
+create view supp_volume as
+  select l_suppkey as skey, vol = count(*)
+  from lineitem
+  group by l_suppkey;
+select s.s_name, supp_volume.vol
+from supplier s left outer join supp_volume
+  on s.s_key = supp_volume.skey and s.s_nation < 2 * supp_volume.vol;
+"""
+
+BIG_CUSTOMERS_NESTED = """
+select c_name from customer
+where c_nation < (select count(*) from orders
+                  where orders.o_custkey = customer.c_key);
+"""
+
+NATION_FLOW = """
+select s.s_name, c.c_name
+from ((customer c join orders o on c.c_key = o.o_custkey)
+      join lineitem l on o.o_key = l.l_orderkey)
+     join supplier s on l.l_suppkey = s.s_key
+where c.c_segment = 'BUILDING' and s.s_nation = 0;
+"""
+
+SEGMENT_LINES_COMPLEX = """
+select c.c_name, o.o_total, l.l_qty
+from (customer c left outer join orders o on c.c_key = o.o_custkey)
+     left outer join lineitem l
+       on o.o_key = l.l_orderkey and c.c_nation < l.l_qty;
+"""
+
+ALL_QUERIES = {
+    "q13_distribution": Q13_CUSTOMER_DISTRIBUTION,
+    "supplier_volume": SUPPLIER_VOLUME_VIEW,
+    "big_customers_nested": BIG_CUSTOMERS_NESTED,
+    "nation_flow": NATION_FLOW,
+    "segment_lines_complex": SEGMENT_LINES_COMPLEX,
+}

@@ -1,0 +1,111 @@
+"""Association-tree enumeration tests (Definition 3.2 vs BHAR95a)."""
+
+from repro.core.assoc_tree import (
+    AssocLeaf,
+    AssocNode,
+    association_trees,
+    count_association_trees,
+)
+from repro.expr import BaseRel, inner, left_outer
+from repro.expr.predicates import eq
+from repro.hypergraph import hypergraph_of
+from tests.hypergraph.test_hypergraph import q4_expression
+
+
+def tree_strings(trees):
+    return {str(t) for t in trees}
+
+
+class TestQ4:
+    """Example 3.2: the paper's listed association trees for Q4."""
+
+    def test_paper_trees_are_valid_under_def32(self):
+        graph = hypergraph_of(q4_expression())
+        got = tree_strings(association_trees(graph, breakup=True))
+
+        def tree(spec):
+            """Build the canonical AssocTree from a nested tuple spec."""
+            if isinstance(spec, str):
+                return AssocLeaf(spec)
+            return AssocNode(tree(spec[0]), tree(spec[1]))
+
+        # the trees the paper lists explicitly (canonicalized)
+        paper_trees = [
+            (("r1", "r2"), (("r4", "r5"), "r3")),   # original shape
+            (("r1", "r2"), ("r4", ("r5", "r3"))),   # (r1.r2).(r4.(r5.r3))
+            ("r1", (("r2", "r4"), ("r5", "r3"))),   # Q4^2's tree
+        ]
+        for spec in paper_trees:
+            assert str(tree(spec)) in got, f"missing paper tree {spec}"
+        # Erratum: the paper also lists (r1.((r2.r5).(r4.r3))), but its
+        # subtree (r4.r3) induces a DISCONNECTED sub-hypergraph ({r3,r4}
+        # share no edge or sub-edge), violating Definition 3.2 item 2 --
+        # almost certainly a typo for the (r2.r5)-first variant.  Our
+        # enumerator correctly rejects it.
+        erratum = ("r1", (("r2", "r5"), ("r4", "r3")))
+        assert str(tree(erratum)) not in got
+        # trees pairing r2 with r5 first do exist (h2 broken up):
+        assert any("(r2.r5)" in t for t in got)
+
+    def test_breakup_trees_invalid_under_old_definition(self):
+        graph = hypergraph_of(q4_expression())
+        old = tree_strings(association_trees(graph, breakup=False))
+        # trees combining r2 with r4 or r5 alone require breaking h2
+        assert "(r1.((r2.r4).(r3.r5)))" not in old
+        assert all("(r2.r4)" not in t and "(r2.r5)" not in t for t in old)
+
+    def test_new_definition_strictly_larger(self):
+        graph = hypergraph_of(q4_expression())
+        assert count_association_trees(graph, True) > count_association_trees(
+            graph, False
+        )
+
+    def test_count_matches_enumeration(self):
+        graph = hypergraph_of(q4_expression())
+        for breakup in (True, False):
+            assert count_association_trees(graph, breakup) == len(
+                association_trees(graph, breakup)
+            )
+
+
+class TestSmallGraphs:
+    def test_two_relations(self):
+        q = inner(BaseRel("a", ("a_x",)), BaseRel("b", ("b_x",)), eq("a_x", "b_x"))
+        graph = hypergraph_of(q)
+        trees = association_trees(graph)
+        assert tree_strings(trees) == {"(a.b)"}
+
+    def test_three_chain_counts(self):
+        a, b, c = (BaseRel(n, (f"{n}_x", f"{n}_y")) for n in "abc")
+        q = inner(inner(a, b, eq("a_y", "b_x")), c, eq("b_y", "c_x"))
+        graph = hypergraph_of(q)
+        # chains of 3: (a.b).c, a.(b.c) -- (a.c) not connected
+        assert count_association_trees(graph) == 2
+
+    def test_three_clique_counts(self):
+        from repro.expr.predicates import make_conjunction
+
+        a, b, c = (BaseRel(n, (f"{n}_x", f"{n}_y")) for n in "abc")
+        q = inner(
+            inner(a, b, eq("a_y", "b_x")),
+            c,
+            make_conjunction([eq("b_y", "c_x"), eq("a_x", "c_y")]),
+        )
+        graph = hypergraph_of(q)
+        # triangle: all three pairings possible
+        assert count_association_trees(graph) == 3
+
+    def test_leaves_and_canonical_order(self):
+        node = AssocNode(AssocLeaf("b"), AssocLeaf("a"))
+        assert str(node) == "(a.b)"
+        assert node.leaves == {"a", "b"}
+
+    def test_directed_edges_do_not_block_association(self):
+        """Association trees carry no operators; direction does not
+
+        restrict the tree shapes (operator assignment does).
+        """
+        a, b = BaseRel("a", ("a_x",)), BaseRel("b", ("b_x",))
+        q = left_outer(a, b, eq("a_x", "b_x"))
+        graph = hypergraph_of(q)
+        assert count_association_trees(graph) == 1

@@ -1,0 +1,106 @@
+"""Randomized verification of identities (1)-(8), Section 3.1."""
+
+import random
+
+import pytest
+
+from repro.core.identities import (
+    identity_1,
+    identity_2,
+    identity_3,
+    identity_4,
+    identity_5,
+    identity_6,
+    identity_6_as_printed,
+    identity_7,
+    identity_8,
+)
+from repro.expr import BaseRel, JoinKind, evaluate
+from repro.expr.predicates import eq
+from repro.workloads.random_db import random_database
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+R3 = BaseRel("r3", ("r3_a0", "r3_a1"))
+R4 = BaseRel("r4", ("r4_a0", "r4_a1"))
+
+p12 = eq("r1_a0", "r2_a0")
+p12b = eq("r1_a1", "r2_a1")
+p13 = eq("r1_a1", "r3_a1")
+p23 = eq("r2_a1", "r3_a0")
+p23b = eq("r2_a0", "r3_a1")
+p24 = eq("r2_a1", "r4_a0")
+
+
+def check(pair, names, trials=150, seed=23):
+    lhs, rhs = pair
+    rng = random.Random(seed)
+    disagreements = 0
+    for _ in range(trials):
+        db = random_database(rng, names, null_probability=0.1)
+        if not evaluate(rhs, db).same_content(evaluate(lhs, db)):
+            disagreements += 1
+    return disagreements
+
+
+class TestIdentities:
+    def test_identity_1(self):
+        assert check(identity_1(R1, R2, p12, p12b), ("r1", "r2")) == 0
+
+    def test_identity_2(self):
+        assert check(identity_2(R1, R2, p12, p12b), ("r1", "r2")) == 0
+
+    @pytest.mark.parametrize(
+        "kind", [JoinKind.INNER, JoinKind.LEFT, JoinKind.RIGHT, JoinKind.FULL]
+    )
+    def test_identity_3_all_inner_ops(self, kind):
+        pair = identity_3(R1, R2, R3, kind, p12, p13, p23)
+        assert check(pair, ("r1", "r2", "r3")) == 0
+
+    @pytest.mark.parametrize(
+        "kind", [JoinKind.INNER, JoinKind.LEFT, JoinKind.FULL]
+    )
+    def test_identity_4_all_inner_ops(self, kind):
+        pair = identity_4(R1, R2, R3, kind, p12, p13, p23)
+        assert check(pair, ("r1", "r2", "r3")) == 0
+
+    def test_identity_5(self):
+        pair = identity_5(R1, R2, R3, p12, p23, p23b)
+        assert check(pair, ("r1", "r2", "r3")) == 0
+
+    def test_identity_6_corrected(self):
+        pair = identity_6(R1, R2, R3, p12, p23, p23b)
+        assert check(pair, ("r1", "r2", "r3")) == 0
+
+    def test_identity_6_as_printed_is_an_erratum(self):
+        """The printed form over-preserves; this documents the erratum."""
+        pair = identity_6_as_printed(R1, R2, R3, p12, p23, p23b)
+        assert check(pair, ("r1", "r2", "r3")) > 0
+
+    def test_identity_7(self):
+        pair = identity_7(R1, R2, R3, p12, p23, p23b)
+        assert check(pair, ("r1", "r2", "r3")) == 0
+
+    def test_identity_8(self):
+        pair = identity_8(R1, R2, R3, R4, p12, p23, p23b, p24)
+        assert check(pair, ("r1", "r2", "r3", "r4"), trials=120) == 0
+
+
+class TestAgainstGeneralMachinery:
+    """The literal identities agree with defer_conjunct where shapes match."""
+
+    def test_identity_1_matches_split(self):
+        from repro.core.split import defer_conjunct
+        from repro.expr import left_outer
+        from repro.expr.predicates import make_conjunction
+
+        lhs, rhs = identity_1(R1, R2, p12, p12b)
+        res = defer_conjunct(lhs, (), p12)
+        assert res.expr == rhs
+
+    def test_identity_3_matches_split(self):
+        from repro.core.split import defer_conjunct
+
+        lhs, rhs = identity_3(R1, R2, R3, JoinKind.LEFT, p12, p13, p23)
+        res = defer_conjunct(lhs, (), p13)
+        assert res.expr == rhs

@@ -1,0 +1,85 @@
+"""Cross-cutting invariants discovered during the reproduction."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assoc_tree import association_trees, count_association_trees
+from repro.expr import BaseRel, GenSelect, evaluate, left_outer
+from repro.expr.predicates import eq, make_conjunction
+from repro.hypergraph import hypergraph_of
+from repro.workloads.random_db import random_database, random_join_query
+
+SEEDS = st.integers(min_value=0, max_value=50_000)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=SEEDS)
+def test_generalized_selection_idempotent(seed):
+    """σ*_p[s](σ*_p[s](r)) = σ*_p[s](r).
+
+    The padded rows carry NULLs in the predicate's attributes, so the
+    second application drops and immediately re-preserves them.
+    """
+    from repro.core.split import defer_conjunct
+
+    rng = random.Random(seed)
+    r1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+    r2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+    q = left_outer(
+        r1, r2, make_conjunction([eq("r1_a0", "r2_a0"), eq("r1_a1", "r2_a1")])
+    )
+    once = defer_conjunct(q, (), eq("r1_a1", "r2_a1")).expr
+    twice = GenSelect(once, once.predicate, once.preserved)
+    db = random_database(rng, ("r1", "r2"), null_probability=0.2)
+    assert evaluate(twice, db).same_content(evaluate(once, db))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, n=st.integers(min_value=2, max_value=5))
+def test_assoc_tree_count_matches_enumeration(seed, n):
+    """The counting DP and the materializing enumerator agree, for
+
+    both the Definition 3.2 and the BHAR95a connectivity notions, on
+    random query topologies.
+    """
+    rng = random.Random(seed)
+    query = random_join_query(
+        rng, n, outer_probability=0.5, complex_probability=0.6
+    )
+    graph = hypergraph_of(query)
+    for breakup in (True, False):
+        assert count_association_trees(graph, breakup) == len(
+            association_trees(graph, breakup)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, n=st.integers(min_value=2, max_value=5))
+def test_def32_space_superset_of_bhar95a(seed, n):
+    rng = random.Random(seed)
+    query = random_join_query(
+        rng, n, outer_probability=0.5, complex_probability=0.6
+    )
+    graph = hypergraph_of(query)
+    new = {str(t) for t in association_trees(graph, True)}
+    old = {str(t) for t in association_trees(graph, False)}
+    assert old <= new
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=SEEDS)
+def test_simplified_queries_have_same_tree_counts_or_more(seed):
+    """Simplification (outer -> inner) never shrinks the plan space."""
+    from repro.core.simplify import simplify_outer_joins
+
+    rng = random.Random(seed)
+    query = random_join_query(
+        rng, 4, outer_probability=0.8, complex_probability=0.3
+    )
+    simplified = simplify_outer_joins(query)
+    before = count_association_trees(hypergraph_of(query), True)
+    after = count_association_trees(hypergraph_of(simplified), True)
+    # association trees carry no operators, so the counts match; the
+    # operator-assignment freedom is what grows (see X10)
+    assert after == before

@@ -1,0 +1,60 @@
+"""End-to-end pipeline tests (Section 4)."""
+
+import random
+
+from repro.core.pipeline import reorder_pipeline
+from repro.expr import BaseRel, GroupBy, evaluate, inner, left_outer, to_algebra
+from repro.expr.predicates import eq, make_conjunction
+from repro.relalg.aggregates import count_star
+from repro.workloads.random_db import random_database
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+R3 = BaseRel("r3", ("r3_a0", "r3_a1"))
+
+
+class TestPipeline:
+    def test_plans_equivalent_plain_joins(self):
+        q = left_outer(
+            inner(R1, R2, eq("r1_a0", "r2_a0")), R3, eq("r2_a1", "r3_a0")
+        )
+        plans = reorder_pipeline(q, max_plans=300)
+        assert len(plans) > 1
+        rng = random.Random(81)
+        for _ in range(15):
+            db = random_database(rng, ("r1", "r2", "r3"), null_probability=0.1)
+            want = evaluate(q, db)
+            for plan in plans[:50]:
+                assert evaluate(plan, db).same_content(want), to_algebra(plan)
+
+    def test_plans_equivalent_with_aggregation(self):
+        g = GroupBy(R2, ("r2_a0",), (count_star("cnt"),), "g")
+        q = left_outer(R1, g, eq("r1_a0", "r2_a0"))
+        plans = reorder_pipeline(q, max_plans=100)
+        assert len(plans) >= 1
+        rng = random.Random(91)
+        for _ in range(20):
+            db = random_database(rng, ("r1", "r2"), null_probability=0.1)
+            want = evaluate(q, db)
+            for plan in plans:
+                assert evaluate(plan, db).same_content(want), to_algebra(plan)
+
+    def test_aggregation_query_exposes_join_core(self):
+        """After the pipeline, the GP sits above the join core, so the
+
+        core's joins are enumerable.
+        """
+        g = GroupBy(R2, ("r2_a0",), (count_star("cnt"),), "g")
+        q = inner(
+            left_outer(R1, g, eq("r1_a0", "r2_a0")),
+            R3,
+            eq("r1_a1", "r3_a0"),
+        )
+        plans = reorder_pipeline(q, max_plans=500)
+        assert len(plans) > 1
+        rng = random.Random(101)
+        for _ in range(10):
+            db = random_database(rng, ("r1", "r2", "r3"), null_probability=0.1)
+            want = evaluate(q, db)
+            for plan in plans[:40]:
+                assert evaluate(plan, db).same_content(want), to_algebra(plan)

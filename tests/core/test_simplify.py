@@ -1,0 +1,105 @@
+"""Tests for outer-join simplification (BHAR95c prerequisite)."""
+
+import random
+
+from repro.core.simplify import simplify_outer_joins
+from repro.expr import (
+    BaseRel,
+    Join,
+    JoinKind,
+    Select,
+    evaluate,
+    full_outer,
+    inner,
+    left_outer,
+    right_outer,
+)
+from repro.expr.predicates import eq
+from repro.workloads.random_db import random_database
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+R3 = BaseRel("r3", ("r3_a0", "r3_a1"))
+
+p12 = eq("r1_a0", "r2_a0")
+p23 = eq("r2_a1", "r3_a0")
+p13 = eq("r1_a1", "r3_a1")
+
+
+def assert_equiv(original, simplified, names, trials=100, seed=51):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        db = random_database(rng, names, null_probability=0.15)
+        assert evaluate(simplified, db).same_content(evaluate(original, db))
+
+
+def kinds_of(expr):
+    return [n.kind for n in expr.walk() if isinstance(n, Join)]
+
+
+class TestSimplification:
+    def test_loj_under_null_intolerant_join_becomes_inner(self):
+        """(r1 → r2) ⋈p23 r3 with p23 on r2: padding dies."""
+        q = inner(left_outer(R1, R2, p12), R3, p23)
+        out = simplify_outer_joins(q)
+        assert kinds_of(out) == [JoinKind.INNER, JoinKind.INNER]
+        assert_equiv(q, out, ("r1", "r2", "r3"))
+
+    def test_loj_predicate_on_preserved_side_stays(self):
+        """(r1 → r2) ⋈p13 r3 with p13 on r1 only: padding survives."""
+        q = inner(left_outer(R1, R2, p12), R3, p13)
+        out = simplify_outer_joins(q)
+        assert JoinKind.LEFT in kinds_of(out)
+        assert_equiv(q, out, ("r1", "r2", "r3"))
+
+    def test_foj_degrades_one_side(self):
+        """(r1 ↔ r2) ⋈p23 r3: r2-nulls die -> right outer join."""
+        q = inner(full_outer(R1, R2, p12), R3, p23)
+        out = simplify_outer_joins(q)
+        assert JoinKind.FULL not in kinds_of(out)
+        assert_equiv(q, out, ("r1", "r2", "r3"))
+
+    def test_foj_degrades_both_sides(self):
+        from repro.expr.predicates import make_conjunction
+
+        q = inner(
+            full_outer(R1, R2, p12),
+            R3,
+            make_conjunction([p23, p13]),
+        )
+        out = simplify_outer_joins(q)
+        assert kinds_of(out) == [JoinKind.INNER, JoinKind.INNER]
+        assert_equiv(q, out, ("r1", "r2", "r3"))
+
+    def test_select_above_simplifies(self):
+        q = Select(left_outer(R1, R2, p12), eq("r2_a0", "r2_a1"))
+        out = simplify_outer_joins(q)
+        assert kinds_of(out) == [JoinKind.INNER]
+        assert_equiv(q, out, ("r1", "r2"))
+
+    def test_preserving_ancestor_does_not_simplify(self):
+        """r3 → (r1 → r2): the outer LOJ preserves the side the inner
+
+        padding lives on -- no simplification.
+        """
+        q = left_outer(R3, left_outer(R1, R2, p12), p13)
+        out = simplify_outer_joins(q)
+        assert out == q
+        assert_equiv(q, out, ("r1", "r2", "r3"))
+
+    def test_nested_fixpoint(self):
+        """Simplifying one join can enable simplifying another."""
+        q = inner(
+            left_outer(left_outer(R1, R2, p12), R3, p23),
+            BaseRel("r4", ("r4_a0", "r4_a1")),
+            eq("r3_a1", "r4_a0"),
+        )
+        out = simplify_outer_joins(q)
+        assert kinds_of(out) == [JoinKind.INNER] * 3
+        assert_equiv(q, out, ("r1", "r2", "r3", "r4"))
+
+    def test_right_outer_join_simplified(self):
+        q = inner(right_outer(R1, R2, p12), R3, p13)
+        out = simplify_outer_joins(q)
+        assert JoinKind.RIGHT not in kinds_of(out)
+        assert_equiv(q, out, ("r1", "r2", "r3"))

@@ -1,0 +1,84 @@
+"""Property tests for multi-conjunct deferral (defer_conjuncts)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.split import SplitError, defer_conjuncts
+from repro.expr import Join, evaluate, to_algebra
+from repro.expr.predicates import conjuncts_of
+from repro.expr.rewrite import iter_nodes
+from repro.workloads.random_db import random_database, random_join_query
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50_000),
+    n=st.integers(min_value=3, max_value=5),
+)
+def test_stacked_deferrals_equivalent(seed, n):
+    """Defer up to two randomly chosen conjuncts from different joins;
+
+    the stacked compensation must stay equivalent to the original.
+    """
+    rng = random.Random(seed)
+    query = random_join_query(
+        rng, n, outer_probability=0.6, complex_probability=0.7
+    )
+    candidates = []
+    for path, node in iter_nodes(query):
+        if isinstance(node, Join):
+            for atom in conjuncts_of(node.predicate):
+                candidates.append((path, atom))
+    if len(candidates) < 2:
+        return
+    rng.shuffle(candidates)
+    picks = []
+    used_paths = set()
+    for path, atom in candidates:
+        if path in used_paths:
+            continue
+        picks.append((path, atom))
+        used_paths.add(path)
+        if len(picks) == 2:
+            break
+    try:
+        stacked = defer_conjuncts(query, picks)
+    except SplitError:
+        return  # unsupported combination: skipping is sound
+    names = tuple(sorted(query.base_names))
+    for _ in range(3):
+        db = random_database(rng, names, null_probability=0.15)
+        assert evaluate(stacked, db).same_content(evaluate(query, db)), (
+            to_algebra(query)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=50_000))
+def test_deferring_every_conjunct_of_one_join(seed):
+    """Stripping a join's predicate entirely (all conjuncts deferred)
+
+    still compensates exactly.
+    """
+    rng = random.Random(seed)
+    query = random_join_query(
+        rng, 3, outer_probability=0.7, complex_probability=1.0
+    )
+    target = None
+    for path, node in iter_nodes(query):
+        if isinstance(node, Join) and len(conjuncts_of(node.predicate)) >= 2:
+            target = (path, node)
+            break
+    if target is None:
+        return
+    path, node = target
+    picks = [(path, atom) for atom in conjuncts_of(node.predicate)]
+    try:
+        stacked = defer_conjuncts(query, picks)
+    except SplitError:
+        return
+    names = tuple(sorted(query.base_names))
+    for _ in range(3):
+        db = random_database(rng, names, null_probability=0.15)
+        assert evaluate(stacked, db).same_content(evaluate(query, db))

@@ -1,0 +1,113 @@
+"""Theorem 1's hypergraph formula vs the validated tree-walk machinery.
+
+For root-position complex predicates (the theorem's premise), the
+preserved sets computed from Definition 3.3's conflict machinery must
+coincide with the groups `defer_conjunct` derives by walking the tree
+-- and both must be *correct* on data, which the split tests already
+guarantee for the walk.
+"""
+
+import random
+
+import pytest
+
+from repro.core.split import defer_conjunct
+from repro.core.theorem1 import Theorem1Error, theorem1_preserved_sets
+from repro.expr import (
+    BaseRel,
+    evaluate,
+    full_outer,
+    inner,
+    left_outer,
+)
+from repro.expr.predicates import eq, make_conjunction
+from repro.workloads.random_db import random_database
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+R3 = BaseRel("r3", ("r3_a0", "r3_a1"))
+R4 = BaseRel("r4", ("r4_a0", "r4_a1"))
+
+p12 = eq("r1_a0", "r2_a0")
+p13 = eq("r1_a1", "r3_a1")
+p23 = eq("r2_a1", "r3_a0")
+p34 = eq("r3_a1", "r4_a0")
+p24 = eq("r2_a0", "r4_a1")
+
+
+def groups_of_walk(query, conjunct):
+    result = defer_conjunct(query, (), conjunct)
+    return tuple(sorted(result.groups, key=lambda g: sorted(g)))
+
+
+CASES = [
+    # (label, query builder, deferred conjunct)
+    (
+        "loj root, complex over join",
+        lambda: left_outer(
+            inner(R1, R2, p12), R3, make_conjunction([p13, p23])
+        ),
+        p13,
+    ),
+    (
+        "foj root, complex over join (identity 4 shape)",
+        lambda: full_outer(
+            inner(R1, R2, p12), R3, make_conjunction([p13, p23])
+        ),
+        p13,
+    ),
+    (
+        "inner root, complex predicate",
+        lambda: inner(inner(R1, R2, p12), R3, make_conjunction([p13, p23])),
+        p13,
+    ),
+    (
+        "loj root over FOJ inside null hypernode",
+        lambda: left_outer(
+            R1, full_outer(R2, R3, p23), make_conjunction([p12, p13])
+        ),
+        p13,
+    ),
+    (
+        "loj root with a FOJ conflict beyond the hypernode",
+        lambda: left_outer(
+            inner(full_outer(R3, R4, p34), R2, p23),
+            R1,
+            make_conjunction([eq("r2_a0", "r1_a0"), eq("r3_a1", "r1_a1")]),
+        ),
+        eq("r3_a1", "r1_a1"),
+    ),
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("label,builder,conjunct", CASES)
+    def test_formula_matches_walk(self, label, builder, conjunct):
+        query = builder()
+        assert theorem1_preserved_sets(query) == groups_of_walk(
+            query, conjunct
+        ), label
+
+    @pytest.mark.parametrize("label,builder,conjunct", CASES)
+    def test_both_are_correct_on_data(self, label, builder, conjunct):
+        query = builder()
+        deferred = defer_conjunct(query, (), conjunct).expr
+        rng = random.Random(hash(label) % 10_000)
+        names = tuple(sorted(query.base_names))
+        for _ in range(60):
+            db = random_database(rng, names, null_probability=0.15)
+            assert evaluate(deferred, db).same_content(evaluate(query, db))
+
+
+class TestScope:
+    def test_non_join_rejected(self):
+        with pytest.raises(Theorem1Error):
+            theorem1_preserved_sets(R1)
+
+    def test_foj_gives_both_components(self):
+        query = full_outer(
+            inner(R1, R2, p12), R3, make_conjunction([p13, p23])
+        )
+        groups = theorem1_preserved_sets(query)
+        assert frozenset({"r1", "r2"}) in groups
+        assert frozenset({"r3"}) in groups

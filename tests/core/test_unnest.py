@@ -1,0 +1,170 @@
+"""Unnesting vs tuple iteration semantics, on randomized data."""
+
+import random
+
+import pytest
+
+from repro.core.unnest import (
+    NestedCountQuery,
+    example_join_aggregate,
+    execute_tis,
+    unnest,
+)
+from repro.expr import BaseRel, Database, evaluate
+from repro.expr.predicates import eq
+from repro.relalg import Relation
+
+
+def random_db(rng, max_rows=5):
+    def rows(spec, n):
+        return [tuple(rng.choice((1, 2, 3)) for _ in spec) for _ in range(n)]
+
+    db = Database()
+    specs = {
+        "r1": ("r1_key", "r1_a", "r1_b", "r1_c", "r1_f"),
+        "r2": ("r2_key", "r2_c", "r2_d", "r2_e"),
+        "r3": ("r3_key", "r3_e", "r3_f"),
+    }
+    for name, attrs in specs.items():
+        db.add(
+            name,
+            Relation.base(name, list(attrs), rows(attrs, rng.randint(0, max_rows))),
+        )
+    return db
+
+
+class TestTwoLevelUnnesting:
+    """Single nesting: SELECT a FROM r1 WHERE b θ (SELECT count(*) ...)."""
+
+    def make_query(self, theta):
+        r1 = BaseRel("r1", ("r1_key", "r1_a", "r1_b", "r1_c", "r1_f"))
+        r2 = BaseRel("r2", ("r2_key", "r2_c", "r2_d", "r2_e"))
+        inner_level = NestedCountQuery(
+            relation=r2,
+            correlation=eq("r2_c", "r1_c"),
+            compare_attr="",
+            theta="",
+            subquery=None,
+        )
+        return NestedCountQuery(
+            relation=r1,
+            correlation=None,
+            compare_attr="r1_b",
+            theta=theta,
+            subquery=inner_level,
+            select_attrs=("r1_a",),
+        )
+
+    @pytest.mark.parametrize("theta", ["=", ">", "<", ">=", "<="])
+    def test_matches_tis(self, theta):
+        query = self.make_query(theta)
+        plan = unnest(query)
+        rng = random.Random(61)
+        for _ in range(60):
+            db = random_db(rng)
+            want = execute_tis(query, db)
+            got = evaluate(plan, db)
+            assert got.same_content(want), (theta, want.to_text(), got.to_text())
+
+    def test_count_bug_zero_matches(self):
+        """r1 rows with NO matching r2 must still qualify when θ
+
+        compares against 0 -- the classical COUNT bug.
+        """
+        query = self.make_query("=")  # r1_b = count(...)
+        db = Database()
+        db.add(
+            "r1",
+            Relation.base(
+                "r1",
+                ["r1_key", "r1_a", "r1_b", "r1_c", "r1_f"],
+                [(1, "keep", 0, 99, 0)],  # r1_b = 0, no r2 matches c=99
+            ),
+        )
+        db.add("r2", Relation.base("r2", ["r2_key", "r2_c", "r2_d", "r2_e"], []))
+        db.add("r3", Relation.base("r3", ["r3_key", "r3_e", "r3_f"], []))
+        plan = unnest(query)
+        got = evaluate(plan, db)
+        want = execute_tis(query, db)
+        assert want.rows and got.same_content(want)
+
+
+class TestThreeLevelUnnesting:
+    """The paper's doubly nested query with the complex inner correlation."""
+
+    @pytest.mark.parametrize(
+        "theta1,theta2", [(">", "<"), ("=", "="), ("<=", ">="), ("<", ">")]
+    )
+    def test_matches_tis(self, theta1, theta2):
+        query = example_join_aggregate(theta1, theta2)
+        plan = unnest(query)
+        rng = random.Random(71)
+        for _ in range(50):
+            db = random_db(rng, max_rows=4)
+            want = execute_tis(query, db)
+            got = evaluate(plan, db)
+            assert got.same_content(want), (
+                theta1,
+                theta2,
+                want.to_text(),
+                got.to_text(),
+            )
+
+    def test_inner_count_bug(self):
+        """(r1, r2) pairs with zero r3 matches must test θ2 against 0."""
+        query = example_join_aggregate("=", "=")
+        db = Database()
+        db.add(
+            "r1",
+            Relation.base(
+                "r1",
+                ["r1_key", "r1_a", "r1_b", "r1_c", "r1_f"],
+                [(1, "x", 1, 7, 5)],
+            ),
+        )
+        db.add(
+            "r2",
+            Relation.base(
+                "r2",
+                ["r2_key", "r2_c", "r2_d", "r2_e"],
+                [(10, 7, 0, 3)],  # matches r1 (c=7), d=0 -> needs count(r3)=0
+            ),
+        )
+        db.add("r3", Relation.base("r3", ["r3_key", "r3_e", "r3_f"], []))
+        plan = unnest(query)
+        want = execute_tis(query, db)
+        got = evaluate(plan, db)
+        assert want.rows  # r1 qualifies: count = 1 (the r2 row passes)
+        assert got.same_content(want)
+
+    def test_unnested_plan_is_reorderable(self):
+        """The complex correlation becomes a complex-predicate LOJ; the
+
+        closure (with GS) reorders it -- e.g. joining r2, r3 first.
+        """
+        from repro.core.transform import enumerate_plans
+        from repro.expr import Join
+
+        query = example_join_aggregate()
+        plan = unnest(query)
+        # find the join core: dig to the join chain below GroupBy etc.
+        core = plan
+        while core.children() and not isinstance(core, Join):
+            core = core.children()[0]
+        plans = enumerate_plans(core, max_plans=500)
+        assert len(plans) > 1
+
+        def pairs_first(p, pair):
+            return any(
+                isinstance(n, Join)
+                and n.left.base_names | n.right.base_names == pair
+                for n in p.walk()
+            )
+
+        assert any(pairs_first(p, frozenset({"r2", "r3"})) for p in plans)
+
+    def test_raises_without_subquery(self):
+        r1 = BaseRel("r1", ("r1_a",))
+        flat = NestedCountQuery(r1, None, "r1_a", "=", None, ("r1_a",))
+        with pytest.raises(ValueError):
+            unnest(flat)

@@ -1,0 +1,129 @@
+"""Tests for the interpreter and the pretty printer."""
+
+import pytest
+
+from repro.expr import (
+    BaseRel,
+    Database,
+    GenSelect,
+    GroupBy,
+    Project,
+    Select,
+    evaluate,
+    full_outer,
+    inner,
+    left_outer,
+    preserved_for,
+    to_algebra,
+)
+from repro.expr.display import to_tree
+from repro.expr.nodes import ExprError
+from repro.expr.predicates import TRUE, cmp_const, eq, make_conjunction
+from repro.relalg import Relation
+from repro.relalg.aggregates import count_star
+from repro.relalg.nulls import NULL
+
+
+@pytest.fixture()
+def db():
+    return Database(
+        {
+            "r1": Relation.base("r1", ["a", "b"], [(1, 10), (2, 20), (3, 30)]),
+            "r2": Relation.base("r2", ["c", "d"], [(1, "x"), (1, "y"), (9, "z")]),
+            "r3": Relation.base("r3", ["e", "g"], [(10, "p"), (40, "q")]),
+        }
+    )
+
+
+R1 = BaseRel("r1", ("a", "b"))
+R2 = BaseRel("r2", ("c", "d"))
+R3 = BaseRel("r3", ("e", "g"))
+
+
+class TestEvaluate:
+    def test_base(self, db):
+        assert len(evaluate(R1, db)) == 3
+
+    def test_base_schema_mismatch(self, db):
+        with pytest.raises(ExprError, match="expects"):
+            evaluate(BaseRel("r1", ("wrong",)), db)
+
+    def test_missing_base(self):
+        with pytest.raises(ExprError, match="no base relation"):
+            evaluate(R1, Database())
+
+    def test_select(self, db):
+        out = evaluate(Select(R1, cmp_const("a", ">=", 2)), db)
+        assert sorted(r["a"] for r in out) == [2, 3]
+
+    def test_project_bag_and_distinct(self, db):
+        out = evaluate(Project(R2, ("c",)), db)
+        assert sorted(r["c"] for r in out) == [1, 1, 9]
+        out = evaluate(Project(R2, ("c",), distinct=True), db)
+        assert sorted(r["c"] for r in out) == [1, 9]
+
+    def test_inner_join(self, db):
+        out = evaluate(inner(R1, R2, eq("a", "c")), db)
+        assert len(out) == 2
+
+    def test_cartesian_product(self, db):
+        out = evaluate(inner(R1, R2, TRUE), db)
+        assert len(out) == 9
+
+    def test_left_outer_join(self, db):
+        out = evaluate(left_outer(R1, R2, eq("a", "c")), db)
+        assert len(out) == 4
+
+    def test_full_outer_join(self, db):
+        out = evaluate(full_outer(R1, R2, eq("a", "c")), db)
+        assert len(out) == 5
+
+    def test_group_by(self, db):
+        g = GroupBy(R2, ("c",), (count_star("n"),), "v")
+        out = evaluate(g, db)
+        assert {(r["c"], r["n"]) for r in out} == {(1, 2), (9, 1)}
+
+    def test_gen_select(self, db):
+        q = left_outer(R1, R2, eq("a", "c"))
+        pres = preserved_for(q, {"r1"})
+        gs = GenSelect(q, cmp_const("d", "=", "x"), (pres,))
+        out = evaluate(gs, db)
+        # (1,10,1,x) survives; the a=1 r1-tuple therefore survives, and
+        # the unmatched a=2, a=3 r1-tuples are preserved null-padded.
+        assert len(out) == 3
+        matched = [r for r in out if r["d"] != NULL]
+        assert len(matched) == 1 and matched[0]["d"] == "x"
+
+    def test_nested_three_way(self, db):
+        q = left_outer(
+            inner(R1, R2, eq("a", "c")), R3, make_conjunction([eq("b", "e")])
+        )
+        out = evaluate(q, db)
+        assert len(out) == 2
+
+
+class TestDisplay:
+    def test_algebra_symbols(self):
+        q = full_outer(inner(R1, R2, eq("a", "c")), R3, eq("d", "g"))
+        s = to_algebra(q)
+        assert "⋈" in s and "↔" in s and "r3" in s
+
+    def test_cartesian_symbol(self):
+        assert "×" in to_algebra(inner(R1, R2, TRUE))
+
+    def test_gen_select_rendering(self):
+        q = left_outer(R1, R2, eq("a", "c"))
+        gs = GenSelect(q, eq("b", "d"), (preserved_for(q, {"r1"}),))
+        s = to_algebra(gs)
+        assert s.startswith("σ*[b = d][r1]")
+
+    def test_group_by_rendering(self):
+        g = GroupBy(R1, ("a",), (count_star("n"),), "v")
+        assert "n=count(*)" in to_algebra(g)
+
+    def test_tree_rendering_indents(self):
+        q = left_outer(R1, R2, eq("a", "c"))
+        lines = to_tree(q).splitlines()
+        assert lines[0].startswith("→")
+        assert lines[1] == "  r1"
+        assert lines[2] == "  r2"

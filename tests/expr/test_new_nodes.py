@@ -1,0 +1,81 @@
+"""Coverage for the SemiJoin / UnionAll nodes' structural behavior."""
+
+import pytest
+
+from repro.expr import BaseRel, Rename
+from repro.expr.nodes import ExprError, SemiJoin, UnionAll
+from repro.expr.predicates import Col, IsNull, eq
+
+A = BaseRel("a", ("ax", "ay"))
+B = BaseRel("b", ("bx", "by"))
+C = BaseRel("c", ("cx",))
+
+
+class TestSemiJoinNode:
+    def test_output_schema_is_left_only(self):
+        s = SemiJoin(A, B, eq("ax", "bx"))
+        assert s.real_attrs == ("ax", "ay")
+        assert s.virtual_attrs == ("#a",)
+
+    def test_base_names_include_right(self):
+        s = SemiJoin(A, B, eq("ax", "bx"))
+        assert s.base_names == {"a", "b"}
+
+    def test_predicate_must_span_scopes(self):
+        with pytest.raises(ExprError, match="not in scope"):
+            SemiJoin(A, B, eq("ax", "cx"))
+
+    def test_tolerant_predicate_rejected(self):
+        with pytest.raises(ExprError, match="null in-tolerant"):
+            SemiJoin(A, B, IsNull(Col("bx")))
+
+    def test_shared_base_rejected(self):
+        with pytest.raises(ExprError):
+            SemiJoin(A, A, eq("ax", "ay"))
+
+    def test_attr_owners_left_only(self):
+        s = SemiJoin(A, B, eq("ax", "bx"))
+        assert set(s.attr_owners) == {"ax", "ay", "#a"}
+
+    def test_hypergraph_treats_semi_as_opaque(self):
+        from repro.expr import inner
+        from repro.hypergraph import hypergraph_of
+
+        s = SemiJoin(A, B, eq("ax", "bx"))
+        q = inner(s, C, eq("ay", "cx"))
+        graph = hypergraph_of(q)
+        assert graph.nodes == {"a", "c"}
+        assert len(graph.edges) == 1
+
+
+class TestUnionAllNode:
+    def aligned(self):
+        renamed = Rename(B, (("bx", "ax"), ("by", "ay")))
+        return UnionAll(A, renamed)
+
+    def test_schema(self):
+        u = self.aligned()
+        assert u.real_attrs == ("ax", "ay")
+        assert set(u.virtual_attrs) == {"#a", "#b"}
+
+    def test_owners_merge(self):
+        u = self.aligned()
+        assert u.attr_owners["ax"] == {"a", "b"}
+        assert u.attr_owners["#a"] == {"a"}
+
+    def test_estimate_adds_rows(self):
+        from repro.optimizer import Statistics, TableStats, estimate
+
+        stats = Statistics(
+            {"a": TableStats(10, {}), "b": TableStats(7, {})}
+        )
+        assert estimate(self.aligned(), stats).rows == 17
+
+    def test_walkable_and_rebuildable(self):
+        from repro.expr.rewrite import iter_nodes, replace_at
+
+        u = self.aligned()
+        nodes = list(iter_nodes(u))
+        assert len(nodes) >= 3
+        rebuilt = replace_at(u, (), u)
+        assert rebuilt == u

@@ -1,0 +1,174 @@
+"""Tests for logical expression tree nodes."""
+
+import pytest
+
+from repro.expr import (
+    BaseRel,
+    GenSelect,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Select,
+    full_outer,
+    inner,
+    left_outer,
+    preserved_for,
+)
+from repro.expr.nodes import ExprError
+from repro.expr.predicates import TRUE, eq
+from repro.relalg.aggregates import count_star, sum_
+
+
+def rels():
+    r1 = BaseRel("r1", ("a", "b"))
+    r2 = BaseRel("r2", ("c", "d"))
+    r3 = BaseRel("r3", ("e", "g"))
+    return r1, r2, r3
+
+
+class TestBaseRel:
+    def test_schema(self):
+        r1, _, _ = rels()
+        assert r1.real_attrs == ("a", "b")
+        assert r1.virtual_attrs == ("#r1",)
+        assert r1.base_names == {"r1"}
+
+    def test_duplicate_attrs_rejected(self):
+        with pytest.raises(ExprError):
+            BaseRel("x", ("a", "a"))
+
+    def test_owners(self):
+        r1, _, _ = rels()
+        assert r1.attr_owners["a"] == {"r1"}
+        assert r1.attr_owners["#r1"] == {"r1"}
+
+
+class TestJoin:
+    def test_schema_concatenation(self):
+        r1, r2, _ = rels()
+        j = inner(r1, r2, eq("a", "c"))
+        assert j.real_attrs == ("a", "b", "c", "d")
+        assert j.virtual_attrs == ("#r1", "#r2")
+        assert j.base_names == {"r1", "r2"}
+
+    def test_kind_properties(self):
+        assert JoinKind.LEFT.preserves_left and not JoinKind.LEFT.preserves_right
+        assert JoinKind.FULL.preserves_left and JoinKind.FULL.preserves_right
+        assert not JoinKind.INNER.is_outer
+        assert JoinKind.RIGHT.is_outer
+
+    def test_shared_base_rejected(self):
+        r1, _, _ = rels()
+        with pytest.raises(ExprError):
+            inner(r1, r1, TRUE)
+
+    def test_out_of_scope_predicate_rejected(self):
+        r1, r2, _ = rels()
+        with pytest.raises(ExprError, match="not in scope"):
+            inner(r1, r2, eq("a", "zzz"))
+
+    def test_predicate_relations(self):
+        r1, r2, r3 = rels()
+        q = left_outer(inner(r1, r2, eq("a", "c")), r3, eq("d", "e"))
+        assert q.predicate_relations(eq("d", "e")) == {"r2", "r3"}
+        assert q.predicate_relations(eq("a", "e")) == {"r1", "r3"}
+
+    def test_trees_hashable(self):
+        r1, r2, _ = rels()
+        assert hash(inner(r1, r2, eq("a", "c"))) == hash(inner(r1, r2, eq("a", "c")))
+
+
+class TestSelectProject:
+    def test_select_preserves_schema(self):
+        r1, _, _ = rels()
+        s = Select(r1, eq("a", "b"))
+        assert s.real_attrs == r1.real_attrs
+        assert s.children() == (r1,)
+
+    def test_project_restricts(self):
+        r1, r2, _ = rels()
+        j = inner(r1, r2, eq("a", "c"))
+        p = Project(j, ("a", "d"))
+        assert p.real_attrs == ("a", "d")
+
+    def test_project_unknown_attr_rejected(self):
+        r1, _, _ = rels()
+        with pytest.raises(ExprError):
+            Project(r1, ("zzz",))
+
+    def test_distinct_project_drops_virtuals(self):
+        r1, _, _ = rels()
+        assert Project(r1, ("a",), distinct=True).virtual_attrs == ()
+
+
+class TestGroupBy:
+    def test_schema(self):
+        r1, _, _ = rels()
+        g = GroupBy(r1, ("a",), (count_star("n"),), "v")
+        assert g.real_attrs == ("a", "n")
+        assert g.virtual_attrs == ("#v",)
+
+    def test_group_on_virtuals(self):
+        r1, r2, _ = rels()
+        j = inner(r1, r2, eq("a", "c"))
+        g = GroupBy(j, ("#r1", "a"), (count_star("n"),), "v")
+        assert "#r1" in g.virtual_attrs
+        assert g.real_attrs == ("a", "n")
+
+    def test_owner_of_aggregate_output(self):
+        r1, r2, _ = rels()
+        j = inner(r1, r2, eq("a", "c"))
+        g = GroupBy(j, ("a",), (sum_("d", "s"), count_star("n")), "v")
+        assert g.attr_owners["s"] == {"r2"}
+        assert g.attr_owners["n"] == {"r1", "r2"}
+
+    def test_unknown_key_rejected(self):
+        r1, _, _ = rels()
+        with pytest.raises(ExprError):
+            GroupBy(r1, ("zzz",), (), "v")
+
+
+class TestGenSelectAndPreserved:
+    def test_preserved_for_joins(self):
+        r1, r2, r3 = rels()
+        q = left_outer(inner(r1, r2, eq("a", "c")), r3, eq("d", "e"))
+        pres = preserved_for(q, {"r1", "r2"})
+        assert pres.real == {"a", "b", "c", "d"}
+        assert pres.virtual == {"#r1", "#r2"}
+        assert pres.name == "r1r2"
+
+    def test_preserved_for_above_groupby(self):
+        r1, r2, r3 = rels()
+        j = inner(r1, r2, eq("a", "c"))
+        g = GroupBy(j, ("a", "c"), (count_star("n"),), "v")
+        q = left_outer(g, r3, eq("a", "e"))
+        pres = preserved_for(q, {"r1", "r2"})
+        # group keys owned by r1/r2 plus the count (owned by both),
+        # and the GroupBy's own virtual id (owned by {r1, r2})
+        assert pres.real == {"a", "c", "n"}
+        assert pres.virtual == {"#v"}
+        pres2 = preserved_for(q, {"r1"})
+        assert pres2.real == {"a"}
+        assert pres2.virtual == frozenset()
+
+    def test_preserved_unknown_name_rejected(self):
+        r1, r2, _ = rels()
+        q = inner(r1, r2, eq("a", "c"))
+        with pytest.raises(ExprError):
+            preserved_for(q, {"nope"})
+
+    def test_gen_select_scope_checked(self):
+        r1, r2, _ = rels()
+        q = inner(r1, r2, eq("a", "c"))
+        pres = preserved_for(q, {"r1"})
+        GenSelect(q, eq("b", "d"), (pres,))  # fine
+        pres_r2 = preserved_for(q, {"r2"})
+        with pytest.raises(ExprError):
+            GenSelect(r1, eq("a", "b"), (pres_r2,))  # r2 attrs not in r1's scope
+
+    def test_walk(self):
+        r1, r2, r3 = rels()
+        q = full_outer(inner(r1, r2, eq("a", "c")), r3, eq("d", "e"))
+        names = [n.name for n in q.walk() if isinstance(n, BaseRel)]
+        assert names == ["r1", "r2", "r3"]

@@ -1,0 +1,86 @@
+"""Tests for predicate atoms and conjunctions."""
+
+import pytest
+
+from repro.expr.predicates import (
+    TRUE,
+    Col,
+    Comparison,
+    Conjunction,
+    Const,
+    cmp_const,
+    conjuncts_of,
+    eq,
+    make_conjunction,
+)
+from repro.relalg.nulls import NULL, Truth
+from repro.relalg.row import Row
+
+
+class TestTerms:
+    def test_col_reads_row(self):
+        assert Col("a").value(Row({"a": 7})) == 7
+        assert Col("a").attrs == {"a"}
+
+    def test_const(self):
+        assert Const(5).value(Row({"a": 1})) == 5
+        assert Const(5).attrs == frozenset()
+
+
+class TestComparison:
+    def test_evaluate(self):
+        p = eq("a", "b")
+        assert p.evaluate(Row({"a": 1, "b": 1})) is Truth.TRUE
+        assert p.evaluate(Row({"a": 1, "b": 2})) is Truth.FALSE
+
+    def test_null_is_unknown(self):
+        p = eq("a", "b")
+        assert p.evaluate(Row({"a": NULL, "b": 1})) is Truth.UNKNOWN
+
+    def test_const_comparison(self):
+        p = cmp_const("a", ">", 10)
+        assert p.evaluate(Row({"a": 11})) is Truth.TRUE
+        assert p.evaluate(Row({"a": NULL})) is Truth.UNKNOWN
+
+    def test_schema(self):
+        assert eq("x", "y").attrs == {"x", "y"}
+
+    def test_structural_equality(self):
+        assert eq("a", "b") == eq("a", "b")
+        assert hash(eq("a", "b")) == hash(eq("a", "b"))
+
+    def test_str(self):
+        assert str(eq("a", "b")) == "a = b"
+
+
+class TestConjunction:
+    def test_evaluate_three_valued(self):
+        p = make_conjunction([eq("a", "b"), eq("c", "d")])
+        assert p.evaluate(Row({"a": 1, "b": 1, "c": 2, "d": 2})) is Truth.TRUE
+        assert p.evaluate(Row({"a": 1, "b": 1, "c": 2, "d": 3})) is Truth.FALSE
+        # FALSE dominates UNKNOWN
+        assert p.evaluate(Row({"a": 1, "b": 2, "c": NULL, "d": 3})) is Truth.FALSE
+        assert p.evaluate(Row({"a": 1, "b": 1, "c": NULL, "d": 3})) is Truth.UNKNOWN
+
+    def test_flattening(self):
+        inner_conj = make_conjunction([eq("a", "b"), eq("c", "d")])
+        p = make_conjunction([inner_conj, eq("e", "f")])
+        assert len(conjuncts_of(p)) == 3
+
+    def test_single_atom_unwrapped(self):
+        assert make_conjunction([eq("a", "b")]) == eq("a", "b")
+
+    def test_empty_is_true(self):
+        assert make_conjunction([]) is TRUE
+        assert TRUE.evaluate(Row({})) is Truth.TRUE
+        assert conjuncts_of(TRUE) == ()
+
+    def test_raw_constructor_rejects_unflattened(self):
+        with pytest.raises(ValueError):
+            Conjunction((eq("a", "b"),))
+        with pytest.raises(ValueError):
+            Conjunction((TRUE, eq("a", "b")))
+
+    def test_schema_union(self):
+        p = make_conjunction([eq("a", "b"), eq("c", "d")])
+        assert p.attrs == {"a", "b", "c", "d"}

@@ -1,0 +1,160 @@
+"""Tests for pres / pres_away / ccoj / conf (Definition 3.3)."""
+
+import pytest
+
+from repro.expr import BaseRel, full_outer, inner, left_outer
+from repro.expr.predicates import eq, make_conjunction
+from repro.hypergraph import (
+    HypergraphError,
+    ccoj,
+    conf,
+    hypergraph_of,
+    pres,
+    pres_away,
+    pres_sides,
+)
+
+R1 = BaseRel("r1", ("a1", "b1"))
+R2 = BaseRel("r2", ("a2", "b2"))
+R3 = BaseRel("r3", ("a3", "b3"))
+R4 = BaseRel("r4", ("a4", "b4"))
+
+
+def find(graph, names):
+    names = frozenset(names)
+    return next(e for e in graph.edges if e.nodes == names)
+
+
+class TestPres:
+    def test_q4_pres_h2_is_r1_r2(self):
+        """The paper: 'preserved set for hyperedge h2 is {r1, r2} in Q4'."""
+        from tests.hypergraph.test_hypergraph import q4_expression
+
+        graph = hypergraph_of(q4_expression())
+        h2 = next(e for e in graph.edges if e.complex)
+        assert pres(graph, h2) == {"r1", "r2"}
+
+    def test_pres_extends_through_joins_above(self):
+        # (r1 ->p12 (r2 join r3)) join p14 r4: pres of the LOJ = {r1, r4}
+        q = inner(
+            left_outer(R1, inner(R2, R3, eq("b2", "a3")), eq("a1", "a2")),
+            R4,
+            eq("b1", "a4"),
+        )
+        graph = hypergraph_of(q)
+        loj = next(e for e in graph.edges if e.directed)
+        assert pres(graph, loj) == {"r1", "r4"}
+
+    def test_pres_requires_directed(self):
+        graph = hypergraph_of(inner(R1, R2, eq("a1", "a2")))
+        with pytest.raises(HypergraphError):
+            pres(graph, graph.edges[0])
+
+    def test_pres_sides_of_foj(self):
+        q = full_outer(inner(R1, R2, eq("a1", "a2")), R3, eq("b2", "a3"))
+        graph = hypergraph_of(q)
+        foj = next(e for e in graph.edges if e.bidirected)
+        left, right = pres_sides(graph, foj)
+        assert {left, right} == {frozenset({"r1", "r2"}), frozenset({"r3"})}
+
+
+class TestPresAway:
+    def test_away_from_complex_edge(self):
+        # (r1 ->complex (r2 join r3)) <->p34 r4
+        q = full_outer(
+            left_outer(
+                R1,
+                inner(R2, R3, eq("b2", "a3")),
+                make_conjunction([eq("a1", "a2"), eq("b1", "b3")]),
+            ),
+            R4,
+            eq("a3", "a4"),
+        )
+        graph = hypergraph_of(q)
+        foj = next(e for e in graph.edges if e.bidirected)
+        h0 = next(e for e in graph.edges if e.complex)
+        assert pres_away(graph, foj, h0) == {"r4"}
+
+    def test_away_for_directed_is_pres(self):
+        q = inner(left_outer(R1, R2, eq("a1", "a2")), R3, eq("b2", "a3"))
+        graph = hypergraph_of(q)
+        loj = next(e for e in graph.edges if e.directed)
+        other = next(e for e in graph.edges if e.undirected)
+        assert pres_away(graph, loj, other) == pres(graph, loj) == {"r1"}
+
+
+class TestCcoj:
+    def test_join_under_outer_join_null_side(self):
+        # r1 ->p12 (r2 join p23 r3): the join conflicts with the LOJ
+        q = left_outer(R1, inner(R2, R3, eq("b2", "a3")), eq("a1", "a2"))
+        graph = hypergraph_of(q)
+        join_edge = next(e for e in graph.edges if e.undirected)
+        (closest,) = ccoj(graph, join_edge)
+        assert closest.directed
+
+    def test_join_on_preserved_side_has_no_ccoj(self):
+        # (r1 join p12 r2) ->p23 r3
+        q = left_outer(inner(R1, R2, eq("a1", "a2")), R3, eq("b2", "a3"))
+        graph = hypergraph_of(q)
+        join_edge = next(e for e in graph.edges if e.undirected)
+        assert ccoj(graph, join_edge) == ()
+
+    def test_nested_picks_closest(self):
+        # r1 -> (r2 -> (r3 join r4)): join's ccoj is the inner LOJ
+        q = left_outer(
+            R1,
+            left_outer(R2, inner(R3, R4, eq("a3", "a4")), eq("a2", "a3")),
+            eq("a1", "a2"),
+        )
+        graph = hypergraph_of(q)
+        join_edge = next(e for e in graph.edges if e.undirected)
+        (closest,) = ccoj(graph, join_edge)
+        assert closest.nodes == {"r2", "r3"}
+
+
+class TestConf:
+    def test_bidirected_has_empty_conf(self):
+        q = full_outer(R1, R2, eq("a1", "a2"))
+        graph = hypergraph_of(q)
+        assert conf(graph, graph.edges[0]) == ()
+
+    def test_directed_conflicts_with_foj_beyond_hypernode(self):
+        # (r1 ->p12^p13 (r2 join r3)) <->p34 r4: the FOJ conflicts
+        q = full_outer(
+            left_outer(
+                R1,
+                inner(R2, R3, eq("b2", "a3")),
+                make_conjunction([eq("a1", "a2"), eq("b1", "b3")]),
+            ),
+            R4,
+            eq("a3", "a4"),
+        )
+        graph = hypergraph_of(q)
+        h0 = next(e for e in graph.edges if e.complex)
+        conflicts = conf(graph, h0)
+        assert [c.bidirected for c in conflicts] == [True]
+
+    def test_foj_inside_null_hypernode_does_not_conflict(self):
+        # r1 ->p12^p13 (r2 <->p23 r3): h23 wholly inside the null hypernode
+        q = left_outer(
+            R1,
+            full_outer(R2, R3, eq("b2", "a3")),
+            make_conjunction([eq("a1", "a2"), eq("b1", "b3")]),
+        )
+        graph = hypergraph_of(q)
+        h0 = next(e for e in graph.edges if e.complex)
+        assert conf(graph, h0) == ()
+
+    def test_join_inherits_conf_through_ccoj(self):
+        # (r1 ->p12 (r2 join p23 r3)) <-> r4: join edge inherits {LOJ's conf} via ccoj
+        q = full_outer(
+            left_outer(R1, inner(R2, R3, eq("b2", "a3")), eq("a1", "a2")),
+            R4,
+            eq("a3", "a4"),
+        )
+        graph = hypergraph_of(q)
+        join_edge = next(e for e in graph.edges if e.undirected)
+        conflicts = conf(graph, join_edge)
+        # ccoj is the LOJ; conf(LOJ) contains the FOJ
+        kinds = sorted(("dir" if c.directed else "bi") for c in conflicts)
+        assert kinds == ["bi", "dir"]

@@ -1,0 +1,58 @@
+"""Remaining hypergraph and rendering coverage."""
+
+from repro.expr import BaseRel, full_outer, inner, left_outer, to_algebra
+from repro.expr.display import to_tree
+from repro.expr.predicates import eq, make_conjunction
+from repro.hypergraph import hypergraph_of
+
+A = BaseRel("a", ("ax", "ay"))
+B = BaseRel("b", ("bx", "by"))
+C = BaseRel("c", ("cx", "cy"))
+
+
+class TestHypergraphText:
+    def test_to_text_lists_edges(self):
+        q = left_outer(inner(A, B, eq("ax", "bx")), C, eq("by", "cx"))
+        text = hypergraph_of(q).to_text()
+        assert "nodes: a, b, c" in text
+        assert "--" in text and "->" in text
+
+    def test_edge_str_bidirected(self):
+        q = full_outer(A, B, eq("ax", "bx"))
+        (edge,) = hypergraph_of(q).edges
+        assert "<->" in str(edge)
+
+    def test_crossing_edges_both_orientations(self):
+        """An edge whose hypernodes straddle both sides reports both
+
+        sub-edge orientations.
+        """
+        q = left_outer(
+            inner(A, B, eq("ax", "bx")),
+            C,
+            make_conjunction([eq("ay", "cx"), eq("by", "cy")]),
+        )
+        graph = hypergraph_of(q)
+        # split {a, c} | {b}: the complex edge <{a,b},{c}> straddles
+        crossing = graph.crossing_edges(frozenset({"a", "c"}), frozenset({"b"}))
+        assert crossing  # the a-b inner edge crosses at least
+
+
+class TestRendering:
+    def test_algebra_round_trips_symbols(self):
+        q = full_outer(left_outer(A, B, eq("ax", "bx")), C, eq("by", "cx"))
+        s = to_algebra(q)
+        assert "→" in s and "↔" in s
+
+    def test_tree_indentation_depth(self):
+        q = inner(inner(A, B, eq("ax", "bx")), C, eq("by", "cx"))
+        lines = to_tree(q).splitlines()
+        assert lines[0].startswith("⋈")
+        assert any(line.startswith("    ") for line in lines)
+
+    def test_relation_text_with_virtuals(self):
+        from repro.relalg import Relation
+
+        r = Relation.base("t", ["a"], [(1,)])
+        text = r.to_text(include_virtual=True)
+        assert "#t" in text

@@ -1,0 +1,142 @@
+"""Tests for the hypergraph model, anchored on the paper's Figure 1."""
+
+import pytest
+
+from repro.expr import BaseRel, JoinKind, full_outer, inner, left_outer
+from repro.expr.predicates import TRUE, eq, make_conjunction
+from repro.hypergraph import Hyperedge, Hypergraph, HypergraphError, hypergraph_of
+
+
+def q4_expression():
+    """Example 3.2:  Q4 = r1 ->p12 (r2 ->p24^p25 ((r4 join p45 r5) join p35 r3))."""
+    r1 = BaseRel("r1", ("a1",))
+    r2 = BaseRel("r2", ("a2", "b2"))
+    r3 = BaseRel("r3", ("a3",))
+    r4 = BaseRel("r4", ("a4",))
+    r5 = BaseRel("r5", ("a5", "b5", "c5"))
+    p45 = eq("a4", "a5")
+    p35 = eq("a3", "b5")
+    p24 = eq("a2", "a4")
+    p25 = eq("b2", "c5")
+    p12 = eq("a1", "a2")
+    core = inner(inner(r4, r5, p45), r3, p35)
+    return left_outer(r1, left_outer(r2, core, make_conjunction([p24, p25])), p12)
+
+
+class TestHyperedge:
+    def test_validation(self):
+        with pytest.raises(HypergraphError):
+            Hyperedge("h", frozenset(), frozenset({"a"}), JoinKind.INNER)
+        with pytest.raises(HypergraphError):
+            Hyperedge("h", frozenset({"a"}), frozenset({"a"}), JoinKind.INNER)
+        with pytest.raises(HypergraphError):
+            Hyperedge("h", frozenset({"a"}), frozenset({"b"}), JoinKind.RIGHT)
+
+    def test_classification(self):
+        e = Hyperedge("h", frozenset({"a"}), frozenset({"b", "c"}), JoinKind.LEFT)
+        assert e.directed and not e.bidirected and not e.undirected
+        assert e.complex and not e.simple
+        s = Hyperedge("h2", frozenset({"a"}), frozenset({"b"}), JoinKind.FULL)
+        assert s.simple and s.bidirected
+
+
+class TestBuildQ4:
+    """Figure 1: H = <{r1..r5}, {h1, h2, h3, h4}>."""
+
+    def test_nodes_and_edge_count(self):
+        graph = hypergraph_of(q4_expression())
+        assert graph.nodes == {"r1", "r2", "r3", "r4", "r5"}
+        assert len(graph.edges) == 4
+
+    def test_hypernodes_match_figure(self):
+        graph = hypergraph_of(q4_expression())
+        by_sides = {
+            (frozenset(e.left), frozenset(e.right)): e for e in graph.edges
+        }
+        # h1: r1 -> r2 (directed)
+        h1 = by_sides[(frozenset({"r1"}), frozenset({"r2"}))]
+        assert h1.directed
+        # h2: r2 -> {r4, r5} (directed, complex)
+        h2 = by_sides[(frozenset({"r2"}), frozenset({"r4", "r5"}))]
+        assert h2.directed and h2.complex
+        # h3: {r3} -- {r5} and h4: {r4} -- {r5} undirected
+        h3 = by_sides.get((frozenset({"r5"}), frozenset({"r3"}))) or by_sides[
+            (frozenset({"r3"}), frozenset({"r5"}))
+        ]
+        assert h3.undirected
+        h4 = by_sides[(frozenset({"r4"}), frozenset({"r5"}))]
+        assert h4.undirected
+
+    def test_right_outer_join_normalized(self):
+        r1 = BaseRel("r1", ("a1",))
+        r2 = BaseRel("r2", ("a2",))
+        from repro.expr import right_outer
+
+        graph = hypergraph_of(right_outer(r1, r2, eq("a1", "a2")))
+        (edge,) = graph.edges
+        assert edge.kind is JoinKind.LEFT
+        assert edge.left == {"r2"} and edge.right == {"r1"}
+
+    def test_cartesian_product_edge(self):
+        r1 = BaseRel("r1", ("a1",))
+        r2 = BaseRel("r2", ("a2",))
+        graph = hypergraph_of(inner(r1, r2, TRUE))
+        (edge,) = graph.edges
+        assert edge.left == {"r1"} and edge.right == {"r2"}
+
+
+class TestConnectivity:
+    def test_q4_connected_and_acyclic_components(self):
+        graph = hypergraph_of(q4_expression())
+        assert graph.is_connected()
+
+    def test_component_split_by_edge_removal(self):
+        graph = hypergraph_of(q4_expression())
+        h2 = next(e for e in graph.edges if e.complex)
+        comps = graph.components(removed=frozenset({h2.eid}))
+        assert sorted(map(sorted, comps)) == [["r1", "r2"], ["r3", "r4", "r5"]]
+
+    def test_induced_subhypergraph_breaks_edges(self):
+        graph = hypergraph_of(q4_expression())
+        sub = graph.induced({"r2", "r4"})
+        # h2 restricted to <{r2},{r4}> plus h4 loses r5 side -> dropped
+        assert sub.nodes == {"r2", "r4"}
+        assert len(sub.edges) == 1
+        (edge,) = sub.edges
+        assert edge.left == {"r2"} and edge.right == {"r4"}
+
+    def test_induced_connectivity_footnote6(self):
+        graph = hypergraph_of(q4_expression())
+        # {r2, r4} is connected through the broken-up h2
+        assert graph.is_connected(within=frozenset({"r2", "r4"}))
+        assert graph.is_connected(within=frozenset({"r2", "r5"}))
+        # {r1, r3} has no connecting (sub-)edge
+        assert not graph.is_connected(within=frozenset({"r1", "r3"}))
+
+    def test_component_of(self):
+        graph = hypergraph_of(q4_expression())
+        h2 = next(e for e in graph.edges if e.complex)
+        comp = graph.component_of({"r1"}, removed=frozenset({h2.eid}))
+        assert comp == {"r1", "r2"}
+
+
+class TestCrossingEdges:
+    def test_whole_edge(self):
+        graph = hypergraph_of(q4_expression())
+        crossing = graph.crossing_edges(frozenset({"r1"}), frozenset({"r2"}))
+        assert len(crossing) == 1
+        edge, lp, rp = crossing[0]
+        assert lp == {"r1"} and rp == {"r2"}
+
+    def test_paper_breakup_example(self):
+        """Tree (r1.((r2.r4).(r5.r3))): node ((r2.r4),(r5.r3)) uses the
+
+        sub-edge <{r2},{r5}> of h2 and whole h4/h3 edges.
+        """
+        graph = hypergraph_of(q4_expression())
+        left = frozenset({"r2", "r4"})
+        right = frozenset({"r5", "r3"})
+        crossing = graph.crossing_edges(left, right)
+        parts = {(tuple(sorted(lp)), tuple(sorted(rp))) for _, lp, rp in crossing}
+        assert (("r2",), ("r5",)) in parts  # broken-up h2
+        assert (("r4",), ("r5",)) in parts  # h4 whole

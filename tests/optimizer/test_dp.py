@@ -1,0 +1,99 @@
+"""The DP join enumerator: optimality vs the closure, and scalability."""
+
+import random
+import time
+
+import pytest
+
+from repro.core.transform import enumerate_plans
+from repro.expr import BaseRel, JoinKind, evaluate, inner, left_outer
+from repro.expr.predicates import eq, make_conjunction
+from repro.optimizer import Statistics, TableStats
+from repro.optimizer.cost import estimated_cost
+from repro.optimizer.dp import DpError, dp_join_order
+from repro.workloads.random_db import random_database, random_join_query
+from repro.workloads.topologies import chain_query
+
+
+def chain_stats(n, seed=1):
+    rng = random.Random(seed)
+    stats = Statistics()
+    for i in range(1, n + 1):
+        rows = rng.choice((10, 100, 1000))
+        stats.add(
+            f"r{i}",
+            TableStats(rows, {f"r{i}_a0": rows // 2, f"r{i}_a1": rows // 2}),
+        )
+    return stats
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_closure_optimum(self, n, seed):
+        """Under the DP's shape-independent measure, its plan is exactly
+
+        as cheap as the best plan in the whole transformation closure.
+        """
+        from repro.optimizer.dp import dp_cost
+
+        query = chain_query(n)
+        stats = chain_stats(n, seed)
+        dp_plan = dp_join_order(query, stats)
+        closure = enumerate_plans(query, max_plans=6000, with_gs=False)
+        closure_best = min(dp_cost(p, stats) for p in closure)
+        assert dp_cost(dp_plan, stats) <= closure_best + 1e-9
+
+    def test_random_inner_queries_equivalent(self):
+        rng = random.Random(10)
+        for _ in range(15):
+            query = random_join_query(
+                rng, rng.randint(2, 5), outer_probability=0.0,
+                complex_probability=0.5,
+            )
+            names = tuple(sorted(query.base_names))
+            db = random_database(rng, names, null_probability=0.1)
+            stats = Statistics.from_database(db)
+            plan = dp_join_order(query, stats)
+            assert evaluate(plan, db).same_content(evaluate(query, db))
+
+
+class TestScalability:
+    def test_ten_relation_chain(self):
+        query = chain_query(10)
+        stats = chain_stats(10)
+        start = time.perf_counter()
+        plan = dp_join_order(query, stats)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0
+        assert plan.base_names == query.base_names
+
+    def test_complex_predicates_handled(self):
+        query = chain_query(6, complex_every=2)
+        stats = chain_stats(6)
+        plan = dp_join_order(query, stats)
+        # every atom of the original appears exactly once in the plan
+        from repro.expr import Join
+        from repro.expr.predicates import conjuncts_of
+
+        def atom_bag(expr):
+            out = []
+            for node in expr.walk():
+                if isinstance(node, Join):
+                    out.extend(conjuncts_of(node.predicate))
+            return sorted(str(a) for a in out)
+
+        assert atom_bag(plan) == atom_bag(query)
+
+
+class TestScope:
+    def test_outer_join_rejected(self):
+        q = left_outer(
+            BaseRel("a", ("ax",)), BaseRel("b", ("bx",)), eq("ax", "bx")
+        )
+        with pytest.raises(DpError):
+            dp_join_order(q, Statistics())
+
+    def test_single_relation_passthrough(self):
+        rel = BaseRel("a", ("ax",))
+        assert dp_join_order(rel, Statistics()) is rel

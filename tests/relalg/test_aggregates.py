@@ -1,0 +1,123 @@
+"""Tests for aggregate functions and generalized projection."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.relalg import (
+    Relation,
+    avg,
+    count,
+    count_distinct,
+    count_star,
+    generalized_projection,
+    max_,
+    min_,
+    sum_,
+    sum_distinct,
+)
+from repro.relalg.aggregates import AggregateFunction, AggregateSpec
+from repro.relalg.generalized_projection import is_duplicate_insensitive
+from repro.relalg.nulls import NULL
+from repro.relalg.schema import SchemaError
+
+
+def sample():
+    return Relation.base(
+        "t",
+        ["g", "v"],
+        [("x", 1), ("x", 2), ("x", 2), ("y", NULL), ("y", 5)],
+    )
+
+
+class TestAggregateSpec:
+    def test_count_star(self):
+        assert count_star().compute(iter([object(), object()])) == 2
+
+    def test_count_ignores_null(self):
+        assert count("v").compute([1, NULL, 2]) == 2
+
+    def test_count_distinct(self):
+        assert count_distinct("v").compute([1, 1, 2, NULL]) == 2
+
+    def test_sum_and_distinct(self):
+        assert sum_("v").compute([1, 2, 2]) == 5
+        assert sum_distinct("v").compute([1, 2, 2]) == 3
+
+    def test_empty_group_semantics(self):
+        assert count("v").compute([]) == 0
+        assert sum_("v").compute([]) == NULL
+        assert min_("v").compute([NULL]) == NULL
+
+    def test_avg_exact(self):
+        assert avg("v").compute([1, 2]) == Fraction(3, 2)
+
+    def test_min_max(self):
+        assert min_("v").compute([3, 1, 2]) == 1
+        assert max_("v").compute([3, 1, 2]) == 3
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            AggregateSpec("s", AggregateFunction.SUM, None)
+        with pytest.raises(ValueError):
+            AggregateSpec("c", AggregateFunction.COUNT, None, distinct=True)
+
+    def test_duplicate_insensitivity_flags(self):
+        assert min_("v").duplicate_insensitive
+        assert max_("v").duplicate_insensitive
+        assert count_distinct("v").duplicate_insensitive
+        assert not count_star().duplicate_insensitive
+        assert not sum_("v").duplicate_insensitive
+
+    def test_label(self):
+        assert count_star("c").label() == "count(*)"
+        assert count_distinct("v").label() == "count(distinct v)"
+
+
+class TestGeneralizedProjection:
+    def test_group_and_count(self):
+        out = generalized_projection(sample(), ["g"], [count_star("n")])
+        rows = {row["g"]: row["n"] for row in out}
+        assert rows == {"x": 3, "y": 2}
+
+    def test_count_attr_skips_null(self):
+        out = generalized_projection(sample(), ["g"], [count("v", "n")])
+        rows = {row["g"]: row["n"] for row in out}
+        assert rows == {"x": 3, "y": 1}
+
+    def test_no_aggregates_is_select_distinct(self):
+        out = generalized_projection(sample(), ["g"])
+        assert sorted(row["g"] for row in out) == ["x", "y"]
+
+    def test_null_groups_together(self):
+        r = Relation.base("t", ["g"], [(NULL,), (NULL,), (1,)])
+        out = generalized_projection(r, ["g"], [count_star("n")])
+        assert sorted(row["n"] for row in out) == [1, 2]
+
+    def test_output_gets_fresh_vid(self):
+        out = generalized_projection(sample(), ["g"], [count_star("n")], name="agg")
+        assert "#agg" in out.virtual
+        vids = {row["#agg"] for row in out}
+        assert len(vids) == len(out)
+
+    def test_group_on_virtual_attrs(self):
+        r = sample()
+        out = generalized_projection(r, ["#t"], [count_star("n")])
+        assert len(out) == len(r)
+
+    def test_unknown_group_attr_raises(self):
+        with pytest.raises(SchemaError):
+            generalized_projection(sample(), ["nope"])
+
+    def test_output_collision_raises(self):
+        with pytest.raises(SchemaError):
+            generalized_projection(sample(), ["g"], [count_star("g")])
+
+    def test_unknown_agg_arg_raises(self):
+        with pytest.raises(SchemaError):
+            generalized_projection(sample(), ["g"], [sum_("nope")])
+
+    def test_is_duplicate_insensitive(self):
+        assert is_duplicate_insensitive([])
+        assert is_duplicate_insensitive([min_("v"), max_("v")])
+        assert not is_duplicate_insensitive([min_("v"), count_star()])

@@ -1,0 +1,163 @@
+"""Tests for generalized selection (Definition 2.1), incl. Example 2.1."""
+
+import pytest
+
+from repro.relalg import (
+    PreservedSpec,
+    Relation,
+    full_outer_join,
+    generalized_selection,
+    join,
+    left_outer_join,
+    product,
+)
+from repro.relalg.nulls import NULL
+from repro.relalg.schema import SchemaError
+from tests.support import cmp, conj, example21_relations
+
+P12 = cmp("c", "=", "c2_")
+P13 = cmp("f", "=", "f3_")
+P23 = cmp("e", "=", "e3_")
+
+
+def spec_r1():
+    return PreservedSpec.of("r1", ["a", "b", "c", "f"], ["#r1"])
+
+
+def spec_r2():
+    return PreservedSpec.of("r2", ["c2_", "d", "e"], ["#r2"])
+
+
+def spec_r1r2():
+    return PreservedSpec.of(
+        "r1r2", ["a", "b", "c", "f", "c2_", "d", "e"], ["#r1", "#r2"]
+    )
+
+
+class TestDefinitionBasics:
+    def test_no_preserved_is_plain_selection(self):
+        r1, r2, _ = example21_relations()
+        prod = product(r1, r2)
+        out = generalized_selection(prod, P12, [])
+        assert out.same_content(join(r1, r2, P12))
+
+    def test_join_outerjoin_fullouterjoin_as_gs_on_product(self):
+        """The paper's closing identities of Section 2."""
+        r1, r2, _ = example21_relations()
+        prod = product(r1, r2)
+        assert generalized_selection(prod, P12, []).same_content(join(r1, r2, P12))
+        assert generalized_selection(prod, P12, [spec_r1()]).same_content(
+            left_outer_join(r1, r2, P12)
+        )
+        assert generalized_selection(prod, P12, [spec_r1(), spec_r2()]).same_content(
+            full_outer_join(r1, r2, P12)
+        )
+
+    def test_schema_unchanged(self):
+        r1, r2, _ = example21_relations()
+        prod = product(r1, r2)
+        out = generalized_selection(prod, P12, [spec_r1()])
+        assert out.real == prod.real
+        assert out.virtual == prod.virtual
+
+    def test_preserved_attrs_must_exist(self):
+        r1, r2, _ = example21_relations()
+        prod = product(r1, r2)
+        bad = PreservedSpec.of("x", ["nope"], ["#r1"])
+        with pytest.raises(SchemaError, match="not in GS input"):
+            generalized_selection(prod, P12, [bad])
+
+    def test_preserved_must_be_disjoint(self):
+        r1, r2, _ = example21_relations()
+        prod = product(r1, r2)
+        with pytest.raises(SchemaError, match="disjoint"):
+            generalized_selection(prod, P12, [spec_r1(), spec_r1()])
+
+    def test_fully_empty_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            PreservedSpec.of("x", [], [])
+
+    def test_empty_virtuals_allowed_with_real_presence_rule(self):
+        """A spec without virtual attrs identifies tuples by real values
+
+        (the group-key case above a generalized projection): present
+        when any value is non-NULL.
+        """
+        spec = PreservedSpec.of("g", ["a"], [])
+        from repro.relalg.row import Row
+
+        assert spec.part_of(Row({"a": 0, "b": 1}), ("a",)) == Row({"a": 0})
+        assert spec.part_of(Row({"a": NULL, "b": 1}), ("a",)) is None
+
+
+class TestExample21:
+    """Row-for-row reproduction of the paper's Example 2.1."""
+
+    def test_t1_contents(self):
+        r1, r2, r3 = example21_relations()
+        r1r2 = left_outer_join(r1, r2, P12)
+        t1 = left_outer_join(r1r2, r3, conj(P13, P23))
+        expected = {
+            ("a1", "b1", "c1", "f1", "c1", "d1", "e1", "e1", "f1"),
+            ("a2", "b1", "c1", "f2", "c1", "d1", "e1", NULL, NULL),
+            ("a2", "b1", "c2", "f2", NULL, NULL, NULL, NULL, NULL),
+        }
+        order = ("a", "b", "c", "f", "c2_", "d", "e", "e3_", "f3_")
+        assert {row.values_tuple(order) for row in t1} == expected
+        assert len(t1) == 3
+
+    def test_t2_contents_corrected(self):
+        """T2 as printed in the paper omits two cross-match rows; the
+
+        left outer join on p23 alone matches both r3 tuples for each of
+        the first two r1r2 rows.  We assert the *correct* T2.
+        """
+        r1, r2, r3 = example21_relations()
+        r1r2 = left_outer_join(r1, r2, P12)
+        t2 = left_outer_join(r1r2, r3, P23)
+        assert len(t2) == 5
+
+    def test_gs_compensates_t2_to_t1(self):
+        r1, r2, r3 = example21_relations()
+        r1r2 = left_outer_join(r1, r2, P12)
+        t1 = left_outer_join(r1r2, r3, conj(P13, P23))
+        t2 = left_outer_join(r1r2, r3, P23)
+        compensated = generalized_selection(t2, P13, [spec_r1r2()])
+        assert compensated.same_content(t1)
+
+
+class TestProvenanceRule:
+    def test_full_outer_join_compensation_has_no_phantom_rows(self):
+        """Preserving r1r2 over a FOJ result must not fabricate an
+
+        all-NULL row from the right-unmatched rows (whose r1r2 part has
+        no provenance).
+        """
+        r1, r2, r3 = example21_relations()
+        r1r2 = join(r1, r2, P12)
+        lhs = full_outer_join(r1r2, r3, conj(P13, P23))
+        inner = full_outer_join(r1r2, r3, P23)
+        spec3 = PreservedSpec.of("r3", ["e3_", "f3_"], ["#r3"])
+        out = generalized_selection(inner, P13, [spec_r1r2(), spec3])
+        assert out.same_content(lhs)
+        order = tuple(out.real)
+        assert all(
+            any(v != NULL for v in row.values_tuple(order)) for row in out
+        )
+
+    def test_duplicate_preserved_part_emitted_once(self):
+        """An r1r2 tuple matching several r3 rows, none passing p, is
+
+        preserved exactly once.
+        """
+        r1 = Relation.base("l", ["k", "f"], [(1, "zzz")])
+        r3 = Relation.base("r", ["k3", "f3"], [(1, "f1"), (1, "f2")])
+        inner = left_outer_join(r1, r3, cmp("k", "=", "k3"))
+        assert len(inner) == 2
+        out = generalized_selection(
+            inner,
+            cmp("f", "=", "f3"),
+            [PreservedSpec.of("l", ["k", "f"], ["#l"])],
+        )
+        assert len(out) == 1
+        assert out.rows[0]["f3"] == NULL

@@ -1,0 +1,110 @@
+"""Tests for join operators, including NULL (in)tolerance behaviour."""
+
+from repro.relalg import (
+    Relation,
+    anti_join,
+    full_outer_join,
+    join,
+    left_outer_join,
+    right_outer_join,
+    semi_join,
+)
+from repro.relalg.nulls import NULL
+from tests.support import cmp, conj
+
+
+def make_sides():
+    left = Relation.base("l", ["k", "x"], [(1, "a"), (2, "b"), (3, "c")])
+    right = Relation.base("r", ["k2", "y"], [(1, "A"), (1, "B"), (4, "D")])
+    return left, right
+
+
+P = cmp("k", "=", "k2")
+
+
+class TestInnerJoin:
+    def test_matches(self):
+        left, right = make_sides()
+        out = join(left, right, P)
+        assert sorted((row["k"], row["y"]) for row in out) == [(1, "A"), (1, "B")]
+
+    def test_null_join_keys_never_match(self):
+        left = Relation.from_mappings(
+            ["k", "x"], ["#l"], [{"k": NULL, "x": "a", "#l": ("l", 0)}]
+        )
+        right = Relation.from_mappings(
+            ["k2", "y"], ["#r"], [{"k2": NULL, "y": "A", "#r": ("r", 0)}]
+        )
+        assert len(join(left, right, P)) == 0
+
+
+class TestSemiAnti:
+    def test_semi_join(self):
+        left, right = make_sides()
+        out = semi_join(left, right, P)
+        assert sorted(row["k"] for row in out) == [1]
+
+    def test_anti_join(self):
+        left, right = make_sides()
+        out = anti_join(left, right, P)
+        assert sorted(row["k"] for row in out) == [2, 3]
+
+    def test_semi_does_not_duplicate(self):
+        left, right = make_sides()
+        # k=1 matches two right rows but appears once
+        assert len(semi_join(left, right, P)) == 1
+
+
+class TestOuterJoins:
+    def test_left_outer_join(self):
+        left, right = make_sides()
+        out = left_outer_join(left, right, P)
+        assert len(out) == 4  # 2 matches + 2 unmatched left rows
+        padded = [row for row in out if row["y"] == NULL]
+        assert sorted(row["k"] for row in padded) == [2, 3]
+
+    def test_right_outer_join(self):
+        left, right = make_sides()
+        out = right_outer_join(left, right, P)
+        assert len(out) == 3  # 2 matches + 1 unmatched right row
+        padded = [row for row in out if row["x"] == NULL]
+        assert [row["k2"] for row in padded] == [4]
+
+    def test_full_outer_join(self):
+        left, right = make_sides()
+        out = full_outer_join(left, right, P)
+        assert len(out) == 5  # 2 matches + 2 left-only + 1 right-only
+
+    def test_loj_equals_roj_flipped(self):
+        left, right = make_sides()
+        a = left_outer_join(left, right, P)
+        b = right_outer_join(right, left, P)
+        assert a.same_content(b)
+
+    def test_outer_join_against_empty(self):
+        left, _ = make_sides()
+        empty = Relation.base("r", ["k2", "y"], [])
+        out = left_outer_join(left, empty, P)
+        assert len(out) == 3
+        assert all(row["y"] == NULL for row in out)
+
+    def test_outer_join_preserves_duplicates(self):
+        left = Relation.base("l", ["k", "x"], [(9, "a"), (9, "a")])
+        right = Relation.base("r", ["k2", "y"], [])
+        out = left_outer_join(left, right, P)
+        assert len(out) == 2
+
+
+class TestComplexPredicateJoins:
+    def test_conjunction_null_intolerant(self):
+        """A NULL in either conjunct attribute rejects the pair."""
+        left = Relation.from_mappings(
+            ["k", "x"],
+            ["#l"],
+            [{"k": 1, "x": NULL, "#l": ("l", 0)}],
+        )
+        right = Relation.base("r", ["k2", "y"], [(1, NULL)])
+        pred = conj(cmp("k", "=", "k2"), cmp("x", "=", "y"))
+        assert len(join(left, right, pred)) == 0
+        out = left_outer_join(left, right, pred)
+        assert len(out) == 1 and out.rows[0]["y"] == NULL

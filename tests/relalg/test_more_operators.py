@@ -1,0 +1,110 @@
+"""Additional substrate coverage: outer union, δ-GPs, edge cases."""
+
+import pytest
+
+from repro.relalg import (
+    Relation,
+    count_distinct,
+    count_star,
+    generalized_projection,
+    max_,
+    min_,
+    outer_union,
+    project,
+    sum_distinct,
+    union,
+)
+from repro.relalg.generalized_projection import is_duplicate_insensitive
+from repro.relalg.nulls import NULL
+from repro.relalg.schema import SchemaError
+
+
+class TestOuterUnion:
+    def test_definition_section_12(self):
+        """⊎ pads with NULL for attributes absent on either side."""
+        r1 = Relation.base("x", ["a", "b"], [(1, 2)])
+        r2 = Relation.base("y", ["b2", "c"], [(3, 4)])
+        out = outer_union(r1, r2)
+        assert set(out.real) == {"a", "b", "b2", "c"}
+        rows = sorted(
+            ((row["a"], row["b"], row["b2"], row["c"]) for row in out),
+            key=repr,
+        )
+        assert (1, 2, NULL, NULL) in rows
+        assert (NULL, NULL, 3, 4) in rows
+
+    def test_shared_attributes_align(self):
+        r1 = Relation.base("x", ["a"], [(1,)])
+        r2 = Relation.base("y", ["a"], [(2,)])
+        out = outer_union(r1, r2)
+        assert sorted(row["a"] for row in out) == [1, 2]
+        # virtuals differ -> padded per side
+        assert set(out.virtual) == {"#x", "#y"}
+
+    def test_empty_sides(self):
+        r1 = Relation.base("x", ["a"], [])
+        r2 = Relation.base("y", ["b"], [(1,)])
+        assert len(outer_union(r1, r2)) == 1
+        assert len(outer_union(r2, r1)) == 1
+
+    def test_commutative_content(self):
+        r1 = Relation.base("x", ["a"], [(1,), (2,)])
+        r2 = Relation.base("y", ["b"], [(9,)])
+        assert outer_union(r1, r2).same_content(outer_union(r2, r1))
+
+
+class TestDuplicateInsensitiveGP:
+    def test_delta_functions(self):
+        r = Relation.base("t", ["g", "v"], [("x", 1), ("x", 1), ("x", 2)])
+        out = generalized_projection(
+            r, ["g"], [min_("v", "lo"), max_("v", "hi"), count_distinct("v", "d")]
+        )
+        row = out.rows[0]
+        assert (row["lo"], row["hi"], row["d"]) == (1, 2, 2)
+        assert is_duplicate_insensitive(
+            [min_("v"), max_("v"), count_distinct("v")]
+        )
+
+    def test_duplicates_change_sensitive_but_not_insensitive(self):
+        base = [("x", 1), ("x", 2)]
+        doubled = base + base
+        r1 = Relation.base("t", ["g", "v"], base)
+        r2 = Relation.base("t", ["g", "v"], doubled)
+        for spec, differs in (
+            (count_star("o"), True),
+            (sum_distinct("v", "o"), False),
+            (min_("v", "o"), False),
+        ):
+            a = generalized_projection(r1, ["g"], [spec]).rows[0]["o"]
+            b = generalized_projection(r2, ["g"], [spec]).rows[0]["o"]
+            assert (a != b) == differs, spec
+
+    def test_global_aggregate_empty_input(self):
+        r = Relation.base("t", ["v"], [])
+        out = generalized_projection(r, [], [count_star("n"), min_("v", "lo")])
+        assert len(out) == 1
+        assert out.rows[0]["n"] == 0
+        assert out.rows[0]["lo"] == NULL
+
+    def test_grouped_aggregate_empty_input(self):
+        r = Relation.base("t", ["g", "v"], [])
+        out = generalized_projection(r, ["g"], [count_star("n")])
+        assert len(out) == 0  # no groups without rows
+
+
+class TestProjectionEdges:
+    def test_projection_to_nothing_rejected(self):
+        r = Relation.base("t", ["a"], [(1,)])
+        out = project(r, [])
+        assert len(out) == 1  # bag of empty tuples with vids kept
+
+    def test_distinct_drops_provenance(self):
+        r = Relation.base("t", ["a"], [(1,), (1,)])
+        out = project(r, ["a"], virtual_attrs=[], distinct=True)
+        assert len(out) == 1 and not tuple(out.virtual)
+
+    def test_union_incompatible_virtuals(self):
+        r1 = Relation.base("x", ["a"], [(1,)])
+        r2 = Relation.base("y", ["a"], [(1,)])
+        with pytest.raises(SchemaError):
+            union(r1, r2)

@@ -1,0 +1,115 @@
+"""Tests for NULL and three-valued logic."""
+
+import pickle
+
+import pytest
+
+from repro.relalg.nulls import NULL, NullType, Truth, compare, is_null
+
+
+class TestNull:
+    def test_singleton(self):
+        assert NullType() is NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+    def test_structural_equality_with_itself(self):
+        # Python-level equality (row identity), not SQL equality.
+        assert NULL == NULL
+        assert not (NULL != NULL)
+
+    def test_not_equal_to_values(self):
+        assert NULL != 0
+        assert NULL != "NULL"
+        assert NULL != None  # noqa: E711 - deliberate: NULL is not None
+
+    def test_hashable_and_stable(self):
+        assert hash(NULL) == hash(NullType())
+        assert len({NULL, NullType()}) == 1
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(NULL)) is NULL
+
+
+class TestTruth:
+    def test_bool_only_true_qualifies(self):
+        assert bool(Truth.TRUE)
+        assert not bool(Truth.FALSE)
+        assert not bool(Truth.UNKNOWN)
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (Truth.TRUE, Truth.TRUE, Truth.TRUE),
+            (Truth.TRUE, Truth.UNKNOWN, Truth.UNKNOWN),
+            (Truth.TRUE, Truth.FALSE, Truth.FALSE),
+            (Truth.UNKNOWN, Truth.UNKNOWN, Truth.UNKNOWN),
+            (Truth.UNKNOWN, Truth.FALSE, Truth.FALSE),
+            (Truth.FALSE, Truth.FALSE, Truth.FALSE),
+        ],
+    )
+    def test_and_truth_table(self, a, b, expected):
+        assert a.and_(b) is expected
+        assert b.and_(a) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            (Truth.TRUE, Truth.TRUE, Truth.TRUE),
+            (Truth.TRUE, Truth.UNKNOWN, Truth.TRUE),
+            (Truth.TRUE, Truth.FALSE, Truth.TRUE),
+            (Truth.UNKNOWN, Truth.UNKNOWN, Truth.UNKNOWN),
+            (Truth.UNKNOWN, Truth.FALSE, Truth.UNKNOWN),
+            (Truth.FALSE, Truth.FALSE, Truth.FALSE),
+        ],
+    )
+    def test_or_truth_table(self, a, b, expected):
+        assert a.or_(b) is expected
+        assert b.or_(a) is expected
+
+    def test_not(self):
+        assert Truth.TRUE.not_() is Truth.FALSE
+        assert Truth.FALSE.not_() is Truth.TRUE
+        assert Truth.UNKNOWN.not_() is Truth.UNKNOWN
+
+    def test_of(self):
+        assert Truth.of(True) is Truth.TRUE
+        assert Truth.of(False) is Truth.FALSE
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op", ["=", "<>", "!=", "<", "<=", ">", ">="])
+    def test_null_operand_is_unknown(self, op):
+        assert compare(NULL, op, 1) is Truth.UNKNOWN
+        assert compare(1, op, NULL) is Truth.UNKNOWN
+        assert compare(NULL, op, NULL) is Truth.UNKNOWN
+
+    def test_equality(self):
+        assert compare(1, "=", 1) is Truth.TRUE
+        assert compare(1, "=", 2) is Truth.FALSE
+        assert compare("a", "=", "a") is Truth.TRUE
+
+    def test_inequality_aliases(self):
+        assert compare(1, "<>", 2) is Truth.TRUE
+        assert compare(1, "!=", 2) is Truth.TRUE
+        assert compare(1, "<>", 1) is Truth.FALSE
+
+    def test_ordering(self):
+        assert compare(1, "<", 2) is Truth.TRUE
+        assert compare(2, "<=", 2) is Truth.TRUE
+        assert compare(3, ">", 2) is Truth.TRUE
+        assert compare(2, ">=", 3) is Truth.FALSE
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError, match="unknown comparison"):
+            compare(1, "~", 2)

@@ -1,0 +1,139 @@
+"""Tests for Relation and the unary/set operators."""
+
+import pytest
+
+from repro.relalg import Relation, difference, outer_union, product, project, rename, select, union
+from repro.relalg.nulls import NULL
+from repro.relalg.relation import virtual_attr
+from repro.relalg.schema import SchemaError
+from tests.support import cmp_const
+
+
+def rel(name, attrs, data):
+    return Relation.base(name, attrs, data)
+
+
+class TestRelation:
+    def test_base_assigns_unique_vids(self):
+        r = rel("t", ["a"], [(1,), (1,), (2,)])
+        vids = [row[virtual_attr("t")] for row in r]
+        assert len(set(vids)) == 3
+        assert all(v[0] == "t" for v in vids)
+
+    def test_base_row_arity_checked(self):
+        with pytest.raises(SchemaError):
+            rel("t", ["a", "b"], [(1,)])
+
+    def test_real_virtual_disjoint(self):
+        with pytest.raises(SchemaError):
+            Relation(["a"], ["a"])
+
+    def test_row_schema_checked(self):
+        from repro.relalg.row import Row
+
+        with pytest.raises(SchemaError):
+            Relation(["a"], ["#t"], [Row({"a": 1})])
+
+    def test_same_content_ignores_vids_and_column_order(self):
+        r1 = rel("x", ["a", "b"], [(1, 2), (1, 2)])
+        r2 = rel("y", ["b", "a"], [(2, 1), (2, 1)])
+        # same_content compares real attrs as sets -> need matching names
+        r2 = rename(r2, {})
+        assert r1.same_content(r2)
+
+    def test_same_content_is_bag_sensitive(self):
+        r1 = rel("x", ["a"], [(1,), (1,)])
+        r2 = rel("y", ["a"], [(1,)])
+        assert not r1.same_content(r2)
+
+    def test_to_text_renders_nulls_as_dash(self):
+        r = Relation.from_mappings(["a"], ["#t"], [{"a": NULL, "#t": ("t", 0)}])
+        assert "-" in r.to_text()
+
+
+class TestSelect:
+    def test_keeps_only_true(self):
+        r = rel("t", ["a"], [(1,), (2,), (3,)])
+        out = select(r, cmp_const("a", ">", 1))
+        assert sorted(row["a"] for row in out) == [2, 3]
+
+    def test_null_rejected(self):
+        r = Relation.from_mappings(
+            ["a"], ["#t"], [{"a": NULL, "#t": ("t", 0)}, {"a": 5, "#t": ("t", 1)}]
+        )
+        out = select(r, cmp_const("a", ">", 0))
+        assert len(out) == 1 and out.rows[0]["a"] == 5
+
+
+class TestProject:
+    def test_bag_projection_keeps_duplicates(self):
+        r = rel("t", ["a", "b"], [(1, 10), (1, 20)])
+        out = project(r, ["a"])
+        assert len(out) == 2
+
+    def test_distinct_projection(self):
+        r = rel("t", ["a", "b"], [(1, 10), (1, 20)])
+        out = project(r, ["a"], virtual_attrs=[], distinct=True)
+        assert len(out) == 1
+
+    def test_virtuals_kept_by_default(self):
+        r = rel("t", ["a", "b"], [(1, 10)])
+        out = project(r, ["a"])
+        assert virtual_attr("t") in out.virtual
+
+
+class TestProduct:
+    def test_cardinality_and_schema(self):
+        left = rel("l", ["a"], [(1,), (2,)])
+        right = rel("r", ["b"], [(10,), (20,), (30,)])
+        out = product(left, right)
+        assert len(out) == 6
+        assert set(out.real) == {"a", "b"}
+        assert set(out.virtual) == {"#l", "#r"}
+
+    def test_schema_overlap_rejected(self):
+        with pytest.raises(SchemaError):
+            product(rel("l", ["a"], []), rel("r", ["a"], []))
+
+
+class TestUnionDifference:
+    def test_union_is_bag(self):
+        r1 = rel("t", ["a"], [(1,)])
+        r2 = rel("t", ["a"], [(1,)])
+        assert len(union(r1, r2)) == 2
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            union(rel("t", ["a"], []), rel("t", ["b"], []))
+
+    def test_outer_union_pads_with_null(self):
+        r1 = rel("x", ["a"], [(1,)])
+        r2 = rel("y", ["b"], [(2,)])
+        out = outer_union(r1, r2)
+        assert len(out) == 2
+        assert set(out.real) == {"a", "b"}
+        rows = out.sorted_rows()
+        assert any(row["b"] is NULL or row["b"] == NULL for row in out)
+
+    def test_difference_bag_semantics(self):
+        r1 = rel("t", ["a"], [(1,), (1,), (2,)])
+        # difference needs identical virtual schemas: derive from r1
+        keep = r1.with_rows(r1.rows[:1])
+        out = difference(r1, keep)
+        assert sorted(row["a"] for row in out) == [1, 2]
+
+    def test_difference_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            difference(rel("t", ["a"], []), rel("u", ["a"], []))
+
+
+class TestRename:
+    def test_rename_real_attr(self):
+        r = rel("t", ["a"], [(1,)])
+        out = rename(r, {"a": "z"})
+        assert "z" in out.real and "a" not in out.real
+        assert out.rows[0]["z"] == 1
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            rename(rel("t", ["a"], []), {"q": "z"})

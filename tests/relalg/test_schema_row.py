@@ -1,0 +1,104 @@
+"""Tests for Schema and Row primitives."""
+
+import pytest
+
+from repro.relalg.nulls import NULL
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema, SchemaError
+
+
+class TestSchema:
+    def test_order_preserved(self):
+        s = Schema(["b", "a", "c"])
+        assert s.attrs == ("b", "a", "c")
+        assert list(s) == ["b", "a", "c"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "a"])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([1])  # type: ignore[list-item]
+
+    def test_membership_and_position(self):
+        s = Schema(["x", "y"])
+        assert "x" in s
+        assert "z" not in s
+        assert s.position("y") == 1
+        with pytest.raises(SchemaError):
+            s.position("z")
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_union_keeps_left_order(self):
+        s = Schema(["a", "b"]).union(Schema(["b", "c"]))
+        assert s.attrs == ("a", "b", "c")
+
+    def test_concat_rejects_overlap(self):
+        with pytest.raises(SchemaError, match="overlap"):
+            Schema(["a"]).concat(Schema(["a"]))
+        assert Schema(["a"]).concat(Schema(["b"])).attrs == ("a", "b")
+
+    def test_set_operations(self):
+        s = Schema(["a", "b", "c"])
+        assert s.intersection(["b", "c", "d"]).attrs == ("b", "c")
+        assert s.difference(["b"]).attrs == ("a", "c")
+        assert Schema(["a"]).is_subset(s)
+        assert not s.is_subset(["a"])
+        assert s.is_disjoint(["x", "y"])
+        assert not s.is_disjoint(["c"])
+
+    def test_restrict(self):
+        s = Schema(["a", "b", "c"])
+        assert s.restrict(["c", "a"]).attrs == ("a", "c")
+        with pytest.raises(SchemaError):
+            s.restrict(["z"])
+
+
+class TestRow:
+    def test_mapping_interface(self):
+        r = Row({"a": 1, "b": 2})
+        assert r["a"] == 1
+        assert len(r) == 2
+        assert set(r) == {"a", "b"}
+
+    def test_immutability_by_construction(self):
+        data = {"a": 1}
+        r = Row(data)
+        data["a"] = 99
+        assert r["a"] == 1
+
+    def test_hash_and_equality(self):
+        assert Row({"a": 1}) == Row({"a": 1})
+        assert hash(Row({"a": 1, "b": NULL})) == hash(Row({"b": NULL, "a": 1}))
+        assert Row({"a": 1}) != Row({"a": 2})
+
+    def test_null_values_hash(self):
+        assert len({Row({"a": NULL}), Row({"a": NULL})}) == 1
+
+    def test_project(self):
+        r = Row({"a": 1, "b": 2, "c": 3})
+        assert r.project(["c", "a"]) == Row({"a": 1, "c": 3})
+
+    def test_merge_disjoint(self):
+        merged = Row({"a": 1}).merge(Row({"b": 2}))
+        assert merged == Row({"a": 1, "b": 2})
+
+    def test_merge_overlap_raises(self):
+        with pytest.raises(ValueError, match="overlap"):
+            Row({"a": 1}).merge(Row({"a": 2}))
+
+    def test_padded(self):
+        r = Row({"a": 1}).padded(["a", "b", "c"])
+        assert r == Row({"a": 1, "b": NULL, "c": NULL})
+
+    def test_replace(self):
+        assert Row({"a": 1}).replace(a=2) == Row({"a": 2})
+
+    def test_values_tuple_order(self):
+        r = Row({"a": 1, "b": 2})
+        assert r.values_tuple(["b", "a"]) == (2, 1)

@@ -1,0 +1,160 @@
+"""EXISTS / NOT EXISTS: semi- and anti-join support end to end."""
+
+import random
+
+import pytest
+
+from repro.exec import execute
+from repro.expr import Database, evaluate
+from repro.expr.nodes import SemiJoin
+from repro.physical import compile_plan, run_plan
+from repro.relalg import Relation
+from repro.sql import SqlCatalog, SqlTranslationError, parse_select, translate
+
+
+@pytest.fixture()
+def setup():
+    catalog = SqlCatalog(
+        {"cust": ("ck", "cname"), "orders": ("ok", "ocust", "ototal")}
+    )
+    db = Database(
+        {
+            "cust": Relation.base(
+                "cust", ["ck", "cname"], [(1, "a"), (2, "b"), (3, "c")]
+            ),
+            "orders": Relation.base(
+                "orders",
+                ["ok", "ocust", "ototal"],
+                [(10, 1, 5), (11, 1, 9), (12, 3, 2)],
+            ),
+        }
+    )
+    return catalog, db
+
+
+class TestExistsSemantics:
+    def test_exists(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where exists "
+            "(select ok from orders where orders.ocust = cust.ck)"
+        )
+        translation = translate(stmt, catalog)
+        assert any(
+            isinstance(n, SemiJoin) and not n.anti
+            for n in translation.expr.walk()
+        )
+        out = evaluate(translation.expr, db)
+        assert sorted(r["cust_cname"] for r in out) == ["a", "c"]
+
+    def test_not_exists(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where not exists "
+            "(select ok from orders where orders.ocust = cust.ck)"
+        )
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["cust_cname"] for r in out) == ["b"]
+
+    def test_exists_with_local_filter(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where exists "
+            "(select ok from orders where orders.ocust = cust.ck "
+            "and orders.ototal > 4)"
+        )
+        out = evaluate(translate(stmt, catalog).expr, db)
+        # customer 3's only order has total 2
+        assert sorted(r["cust_cname"] for r in out) == ["a"]
+
+    def test_exists_combined_with_plain_where(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where ck > 1 and exists "
+            "(select ok from orders where orders.ocust = cust.ck)"
+        )
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["cust_cname"] for r in out) == ["c"]
+
+    def test_all_engines_agree(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where not exists "
+            "(select ok from orders where orders.ocust = cust.ck "
+            "and orders.ototal > 4)"
+        )
+        expr = translate(stmt, catalog).expr
+        want = evaluate(expr, db)
+        assert execute(expr, db).same_content(want)
+        assert run_plan(compile_plan(expr), db).same_content(want)
+
+    def test_semi_join_physical_operator_label(self, setup):
+        from repro.physical import explain_analyze
+
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where exists "
+            "(select ok from orders where orders.ocust = cust.ck)"
+        )
+        text = explain_analyze(
+            compile_plan(translate(stmt, catalog).expr), db
+        )
+        assert "HashSemiJoin" in text
+
+
+class TestExistsOptimization:
+    def test_optimizer_preserves_exists_semantics(self, setup):
+        from repro.optimizer import Statistics, optimize
+
+        catalog, db = setup
+        stmt = parse_select(
+            "select cname from cust where exists "
+            "(select ok from orders where orders.ocust = cust.ck)"
+        )
+        expr = translate(stmt, catalog).expr
+        stats = Statistics.from_database(db)
+        result = optimize(expr, stats, max_plans=100)
+        assert evaluate(result.best, db).same_content(evaluate(expr, db))
+
+
+class TestExistsErrors:
+    def test_uncorrelated_rejected(self, setup):
+        catalog, _ = setup
+        with pytest.raises(SqlTranslationError, match="correlated"):
+            translate(
+                parse_select(
+                    "select cname from cust where exists "
+                    "(select ok from orders where ototal > 1)"
+                ),
+                catalog,
+            )
+
+    def test_aggregating_subquery_rejected(self, setup):
+        catalog, _ = setup
+        with pytest.raises(SqlTranslationError, match="aggregate"):
+            translate(
+                parse_select(
+                    "select cname from cust where exists "
+                    "(select count(*) from orders where orders.ocust = cust.ck "
+                    "group by ocust)"
+                ),
+                catalog,
+            )
+
+
+class TestSemiJoinNode:
+    def test_randomized_against_relalg(self):
+        from repro.expr import BaseRel
+        from repro.expr.predicates import eq
+        from repro.workloads.random_db import random_database
+
+        a = BaseRel("r1", ("r1_a0", "r1_a1"))
+        b = BaseRel("r2", ("r2_a0", "r2_a1"))
+        rng = random.Random(5)
+        for anti in (False, True):
+            q = SemiJoin(a, b, eq("r1_a0", "r2_a0"), anti)
+            for _ in range(40):
+                db = random_database(rng, ("r1", "r2"), null_probability=0.2)
+                want = evaluate(q, db)
+                assert execute(q, db).same_content(want)
+                assert run_plan(compile_plan(q), db).same_content(want)

@@ -1,0 +1,134 @@
+"""IS NULL / IN / BETWEEN support and the null-tolerance discipline."""
+
+import pytest
+
+from repro.expr import Database, Join, Select, evaluate
+from repro.expr.nodes import BaseRel, ExprError
+from repro.expr.predicates import InList, IsNull, Col, eq
+from repro.relalg import Relation
+from repro.relalg.nulls import NULL, Truth
+from repro.relalg.row import Row
+from repro.sql import SqlCatalog, SqlParseError, parse_select, translate
+
+
+@pytest.fixture()
+def setup():
+    catalog = SqlCatalog({"t": ("k", "v"), "u": ("k2", "w")})
+    db = Database(
+        {
+            "t": Relation.base(
+                "t", ["k", "v"], [(1, 10), (2, NULL), (3, 30), (4, NULL)]
+            ),
+            "u": Relation.base("u", ["k2", "w"], [(1, "a"), (9, "b")]),
+        }
+    )
+    return catalog, db
+
+
+class TestPredicateAtoms:
+    def test_is_null_semantics(self):
+        p = IsNull(Col("a"))
+        assert p.evaluate(Row({"a": NULL})) is Truth.TRUE
+        assert p.evaluate(Row({"a": 1})) is Truth.FALSE
+        q = IsNull(Col("a"), negated=True)
+        assert q.evaluate(Row({"a": NULL})) is Truth.FALSE
+        assert q.evaluate(Row({"a": 1})) is Truth.TRUE
+
+    def test_is_null_is_tolerant(self):
+        assert not IsNull(Col("a")).null_intolerant
+        assert eq("a", "b").null_intolerant
+
+    def test_in_list_semantics(self):
+        p = InList(Col("a"), (1, 3))
+        assert p.evaluate(Row({"a": 1})) is Truth.TRUE
+        assert p.evaluate(Row({"a": 2})) is Truth.FALSE
+        assert p.evaluate(Row({"a": NULL})) is Truth.UNKNOWN
+        assert p.null_intolerant
+
+
+class TestJoinDiscipline:
+    def test_join_rejects_tolerant_predicate(self):
+        a = BaseRel("a", ("ax",))
+        b = BaseRel("b", ("bx",))
+        from repro.expr.predicates import make_conjunction
+        from repro.expr import JoinKind
+
+        with pytest.raises(ExprError, match="null in-tolerant"):
+            Join(
+                JoinKind.LEFT,
+                a,
+                b,
+                make_conjunction([eq("ax", "bx"), IsNull(Col("bx"))]),
+            )
+
+    def test_select_accepts_tolerant_predicate(self):
+        a = BaseRel("a", ("ax",))
+        Select(a, IsNull(Col("ax")))  # no error
+
+
+class TestSqlSurface:
+    def test_is_null_where(self, setup):
+        catalog, db = setup
+        stmt = parse_select("select k from t where v is null")
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["t_k"] for r in out) == [2, 4]
+
+    def test_is_not_null(self, setup):
+        catalog, db = setup
+        stmt = parse_select("select k from t where v is not null")
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["t_k"] for r in out) == [1, 3]
+
+    def test_in_list(self, setup):
+        catalog, db = setup
+        stmt = parse_select("select k from t where k in (1, 3, 9)")
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["t_k"] for r in out) == [1, 3]
+
+    def test_between(self, setup):
+        catalog, db = setup
+        stmt = parse_select("select k from t where k between 2 and 3")
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["t_k"] for r in out) == [2, 3]
+
+    def test_between_then_and(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select k from t where k between 1 and 3 and v is not null"
+        )
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert sorted(r["t_k"] for r in out) == [1, 3]
+
+    def test_is_null_finds_antijoin_rows(self, setup):
+        """The classic outer-join + IS NULL anti-join idiom: the atom
+
+        must be applied ABOVE the join, never merged into the ON.
+        """
+        catalog, db = setup
+        stmt = parse_select(
+            "select k from t left outer join u on t.k = u.k2 "
+            "where w is null"
+        )
+        translation = translate(stmt, catalog)
+        out = evaluate(translation.expr, db)
+        # rows 2,3,4 have no u partner (w padded NULL); none has w NULL
+        assert sorted(r["t_k"] for r in out) == [2, 3, 4]
+        # the IS NULL must not have been embedded in any join predicate
+        for node in translation.expr.walk():
+            if isinstance(node, Join):
+                assert all(a.null_intolerant for a in node.predicate.atoms())
+
+    def test_in_list_rejects_non_literal(self):
+        with pytest.raises(SqlParseError):
+            parse_select("select k from t where k in (v)")
+
+    def test_fast_executor_handles_new_atoms(self, setup):
+        from repro.exec import execute
+
+        catalog, db = setup
+        stmt = parse_select(
+            "select k from t left outer join u on t.k = u.k2 "
+            "where w is null and k in (2, 3)"
+        )
+        expr = translate(stmt, catalog).expr
+        assert execute(expr, db).same_content(evaluate(expr, db))

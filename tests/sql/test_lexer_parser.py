@@ -1,0 +1,145 @@
+"""Lexer and parser tests."""
+
+import pytest
+
+from repro.sql.ast import (
+    AggregateCall,
+    AndExpr,
+    ColumnRef,
+    ComparisonExpr,
+    CreateViewStmt,
+    JoinRef,
+    Literal,
+    SubqueryRef,
+    SubquerySelect,
+    TableRef,
+)
+from repro.sql.lexer import SqlLexError, tokenize
+from repro.sql.parser import SqlParseError, parse_select, parse_statements
+
+
+class TestLexer:
+    def test_keywords_lowercased(self):
+        kinds = [(t.kind, t.value) for t in tokenize("SELECT a FROM t")]
+        assert kinds[0] == ("kw", "select")
+        assert kinds[1] == ("ident", "a")
+        assert kinds[2] == ("kw", "from")
+
+    def test_symbols_and_numbers(self):
+        values = [t.value for t in tokenize("a >= 10 <> 2.5") if t.kind != "eof"]
+        assert values == ["a", ">=", "10", "<>", "2.5"]
+
+    def test_strings(self):
+        tokens = tokenize("x = 'BANKRUPT'")
+        assert tokens[2].kind == "string" and tokens[2].value == "BANKRUPT"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("select a -- comment\nfrom t")
+        assert len([t for t in tokens if t.kind != "eof"]) == 4
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("x = 'oops")
+
+    def test_bad_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a ? b")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_select("select a, b from t")
+        assert len(stmt.items) == 2
+        assert stmt.from_items == (TableRef("t", None),)
+
+    def test_star_and_distinct(self):
+        stmt = parse_select("select distinct * from t")
+        assert stmt.distinct
+        assert stmt.items[0].expression == "*"
+
+    def test_aliases(self):
+        stmt = parse_select("select a as x, b y from t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "u"
+
+    def test_equals_style_alias(self):
+        """The paper writes 'c = count(r1)' in SELECT lists."""
+        stmt = parse_select("select a, c = count(x) from t group by a")
+        assert stmt.items[1].alias == "c"
+        assert isinstance(stmt.items[1].expression, AggregateCall)
+
+    def test_join_chain(self):
+        stmt = parse_select(
+            "select a from t1 left outer join t2 on t1.x = t2.x "
+            "join t3 on t2.y = t3.y"
+        )
+        join = stmt.from_items[0]
+        assert isinstance(join, JoinRef) and join.kind == "inner"
+        assert isinstance(join.left, JoinRef) and join.left.kind == "left"
+
+    def test_full_and_right_joins(self):
+        stmt = parse_select(
+            "select a from t1 full outer join t2 on t1.x = t2.x"
+        )
+        assert stmt.from_items[0].kind == "full"
+        stmt = parse_select("select a from t1 right join t2 on t1.x = t2.x")
+        assert stmt.from_items[0].kind == "right"
+
+    def test_where_conjunction(self):
+        stmt = parse_select("select a from t where a = 1 and b < c and c <> d")
+        assert isinstance(stmt.where, AndExpr)
+        assert len(stmt.where.parts) == 3
+
+    def test_group_by_having(self):
+        stmt = parse_select(
+            "select a, count(*) as n from t group by a having a > 2"
+        )
+        assert stmt.group_by == (ColumnRef(None, "a"),)
+        assert isinstance(stmt.having, ComparisonExpr)
+
+    def test_aggregates(self):
+        stmt = parse_select(
+            "select count(*), count(distinct a), sum(b), min(c) from t"
+        )
+        calls = [i.expression for i in stmt.items]
+        assert calls[0] == AggregateCall("count", None, False)
+        assert calls[1].distinct
+
+    def test_subquery_in_from(self):
+        stmt = parse_select("select a from (select a from t) v")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, SubqueryRef) and sub.alias == "v"
+
+    def test_scalar_subquery_in_where(self):
+        stmt = parse_select(
+            "select a from t where b > (select count(*) from u where u.k = t.k)"
+        )
+        assert isinstance(stmt.where.right, SubquerySelect)
+
+    def test_arithmetic(self):
+        stmt = parse_select("select a from t where a < 2 * b")
+        comparison = stmt.where
+        assert str(comparison.right) == "(2 * b)"
+
+    def test_create_view_script(self):
+        stmts = parse_statements(
+            "create view v as select a from t; select a from v;"
+        )
+        assert isinstance(stmts[0], CreateViewStmt)
+        assert stmts[0].name == "v"
+        assert len(stmts) == 2
+
+    def test_literal_types(self):
+        stmt = parse_select("select a from t where a = 'x' and b = 3")
+        parts = stmt.where.parts
+        assert parts[0].right == Literal("x")
+        assert parts[1].right == Literal(3)
+
+    def test_parse_errors(self):
+        with pytest.raises(SqlParseError):
+            parse_select("select from t")
+        with pytest.raises(SqlParseError):
+            parse_select("select a from t where = b")
+        with pytest.raises(SqlParseError):
+            parse_select("select a from t group a")

@@ -1,0 +1,94 @@
+"""ORDER BY / LIMIT: parsing, translation, and CLI presentation."""
+
+import io
+
+import pytest
+
+from repro.cli import run_script
+from repro.expr import Database
+from repro.relalg import Relation
+from repro.sql import SqlCatalog, SqlTranslationError, parse_select, parse_statements, translate
+
+
+@pytest.fixture()
+def setup():
+    catalog = SqlCatalog({"t": ("k", "v")})
+    db = Database(
+        {
+            "t": Relation.base(
+                "t", ["k", "v"], [(3, "c"), (1, "a"), (2, "b"), (4, "d")]
+            )
+        }
+    )
+    return catalog, db
+
+
+class TestParsing:
+    def test_order_by_clause(self):
+        stmt = parse_select("select k from t order by k desc, v")
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0][1] is True  # descending
+        assert stmt.order_by[1][1] is False
+
+    def test_limit(self):
+        stmt = parse_select("select k from t limit 5")
+        assert stmt.limit == 5
+
+    def test_combined_with_group_by(self):
+        stmt = parse_select(
+            "select k, n = count(*) from t group by k order by n desc limit 2"
+        )
+        assert stmt.limit == 2 and stmt.order_by
+
+
+class TestTranslation:
+    def test_order_attrs_resolved(self, setup):
+        catalog, _ = setup
+        translation = translate(
+            parse_select("select k, v from t order by v desc"), catalog
+        )
+        assert translation.order_by == (("t_v", True),)
+
+    def test_order_by_output_alias(self, setup):
+        catalog, _ = setup
+        translation = translate(
+            parse_select("select k, n = count(*) from t group by k order by n"),
+            catalog,
+        )
+        assert translation.order_by[0][0] == "n"
+
+    def test_order_by_missing_column_rejected(self, setup):
+        catalog, _ = setup
+        with pytest.raises(SqlTranslationError, match="not in the result"):
+            translate(parse_select("select k from t order by v"), catalog)
+
+    def test_views_may_not_order(self, setup):
+        catalog, _ = setup
+        stmts = parse_statements(
+            "create view w as select k from t order by k;"
+            "select k from w;"
+        )
+        catalog.add_view(stmts[0])
+        with pytest.raises(SqlTranslationError, match="ORDER BY"):
+            translate(stmts[1], catalog)
+
+
+class TestCliPresentation:
+    def test_rows_ordered_and_limited(self, setup):
+        catalog, db = setup
+        out = io.StringIO()
+        run_script(
+            "select k, v from t order by k desc limit 2;", db, catalog, out=out
+        )
+        lines = [l for l in out.getvalue().splitlines() if "|" in l]
+        # header, then rows 4 and 3
+        assert lines[1].startswith("4")
+        assert lines[2].startswith("3")
+        assert "2 row(s)" in out.getvalue()
+
+    def test_ascending_default(self, setup):
+        catalog, db = setup
+        out = io.StringIO()
+        run_script("select k from t order by k limit 1;", db, catalog, out=out)
+        lines = [l for l in out.getvalue().splitlines() if l and "|" not in l and "row" not in l and "-" not in l]
+        assert "1" in out.getvalue().splitlines()[2]

@@ -1,0 +1,163 @@
+"""The paper's own queries, written in SQL and run end to end."""
+
+import random
+
+import pytest
+
+from repro.expr import Database, evaluate
+from repro.relalg import Relation
+from repro.sql import SqlCatalog, parse_statements, translate
+
+
+class TestQuery1:
+    """Section 1.1 Query 1: a LOJ predicate on an aggregated view column."""
+
+    def setup_method(self):
+        self.catalog = SqlCatalog(
+            {
+                "r1": ("r1_b", "r1_c"),
+                "r2": ("r2_b", "r2_d"),
+                "r3": ("r3_a", "r3_b"),
+                "r4": ("r4_b",),
+            }
+        )
+        self.script = """
+        create view v1 as
+          select r1.r1_c as a, r2.r2_d as b, c = count(*)
+          from r1, r2
+          where r1.r1_b = r2.r2_b
+          group by r1.r1_c, r2.r2_d;
+        select r3.r3_a, r4.r4_b, v1.b
+        from (v1 left outer join r3 on r3.r3_b > v1.c), r4
+        where r4.r4_b = v1.b;
+        """
+
+    def make_db(self, rng):
+        def rows(n, k):
+            return [tuple(rng.randint(0, 2) for _ in range(k)) for _ in range(n)]
+
+        return Database(
+            {
+                "r1": Relation.base("r1", ["r1_b", "r1_c"], rows(rng.randint(0, 4), 2)),
+                "r2": Relation.base("r2", ["r2_b", "r2_d"], rows(rng.randint(0, 4), 2)),
+                "r3": Relation.base("r3", ["r3_a", "r3_b"], rows(rng.randint(0, 3), 2)),
+                "r4": Relation.base("r4", ["r4_b"], rows(rng.randint(0, 3), 1)),
+            }
+        )
+
+    def test_translates_and_runs(self):
+        statements = parse_statements(self.script)
+        self.catalog.add_view(statements[0])
+        result = translate(statements[1], self.catalog)
+        rng = random.Random(111)
+        out = evaluate(result.expr, self.make_db(rng))
+        assert set(result.exposed()) == {"r3_a", "r4_b", "b"}
+
+    def test_matches_manual_evaluation(self):
+        """Cross-check against a direct nested-loop computation."""
+        statements = parse_statements(self.script)
+        self.catalog.add_view(statements[0])
+        result = translate(statements[1], self.catalog)
+        rng = random.Random(17)
+        for _ in range(20):
+            db = self.make_db(rng)
+            got = evaluate(result.expr, db)
+            want = self._manual(db)
+            got_bag = sorted(
+                (r["v1_b"], r["r4_r4_b"]) for r in got
+            )
+            assert got_bag == sorted((b, f) for (_, f, b) in want), (
+                got.to_text()
+            )
+
+    def _manual(self, db):
+        # V1: group joined r1 x r2 (r1_b = r2_b) by (r1_c, r2_d), count rows
+        groups = {}
+        for t1 in db["r1"]:
+            for t2 in db["r2"]:
+                if t1["r1_b"] == t2["r2_b"]:
+                    key = (t1["r1_c"], t2["r2_d"])
+                    groups[key] = groups.get(key, 0) + 1
+        v1 = [(a, b, c) for (a, b), c in groups.items()]
+        # LOJ v1 with r3 on r3_b > v1.c, keep (r3_a, v1.b) pairs
+        joined = []
+        for (a, b, c) in v1:
+            matches = [t3 for t3 in db["r3"] if t3["r3_b"] > c]
+            if matches:
+                joined.extend((t3["r3_a"], b) for t3 in matches)
+            else:
+                joined.append((None, b))
+        # join with r4 on r4_b = v1.b
+        out = []
+        for (a3, b) in joined:
+            for t4 in db["r4"]:
+                if t4["r4_b"] == b:
+                    out.append((a3, t4["r4_b"], b))
+        return out
+
+
+class TestExample11SQL:
+    """Example 1.1 written in SQL, compared to the workload's algebra."""
+
+    def test_sql_matches_workload_expression(self):
+        from repro.workloads.supplier import supplier_database, supplier_query
+
+        catalog = SqlCatalog(
+            {
+                "agg94": ("agg94_supkey", "agg94_partkey", "agg94_qty"),
+                "detail95": ("d95_supkey", "d95_partkey", "d95_date", "d95_qty"),
+                "supdetail": ("sup_supkey", "sup_rating", "sup_info"),
+            }
+        )
+        script = """
+        create view v2 as
+          select a.agg94_supkey as supkey, a.agg94_qty as qty,
+                 a.agg94_partkey as partkey
+          from agg94 a, supdetail b
+          where a.agg94_supkey = b.sup_supkey and b.sup_rating = 'BANKRUPT';
+        create view v3 as
+          select d95_supkey as supkey, d95_partkey as partkey,
+                 qty95 = count(*)
+          from detail95
+          group by d95_supkey, d95_partkey;
+        select v2.supkey, v2.partkey, v2.qty, v3.qty95
+        from v2 left outer join v3
+          on v2.supkey = v3.supkey and v2.partkey = v3.partkey
+             and v2.qty < 2 * v3.qty95;
+        """
+        statements = parse_statements(script)
+        catalog.add_view(statements[0])
+        catalog.add_view(statements[1])
+        result = translate(statements[2], catalog)
+
+        rng = random.Random(5)
+        for _ in range(3):
+            db = supplier_database(rng, n_suppliers=5, n_parts=3, detail_rows=25)
+            got = evaluate(result.expr, db)
+            # compare to the algebra version built by the workload module
+            from repro.expr import Project, Select
+            from repro.expr.predicates import Comparison, Col, Const
+
+            alg = supplier_query()
+            from repro.expr import evaluate as ev
+
+            want_full = ev(alg, db)
+            got_bag = sorted(
+                (
+                    r["v2_supkey"],
+                    r["v2_partkey"],
+                    r["v2_qty"],
+                    r["v3_qty95"],
+                )
+                for r in got
+            )
+            want_bag = sorted(
+                (
+                    r["agg94_supkey"],
+                    r["agg94_partkey"],
+                    r["agg94_qty"],
+                    r["qty95"],
+                )
+                for r in want_full
+            )
+            assert got_bag == want_bag

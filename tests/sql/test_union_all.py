@@ -1,0 +1,110 @@
+"""UNION ALL: expr node, SQL surface, engine agreement."""
+
+import pytest
+
+from repro.exec import execute
+from repro.expr import Database, evaluate
+from repro.expr.nodes import BaseRel, ExprError, UnionAll
+from repro.physical import compile_plan, run_plan
+from repro.relalg import Relation
+from repro.sql import SqlCatalog, SqlTranslationError, parse_select, translate
+
+
+@pytest.fixture()
+def setup():
+    catalog = SqlCatalog(
+        {"t1": ("k", "v"), "t2": ("k2", "w"), "t3": ("k", "v")}
+    )
+    db = Database(
+        {
+            "t1": Relation.base("t1", ["k", "v"], [(1, "a"), (2, "b")]),
+            "t2": Relation.base("t2", ["k2", "w"], [(2, "b"), (3, "c")]),
+            "t3": Relation.base("t3", ["k", "v"], [(1, "a")]),
+        }
+    )
+    return catalog, db
+
+
+class TestUnionAllNode:
+    def test_bag_semantics(self):
+        a = BaseRel("x", ("c1", "c2"))
+        b_raw = BaseRel("y", ("d1", "d2"))
+        from repro.expr import Rename
+
+        b = Rename(b_raw, (("d1", "c1"), ("d2", "c2")))
+        u = UnionAll(a, b)
+        db = Database(
+            {
+                "x": Relation.base("x", ["c1", "c2"], [(1, 2)]),
+                "y": Relation.base("y", ["d1", "d2"], [(1, 2), (3, 4)]),
+            }
+        )
+        out = evaluate(u, db)
+        assert len(out) == 3  # duplicates kept
+
+    def test_incompatible_columns_rejected(self):
+        a = BaseRel("x", ("c1",))
+        b = BaseRel("y", ("d1",))
+        with pytest.raises(ExprError, match="same columns"):
+            UnionAll(a, b)
+
+    def test_shared_base_rejected(self):
+        a = BaseRel("x", ("c1",))
+        with pytest.raises(ExprError):
+            UnionAll(a, a)
+
+
+class TestSqlUnionAll:
+    def test_basic(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select k, v from t1 union all select k, v from t3"
+        )
+        translation = translate(stmt, catalog)
+        out = evaluate(translation.expr, db)
+        assert len(out) == 3
+        assert translation.exposed() == ("k", "v")
+
+    def test_column_alignment_by_position(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select k, v from t1 union all select k2 as k, w as v from t2"
+        )
+        out = evaluate(translate(stmt, catalog).expr, db)
+        values = sorted((r["t1_k"], r["t1_v"]) for r in out)
+        assert values == [(1, "a"), (2, "b"), (2, "b"), (3, "c")]
+
+    def test_mismatched_columns_rejected(self, setup):
+        catalog, _ = setup
+        with pytest.raises(SqlTranslationError, match="column lists differ"):
+            translate(
+                parse_select("select k, v from t1 union all select k2 from t2"),
+                catalog,
+            )
+
+    def test_chained_unions(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select k, v from t1 union all select k, v from t3 "
+            "union all select k2 as k, w as v from t2"
+        )
+        out = evaluate(translate(stmt, catalog).expr, db)
+        assert len(out) == 5
+
+    def test_engines_agree(self, setup):
+        catalog, db = setup
+        stmt = parse_select(
+            "select k, v from t1 union all select k2 as k, w as v from t2"
+        )
+        expr = translate(stmt, catalog).expr
+        want = evaluate(expr, db)
+        assert execute(expr, db).same_content(want)
+        assert run_plan(compile_plan(expr), db).same_content(want)
+
+    def test_self_union_needs_rename(self, setup):
+        catalog, _ = setup
+        with pytest.raises(SqlTranslationError, match="footnote 5"):
+            translate(
+                parse_select("select k, v from t1 union all select k, v from t1"),
+                catalog,
+            )

@@ -1,0 +1,50 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.relalg import Relation
+from repro.relalg.nulls import Truth, compare
+from repro.relalg.operators import FunctionPredicate
+
+
+def cmp(left_attr: str, op: str, right_attr: str) -> FunctionPredicate:
+    """Attribute-vs-attribute comparison predicate."""
+    return FunctionPredicate(
+        lambda row: compare(row[left_attr], op, row[right_attr]),
+        f"{left_attr}{op}{right_attr}",
+    )
+
+
+def cmp_const(attr: str, op: str, value) -> FunctionPredicate:
+    """Attribute-vs-constant comparison predicate."""
+    return FunctionPredicate(
+        lambda row: compare(row[attr], op, value), f"{attr}{op}{value!r}"
+    )
+
+
+def conj(*predicates) -> FunctionPredicate:
+    """Conjunction under three-valued logic."""
+
+    def evaluate(row) -> Truth:
+        truth = Truth.TRUE
+        for p in predicates:
+            truth = truth.and_(p.evaluate(row))
+        return truth
+
+    return FunctionPredicate(evaluate, " and ".join(repr(p) for p in predicates))
+
+
+def example21_relations() -> tuple[Relation, Relation, Relation]:
+    """The three relations of the paper's Example 2.1.
+
+    Attribute names are globally unique (the paper assumes disjoint
+    schemas): r2's are suffixed ``2_`` and r3's ``3_`` where needed.
+    """
+    r1 = Relation.base(
+        "r1",
+        ["a", "b", "c", "f"],
+        [("a1", "b1", "c1", "f1"), ("a2", "b1", "c1", "f2"), ("a2", "b1", "c2", "f2")],
+    )
+    r2 = Relation.base("r2", ["c2_", "d", "e"], [("c1", "d1", "e1")])
+    r3 = Relation.base("r3", ["e3_", "f3_"], [("e1", "f1"), ("e1", "f3")])
+    return r1, r2, r3

@@ -1,0 +1,115 @@
+"""CLI tests: CSV loading, run, explain, demo."""
+
+import io
+
+import pytest
+
+from repro.cli import (
+    _parse_value,
+    load_csv_database,
+    main,
+    run_demo,
+    run_script,
+)
+from repro.relalg.nulls import NULL
+
+
+@pytest.fixture()
+def data_dir(tmp_path):
+    (tmp_path / "emp.csv").write_text(
+        "eid,dept,salary\n1,10,100\n2,10,200\n3,20,300\n4,99,\n"
+    )
+    (tmp_path / "dept.csv").write_text("did,dname\n10,eng\n20,ops\n30,hr\n")
+    return tmp_path
+
+
+class TestCsvLoading:
+    def test_value_parsing(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("2.5") == 2.5
+        assert _parse_value("eng") == "eng"
+        assert _parse_value("") == NULL
+
+    def test_load(self, data_dir):
+        db, catalog = load_csv_database(data_dir)
+        assert len(db["emp"]) == 4
+        assert catalog.is_table("dept")
+        # empty cell became NULL
+        assert any(row["salary"] == NULL for row in db["emp"])
+
+    def test_empty_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            load_csv_database(tmp_path)
+
+
+class TestRun:
+    def test_run_select(self, data_dir):
+        db, catalog = load_csv_database(data_dir)
+        out = io.StringIO()
+        run_script(
+            "select eid from emp where salary > 150;", db, catalog, out=out
+        )
+        text = out.getvalue()
+        assert "2 row(s)" in text
+
+    def test_run_with_view_and_outer_join(self, data_dir):
+        db, catalog = load_csv_database(data_dir)
+        out = io.StringIO()
+        run_script(
+            """
+            create view busy as
+              select dept as d, n = count(*) from emp group by dept;
+            select dname, n from busy left outer join dept on busy.d = dept.did;
+            """,
+            db,
+            catalog,
+            out=out,
+        )
+        text = out.getvalue()
+        assert "view busy registered" in text
+        assert "3 row(s)" in text
+
+    def test_fast_matches_reference(self, data_dir):
+        db, catalog = load_csv_database(data_dir)
+        slow, fast = io.StringIO(), io.StringIO()
+        sql = "select eid, dname from emp left outer join dept on emp.dept = dept.did;"
+        run_script(sql, db, catalog, out=slow)
+        run_script(sql, db, catalog, out=fast, fast=True)
+        assert sorted(slow.getvalue().splitlines()) == sorted(
+            fast.getvalue().splitlines()
+        )
+
+    def test_explain(self, data_dir):
+        db, catalog = load_csv_database(data_dir)
+        out = io.StringIO()
+        run_script(
+            "select eid, dname from emp, dept where emp.dept = dept.did;",
+            db,
+            catalog,
+            out=out,
+            explain=True,
+        )
+        text = out.getvalue()
+        assert "plans considered" in text
+        assert "chosen plan" in text
+
+
+class TestMain:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "row(s)" in capsys.readouterr().out
+
+    def test_run_command(self, data_dir, tmp_path, capsys):
+        script = tmp_path / "q.sql"
+        script.write_text("select eid from emp;")
+        assert main(["run", str(script), "--data", str(data_dir)]) == 0
+        assert "4 row(s)" in capsys.readouterr().out
+
+    def test_explain_command(self, data_dir, tmp_path, capsys):
+        script = tmp_path / "q.sql"
+        script.write_text(
+            "select eid, dname from emp left outer join dept "
+            "on emp.dept = dept.did;"
+        )
+        assert main(["explain", str(script), "--data", str(data_dir)]) == 0
+        assert "measured C_out" in capsys.readouterr().out

@@ -1,0 +1,52 @@
+"""Tests for the public equivalence-testing utilities."""
+
+import pytest
+
+from repro.expr import BaseRel, full_outer, inner, left_outer
+from repro.expr.predicates import eq
+from repro.testing import assert_equivalent, check_equivalent
+
+A = BaseRel("a", ("ax", "ay"))
+B = BaseRel("b", ("bx", "by"))
+C = BaseRel("c", ("cx", "cy"))
+
+
+class TestCheckEquivalent:
+    def test_equivalent_pair_passes(self):
+        lhs = inner(A, B, eq("ax", "bx"))
+        rhs = inner(B, A, eq("ax", "bx"))
+        assert check_equivalent(lhs, rhs, trials=80) is None
+
+    def test_inequivalent_pair_found(self):
+        """LOJ vs inner join differ whenever an `a` row is unmatched."""
+        lhs = left_outer(A, B, eq("ax", "bx"))
+        rhs = inner(A, B, eq("ax", "bx"))
+        witness = check_equivalent(lhs, rhs, trials=200)
+        assert witness is not None
+        assert witness.left_rows != witness.right_rows
+        assert "counterexample" in witness.describe()
+
+    def test_famous_non_identity_caught(self):
+        """(a → (b ⋈ c)) vs ((a → b) ⋈ c): the paper's blocked shape."""
+        p_ab = eq("ax", "bx")
+        p_bc = eq("by", "cx")
+        lhs = left_outer(A, inner(B, C, p_bc), p_ab)
+        rhs = inner(left_outer(A, B, p_ab), C, p_bc)
+        assert check_equivalent(lhs, rhs, trials=300) is not None
+
+    def test_mismatched_relations_rejected(self):
+        with pytest.raises(ValueError, match="different base relations"):
+            check_equivalent(A, B)
+
+    def test_assert_equivalent_raises_with_description(self):
+        lhs = left_outer(A, B, eq("ax", "bx"))
+        rhs = inner(A, B, eq("ax", "bx"))
+        with pytest.raises(AssertionError, match="counterexample"):
+            assert_equivalent(lhs, rhs, trials=200)
+
+    def test_full_outer_commutativity_via_util(self):
+        assert_equivalent(
+            full_outer(A, B, eq("ax", "bx")),
+            full_outer(B, A, eq("ax", "bx")),
+            trials=100,
+        )

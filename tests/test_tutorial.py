@@ -1,0 +1,18 @@
+"""Every code block in docs/TUTORIAL.md must run (and keep running)."""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_blocks_execute():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 6
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(block, namespace)  # noqa: S102 - deliberate doc execution
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(f"tutorial block {index} failed: {exc}") from exc

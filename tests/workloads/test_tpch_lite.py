@@ -1,0 +1,88 @@
+"""TPC-H-lite workload: generation and query semantics."""
+
+import random
+
+import pytest
+
+from repro.exec import execute
+from repro.expr import evaluate
+from repro.optimizer import Statistics, measured_cost, optimize
+from repro.sql import parse_statements, translate
+from repro.workloads.tpch_lite import (
+    ALL_QUERIES,
+    Q13_CUSTOMER_DISTRIBUTION,
+    tpch_lite_catalog,
+    tpch_lite_database,
+)
+
+
+@pytest.fixture()
+def setup():
+    rng = random.Random(99)
+    db = tpch_lite_database(rng, customers=20, suppliers=6)
+    return db, tpch_lite_catalog()
+
+
+def run_last(script, catalog, db):
+    statements = parse_statements(script)
+    for stmt in statements[:-1]:
+        catalog.add_view(stmt)
+    translation = translate(statements[-1], catalog)
+    return translation, evaluate(translation.expr, db)
+
+
+class TestGenerator:
+    def test_shapes(self, setup):
+        db, _ = setup
+        assert len(db["customer"]) == 20
+        assert len(db["supplier"]) == 6
+        assert len(db["orders"]) > 0
+        assert len(db["lineitem"]) > 0
+
+    def test_some_customers_without_orders(self, setup):
+        db, _ = setup
+        with_orders = {row["o_custkey"] for row in db["orders"]}
+        all_customers = {row["c_key"] for row in db["customer"]}
+        assert all_customers - with_orders, "need order-less customers"
+
+
+class TestQ13Distribution:
+    def test_matches_manual_computation(self, setup):
+        db, catalog = setup
+        _, out = run_last(Q13_CUSTOMER_DISTRIBUTION, catalog, db)
+        counts = {}
+        per_customer = {row["c_key"]: 0 for row in db["customer"]}
+        for row in db["orders"]:
+            per_customer[row["o_custkey"]] += 1
+        for n in per_customer.values():
+            counts[n] = counts.get(n, 0) + 1
+        got = {row["cust_orders_n"]: row["custdist"] for row in out}
+        assert got == counts
+
+    def test_zero_bucket_present(self, setup):
+        """Customers without orders land in the n=0 bucket (the whole
+
+        point of Q13's outer join)."""
+        db, catalog = setup
+        _, out = run_last(Q13_CUSTOMER_DISTRIBUTION, catalog, db)
+        buckets = {row["cust_orders_n"] for row in out}
+        assert 0 in buckets
+
+
+class TestAllQueries:
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_fast_executor_agrees(self, setup, name):
+        db, catalog = setup
+        translation, want = run_last(ALL_QUERIES[name], catalog, db)
+        assert execute(translation.expr, db).same_content(want)
+
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_optimizer_preserves_semantics(self, setup, name):
+        db, catalog = setup
+        translation, want = run_last(ALL_QUERIES[name], catalog, db)
+        stats = Statistics.from_database(db)
+        result = optimize(translation.expr, stats, max_plans=300)
+        assert evaluate(result.best, db).same_content(want)
+        assert measured_cost(result.best, db) <= measured_cost(
+            translation.expr, db
+        ) + 1  # never meaningfully worse
