@@ -1,0 +1,97 @@
+"""X14 -- the resilient runtime's overhead and degradation behavior.
+
+Not a paper table: this bench tracks the cost of routing queries
+through :class:`repro.runtime.QuerySession` (budget checkpoints,
+verification) and demonstrates that a starved budget degrades in
+bounded time instead of hanging.  Emits ``BENCH_x14_runtime.json``
+with the machine-readable trajectory record.
+"""
+
+import time
+
+from repro.expr import Database, evaluate
+from repro.relalg import Relation
+from repro.runtime import Budget, DegradationLevel, QuerySession
+from repro.workloads.topologies import chain_query
+
+from harness import json_record, report, table
+
+N = 5
+ROWS = 40
+
+
+def chain_database(n: int, rows: int) -> Database:
+    db = Database()
+    for i in range(1, n + 1):
+        name = f"r{i}"
+        db.add(
+            name,
+            Relation.base(
+                name,
+                [f"{name}_a0", f"{name}_a1"],
+                [(j % 7, (j + i) % 7) for j in range(rows)],
+            ),
+        )
+    return db
+
+
+def run_modes():
+    query = chain_query(N, complex_every=3)
+    db = chain_database(N, ROWS)
+    modes = [
+        ("bare evaluate", None, False, None),
+        ("session, no budget", None, True, None),
+        ("session + verify", None, True, "verify"),
+        ("session, starved plans", Budget(max_plans=8), True, None),
+        ("session, starved deadline", Budget(deadline_ms=1.0), True, None),
+    ]
+    results = []
+    for label, budget, use_session, extra in modes:
+        t0 = time.perf_counter()
+        if not use_session:
+            relation = evaluate(query, db)
+            level, plans = "-", 0
+        else:
+            session = QuerySession(
+                db, budget=budget, verify=(extra == "verify"), max_plans=2000
+            )
+            outcome = session.run(query)
+            relation = outcome.relation
+            level = outcome.degradation_level.name.lower()
+            plans = outcome.plans_considered
+        elapsed = time.perf_counter() - t0
+        results.append(
+            {
+                "mode": label,
+                "rows": len(relation),
+                "level": level,
+                "plans": plans,
+                "ms": elapsed * 1000,
+            }
+        )
+    return results
+
+
+def test_x14_runtime(benchmark):
+    results = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    # every mode returns the same bag of rows
+    assert len({r["rows"] for r in results}) == 1
+    # the starved runs degraded instead of hanging
+    assert results[3]["level"] in ("heuristic", "as_written")
+    lines = table(
+        ["mode", "rows", "stage", "plans", "wall (ms)"],
+        [
+            [r["mode"], r["rows"], r["level"], r["plans"], f"{r['ms']:.1f}"]
+            for r in results
+        ],
+    )
+    report("x14_runtime", "X14: resilient runtime overhead", lines)
+    full = next(r for r in results if r["mode"] == "session, no budget")
+    starved = next(r for r in results if r["mode"] == "session, starved plans")
+    json_record(
+        "x14_runtime",
+        wall_time_s=sum(r["ms"] for r in results) / 1000,
+        plans_considered=full["plans"],
+        degradation_level=int(DegradationLevel[starved["level"].upper()]),
+        modes={r["mode"]: r["ms"] for r in results},
+    )

@@ -90,4 +90,17 @@ def test_x7_enumeration(benchmark):
             for r in rows
         ],
     )
-    report("x7_enumeration", "X7: enumeration scalability", lines)
+    report(
+        "x7_enumeration",
+        "X7: enumeration scalability",
+        lines,
+        meta={
+            "wall_time_s": sum(
+                (r["count_ms"] + r["closure_ms"] + r["optimize_ms"]) / 1000
+                for r in rows
+            ),
+            "plans_considered": rows[-1]["plans"],
+            "degradation_level": 0,
+            "sizes": list(SIZES),
+        },
+    )

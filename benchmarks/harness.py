@@ -4,22 +4,46 @@ Every bench regenerates one of the paper's tables/figures (or a sweep
 its prose argues qualitatively); the rows are printed and also written
 to ``benchmarks/results/<bench>.txt`` so ``--benchmark-only`` runs
 leave an auditable record.  EXPERIMENTS.md summarizes paper-vs-measured.
+
+Benches that pass ``meta`` (and every caller of :func:`json_record`)
+additionally emit ``benchmarks/results/BENCH_<name>.json`` -- a
+machine-readable record (name, wall time, plans considered,
+degradation level, ...) so the performance trajectory can be tracked
+across PRs without parsing ASCII tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def report(name: str, title: str, lines: list[str]) -> str:
-    """Print and persist a bench report; returns the rendered text."""
+def json_record(name: str, **fields) -> Path:
+    """Write ``BENCH_<name>.json`` with ``{"name": ..., **fields}``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"name": name, **fields}, indent=2, default=str) + "\n"
+    )
+    return path
+
+
+def report(
+    name: str, title: str, lines: list[str], meta: dict | None = None
+) -> str:
+    """Print and persist a bench report; returns the rendered text.
+
+    ``meta`` (when given) is also written as ``BENCH_<name>.json``.
+    """
     text = "\n".join([f"== {title} ==", *lines, ""])
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    if meta is not None:
+        json_record(name, **meta)
     return text
 
 

@@ -17,15 +17,43 @@ Quick tour of the public API:
   plan chooser and the paper's baselines.
 * :mod:`repro.sql` -- a SQL front-end for the subset the paper uses.
 * :mod:`repro.workloads` -- the motivating scenarios as generators.
+* :mod:`repro.runtime` -- the resilient runtime: budgets, the
+  degradation ladder, differential verification (docs/ROBUSTNESS.md).
+* :mod:`repro.errors` -- the unified exception taxonomy rooted at
+  :class:`repro.errors.ReproError`.
 
 See ``examples/quickstart.py`` for a five-minute walkthrough.
 """
 
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    OptimizerInternalError,
+    PlanBudgetExceeded,
+    ReproError,
+    RowBudgetExceeded,
+    UserInputError,
+    VerificationFailed,
+)
 from repro.expr import Database, evaluate, to_algebra
 from repro.core import enumerate_plans, reorder_pipeline
 from repro.optimizer import Statistics, optimize
+from repro.runtime import Budget, DegradationLevel, QuerySession
 
-__version__ = "1.0.0"
+# the historical error classes, re-exported so `except repro.X` works
+# without hunting down the defining module
+from repro.expr.nodes import ExprError
+from repro.relalg.schema import SchemaError
+from repro.sql.lexer import SqlLexError
+from repro.sql.parser import SqlParseError
+from repro.sql.translate import SqlTranslationError
+from repro.hypergraph.hypergraph import HypergraphError
+from repro.core.split import SplitError
+from repro.core.theorem1 import Theorem1Error
+from repro.core.aggregation import PullUpError
+from repro.optimizer.dp import DpError
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
@@ -35,5 +63,28 @@ __all__ = [
     "reorder_pipeline",
     "Statistics",
     "optimize",
+    "Budget",
+    "DegradationLevel",
+    "QuerySession",
+    # taxonomy roots
+    "ReproError",
+    "UserInputError",
+    "OptimizerInternalError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "PlanBudgetExceeded",
+    "RowBudgetExceeded",
+    "VerificationFailed",
+    # historical error classes
+    "ExprError",
+    "SchemaError",
+    "SqlLexError",
+    "SqlParseError",
+    "SqlTranslationError",
+    "HypergraphError",
+    "SplitError",
+    "Theorem1Error",
+    "PullUpError",
+    "DpError",
     "__version__",
 ]

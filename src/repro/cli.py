@@ -1,13 +1,26 @@
 """Command-line interface.
 
-    python -m repro run script.sql --data DIR [--fast]
-    python -m repro explain script.sql --data DIR [--plans N]
+    python -m repro run script.sql --data DIR [--fast] [--budget-ms MS]
+                                   [--max-plans N] [--max-rows N] [--verify]
+    python -m repro explain script.sql --data DIR [--plans N] [--budget-ms MS]
     python -m repro demo
 
 ``DIR`` holds one CSV per base table (header row = column names;
 values parsed as int, then float, then string; empty cells are NULL).
 A script is a sequence of ``;``-separated statements; ``create view``
 statements register views, each ``select`` runs (or is explained).
+
+Every statement goes through the resilient runtime
+(:class:`repro.runtime.QuerySession`): optimization and execution run
+under the budget, degrading gracefully (full reorder -> greedy/DP
+heuristic -> as written) when a cap is hit, e.g.
+
+    # answer within ~half a second of optimization effort, and
+    # double-check the chosen plan against the reference interpreter:
+    python -m repro run script.sql --data DIR --budget-ms 500 --verify
+
+A degraded or verification-quarantined statement reports its stage in
+a ``-- stage: ...`` footer; see docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -18,12 +31,13 @@ import sys
 from fractions import Fraction
 from pathlib import Path
 
-from repro.exec import execute
-from repro.expr import Database, evaluate
+from repro.errors import BudgetExceeded
+from repro.expr import Database
 from repro.expr.display import to_tree
-from repro.optimizer import Statistics, measured_cost, optimize
+from repro.optimizer import measured_cost
 from repro.relalg import Relation
 from repro.relalg.nulls import NULL
+from repro.runtime import Budget, DegradationLevel, QuerySession
 from repro.sql import SqlCatalog, parse_statements, translate
 from repro.sql.ast import CreateViewStmt, SelectStmt, UnionStmt
 
@@ -70,8 +84,20 @@ def run_script(
     fast: bool = False,
     explain: bool = False,
     plans: int = 3,
+    budget: Budget | None = None,
+    verify: bool = False,
+    session: QuerySession | None = None,
 ) -> None:
     out = out if out is not None else sys.stdout
+    if session is None:
+        session = QuerySession(
+            db,
+            catalog=catalog,
+            budget=budget,
+            verify=verify,
+            executor="hash" if fast else "reference",
+            max_plans=2000,
+        )
     statements = parse_statements(text)
     for statement in statements:
         if isinstance(statement, CreateViewStmt):
@@ -81,15 +107,31 @@ def run_script(
         assert isinstance(statement, (SelectStmt, UnionStmt))
         translation = translate(statement, catalog)
         if explain:
-            _explain(translation.expr, db, out, plans)
+            _explain(translation.expr, db, out, plans, session)
             continue
-        runner = execute if fast else evaluate
-        result = runner(translation.expr, db)
-        result = _order_and_limit(result, translation)
+        outcome = session.run(translation.expr)
+        result = _order_and_limit(outcome.relation, translation)
         renamed = _friendly_columns(result, translation.columns)
         ordered = bool(translation.order_by)
         print(renamed.to_text(preserve_order=ordered), file=out)
         print(f"-- {len(renamed)} row(s)", file=out)
+        if outcome.degradation_level is not DegradationLevel.FULL:
+            print(
+                f"-- stage: {outcome.degradation_level.name.lower()}"
+                + (
+                    f" ({outcome.degradation_reason})"
+                    if outcome.degradation_reason
+                    else ""
+                ),
+                file=out,
+            )
+        if verify and outcome.verified is not None:
+            print(
+                "-- verified: plan matches reference"
+                if outcome.verified
+                else "-- verified: MISMATCH (plan quarantined, original used)",
+                file=out,
+            )
 
 
 def _sort_key(value):
@@ -127,11 +169,19 @@ def _friendly_columns(relation: Relation, columns) -> Relation:
     return rename(narrowed, mapping) if mapping else narrowed
 
 
-def _explain(expr, db: Database, out, plans: int) -> None:
-    stats = Statistics.from_database(db)
-    result = optimize(expr, stats, max_plans=2000, keep_ranked=max(3, plans))
+def _explain(
+    expr, db: Database, out, plans: int, session: QuerySession
+) -> None:
+    result, level, reason = session.plan(expr)
     print("-- query plan (as written):", file=out)
     print(to_tree(expr), file=out)
+    if result is None:
+        print(f"-- stage: {level.name.lower()}" + (f" ({reason})" if reason else ""), file=out)
+        print("-- plans considered : 0 (budget exhausted; original kept)", file=out)
+        print("-- chosen plan: the query as written", file=out)
+        return
+    if level is not DegradationLevel.FULL:
+        print(f"-- stage: {level.name.lower()}" + (f" ({reason})" if reason else ""), file=out)
     print(f"-- plans considered : {result.plans_considered}", file=out)
     print(f"-- estimated cost   : {result.original_cost:.0f} (as written)", file=out)
     print(f"--                    {result.best_cost:.0f} (chosen)", file=out)
@@ -195,6 +245,35 @@ def main(argv: list[str] | None = None) -> int:
     explain_p.add_argument("--data", type=Path, required=True)
     explain_p.add_argument("--plans", type=int, default=3)
 
+    for p in (run_p, explain_p):
+        p.add_argument(
+            "--budget-ms",
+            type=float,
+            default=None,
+            help="per-query wall-clock budget; past it the runtime degrades "
+            "(full reorder -> heuristic -> as written) instead of hanging",
+        )
+        p.add_argument(
+            "--max-plans",
+            type=int,
+            default=None,
+            help="hard cap on plans enumerated per query (typed degradation "
+            "past it, unlike the soft internal cap)",
+        )
+        p.add_argument(
+            "--max-rows",
+            type=int,
+            default=None,
+            help="cap on cumulative intermediate rows materialized per query",
+        )
+    run_p.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially re-check each optimized plan against the "
+        "reference interpreter on a row-sample; mismatches are "
+        "quarantined and the original plan used",
+    )
+
     sub.add_parser("demo", help="run a canned demonstration")
 
     args = parser.parse_args(argv)
@@ -203,10 +282,36 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     db, catalog = load_csv_database(args.data)
     text = args.script.read_text()
-    if args.command == "run":
-        run_script(text, db, catalog, fast=args.fast)
-    else:
-        run_script(text, db, catalog, explain=True, plans=args.plans)
+    budget = None
+    if (
+        args.budget_ms is not None
+        or args.max_plans is not None
+        or args.max_rows is not None
+    ):
+        budget = Budget(
+            deadline_ms=args.budget_ms,
+            max_plans=args.max_plans,
+            max_rows=args.max_rows,
+        )
+    try:
+        if args.command == "run":
+            run_script(
+                text,
+                db,
+                catalog,
+                fast=args.fast,
+                budget=budget,
+                verify=args.verify,
+            )
+        else:
+            run_script(
+                text, db, catalog, explain=True, plans=args.plans, budget=budget
+            )
+    except BudgetExceeded as exc:
+        # the row cap is hard even at the last-resort rung (it bounds
+        # memory, not optimization effort) -- report it, don't traceback
+        print(f"repro: {exc}", file=sys.stderr)
+        return 3
     return 0
 
 

@@ -9,7 +9,10 @@ the cheapest tree; :func:`reorder_pipeline` yields them all.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
+    from repro.runtime.budget import Budget
 
 from repro.expr.nodes import (
     AdjustPadding,
@@ -25,16 +28,21 @@ from repro.core.transform import enumerate_plans
 
 
 def reorder_pipeline(
-    query: Expr, max_plans: int = 20000
+    query: Expr, max_plans: int = 20000, budget: "Budget | None" = None
 ) -> list[Expr]:
     """All equivalent plans for ``query``.
 
     The query is simplified, its aggregations are pulled to the root
     (predicates on aggregated columns deferred with generalized
     selections), and the join core below is enumerated by the rewrite
-    closure.  Each returned plan is equivalent to ``query``.
+    closure.  Each returned plan is equivalent to ``query``.  An
+    optional ``budget`` makes enumeration raise the typed
+    :class:`repro.errors.BudgetExceeded` family instead of running
+    unbounded (see :func:`repro.core.transform.enumerate_plans`).
     """
     normalized = pull_up_aggregations(simplify_outer_joins(query))
+    if budget is not None:
+        budget.check_deadline("reorder_pipeline")
 
     # split the tree into (wrapper stack, join core): the core is the
     # part below the outermost GroupBy/GenSelect chain
@@ -45,7 +53,7 @@ def reorder_pipeline(
         core = core.children()[0]
 
     plans = []
-    for core_plan in enumerate_plans(core, max_plans=max_plans):
+    for core_plan in enumerate_plans(core, max_plans=max_plans, budget=budget):
         plan = core_plan
         for wrapper in reversed(stack):
             plan = _rewrap(wrapper, plan)

@@ -35,6 +35,8 @@ run.
 
 from __future__ import annotations
 
+from repro.errors import OptimizerInternalError
+
 from dataclasses import dataclass, replace as dc_replace
 
 from repro.expr.nodes import (
@@ -49,7 +51,7 @@ from repro.expr.predicates import Predicate, conjuncts_of, make_conjunction
 from repro.expr.rewrite import Path, ancestors_of, node_at, replace_at
 
 
-class SplitError(ValueError):
+class SplitError(OptimizerInternalError):
     """Raised when a conjunct cannot be deferred from its position."""
 
 

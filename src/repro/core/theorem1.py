@@ -23,12 +23,14 @@ agree.
 
 from __future__ import annotations
 
+from repro.errors import OptimizerInternalError
+
 from repro.expr.nodes import Expr, Join, JoinKind
 from repro.hypergraph import conf, hypergraph_of, pres, pres_away, pres_sides
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
 
 
-class Theorem1Error(ValueError):
+class Theorem1Error(OptimizerInternalError):
     """Raised when the query shape is outside the theorem's premise."""
 
 

@@ -27,7 +27,10 @@ closure-wide equivalence.
 from __future__ import annotations
 
 from dataclasses import replace as dc_replace
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> core)
+    from repro.runtime.budget import Budget
 
 from repro.expr.nodes import (
     Expr,
@@ -369,6 +372,7 @@ def enumerate_plans(
     max_plans: int = 20000,
     with_deferral: bool = True,
     with_gs: bool = True,
+    budget: "Budget | None" = None,
 ) -> list[Expr]:
     """The closure of ``seed`` under the rewrite rules (BFS, deduped).
 
@@ -378,14 +382,25 @@ def enumerate_plans(
     to the classical rules (no conjunct deferral, no generalized
     join) -- the pre-paper baseline where complex predicates freeze
     the order.
+
+    ``budget`` adds *hard* limits on top of the soft cap: each BFS
+    expansion is a cooperative checkpoint (deadline check), and every
+    distinct plan admitted to the closure charges the plan counter, so
+    an exploding closure raises :class:`repro.errors.PlanBudgetExceeded`
+    / :class:`repro.errors.DeadlineExceeded` instead of truncating
+    silently -- the resilient runtime catches these and degrades.
     """
     if not with_gs:
         with_deferral = False
     rules = LOCAL_RULES if with_gs else GS_FREE_RULES
+    if budget is not None:
+        budget.charge_plans(1, "enumerate_plans")
     seen: dict[Expr, None] = {seed: None}
     frontier = [seed]
     while frontier:
         expr = frontier.pop()
+        if budget is not None:
+            budget.check_deadline("enumerate_plans")
         variants: list[Expr] = list(_local_variants(expr, rules))
         if with_deferral:
             variants.extend(_defer_variants(expr))
@@ -393,6 +408,8 @@ def enumerate_plans(
             if variant not in seen:
                 if len(seen) >= max_plans:
                     return list(seen)
+                if budget is not None:
+                    budget.charge_plans(1, "enumerate_plans")
                 seen[variant] = None
                 frontier.append(variant)
     return list(seen)

@@ -1,0 +1,111 @@
+"""The unified exception taxonomy.
+
+Every error the library raises descends from :class:`ReproError`, so a
+caller (and the resilient runtime in :mod:`repro.runtime`) can tell the
+three failure families apart with one ``except`` clause each:
+
+* :class:`UserInputError` -- the *query or data* is at fault: SQL that
+  does not lex/parse/translate, schemas that do not line up, malformed
+  expression trees.  Retrying will not help; the input must change.
+* :class:`OptimizerInternalError` -- the *optimizer* declined or
+  failed: a rewrite premise does not hold, a query shape is outside an
+  algorithm's scope.  The query is fine; executing it as written (or
+  via a simpler strategy) still works, which is exactly what the
+  runtime's degradation ladder does.
+* :class:`BudgetExceeded` -- nothing is wrong except that a resource
+  budget (wall-clock deadline, plan count, row count) ran out.  The
+  typed subclasses say which dimension, and carry ``limit``/``spent``
+  so incident records stay structured.
+
+The historical error classes (``SqlParseError``, ``DpError``, ...)
+keep their ``ValueError`` lineage for backward compatibility -- code
+that caught ``ValueError`` still works -- but now also descend from
+:class:`ReproError` through the two family roots above.
+
+This module must stay import-light: it is imported by leaf modules
+(``relalg.schema``, ``sql.lexer``, ``expr.nodes``) and must never
+import anything from :mod:`repro` itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of every exception this library raises deliberately."""
+
+
+class UserInputError(ReproError, ValueError):
+    """The query or data is malformed; retrying cannot succeed."""
+
+
+class OptimizerInternalError(ReproError, ValueError):
+    """An optimizer component declined or failed; the query itself is
+    fine and can still be executed by a simpler strategy."""
+
+
+class BudgetExceeded(ReproError):
+    """A resource budget ran out.
+
+    ``dimension`` names the exhausted resource, ``limit`` the budgeted
+    amount and ``spent`` the amount consumed when the check fired.
+    """
+
+    dimension = "budget"
+
+    def __init__(self, limit: float, spent: float, where: str = "") -> None:
+        self.limit = limit
+        self.spent = spent
+        self.where = where
+        suffix = f" (in {where})" if where else ""
+        super().__init__(
+            f"{self.dimension} budget exceeded: spent {spent:g} of {limit:g}{suffix}"
+        )
+
+    def to_dict(self) -> dict:
+        """Structured form for incident records."""
+        return {
+            "error": type(self).__name__,
+            "dimension": self.dimension,
+            "limit": self.limit,
+            "spent": self.spent,
+            "where": self.where,
+        }
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The wall-clock deadline passed (limit/spent in milliseconds)."""
+
+    dimension = "deadline_ms"
+
+
+class PlanBudgetExceeded(BudgetExceeded):
+    """The enumerator produced more plans than the budget allows."""
+
+    dimension = "plans"
+
+
+class RowBudgetExceeded(BudgetExceeded):
+    """Execution materialized more intermediate rows than allowed."""
+
+    dimension = "rows"
+
+
+class VerificationFailed(ReproError):
+    """Differential verification found a plan/original mismatch.
+
+    The resilient runtime normally *contains* this (quarantine + fall
+    back to the original plan) rather than letting it propagate; it
+    escapes only when containment is impossible.
+    """
+
+
+__all__ = [
+    "ReproError",
+    "UserInputError",
+    "OptimizerInternalError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "PlanBudgetExceeded",
+    "RowBudgetExceeded",
+    "VerificationFailed",
+]

@@ -40,8 +40,21 @@ from repro.relalg.row import Row
 from repro.relalg.schema import Schema
 
 
-def execute(expr: Expr, db: Database) -> Relation:
-    """Execute ``expr`` against ``db`` with hash-based joins."""
+def execute(expr: Expr, db: Database, budget=None) -> Relation:
+    """Execute ``expr`` against ``db`` with hash-based joins.
+
+    ``budget`` (a :class:`repro.runtime.Budget`) makes every operator
+    result a cooperative checkpoint -- rows charged, deadline checked
+    -- so oversized intermediates raise a typed
+    :class:`repro.errors.BudgetExceeded` instead of exhausting memory.
+    """
+    result = _execute(expr, db, budget)
+    if budget is not None:
+        budget.tick(rows=len(result), where="execute")
+    return result
+
+
+def _execute(expr: Expr, db: Database, budget=None) -> Relation:
     if isinstance(expr, BaseRel):
         relation = db[expr.name]
         if set(relation.real) != set(expr.attrs):
@@ -51,31 +64,28 @@ def execute(expr: Expr, db: Database) -> Relation:
             )
         return relation
     if isinstance(expr, Select):
-        return select(execute(expr.child, db), _PredicateAdapter(expr.predicate))
+        return select(execute(expr.child, db, budget), _PredicateAdapter(expr.predicate))
     if isinstance(expr, Project):
-        child = execute(expr.child, db)
+        child = execute(expr.child, db, budget)
         if expr.distinct:
             return project(child, expr.attrs, virtual_attrs=(), distinct=True)
         return project(child, expr.attrs)
     if isinstance(expr, Join):
-        left = execute(expr.left, db)
-        right = execute(expr.right, db)
+        left = execute(expr.left, db, budget)
+        right = execute(expr.right, db, budget)
         if expr.kind is JoinKind.INNER and expr.predicate is TRUE:
             return product(left, right)
-        if expr.kind is JoinKind.RIGHT:
-            # normalize: hash_join preserves via kind flags directly
-            return hash_join(left, right, expr.predicate, JoinKind.RIGHT)
         return hash_join(left, right, expr.predicate, expr.kind)
     if isinstance(expr, UnionAll):
         from repro.relalg import outer_union
 
-        return outer_union(execute(expr.left, db), execute(expr.right, db))
+        return outer_union(execute(expr.left, db, budget), execute(expr.right, db, budget))
     if isinstance(expr, SemiJoin):
         from repro.exec.hash_join import split_equi_conjuncts
         from repro.relalg.nulls import Truth, is_null
 
-        left = execute(expr.left, db)
-        right = execute(expr.right, db)
+        left = execute(expr.left, db, budget)
+        right = execute(expr.right, db, budget)
         keys, residual = split_equi_conjuncts(
             expr.predicate,
             frozenset(left.all_attrs),
@@ -106,20 +116,20 @@ def execute(expr: Expr, db: Database) -> Relation:
         op = anti_join if expr.anti else semi_join
         return op(left, right, _PredicateAdapter(expr.predicate))
     if isinstance(expr, GroupBy):
-        child = execute(expr.child, db)
+        child = execute(expr.child, db, budget)
         return generalized_projection(
             child, expr.group_by, expr.aggregates, name=expr.name
         )
     if isinstance(expr, GenSelect):
-        child = execute(expr.child, db)
+        child = execute(expr.child, db, budget)
         specs = [
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
         ]
         return generalized_selection(child, _PredicateAdapter(expr.predicate), specs)
     if isinstance(expr, Rename):
-        return relalg_rename(execute(expr.child, db), dict(expr.mapping))
+        return relalg_rename(execute(expr.child, db, budget), dict(expr.mapping))
     if isinstance(expr, AdjustPadding):
-        child = execute(expr.child, db)
+        child = execute(expr.child, db, budget)
         keep = tuple(a for a in child.real if a != expr.witness) + tuple(
             child.virtual
         )

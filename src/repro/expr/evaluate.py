@@ -80,8 +80,23 @@ class _PredicateAdapter:
         return f"pred({self._predicate})"
 
 
-def evaluate(expr: Expr, db: Database) -> Relation:
-    """Evaluate ``expr`` against ``db`` and return the result relation."""
+def evaluate(expr: Expr, db: Database, budget=None) -> Relation:
+    """Evaluate ``expr`` against ``db`` and return the result relation.
+
+    ``budget`` (a :class:`repro.runtime.Budget`) turns every operator
+    result into a cooperative checkpoint: the rows it materialized are
+    charged against the row cap and the deadline is checked, so a
+    runaway intermediate join raises a typed
+    :class:`repro.errors.BudgetExceeded` instead of consuming the
+    process.
+    """
+    result = _evaluate(expr, db, budget)
+    if budget is not None:
+        budget.tick(rows=len(result), where="evaluate")
+    return result
+
+
+def _evaluate(expr: Expr, db: Database, budget=None) -> Relation:
     if isinstance(expr, BaseRel):
         relation = db[expr.name]
         if set(relation.real) != set(expr.attrs):
@@ -91,15 +106,15 @@ def evaluate(expr: Expr, db: Database) -> Relation:
             )
         return relation
     if isinstance(expr, Select):
-        return select(evaluate(expr.child, db), _PredicateAdapter(expr.predicate))
+        return select(evaluate(expr.child, db, budget), _PredicateAdapter(expr.predicate))
     if isinstance(expr, Project):
-        child = evaluate(expr.child, db)
+        child = evaluate(expr.child, db, budget)
         if expr.distinct:
             return project(child, expr.attrs, virtual_attrs=(), distinct=True)
         return project(child, expr.attrs)
     if isinstance(expr, Join):
-        left = evaluate(expr.left, db)
-        right = evaluate(expr.right, db)
+        left = evaluate(expr.left, db, budget)
+        right = evaluate(expr.right, db, budget)
         if expr.kind is JoinKind.INNER and expr.predicate is TRUE:
             return product(left, right)
         pred = _PredicateAdapter(expr.predicate)
@@ -113,23 +128,23 @@ def evaluate(expr: Expr, db: Database) -> Relation:
     if isinstance(expr, UnionAll):
         from repro.relalg import outer_union
 
-        left = evaluate(expr.left, db)
-        right = evaluate(expr.right, db)
+        left = evaluate(expr.left, db, budget)
+        right = evaluate(expr.right, db, budget)
         return outer_union(left, right)
     if isinstance(expr, SemiJoin):
         from repro.relalg import anti_join, semi_join
 
-        left = evaluate(expr.left, db)
-        right = evaluate(expr.right, db)
+        left = evaluate(expr.left, db, budget)
+        right = evaluate(expr.right, db, budget)
         op = anti_join if expr.anti else semi_join
         return op(left, right, _PredicateAdapter(expr.predicate))
     if isinstance(expr, GroupBy):
-        child = evaluate(expr.child, db)
+        child = evaluate(expr.child, db, budget)
         return generalized_projection(
             child, expr.group_by, expr.aggregates, name=expr.name
         )
     if isinstance(expr, GenSelect):
-        child = evaluate(expr.child, db)
+        child = evaluate(expr.child, db, budget)
         specs = [
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
         ]
@@ -137,10 +152,10 @@ def evaluate(expr: Expr, db: Database) -> Relation:
     if isinstance(expr, Rename):
         from repro.relalg.operators import rename as relalg_rename
 
-        child = evaluate(expr.child, db)
+        child = evaluate(expr.child, db, budget)
         return relalg_rename(child, dict(expr.mapping))
     if isinstance(expr, AdjustPadding):
-        child = evaluate(expr.child, db)
+        child = evaluate(expr.child, db, budget)
         from repro.relalg.nulls import NULL
         from repro.relalg.schema import Schema
 

@@ -16,6 +16,8 @@ attribute sets, including above aggregations where some attributes
 
 from __future__ import annotations
 
+from repro.errors import UserInputError
+
 import enum
 from dataclasses import dataclass, field
 from functools import cached_property
@@ -66,7 +68,7 @@ class Preserved:
         return self.name
 
 
-class ExprError(ValueError):
+class ExprError(UserInputError):
     """Raised on ill-formed expression trees."""
 
 

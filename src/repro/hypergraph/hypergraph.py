@@ -14,6 +14,8 @@ non-empty.
 
 from __future__ import annotations
 
+from repro.errors import OptimizerInternalError
+
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Iterator
@@ -22,7 +24,7 @@ from repro.expr.nodes import JoinKind
 from repro.expr.predicates import Predicate, TRUE
 
 
-class HypergraphError(ValueError):
+class HypergraphError(OptimizerInternalError):
     """Raised on malformed hypergraphs or invalid edge queries."""
 
 

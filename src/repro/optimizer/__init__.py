@@ -6,6 +6,7 @@ from repro.optimizer.cost import estimated_cost, measured_cost
 from repro.optimizer.planner import OptimizationResult, optimize
 from repro.optimizer.baselines import (
     as_written,
+    greedy_reorder,
     optimize_no_gs,
     tis_cost,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "OptimizationResult",
     "optimize",
     "as_written",
+    "greedy_reorder",
     "optimize_no_gs",
     "tis_cost",
 ]

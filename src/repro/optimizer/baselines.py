@@ -14,14 +14,25 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> optimizer)
+    from repro.runtime.budget import Budget
 
 from repro.core.aggregation import pull_up_aggregations
 from repro.core.simplify import simplify_outer_joins
 from repro.core.transform import enumerate_plans
 from repro.core.unnest import NestedCountQuery
 from repro.expr.evaluate import Database
-from repro.expr.nodes import AdjustPadding, Expr, GenSelect, GroupBy
+from repro.expr.nodes import (
+    AdjustPadding,
+    Expr,
+    GenSelect,
+    GroupBy,
+    Project,
+    Select,
+)
 from repro.optimizer.cost import estimated_cost
 from repro.optimizer.planner import OptimizationResult
 from repro.optimizer.stats import Statistics
@@ -54,6 +65,64 @@ def optimize_no_gs(
         original_cost=estimated_cost(query, stats),
         plans_considered=len(plans),
         ranked=[(c, p) for c, _, p in scored[:10]],
+    )
+
+
+#: Hard cap on the classical closure the heuristic may explore; keeps
+#: the fallback stage bounded even with no deadline set.
+GREEDY_PLAN_CAP = 64
+
+
+def greedy_reorder(
+    query: Expr, stats: Statistics, budget: "Budget | None" = None
+) -> OptimizationResult:
+    """Bounded-effort heuristic: the degradation ladder's middle rung.
+
+    When the full rewrite closure is too expensive (budget exhausted,
+    or the optimizer declined the query), this produces a *good-enough*
+    plan cheaply:
+
+    * pure inner-join cores go through the System-R dynamic program
+      (:func:`repro.optimizer.dp.dp_join_order`) -- polynomial-ish on
+      paper-sized queries and guaranteed to terminate;
+    * anything else (outer joins, GS wrappers) falls back to a tiny
+      classical closure (``with_gs=False``, capped at
+      ``GREEDY_PLAN_CAP`` plans) and picks the cheapest member.
+
+    Either way the result is bag-equivalent to ``query`` -- both
+    strategies only apply verified rewrites.
+    """
+    from repro.optimizer.dp import DpError, dp_join_order
+
+    normalized = simplify_outer_joins(query)
+    # peel the unary wrapper chain off the join core (same walk as
+    # reorder_pipeline, minus the aggregation push-up: no GS here)
+    stack: list[Expr] = []
+    core: Expr = normalized
+    while isinstance(core, (GroupBy, GenSelect, AdjustPadding, Project, Select)):
+        stack.append(core)
+        core = core.children()[0]
+    try:
+        ordered = dp_join_order(core, stats, budget=budget)
+        best: Expr = ordered
+        for wrapper in reversed(stack):
+            best = dc_replace(wrapper, child=best)
+        plans_considered = 1
+    except DpError:
+        plans = enumerate_plans(
+            normalized, max_plans=GREEDY_PLAN_CAP, with_gs=False, budget=budget
+        )
+        best = min(
+            plans, key=lambda plan: (estimated_cost(plan, stats), repr(plan))
+        )
+        plans_considered = len(plans)
+    best_cost = estimated_cost(best, stats)
+    return OptimizationResult(
+        best=best,
+        best_cost=best_cost,
+        original_cost=estimated_cost(query, stats),
+        plans_considered=plans_considered,
+        ranked=[(best_cost, best)],
     )
 
 

@@ -21,6 +21,8 @@ broken-up sub-edges (Definition 3.2 item 3).
 
 from __future__ import annotations
 
+from repro.errors import OptimizerInternalError
+
 from itertools import combinations
 
 from repro.expr.nodes import BaseRel, Expr, Join, JoinKind
@@ -31,7 +33,7 @@ from repro.optimizer.cardinality import Estimate, estimate, selectivity
 from repro.optimizer.stats import Statistics
 
 
-class DpError(ValueError):
+class DpError(OptimizerInternalError):
     """Raised when the query shape is outside the DP's scope."""
 
 
@@ -92,12 +94,15 @@ class _Workspace:
         return expr.base_names
 
 
-def dp_join_order(query: Expr, stats: Statistics) -> Expr:
+def dp_join_order(query: Expr, stats: Statistics, budget=None) -> Expr:
     """The cheapest bushy join order for an inner-join query.
 
     ``query`` must be a tree of inner joins over base relations (outer
     joins go through the transformation pipeline instead); returns an
-    equivalent tree minimizing the shape-independent C_out.
+    equivalent tree minimizing the shape-independent C_out.  An
+    optional :class:`repro.runtime.Budget` adds a deadline checkpoint
+    per enumerated subset (the table is exponential in the relation
+    count, so large queries need one).
     """
     ws = _Workspace(query, stats)
     if len(ws.leaves) < 2:
@@ -112,6 +117,8 @@ def dp_join_order(query: Expr, stats: Statistics) -> Expr:
 
     for size in range(2, len(names) + 1):
         for combo in combinations(names, size):
+            if budget is not None:
+                budget.check_deadline("dp_join_order")
             subset = frozenset(combo)
             if not graph.is_connected(within=subset):
                 continue

@@ -10,6 +10,10 @@ paper-sized queries (hundreds to a few thousand plans).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> optimizer)
+    from repro.runtime.budget import Budget
 
 from repro.core.pipeline import reorder_pipeline
 from repro.expr.nodes import Expr
@@ -40,13 +44,21 @@ def optimize(
     stats: Statistics,
     max_plans: int = 5000,
     keep_ranked: int = 10,
+    budget: "Budget | None" = None,
 ) -> OptimizationResult:
-    """Optimize ``query``: normalize, enumerate, cost, pick the minimum."""
-    plans = reorder_pipeline(query, max_plans=max_plans)
-    scored = sorted(
-        ((estimated_cost(plan, stats), i, plan) for i, plan in enumerate(plans)),
-        key=lambda t: (t[0], t[1]),
-    )
+    """Optimize ``query``: normalize, enumerate, cost, pick the minimum.
+
+    With a ``budget``, both the enumeration and the costing loop run
+    under cooperative checkpoints and raise the typed
+    :class:`repro.errors.BudgetExceeded` family when a cap is hit.
+    """
+    plans = reorder_pipeline(query, max_plans=max_plans, budget=budget)
+    scored = []
+    for i, plan in enumerate(plans):
+        if budget is not None and i % 64 == 0:
+            budget.check_deadline("optimize/costing")
+        scored.append((estimated_cost(plan, stats), i, plan))
+    scored.sort(key=lambda t: (t[0], t[1]))
     best_cost, _, best = scored[0]
     return OptimizationResult(
         best=best,

@@ -10,10 +10,12 @@ operators, which raise :class:`SchemaError` on overlap.
 
 from __future__ import annotations
 
+from repro.errors import UserInputError
+
 from typing import Iterable, Iterator
 
 
-class SchemaError(ValueError):
+class SchemaError(UserInputError):
     """Raised when schemas are incompatible for the requested operation."""
 
 

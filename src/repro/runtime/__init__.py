@@ -1,0 +1,47 @@
+"""The resilient optimization runtime.
+
+Production optimizers cannot afford the library's default behavior --
+enumerate everything, execute whatever comes out, raise on anything
+unexpected -- because the rewrite closure is exponential in the worst
+case (the paper's own Section 4 caveat) and cost estimates are
+fallible.  This package wraps the whole stack in the machinery a
+service needs:
+
+* :class:`Budget` -- wall-clock deadline, plan-count and row-count
+  caps, enforced *cooperatively* at generator checkpoints inside the
+  enumerator and both executors (no threads, no signals), raising the
+  typed :class:`repro.errors.BudgetExceeded` family;
+* :class:`QuerySession` -- the facade every entry point (CLI,
+  examples, benchmarks) routes through.  It attempts a degradation
+  ladder ``full reorder -> greedy/DP heuristic -> as written``, each
+  stage under its slice of the budget, and records which stage
+  produced the answer (:class:`DegradationLevel`, plus the reason the
+  upper stages were abandoned);
+* differential verification -- optionally re-check the chosen plan
+  against the original query under the reference interpreter on a
+  row-sample; a mismatch quarantines the plan, logs a structured
+  :class:`Incident`, and falls back to the original query, so a wrong
+  rewrite becomes a contained, observable event instead of silent
+  wrong answers.
+
+See ``docs/ROBUSTNESS.md`` for the operational story.
+"""
+
+from repro.runtime.budget import Budget
+from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.session import (
+    DegradationLevel,
+    QuerySession,
+    SessionResult,
+    StatementOutcome,
+)
+
+__all__ = [
+    "Budget",
+    "Incident",
+    "IncidentLog",
+    "DegradationLevel",
+    "QuerySession",
+    "SessionResult",
+    "StatementOutcome",
+]

@@ -1,0 +1,127 @@
+"""Cooperative resource budgets.
+
+A :class:`Budget` bundles the three caps the runtime understands --
+wall-clock deadline, plans enumerated, intermediate rows materialized
+-- together with the counters charged against them.  Enforcement is
+cooperative: the enumerator and the executors call :meth:`tick` /
+:meth:`charge_plans` / :meth:`charge_rows` at their natural checkpoint
+granularity (one BFS expansion, one operator result), and the budget
+raises the typed :class:`repro.errors.BudgetExceeded` subclass for the
+exhausted dimension.  Nothing here uses threads or signals, so a
+budgeted call unwinds at a well-defined point with all invariants
+intact -- which is what lets :class:`repro.runtime.QuerySession`
+catch the error and degrade instead of crashing.
+
+``Budget(...)`` starts its clock at construction.  Stages of a
+fallback chain get their share via :meth:`stage`, which carves a child
+budget out of the *remaining* time (counters start fresh; the parent
+keeps ticking).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DeadlineExceeded,
+    PlanBudgetExceeded,
+    RowBudgetExceeded,
+)
+
+
+@dataclass
+class Budget:
+    """Resource limits plus the counters charged against them.
+
+    ``deadline_ms`` is wall-clock milliseconds from construction (or
+    from the latest :meth:`restart`); ``max_plans`` caps how many
+    distinct plans enumeration may produce; ``max_rows`` caps the
+    cumulative intermediate rows an executor may materialize.  ``None``
+    disables a dimension.
+    """
+
+    deadline_ms: float | None = None
+    max_plans: int | None = None
+    max_rows: int | None = None
+    plans: int = 0
+    rows: int = 0
+    _t0: float = field(default_factory=time.monotonic, repr=False)
+
+    # -- clock -----------------------------------------------------------
+
+    def restart(self) -> "Budget":
+        """Reset the clock and counters (one budget object per query)."""
+        self._t0 = time.monotonic()
+        self.plans = 0
+        self.rows = 0
+        return self
+
+    @property
+    def elapsed_ms(self) -> float:
+        return (time.monotonic() - self._t0) * 1000.0
+
+    @property
+    def remaining_ms(self) -> float:
+        """Milliseconds left, ``inf`` when no deadline is set."""
+        if self.deadline_ms is None:
+            return float("inf")
+        return self.deadline_ms - self.elapsed_ms
+
+    # -- checkpoints -----------------------------------------------------
+
+    def check_deadline(self, where: str = "") -> None:
+        if self.deadline_ms is not None and self.elapsed_ms > self.deadline_ms:
+            raise DeadlineExceeded(self.deadline_ms, self.elapsed_ms, where)
+
+    def charge_plans(self, n: int = 1, where: str = "") -> None:
+        self.plans += n
+        if self.max_plans is not None and self.plans > self.max_plans:
+            raise PlanBudgetExceeded(self.max_plans, self.plans, where)
+
+    def charge_rows(self, n: int, where: str = "") -> None:
+        self.rows += n
+        if self.max_rows is not None and self.rows > self.max_rows:
+            raise RowBudgetExceeded(self.max_rows, self.rows, where)
+
+    def tick(self, rows: int = 0, plans: int = 0, where: str = "") -> None:
+        """One cooperative checkpoint: charge counters, check the clock."""
+        if plans:
+            self.charge_plans(plans, where)
+        if rows:
+            self.charge_rows(rows, where)
+        self.check_deadline(where)
+
+    # -- slicing ---------------------------------------------------------
+
+    def stage(
+        self,
+        fraction: float,
+        max_plans: int | None | str = "inherit",
+        max_rows: int | None | str = "inherit",
+    ) -> "Budget":
+        """A child budget owning ``fraction`` of the remaining time.
+
+        Counters start at zero; plan/row caps are inherited unless
+        overridden (pass ``None`` to lift a cap for the stage -- the
+        heuristic fallback does this for ``max_plans``, since it must
+        be allowed to run after the full enumeration blew the cap).
+        """
+        remaining = self.remaining_ms
+        deadline = None if remaining == float("inf") else max(0.0, remaining * fraction)
+        return Budget(
+            deadline_ms=deadline,
+            max_plans=self.max_plans if max_plans == "inherit" else max_plans,
+            max_rows=self.max_rows if max_rows == "inherit" else max_rows,
+        )
+
+    def to_dict(self) -> dict:
+        """Structured snapshot for incident records and bench JSON."""
+        return {
+            "deadline_ms": self.deadline_ms,
+            "max_plans": self.max_plans,
+            "max_rows": self.max_rows,
+            "spent_ms": round(self.elapsed_ms, 3),
+            "spent_plans": self.plans,
+            "spent_rows": self.rows,
+        }

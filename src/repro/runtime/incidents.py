@@ -1,0 +1,80 @@
+"""Structured incident records for contained failures.
+
+When differential verification catches a wrong rewrite (or a budget
+kills a stage), the runtime does not just log a string: it records an
+:class:`Incident` -- a structured, serializable account of what was
+attempted, what went wrong, and what the runtime did about it -- and
+keeps quarantined plans out of circulation for the rest of the
+session.  ``IncidentLog.to_json_lines()`` emits one JSON object per
+incident, ready for whatever log pipeline sits downstream; everything
+is also mirrored to the ``repro.runtime`` stdlib logger.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass, field
+
+logger = logging.getLogger("repro.runtime")
+# library etiquette: without this, python's last-resort handler dumps
+# every incident repr to stderr in unconfigured applications (the CLI
+# already reports degradation via its `-- stage:` footer)
+logger.addHandler(logging.NullHandler())
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One contained failure event.
+
+    ``kind`` is a stable machine-readable tag (``"verification-mismatch"``,
+    ``"stage-abandoned"``); ``action`` records the containment taken
+    (``"quarantined-plan; fell back to original"``, ``"degraded"``).
+    """
+
+    kind: str
+    query: str
+    detail: dict = field(default_factory=dict)
+    action: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "query": self.query,
+            "detail": self.detail,
+            "action": self.action,
+        }
+
+
+class IncidentLog:
+    """An append-only, in-memory incident journal."""
+
+    def __init__(self) -> None:
+        self._records: list[Incident] = []
+
+    def record(self, incident: Incident) -> Incident:
+        self._records.append(incident)
+        logger.warning(
+            "incident kind=%s action=%s query=%s detail=%s",
+            incident.kind,
+            incident.action,
+            incident.query,
+            incident.detail,
+        )
+        return incident
+
+    @property
+    def records(self) -> tuple[Incident, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def to_json_lines(self) -> str:
+        """One JSON object per incident (the structured export format)."""
+        return "\n".join(
+            json.dumps(incident.to_dict(), default=str) for incident in self._records
+        )

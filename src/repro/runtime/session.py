@@ -1,0 +1,441 @@
+"""The :class:`QuerySession` facade: budgets, degradation, verification.
+
+A session owns a database (plus optional SQL catalog and statistics)
+and runs queries through a three-rung degradation ladder, each rung
+attempted under its slice of the per-query budget:
+
+====  ==============  ====================================================
+rung  level           strategy
+====  ==============  ====================================================
+0     ``FULL``        full rewrite-closure optimization (``optimize``)
+1     ``HEURISTIC``   greedy/DP baseline (``greedy_reorder``)
+2     ``AS_WRITTEN``  execute the query exactly as the analyst wrote it
+====  ==============  ====================================================
+
+A rung is abandoned -- with the reason recorded -- when it raises a
+:class:`repro.errors.BudgetExceeded` (the budget's typed family) or an
+:class:`repro.errors.OptimizerInternalError`/``ExprError`` (an
+optimizer component declined or produced something unexecutable).
+Whatever rung answers, the result carries ``degradation_level`` and
+``degradation_reason`` so callers can see *how* their answer was made.
+
+With ``verify=True`` the chosen plan is additionally re-executed under
+the reference interpreter on a row-sample of the database and compared
+(bag semantics) against the original query.  On mismatch the plan is
+quarantined for the rest of the session, a structured
+:class:`repro.runtime.incidents.Incident` is logged, and the original
+query's own result is returned -- the library's known failure mode
+("outer-join rewrites are notoriously easy to get subtly wrong")
+becomes a contained, observable event instead of silent wrong answers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.errors import BudgetExceeded, OptimizerInternalError
+from repro.exec import execute as hash_execute
+from repro.expr.evaluate import Database, evaluate
+from repro.expr.nodes import Expr, ExprError
+from repro.optimizer import (
+    OptimizationResult,
+    Statistics,
+    greedy_reorder,
+    optimize,
+)
+from repro.relalg import Relation
+from repro.runtime.budget import Budget
+from repro.runtime.incidents import Incident, IncidentLog
+
+
+class DegradationLevel(IntEnum):
+    """Which rung of the ladder produced the answer."""
+
+    FULL = 0
+    HEURISTIC = 1
+    AS_WRITTEN = 2
+
+
+#: Share of the remaining per-query time each optimizing rung may burn
+#: before the runtime moves on (rung 2 gets whatever is left).
+_STAGE_FRACTIONS = {
+    DegradationLevel.FULL: 0.5,
+    DegradationLevel.HEURISTIC: 0.6,
+}
+
+_EXECUTORS = {
+    "reference": evaluate,
+    "hash": hash_execute,
+}
+
+
+@dataclass
+class SessionResult:
+    """One query's answer plus the runtime's account of producing it."""
+
+    relation: Relation
+    chosen: Expr
+    degradation_level: DegradationLevel
+    degradation_reason: str | None
+    plans_considered: int
+    verified: bool | None  # True = checked OK; None = not checked
+    incident: Incident | None
+    elapsed_ms: float
+    budget_snapshot: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (bench JSON, logs)."""
+        return {
+            "rows": len(self.relation),
+            "degradation_level": int(self.degradation_level),
+            "degradation_stage": self.degradation_level.name.lower(),
+            "degradation_reason": self.degradation_reason,
+            "plans_considered": self.plans_considered,
+            "verified": self.verified,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "budget": self.budget_snapshot,
+        }
+
+
+@dataclass
+class StatementOutcome:
+    """One SQL statement's effect: a view registration or a result."""
+
+    kind: str  # "view" | "select"
+    view_name: str | None = None
+    translation: object | None = None
+    result: SessionResult | None = None
+
+
+class QuerySession:
+    """The resilient runtime facade every entry point routes through.
+
+    Parameters
+    ----------
+    db:
+        The database queries run against.
+    catalog:
+        SQL catalog for :meth:`run_sql`; derived from ``db`` when
+        omitted.
+    stats:
+        Optimizer statistics; exact statistics are scanned from ``db``
+        when omitted.
+    budget:
+        A :class:`Budget` *template*: each query gets a fresh budget
+        with these limits (so one query cannot starve the next).
+    verify:
+        Differentially verify every optimized plan against the
+        original query on a row-sample before trusting it.
+    executor:
+        ``"reference"`` (interpreter) or ``"hash"`` (hash-join engine).
+    optimize_fn:
+        The rung-0 planner, ``repro.optimize`` by default.  Tests
+        inject wrong-plan planners here to exercise the safety net.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        catalog=None,
+        stats: Statistics | None = None,
+        budget: Budget | None = None,
+        verify: bool = False,
+        executor: str = "reference",
+        max_plans: int = 5000,
+        verify_sample_rows: int = 50,
+        optimize_fn=None,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; pick from {sorted(_EXECUTORS)}"
+            )
+        self.db = db
+        self.catalog = catalog
+        self.stats = stats if stats is not None else Statistics.from_database(db)
+        self._budget_template = budget
+        self.verify = verify
+        self.executor = executor
+        self.max_plans = max_plans
+        self.verify_sample_rows = verify_sample_rows
+        self._optimize_fn = optimize_fn if optimize_fn is not None else optimize
+        self.incidents = IncidentLog()
+        self.quarantined: set[Expr] = set()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _fresh_budget(self) -> Budget:
+        template = self._budget_template
+        if template is None:
+            return Budget()
+        return Budget(
+            deadline_ms=template.deadline_ms,
+            max_plans=template.max_plans,
+            max_rows=template.max_rows,
+        )
+
+    def _execute(self, plan: Expr, budget: Budget) -> Relation:
+        return _EXECUTORS[self.executor](plan, self.db, budget)
+
+    @staticmethod
+    def _last_resort_budget(run_budget: Budget) -> Budget:
+        """Deadline lifted, row cap kept: answer > deadline, but never OOM."""
+        return Budget(deadline_ms=None, max_plans=None, max_rows=run_budget.max_rows)
+
+    def _sample_database(self) -> Database:
+        """The first ``verify_sample_rows`` rows of every base table."""
+        sampled = Database()
+        for name in self.db.names():
+            relation = self.db[name]
+            rows = list(relation.rows)[: self.verify_sample_rows]
+            sampled.add(name, relation.with_rows(rows))
+        return sampled
+
+    # -- the ladder ------------------------------------------------------
+
+    def run(self, query: Expr, budget: Budget | None = None) -> SessionResult:
+        """Run ``query`` through the degradation ladder."""
+        t0 = time.monotonic()
+        run_budget = budget if budget is not None else self._fresh_budget()
+        reasons: list[str] = []
+
+        for level in (DegradationLevel.FULL, DegradationLevel.HEURISTIC):
+            try:
+                outcome = self._attempt_optimized(query, run_budget, level)
+            except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
+                reason = f"{level.name.lower()} stage abandoned: {exc}"
+                reasons.append(reason)
+                self.incidents.record(
+                    Incident(
+                        kind="stage-abandoned",
+                        query=str(query),
+                        detail={
+                            "stage": level.name.lower(),
+                            "error": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                        action="degraded",
+                    )
+                )
+                continue
+            return self._finalize(outcome, t0, run_budget, reasons)
+
+        # rung 2: the original query.  The deadline bounds *optimization*
+        # effort; down here a late answer beats no answer, so only the
+        # row cap (the memory guard) stays -- exceeding it propagates as
+        # a typed RowBudgetExceeded instead of OOMing the process.
+        relation = self._execute(query, self._last_resort_budget(run_budget))
+        result = SessionResult(
+            relation=relation,
+            chosen=query,
+            degradation_level=DegradationLevel.AS_WRITTEN,
+            degradation_reason="; ".join(reasons) or None,
+            plans_considered=0,
+            verified=None,
+            incident=None,
+            elapsed_ms=(time.monotonic() - t0) * 1000.0,
+            budget_snapshot=run_budget.to_dict(),
+        )
+        return result
+
+    def _attempt_optimized(
+        self, query: Expr, run_budget: Budget, level: DegradationLevel
+    ) -> SessionResult:
+        """One optimizing rung: plan, execute, verify -- under a slice."""
+        stage_budget = run_budget.stage(
+            _STAGE_FRACTIONS[level],
+            # the heuristic rung runs *because* the plan cap blew; its
+            # own effort is bounded structurally (DP / GREEDY_PLAN_CAP)
+            max_plans="inherit" if level is DegradationLevel.FULL else None,
+        )
+        if level is DegradationLevel.FULL:
+            optimized = self._optimize_fn(
+                query, self.stats, max_plans=self.max_plans, budget=stage_budget
+            )
+        else:
+            optimized = greedy_reorder(query, self.stats, budget=stage_budget)
+        plan = self._pick_plan(optimized)
+        relation = self._execute(plan, stage_budget)
+
+        verified: bool | None = None
+        incident: Incident | None = None
+        if self.verify:
+            verified, incident = self._verify_plan(query, plan, run_budget)
+            if incident is not None:
+                # containment: the optimized answer is not trusted;
+                # re-run the original (last-resort budget: a correct
+                # late answer beats a fast wrong one).
+                relation = self._execute(
+                    query, self._last_resort_budget(run_budget)
+                )
+                return SessionResult(
+                    relation=relation,
+                    chosen=query,
+                    degradation_level=DegradationLevel.AS_WRITTEN,
+                    degradation_reason=(
+                        "verification mismatch: optimized plan quarantined"
+                    ),
+                    plans_considered=optimized.plans_considered,
+                    verified=False,
+                    incident=incident,
+                    elapsed_ms=0.0,  # stamped by _finalize
+                    budget_snapshot={},
+                )
+        return SessionResult(
+            relation=relation,
+            chosen=plan,
+            degradation_level=level,
+            degradation_reason=None,
+            plans_considered=optimized.plans_considered,
+            verified=verified,
+            incident=incident,
+            elapsed_ms=0.0,  # stamped by _finalize
+            budget_snapshot={},
+        )
+
+    def _finalize(
+        self,
+        result: SessionResult,
+        t0: float,
+        run_budget: Budget,
+        reasons: list[str],
+    ) -> SessionResult:
+        result.elapsed_ms = (time.monotonic() - t0) * 1000.0
+        result.budget_snapshot = run_budget.to_dict()
+        if result.degradation_reason is None and reasons:
+            result.degradation_reason = "; ".join(reasons)
+        return result
+
+    def _pick_plan(self, optimized: OptimizationResult) -> Expr:
+        """The cheapest candidate that is not quarantined."""
+        if optimized.best not in self.quarantined:
+            return optimized.best
+        for _, plan in optimized.ranked:
+            if plan not in self.quarantined:
+                return plan
+        raise OptimizerInternalError(
+            "every candidate plan is quarantined by earlier verification failures"
+        )
+
+    # -- verification ----------------------------------------------------
+
+    def _verify_plan(
+        self, original: Expr, plan: Expr, run_budget: Budget
+    ) -> tuple[bool | None, Incident | None]:
+        """Differentially check ``plan`` against ``original`` on a sample.
+
+        Returns ``(verified, incident)``.  ``verified`` is None when the
+        check could not finish inside the budget (recorded, not fatal:
+        an unverified plan is still the best plan we have).
+        """
+        if plan == original:
+            return True, None
+        sample = self._sample_database()
+        remaining = run_budget.remaining_ms
+        check_budget = Budget(
+            deadline_ms=None if remaining == float("inf") else remaining
+        )
+        try:
+            reference = evaluate(original, sample, budget=check_budget)
+            candidate = evaluate(plan, sample, budget=check_budget)
+        except BudgetExceeded as exc:
+            self.incidents.record(
+                Incident(
+                    kind="verification-skipped",
+                    query=str(original),
+                    detail=exc.to_dict(),
+                    action="accepted-unverified-plan",
+                )
+            )
+            return None, None
+        if reference.same_content(candidate):
+            return True, None
+        self.quarantined.add(plan)
+        incident = self.incidents.record(
+            Incident(
+                kind="verification-mismatch",
+                query=str(original),
+                detail={
+                    "plan": str(plan),
+                    "sample_rows": {
+                        name: len(sample[name]) for name in sample.names()
+                    },
+                    "reference_rows": len(reference),
+                    "plan_rows": len(candidate),
+                },
+                action="quarantined-plan; fell back to original",
+            )
+        )
+        return False, incident
+
+    # -- SQL front door --------------------------------------------------
+
+    def _ensure_catalog(self):
+        if self.catalog is None:
+            from repro.sql import SqlCatalog
+
+            catalog = SqlCatalog()
+            for name in self.db.names():
+                catalog.add_table(name, tuple(self.db[name].real))
+            self.catalog = catalog
+        return self.catalog
+
+    def run_sql(self, text: str) -> list[StatementOutcome]:
+        """Run a ``;``-separated SQL script through the ladder.
+
+        ``create view`` statements register views in the session
+        catalog; every ``select`` runs via :meth:`run`.
+        """
+        from repro.sql import parse_statements, translate
+        from repro.sql.ast import CreateViewStmt
+
+        catalog = self._ensure_catalog()
+        outcomes: list[StatementOutcome] = []
+        for statement in parse_statements(text):
+            if isinstance(statement, CreateViewStmt):
+                catalog.add_view(statement)
+                outcomes.append(
+                    StatementOutcome(kind="view", view_name=statement.name)
+                )
+                continue
+            translation = translate(statement, catalog)
+            outcomes.append(
+                StatementOutcome(
+                    kind="select",
+                    translation=translation,
+                    result=self.run(translation.expr),
+                )
+            )
+        return outcomes
+
+    # -- planning without execution (EXPLAIN) ----------------------------
+
+    def plan(
+        self, query: Expr, budget: Budget | None = None
+    ) -> tuple[OptimizationResult | None, DegradationLevel, str | None]:
+        """The ladder's planning half only (for EXPLAIN-style output)."""
+        run_budget = budget if budget is not None else self._fresh_budget()
+        reasons: list[str] = []
+        for level in (DegradationLevel.FULL, DegradationLevel.HEURISTIC):
+            stage_budget = run_budget.stage(
+                _STAGE_FRACTIONS[level],
+                max_plans="inherit" if level is DegradationLevel.FULL else None,
+            )
+            try:
+                if level is DegradationLevel.FULL:
+                    optimized = self._optimize_fn(
+                        query,
+                        self.stats,
+                        max_plans=self.max_plans,
+                        budget=stage_budget,
+                    )
+                else:
+                    optimized = greedy_reorder(
+                        query, self.stats, budget=stage_budget
+                    )
+            except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
+                reasons.append(f"{level.name.lower()}: {exc}")
+                continue
+            return optimized, level, "; ".join(reasons) or None
+        return None, DegradationLevel.AS_WRITTEN, "; ".join(reasons) or None

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.errors import UserInputError
+
 from dataclasses import dataclass
 
 KEYWORDS = {
@@ -45,7 +47,7 @@ KEYWORDS = {
 SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", "+", "-", ";")
 
 
-class SqlLexError(ValueError):
+class SqlLexError(UserInputError):
     """Raised on unrecognized input."""
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.errors import UserInputError
+
 from fractions import Fraction
 
 from repro.sql.ast import (
@@ -33,7 +35,7 @@ _COMPARATORS = ("=", "<>", "!=", "<", "<=", ">", ">=")
 _AGG_FUNCTIONS = ("count", "sum", "min", "max", "avg")
 
 
-class SqlParseError(ValueError):
+class SqlParseError(UserInputError):
     """Raised on syntax errors."""
 
 

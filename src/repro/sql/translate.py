@@ -14,6 +14,8 @@ which is where the paper's join-aggregate motivation enters.
 
 from __future__ import annotations
 
+from repro.errors import UserInputError
+
 import itertools
 
 from repro.expr.nodes import (
@@ -62,7 +64,7 @@ from repro.sql.ast import (
 from repro.sql.catalog import SqlCatalog
 
 
-class SqlTranslationError(ValueError):
+class SqlTranslationError(UserInputError):
     """Raised when a statement cannot be translated."""
 
 

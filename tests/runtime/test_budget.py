@@ -1,0 +1,144 @@
+"""Budget mechanics: caps, checkpoints, slicing, typed errors."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    PlanBudgetExceeded,
+    RowBudgetExceeded,
+)
+from repro.runtime import Budget
+
+
+class TestCounters:
+    def test_plan_cap(self):
+        budget = Budget(max_plans=3)
+        budget.charge_plans(3)
+        with pytest.raises(PlanBudgetExceeded) as excinfo:
+            budget.charge_plans(1)
+        assert excinfo.value.limit == 3
+        assert excinfo.value.spent == 4
+        assert isinstance(excinfo.value, BudgetExceeded)
+
+    def test_row_cap(self):
+        budget = Budget(max_rows=10)
+        budget.charge_rows(10)
+        with pytest.raises(RowBudgetExceeded):
+            budget.charge_rows(5)
+
+    def test_unlimited_by_default(self):
+        budget = Budget()
+        budget.charge_plans(10**6)
+        budget.charge_rows(10**9)
+        budget.check_deadline()
+        assert budget.remaining_ms == float("inf")
+
+    def test_deadline(self):
+        budget = Budget(deadline_ms=0.0)
+        with pytest.raises(DeadlineExceeded):
+            budget.check_deadline("test")
+
+    def test_tick_combines_all_three(self):
+        budget = Budget(max_rows=1)
+        with pytest.raises(RowBudgetExceeded):
+            budget.tick(rows=2, where="test")
+
+    def test_restart_resets(self):
+        budget = Budget(deadline_ms=10_000, max_plans=5)
+        budget.charge_plans(5)
+        budget.restart()
+        assert budget.plans == 0
+        budget.charge_plans(5)  # does not raise
+
+
+class TestSlicing:
+    def test_stage_takes_fraction_of_remaining(self):
+        budget = Budget(deadline_ms=10_000)
+        child = budget.stage(0.5)
+        assert child.deadline_ms is not None
+        assert 0 < child.deadline_ms <= 5_000
+
+    def test_stage_inherits_caps_by_default(self):
+        budget = Budget(max_plans=7, max_rows=9)
+        child = budget.stage(0.5)
+        assert child.max_plans == 7
+        assert child.max_rows == 9
+
+    def test_stage_can_lift_a_cap(self):
+        budget = Budget(max_plans=7)
+        child = budget.stage(0.5, max_plans=None)
+        assert child.max_plans is None
+
+    def test_stage_of_unlimited_budget_is_unlimited(self):
+        child = Budget().stage(0.5)
+        assert child.deadline_ms is None
+
+    def test_counters_start_fresh(self):
+        budget = Budget(max_plans=5)
+        budget.charge_plans(5)
+        child = budget.stage(1.0)
+        child.charge_plans(5)  # does not raise
+
+    def test_snapshot(self):
+        budget = Budget(deadline_ms=1000, max_plans=5)
+        budget.charge_plans(2)
+        snap = budget.to_dict()
+        assert snap["max_plans"] == 5
+        assert snap["spent_plans"] == 2
+        assert snap["spent_ms"] >= 0
+
+
+class TestCooperativeEnforcement:
+    """The enumerator and executors actually honor the budget."""
+
+    def test_enumerate_plans_charges_the_plan_counter(self):
+        from repro.core.transform import enumerate_plans
+        from repro.workloads.topologies import chain_query
+
+        query = chain_query(4)
+        budget = Budget(max_plans=5)
+        with pytest.raises(PlanBudgetExceeded):
+            enumerate_plans(query, budget=budget)
+
+    def test_enumerate_plans_unbudgeted_matches_budgeted(self):
+        from repro.core.transform import enumerate_plans
+        from repro.workloads.topologies import chain_query
+
+        query = chain_query(3)
+        free = enumerate_plans(query)
+        budgeted = enumerate_plans(query, budget=Budget(max_plans=100_000))
+        assert set(free) == set(budgeted)
+
+    def test_optimize_honors_deadline(self):
+        from repro.optimizer import Statistics, optimize
+        from repro.workloads.topologies import chain_query
+
+        with pytest.raises(DeadlineExceeded):
+            optimize(
+                chain_query(5, complex_every=2),
+                Statistics(),
+                budget=Budget(deadline_ms=0.0),
+            )
+
+    @pytest.mark.parametrize("executor_name", ["evaluate", "execute"])
+    def test_executors_charge_rows(self, executor_name):
+        from repro.exec import execute
+        from repro.expr import Database, evaluate
+        from repro.expr.nodes import BaseRel, inner
+        from repro.expr.predicates import TRUE
+        from repro.relalg import Relation
+
+        runner = {"evaluate": evaluate, "execute": execute}[executor_name]
+        db = Database(
+            {
+                "a": Relation.base("a", ["x"], [(i,) for i in range(30)]),
+                "b": Relation.base("b", ["y"], [(i,) for i in range(30)]),
+            }
+        )
+        # the cross product materializes 900 rows -- over a 100-row cap
+        query = inner(BaseRel("a", ("x",)), BaseRel("b", ("y",)), TRUE)
+        with pytest.raises(RowBudgetExceeded):
+            runner(query, db, Budget(max_rows=100))
+        # a generous cap does not disturb the result
+        assert len(runner(query, db, Budget(max_rows=10_000))) == 900

@@ -113,3 +113,22 @@ class TestMain:
         )
         assert main(["explain", str(script), "--data", str(data_dir)]) == 0
         assert "measured C_out" in capsys.readouterr().out
+
+    def test_run_degrades_under_tiny_budget(self, data_dir, tmp_path, capsys):
+        script = tmp_path / "q.sql"
+        script.write_text(
+            "select eid, dname from emp left outer join dept "
+            "on emp.dept = dept.did;"
+        )
+        args = ["run", str(script), "--data", str(data_dir), "--max-plans", "1"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 row(s)" in out
+        assert "-- stage: heuristic" in out
+
+    def test_row_cap_breach_is_a_clean_error(self, data_dir, tmp_path, capsys):
+        script = tmp_path / "q.sql"
+        script.write_text("select eid from emp;")
+        args = ["run", str(script), "--data", str(data_dir), "--max-rows", "1"]
+        assert main(args) == 3
+        assert "rows budget exceeded" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""The unified exception taxonomy (repro.errors).
+
+Every public error class must be catchable via the ``ReproError``
+root, keep its historical ``ValueError`` lineage, and sit in the
+correct family (user input vs optimizer internal vs budget).
+"""
+
+import pytest
+
+import repro
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    OptimizerInternalError,
+    PlanBudgetExceeded,
+    ReproError,
+    RowBudgetExceeded,
+    UserInputError,
+    VerificationFailed,
+)
+
+USER_ERRORS = [
+    repro.SqlLexError,
+    repro.SqlParseError,
+    repro.SqlTranslationError,
+    repro.SchemaError,
+    repro.ExprError,
+]
+
+OPTIMIZER_ERRORS = [
+    repro.DpError,
+    repro.HypergraphError,
+    repro.Theorem1Error,
+    repro.SplitError,
+    repro.PullUpError,
+]
+
+BUDGET_ERRORS = [DeadlineExceeded, PlanBudgetExceeded, RowBudgetExceeded]
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("cls", USER_ERRORS + OPTIMIZER_ERRORS)
+    def test_every_public_error_is_a_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    @pytest.mark.parametrize("cls", USER_ERRORS + OPTIMIZER_ERRORS)
+    def test_value_error_lineage_is_preserved(self, cls):
+        # pre-existing `except ValueError` call sites must keep working
+        assert issubclass(cls, ValueError)
+
+    @pytest.mark.parametrize("cls", USER_ERRORS)
+    def test_user_errors_family(self, cls):
+        assert issubclass(cls, UserInputError)
+        assert not issubclass(cls, OptimizerInternalError)
+
+    @pytest.mark.parametrize("cls", OPTIMIZER_ERRORS)
+    def test_optimizer_errors_family(self, cls):
+        assert issubclass(cls, OptimizerInternalError)
+        assert not issubclass(cls, UserInputError)
+
+    @pytest.mark.parametrize("cls", BUDGET_ERRORS)
+    def test_budget_errors_family(self, cls):
+        assert issubclass(cls, BudgetExceeded)
+        assert issubclass(cls, ReproError)
+        # budget exhaustion is not a ValueError: nothing is *wrong*
+        assert not issubclass(cls, ValueError)
+
+    def test_verification_failed_is_a_repro_error(self):
+        assert issubclass(VerificationFailed, ReproError)
+
+    def test_all_public_errors_reexported_from_repro(self):
+        for name in (
+            "ReproError",
+            "UserInputError",
+            "OptimizerInternalError",
+            "BudgetExceeded",
+            "DeadlineExceeded",
+            "PlanBudgetExceeded",
+            "RowBudgetExceeded",
+            "VerificationFailed",
+            "ExprError",
+            "SchemaError",
+            "SqlLexError",
+            "SqlParseError",
+            "SqlTranslationError",
+            "HypergraphError",
+            "SplitError",
+            "Theorem1Error",
+            "PullUpError",
+            "DpError",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+
+class TestRootCatchesRaises:
+    """Actually raised errors land in a single ``except ReproError``."""
+
+    def test_sql_parse_error(self):
+        from repro.sql import parse_statements
+
+        with pytest.raises(ReproError):
+            parse_statements("select from where;")
+
+    def test_lex_error(self):
+        from repro.sql.lexer import tokenize
+
+        with pytest.raises(ReproError):
+            tokenize("select @ from t")
+
+    def test_dp_error(self):
+        from repro.expr.nodes import BaseRel, Join, JoinKind
+        from repro.expr.predicates import eq
+        from repro.optimizer import Statistics
+        from repro.optimizer.dp import dp_join_order
+
+        loj = Join(
+            JoinKind.LEFT,
+            BaseRel("r1", ("a",)),
+            BaseRel("r2", ("b",)),
+            eq("a", "b"),
+        )
+        with pytest.raises(ReproError):
+            dp_join_order(loj, Statistics())
+
+    def test_budget_exceeded_structured_dict(self):
+        exc = PlanBudgetExceeded(10, 11, "enumerate_plans")
+        record = exc.to_dict()
+        assert record["dimension"] == "plans"
+        assert record["limit"] == 10
+        assert record["spent"] == 11
+        assert record["where"] == "enumerate_plans"
