@@ -1,0 +1,134 @@
+"""X15 -- cross-query plan caching.
+
+A service re-plans the same parameter-identical statements thousands
+of times; the plan cache keyed on (query fingerprint, statistics
+version) turns every repeat into a dictionary lookup.  This bench
+plans a small workload of chain queries cold (every statement misses)
+and then warm (every statement hits), and reports the per-statement
+times, the speedup, and the cache counters.  Refreshing statistics
+bumps the version and must invalidate -- measured as a third pass.
+
+Quick mode (``REPRO_BENCH_QUICK=1``): smaller queries, fewer repeats.
+"""
+
+import os
+import time
+
+from repro.expr import Database, JoinKind
+from repro.relalg import Relation
+from repro.optimizer import TableStats
+from repro.runtime import QuerySession
+from repro.workloads.topologies import chain_query
+
+from harness import report, table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = (3, 4) if QUICK else (3, 4, 5)
+WARM_REPEATS = 3 if QUICK else 10
+
+
+def chain_database(n: int, rows: int = 4) -> Database:
+    db = Database()
+    for i in range(1, n + 1):
+        name = f"r{i}"
+        db.add(
+            name,
+            Relation.base(
+                name,
+                [f"{name}_a0", f"{name}_a1"],
+                [(j % 3, (j + i) % 3) for j in range(rows)],
+            ),
+        )
+    return db
+
+
+def workload():
+    queries = []
+    for n in SIZES:
+        kinds = tuple(
+            JoinKind.LEFT if i == 0 else JoinKind.INNER for i in range(n - 1)
+        )
+        queries.append(chain_query(n, kinds=kinds, complex_every=3))
+    return queries
+
+
+def run_cache_study():
+    queries = workload()
+    db = chain_database(max(SIZES))
+    session = QuerySession(db, max_plans=4000)
+
+    t0 = time.perf_counter()
+    for query in queries:
+        session.plan(query)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(WARM_REPEATS):
+        for query in queries:
+            session.plan(query)
+    warm_s = (time.perf_counter() - t0) / WARM_REPEATS
+
+    counters = session.plan_cache.counters()
+
+    # statistics refresh bumps the version: everything must re-plan
+    session.stats.add("r1", TableStats(1000, {"r1_a0": 10, "r1_a1": 10}))
+    t0 = time.perf_counter()
+    for query in queries:
+        session.plan(query)
+    invalidated_s = time.perf_counter() - t0
+
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "invalidated_s": invalidated_s,
+        "speedup": cold_s / warm_s if warm_s else float("inf"),
+        "counters": counters,
+        "final_counters": session.plan_cache.counters(),
+    }
+
+
+def test_x15_plancache(benchmark):
+    out = benchmark.pedantic(run_cache_study, rounds=1, iterations=1)
+    counters = out["counters"]
+    final = out["final_counters"]
+    n_queries = len(SIZES)
+    # every warm statement hit; every cold statement missed
+    assert counters["misses"] == n_queries
+    assert counters["hits"] == n_queries * WARM_REPEATS
+    # the stats refresh invalidated: one extra miss per statement
+    assert final["misses"] == 2 * n_queries
+    # a warm pass must be at least 10x cheaper than the cold pass
+    assert out["speedup"] >= 10, f"warm speedup only {out['speedup']:.1f}x"
+    lines = table(
+        ["pass", "time (ms)", "hits", "misses"],
+        [
+            ["cold", f"{out['cold_s'] * 1000:.1f}", 0, counters["misses"]],
+            [
+                "warm (avg of %d)" % WARM_REPEATS,
+                f"{out['warm_s'] * 1000:.2f}",
+                counters["hits"],
+                0,
+            ],
+            [
+                "after stats refresh",
+                f"{out['invalidated_s'] * 1000:.1f}",
+                final["hits"] - counters["hits"],
+                final["misses"] - counters["misses"],
+            ],
+        ],
+    )
+    lines.append(f"warm speedup: {out['speedup']:.0f}x over cold planning")
+    report(
+        "x15_plancache",
+        "X15: cross-query plan cache",
+        lines,
+        meta={
+            "wall_time_s": out["cold_s"] + out["warm_s"] + out["invalidated_s"],
+            "cold_s": out["cold_s"],
+            "warm_s": out["warm_s"],
+            "speedup": out["speedup"],
+            "counters": final,
+            "quick": QUICK,
+            "sizes": list(SIZES),
+        },
+    )

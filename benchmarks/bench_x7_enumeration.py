@@ -7,6 +7,7 @@ full rewrite-closure enumeration, and single-plan optimization time,
 over chain topologies with complex predicates.
 """
 
+import os
 import time
 
 from repro.core.assoc_tree import count_association_trees
@@ -18,7 +19,8 @@ from repro.workloads.topologies import chain_query
 
 from harness import report, table
 
-SIZES = (3, 4, 5, 6)
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = (3, 4, 5) if QUICK else (3, 4, 5, 6)
 
 
 def default_stats(n: int) -> Statistics:
@@ -101,6 +103,7 @@ def test_x7_enumeration(benchmark):
             ),
             "plans_considered": rows[-1]["plans"],
             "degradation_level": 0,
+            "quick": QUICK,
             "sizes": list(SIZES),
         },
     )

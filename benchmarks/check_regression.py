@@ -1,0 +1,74 @@
+"""Benchmark regression gate for CI.
+
+Compares a freshly-measured ``BENCH_<name>.json`` against the record
+committed in the repository and fails (exit 1) when the measured wall
+time exceeds the committed one by more than the allowed factor.
+Shared-runner CI boxes are noisy, so the default threshold is a lax
+2x -- this gate catches "the enumerator went accidentally quadratic",
+not single-digit-percent drift.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --record benchmarks/results/BENCH_x7_enumeration.json \
+        --measured /tmp/bench-out/BENCH_x7_enumeration.json \
+        [--factor 2.0]
+
+When the measured run was in quick mode (``"quick": true``) but the
+committed record is a full run, the wall times are not comparable;
+the gate then only checks that the quick run stayed under the full
+record's time (a quick run slower than the full baseline is a
+regression in any climate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"check_regression: {path} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"check_regression: {path} is not valid JSON: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", type=Path, required=True,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--measured", type=Path, required=True,
+                        help="freshly measured BENCH_*.json")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when measured > factor * record (default 2.0)")
+    args = parser.parse_args(argv)
+
+    record = load(args.record)
+    measured = load(args.measured)
+    if record.get("name") != measured.get("name"):
+        sys.exit(
+            f"check_regression: comparing different benches "
+            f"({record.get('name')!r} vs {measured.get('name')!r})"
+        )
+
+    base = float(record["wall_time_s"])
+    got = float(measured["wall_time_s"])
+    quick_vs_full = measured.get("quick") and not record.get("quick")
+    limit = base if quick_vs_full else base * args.factor
+    mode = "quick-vs-full" if quick_vs_full else f"{args.factor:.1f}x"
+
+    verdict = "OK" if got <= limit else "REGRESSION"
+    print(
+        f"{measured['name']}: measured {got:.3f}s vs committed {base:.3f}s "
+        f"(limit {limit:.3f}s, mode {mode}) -> {verdict}"
+    )
+    return 0 if got <= limit else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

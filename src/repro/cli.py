@@ -86,6 +86,7 @@ def run_script(
     plans: int = 3,
     budget: Budget | None = None,
     verify: bool = False,
+    verify_seed: int = 0,
     session: QuerySession | None = None,
 ) -> None:
     out = out if out is not None else sys.stdout
@@ -95,6 +96,7 @@ def run_script(
             catalog=catalog,
             budget=budget,
             verify=verify,
+            verify_seed=verify_seed,
             executor="hash" if fast else "reference",
             max_plans=2000,
         )
@@ -130,6 +132,14 @@ def run_script(
                 "-- verified: plan matches reference"
                 if outcome.verified
                 else "-- verified: MISMATCH (plan quarantined, original used)",
+                file=out,
+            )
+        cache = outcome.plan_cache
+        if cache.get("hit") or cache.get("hits", 0) > 0:
+            print(
+                f"-- plan cache: {'hit' if cache.get('hit') else 'miss'} "
+                f"(hits {cache.get('hits', 0)}, misses {cache.get('misses', 0)}, "
+                f"entries {cache.get('entries', 0)})",
                 file=out,
             )
 
@@ -183,6 +193,12 @@ def _explain(
     if level is not DegradationLevel.FULL:
         print(f"-- stage: {level.name.lower()}" + (f" ({reason})" if reason else ""), file=out)
     print(f"-- plans considered : {result.plans_considered}", file=out)
+    counters = session.plan_cache.counters()
+    print(
+        f"-- plan cache       : hits {counters['hits']}, "
+        f"misses {counters['misses']}, entries {counters['entries']}",
+        file=out,
+    )
     print(f"-- estimated cost   : {result.original_cost:.0f} (as written)", file=out)
     print(f"--                    {result.best_cost:.0f} (chosen)", file=out)
     print(
@@ -273,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
         "reference interpreter on a row-sample; mismatches are "
         "quarantined and the original plan used",
     )
+    run_p.add_argument(
+        "--verify-seed",
+        type=int,
+        default=0,
+        help="seed for the verification row-sampler; runs with the same "
+        "seed draw identical samples, making quarantine incidents "
+        "reproducible",
+    )
 
     sub.add_parser("demo", help="run a canned demonstration")
 
@@ -302,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
                 fast=args.fast,
                 budget=budget,
                 verify=args.verify,
+                verify_seed=args.verify_seed,
             )
         else:
             run_script(

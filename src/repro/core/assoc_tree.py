@@ -11,16 +11,18 @@ hyperedges, which rules such trees out.
 Enumeration is the bottom-up construction Section 4 sketches: start
 from single leaves and combine two subtrees whenever the combination
 satisfies the definition; counting uses the same recurrence with
-memoization over connected node subsets.
+memoization over connected node subsets.  Subsets are represented as
+bitmasks over the hypergraph's node-index layer, so the connectivity
+and combinability checks of the inner loops are integer operations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
 from itertools import combinations
 from typing import Iterator
 
+from repro.expr.caching import cached_property, install_cached_hash
 from repro.hypergraph.hypergraph import Hypergraph
 
 
@@ -34,6 +36,10 @@ class AssocLeaf:
     def leaves(self) -> frozenset[str]:
         return frozenset((self.name,))
 
+    @property
+    def sort_key(self) -> str:
+        return self.name
+
     def __str__(self) -> str:
         return self.name
 
@@ -46,8 +52,11 @@ class AssocNode:
     second: "AssocLeaf | AssocNode"
 
     def __post_init__(self) -> None:
-        # canonical order makes (A.B) and (B.A) the same tree
-        if str(self.first) > str(self.second):
+        # canonical order makes (A.B) and (B.A) the same tree; the
+        # comparison uses the children's *cached* structural keys, so
+        # each construction is O(key comparison), not O(subtree) string
+        # rebuilding as str()-based ordering would be
+        if self.first.sort_key > self.second.sort_key:
             first, second = self.second, self.first
             object.__setattr__(self, "first", first)
             object.__setattr__(self, "second", second)
@@ -56,35 +65,61 @@ class AssocNode:
     def leaves(self) -> frozenset[str]:
         return self.first.leaves | self.second.leaves
 
+    @cached_property
+    def sort_key(self) -> str:
+        """Structural key, built once from the children's cached keys.
+
+        Equal to ``str(self)``, so the canonical orientation matches
+        the historical string-comparison ordering exactly.
+        """
+        return f"({self.first.sort_key}.{self.second.sort_key})"
+
     def __str__(self) -> str:
-        return f"({self.first}.{self.second})"
+        return self.sort_key
+
+
+install_cached_hash(AssocLeaf, AssocNode)
 
 
 AssocTree = AssocLeaf | AssocNode
 
 
-def _connected(graph: Hypergraph, subset: frozenset[str], breakup: bool) -> bool:
+def _connected_mask(graph: Hypergraph, mask: int, breakup: bool) -> bool:
     if breakup:
-        return graph.is_connected(within=subset)
+        return graph.is_connected_mask(mask)
     # whole-edge connectivity: only edges with both hypernodes inside
-    sub_edges = [
-        e for e in graph.edges if e.left <= subset and e.right <= subset
+    # the subset participate, and each connects all its nodes
+    key = ("whole_conn", mask)
+    cached = graph._analysis.get(key)
+    if cached is not None:
+        return cached
+    spans = [
+        left | right
+        for _, left, right in graph.edge_masks
+        if (left | right) & ~mask == 0
     ]
-    return Hypergraph(subset, sub_edges).is_connected()
+    comp = mask & -mask
+    grown = True
+    while grown:
+        grown = False
+        for span in spans:
+            if span & comp and span & ~comp:
+                comp |= span
+                grown = True
+    result = comp == mask
+    graph._analysis[key] = result
+    return result
 
 
-def _combinable(
-    graph: Hypergraph,
-    left: frozenset[str],
-    right: frozenset[str],
-    breakup: bool,
+def _combinable_mask(
+    graph: Hypergraph, left: int, right: int, breakup: bool
 ) -> bool:
     """May subtrees over ``left`` and ``right`` be combined?  (item 3)."""
     if breakup:
-        return bool(graph.crossing_edges(left, right))
-    for edge in graph.edges:
-        if (edge.left <= left and edge.right <= right) or (
-            edge.left <= right and edge.right <= left
+        return graph.has_crossing_mask(left, right)
+    for _, el, er in graph.edge_masks:
+        if (el & ~left == 0 and er & ~right == 0) or (
+            el & ~right == 0 and er & ~left == 0
         ):
             return True
     return False
@@ -98,35 +133,37 @@ def association_trees(
     ``breakup=False`` gives the BHAR95a Definition 2.3 baseline
     (hyperedges must be used whole).
     """
-    nodes = sorted(graph.nodes)
-    memo: dict[frozenset[str], list[AssocTree]] = {}
-    for name in nodes:
-        memo[frozenset((name,))] = [AssocLeaf(name)]
+    nodes = graph.node_order
+    bit = graph.node_bit
+    memo: dict[int, list[AssocTree]] = {
+        bit[name]: [AssocLeaf(name)] for name in nodes
+    }
 
-    universe = list(nodes)
-    for size in range(2, len(universe) + 1):
-        for combo in combinations(universe, size):
-            subset = frozenset(combo)
-            if not _connected(graph, subset, breakup):
+    for size in range(2, len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            mask = 0
+            for name in combo:
+                mask |= bit[name]
+            if not _connected_mask(graph, mask, breakup):
                 continue
             trees: list[AssocTree] = []
-            seen: set[str] = set()
-            for split in _proper_splits(subset):
-                left, right = split
-                if left not in memo or right not in memo:
+            seen: set[AssocNode] = set()
+            for left, right in _proper_splits_mask(mask):
+                left_trees = memo.get(left)
+                right_trees = memo.get(right)
+                if left_trees is None or right_trees is None:
                     continue
-                if not _combinable(graph, left, right, breakup):
+                if not _combinable_mask(graph, left, right, breakup):
                     continue
-                for lt in memo[left]:
-                    for rt in memo[right]:
+                for lt in left_trees:
+                    for rt in right_trees:
                         node = AssocNode(lt, rt)
-                        key = str(node)
-                        if key not in seen:
-                            seen.add(key)
+                        if node not in seen:
+                            seen.add(node)
                             trees.append(node)
             if trees:
-                memo[subset] = trees
-    return memo.get(frozenset(graph.nodes), [])
+                memo[mask] = trees
+    return memo.get(graph.all_mask, [])
 
 
 def count_association_trees(graph: Hypergraph, breakup: bool = True) -> int:
@@ -135,35 +172,46 @@ def count_association_trees(graph: Hypergraph, breakup: bool = True) -> int:
     Counts match ``len(association_trees(...))`` but scale to larger
     hypergraphs (no tree materialization).
     """
-    nodes = sorted(graph.nodes)
-    memo: dict[frozenset[str], int] = {
-        frozenset((n,)): 1 for n in nodes
-    }
+    nodes = graph.node_order
+    bit = graph.node_bit
+    memo: dict[int, int] = {bit[name]: 1 for name in nodes}
     for size in range(2, len(nodes) + 1):
         for combo in combinations(nodes, size):
-            subset = frozenset(combo)
-            if not _connected(graph, subset, breakup):
+            mask = 0
+            for name in combo:
+                mask |= bit[name]
+            if not _connected_mask(graph, mask, breakup):
                 continue
             total = 0
-            for left, right in _proper_splits(subset):
-                if left in memo and right in memo:
-                    if _combinable(graph, left, right, breakup):
-                        total += memo[left] * memo[right]
+            for left, right in _proper_splits_mask(mask):
+                lc = memo.get(left)
+                rc = memo.get(right)
+                if lc and rc and _combinable_mask(graph, left, right, breakup):
+                    total += lc * rc
             if total:
-                memo[subset] = total
-    return memo.get(frozenset(graph.nodes), 0)
+                memo[mask] = total
+    return memo.get(graph.all_mask, 0)
 
 
-def _proper_splits(
-    subset: frozenset[str],
-) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
-    """Unordered two-way partitions of ``subset``."""
-    items = sorted(subset)
-    anchor = items[0]
-    rest = items[1:]
-    for size in range(0, len(rest)):
-        for combo in combinations(rest, size):
-            left = frozenset((anchor,) + combo)
-            right = subset - left
+def _proper_splits_mask(mask: int) -> Iterator[tuple[int, int]]:
+    """Unordered two-way partitions of ``mask`` (anchor on lowest bit).
+
+    Enumerates the anchor side in the same order as enumerating
+    ``combinations`` of the sorted non-anchor names by size, matching
+    the historical name-based split order.
+    """
+    anchor = mask & -mask
+    rest_bits = []
+    rest = mask ^ anchor
+    while rest:
+        low = rest & -rest
+        rest_bits.append(low)
+        rest ^= low
+    for size in range(0, len(rest_bits)):
+        for combo in combinations(rest_bits, size):
+            left = anchor
+            for b in combo:
+                left |= b
+            right = mask ^ left
             if right:
                 yield left, right

@@ -1,0 +1,68 @@
+"""Lock-free cached properties and cached hashing for immutable nodes.
+
+Expression and predicate objects are frozen dataclasses: every derived
+attribute (schemas, owner maps, ``sch(p)``) is a pure function of the
+constructor arguments, so it can be computed once and stored in the
+instance ``__dict__``.  ``functools.cached_property`` does the same
+thing but (on Python < 3.12) serializes every first access through an
+RLock, which is measurable on the enumerator's hot path where millions
+of nodes are constructed; this descriptor drops the lock -- safe here
+because recomputing a pure value twice under a race is harmless.
+
+``install_cached_hash`` rewrites a frozen dataclass's ``__hash__`` to
+cache its value in the instance ``__dict__`` (the same storage trick:
+``object.__setattr__``-free, since plain dict assignment bypasses the
+frozen guard).  Expression trees are deeply nested and hashed heavily
+by the enumerator's dedup dictionaries; without the cache every lookup
+re-hashes the whole subtree.
+"""
+
+from __future__ import annotations
+
+
+class cached_property:  # noqa: N801 - drop-in replacement
+    """Per-instance memoized property without the stdlib's lock."""
+
+    def __init__(self, func):
+        self.func = func
+        self.name = func.__name__
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name):
+        self.name = name
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        value = self.func(obj)
+        obj.__dict__[self.name] = value
+        return value
+
+
+def install_cached_hash(*classes) -> None:
+    """Give each frozen dataclass an instance-cached ``__hash__``.
+
+    Must run *after* the ``@dataclass`` decorator: the decorator
+    regenerates ``__hash__`` per class (``eq=True, frozen=True``), so a
+    base-class override would be clobbered in every subclass.
+    """
+    from dataclasses import fields
+    from operator import attrgetter
+
+    for cls in classes:
+        names = tuple(f.name for f in fields(cls))
+        # attrgetter gathers the field values in C; with several names
+        # it returns them as a tuple directly
+        get = attrgetter(*names) if len(names) > 1 else attrgetter(names[0])
+
+        def _make(cls=cls, get=get):
+            def __hash__(self):
+                cached = self.__dict__.get("_hash")
+                if cached is None:
+                    cached = hash((cls, get(self)))
+                    self.__dict__["_hash"] = cached
+                return cached
+
+            return __hash__
+
+        cls.__hash__ = _make()

@@ -20,8 +20,9 @@ from repro.errors import UserInputError
 
 import enum
 from dataclasses import dataclass, field
-from functools import cached_property
 from typing import Iterable
+
+from repro.expr.caching import cached_property, install_cached_hash
 
 from repro.relalg.aggregates import AggregateSpec
 from repro.relalg.relation import virtual_attr
@@ -54,6 +55,12 @@ class JoinKind(enum.Enum):
     @property
     def is_outer(self) -> bool:
         return self is not JoinKind.INNER
+
+
+# enum's default __hash__ is a Python-level function; members are
+# singletons, so the identity hash is equivalent and C-speed -- join
+# kinds are hashed once per freshly built Join during enumeration
+JoinKind.__hash__ = object.__hash__  # type: ignore[method-assign]
 
 
 @dataclass(frozen=True)
@@ -103,6 +110,11 @@ class Expr:
     def all_attrs(self) -> tuple[str, ...]:
         return self.real_attrs + self.virtual_attrs
 
+    @cached_property
+    def attr_set(self) -> frozenset[str]:
+        """All output attributes as a set (the hot-path form of sch)."""
+        return frozenset(self.real_attrs) | frozenset(self.virtual_attrs)
+
     # -- convenience for rewrites --
 
     def walk(self) -> Iterable["Expr"]:
@@ -122,8 +134,7 @@ class Expr:
 
 
 def _check_predicate_scope(node: Expr, predicate: Predicate) -> None:
-    in_scope = set(node.real_attrs) | set(node.virtual_attrs)
-    missing = predicate.attrs - in_scope
+    missing = predicate.attrs - node.attr_set
     if missing:
         raise ExprError(
             f"predicate references attributes {sorted(missing)} not in scope"
@@ -232,7 +243,7 @@ class Join(Expr):
                 "join operands share base relations "
                 f"{sorted(self.left.base_names & self.right.base_names)}"
             )
-        overlap = set(self.left.all_attrs) & set(self.right.all_attrs)
+        overlap = self.left.attr_set & self.right.attr_set
         if overlap:
             raise ExprError(f"join operands share attributes {sorted(overlap)}")
         _check_predicate_scope(self, self.predicate)
@@ -336,7 +347,7 @@ class GroupBy(Expr):
     name: str
 
     def __post_init__(self) -> None:
-        in_scope = set(self.child.all_attrs)
+        in_scope = self.child.attr_set
         missing = set(self.group_by) - in_scope
         if missing:
             raise ExprError(f"group-by attributes {sorted(missing)} not in child")
@@ -382,7 +393,7 @@ class GenSelect(Expr):
 
     def __post_init__(self) -> None:
         _check_predicate_scope(self.child, self.predicate)
-        in_scope = set(self.child.all_attrs)
+        in_scope = self.child.attr_set
         for pres in self.preserved:
             missing = (pres.real | pres.virtual) - in_scope
             if missing:
@@ -546,6 +557,29 @@ class AdjustPadding(Expr):
     def attr_owners(self) -> dict[str, frozenset[str]]:
         owners = self.child.attr_owners
         return {a: owners[a] for a in self.all_attrs}
+
+
+# ---- hashing ----
+#
+# Frozen dataclasses recompute their hash from scratch on every call,
+# which makes it O(tree) -- ruinous for the plan enumerator, whose
+# closure dedup hashes every candidate tree.  Each node caches its hash
+# on first use (the tree is immutable, so the value never changes); a
+# child's cached hash makes the parent's first hash O(children).
+
+install_cached_hash(
+    BaseRel,
+    Select,
+    Project,
+    Join,
+    SemiJoin,
+    GroupBy,
+    GenSelect,
+    UnionAll,
+    Rename,
+    AdjustPadding,
+    Preserved,
+)
 
 
 # ---- convenience constructors ----

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.expr.caching import cached_property, install_cached_hash
 from repro.relalg.nulls import Truth, compare
 from repro.relalg.row import Row
 
@@ -41,7 +42,7 @@ class Col(Term):
     def value(self, row: Row) -> Any:
         return row[self.name]
 
-    @property
+    @cached_property
     def attrs(self) -> frozenset[str]:
         return frozenset((self.name,))
 
@@ -98,7 +99,7 @@ class Arith(Term):
             return NULL
         return _ARITH_OPS[self.op](a, b)
 
-    @property
+    @cached_property
     def attrs(self) -> frozenset[str]:
         return self.left.attrs | self.right.attrs
 
@@ -146,7 +147,7 @@ class Comparison(Predicate):
     def evaluate(self, row: Row) -> Truth:
         return compare(self.left.value(row), self.op, self.right.value(row))
 
-    @property
+    @cached_property
     def attrs(self) -> frozenset[str]:
         return self.left.attrs | self.right.attrs
 
@@ -249,7 +250,7 @@ class Conjunction(Predicate):
                 return Truth.FALSE
         return truth
 
-    @property
+    @cached_property
     def attrs(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
         for conjunct in self.conjuncts:
@@ -261,6 +262,12 @@ class Conjunction(Predicate):
 
     def __str__(self) -> str:
         return " ∧ ".join(str(c) for c in self.conjuncts)
+
+
+# Predicates sit inside every join node, so the expression nodes' hash
+# caching (see repro.expr.nodes) only pays off if predicate hashing is
+# O(1) too; same trick, same immutability argument.
+install_cached_hash(Col, Arith, Comparison, IsNull, InList, Conjunction)
 
 
 def conjuncts_of(predicate: Predicate) -> tuple[Predicate, ...]:

@@ -28,10 +28,20 @@ from __future__ import annotations
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, HypergraphError
 
 
+# The analyses below are pure functions of (graph, edge) and are
+# called repeatedly per edge during Theorem-1 rewrites and plan
+# enumeration, so each memoizes its result in the graph's per-instance
+# ``_analysis`` dict (hypergraphs are immutable).
+
+
 def _two_components(
     graph: Hypergraph, edge: Hyperedge
 ) -> tuple[frozenset[str], frozenset[str]]:
     """Components of ``graph`` minus ``edge``: (left side, right side)."""
+    key = ("two_comps", edge.eid)
+    cached = graph._analysis.get(key)
+    if cached is not None:
+        return cached
     comps = graph.components(removed=frozenset((edge.eid,)))
     if len(comps) != 2:
         raise HypergraphError(
@@ -40,13 +50,16 @@ def _two_components(
         )
     first, second = comps
     if edge.left <= first and edge.right <= second:
-        return first, second
-    if edge.left <= second and edge.right <= first:
-        return second, first
-    raise HypergraphError(
-        f"hypernodes of {edge.eid!r} straddle the components; "
-        "the query is not simple"
-    )
+        out = (first, second)
+    elif edge.left <= second and edge.right <= first:
+        out = (second, first)
+    else:
+        raise HypergraphError(
+            f"hypernodes of {edge.eid!r} straddle the components; "
+            "the query is not simple"
+        )
+    graph._analysis[key] = out
+    return out
 
 
 def pres(graph: Hypergraph, edge: Hyperedge) -> frozenset[str]:
@@ -100,19 +113,25 @@ def ccoj(graph: Hypergraph, edge: Hyperedge) -> tuple[Hyperedge, ...]:
     """
     if not edge.undirected:
         raise HypergraphError(f"ccoj() requires a join edge, got {edge.eid!r}")
+    key = ("ccoj", edge.eid)
+    cached = graph._analysis.get(key)
+    if cached is not None:
+        return cached
     covering: list[Hyperedge] = []
     for candidate in graph.directed_edges:
         _, null_side = _two_components(graph, candidate)
         if edge.nodes <= null_side:
             covering.append(candidate)
-    if not covering:
-        return ()
-    # the closest is the one whose null-side component is smallest
-    sizes = {
-        c.eid: len(_two_components(graph, c)[1]) for c in covering
-    }
-    closest = min(covering, key=lambda c: sizes[c.eid])
-    return (closest,)
+    if covering:
+        # the closest is the one whose null-side component is smallest
+        sizes = {
+            c.eid: len(_two_components(graph, c)[1]) for c in covering
+        }
+        result = (min(covering, key=lambda c: sizes[c.eid]),)
+    else:
+        result = ()
+    graph._analysis[key] = result
+    return result
 
 
 def conf(graph: Hypergraph, edge: Hyperedge) -> tuple[Hyperedge, ...]:
@@ -128,6 +147,10 @@ def conf(graph: Hypergraph, edge: Hyperedge) -> tuple[Hyperedge, ...]:
     """
     if edge.bidirected:
         return ()
+    key = ("conf", edge.eid)
+    cached = graph._analysis.get(key)
+    if cached is not None:
+        return cached
     if edge.directed:
         _, null_side = _two_components(graph, edge)
         out = []
@@ -136,15 +159,21 @@ def conf(graph: Hypergraph, edge: Hyperedge) -> tuple[Hyperedge, ...]:
                 continue
             if candidate.nodes <= null_side and not candidate.nodes <= edge.right:
                 out.append(candidate)
-        return tuple(out)
-    closest = ccoj(graph, edge)
-    if closest:
-        h = closest[0]
-        rest = conf(graph, h)
-        return (h,) + tuple(r for r in rest if r.eid != h.eid)
-    out = []
-    for candidate in graph.bidirected_edges:
-        if candidate.nodes <= edge.left or candidate.nodes <= edge.right:
-            continue
-        out.append(candidate)
-    return tuple(out)
+        result = tuple(out)
+    else:
+        closest = ccoj(graph, edge)
+        if closest:
+            h = closest[0]
+            rest = conf(graph, h)
+            result = (h,) + tuple(r for r in rest if r.eid != h.eid)
+        else:
+            result = tuple(
+                candidate
+                for candidate in graph.bidirected_edges
+                if not (
+                    candidate.nodes <= edge.left
+                    or candidate.nodes <= edge.right
+                )
+            )
+    graph._analysis[key] = result
+    return result

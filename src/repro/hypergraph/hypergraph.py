@@ -89,7 +89,16 @@ class Hyperedge:
 
 
 class Hypergraph:
-    """An immutable hypergraph ``H = (V, E)``."""
+    """An immutable hypergraph ``H = (V, E)``.
+
+    Alongside the name-set API, every graph carries a *node-index
+    layer*: nodes get bit positions (sorted-name order) and each edge a
+    pair of int masks, so connectivity, induced-subgraph reasoning and
+    the Theorem-1 analyses run on machine integers.  Enumeration-grade
+    queries (``is_connected`` over subsets, crossing tests, the
+    conflict analyses in :mod:`repro.hypergraph.conflicts`) are
+    memoized per graph -- sound because the graph is immutable.
+    """
 
     def __init__(self, nodes: Iterable[str], edges: Iterable[Hyperedge]) -> None:
         self._nodes = frozenset(nodes)
@@ -104,6 +113,9 @@ class Hypergraph:
                 raise HypergraphError(
                     f"hyperedge {edge.eid!r} references unknown nodes {sorted(stray)}"
                 )
+        # memo for per-graph analyses (connectivity per subset mask,
+        # Definition 3.3 sets per edge); see the class docstring
+        self._analysis: dict = {}
 
     @property
     def nodes(self) -> frozenset[str]:
@@ -138,6 +150,95 @@ class Hypergraph:
     def bidirected_edges(self) -> tuple[Hyperedge, ...]:
         return tuple(e for e in self._edges if e.bidirected)
 
+    # ---- node-index (bitset) layer ----
+
+    @cached_property
+    def node_order(self) -> tuple[str, ...]:
+        """Node names in bit order (sorted; bit i = node_order[i])."""
+        return tuple(sorted(self._nodes))
+
+    @cached_property
+    def node_bit(self) -> dict[str, int]:
+        """Name -> single-bit mask."""
+        return {name: 1 << i for i, name in enumerate(self.node_order)}
+
+    @cached_property
+    def all_mask(self) -> int:
+        return (1 << len(self.node_order)) - 1
+
+    def mask_of(self, names: Iterable[str]) -> int:
+        """The bitmask of a set of node names."""
+        bit = self.node_bit
+        mask = 0
+        for name in names:
+            mask |= bit[name]
+        return mask
+
+    def names_of(self, mask: int) -> frozenset[str]:
+        """The node names of a bitmask."""
+        order = self.node_order
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(order[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+    @cached_property
+    def edge_masks(self) -> tuple[tuple[Hyperedge, int, int], ...]:
+        """Each edge with its (left hypernode, right hypernode) masks."""
+        return tuple(
+            (e, self.mask_of(e.left), self.mask_of(e.right)) for e in self._edges
+        )
+
+    def _component_masks(self, universe: int, removed: frozenset[str]) -> list[int]:
+        """Connected components (as masks) under footnote-6 semantics.
+
+        An edge restricted to ``universe`` links its surviving left
+        part with its surviving right part (broken-up sub-edges).
+        Components come out ordered by their lowest bit.
+        """
+        spans = [
+            (left | right) & universe
+            for edge, left, right in self.edge_masks
+            if edge.eid not in removed
+            and left & universe
+            and right & universe
+        ]
+        comps: list[int] = []
+        remaining = universe
+        while remaining:
+            comp = remaining & -remaining
+            grown = True
+            while grown:
+                grown = False
+                for span in spans:
+                    if span & comp and span & ~comp:
+                        comp |= span
+                        grown = True
+            comp &= universe
+            comps.append(comp)
+            remaining &= ~comp
+        return comps
+
+    def is_connected_mask(
+        self, universe: int, removed: frozenset[str] = frozenset()
+    ) -> bool:
+        """Mask-level :meth:`is_connected`; memoized per graph."""
+        key = ("conn", universe, removed)
+        cached = self._analysis.get(key)
+        if cached is None:
+            cached = len(self._component_masks(universe, removed)) <= 1
+            self._analysis[key] = cached
+        return cached
+
+    def has_crossing_mask(self, left: int, right: int) -> bool:
+        """Does any (possibly broken-up) edge connect the two masks?"""
+        for _, el, er in self.edge_masks:
+            if (el & left and er & right) or (el & right and er & left):
+                return True
+        return False
+
     # ---- connectivity ----
 
     def components(
@@ -151,42 +252,16 @@ class Hypergraph:
         footnote 6: broken-up sub-edges connect the intersections);
         ``removed`` names hyperedge ids to ignore.
         """
-        universe = self._nodes if within is None else frozenset(within)
-        parent = {n: n for n in universe}
-
-        def find(n: str) -> str:
-            while parent[n] != n:
-                parent[n] = parent[parent[n]]
-                n = parent[n]
-            return n
-
-        def link(a: str, b: str) -> None:
-            ra, rb = find(a), find(b)
-            if ra != rb:
-                parent[ra] = rb
-
-        for edge in self._edges:
-            if edge.eid in removed:
-                continue
-            left = edge.left & universe
-            right = edge.right & universe
-            if not left or not right:
-                continue
-            anchor = next(iter(left))
-            for n in left | right:
-                link(anchor, n)
-        groups: dict[str, set[str]] = {}
-        for n in universe:
-            groups.setdefault(find(n), set()).add(n)
-        return [frozenset(g) for g in groups.values()]
+        universe = self.all_mask if within is None else self.mask_of(within)
+        return [self.names_of(m) for m in self._component_masks(universe, removed)]
 
     def is_connected(
         self,
         within: frozenset[str] | None = None,
         removed: frozenset[str] = frozenset(),
     ) -> bool:
-        comps = self.components(within=within, removed=removed)
-        return len(comps) <= 1
+        universe = self.all_mask if within is None else self.mask_of(within)
+        return self.is_connected_mask(universe, removed)
 
     def component_of(
         self,

@@ -33,7 +33,7 @@ from repro.expr.nodes import (
     Project,
     Select,
 )
-from repro.optimizer.cost import estimated_cost
+from repro.optimizer.cost import CostModel, estimated_cost
 from repro.optimizer.planner import OptimizationResult
 from repro.optimizer.stats import Statistics
 
@@ -54,15 +54,16 @@ def optimize_no_gs(
     """
     normalized = simplify_outer_joins(query)
     plans = enumerate_plans(normalized, max_plans=max_plans, with_gs=False)
+    model = CostModel(stats)
     scored = sorted(
-        ((estimated_cost(plan, stats), i, plan) for i, plan in enumerate(plans)),
+        ((model.cost(plan), i, plan) for i, plan in enumerate(plans)),
         key=lambda t: (t[0], t[1]),
     )
     best_cost, _, best = scored[0]
     return OptimizationResult(
         best=best,
         best_cost=best_cost,
-        original_cost=estimated_cost(query, stats),
+        original_cost=model.cost(query),
         plans_considered=len(plans),
         ranked=[(c, p) for c, _, p in scored[:10]],
     )
@@ -109,11 +110,12 @@ def greedy_reorder(
             best = dc_replace(wrapper, child=best)
         plans_considered = 1
     except DpError:
+        model = CostModel(stats)
         plans = enumerate_plans(
             normalized, max_plans=GREEDY_PLAN_CAP, with_gs=False, budget=budget
         )
         best = min(
-            plans, key=lambda plan: (estimated_cost(plan, stats), repr(plan))
+            plans, key=lambda plan: (model.cost(plan), repr(plan))
         )
         plans_considered = len(plans)
     best_cost = estimated_cost(best, stats)

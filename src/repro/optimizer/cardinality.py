@@ -84,8 +84,26 @@ class Estimate:
         return matching / total
 
 
-def estimate(expr: Expr, stats: Statistics) -> Estimate:
-    """Estimate the output of ``expr`` under ``stats``."""
+def estimate(
+    expr: Expr, stats: Statistics, memo: dict[Expr, Estimate] | None = None
+) -> Estimate:
+    """Estimate the output of ``expr`` under ``stats``.
+
+    ``memo`` (node -> Estimate) shares work across structurally equal
+    subtrees; the enumerator's plans overlap almost entirely, so the
+    optimizer passes one memo across the whole costing loop.  Cached
+    Estimates are shared -- callers must treat them as immutable.
+    """
+    if memo is None:
+        return _estimate(expr, stats, None)
+    found = memo.get(expr)
+    if found is None:
+        found = _estimate(expr, stats, memo)
+        memo[expr] = found
+    return found
+
+
+def _estimate(expr: Expr, stats: Statistics, memo) -> Estimate:
     if isinstance(expr, BaseRel):
         table = stats.table(expr.name)
         rows = float(table.row_count)
@@ -98,19 +116,19 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return Estimate(rows, distinct, freq)
 
     if isinstance(expr, Rename):
-        child = estimate(expr.child, stats)
+        child = estimate(expr.child, stats, memo)
         mapping = dict(expr.mapping)
         distinct = {mapping.get(a, a): d for a, d in child.distinct.items()}
         freq = {mapping.get(a, a): f for a, f in child.freq.items()}
         return Estimate(child.rows, distinct, freq)
 
     if isinstance(expr, Select):
-        child = estimate(expr.child, stats)
+        child = estimate(expr.child, stats, memo)
         sel = selectivity(expr.predicate, child)
         return _scaled(child, child.rows * sel)
 
     if isinstance(expr, Project):
-        child = estimate(expr.child, stats)
+        child = estimate(expr.child, stats, memo)
         keep = set(expr.all_attrs)
         distinct = {a: d for a, d in child.distinct.items() if a in keep}
         rows = child.rows
@@ -123,8 +141,8 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return Estimate(rows, distinct, freq)
 
     if isinstance(expr, Join):
-        left = estimate(expr.left, stats)
-        right = estimate(expr.right, stats)
+        left = estimate(expr.left, stats, memo)
+        right = estimate(expr.right, stats, memo)
         merged = {**left.distinct, **right.distinct}
         both = Estimate(left.rows * right.rows, merged, {**left.freq, **right.freq})
         sel = selectivity(expr.predicate, both)
@@ -139,8 +157,8 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return out
 
     if isinstance(expr, UnionAll):
-        left = estimate(expr.left, stats)
-        right = estimate(expr.right, stats)
+        left = estimate(expr.left, stats, memo)
+        right = estimate(expr.right, stats, memo)
         distinct = {
             a: left.distinct_of(a) + right.distinct_of(a)
             for a in set(left.distinct) | set(right.distinct)
@@ -148,8 +166,8 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return Estimate(left.rows + right.rows, distinct, {**left.freq, **right.freq})
 
     if isinstance(expr, SemiJoin):
-        left = estimate(expr.left, stats)
-        right = estimate(expr.right, stats)
+        left = estimate(expr.left, stats, memo)
+        right = estimate(expr.right, stats, memo)
         both = Estimate(
             left.rows * right.rows,
             {**left.distinct, **right.distinct},
@@ -162,7 +180,7 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return _scaled(left, left.rows * match_fraction)
 
     if isinstance(expr, GroupBy):
-        child = estimate(expr.child, stats)
+        child = estimate(expr.child, stats, memo)
         groups = 1.0
         for key in expr.group_by:
             groups *= child.distinct_of(key)
@@ -175,7 +193,7 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return Estimate(groups, distinct, freq)
 
     if isinstance(expr, GenSelect):
-        child = estimate(expr.child, stats)
+        child = estimate(expr.child, stats, memo)
         sel = selectivity(expr.predicate, child)
         rows = child.rows * sel
         for pres in expr.preserved:
@@ -189,7 +207,7 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
         return out
 
     if isinstance(expr, AdjustPadding):
-        child = estimate(expr.child, stats)
+        child = estimate(expr.child, stats, memo)
         distinct = {
             a: d for a, d in child.distinct.items() if a != expr.witness
         }
@@ -199,7 +217,7 @@ def estimate(expr: Expr, stats: Statistics) -> Estimate:
     # unknown nodes: propagate the first child
     children = expr.children()
     if children:
-        return estimate(children[0], stats)
+        return estimate(children[0], stats, memo)
     raise TypeError(f"cannot estimate {type(expr).__name__}")
 
 
@@ -209,12 +227,19 @@ def _scaled(child: Estimate, rows: float) -> Estimate:
     return Estimate(rows, distinct, dict(child.freq))
 
 
+# A hard-zero selectivity would zero the cost of every plan containing
+# the atom, making the DP/closure choice among those plans arbitrary
+# (any tie-break wins).  Flooring at an epsilon keeps relative costs
+# ordered while still treating the atom as extremely selective.
+_MIN_SELECTIVITY = 1e-9
+
+
 def selectivity(predicate: Predicate, inputs: Estimate) -> float:
     """Estimated fraction of rows satisfying ``predicate``."""
     sel = 1.0
     for atom in conjuncts_of(predicate):
         sel *= _atom_selectivity(atom, inputs)
-    return max(0.0, min(1.0, sel))
+    return min(1.0, max(_MIN_SELECTIVITY, sel))
 
 
 def _atom_selectivity(atom: Predicate, inputs: Estimate) -> float:

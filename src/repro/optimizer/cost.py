@@ -20,22 +20,48 @@ from __future__ import annotations
 
 from repro.expr.evaluate import Database, evaluate
 from repro.expr.nodes import BaseRel, Expr, GenSelect, GroupBy, Join
-from repro.optimizer.cardinality import estimate
+from repro.optimizer.cardinality import Estimate, estimate
 from repro.optimizer.stats import Statistics
 
 _COSTED = (Join, GroupBy, GenSelect)
 
 
+class CostModel:
+    """Memoized C_out costing shared across a whole enumeration.
+
+    Transformation-generated plans overlap almost entirely (each step
+    rewrites one join), so caching estimates *and* subtree costs per
+    structurally-equal node turns the closure's O(plans x tree) costing
+    into roughly O(distinct subtrees).  One instance per (stats,
+    enumeration); the caches assume ``stats`` does not change.
+    """
+
+    def __init__(self, stats: Statistics) -> None:
+        self.stats = stats
+        self._estimates: dict[Expr, Estimate] = {}
+        self._costs: dict[Expr, float] = {}
+
+    def estimate(self, expr: Expr) -> Estimate:
+        return estimate(expr, self.stats, self._estimates)
+
+    def cost(self, expr: Expr) -> float:
+        cached = self._costs.get(expr)
+        if cached is not None:
+            return cached
+        total = 0.0
+        if isinstance(expr, _COSTED):
+            total += self.estimate(expr).rows
+        if isinstance(expr, GenSelect):
+            total += self.estimate(expr.child).rows
+        for child in expr.children():
+            total += self.cost(child)
+        self._costs[expr] = total
+        return total
+
+
 def estimated_cost(expr: Expr, stats: Statistics) -> float:
     """C_out: sum of estimated output sizes of joins / GPs / GSs."""
-    total = 0.0
-    if isinstance(expr, _COSTED):
-        total += estimate(expr, stats).rows
-    if isinstance(expr, GenSelect):
-        total += estimate(expr.child, stats).rows
-    for child in expr.children():
-        total += estimated_cost(child, stats)
-    return total
+    return CostModel(stats).cost(expr)
 
 
 def measured_cost(expr: Expr, db: Database) -> int:

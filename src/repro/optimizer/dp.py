@@ -115,13 +115,17 @@ def dp_join_order(query: Expr, stats: Statistics, budget=None) -> Expr:
         frozenset((name,)): (0.0, ws.leaves[name]) for name in names
     }
 
+    bit = graph.node_bit
     for size in range(2, len(names) + 1):
         for combo in combinations(names, size):
             if budget is not None:
                 budget.check_deadline("dp_join_order")
-            subset = frozenset(combo)
-            if not graph.is_connected(within=subset):
+            mask = 0
+            for name in combo:
+                mask |= bit[name]
+            if not graph.is_connected_mask(mask):
                 continue
+            subset = frozenset(combo)
             subset_attrs = ws.attrs_of(subset)
             output = ws.cardinality(subset)
             candidate: tuple[float, Expr] | None = None

@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> optimizer
 
 from repro.core.pipeline import reorder_pipeline
 from repro.expr.nodes import Expr
-from repro.optimizer.cost import estimated_cost
+from repro.optimizer.cost import CostModel
 from repro.optimizer.stats import Statistics
 
 
@@ -53,17 +53,18 @@ def optimize(
     :class:`repro.errors.BudgetExceeded` family when a cap is hit.
     """
     plans = reorder_pipeline(query, max_plans=max_plans, budget=budget)
+    model = CostModel(stats)
     scored = []
     for i, plan in enumerate(plans):
         if budget is not None and i % 64 == 0:
             budget.check_deadline("optimize/costing")
-        scored.append((estimated_cost(plan, stats), i, plan))
+        scored.append((model.cost(plan), i, plan))
     scored.sort(key=lambda t: (t[0], t[1]))
     best_cost, _, best = scored[0]
     return OptimizationResult(
         best=best,
         best_cost=best_cost,
-        original_cost=estimated_cost(query, stats),
+        original_cost=model.cost(query),
         plans_considered=len(plans),
         ranked=[(c, p) for c, _, p in scored[:keep_ranked]],
     )

@@ -29,13 +29,21 @@ class TableStats:
 
 
 class Statistics:
-    """Per-table statistics, keyed by base relation name."""
+    """Per-table statistics, keyed by base relation name.
+
+    ``version`` counts mutations: every :meth:`add` bumps it, so
+    consumers that cache derived artifacts (notably the plan cache in
+    :mod:`repro.runtime.plan_cache`) can key on it and invalidate
+    automatically when statistics are refreshed.
+    """
 
     def __init__(self, tables: dict[str, TableStats] | None = None) -> None:
         self._tables = dict(tables or {})
+        self.version = 0
 
     def add(self, name: str, stats: TableStats) -> None:
         self._tables[name] = stats
+        self.version += 1
 
     def table(self, name: str) -> TableStats:
         if name not in self._tables:

@@ -29,6 +29,7 @@ See ``docs/ROBUSTNESS.md`` for the operational story.
 
 from repro.runtime.budget import Budget
 from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.plan_cache import PlanCache, query_fingerprint
 from repro.runtime.session import (
     DegradationLevel,
     QuerySession,
@@ -41,7 +42,9 @@ __all__ = [
     "Incident",
     "IncidentLog",
     "DegradationLevel",
+    "PlanCache",
     "QuerySession",
     "SessionResult",
     "StatementOutcome",
+    "query_fingerprint",
 ]

@@ -1,0 +1,105 @@
+"""Cross-query plan cache: amortize optimization over repeated queries.
+
+Optimization dominates latency for repeated or scripted workloads (the
+same view expanded under several selects, a dashboard re-issuing one
+query shape).  :class:`PlanCache` memoizes successful *full*
+optimization results keyed by
+
+* a **canonical query fingerprint** -- a digest of the expression
+  tree's exact structure, constants included.  Binding different
+  constants therefore misses the cache by design: constant-specific
+  statistics (value frequencies) legitimately change the chosen plan,
+  and reusing a plan across constants would silently pin a stale
+  choice; and
+* the **statistics version** (:attr:`Statistics.version`), so a
+  refreshed catalog invalidates every entry without explicit flushes.
+
+Only trustworthy entries are stored: full-rung results whose
+verification did not fail (``verified is not False``).  A later
+quarantine of a cached plan evicts the entry (:meth:`evict_plan`).
+The cache is bounded LRU; hit/miss counters surface in EXPLAIN, the
+CLI, and session results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.expr.nodes import Expr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.planner import OptimizationResult
+
+
+def query_fingerprint(query: Expr) -> str:
+    """Canonical fingerprint of a query's exact structure.
+
+    ``repr`` of the (frozen dataclass) tree is unambiguous and covers
+    every field -- operators, attribute tuples, predicates, constants.
+    The digest is stable across processes, unlike ``hash()``.
+    """
+    return hashlib.sha256(repr(query).encode()).hexdigest()[:16]
+
+
+class PlanCache:
+    """Bounded LRU of optimization results, keyed by (fingerprint, stats version)."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[str, int], "OptimizationResult"] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, query: Expr, stats_version: int
+    ) -> "OptimizationResult | None":
+        """The cached result for ``query``, or None (counts hit/miss)."""
+        key = (query_fingerprint(query), stats_version)
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def store(
+        self, query: Expr, stats_version: int, result: "OptimizationResult"
+    ) -> None:
+        key = (query_fingerprint(query), stats_version)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def evict_plan(self, plan: Expr) -> int:
+        """Drop every entry whose chosen plan is ``plan`` (quarantine).
+
+        Returns the number of entries evicted.
+        """
+        stale = [k for k, v in self._entries.items() if v.best == plan]
+        for key in stale:
+            del self._entries[key]
+        self.evictions += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def counters(self) -> dict:
+        """Machine-readable counters for EXPLAIN / CLI / incidents."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "evictions": self.evictions,
+        }

@@ -31,6 +31,7 @@ becomes a contained, observable event instead of silent wrong answers.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from enum import IntEnum
@@ -48,6 +49,7 @@ from repro.optimizer import (
 from repro.relalg import Relation
 from repro.runtime.budget import Budget
 from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.plan_cache import PlanCache
 
 
 class DegradationLevel(IntEnum):
@@ -84,6 +86,7 @@ class SessionResult:
     incident: Incident | None
     elapsed_ms: float
     budget_snapshot: dict = field(default_factory=dict)
+    plan_cache: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Machine-readable summary (bench JSON, logs)."""
@@ -96,6 +99,7 @@ class SessionResult:
             "verified": self.verified,
             "elapsed_ms": round(self.elapsed_ms, 3),
             "budget": self.budget_snapshot,
+            "plan_cache": self.plan_cache,
         }
 
 
@@ -133,6 +137,14 @@ class QuerySession:
     optimize_fn:
         The rung-0 planner, ``repro.optimize`` by default.  Tests
         inject wrong-plan planners here to exercise the safety net.
+    verify_seed:
+        Seed for the verification row-sampler: two sessions with the
+        same seed draw identical samples, so quarantine incidents are
+        reproducible.
+    plan_cache:
+        Cross-query :class:`PlanCache`; a fresh bounded cache by
+        default.  Pass a shared instance to amortize across sessions,
+        or ``PlanCache(max_entries=0)`` to disable caching.
     """
 
     def __init__(
@@ -146,6 +158,8 @@ class QuerySession:
         max_plans: int = 5000,
         verify_sample_rows: int = 50,
         optimize_fn=None,
+        verify_seed: int = 0,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -159,9 +173,11 @@ class QuerySession:
         self.executor = executor
         self.max_plans = max_plans
         self.verify_sample_rows = verify_sample_rows
+        self.verify_seed = verify_seed
         self._optimize_fn = optimize_fn if optimize_fn is not None else optimize
         self.incidents = IncidentLog()
         self.quarantined: set[Expr] = set()
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
 
     # -- plumbing --------------------------------------------------------
 
@@ -184,11 +200,21 @@ class QuerySession:
         return Budget(deadline_ms=None, max_plans=None, max_rows=run_budget.max_rows)
 
     def _sample_database(self) -> Database:
-        """The first ``verify_sample_rows`` rows of every base table."""
+        """A seeded row-sample of every base table.
+
+        Tables at or under ``verify_sample_rows`` are taken whole;
+        larger ones are down-sampled by a ``random.Random`` seeded with
+        ``verify_seed``, with tables visited in sorted-name order -- so
+        two sessions with the same seed (and database) verify against
+        byte-identical samples and quarantine incidents reproduce.
+        """
+        rng = random.Random(self.verify_seed)
         sampled = Database()
-        for name in self.db.names():
+        for name in sorted(self.db.names()):
             relation = self.db[name]
-            rows = list(relation.rows)[: self.verify_sample_rows]
+            rows = list(relation.rows)
+            if len(rows) > self.verify_sample_rows:
+                rows = rng.sample(rows, self.verify_sample_rows)
             sampled.add(name, relation.with_rows(rows))
         return sampled
 
@@ -236,6 +262,7 @@ class QuerySession:
             incident=None,
             elapsed_ms=(time.monotonic() - t0) * 1000.0,
             budget_snapshot=run_budget.to_dict(),
+            plan_cache={"hit": False, **self.plan_cache.counters()},
         )
         return result
 
@@ -249,10 +276,16 @@ class QuerySession:
             # own effort is bounded structurally (DP / GREEDY_PLAN_CAP)
             max_plans="inherit" if level is DegradationLevel.FULL else None,
         )
+        cache_hit = False
         if level is DegradationLevel.FULL:
-            optimized = self._optimize_fn(
-                query, self.stats, max_plans=self.max_plans, budget=stage_budget
-            )
+            cached = self.plan_cache.lookup(query, self.stats.version)
+            if cached is not None:
+                optimized = cached
+                cache_hit = True
+            else:
+                optimized = self._optimize_fn(
+                    query, self.stats, max_plans=self.max_plans, budget=stage_budget
+                )
         else:
             optimized = greedy_reorder(query, self.stats, budget=stage_budget)
         plan = self._pick_plan(optimized)
@@ -281,7 +314,13 @@ class QuerySession:
                     incident=incident,
                     elapsed_ms=0.0,  # stamped by _finalize
                     budget_snapshot={},
+                    plan_cache={"hit": cache_hit},
                 )
+        # only trustworthy full-rung results are cached: a failed
+        # verification never reaches here (handled above), and
+        # heuristic plans would shadow the better full plan on reuse
+        if level is DegradationLevel.FULL and not cache_hit:
+            self.plan_cache.store(query, self.stats.version, optimized)
         return SessionResult(
             relation=relation,
             chosen=plan,
@@ -292,6 +331,7 @@ class QuerySession:
             incident=incident,
             elapsed_ms=0.0,  # stamped by _finalize
             budget_snapshot={},
+            plan_cache={"hit": cache_hit},
         )
 
     def _finalize(
@@ -303,6 +343,7 @@ class QuerySession:
     ) -> SessionResult:
         result.elapsed_ms = (time.monotonic() - t0) * 1000.0
         result.budget_snapshot = run_budget.to_dict()
+        result.plan_cache = {**result.plan_cache, **self.plan_cache.counters()}
         if result.degradation_reason is None and reasons:
             result.degradation_reason = "; ".join(reasons)
         return result
@@ -352,6 +393,7 @@ class QuerySession:
         if reference.same_content(candidate):
             return True, None
         self.quarantined.add(plan)
+        evicted = self.plan_cache.evict_plan(plan)
         incident = self.incidents.record(
             Incident(
                 kind="verification-mismatch",
@@ -361,8 +403,13 @@ class QuerySession:
                     "sample_rows": {
                         name: len(sample[name]) for name in sample.names()
                     },
+                    "verify_seed": self.verify_seed,
                     "reference_rows": len(reference),
                     "plan_rows": len(candidate),
+                    "plan_cache": {
+                        "evicted": evicted,
+                        **self.plan_cache.counters(),
+                    },
                 },
                 action="quarantined-plan; fell back to original",
             )
@@ -424,12 +471,16 @@ class QuerySession:
             )
             try:
                 if level is DegradationLevel.FULL:
+                    cached = self.plan_cache.lookup(query, self.stats.version)
+                    if cached is not None:
+                        return cached, level, "; ".join(reasons) or None
                     optimized = self._optimize_fn(
                         query,
                         self.stats,
                         max_plans=self.max_plans,
                         budget=stage_budget,
                     )
+                    self.plan_cache.store(query, self.stats.version, optimized)
                 else:
                     optimized = greedy_reorder(
                         query, self.stats, budget=stage_budget

@@ -100,6 +100,33 @@ class TestSmallGraphs:
         assert str(node) == "(a.b)"
         assert node.leaves == {"a", "b"}
 
+    def test_canonical_order_makes_mirrors_identical(self):
+        # (A.B) and (B.A) are the same unordered combination: they
+        # must compare and hash equal after canonicalization
+        ab = AssocNode(AssocLeaf("a"), AssocLeaf("b"))
+        ba = AssocNode(AssocLeaf("b"), AssocLeaf("a"))
+        assert ab == ba
+        assert hash(ab) == hash(ba)
+        assert len({ab, ba}) == 1
+        # and recursively, with whole subtrees swapped
+        c = AssocLeaf("c")
+        outer1 = AssocNode(ab, c)
+        outer2 = AssocNode(c, ba)
+        assert outer1 == outer2
+        assert hash(outer1) == hash(outer2)
+        assert str(outer1) == str(outer2) == "((a.b).c)"
+
+    def test_sort_key_matches_string_form(self):
+        # the cached structural key reproduces the historical
+        # str()-comparison canonical orientation exactly
+        node = AssocNode(
+            AssocLeaf("a"), AssocNode(AssocLeaf("d"), AssocLeaf("b"))
+        )
+        assert node.sort_key == str(node)
+        # '(' sorts before letters, so the composite child leads --
+        # the same orientation the old str()-comparison produced
+        assert str(node) == "((b.d).a)"
+
     def test_directed_edges_do_not_block_association(self):
         """Association trees carry no operators; direction does not
 

@@ -1,0 +1,110 @@
+"""The node-index (bitset) layer must agree with the name-set API."""
+
+from itertools import chain, combinations
+
+from repro.expr import BaseRel, inner, left_outer
+from repro.expr.predicates import eq, make_conjunction
+from repro.hypergraph import hypergraph_of
+from repro.hypergraph.conflicts import _two_components, ccoj, conf
+
+
+def q4_expression():
+    r1 = BaseRel("r1", ("a1",))
+    r2 = BaseRel("r2", ("a2", "b2"))
+    r3 = BaseRel("r3", ("a3",))
+    r4 = BaseRel("r4", ("a4",))
+    r5 = BaseRel("r5", ("a5", "b5", "c5"))
+    core = inner(inner(r4, r5, eq("a4", "a5")), r3, eq("a3", "b5"))
+    return left_outer(
+        r1,
+        left_outer(
+            r2, core, make_conjunction([eq("a2", "a4"), eq("b2", "c5")])
+        ),
+        eq("a1", "a2"),
+    )
+
+
+def all_subsets(names):
+    names = sorted(names)
+    return chain.from_iterable(
+        combinations(names, k) for k in range(1, len(names) + 1)
+    )
+
+
+class TestMaskRoundtrip:
+    def test_mask_of_names_of(self):
+        graph = hypergraph_of(q4_expression())
+        for combo in all_subsets(graph.nodes):
+            subset = frozenset(combo)
+            mask = graph.mask_of(subset)
+            assert graph.names_of(mask) == subset
+
+    def test_node_order_is_sorted(self):
+        graph = hypergraph_of(q4_expression())
+        assert list(graph.node_order) == sorted(graph.nodes)
+        assert graph.all_mask == (1 << len(graph.nodes)) - 1
+
+    def test_edge_masks_match_hypernodes(self):
+        graph = hypergraph_of(q4_expression())
+        for edge, left, right in graph.edge_masks:
+            assert graph.names_of(left) == edge.left
+            assert graph.names_of(right) == edge.right
+
+
+class TestMaskConnectivity:
+    def test_agrees_with_name_level_over_all_subsets(self):
+        graph = hypergraph_of(q4_expression())
+        for combo in all_subsets(graph.nodes):
+            subset = frozenset(combo)
+            mask = graph.mask_of(subset)
+            comps = graph.components(within=subset)
+            assert graph.is_connected_mask(mask) == (len(comps) <= 1)
+
+    def test_broken_up_subedge_connects(self):
+        # footnote 6: h2 = <{r2},{r4,r5}> links r2 with r4 alone
+        graph = hypergraph_of(q4_expression())
+        assert graph.is_connected_mask(graph.mask_of({"r2", "r4"}))
+        # r1 and r3 share no (sub-)edge
+        assert not graph.is_connected_mask(graph.mask_of({"r1", "r3"}))
+
+    def test_components_ordered_and_disjoint(self):
+        graph = hypergraph_of(q4_expression())
+        comps = graph.components(within=frozenset({"r1", "r3", "r4", "r5"}))
+        assert frozenset({"r1"}) in comps
+        assert frozenset({"r3", "r4", "r5"}) in comps
+
+    def test_has_crossing_mask_matches_crossing_edges(self):
+        graph = hypergraph_of(q4_expression())
+        names = sorted(graph.nodes)
+        for left_combo in all_subsets(names):
+            left = frozenset(left_combo)
+            right = frozenset(names) - left
+            if not right:
+                continue
+            expected = bool(graph.crossing_edges(left, right))
+            got = graph.has_crossing_mask(
+                graph.mask_of(left), graph.mask_of(right)
+            )
+            assert got == expected, (left, right)
+
+
+class TestAnalysisMemoization:
+    def test_two_components_cached_per_edge(self):
+        graph = hypergraph_of(q4_expression())
+        edge = graph.directed_edges[0]
+        first = _two_components(graph, edge)
+        assert _two_components(graph, edge) is first
+        assert ("two_comps", edge.eid) in graph._analysis
+
+    def test_conf_and_ccoj_cached(self):
+        graph = hypergraph_of(q4_expression())
+        join_edge = next(e for e in graph.edges if e.undirected)
+        assert ccoj(graph, join_edge) is ccoj(graph, join_edge)
+        directed = graph.directed_edges[0]
+        assert conf(graph, directed) is conf(graph, directed)
+
+    def test_caches_do_not_leak_between_graphs(self):
+        a = hypergraph_of(q4_expression())
+        b = hypergraph_of(q4_expression())
+        a.is_connected_mask(a.mask_of({"r2", "r4"}))
+        assert b._analysis == {}

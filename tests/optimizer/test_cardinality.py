@@ -59,10 +59,17 @@ class TestFrequencySelectivity:
         sel = Select(R1, Comparison(Col("r1_a0"), "=", Const("b")))
         assert estimate(sel, stats).rows == pytest.approx(10.0)
 
-    def test_missing_value_gives_zero(self):
+    def test_missing_value_floors_at_epsilon(self):
+        # a value absent from the histogram is *near*-zero, never a
+        # hard zero: zero selectivity would zero every enclosing plan
+        # cost and make the optimizer's choice among them arbitrary
+        from repro.optimizer.cardinality import _MIN_SELECTIVITY
+
         stats = stats_with_freq()
         sel = Select(R1, Comparison(Col("r1_a0"), "=", Const("zzz")))
-        assert estimate(sel, stats).rows == pytest.approx(0.0)
+        rows = estimate(sel, stats).rows
+        assert rows == pytest.approx(100.0 * _MIN_SELECTIVITY)
+        assert rows > 0.0
 
     def test_flipped_constant_side(self):
         stats = stats_with_freq()

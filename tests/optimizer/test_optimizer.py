@@ -166,3 +166,45 @@ class TestOptimize:
         stats = make_stats(r1=(10, {}), r2=(10, {}))
         q = inner(R1, R2, eq("r1_a0", "r2_a0"))
         assert as_written(q, stats) == estimated_cost(q, stats)
+
+
+class TestZeroSelectivityRegression:
+    """A constant absent from the frequency stats used to produce a
+    selectivity of exactly 0, zeroing every downstream cost and making
+    plan ranking an arbitrary tie-break.  The epsilon floor keeps
+    costs positive and the ranking deterministic."""
+
+    def _query_and_stats(self):
+        from repro.expr import Select
+
+        stats = Statistics()
+        stats.add(
+            "r1",
+            TableStats(100, {"r1_a0": 10, "r1_a1": 10}, {"r1_a1": {1: 50, 2: 50}}),
+        )
+        stats.add("r2", TableStats(200, {"r2_a0": 10, "r2_a1": 20}))
+        stats.add("r3", TableStats(50, {"r3_a0": 20, "r3_a1": 5}))
+        # 999 never occurs in r1_a1's frequency table -> raw sel = 0
+        filtered = Select(R1, cmp_const("r1_a1", "=", 999))
+        q = inner(
+            inner(filtered, R2, eq("r1_a0", "r2_a0")),
+            R3,
+            eq("r2_a1", "r3_a0"),
+        )
+        return q, stats
+
+    def test_zero_selectivity_atom_keeps_costs_positive(self):
+        q, stats = self._query_and_stats()
+        result = optimize(q, stats, max_plans=500)
+        assert result.best_cost > 0.0
+        assert all(cost > 0.0 for cost, _ in result.ranked)
+
+    def test_plan_choice_is_deterministic_and_cost_ordered(self):
+        q, stats = self._query_and_stats()
+        first = optimize(q, stats, max_plans=500)
+        second = optimize(q, stats, max_plans=500)
+        assert first.best == second.best
+        assert [c for c, _ in first.ranked] == [c for c, _ in second.ranked]
+        assert [p for _, p in first.ranked] == [p for _, p in second.ranked]
+        costs = [c for c, _ in first.ranked]
+        assert costs == sorted(costs)

@@ -1,0 +1,171 @@
+"""Cross-query plan cache: keying, invalidation, session integration."""
+
+import json
+
+from repro.expr import BaseRel, Database, JoinKind, left_outer
+from repro.expr.evaluate import evaluate
+from repro.expr.nodes import Join
+from repro.expr.predicates import cmp_const, eq
+from repro.expr.rewrite import iter_nodes, replace_at
+from repro.optimizer import OptimizationResult, TableStats
+from repro.relalg import Relation
+from repro.runtime import DegradationLevel, PlanCache, QuerySession, query_fingerprint
+
+EMP = BaseRel("emp", ("eid", "dept"))
+DEPT = BaseRel("dept", ("did", "dname"))
+QUERY = left_outer(EMP, DEPT, eq("dept", "did"))
+
+
+def emp_db() -> Database:
+    db = Database()
+    db.add(
+        "emp",
+        Relation.base(
+            "emp", ["eid", "dept"], [(1, 10), (2, 10), (3, 20), (4, 99)]
+        ),
+    )
+    db.add(
+        "dept",
+        Relation.base("dept", ["did", "dname"], [(10, "eng"), (20, "ops")]),
+    )
+    return db
+
+
+class TestFingerprint:
+    def test_structurally_equal_queries_share_a_fingerprint(self):
+        other = left_outer(
+            BaseRel("emp", ("eid", "dept")),
+            BaseRel("dept", ("did", "dname")),
+            eq("dept", "did"),
+        )
+        assert query_fingerprint(QUERY) == query_fingerprint(other)
+
+    def test_different_constants_give_different_fingerprints(self):
+        a = left_outer(EMP, DEPT, eq("dept", "did"))
+        from repro.expr.nodes import Select
+
+        sel1 = Select(a, cmp_const("eid", "=", 1))
+        sel2 = Select(a, cmp_const("eid", "=", 2))
+        assert query_fingerprint(sel1) != query_fingerprint(sel2)
+
+
+class TestPlanCacheUnit:
+    def _result(self, plan):
+        return OptimizationResult(
+            best=plan,
+            best_cost=1.0,
+            original_cost=2.0,
+            plans_considered=3,
+            ranked=[(1.0, plan)],
+        )
+
+    def test_lookup_counts_hits_and_misses(self):
+        cache = PlanCache()
+        assert cache.lookup(QUERY, 0) is None
+        cache.store(QUERY, 0, self._result(QUERY))
+        assert cache.lookup(QUERY, 0) is not None
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "evictions": 0,
+        }
+
+    def test_stats_version_invalidates(self):
+        cache = PlanCache()
+        cache.store(QUERY, 0, self._result(QUERY))
+        assert cache.lookup(QUERY, 1) is None
+
+    def test_lru_bound(self):
+        cache = PlanCache(max_entries=2)
+        for version in range(3):
+            cache.store(QUERY, version, self._result(QUERY))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup(QUERY, 0) is None  # the oldest fell out
+
+    def test_evict_plan(self):
+        cache = PlanCache()
+        cache.store(QUERY, 0, self._result(QUERY))
+        assert cache.evict_plan(QUERY) == 1
+        assert len(cache) == 0
+
+
+class TestSessionIntegration:
+    def test_second_run_hits_the_cache_at_full_level(self):
+        session = QuerySession(emp_db())
+        first = session.run(QUERY)
+        second = session.run(QUERY)
+        assert first.plan_cache["hit"] is False
+        assert second.plan_cache["hit"] is True
+        assert second.degradation_level is DegradationLevel.FULL
+        assert second.chosen == first.chosen
+        assert second.relation.same_content(first.relation)
+        assert session.plan_cache.hits == 1
+        assert session.plan_cache.misses == 1
+
+    def test_counters_surface_in_to_dict(self):
+        session = QuerySession(emp_db())
+        session.run(QUERY)
+        summary = session.run(QUERY).to_dict()
+        assert summary["plan_cache"]["hit"] is True
+        assert summary["plan_cache"]["hits"] == 1
+        assert summary["plan_cache"]["entries"] == 1
+
+    def test_stats_refresh_invalidates_sessions_cache(self):
+        session = QuerySession(emp_db())
+        session.run(QUERY)
+        session.stats.add("emp", TableStats(10_000, {"dept": 50}))
+        result = session.run(QUERY)
+        assert result.plan_cache["hit"] is False
+        assert session.plan_cache.misses == 2
+
+    def test_explain_plan_path_uses_the_cache_too(self):
+        session = QuerySession(emp_db())
+        session.plan(QUERY)
+        session.plan(QUERY)
+        assert session.plan_cache.hits == 1
+        # and run() piggybacks on the entry plan() stored
+        result = session.run(QUERY)
+        assert result.plan_cache["hit"] is True
+
+    def test_failed_verification_is_never_cached(self):
+        wrong = None
+        for path, node in iter_nodes(QUERY):
+            if isinstance(node, Join) and node.kind is JoinKind.LEFT:
+                wrong = replace_at(
+                    QUERY,
+                    path,
+                    Join(JoinKind.INNER, node.left, node.right, node.predicate),
+                )
+                break
+        assert wrong is not None
+
+        def bad_optimize(query, stats, max_plans=5000, budget=None, **kwargs):
+            return OptimizationResult(
+                best=wrong,
+                best_cost=1.0,
+                original_cost=2.0,
+                plans_considered=1,
+                ranked=[(1.0, wrong)],
+            )
+
+        db = emp_db()
+        session = QuerySession(db, verify=True, optimize_fn=bad_optimize)
+        result = session.run(QUERY)
+        assert result.verified is False
+        assert len(session.plan_cache) == 0
+        # the quarantine incident carries the cache counters
+        record = json.loads(session.incidents.to_json_lines().splitlines()[-1])
+        assert record["kind"] == "verification-mismatch"
+        assert "plan_cache" in record["detail"]
+
+    def test_cached_plan_still_produces_correct_rows(self):
+        db = emp_db()
+        session = QuerySession(db, verify=True)
+        first = session.run(QUERY)
+        second = session.run(QUERY)
+        expected = evaluate(QUERY, db)
+        assert first.relation.same_content(expected)
+        assert second.relation.same_content(expected)
+        assert second.plan_cache["hit"] is True

@@ -238,3 +238,64 @@ class TestPlanFacade:
         assert optimized is not None
         assert level is DegradationLevel.HEURISTIC
         assert "plans budget" in reason
+
+
+class TestSeededVerification:
+    """Differential verification samples rows with a seeded RNG: the
+    same seed must draw the same sample, so quarantine incidents are
+    reproducible run to run."""
+
+    def _big_db(self) -> Database:
+        # emp is larger than verify_sample_rows (50), forcing sampling;
+        # a third of the rows have no matching dept, so any sample
+        # exposes the INNER-for-LEFT corruption
+        rows = [(i, 10 if i % 3 else 99, i * 10) for i in range(1, 121)]
+        return Database(
+            {
+                "emp": Relation.base("emp", ["eid", "dept", "salary"], rows),
+                "dept": Relation.base("dept", ["did", "dname"], [(10, "eng")]),
+            }
+        )
+
+    def test_sampler_is_deterministic_per_seed(self):
+        session = QuerySession(self._big_db(), verify=True, verify_seed=7)
+        first = session._sample_database()
+        second = session._sample_database()
+        assert first["emp"].same_content(second["emp"])
+        assert len(first["emp"]) == session.verify_sample_rows
+        # small tables are taken whole
+        assert len(first["dept"]) == 1
+
+    def test_different_seeds_draw_different_samples(self):
+        db = self._big_db()
+        a = QuerySession(db, verify=True, verify_seed=0)._sample_database()
+        b = QuerySession(db, verify=True, verify_seed=1)._sample_database()
+        assert not a["emp"].same_content(b["emp"])
+
+    def test_same_seed_reproduces_identical_incidents(self):
+        wrong = _wrong_plan_for(EMP_DEPT_LOJ)
+
+        def one_run():
+            session = QuerySession(
+                self._big_db(),
+                verify=True,
+                verify_seed=42,
+                optimize_fn=_planner_returning(wrong),
+            )
+            result = session.run(EMP_DEPT_LOJ)
+            assert result.verified is False
+            return session.incidents.to_json_lines()
+
+        assert one_run() == one_run()
+
+    def test_incident_records_the_seed(self):
+        wrong = _wrong_plan_for(EMP_DEPT_LOJ)
+        session = QuerySession(
+            self._big_db(),
+            verify=True,
+            verify_seed=42,
+            optimize_fn=_planner_returning(wrong),
+        )
+        session.run(EMP_DEPT_LOJ)
+        record = json.loads(session.incidents.to_json_lines().splitlines()[0])
+        assert record["detail"]["verify_seed"] == 42
