@@ -1,16 +1,20 @@
-"""X12 -- executor scaling: reference vs hash engine vs physical plans.
+"""X12 -- executor scaling: reference vs hash vs vector engines.
 
 Not a paper table -- an engineering benchmark for the library's own
-claims: the hash-join engine and the physical operator layer must be
-(a) semantically identical to the reference interpreter and (b)
-asymptotically faster on equi-joins.  Reported: wall time of each
-executor on a growing two-table equi-join plus a GROUP BY.
+claims: the hash-join engine, the physical operator layer and the
+columnar vector engine must be (a) semantically identical to the
+reference interpreter and (b) asymptotically faster on equi-joins.
+Reported: wall time of each executor on a growing two-table equi-join
+plus a GROUP BY.  The quadratic reference interpreter is capped at
+900 rows/side; the linear engines continue to 3000.  Emits
+``BENCH_x12_executors.json`` with the per-size timings and the
+vector-over-hash speedup at the 900-row scale.
 """
 
 import random
 import time
 
-from repro.exec import execute
+from repro.exec import execute, execute_vector
 from repro.expr import BaseRel, Database, GroupBy, evaluate, inner
 from repro.expr.predicates import eq
 from repro.physical import compile_plan, run_plan
@@ -19,7 +23,8 @@ from repro.relalg.aggregates import count_star
 
 from harness import report, table
 
-SIZES = (100, 300, 900)
+SIZES = (100, 300, 900, 3000)
+REFERENCE_CAP = 900  # the interpreter's nested loops are O(n^2)
 
 R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
 R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
@@ -36,6 +41,15 @@ def make_db(rng, n):
     )
 
 
+def _best_of(fn, reps=3):
+    best, out = float("inf"), None
+    for _ in range(reps):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
 def run_scaling():
     query = GroupBy(
         inner(R1, R2, eq("r1_a0", "r2_a0")),
@@ -48,34 +62,32 @@ def run_scaling():
         rng = random.Random(n)
         db = make_db(rng, n)
 
-        start = time.perf_counter()
-        want = evaluate(query, db)
-        t_reference = time.perf_counter() - start
-
-        start = time.perf_counter()
-        fast = execute(query, db)
-        t_fast = time.perf_counter() - start
+        t_hash, fast = _best_of(lambda: execute(query, db))
+        t_vector, vectored = _best_of(lambda: execute_vector(query, db))
 
         plan = compile_plan(query)
-        start = time.perf_counter()
-        physical = run_plan(plan, db)
-        t_physical = time.perf_counter() - start
+        t_physical, physical = _best_of(lambda: run_plan(plan, db))
 
         plan_merge = compile_plan(query, prefer_merge=True)
-        start = time.perf_counter()
-        merged = run_plan(plan_merge, db)
-        t_merge = time.perf_counter() - start
+        t_merge, merged = _best_of(lambda: run_plan(plan_merge, db))
+
+        if n <= REFERENCE_CAP:
+            t_reference, want = _best_of(lambda: evaluate(query, db), reps=1)
+        else:
+            t_reference, want = None, fast
 
         same = (
             fast.same_content(want)
+            and vectored.same_content(want)
             and physical.same_content(want)
             and merged.same_content(want)
         )
         rows.append(
             {
                 "n": n,
-                "reference_ms": t_reference * 1000,
-                "hash_ms": t_fast * 1000,
+                "reference_ms": t_reference and t_reference * 1000,
+                "hash_ms": t_hash * 1000,
+                "vector_ms": t_vector * 1000,
                 "physical_ms": t_physical * 1000,
                 "merge_ms": t_merge * 1000,
                 "same": same,
@@ -85,20 +97,33 @@ def run_scaling():
 
 
 def test_x12_executors(benchmark):
+    start = time.perf_counter()
     rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
     assert all(r["same"] for r in rows)
-    biggest = rows[-1]
-    assert biggest["hash_ms"] < biggest["reference_ms"] / 3
-    assert biggest["physical_ms"] < biggest["reference_ms"] / 3
+    at_900 = next(r for r in rows if r["n"] == 900)
+    assert at_900["hash_ms"] < at_900["reference_ms"] / 3
+    assert at_900["physical_ms"] < at_900["reference_ms"] / 3
+    # the vector engine's headline claim, with slack for noisy CI boxes
+    assert at_900["vector_ms"] < at_900["hash_ms"] / 5
+    speedup_900 = at_900["hash_ms"] / at_900["vector_ms"]
     lines = table(
-        ["rows/side", "reference (ms)", "hash engine", "physical hash", "physical merge"],
+        [
+            "rows/side",
+            "reference (ms)",
+            "hash engine",
+            "vector engine",
+            "physical hash",
+            "physical merge",
+        ],
         [
             [
                 r["n"],
-                f"{r['reference_ms']:.0f}",
-                f"{r['hash_ms']:.0f}",
-                f"{r['physical_ms']:.0f}",
-                f"{r['merge_ms']:.0f}",
+                "-" if r["reference_ms"] is None else f"{r['reference_ms']:.0f}",
+                f"{r['hash_ms']:.1f}",
+                f"{r['vector_ms']:.2f}",
+                f"{r['physical_ms']:.1f}",
+                f"{r['merge_ms']:.1f}",
             ]
             for r in rows
         ],
@@ -106,6 +131,20 @@ def test_x12_executors(benchmark):
     lines += [
         "",
         "All executors agree bit for bit; the hash/merge implementations",
-        "leave the quadratic reference interpreter behind, as they must.",
+        "leave the quadratic reference interpreter behind, and the",
+        f"columnar vector engine beats the hash engine {speedup_900:.1f}x",
+        "at 900 rows/side (see benchmarks/bench_x16_vector.py for the",
+        "10k-100k row scales).",
     ]
-    report("x12_executors", "X12: executor scaling", lines)
+    report(
+        "x12_executors",
+        "X12: executor scaling",
+        lines,
+        meta={
+            "wall_time_s": wall,
+            "sizes": list(SIZES),
+            "reference_cap": REFERENCE_CAP,
+            "speedup_vector_over_hash_at_900": speedup_900,
+            "rows": rows,
+        },
+    )

@@ -1,0 +1,136 @@
+"""X16 -- the vector engine at scale: 10k-100k rows per side.
+
+Not a paper table -- the columnar engine's headline benchmark.  The
+row engines stop being usable somewhere in the tens of thousands of
+rows; this bench runs the vector engine on a selective filter ->
+equi-join -> grouped aggregation pipeline at 10k/30k/100k rows per
+side, keeps the hash engine only at the smallest scale (for the
+speedup ratio and a bit-identical cross-check), and emits
+``BENCH_x16_vector.json`` for the CI regression gate.
+
+Quick mode (``REPRO_BENCH_QUICK=1``): the 10k scale only.
+"""
+
+import os
+import random
+import time
+
+from repro.exec import execute, execute_vector
+from repro.expr import BaseRel, Database, GroupBy, inner
+from repro.expr.nodes import Select
+from repro.expr.predicates import cmp_const, eq
+from repro.relalg import Relation
+from repro.relalg.aggregates import count_star, sum_
+
+from harness import report, table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+SIZES = (10_000,) if QUICK else (10_000, 30_000, 100_000)
+HASH_CAP = 10_000  # row-at-a-time engine only runs at the smallest scale
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+
+
+def make_db(rng, n):
+    rows1 = [(rng.randrange(n // 8), rng.randrange(100)) for _ in range(n)]
+    rows2 = [(rng.randrange(n // 8), rng.randrange(100)) for _ in range(n)]
+    return Database(
+        {
+            "r1": Relation.base("r1", ["r1_a0", "r1_a1"], rows1),
+            "r2": Relation.base("r2", ["r2_a0", "r2_a1"], rows2),
+        }
+    )
+
+
+def make_query():
+    # filter one side, equi-join, then group with COUNT(*) and SUM --
+    # exercises the selection-vector path, the gather-list join and
+    # both the count-only and the member-slice aggregation paths
+    return GroupBy(
+        inner(
+            Select(R1, cmp_const("r1_a1", "<", 50)),
+            R2,
+            eq("r1_a0", "r2_a0"),
+        ),
+        ("r1_a0",),
+        (count_star("n"), sum_("r2_a1", "s")),
+        "g",
+    )
+
+
+def _best_of(fn, reps=3):
+    best, out = float("inf"), None
+    for _ in range(reps):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def run_scales():
+    query = make_query()
+    rows = []
+    for n in SIZES:
+        rng = random.Random(n)
+        db = make_db(rng, n)
+        t_vector, vectored = _best_of(lambda: execute_vector(query, db))
+        if n <= HASH_CAP:
+            t_hash, hashed = _best_of(lambda: execute(query, db), reps=1)
+            same = vectored.same_content(hashed)
+        else:
+            t_hash, same = None, True
+        rows.append(
+            {
+                "n": n,
+                "vector_ms": t_vector * 1000,
+                "hash_ms": t_hash and t_hash * 1000,
+                "out_rows": len(vectored),
+                "same": same,
+            }
+        )
+    return rows
+
+
+def test_x16_vector(benchmark):
+    start = time.perf_counter()
+    rows = benchmark.pedantic(run_scales, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+    assert all(r["same"] for r in rows)
+    smallest = rows[0]
+    assert smallest["hash_ms"] is not None
+    # the columnar engine must beat the row engine by a wide margin
+    # even at the scale where the row engine still finishes
+    assert smallest["vector_ms"] < smallest["hash_ms"] / 5
+    speedup = smallest["hash_ms"] / smallest["vector_ms"]
+    lines = table(
+        ["rows/side", "vector (ms)", "hash engine (ms)", "output rows"],
+        [
+            [
+                r["n"],
+                f"{r['vector_ms']:.1f}",
+                "-" if r["hash_ms"] is None else f"{r['hash_ms']:.0f}",
+                r["out_rows"],
+            ]
+            for r in rows
+        ],
+    )
+    lines += [
+        "",
+        f"Vector over hash at {HASH_CAP} rows/side: {speedup:.1f}x",
+        "(bit-identical results; larger scales vector-only -- the",
+        "row-at-a-time engines are no longer usable there).",
+    ]
+    report(
+        "x16_vector",
+        "X16: vector engine at scale" + (" [quick]" if QUICK else ""),
+        lines,
+        meta={
+            "wall_time_s": wall,
+            "quick": QUICK,
+            "sizes": list(SIZES),
+            "hash_cap": HASH_CAP,
+            "speedup_vector_over_hash": speedup,
+            "rows": rows,
+        },
+    )

@@ -1,6 +1,7 @@
 """Command-line interface.
 
-    python -m repro run script.sql --data DIR [--fast] [--budget-ms MS]
+    python -m repro run script.sql --data DIR [--engine reference|hash|vector]
+                                   [--fast] [--budget-ms MS]
                                    [--max-plans N] [--max-rows N] [--verify]
     python -m repro explain script.sql --data DIR [--plans N] [--budget-ms MS]
     python -m repro demo
@@ -88,16 +89,19 @@ def run_script(
     verify: bool = False,
     verify_seed: int = 0,
     session: QuerySession | None = None,
+    engine: str | None = None,
 ) -> None:
     out = out if out is not None else sys.stdout
     if session is None:
+        if engine is None:
+            engine = "hash" if fast else "reference"
         session = QuerySession(
             db,
             catalog=catalog,
             budget=budget,
             verify=verify,
             verify_seed=verify_seed,
-            executor="hash" if fast else "reference",
+            executor=engine,
             max_plans=2000,
         )
     statements = parse_statements(text)
@@ -254,7 +258,19 @@ def main(argv: list[str] | None = None) -> int:
     run_p = sub.add_parser("run", help="run a SQL script over CSV tables")
     run_p.add_argument("script", type=Path)
     run_p.add_argument("--data", type=Path, required=True)
-    run_p.add_argument("--fast", action="store_true", help="hash-join executor")
+    run_p.add_argument(
+        "--fast",
+        action="store_true",
+        help="shorthand for --engine hash (kept for compatibility)",
+    )
+    run_p.add_argument(
+        "--engine",
+        choices=("reference", "hash", "vector"),
+        default=None,
+        help="executor: reference interpreter, row-at-a-time hash "
+        "engine, or batch-at-a-time columnar vector engine "
+        "(default: reference)",
+    )
 
     explain_p = sub.add_parser("explain", help="show plans instead of rows")
     explain_p.add_argument("script", type=Path)
@@ -324,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
                 db,
                 catalog,
                 fast=args.fast,
+                engine=args.engine,
                 budget=budget,
                 verify=args.verify,
                 verify_seed=args.verify_seed,

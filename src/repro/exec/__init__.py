@@ -1,14 +1,25 @@
-"""Fast execution engine.
+"""Fast execution engines.
 
 The reference interpreter (:func:`repro.expr.evaluate`) uses
 nested-loop joins -- perfect as ground truth, quadratic in practice.
-This package provides a production-style executor with hash-based
-equi-joins (inner and outer), hash-partitioned generalized selection
-and the same semantics bit for bit; the test suite cross-checks it
-against the reference interpreter on randomized queries.
+This package provides two production-style executors with the same
+semantics bit for bit:
+
+* the **hash engine** (:func:`execute`): row-at-a-time with hash-based
+  equi-joins (inner and outer) and hash-partitioned generalized
+  selection;
+* the **vector engine** (:func:`execute_vector`): batch-at-a-time over
+  the columnar substrate (:mod:`repro.relalg.columnar`) -- compiled
+  predicate closures, gather-list hash joins, grouped aggregation over
+  key columns, and generalized selection as set-difference over
+  virtual-id columns.
+
+The property-test suite cross-checks both against the reference
+interpreter on NULL-salted randomized queries.
 """
 
 from repro.exec.engine import execute
 from repro.exec.hash_join import hash_join
+from repro.exec.vector import execute as execute_vector
 
-__all__ = ["execute", "hash_join"]
+__all__ = ["execute", "execute_vector", "hash_join"]

@@ -36,13 +36,22 @@ def split_equi_conjuncts(
     Returns ``([(left_attr, right_attr), ...], residual_predicate)``;
     a key pair comes from an equality atom ``Col = Col`` with one
     column on each side.
+
+    Duplicate equality atoms -- including the reversed form, ``a = b``
+    alongside ``b = a`` (``_equi_pair`` orients both to the same
+    pair) -- collapse into a single hash key: once the key enforces
+    the equality, re-checking it per probe hit in the residual (or
+    widening the key tuple) is pure waste.
     """
     keys: list[tuple[str, str]] = []
+    seen: set[tuple[str, str]] = set()
     residual: list[Predicate] = []
     for atom in conjuncts_of(predicate):
         pair = _equi_pair(atom, left_attrs, right_attrs)
         if pair is not None:
-            keys.append(pair)
+            if pair not in seen:
+                seen.add(pair)
+                keys.append(pair)
         else:
             residual.append(atom)
     return keys, make_conjunction(residual)

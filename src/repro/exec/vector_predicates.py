@@ -1,0 +1,139 @@
+"""Compile predicate trees into per-batch closures over columns.
+
+The row engines call ``predicate.evaluate(row)`` once per row -- an
+attribute-name hash probe and a ``Truth`` allocation per atom per row.
+The vector engine instead *compiles* the predicate once per operator:
+each atom becomes a closure that takes the physical columns and a list
+of candidate row indices and returns the indices that evaluate to
+TRUE.  Three-valued logic folds into the filter: a row qualifies only
+when the atom is TRUE, so UNKNOWN (any NULL operand of a comparison)
+rejects exactly as the row engines' ``is Truth.TRUE`` test does, and a
+conjunction is a pipeline of atom filters -- each stage only touches
+the survivors of the previous one.
+
+NULL tests are identity comparisons against the singleton
+(:data:`repro.relalg.nulls.NULL`), the batch equivalent of the row
+path's ``is_null``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.expr.predicates import (
+    Arith,
+    Col,
+    Comparison,
+    Conjunction,
+    Const,
+    InList,
+    IsNull,
+    Predicate,
+    Term,
+    _TruePredicate,
+)
+from repro.relalg.nulls import NULL, _COMPARATORS
+
+#: A compiled term: (physical columns, candidate indices) -> values
+#: aligned with the candidate indices (NULL propagated in-band).
+TermGetter = Callable[[Mapping[str, list], Sequence[int]], list]
+
+#: A compiled predicate: (physical columns, candidate indices) ->
+#: the sub-list of indices on which the predicate is TRUE.
+BatchPredicate = Callable[[Mapping[str, list], Sequence[int]], list]
+
+
+def compile_term(term: Term) -> TermGetter:
+    """Compile a term into a batch getter."""
+    if isinstance(term, Col):
+        name = term.name
+
+        def get_col(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            col = columns[name]
+            return [col[i] for i in indices]
+
+        return get_col
+    if isinstance(term, Const):
+        literal = term.literal
+
+        def get_const(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            return [literal] * len(indices)
+
+        return get_const
+    if isinstance(term, Arith):
+        from repro.expr.predicates import _ARITH_OPS
+
+        left = compile_term(term.left)
+        right = compile_term(term.right)
+        fn = _ARITH_OPS[term.op]
+
+        def get_arith(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            return [
+                NULL if a is NULL or b is NULL else fn(a, b)
+                for a, b in zip(left(columns, indices), right(columns, indices))
+            ]
+
+        return get_arith
+    raise TypeError(f"cannot compile term of type {type(term).__name__}")
+
+
+def _compile_atom(atom: Predicate) -> BatchPredicate:
+    if isinstance(atom, Comparison):
+        left = compile_term(atom.left)
+        right = compile_term(atom.right)
+        fn = _COMPARATORS[atom.op]
+
+        def run_cmp(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            return [
+                i
+                for i, a, b in zip(
+                    indices, left(columns, indices), right(columns, indices)
+                )
+                if a is not NULL and b is not NULL and fn(a, b)
+            ]
+
+        return run_cmp
+    if isinstance(atom, IsNull):
+        term = compile_term(atom.term)
+        negated = atom.negated
+
+        def run_isnull(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            return [
+                i
+                for i, v in zip(indices, term(columns, indices))
+                if (v is NULL) != negated
+            ]
+
+        return run_isnull
+    if isinstance(atom, InList):
+        term = compile_term(atom.term)
+        values = atom.values
+
+        def run_inlist(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            return [
+                i
+                for i, v in zip(indices, term(columns, indices))
+                if v is not NULL and any(v == w for w in values)
+            ]
+
+        return run_inlist
+    if isinstance(atom, _TruePredicate):
+        return lambda columns, indices: list(indices)
+    raise TypeError(f"cannot compile predicate of type {type(atom).__name__}")
+
+
+def compile_predicate(predicate: Predicate) -> BatchPredicate:
+    """Compile ``predicate`` into a batch filter (TRUE rows survive)."""
+    if isinstance(predicate, Conjunction):
+        stages = [_compile_atom(atom) for atom in predicate.conjuncts]
+
+        def run_conj(columns: Mapping[str, list], indices: Sequence[int]) -> list:
+            out = indices
+            for stage in stages:
+                if not out:
+                    return []
+                out = stage(columns, out)
+            return list(out)
+
+        return run_conj
+    return _compile_atom(predicate)

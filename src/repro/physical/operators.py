@@ -506,6 +506,38 @@ class UnionAllOp(PhysicalOperator):
                 yield pad_row(row.project([a for a in row if a in set(target)]), target)
 
 
+class VectorFragment(PhysicalOperator):
+    """A logical subtree handed to the columnar vector engine.
+
+    The fragment boundary is where the pull-based row pipeline stops:
+    everything below runs batch-at-a-time on
+    :class:`repro.relalg.columnar.ColumnarRelation` (see
+    ``repro.exec.vector``) and the materialized result streams out as
+    rows.  The planner forms fragments around subtrees that contain at
+    least one batch-profitable node (joins, aggregation, generalized
+    selection); pure scan/filter/project pipelines stay row-at-a-time
+    where streaming with early-exit beats materializing columns.
+    """
+
+    def __init__(self, expr) -> None:
+        super().__init__(
+            f"VectorFragment[{type(expr).__name__}; "
+            f"{_count_nodes(expr)} node(s)]",
+            expr.real_attrs,
+            expr.virtual_attrs,
+        )
+        self.expr = expr
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        from repro.exec.vector import execute as execute_vector
+
+        yield from execute_vector(self.expr, db).rows
+
+
+def _count_nodes(expr) -> int:
+    return 1 + sum(_count_nodes(child) for child in expr.children())
+
+
 class CrossProduct(PhysicalOperator):
     """Cartesian product (right side materialized)."""
 

@@ -9,6 +9,15 @@ Join implementation choice:
 * TRUE predicate -> cross product.
 
 Everything else maps one-to-one onto the operator set.
+
+With ``prefer_vector=True`` the planner routes work through the
+columnar substrate where batching pays: the *maximal* subtree whose
+descendants include a batch-profitable node (join, semi/anti join,
+aggregation, union, generalized selection, padding adjustment)
+compiles to a single :class:`VectorFragment` executed by
+``repro.exec.vector``.  Pure scan/filter/project/rename pipelines
+stay pull-based -- they stream with early exit and gain nothing from
+materializing columns.
 """
 
 from __future__ import annotations
@@ -45,27 +54,43 @@ from repro.physical.operators import (
     ProjectOp,
     RenameOp,
     Scan,
+    VectorFragment,
 )
 from repro.relalg.generalized_selection import PreservedSpec
 
+#: Node types whose work is dominated by bulk row production --
+#: batching them (and everything above them) into a columnar fragment
+#: beats pulling rows one at a time.
+_BATCH_PROFITABLE = (Join, SemiJoin, GroupBy, GenSelect, UnionAll, AdjustPadding)
 
-def compile_plan(expr: Expr, prefer_merge: bool = False) -> PhysicalOperator:
+
+def _batch_profitable(expr: Expr) -> bool:
+    if isinstance(expr, _BATCH_PROFITABLE):
+        return True
+    return any(_batch_profitable(child) for child in expr.children())
+
+
+def compile_plan(
+    expr: Expr, prefer_merge: bool = False, prefer_vector: bool = False
+) -> PhysicalOperator:
     """Compile a logical expression into a physical operator tree."""
+    if prefer_vector and _batch_profitable(expr):
+        return VectorFragment(expr)
     if isinstance(expr, BaseRel):
         return Scan(expr.name, expr.real_attrs, expr.virtual_attrs)
     if isinstance(expr, Select):
-        return Filter(compile_plan(expr.child, prefer_merge), expr.predicate)
+        return Filter(compile_plan(expr.child, prefer_merge, prefer_vector), expr.predicate)
     if isinstance(expr, Project):
         return ProjectOp(
-            compile_plan(expr.child, prefer_merge), expr.attrs, expr.distinct
+            compile_plan(expr.child, prefer_merge, prefer_vector), expr.attrs, expr.distinct
         )
     if isinstance(expr, Rename):
         return RenameOp(
-            compile_plan(expr.child, prefer_merge), dict(expr.mapping)
+            compile_plan(expr.child, prefer_merge, prefer_vector), dict(expr.mapping)
         )
     if isinstance(expr, Join):
-        left = compile_plan(expr.left, prefer_merge)
-        right = compile_plan(expr.right, prefer_merge)
+        left = compile_plan(expr.left, prefer_merge, prefer_vector)
+        right = compile_plan(expr.right, prefer_merge, prefer_vector)
         if expr.predicate is TRUE and expr.kind is JoinKind.INNER:
             return CrossProduct(left, right)
         keys, residual = split_equi_conjuncts(
@@ -80,12 +105,12 @@ def compile_plan(expr: Expr, prefer_merge: bool = False) -> PhysicalOperator:
         return HashJoinOp(left, right, keys, residual, expr.kind)
     if isinstance(expr, UnionAll):
         return UnionAllOp(
-            compile_plan(expr.left, prefer_merge),
-            compile_plan(expr.right, prefer_merge),
+            compile_plan(expr.left, prefer_merge, prefer_vector),
+            compile_plan(expr.right, prefer_merge, prefer_vector),
         )
     if isinstance(expr, SemiJoin):
-        left = compile_plan(expr.left, prefer_merge)
-        right = compile_plan(expr.right, prefer_merge)
+        left = compile_plan(expr.left, prefer_merge, prefer_vector)
+        right = compile_plan(expr.right, prefer_merge, prefer_vector)
         keys, residual = split_equi_conjuncts(
             expr.predicate,
             frozenset(left.all_attrs),
@@ -94,7 +119,7 @@ def compile_plan(expr: Expr, prefer_merge: bool = False) -> PhysicalOperator:
         return HashSemiJoin(left, right, keys, residual, expr.anti)
     if isinstance(expr, GroupBy):
         return HashAggregate(
-            compile_plan(expr.child, prefer_merge),
+            compile_plan(expr.child, prefer_merge, prefer_vector),
             expr.group_by,
             expr.aggregates,
             expr.name,
@@ -104,10 +129,10 @@ def compile_plan(expr: Expr, prefer_merge: bool = False) -> PhysicalOperator:
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
         ]
         return GeneralizedSelectionOp(
-            compile_plan(expr.child, prefer_merge), expr.predicate, specs
+            compile_plan(expr.child, prefer_merge, prefer_vector), expr.predicate, specs
         )
     if isinstance(expr, AdjustPadding):
         return AdjustPaddingOp(
-            compile_plan(expr.child, prefer_merge), expr.witness, expr.targets
+            compile_plan(expr.child, prefer_merge, prefer_vector), expr.witness, expr.targets
         )
     raise ExprError(f"cannot compile {type(expr).__name__}")

@@ -44,10 +44,12 @@ from repro.relalg.aggregates import (
     min_,
     max_,
 )
+from repro.relalg.columnar import ColumnarRelation
 from repro.relalg.generalized_projection import generalized_projection
 from repro.relalg.generalized_selection import PreservedSpec, generalized_selection
 
 __all__ = [
+    "ColumnarRelation",
     "NULL",
     "Truth",
     "is_null",

@@ -10,6 +10,7 @@ definition (Definition 2.1) meaningful under duplicates.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -23,10 +24,34 @@ def virtual_attr(relation_name: str) -> str:
     return f"#{relation_name}"
 
 
+# Per-row schema validation rebuilds set(row) for every row of every
+# operator output, which profiles as the single largest cost of the
+# hash engine.  Operators only ever derive rows from already-validated
+# relations, so by default only the first row is checked (a sampled
+# smoke test that still catches systematically wrong construction).
+# Full validation stays available for debugging: set REPRO_VALIDATE_ROWS=full
+# in the environment, or call set_full_row_validation(True) from tests.
+_FULL_ROW_VALIDATION = os.environ.get("REPRO_VALIDATE_ROWS", "").lower() in (
+    "1",
+    "full",
+    "true",
+)
+
+
+def set_full_row_validation(enabled: bool) -> bool:
+    """Toggle exhaustive per-row schema validation; returns the old value."""
+    global _FULL_ROW_VALIDATION
+    previous = _FULL_ROW_VALIDATION
+    _FULL_ROW_VALIDATION = bool(enabled)
+    return previous
+
+
 class Relation:
     """An immutable relation ``<R, V, E>`` with bag semantics."""
 
-    __slots__ = ("_real", "_virtual", "_rows")
+    # __weakref__ lets the columnar layer memoize its transpose of an
+    # (immutable) relation without keeping the relation alive.
+    __slots__ = ("_real", "_virtual", "_rows", "__weakref__")
 
     def __init__(
         self,
@@ -39,13 +64,15 @@ class Relation:
         if not real.is_disjoint(virtual):
             raise SchemaError("real and virtual attributes must be disjoint")
         rows = tuple(rows)
-        expected = real.as_set() | virtual.as_set()
-        for row in rows:
-            if set(row) != expected:
-                raise SchemaError(
-                    f"row attributes {sorted(row)} do not match schema "
-                    f"{sorted(expected)}"
-                )
+        if rows:
+            expected = real.as_set() | virtual.as_set()
+            check = rows if _FULL_ROW_VALIDATION else rows[:1]
+            for row in check:
+                if set(row) != expected:
+                    raise SchemaError(
+                        f"row attributes {sorted(row)} do not match schema "
+                        f"{sorted(expected)}"
+                    )
         self._real = real
         self._virtual = virtual
         self._rows = rows

@@ -38,6 +38,7 @@ from enum import IntEnum
 
 from repro.errors import BudgetExceeded, OptimizerInternalError
 from repro.exec import execute as hash_execute
+from repro.exec import execute_vector
 from repro.expr.evaluate import Database, evaluate
 from repro.expr.nodes import Expr, ExprError
 from repro.optimizer import (
@@ -70,6 +71,7 @@ _STAGE_FRACTIONS = {
 _EXECUTORS = {
     "reference": evaluate,
     "hash": hash_execute,
+    "vector": execute_vector,
 }
 
 
@@ -133,7 +135,9 @@ class QuerySession:
         Differentially verify every optimized plan against the
         original query on a row-sample before trusting it.
     executor:
-        ``"reference"`` (interpreter) or ``"hash"`` (hash-join engine).
+        ``"reference"`` (interpreter), ``"hash"`` (row-at-a-time
+        hash-join engine) or ``"vector"`` (batch-at-a-time columnar
+        engine).
     optimize_fn:
         The rung-0 planner, ``repro.optimize`` by default.  Tests
         inject wrong-plan planners here to exercise the safety net.

@@ -1,36 +1,44 @@
-"""Property test: hash engine == reference interpreter, adversarially.
+"""Property test: hash and vector engines == reference, adversarially.
 
-The fast executor (``repro.exec.execute``) must produce the same bag
-of rows as the reference interpreter for *every* query shape it
-accepts: all four join kinds, complex (multi-atom) predicates, and --
-critically -- predicates with no equality atom at all, where the hash
-path cannot apply and the engine must fall back to nested loops.
-Databases are salted with NULLs well past the usual rate, and empty
-relations are drawn on purpose: padded tuples, never-matching NULL
-keys, and zero-row operands are exactly where outer-join execution
-bugs hide.
+Both fast executors (``repro.exec.execute`` and the columnar
+``repro.exec.execute_vector``) must produce the same bag of rows as
+the reference interpreter for *every* query shape they accept: all
+four join kinds, complex (multi-atom) predicates, and -- critically --
+predicates with no equality atom at all, where the hash path cannot
+apply and the engines must fall back to nested loops.  Databases are
+salted with NULLs well past the usual rate, and empty relations are
+drawn on purpose: padded tuples, never-matching NULL keys, and
+zero-row operands are exactly where outer-join execution bugs hide.
+GS-bearing plans from the paper's enumerator and duplicate-heavy bags
+get their own properties: generalized selection's set difference and
+the vector engine's virtual-id provenance are only exercised there.
 """
 
 import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.exec import execute
+from repro import enumerate_plans
+from repro.exec import execute, execute_vector
 from repro.expr import JoinKind, evaluate, to_algebra
-from repro.expr.nodes import Join
+from repro.expr.nodes import GenSelect, Join
 from repro.expr.rewrite import iter_nodes
 from repro.workloads.random_db import random_database, random_join_query
 
 
-def _check(query, rng, null_probability, rounds=3):
+def _check(query, rng, null_probability, rounds=3, max_rows=4, min_rows=0):
     names = tuple(sorted(query.base_names))
     for _ in range(rounds):
         db = random_database(
-            rng, names, null_probability=null_probability, max_rows=4
+            rng,
+            names,
+            null_probability=null_probability,
+            max_rows=max_rows,
+            min_rows=min_rows,
         )
-        got = execute(query, db)
         want = evaluate(query, db)
-        assert got.same_content(want), to_algebra(query)
+        assert execute(query, db).same_content(want), to_algebra(query)
+        assert execute_vector(query, db).same_content(want), to_algebra(query)
 
 
 class TestEngineEquivalenceProperty:
@@ -73,6 +81,55 @@ class TestEngineEquivalenceProperty:
             ops=("<", "<>"),
         )
         _check(query, rng, null_probability)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n=st.integers(min_value=2, max_value=4),
+        null_probability=st.sampled_from([0.1, 0.3]),
+    )
+    def test_gs_bearing_plans_match_original(self, seed, n, null_probability):
+        """Reordered plans containing the paper's generalized selection
+        evaluate identically on every engine -- σ*'s set difference
+        over virtual ids is the vector engine's hardest case."""
+        rng = random.Random(seed)
+        query = random_join_query(rng, n, outer_probability=0.8)
+        plans = enumerate_plans(query, max_plans=60)
+        gs_plans = [
+            plan
+            for plan in plans
+            if any(isinstance(node, GenSelect) for node in plan.walk())
+        ][:3]
+        names = tuple(sorted(query.base_names))
+        for _ in range(2):
+            db = random_database(
+                rng, names, null_probability=null_probability, max_rows=4
+            )
+            want = evaluate(query, db)
+            for plan in gs_plans:
+                assert evaluate(plan, db).same_content(want), to_algebra(plan)
+                assert execute(plan, db).same_content(want), to_algebra(plan)
+                assert execute_vector(plan, db).same_content(want), (
+                    to_algebra(plan)
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n=st.integers(min_value=2, max_value=4),
+        outer_probability=st.sampled_from([0.0, 0.7]),
+    )
+    def test_duplicate_heavy_bags(self, seed, n, outer_probability):
+        """Bags with many duplicate rows: the tiny value domain forces
+        repeated tuples, so any engine that conflates bag and set
+        semantics (or loses virtual-id provenance) diverges here."""
+        rng = random.Random(seed)
+        query = random_join_query(
+            rng, n, outer_probability=outer_probability
+        )
+        _check(
+            query, rng, null_probability=0.15, min_rows=4, max_rows=8
+        )
 
     def test_every_join_kind_is_reachable(self):
         """The generator really does emit all four kinds (meta-check:

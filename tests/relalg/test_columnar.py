@@ -1,0 +1,148 @@
+"""Unit tests for the struct-of-arrays substrate.
+
+ColumnarRelation is the data layer under the vector engine: the tests
+pin down the transpose round-trip, zero-copy view semantics (shared
+backing lists, selection vectors), the memoized transpose cache, and
+the schema-error surface.
+"""
+
+import pytest
+
+from repro.relalg import Relation
+from repro.relalg.columnar import (
+    ColumnarRelation,
+    columns_of,
+    concat_columns,
+)
+from repro.relalg.nulls import NULL
+from repro.relalg.schema import SchemaError
+
+
+@pytest.fixture()
+def rel():
+    return Relation.base(
+        "r", ["a", "b"], [(1, 10), (2, NULL), (NULL, 30), (2, 40)]
+    )
+
+
+@pytest.fixture()
+def col(rel):
+    return ColumnarRelation.from_relation(rel)
+
+
+class TestTranspose:
+    def test_round_trip(self, rel, col):
+        assert col.to_relation().same_content(rel)
+        assert list(col.real) == ["a", "b"]
+        assert list(col.virtual) == ["#r"]
+        assert len(col) == 4
+
+    def test_column_order_preserved(self, col):
+        assert col.gather("a") == [1, 2, NULL, 2]
+        assert col.gather("b") == [10, NULL, 30, 40]
+
+    def test_cache_returns_same_object(self, rel):
+        assert ColumnarRelation.from_relation(rel) is (
+            ColumnarRelation.from_relation(rel)
+        )
+
+    def test_cache_is_per_object(self, rel):
+        twin = Relation.base(
+            "r", ["a", "b"], [(1, 10), (2, NULL), (NULL, 30), (2, 40)]
+        )
+        a = ColumnarRelation.from_relation(rel)
+        b = ColumnarRelation.from_relation(twin)
+        assert a is not b
+        assert a.gather("a") == b.gather("a")
+
+    def test_empty_relation(self):
+        empty = Relation.base("r", ["a"], [])
+        col = ColumnarRelation.from_relation(empty)
+        assert len(col) == 0
+        assert col.to_relation().same_content(empty)
+
+
+class TestViews:
+    def test_view_is_zero_copy(self, col):
+        v = col.view([0, 3])
+        assert (
+            v.physical_columns()["a"] is col.physical_columns()["a"]
+        ), "views must share backing lists"
+        assert len(v) == 2
+        assert v.gather("a") == [1, 2]
+        assert v.sel == [0, 3]
+
+    def test_view_preserves_order_not_position(self, col):
+        v = col.view([3, 0])
+        assert v.gather("b") == [40, 10]
+
+    def test_compact_materializes(self, col):
+        v = col.view([1, 2])
+        c = v.compact()
+        assert c.sel is None
+        assert len(c) == 2
+        assert c.gather("a") == [2, NULL]
+        # the original backing lists are untouched
+        assert col.gather("a") == [1, 2, NULL, 2]
+
+    def test_compact_on_full_view_is_identity(self, col):
+        assert col.compact() is col
+
+    def test_gather_full_view_is_backing_list(self, col):
+        assert col.gather("a") is col.physical_columns()["a"]
+
+    def test_null_mask_respects_view(self, col):
+        assert col.null_mask("a") == [False, False, True, False]
+        assert col.view([2, 0]).null_mask("a") == [True, False]
+
+
+class TestSchemaDerivation:
+    def test_with_schema_drops_columns(self, col):
+        narrowed = col.with_schema(["b"], ["#r"])
+        assert narrowed.all_attrs == ("b", "#r")
+        assert narrowed.gather("b") is col.physical_columns()["b"]
+
+    def test_with_schema_preserves_selection(self, col):
+        v = col.view([0, 2]).with_schema(["a"], [])
+        assert v.gather("a") == [1, NULL]
+
+    def test_renamed(self, col):
+        renamed = col.renamed({"a": "x"})
+        assert list(renamed.real) == ["x", "b"]
+        assert renamed.gather("x") is col.physical_columns()["a"]
+
+    def test_renamed_unknown_attr_raises(self, col):
+        with pytest.raises(SchemaError):
+            col.renamed({"zzz": "x"})
+
+    def test_overlapping_schemas_raise(self):
+        with pytest.raises(SchemaError):
+            ColumnarRelation(["a"], ["a"], {"a": [1]}, 1)
+
+    def test_mismatched_columns_raise(self):
+        with pytest.raises(SchemaError):
+            ColumnarRelation(["a"], [], {"b": [1]}, 1)
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(SchemaError):
+            ColumnarRelation(["a", "b"], [], {"a": [1], "b": [1, 2]}, 1)
+
+
+class TestConcat:
+    def test_missing_columns_null_padded(self):
+        out = concat_columns(
+            [{"a": [1, 2]}, {"a": [3], "b": [7]}], ["a", "b"]
+        )
+        assert out == {"a": [1, 2, 3], "b": [NULL, NULL, 7]}
+
+    def test_inputs_not_mutated(self):
+        left = {"a": [1]}
+        concat_columns([left, {"a": [2]}], ["a"])
+        assert left == {"a": [1]}
+
+    def test_empty_parts(self):
+        assert concat_columns([{}, {"a": [5]}], ["a"]) == {"a": [5]}
+
+    def test_columns_of_coerces_iterables(self):
+        cols = columns_of({"a": range(3)})
+        assert cols == {"a": [0, 1, 2]}

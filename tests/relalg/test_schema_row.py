@@ -1,8 +1,9 @@
-"""Tests for Schema and Row primitives."""
+"""Tests for Schema and Row primitives, and row-validation modes."""
 
 import pytest
 
 from repro.relalg.nulls import NULL
+from repro.relalg.relation import Relation, set_full_row_validation
 from repro.relalg.row import Row
 from repro.relalg.schema import Schema, SchemaError
 
@@ -102,3 +103,37 @@ class TestRow:
     def test_values_tuple_order(self):
         r = Row({"a": 1, "b": 2})
         assert r.values_tuple(["b", "a"]) == (2, 1)
+
+
+class TestRowValidationModes:
+    """Relation.__init__ samples the first row by default; full
+    validation is the opt-in debug mode (REPRO_VALIDATE_ROWS)."""
+
+    GOOD = Row({"a": 1})
+    BAD = Row({"zzz": 2})
+
+    def test_first_row_always_checked(self):
+        with pytest.raises(SchemaError, match="do not match schema"):
+            Relation(["a"], [], [self.BAD, self.GOOD])
+
+    def test_sampled_mode_trusts_later_rows(self):
+        # the perf contract: operators derive rows from validated
+        # inputs, so later rows are not re-checked by default
+        rel = Relation(["a"], [], [self.GOOD, self.BAD])
+        assert len(rel) == 2
+
+    def test_full_mode_catches_later_rows(self):
+        previous = set_full_row_validation(True)
+        try:
+            with pytest.raises(SchemaError, match="do not match schema"):
+                Relation(["a"], [], [self.GOOD, self.BAD])
+        finally:
+            set_full_row_validation(previous)
+
+    def test_toggle_returns_previous_value(self):
+        previous = set_full_row_validation(True)
+        try:
+            assert set_full_row_validation(False) is True
+            assert set_full_row_validation(previous) is False
+        finally:
+            set_full_row_validation(previous)

@@ -63,7 +63,7 @@ class TestHappyPath:
         assert result.plans_considered >= 2
         assert result.relation.same_content(evaluate(EMP_DEPT_LOJ, emp_db))
 
-    @pytest.mark.parametrize("executor", ["reference", "hash"])
+    @pytest.mark.parametrize("executor", ["reference", "hash", "vector"])
     def test_both_executors_agree(self, emp_db, executor):
         session = QuerySession(emp_db, executor=executor)
         result = session.run(EMP_DEPT_LOJ)

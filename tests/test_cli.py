@@ -79,6 +79,19 @@ class TestRun:
             fast.getvalue().splitlines()
         )
 
+    def test_vector_engine_matches_reference(self, data_dir):
+        db, catalog = load_csv_database(data_dir)
+        slow, vec = io.StringIO(), io.StringIO()
+        sql = (
+            "select dept, n = count(*) from emp "
+            "left outer join dept on emp.dept = dept.did group by dept;"
+        )
+        run_script(sql, db, catalog, out=slow)
+        run_script(sql, db, catalog, out=vec, engine="vector")
+        assert sorted(slow.getvalue().splitlines()) == sorted(
+            vec.getvalue().splitlines()
+        )
+
     def test_explain(self, data_dir):
         db, catalog = load_csv_database(data_dir)
         out = io.StringIO()
@@ -103,6 +116,16 @@ class TestMain:
         script = tmp_path / "q.sql"
         script.write_text("select eid from emp;")
         assert main(["run", str(script), "--data", str(data_dir)]) == 0
+        assert "4 row(s)" in capsys.readouterr().out
+
+    def test_run_command_vector_engine(self, data_dir, tmp_path, capsys):
+        script = tmp_path / "q.sql"
+        script.write_text(
+            "select eid, dname from emp left outer join dept "
+            "on emp.dept = dept.did;"
+        )
+        args = ["run", str(script), "--data", str(data_dir), "--engine", "vector"]
+        assert main(args) == 0
         assert "4 row(s)" in capsys.readouterr().out
 
     def test_explain_command(self, data_dir, tmp_path, capsys):
