@@ -1,0 +1,153 @@
+"""X17 -- the concurrent query service under load and fault injection.
+
+Not a paper table: this bench measures what the service layer costs
+and what the breakers buy.  A fixed workload of join queries is pushed
+through :class:`repro.runtime.QueryService` at concurrency 1, 4 and
+16, clean and under a 5% vector-crash fault plan, tracking throughput
+and the p99 service time.  Invariants asserted along the way:
+
+* zero wrong answers -- every result matches the fault-free reference
+  evaluation;
+* under faults, the p99 stays within 3x of the clean run at the same
+  concurrency (the breaker settles on the hash engine instead of
+  paying the crash-and-reroute tax per query).
+
+Emits ``BENCH_x17_service.json``.  Quick mode (``REPRO_BENCH_QUICK=1``):
+fewer queries per cell, concurrency 1 and 4 only.
+"""
+
+import os
+import random
+
+from repro.expr import evaluate
+from repro.runtime.faults import FaultPlan
+from repro.runtime.service import BreakerConfig, QueryService
+from repro.workloads.random_db import random_database, random_join_query
+
+from harness import json_record, report, table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SEED = 42
+N_RELATIONS = 4
+N_QUERIES = 12 if QUICK else 48
+CONCURRENCY = (1, 4) if QUICK else (1, 4, 16)
+FAULTS = "vector:crash@0.05"
+P99_FACTOR = 3.0
+
+
+def build_workload():
+    rng = random.Random(SEED)
+    names = [f"r{i}" for i in range(1, N_RELATIONS + 1)]
+    db = random_database(rng, names, max_rows=12, null_probability=0.1, min_rows=4)
+    queries = [
+        random_join_query(rng, N_RELATIONS, outer_probability=0.4)
+        for _ in range(N_QUERIES)
+    ]
+    truth = [evaluate(q, db) for q in queries]
+    return db, queries, truth
+
+
+def percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_cell(db, queries, truth, workers: int, faults: str | None) -> dict:
+    import time
+
+    service = QueryService(
+        db,
+        workers=workers,
+        queue_depth=len(queries),
+        engine="vector",
+        fault_plan=FaultPlan.parse(faults, seed=SEED) if faults else None,
+        breaker=BreakerConfig(failure_threshold=3, window_s=60.0, cooldown_s=60.0),
+    )
+    wrong = 0
+    latencies = []
+    rerouted = 0
+    t0 = time.perf_counter()
+    try:
+        tickets = [service.submit(q) for q in queries]
+        for ticket, expected in zip(tickets, truth):
+            result = ticket.result(timeout=600)
+            latencies.append(result.service_ms)
+            if result.attempts:
+                rerouted += 1
+            if not result.relation.same_content(expected):
+                wrong += 1
+        wall = time.perf_counter() - t0
+    finally:
+        service.close()
+    snap = service.snapshot()
+    return {
+        "workers": workers,
+        "faults": faults or "none",
+        "queries": len(queries),
+        "wall_s": wall,
+        "qps": len(queries) / wall,
+        "p50_ms": percentile(latencies, 0.50),
+        "p99_ms": percentile(latencies, 0.99),
+        "wrong": wrong,
+        "rerouted": rerouted,
+        "breaker_opens": snap["breakers"]["vector"]["opened_count"],
+        "incidents": snap["incidents"],
+    }
+
+
+def run_grid():
+    db, queries, truth = build_workload()
+    cells = []
+    for workers in CONCURRENCY:
+        for faults in (None, FAULTS):
+            cells.append(run_cell(db, queries, truth, workers, faults))
+    return cells
+
+
+def test_x17_service(benchmark):
+    cells = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    # invariant: no wrong answer escaped anywhere in the grid
+    assert all(cell["wrong"] == 0 for cell in cells)
+
+    # invariant: at each concurrency, the faulted p99 is within the
+    # containment factor of the clean p99 (breakers, not per-query tax)
+    for workers in CONCURRENCY:
+        clean = next(
+            c for c in cells if c["workers"] == workers and c["faults"] == "none"
+        )
+        faulted = next(
+            c for c in cells if c["workers"] == workers and c["faults"] != "none"
+        )
+        assert faulted["p99_ms"] <= clean["p99_ms"] * P99_FACTOR + 5.0, (
+            f"workers={workers}: faulted p99 {faulted['p99_ms']:.1f}ms vs "
+            f"clean {clean['p99_ms']:.1f}ms"
+        )
+
+    lines = table(
+        ["workers", "faults", "qps", "p50 (ms)", "p99 (ms)", "rerouted", "opens"],
+        [
+            [
+                c["workers"],
+                c["faults"],
+                f"{c['qps']:.0f}",
+                f"{c['p50_ms']:.2f}",
+                f"{c['p99_ms']:.2f}",
+                c["rerouted"],
+                c["breaker_opens"],
+            ]
+            for c in cells
+        ],
+    )
+    report("x17_service", "X17: concurrent service under faults", lines)
+    json_record(
+        "x17_service",
+        seed=SEED,
+        n_queries=N_QUERIES,
+        fault_plan=FAULTS,
+        p99_containment_factor=P99_FACTOR,
+        wrong_answers=sum(c["wrong"] for c in cells),
+        cells=cells,
+    )

@@ -26,10 +26,14 @@ See ``examples/quickstart.py`` for a five-minute walkthrough.
 """
 
 from repro.errors import (
+    AdmissionRejected,
     BudgetExceeded,
     DeadlineExceeded,
+    EngineFailure,
+    InjectedFault,
     OptimizerInternalError,
     PlanBudgetExceeded,
+    QueryCancelled,
     ReproError,
     RowBudgetExceeded,
     UserInputError,
@@ -38,7 +42,14 @@ from repro.errors import (
 from repro.expr import Database, evaluate, to_algebra
 from repro.core import enumerate_plans, reorder_pipeline
 from repro.optimizer import Statistics, optimize
-from repro.runtime import Budget, DegradationLevel, QuerySession
+from repro.runtime import (
+    Budget,
+    CancelToken,
+    DegradationLevel,
+    FaultPlan,
+    QueryService,
+    QuerySession,
+)
 
 # the historical error classes, re-exported so `except repro.X` works
 # without hunting down the defining module
@@ -64,7 +75,10 @@ __all__ = [
     "Statistics",
     "optimize",
     "Budget",
+    "CancelToken",
     "DegradationLevel",
+    "FaultPlan",
+    "QueryService",
     "QuerySession",
     # taxonomy roots
     "ReproError",
@@ -75,6 +89,10 @@ __all__ = [
     "PlanBudgetExceeded",
     "RowBudgetExceeded",
     "VerificationFailed",
+    "QueryCancelled",
+    "AdmissionRejected",
+    "InjectedFault",
+    "EngineFailure",
     # historical error classes
     "ExprError",
     "SchemaError",

@@ -3,6 +3,8 @@
     python -m repro run script.sql --data DIR [--engine reference|hash|vector]
                                    [--fast] [--budget-ms MS]
                                    [--max-plans N] [--max-rows N] [--verify]
+                                   [--workers N] [--queue-depth N]
+                                   [--faults PLAN] [--fault-seed N]
     python -m repro explain script.sql --data DIR [--plans N] [--budget-ms MS]
     python -m repro demo
 
@@ -22,6 +24,14 @@ heuristic -> as written) when a cap is hit, e.g.
 
 A degraded or verification-quarantined statement reports its stage in
 a ``-- stage: ...`` footer; see docs/ROBUSTNESS.md.
+
+With ``--workers`` (or any ``--faults`` plan) statements route through
+the concurrent :class:`repro.runtime.QueryService`: per-engine circuit
+breakers reroute around a crashing engine (``vector -> hash ->
+reference``), breaker transitions and rerouted statements show up as
+``-- breaker ...`` / ``-- engine: ...`` footers, and the process exit
+code distinguishes clean, degraded, budget-exhausted and quarantined
+outcomes (see ``--help``).
 """
 
 from __future__ import annotations
@@ -32,15 +42,39 @@ import sys
 from fractions import Fraction
 from pathlib import Path
 
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, EngineFailure, InjectedFault
 from repro.expr import Database
 from repro.expr.display import to_tree
 from repro.optimizer import measured_cost
 from repro.relalg import Relation
 from repro.relalg.nulls import NULL
-from repro.runtime import Budget, DegradationLevel, QuerySession
+from repro.runtime import (
+    Budget,
+    DegradationLevel,
+    FaultPlan,
+    QueryService,
+    QuerySession,
+)
 from repro.sql import SqlCatalog, parse_statements, translate
 from repro.sql.ast import CreateViewStmt, SelectStmt, UnionStmt
+
+#: Documented process exit codes (see ``--help`` and docs/ROBUSTNESS.md).
+EXIT_OK = 0  # clean answer, or answered-but-degraded (footer says so)
+EXIT_BUDGET = 3  # a budget cap held even at the last-resort rung
+EXIT_QUARANTINE = 4  # answered via quarantine fallback (plan mismatch)
+EXIT_ENGINE = 5  # every engine failed (e.g. under an injected fault plan)
+
+_EXIT_CODE_DOC = """\
+exit codes:
+  0  clean success, including answered-but-degraded statements
+     (degradation is reported in a `-- stage:` footer, not an error)
+  3  a resource budget was exhausted at every rung, including the
+     last resort (the row cap bounds memory, so it is never lifted)
+  4  answered, but a chosen plan failed differential verification and
+     was quarantined (the reported rows come from the original query)
+  5  every execution engine failed the statement (seen under
+     `--faults` crash plans when the reference floor is also hit)
+"""
 
 
 def _parse_value(text: str):
@@ -77,6 +111,57 @@ def load_csv_database(directory: Path) -> tuple[Database, SqlCatalog]:
     return db, catalog
 
 
+def _print_outcome_footers(outcome, verify: bool, out) -> int:
+    """The shared per-statement footers; returns the statement's exit code."""
+    code = EXIT_OK
+    if outcome.degradation_level is not DegradationLevel.FULL:
+        print(
+            f"-- stage: {outcome.degradation_level.name.lower()}"
+            + (
+                f" ({outcome.degradation_reason})"
+                if outcome.degradation_reason
+                else ""
+            ),
+            file=out,
+        )
+    if verify and outcome.verified is not None:
+        print(
+            "-- verified: plan matches reference"
+            if outcome.verified
+            else "-- verified: MISMATCH (plan quarantined, original used)",
+            file=out,
+        )
+        if outcome.verified is False:
+            code = EXIT_QUARANTINE
+    cache = outcome.plan_cache
+    if cache.get("hit") or cache.get("hits", 0) > 0:
+        print(
+            f"-- plan cache: {'hit' if cache.get('hit') else 'miss'} "
+            f"(hits {cache.get('hits', 0)}, misses {cache.get('misses', 0)}, "
+            f"entries {cache.get('entries', 0)})",
+            file=out,
+        )
+    return code
+
+
+def _print_service_footers(service: QueryService, out) -> None:
+    """End-of-script service summary: breaker states and incident mix."""
+    snapshot = service.snapshot()
+    for name, breaker in snapshot["breakers"].items():
+        if breaker["state"] != "closed" or breaker["opened_count"]:
+            print(
+                f"-- breaker {name}: {breaker['state']} "
+                f"(opened {breaker['opened_count']}x)",
+                file=out,
+            )
+    if len(service.incidents):
+        kinds: dict[str, int] = {}
+        for incident in service.incidents:
+            kinds[incident.kind] = kinds.get(incident.kind, 0) + 1
+        mix = ", ".join(f"{k}: {n}" for k, n in sorted(kinds.items()))
+        print(f"-- incidents: {len(service.incidents)} ({mix})", file=out)
+
+
 def run_script(
     text: str,
     db: Database,
@@ -90,11 +175,35 @@ def run_script(
     verify_seed: int = 0,
     session: QuerySession | None = None,
     engine: str | None = None,
-) -> None:
+    faults: str | None = None,
+    fault_seed: int = 0,
+    workers: int = 0,
+    queue_depth: int = 16,
+) -> int:
+    """Run (or explain) a script; returns the process exit code.
+
+    With ``workers >= 1`` or a ``faults`` plan, statements route
+    through a :class:`repro.runtime.QueryService` (admission control,
+    circuit breakers, engine fallback) instead of a bare session.
+    """
     out = out if out is not None else sys.stdout
-    if session is None:
-        if engine is None:
-            engine = "hash" if fast else "reference"
+    if engine is None:
+        engine = "hash" if fast else "reference"
+    service: QueryService | None = None
+    if not explain and session is None and (workers >= 1 or faults):
+        service = QueryService(
+            db,
+            catalog=catalog,
+            workers=max(1, workers),
+            queue_depth=queue_depth,
+            budget=budget,
+            engine=engine,
+            verify=verify,
+            verify_seed=verify_seed,
+            max_plans=2000,
+            fault_plan=FaultPlan.parse(faults, seed=fault_seed) if faults else None,
+        )
+    elif session is None:
         session = QuerySession(
             db,
             catalog=catalog,
@@ -104,48 +213,45 @@ def run_script(
             executor=engine,
             max_plans=2000,
         )
-    statements = parse_statements(text)
-    for statement in statements:
-        if isinstance(statement, CreateViewStmt):
-            catalog.add_view(statement)
-            print(f"-- view {statement.name} registered", file=out)
-            continue
-        assert isinstance(statement, (SelectStmt, UnionStmt))
-        translation = translate(statement, catalog)
-        if explain:
-            _explain(translation.expr, db, out, plans, session)
-            continue
-        outcome = session.run(translation.expr)
-        result = _order_and_limit(outcome.relation, translation)
-        renamed = _friendly_columns(result, translation.columns)
-        ordered = bool(translation.order_by)
-        print(renamed.to_text(preserve_order=ordered), file=out)
-        print(f"-- {len(renamed)} row(s)", file=out)
-        if outcome.degradation_level is not DegradationLevel.FULL:
-            print(
-                f"-- stage: {outcome.degradation_level.name.lower()}"
-                + (
-                    f" ({outcome.degradation_reason})"
-                    if outcome.degradation_reason
-                    else ""
-                ),
-                file=out,
-            )
-        if verify and outcome.verified is not None:
-            print(
-                "-- verified: plan matches reference"
-                if outcome.verified
-                else "-- verified: MISMATCH (plan quarantined, original used)",
-                file=out,
-            )
-        cache = outcome.plan_cache
-        if cache.get("hit") or cache.get("hits", 0) > 0:
-            print(
-                f"-- plan cache: {'hit' if cache.get('hit') else 'miss'} "
-                f"(hits {cache.get('hits', 0)}, misses {cache.get('misses', 0)}, "
-                f"entries {cache.get('entries', 0)})",
-                file=out,
-            )
+    code = EXIT_OK
+    try:
+        statements = parse_statements(text)
+        for statement in statements:
+            if isinstance(statement, CreateViewStmt):
+                catalog.add_view(statement)
+                print(f"-- view {statement.name} registered", file=out)
+                continue
+            assert isinstance(statement, (SelectStmt, UnionStmt))
+            translation = translate(statement, catalog)
+            if explain:
+                _explain(translation.expr, db, out, plans, session)
+                continue
+            if service is not None:
+                outcome = service.run(translation.expr)
+            else:
+                outcome = session.run(translation.expr)
+            result = _order_and_limit(outcome.relation, translation)
+            renamed = _friendly_columns(result, translation.columns)
+            ordered = bool(translation.order_by)
+            print(renamed.to_text(preserve_order=ordered), file=out)
+            print(f"-- {len(renamed)} row(s)", file=out)
+            code = max(code, _print_outcome_footers(outcome, verify, out))
+            if service is not None and (
+                outcome.engine != engine or outcome.attempts
+            ):
+                rerouted = ", ".join(
+                    f"{name}: {error}" for name, error in outcome.attempts
+                )
+                print(
+                    f"-- engine: {outcome.engine}"
+                    + (f" (after {rerouted})" if rerouted else ""),
+                    file=out,
+                )
+    finally:
+        if service is not None:
+            _print_service_footers(service, out)
+            service.close()
+    return code
 
 
 def _sort_key(value):
@@ -252,10 +358,17 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reordering for a general class of queries (SIGMOD 1996)",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run a SQL script over CSV tables")
+    run_p = sub.add_parser(
+        "run",
+        help="run a SQL script over CSV tables",
+        epilog=_EXIT_CODE_DOC,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     run_p.add_argument("script", type=Path)
     run_p.add_argument("--data", type=Path, required=True)
     run_p.add_argument(
@@ -313,6 +426,37 @@ def main(argv: list[str] | None = None) -> int:
         "seed draw identical samples, making quarantine incidents "
         "reproducible",
     )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="route statements through the concurrent QueryService with "
+        "this many worker threads (admission control, per-engine "
+        "circuit breakers, engine fallback); 0 = plain session",
+    )
+    run_p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission queue bound for the service (load past it is "
+        "shed with a typed AdmissionRejected)",
+    )
+    run_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan, e.g. "
+        "'vector.join:crash@0.05,cache.get:latency=50ms@0.1,"
+        "stats:perturb=2x'; implies the service path so crashes are "
+        "contained by engine fallback",
+    )
+    run_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plan; same seed + same script = "
+        "identical injected faults",
+    )
 
     sub.add_parser("demo", help="run a canned demonstration")
 
@@ -335,7 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     try:
         if args.command == "run":
-            run_script(
+            return run_script(
                 text,
                 db,
                 catalog,
@@ -344,17 +488,24 @@ def main(argv: list[str] | None = None) -> int:
                 budget=budget,
                 verify=args.verify,
                 verify_seed=args.verify_seed,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
+                workers=args.workers,
+                queue_depth=args.queue_depth,
             )
-        else:
-            run_script(
-                text, db, catalog, explain=True, plans=args.plans, budget=budget
-            )
+        return run_script(
+            text, db, catalog, explain=True, plans=args.plans, budget=budget
+        )
     except BudgetExceeded as exc:
         # the row cap is hard even at the last-resort rung (it bounds
         # memory, not optimization effort) -- report it, don't traceback
         print(f"repro: {exc}", file=sys.stderr)
-        return 3
-    return 0
+        return EXIT_BUDGET
+    except (EngineFailure, InjectedFault) as exc:
+        # a statement no engine could answer (crash fault plans can
+        # reach the reference floor) -- report it, don't traceback
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_ENGINE
 
 
 if __name__ == "__main__":  # pragma: no cover

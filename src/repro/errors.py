@@ -99,6 +99,66 @@ class VerificationFailed(ReproError):
     """
 
 
+class QueryCancelled(ReproError):
+    """The caller cancelled the query via its :class:`CancelToken`.
+
+    Deliberately *not* a :class:`BudgetExceeded`: the degradation
+    ladder must not catch it and keep trying cheaper strategies -- a
+    cancelled query should stop, not degrade.
+    """
+
+    def __init__(self, where: str = "") -> None:
+        self.where = where
+        suffix = f" (in {where})" if where else ""
+        super().__init__(f"query cancelled{suffix}")
+
+
+class AdmissionRejected(ReproError):
+    """The service shed this query instead of queueing it.
+
+    Raised at submission time when the admission queue is full, the
+    service is closed, or the service-level budget is exhausted --
+    bounded queues over unbounded backlogs.
+    """
+
+    def __init__(self, reason: str, queue_depth: int | None = None) -> None:
+        self.reason = reason
+        self.queue_depth = queue_depth
+        detail = f" (queue depth {queue_depth})" if queue_depth is not None else ""
+        super().__init__(f"admission rejected: {reason}{detail}")
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault-injection point fired (testing only).
+
+    Deliberately *not* an :class:`OptimizerInternalError`: the session
+    ladder must not absorb it -- an injected engine crash should
+    surface to the service layer, where the circuit breaker and
+    engine-fallback logic are the machinery under test.
+    """
+
+    def __init__(self, site: str, spec: str = "") -> None:
+        self.site = site
+        self.spec = spec
+        suffix = f" [{spec}]" if spec else ""
+        super().__init__(f"injected fault at {site}{suffix}")
+
+
+class EngineFailure(ReproError):
+    """Every candidate engine failed to answer the query.
+
+    Wraps the last underlying error so even an untyped engine bug
+    escapes the service as a member of the taxonomy.
+    """
+
+    def __init__(self, attempts: list[tuple[str, str]] | None = None) -> None:
+        self.attempts = list(attempts or [])
+        detail = "; ".join(f"{engine}: {error}" for engine, error in self.attempts)
+        super().__init__(
+            "all engines failed" + (f" ({detail})" if detail else "")
+        )
+
+
 __all__ = [
     "ReproError",
     "UserInputError",
@@ -108,4 +168,8 @@ __all__ = [
     "PlanBudgetExceeded",
     "RowBudgetExceeded",
     "VerificationFailed",
+    "QueryCancelled",
+    "AdmissionRejected",
+    "InjectedFault",
+    "EngineFailure",
 ]

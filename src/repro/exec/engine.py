@@ -25,6 +25,7 @@ from repro.expr.nodes import (
 )
 from repro.expr.predicates import TRUE
 from repro.exec.hash_join import hash_join
+from repro.runtime.faults import fault_point
 from repro.relalg import (
     PreservedSpec,
     Relation,
@@ -48,6 +49,7 @@ def execute(expr: Expr, db: Database, budget=None) -> Relation:
     -- so oversized intermediates raise a typed
     :class:`repro.errors.BudgetExceeded` instead of exhausting memory.
     """
+    fault_point("hash", expr)
     result = _execute(expr, db, budget)
     if budget is not None:
         budget.tick(rows=len(result), where="execute")

@@ -49,6 +49,7 @@ from repro.expr.nodes import (
 from repro.expr.predicates import Predicate, TRUE
 from repro.exec.vector_predicates import compile_predicate
 from repro.relalg.columnar import ColumnarRelation, concat_columns
+from repro.runtime.faults import fault_point
 from repro.relalg.nulls import NULL
 from repro.relalg.relation import Relation
 from repro.relalg.schema import Schema
@@ -71,6 +72,7 @@ def execute(expr: Expr, db: Database, budget=None) -> Relation:
 
 
 def _tick(budget, out: ColumnarRelation, where: str) -> ColumnarRelation:
+    fault_point("vector", op=where.partition(":")[2])
     if budget is not None:
         budget.tick(rows=len(out), where=where)
     return out

@@ -41,6 +41,7 @@ from repro.expr.nodes import (
     UnionAll,
 )
 from repro.expr.predicates import Predicate, TRUE
+from repro.runtime.faults import fault_point
 
 
 class Database:
@@ -90,6 +91,7 @@ def evaluate(expr: Expr, db: Database, budget=None) -> Relation:
     :class:`repro.errors.BudgetExceeded` instead of consuming the
     process.
     """
+    fault_point("reference", expr)
     result = _evaluate(expr, db, budget)
     if budget is not None:
         budget.tick(rows=len(result), where="evaluate")

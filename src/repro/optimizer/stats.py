@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.expr.evaluate import Database
 from repro.relalg.nulls import is_null
+from repro.runtime.faults import perturb_factor
 
 
 @dataclass(frozen=True)
@@ -46,9 +47,19 @@ class Statistics:
         self.version += 1
 
     def table(self, name: str) -> TableStats:
-        if name not in self._tables:
-            return TableStats(row_count=1000)
-        return self._tables[name]
+        stats = self._tables.get(name) or TableStats(row_count=1000)
+        # fault injection: an active perturb clause scales the row count
+        # the optimizer sees, modelling stale/wrong estimates (the plan
+        # may change; correctness must not -- that is the chaos suite's
+        # invariant, not the estimator's)
+        factor = perturb_factor("stats", name)
+        if factor != 1.0:
+            return TableStats(
+                row_count=max(1, round(stats.row_count * factor)),
+                distinct=stats.distinct,
+                frequencies=stats.frequencies,
+            )
+        return stats
 
     def __contains__(self, name: str) -> bool:
         return name in self._tables

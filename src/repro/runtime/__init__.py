@@ -9,42 +9,102 @@ service needs:
 
 * :class:`Budget` -- wall-clock deadline, plan-count and row-count
   caps, enforced *cooperatively* at generator checkpoints inside the
-  enumerator and both executors (no threads, no signals), raising the
-  typed :class:`repro.errors.BudgetExceeded` family;
-* :class:`QuerySession` -- the facade every entry point (CLI,
-  examples, benchmarks) routes through.  It attempts a degradation
-  ladder ``full reorder -> greedy/DP heuristic -> as written``, each
-  stage under its slice of the budget, and records which stage
-  produced the answer (:class:`DegradationLevel`, plus the reason the
-  upper stages were abandoned);
+  enumerator and all three executors (no signals, no preemption),
+  raising the typed :class:`repro.errors.BudgetExceeded` family.
+  Counters are thread-safe and every checkpoint observes an optional
+  :class:`CancelToken`;
+* :class:`QuerySession` -- the single-caller facade.  It attempts a
+  degradation ladder ``full reorder -> greedy/DP heuristic -> as
+  written``, each stage under its slice of the budget, and records
+  which stage produced the answer (:class:`DegradationLevel`, plus the
+  reason the upper stages were abandoned);
+* :class:`QueryService` -- the concurrent front end: a bounded worker
+  pool over per-worker sessions, admission control that sheds load
+  with the typed :class:`repro.errors.AdmissionRejected`, per-engine
+  circuit breakers that reroute around a misbehaving engine
+  (``vector -> hash -> reference``), cooperative cancellation, and a
+  clean drain on shutdown;
 * differential verification -- optionally re-check the chosen plan
   against the original query under the reference interpreter on a
   row-sample; a mismatch quarantines the plan, logs a structured
   :class:`Incident`, and falls back to the original query, so a wrong
   rewrite becomes a contained, observable event instead of silent
-  wrong answers.
+  wrong answers;
+* :class:`FaultPlan` -- deterministic, seeded fault injection at
+  operator/cache/statistics boundaries, so all of the above is
+  exercised by construction (the chaos suite in
+  ``tests/integration/test_chaos.py``).
 
 See ``docs/ROBUSTNESS.md`` for the operational story.
+
+Import note: the heavy facades (session, service) are loaded lazily
+via PEP 562 -- the execution engines import
+:mod:`repro.runtime.faults` at module load, which must not drag the
+session (and hence the engines themselves) into a cycle.
 """
 
-from repro.runtime.budget import Budget
+from repro.runtime.budget import Budget, CancelToken
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultStream,
+    fault_point,
+    fault_scope,
+    perturb_factor,
+)
 from repro.runtime.incidents import Incident, IncidentLog
 from repro.runtime.plan_cache import PlanCache, query_fingerprint
-from repro.runtime.session import (
-    DegradationLevel,
-    QuerySession,
-    SessionResult,
-    StatementOutcome,
-)
+
+_LAZY = {
+    "DegradationLevel": "repro.runtime.session",
+    "QuerySession": "repro.runtime.session",
+    "SessionResult": "repro.runtime.session",
+    "StatementOutcome": "repro.runtime.session",
+    "BreakerConfig": "repro.runtime.service",
+    "BreakerState": "repro.runtime.service",
+    "CircuitBreaker": "repro.runtime.service",
+    "QueryService": "repro.runtime.service",
+    "QueryTicket": "repro.runtime.service",
+    "ServiceResult": "repro.runtime.service",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "Budget",
+    "CancelToken",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStream",
     "Incident",
     "IncidentLog",
     "DegradationLevel",
     "PlanCache",
     "QuerySession",
+    "QueryService",
+    "QueryTicket",
     "SessionResult",
+    "ServiceResult",
     "StatementOutcome",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "fault_point",
+    "fault_scope",
+    "perturb_factor",
     "query_fingerprint",
 ]

@@ -7,27 +7,64 @@ cooperative: the enumerator and the executors call :meth:`tick` /
 :meth:`charge_plans` / :meth:`charge_rows` at their natural checkpoint
 granularity (one BFS expansion, one operator result), and the budget
 raises the typed :class:`repro.errors.BudgetExceeded` subclass for the
-exhausted dimension.  Nothing here uses threads or signals, so a
+exhausted dimension.  Nothing here uses signals or preemption, so a
 budgeted call unwinds at a well-defined point with all invariants
 intact -- which is what lets :class:`repro.runtime.QuerySession`
 catch the error and degrade instead of crashing.
 
+Counter updates are thread-safe: :class:`repro.runtime.service.QueryService`
+shares one service-level budget across its worker pool, so
+``charge_plans``/``charge_rows`` (read-modify-write) take an internal
+lock.  The same ``tick()`` checkpoints also observe an optional
+:class:`CancelToken`, giving callers cooperative cancellation at
+exactly the granularity the budget already enforces.
+
 ``Budget(...)`` starts its clock at construction.  Stages of a
 fallback chain get their share via :meth:`stage`, which carves a child
 budget out of the *remaining* time (counters start fresh; the parent
-keeps ticking).
+keeps ticking, and every charge a child takes is absorbed upward so
+an ancestor -- e.g. the service-level budget -- sees aggregate spend).  Carving a stage from an already-expired parent raises
+:class:`repro.errors.DeadlineExceeded` eagerly, with the parent's
+spend in the message -- a zero-width child that dies on its first tick
+with a confusing ``where`` helps nobody.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.errors import (
     DeadlineExceeded,
     PlanBudgetExceeded,
+    QueryCancelled,
     RowBudgetExceeded,
 )
+
+
+class CancelToken:
+    """A thread-safe cooperative cancellation flag.
+
+    ``cancel()`` may be called from any thread; the query observes it
+    at its next budget checkpoint and unwinds with the typed
+    :class:`repro.errors.QueryCancelled`.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancelToken(cancelled={self.cancelled})"
 
 
 @dataclass
@@ -38,7 +75,8 @@ class Budget:
     from the latest :meth:`restart`); ``max_plans`` caps how many
     distinct plans enumeration may produce; ``max_rows`` caps the
     cumulative intermediate rows an executor may materialize.  ``None``
-    disables a dimension.
+    disables a dimension.  ``cancel`` is an optional
+    :class:`CancelToken` observed at every checkpoint.
     """
 
     deadline_ms: float | None = None
@@ -46,15 +84,21 @@ class Budget:
     max_rows: int | None = None
     plans: int = 0
     rows: int = 0
+    cancel: CancelToken | None = field(default=None, compare=False)
+    parent: "Budget | None" = field(default=None, repr=False, compare=False)
     _t0: float = field(default_factory=time.monotonic, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # -- clock -----------------------------------------------------------
 
     def restart(self) -> "Budget":
         """Reset the clock and counters (one budget object per query)."""
-        self._t0 = time.monotonic()
-        self.plans = 0
-        self.rows = 0
+        with self._lock:
+            self._t0 = time.monotonic()
+            self.plans = 0
+            self.rows = 0
         return self
 
     @property
@@ -70,19 +114,46 @@ class Budget:
 
     # -- checkpoints -----------------------------------------------------
 
+    def check_cancelled(self, where: str = "") -> None:
+        if self.cancel is not None and self.cancel.cancelled:
+            raise QueryCancelled(where)
+
     def check_deadline(self, where: str = "") -> None:
+        self.check_cancelled(where)
         if self.deadline_ms is not None and self.elapsed_ms > self.deadline_ms:
             raise DeadlineExceeded(self.deadline_ms, self.elapsed_ms, where)
 
+    def _absorb(self, plans: int = 0, rows: int = 0) -> None:
+        """Accumulate a child's spend without enforcing this level's caps.
+
+        Work a stage already did is real even when the stage's own cap
+        cut it short, so accounting flows upward unconditionally; caps
+        above are enforced at their own check sites (the service budget
+        checks at charge-back, not mid-stage).
+        """
+        with self._lock:
+            self.plans += plans
+            self.rows += rows
+        if self.parent is not None:
+            self.parent._absorb(plans, rows)
+
     def charge_plans(self, n: int = 1, where: str = "") -> None:
-        self.plans += n
-        if self.max_plans is not None and self.plans > self.max_plans:
-            raise PlanBudgetExceeded(self.max_plans, self.plans, where)
+        with self._lock:
+            self.plans += n
+            spent = self.plans
+        if self.parent is not None:
+            self.parent._absorb(plans=n)
+        if self.max_plans is not None and spent > self.max_plans:
+            raise PlanBudgetExceeded(self.max_plans, spent, where)
 
     def charge_rows(self, n: int, where: str = "") -> None:
-        self.rows += n
-        if self.max_rows is not None and self.rows > self.max_rows:
-            raise RowBudgetExceeded(self.max_rows, self.rows, where)
+        with self._lock:
+            self.rows += n
+            spent = self.rows
+        if self.parent is not None:
+            self.parent._absorb(rows=n)
+        if self.max_rows is not None and spent > self.max_rows:
+            raise RowBudgetExceeded(self.max_rows, spent, where)
 
     def tick(self, rows: int = 0, plans: int = 0, where: str = "") -> None:
         """One cooperative checkpoint: charge counters, check the clock."""
@@ -99,6 +170,7 @@ class Budget:
         fraction: float,
         max_plans: int | None | str = "inherit",
         max_rows: int | None | str = "inherit",
+        where: str = "stage",
     ) -> "Budget":
         """A child budget owning ``fraction`` of the remaining time.
 
@@ -106,13 +178,25 @@ class Budget:
         overridden (pass ``None`` to lift a cap for the stage -- the
         heuristic fallback does this for ``max_plans``, since it must
         be allowed to run after the full enumeration blew the cap).
+        The cancellation token is shared with the parent: cancelling
+        the query cancels every stage.
+
+        Carving from an already-expired parent raises
+        :class:`repro.errors.DeadlineExceeded` eagerly with the
+        parent's context, instead of returning a ``deadline_ms=0.0``
+        child that dies on its first tick deep inside the stage.
         """
+        self.check_cancelled(where)
         remaining = self.remaining_ms
-        deadline = None if remaining == float("inf") else max(0.0, remaining * fraction)
+        if remaining <= 0.0:
+            raise DeadlineExceeded(self.deadline_ms, self.elapsed_ms, where)
+        deadline = None if remaining == float("inf") else remaining * fraction
         return Budget(
             deadline_ms=deadline,
             max_plans=self.max_plans if max_plans == "inherit" else max_plans,
             max_rows=self.max_rows if max_rows == "inherit" else max_rows,
+            cancel=self.cancel,
+            parent=self,
         )
 
     def to_dict(self) -> dict:
@@ -124,4 +208,5 @@ class Budget:
             "spent_ms": round(self.elapsed_ms, 3),
             "spent_plans": self.plans,
             "spent_rows": self.rows,
+            "cancelled": self.cancel.cancelled if self.cancel else False,
         }

@@ -1,0 +1,276 @@
+"""Deterministic, seeded fault injection.
+
+Robustness claims that are never exercised are wishes.  This module
+lets tests, benches and the CLI *prove* the containment story by
+injecting faults at well-known points in the stack -- operator
+boundaries in all three execution engines, plan-cache lookups/stores,
+and the statistics provider -- under a seeded plan, so every chaos
+run is reproducible bit-for-bit.
+
+A :class:`FaultPlan` is parsed from a compact spec string::
+
+    vector.join:crash@0.05,cache.get:latency=50ms@0.1,stats:perturb=2x
+
+Each comma-separated clause is ``site:kind[@probability]``:
+
+* ``site`` -- a dotted injection-site name (``vector.join``,
+  ``hash.scan``, ``reference.groupby``, ``cache.get``, ``cache.put``,
+  ``stats.<table>``).  A clause site matches a point site exactly or
+  as a dot-boundary prefix (``vector`` matches every vector operator;
+  ``stats`` matches every table).
+* ``kind`` -- ``crash`` (raise :class:`repro.errors.InjectedFault`),
+  ``latency=<n>ms|<n>s`` (sleep), or ``perturb=<f>x`` (scale the
+  statistics the optimizer sees -- Shin's thesis in PAPERS.md is the
+  argument for treating estimates as fallible inputs).
+* ``probability`` -- per-checkpoint firing probability, default 1.
+
+Fault state is **contextvar-scoped**: a plan is activated per query
+via :meth:`FaultPlan.stream` + :func:`fault_scope`, so the service's
+concurrent worker threads each see an independent random stream,
+seeded by ``(plan seed, query index)``.  Two runs of the same workload
+under the same plan therefore inject the same faults into the same
+queries regardless of thread interleaving.
+
+When no stream is active, :func:`fault_point` is a single contextvar
+read -- cheap enough to leave compiled into the hot engines.
+
+This module must stay import-light (stdlib + :mod:`repro.errors`
+only): the engines import it at module load, while ``repro.runtime``'s
+package init is still executing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+from repro.errors import InjectedFault, UserInputError
+
+_ACTIVE: ContextVar["FaultStream | None"] = ContextVar(
+    "repro_fault_stream", default=None
+)
+
+#: Expression node type -> stable operator-site suffix, shared by the
+#: three engines so one clause targets the same operator in each.
+_NODE_SITES = {
+    "BaseRel": "scan",
+    "Select": "select",
+    "Project": "project",
+    "Join": "join",
+    "UnionAll": "union",
+    "SemiJoin": "semijoin",
+    "GroupBy": "groupby",
+    "GenSelect": "genselect",
+    "Rename": "rename",
+    "AdjustPadding": "adjust",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault clause."""
+
+    site: str
+    kind: str  # "crash" | "latency" | "perturb"
+    probability: float = 1.0
+    latency_ms: float = 0.0
+    factor: float = 1.0
+
+    def matches(self, site: str) -> bool:
+        """Exact or dot-boundary-prefix site match."""
+        return site == self.site or site.startswith(self.site + ".")
+
+    def __str__(self) -> str:
+        if self.kind == "latency":
+            body = f"latency={self.latency_ms:g}ms"
+        elif self.kind == "perturb":
+            body = f"perturb={self.factor:g}x"
+        else:
+            body = "crash"
+        return f"{self.site}:{body}@{self.probability:g}"
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    clause = clause.strip()
+    if ":" not in clause:
+        raise UserInputError(
+            f"bad fault clause {clause!r}: expected 'site:kind[@prob]'"
+        )
+    site, _, rest = clause.partition(":")
+    site = site.strip()
+    if not site:
+        raise UserInputError(f"bad fault clause {clause!r}: empty site")
+    rest, _, prob_text = rest.partition("@")
+    probability = 1.0
+    if prob_text:
+        try:
+            probability = float(prob_text)
+        except ValueError:
+            raise UserInputError(
+                f"bad fault probability {prob_text!r} in {clause!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise UserInputError(
+                f"fault probability {probability} out of [0, 1] in {clause!r}"
+            )
+    kind, _, value = rest.strip().partition("=")
+    kind = kind.strip()
+    if kind == "crash":
+        return FaultSpec(site, "crash", probability)
+    if kind == "latency":
+        text = value.strip().lower()
+        try:
+            if text.endswith("ms"):
+                latency_ms = float(text[:-2])
+            elif text.endswith("s"):
+                latency_ms = float(text[:-1]) * 1000.0
+            else:
+                latency_ms = float(text)
+        except ValueError:
+            raise UserInputError(
+                f"bad latency value {value!r} in {clause!r} "
+                "(expected e.g. 'latency=50ms')"
+            ) from None
+        if latency_ms < 0:
+            raise UserInputError(f"negative latency in {clause!r}")
+        return FaultSpec(site, "latency", probability, latency_ms=latency_ms)
+    if kind == "perturb":
+        text = value.strip().lower().removesuffix("x")
+        try:
+            factor = float(text)
+        except ValueError:
+            raise UserInputError(
+                f"bad perturb factor {value!r} in {clause!r} "
+                "(expected e.g. 'perturb=2x')"
+            ) from None
+        if factor <= 0:
+            raise UserInputError(f"perturb factor must be > 0 in {clause!r}")
+        return FaultSpec(site, "perturb", probability, factor=factor)
+    raise UserInputError(
+        f"unknown fault kind {kind!r} in {clause!r} "
+        "(expected crash, latency=<n>ms, or perturb=<f>x)"
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, seeded set of fault clauses.
+
+    The plan itself is immutable and shareable; per-query randomness
+    comes from :meth:`stream`, which derives an independent
+    ``random.Random`` from ``(seed, index)``.
+    """
+
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+
+    @staticmethod
+    def parse(text: str, seed: int = 0) -> "FaultPlan":
+        clauses = [c for c in text.split(",") if c.strip()]
+        if not clauses:
+            raise UserInputError(f"empty fault plan {text!r}")
+        return FaultPlan(tuple(_parse_clause(c) for c in clauses), seed)
+
+    def stream(self, index: int) -> "FaultStream":
+        """The reproducible fault stream for query number ``index``."""
+        return FaultStream(self.specs, random.Random(self.seed * 1_000_003 + index))
+
+    def __str__(self) -> str:
+        return ",".join(str(s) for s in self.specs)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "specs": [str(s) for s in self.specs]}
+
+
+class FaultStream:
+    """One query's private fault randomness over a plan's clauses."""
+
+    __slots__ = ("specs", "rng", "injected")
+
+    def __init__(self, specs: tuple[FaultSpec, ...], rng: random.Random) -> None:
+        self.specs = specs
+        self.rng = rng
+        #: (site, kind) pairs that actually fired, for assertions/incidents.
+        self.injected: list[tuple[str, str]] = []
+
+    def apply(self, site: str) -> None:
+        """Roll every matching clause at ``site``; sleep and/or raise."""
+        for spec in self.specs:
+            if spec.kind == "perturb" or not spec.matches(site):
+                continue
+            if self.rng.random() >= spec.probability:
+                continue
+            self.injected.append((site, spec.kind))
+            if spec.kind == "latency":
+                time.sleep(spec.latency_ms / 1000.0)
+            else:  # crash
+                raise InjectedFault(site, str(spec))
+
+    def factor(self, site: str) -> float:
+        """Combined perturbation factor for ``site`` (1.0 = untouched)."""
+        factor = 1.0
+        for spec in self.specs:
+            if spec.kind != "perturb" or not spec.matches(site):
+                continue
+            if self.rng.random() < spec.probability:
+                self.injected.append((site, spec.kind))
+                factor *= spec.factor
+        return factor
+
+
+# -- the hooks the rest of the stack calls -------------------------------
+
+
+def active_stream() -> FaultStream | None:
+    return _ACTIVE.get()
+
+
+def fault_point(engine: str, node=None, op: str | None = None) -> None:
+    """Injection checkpoint; a no-op unless a stream is active.
+
+    ``engine`` is the site prefix (``"vector"``, ``"cache"``); the
+    operator suffix comes from ``op`` or from the expression ``node``'s
+    type via the shared site table.
+    """
+    stream = _ACTIVE.get()
+    if stream is None:
+        return
+    if op is None:
+        name = type(node).__name__
+        op = _NODE_SITES.get(name, name.lower())
+    stream.apply(f"{engine}.{op}")
+
+
+def perturb_factor(engine: str, op: str) -> float:
+    """Statistics perturbation factor at ``engine.op`` (1.0 when idle)."""
+    stream = _ACTIVE.get()
+    if stream is None:
+        return 1.0
+    return stream.factor(f"{engine}.{op}")
+
+
+@contextmanager
+def fault_scope(stream: FaultStream | None):
+    """Activate ``stream`` for the current context (thread/task)."""
+    if stream is None:
+        yield None
+        return
+    token = _ACTIVE.set(stream)
+    try:
+        yield stream
+    finally:
+        _ACTIVE.reset(token)
+
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStream",
+    "active_stream",
+    "fault_point",
+    "fault_scope",
+    "perturb_factor",
+]

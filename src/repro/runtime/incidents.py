@@ -1,19 +1,29 @@
 """Structured incident records for contained failures.
 
 When differential verification catches a wrong rewrite (or a budget
-kills a stage), the runtime does not just log a string: it records an
-:class:`Incident` -- a structured, serializable account of what was
-attempted, what went wrong, and what the runtime did about it -- and
-keeps quarantined plans out of circulation for the rest of the
-session.  ``IncidentLog.to_json_lines()`` emits one JSON object per
-incident, ready for whatever log pipeline sits downstream; everything
-is also mirrored to the ``repro.runtime`` stdlib logger.
+kills a stage, or the service reroutes around a crashing engine), the
+runtime does not just log a string: it records an :class:`Incident` --
+a structured, serializable account of what was attempted, what went
+wrong, and what the runtime did about it -- and keeps quarantined
+plans out of circulation for the rest of the session.
+``IncidentLog.to_json_lines()`` emits one JSON object per incident,
+ready for whatever log pipeline sits downstream; everything is also
+mirrored to the ``repro.runtime`` stdlib logger.
+
+The log is a bounded ring buffer (default 1000 records): a service
+under sustained fault load must not leak memory through its own
+observability channel.  When records are dropped, the oldest go first
+and a ``dropped`` counter is carried in the JSON export, so downstream
+consumers can tell a quiet hour from a truncated one.  All operations
+are thread-safe -- the service's worker pool shares one log.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import threading
+from collections import deque
 from dataclasses import dataclass, field
 
 logger = logging.getLogger("repro.runtime")
@@ -28,8 +38,9 @@ class Incident:
     """One contained failure event.
 
     ``kind`` is a stable machine-readable tag (``"verification-mismatch"``,
-    ``"stage-abandoned"``); ``action`` records the containment taken
-    (``"quarantined-plan; fell back to original"``, ``"degraded"``).
+    ``"stage-abandoned"``, ``"breaker-open"``); ``action`` records the
+    containment taken (``"quarantined-plan; fell back to original"``,
+    ``"degraded"``, ``"rerouted"``).
     """
 
     kind: str
@@ -47,13 +58,25 @@ class Incident:
 
 
 class IncidentLog:
-    """An append-only, in-memory incident journal."""
+    """A bounded, thread-safe, in-memory incident journal.
 
-    def __init__(self) -> None:
-        self._records: list[Incident] = []
+    ``capacity`` bounds the ring; the oldest records are dropped first
+    and counted in :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: int = 1000) -> None:
+        if capacity < 1:
+            raise ValueError("IncidentLog capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque[Incident] = deque(maxlen=capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
 
     def record(self, incident: Incident) -> Incident:
-        self._records.append(incident)
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self._dropped += 1
+            self._records.append(incident)
         logger.warning(
             "incident kind=%s action=%s query=%s detail=%s",
             incident.kind,
@@ -65,16 +88,44 @@ class IncidentLog:
 
     @property
     def records(self) -> tuple[Incident, ...]:
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """How many records the ring has discarded (oldest first)."""
+        return self._dropped
+
+    def count(self, kind: str) -> int:
+        """How many retained records carry ``kind``."""
+        return sum(1 for incident in self.records if incident.kind == kind)
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self):
-        return iter(self._records)
+        return iter(self.records)
 
     def to_json_lines(self) -> str:
-        """One JSON object per incident (the structured export format)."""
-        return "\n".join(
-            json.dumps(incident.to_dict(), default=str) for incident in self._records
-        )
+        """One JSON object per incident (the structured export format).
+
+        When the ring has dropped records, a trailer object
+        ``{"kind": "incident-log-truncated", "dropped": N, ...}`` is
+        appended so consumers see the truncation, not just the tail.
+        """
+        with self._lock:
+            records = list(self._records)
+            dropped = self._dropped
+        lines = [json.dumps(i.to_dict(), default=str) for i in records]
+        if dropped:
+            lines.append(
+                json.dumps(
+                    {
+                        "kind": "incident-log-truncated",
+                        "dropped": dropped,
+                        "capacity": self.capacity,
+                    }
+                )
+            )
+        return "\n".join(lines)

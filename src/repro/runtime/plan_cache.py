@@ -24,10 +24,12 @@ CLI, and session results.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.expr.nodes import Expr
+from repro.runtime.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.planner import OptimizationResult
@@ -44,7 +46,15 @@ def query_fingerprint(query: Expr) -> str:
 
 
 class PlanCache:
-    """Bounded LRU of optimization results, keyed by (fingerprint, stats version)."""
+    """Bounded LRU of optimization results, keyed by (fingerprint, stats version).
+
+    Thread-safe: one cache is shared by every worker session of a
+    :class:`repro.runtime.service.QueryService`, so the LRU reordering
+    (a read-modify-write on the underlying ``OrderedDict``) and the
+    counters are guarded by a lock.  Fault-injection checkpoints
+    (``cache.get`` / ``cache.put``) fire *outside* the lock so an
+    injected latency never serializes the whole pool.
+    """
 
     def __init__(self, max_entries: int = 256) -> None:
         self.max_entries = max_entries
@@ -54,52 +64,61 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(
         self, query: Expr, stats_version: int
     ) -> "OptimizationResult | None":
         """The cached result for ``query``, or None (counts hit/miss)."""
+        fault_point("cache", op="get")
         key = (query_fingerprint(query), stats_version)
-        found = self._entries.get(key)
-        if found is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return found
+        with self._lock:
+            found = self._entries.get(key)
+            if found is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return found
 
     def store(
         self, query: Expr, stats_version: int, result: "OptimizationResult"
     ) -> None:
+        fault_point("cache", op="put")
         key = (query_fingerprint(query), stats_version)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def evict_plan(self, plan: Expr) -> int:
         """Drop every entry whose chosen plan is ``plan`` (quarantine).
 
         Returns the number of entries evicted.
         """
-        stale = [k for k, v in self._entries.items() if v.best == plan]
-        for key in stale:
-            del self._entries[key]
-        self.evictions += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [k for k, v in self._entries.items() if v.best == plan]
+            for key in stale:
+                del self._entries[key]
+            self.evictions += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def counters(self) -> dict:
         """Machine-readable counters for EXPLAIN / CLI / incidents."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "entries": len(self._entries),
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "evictions": self.evictions,
+            }

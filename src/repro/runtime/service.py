@@ -1,0 +1,759 @@
+"""The concurrent query service: admission, breakers, cancellation, drain.
+
+:class:`repro.runtime.QuerySession` made one caller resilient; this
+module makes the *process* resilient when many callers share it.  A
+:class:`QueryService` is a bounded thread pool over per-worker
+sessions, with four containment mechanisms layered on top:
+
+**Admission control.**  Submissions enter a bounded queue.  When the
+queue is full (or the service is closed, or the service-level budget
+is exhausted) the submission is *shed* with the typed
+:class:`repro.errors.AdmissionRejected` instead of growing an
+unbounded backlog -- a loaded service answers "no" in microseconds
+rather than "yes" in minutes.
+
+**Budgets and cancellation.**  Each query's deadline is carved from
+the service-level :class:`Budget` at dequeue time (so queue wait does
+not silently eat execution time budgeted for someone else), clamped by
+the per-query template.  Aggregate plan/row spend is charged back to
+the service budget -- its counters are thread-safe -- and a ticket's
+``cancel()`` is observed cooperatively at the same ``tick()``
+checkpoints the budget already uses.
+
+**Circuit breakers.**  Every engine has a :class:`CircuitBreaker`.
+Incidents attributable to the engine -- injected or genuine crashes,
+differential-verification mismatches -- are counted in a sliding
+window; at the threshold the breaker *opens* and the service routes
+around the engine (``vector -> hash -> reference``).  After a
+cool-down the breaker *half-opens* and admits a single probe query:
+success closes it, failure re-opens it.  Every transition is recorded
+as a structured :class:`Incident` (``breaker-open``,
+``breaker-half-open``, ``breaker-closed``) and surfaced in the CLI
+footer and service snapshots.  The reference interpreter is the floor
+of the fallback chain and is never gated.
+
+**Clean shutdown.**  ``close()`` stops admission, lets queued work
+drain (or cancels it with ``drain=False``), and joins every worker;
+``with QueryService(...) as svc:`` does the same.
+
+Determinism: with a seeded :class:`repro.runtime.faults.FaultPlan`
+each query's fault stream is derived from its admission index, not
+from thread timing, so chaos runs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import (
+    AdmissionRejected,
+    BudgetExceeded,
+    EngineFailure,
+    QueryCancelled,
+    ReproError,
+    UserInputError,
+)
+from repro.expr.evaluate import Database
+from repro.expr.nodes import Expr
+from repro.optimizer import Statistics
+from repro.runtime.budget import Budget, CancelToken
+from repro.runtime.faults import FaultPlan, fault_scope
+from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.plan_cache import PlanCache
+from repro.runtime.session import QuerySession, SessionResult
+
+#: Engine fallback order: fastest first, ground truth last.
+FALLBACK_CHAIN = ("vector", "hash", "reference")
+
+
+# -- circuit breaker -----------------------------------------------------
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """When to open, how long to stay open, what counts as "recent".
+
+    ``failure_threshold`` incidents within ``window_s`` seconds open
+    the breaker; after ``cooldown_s`` it half-opens for one probe.
+    """
+
+    failure_threshold: int = 3
+    window_s: float = 60.0
+    cooldown_s: float = 30.0
+
+
+class CircuitBreaker:
+    """Per-engine failure accounting with open/half-open/closed states.
+
+    Thread-safe; ``clock`` is injectable so tests drive transitions
+    deterministically.  State-changing calls return the transition
+    name (``"open"``, ``"half-open"``, ``"closed"``) or ``None`` so
+    the service can journal each transition exactly once.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        config: BreakerConfig | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opened_count = 0
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> tuple[bool, str | None]:
+        """May the engine serve the next query?  -> (allowed, transition)."""
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True, None
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at >= self.config.cooldown_s:
+                    self._state = BreakerState.HALF_OPEN
+                    self._probe_in_flight = True
+                    return True, "half-open"
+                return False, None
+            # HALF_OPEN: exactly one probe at a time
+            if self._probe_in_flight:
+                return False, None
+            self._probe_in_flight = True
+            return True, None
+
+    def record_success(self) -> str | None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._failures.clear()
+                self._probe_in_flight = False
+                return "closed"
+            return None
+
+    def record_failure(self) -> str | None:
+        now = self._clock()
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                # the probe failed: straight back to OPEN, fresh cooldown
+                self._state = BreakerState.OPEN
+                self._opened_at = now
+                self._probe_in_flight = False
+                self.opened_count += 1
+                return "open"
+            if self._state is BreakerState.OPEN:
+                return None
+            self._failures.append(now)
+            horizon = now - self.config.window_s
+            while self._failures and self._failures[0] < horizon:
+                self._failures.popleft()
+            if len(self._failures) >= self.config.failure_threshold:
+                self._state = BreakerState.OPEN
+                self._opened_at = now
+                self.opened_count += 1
+                return "open"
+            return None
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "engine": self.engine,
+                "state": self._state.value,
+                "recent_failures": len(self._failures),
+                "opened_count": self.opened_count,
+            }
+
+
+# -- tickets and results -------------------------------------------------
+
+
+@dataclass
+class ServiceResult:
+    """A session result plus the service's account of routing it."""
+
+    session: SessionResult
+    engine: str
+    #: engines tried before ``engine`` answered, as (engine, error).
+    attempts: tuple[tuple[str, str], ...]
+    index: int
+    service_ms: float
+    queue_ms: float
+
+    # convenience delegation: callers mostly want the session fields
+    @property
+    def relation(self):
+        return self.session.relation
+
+    @property
+    def degradation_level(self):
+        return self.session.degradation_level
+
+    @property
+    def degradation_reason(self):
+        return self.session.degradation_reason
+
+    @property
+    def verified(self):
+        return self.session.verified
+
+    @property
+    def incident(self):
+        return self.session.incident
+
+    @property
+    def plan_cache(self):
+        return self.session.plan_cache
+
+    def to_dict(self) -> dict:
+        return {
+            **self.session.to_dict(),
+            "engine": self.engine,
+            "attempts": [list(a) for a in self.attempts],
+            "index": self.index,
+            "service_ms": round(self.service_ms, 3),
+            "queue_ms": round(self.queue_ms, 3),
+        }
+
+
+class QueryTicket:
+    """A handle on one admitted query: wait, inspect, cancel."""
+
+    def __init__(self, index: int, query: Expr) -> None:
+        self.index = index
+        self.query = query
+        self.cancel_token = CancelToken()
+        self.submitted_at = time.monotonic()
+        self._done = threading.Event()
+        self._result: ServiceResult | None = None
+        self._error: BaseException | None = None
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (observed at budget ticks)."""
+        self.cancel_token.cancel()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ServiceResult:
+        """Block for the outcome; raises the query's typed error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query #{self.index} not finished within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    # -- service side ---------------------------------------------------
+
+    def _resolve(self, result: ServiceResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+_STOP = object()
+
+
+# -- the service ---------------------------------------------------------
+
+
+class QueryService:
+    """A bounded, breaker-protected, cancellable front end over sessions.
+
+    Parameters
+    ----------
+    db, catalog, stats:
+        As for :class:`QuerySession`; statistics are scanned once and
+        shared by every worker.
+    workers:
+        Worker threads (each owns one lazily-built session per engine;
+        sessions share the plan cache, incident log, quarantine set
+        and statistics).
+    queue_depth:
+        Admission queue bound; a full queue sheds load with
+        :class:`repro.errors.AdmissionRejected`.
+    budget:
+        Per-query :class:`Budget` template (deadline/plan/row caps).
+    service_budget:
+        Shared service-level :class:`Budget`.  Per-query deadlines are
+        carved from its remaining time; aggregate plan/row spend is
+        charged back to it, and exhausting it closes admission.
+    engine:
+        Preferred engine; failures walk the tail of
+        :data:`FALLBACK_CHAIN` (the reference interpreter is never
+        breaker-gated -- it is the floor).
+    fault_plan:
+        Optional :class:`FaultPlan`; each query gets the deterministic
+        stream for its admission index.
+    breaker:
+        :class:`BreakerConfig` shared by all engine breakers.
+    session_factory:
+        Test hook: ``f(engine) -> QuerySession`` replacing the default
+        construction (used to inject failing planners and gates).
+    clock:
+        Injectable monotonic clock for the breakers.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        catalog=None,
+        stats: Statistics | None = None,
+        workers: int = 2,
+        queue_depth: int = 16,
+        budget: Budget | None = None,
+        service_budget: Budget | None = None,
+        engine: str = "vector",
+        verify: bool = False,
+        verify_seed: int = 0,
+        max_plans: int = 5000,
+        fault_plan: FaultPlan | None = None,
+        breaker: BreakerConfig | None = None,
+        plan_cache: PlanCache | None = None,
+        incident_capacity: int = 1000,
+        session_factory=None,
+        clock=time.monotonic,
+    ) -> None:
+        if engine not in FALLBACK_CHAIN:
+            raise ValueError(
+                f"unknown engine {engine!r}; pick from {FALLBACK_CHAIN}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.db = db
+        self.catalog = catalog
+        self.stats = stats if stats is not None else Statistics.from_database(db)
+        self.engine = engine
+        self.verify = verify
+        self.verify_seed = verify_seed
+        self.max_plans = max_plans
+        self.fault_plan = fault_plan
+        self.queue_depth = queue_depth
+        self._budget_template = budget
+        self._service_budget = service_budget
+        self._session_factory = session_factory
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.incidents = IncidentLog(capacity=incident_capacity)
+        self.quarantined: set[Expr] = set()
+        self.breakers = {
+            name: CircuitBreaker(name, breaker, clock) for name in FALLBACK_CHAIN
+        }
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._budget_exhausted = False
+        self._next_index = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-service-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- admission -------------------------------------------------------
+
+    def submit(self, query: Expr) -> QueryTicket:
+        """Admit ``query`` or shed it with a typed rejection."""
+        with self._lock:
+            if self._closed:
+                raise AdmissionRejected("service is closed")
+            if self._budget_exhausted:
+                self.rejected += 1
+                raise AdmissionRejected("service budget exhausted")
+            ticket = QueryTicket(self._next_index, query)
+            self._next_index += 1
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            self.incidents.record(
+                Incident(
+                    kind="admission-rejected",
+                    query=str(query),
+                    detail={"queue_depth": self.queue_depth},
+                    action="shed-load",
+                )
+            )
+            raise AdmissionRejected(
+                "admission queue full", queue_depth=self.queue_depth
+            ) from None
+        with self._lock:
+            self.submitted += 1
+        return ticket
+
+    def run(self, query: Expr, timeout: float | None = None) -> ServiceResult:
+        """Submit and wait: the synchronous convenience entry point."""
+        return self.submit(query).result(timeout)
+
+    # -- shutdown --------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every admitted query has been processed."""
+        self._queue.join()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admission, settle outstanding work, join the workers.
+
+        ``drain=True`` (default) lets queued queries finish;
+        ``drain=False`` rejects them with
+        :class:`repro.errors.QueryCancelled`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    with self._lock:
+                        self.cancelled += 1
+                    self.incidents.record(
+                        Incident(
+                            kind="query-cancelled",
+                            query=str(item.query),
+                            detail={"index": item.index},
+                            action="rejected-at-shutdown",
+                        )
+                    )
+                    item._reject(QueryCancelled("service shutdown"))
+                self._queue.task_done()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- observability ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Machine-readable service state for footers and bench JSON."""
+        with self._lock:
+            counters = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+            }
+        return {
+            **counters,
+            "engine": self.engine,
+            "workers": len(self._threads),
+            "queue_depth": self.queue_depth,
+            "breakers": {
+                name: breaker.snapshot() for name, breaker in self.breakers.items()
+            },
+            "incidents": len(self.incidents),
+            "incidents_dropped": self.incidents.dropped,
+            "plan_cache": self.plan_cache.counters(),
+            "fault_plan": self.fault_plan.to_dict() if self.fault_plan else None,
+        }
+
+    # -- worker machinery ------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._process(item)
+            except BaseException as exc:  # the pool must never lose a worker
+                if not item.done():  # pragma: no cover - defensive
+                    item._reject(
+                        exc if isinstance(exc, ReproError) else EngineFailure(
+                            [("worker", f"{type(exc).__name__}: {exc}")]
+                        )
+                    )
+            finally:
+                self._queue.task_done()
+
+    def _session_for(self, engine: str) -> QuerySession:
+        sessions = getattr(self._local, "sessions", None)
+        if sessions is None:
+            sessions = self._local.sessions = {}
+        if engine not in sessions:
+            if self._session_factory is not None:
+                sessions[engine] = self._session_factory(engine)
+            else:
+                sessions[engine] = QuerySession(
+                    self.db,
+                    catalog=self.catalog,
+                    stats=self.stats,
+                    verify=self.verify,
+                    executor=engine,
+                    max_plans=self.max_plans,
+                    verify_seed=self.verify_seed,
+                    plan_cache=self.plan_cache,
+                    incidents=self.incidents,
+                    quarantined=self.quarantined,
+                )
+        return sessions[engine]
+
+    def _engine_order(self) -> tuple[str, ...]:
+        start = FALLBACK_CHAIN.index(self.engine)
+        return FALLBACK_CHAIN[start:]
+
+    def _carve_budget(self, ticket: QueryTicket) -> Budget:
+        """The query's budget: template caps, service-clamped deadline."""
+        template = self._budget_template
+        deadline = template.deadline_ms if template is not None else None
+        service = self._service_budget
+        if service is not None and service.deadline_ms is not None:
+            service.check_deadline(where="service-carve")  # typed when spent
+            remaining = service.remaining_ms
+            deadline = remaining if deadline is None else min(deadline, remaining)
+        return Budget(
+            deadline_ms=deadline,
+            max_plans=template.max_plans if template else None,
+            max_rows=template.max_rows if template else None,
+            cancel=ticket.cancel_token,
+        )
+
+    def _charge_service(self, spent: Budget) -> None:
+        """Charge a query's spend back to the shared service budget."""
+        service = self._service_budget
+        if service is None:
+            return
+        try:
+            if spent.plans:
+                service.charge_plans(spent.plans, where="service-aggregate")
+            if spent.rows:
+                service.charge_rows(spent.rows, where="service-aggregate")
+        except BudgetExceeded as exc:
+            with self._lock:
+                already = self._budget_exhausted
+                self._budget_exhausted = True
+            if not already:
+                self.incidents.record(
+                    Incident(
+                        kind="service-budget-exhausted",
+                        query="",
+                        detail=exc.to_dict(),
+                        action="admission-closed",
+                    )
+                )
+
+    def _note_transition(self, engine: str, transition: str | None, query) -> None:
+        if transition is None:
+            return
+        kind = {
+            "open": "breaker-open",
+            "half-open": "breaker-half-open",
+            "closed": "breaker-closed",
+        }[transition]
+        self.incidents.record(
+            Incident(
+                kind=kind,
+                query=str(query),
+                detail=self.breakers[engine].snapshot(),
+                action={
+                    "open": f"routing around {engine}",
+                    "half-open": f"probing {engine}",
+                    "closed": f"restored {engine}",
+                }[transition],
+            )
+        )
+
+    def _trip(self, engine: str, query) -> None:
+        self._note_transition(engine, self.breakers[engine].record_failure(), query)
+
+    def _process(self, ticket: QueryTicket) -> None:
+        t0 = time.monotonic()
+        queue_ms = (t0 - ticket.submitted_at) * 1000.0
+        if ticket.cancel_token.cancelled:
+            with self._lock:
+                self.cancelled += 1
+            self.incidents.record(
+                Incident(
+                    kind="query-cancelled",
+                    query=str(ticket.query),
+                    detail={"index": ticket.index, "queue_ms": round(queue_ms, 3)},
+                    action="dropped-before-start",
+                )
+            )
+            ticket._reject(QueryCancelled("before start"))
+            return
+        stream = (
+            self.fault_plan.stream(ticket.index) if self.fault_plan else None
+        )
+        qbudget: Budget | None = None
+        try:
+            with fault_scope(stream):
+                qbudget = self._carve_budget(ticket)
+                self._route(ticket, qbudget, t0, queue_ms)
+        except BaseException as exc:
+            # typed carve failures (service deadline spent) and anything
+            # the routing loop re-raised
+            self._settle_failure(ticket, exc)
+        finally:
+            if qbudget is not None:
+                self._charge_service(qbudget)
+
+    def _route(
+        self, ticket: QueryTicket, qbudget: Budget, t0: float, queue_ms: float
+    ) -> None:
+        attempts: list[tuple[str, str]] = []
+        last_error: BaseException | None = None
+        for engine in self._engine_order():
+            breaker = self.breakers[engine]
+            if engine == "reference":
+                allowed, transition = True, None  # the floor is never gated
+            else:
+                allowed, transition = breaker.allow()
+            self._note_transition(engine, transition, ticket.query)
+            if not allowed:
+                attempts.append((engine, "breaker-open"))
+                continue
+            session = self._session_for(engine)
+            try:
+                result = session.run(ticket.query, budget=qbudget)
+            except QueryCancelled as exc:
+                with self._lock:
+                    self.cancelled += 1
+                self.incidents.record(
+                    Incident(
+                        kind="query-cancelled",
+                        query=str(ticket.query),
+                        detail={"index": ticket.index, "engine": engine},
+                        action="unwound-at-checkpoint",
+                    )
+                )
+                ticket._reject(exc)
+                return
+            except BudgetExceeded as exc:
+                # ran out of resources, not an engine defect: retrying on
+                # a slower engine under the same spent budget cannot help
+                self.incidents.record(
+                    Incident(
+                        kind="budget-exhausted",
+                        query=str(ticket.query),
+                        detail={"engine": engine, **exc.to_dict()},
+                        action="typed-error",
+                    )
+                )
+                self._settle_failure(ticket, exc)
+                return
+            except UserInputError:
+                # the query's fault; no engine is to blame
+                raise
+            except Exception as exc:  # crash (injected or genuine)
+                message = f"{type(exc).__name__}: {exc}"
+                attempts.append((engine, message))
+                last_error = exc
+                self.incidents.record(
+                    Incident(
+                        kind="engine-failure",
+                        query=str(ticket.query),
+                        detail={
+                            "engine": engine,
+                            "error": type(exc).__name__,
+                            "message": str(exc),
+                            "index": ticket.index,
+                        },
+                        action="rerouted",
+                    )
+                )
+                if engine != "reference":
+                    self._trip(engine, ticket.query)
+                continue
+            if result.verified is False:
+                # wrong plan contained by the session (fell back to the
+                # original); the mismatch still counts against the engine
+                if engine != "reference":
+                    self._trip(engine, ticket.query)
+            elif engine != "reference":
+                self._note_transition(
+                    engine, breaker.record_success(), ticket.query
+                )
+            with self._lock:
+                self.completed += 1
+            ticket._resolve(
+                ServiceResult(
+                    session=result,
+                    engine=engine,
+                    attempts=tuple(attempts),
+                    index=ticket.index,
+                    service_ms=(time.monotonic() - t0) * 1000.0,
+                    queue_ms=queue_ms,
+                )
+            )
+            return
+        # every engine refused or failed
+        error: BaseException
+        if isinstance(last_error, ReproError):
+            error = last_error
+        else:
+            error = EngineFailure(attempts)
+        self.incidents.record(
+            Incident(
+                kind="query-failed",
+                query=str(ticket.query),
+                detail={"attempts": [list(a) for a in attempts]},
+                action="typed-error",
+            )
+        )
+        self._settle_failure(ticket, error)
+
+    def _settle_failure(self, ticket: QueryTicket, exc: BaseException) -> None:
+        with self._lock:
+            self.failed += 1
+        if not isinstance(exc, ReproError):
+            exc = EngineFailure([("service", f"{type(exc).__name__}: {exc}")])
+        if not ticket.done():
+            ticket._reject(exc)
+
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "FALLBACK_CHAIN",
+    "QueryService",
+    "QueryTicket",
+    "ServiceResult",
+]

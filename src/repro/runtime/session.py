@@ -149,6 +149,14 @@ class QuerySession:
         Cross-query :class:`PlanCache`; a fresh bounded cache by
         default.  Pass a shared instance to amortize across sessions,
         or ``PlanCache(max_entries=0)`` to disable caching.
+    incidents:
+        Shared :class:`IncidentLog`; a fresh one by default.  The
+        query service passes one log to every worker session so the
+        whole pool journals into a single bounded ring.
+    quarantined:
+        Shared quarantine set; a fresh one by default.  Sharing it
+        (together with the plan cache) means a plan quarantined by one
+        session is never served by a concurrent one.
     """
 
     def __init__(
@@ -164,6 +172,8 @@ class QuerySession:
         optimize_fn=None,
         verify_seed: int = 0,
         plan_cache: PlanCache | None = None,
+        incidents: IncidentLog | None = None,
+        quarantined: set[Expr] | None = None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -179,8 +189,10 @@ class QuerySession:
         self.verify_sample_rows = verify_sample_rows
         self.verify_seed = verify_seed
         self._optimize_fn = optimize_fn if optimize_fn is not None else optimize
-        self.incidents = IncidentLog()
-        self.quarantined: set[Expr] = set()
+        self.incidents = incidents if incidents is not None else IncidentLog()
+        self.quarantined: set[Expr] = (
+            quarantined if quarantined is not None else set()
+        )
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
 
     # -- plumbing --------------------------------------------------------
@@ -200,8 +212,18 @@ class QuerySession:
 
     @staticmethod
     def _last_resort_budget(run_budget: Budget) -> Budget:
-        """Deadline lifted, row cap kept: answer > deadline, but never OOM."""
-        return Budget(deadline_ms=None, max_plans=None, max_rows=run_budget.max_rows)
+        """Deadline lifted, row cap kept: answer > deadline, but never OOM.
+
+        The cancellation token survives the carve -- a cancelled query
+        must stop even at the rung that ignores the deadline.
+        """
+        return Budget(
+            deadline_ms=None,
+            max_plans=None,
+            max_rows=run_budget.max_rows,
+            cancel=run_budget.cancel,
+            parent=run_budget,
+        )
 
     def _sample_database(self) -> Database:
         """A seeded row-sample of every base table.
@@ -279,6 +301,7 @@ class QuerySession:
             # the heuristic rung runs *because* the plan cap blew; its
             # own effort is bounded structurally (DP / GREEDY_PLAN_CAP)
             max_plans="inherit" if level is DegradationLevel.FULL else None,
+            where=f"{level.name.lower()}-stage",
         )
         cache_hit = False
         if level is DegradationLevel.FULL:
@@ -379,7 +402,8 @@ class QuerySession:
         sample = self._sample_database()
         remaining = run_budget.remaining_ms
         check_budget = Budget(
-            deadline_ms=None if remaining == float("inf") else remaining
+            deadline_ms=None if remaining == float("inf") else remaining,
+            cancel=run_budget.cancel,
         )
         try:
             reference = evaluate(original, sample, budget=check_budget)
@@ -469,11 +493,15 @@ class QuerySession:
         run_budget = budget if budget is not None else self._fresh_budget()
         reasons: list[str] = []
         for level in (DegradationLevel.FULL, DegradationLevel.HEURISTIC):
-            stage_budget = run_budget.stage(
-                _STAGE_FRACTIONS[level],
-                max_plans="inherit" if level is DegradationLevel.FULL else None,
-            )
             try:
+                # inside the try: carving from an expired budget raises
+                # DeadlineExceeded eagerly, which is just another way
+                # for the stage to be abandoned
+                stage_budget = run_budget.stage(
+                    _STAGE_FRACTIONS[level],
+                    max_plans="inherit" if level is DegradationLevel.FULL else None,
+                    where=f"{level.name.lower()}-stage",
+                )
                 if level is DegradationLevel.FULL:
                     cached = self.plan_cache.lookup(query, self.stats.version)
                     if cached is not None:

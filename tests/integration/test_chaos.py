@@ -1,0 +1,208 @@
+"""Chaos suite: seeded fault storms against the concurrent service.
+
+Each scenario derives everything -- database, queries, fault plan,
+concurrency -- from one seed, runs the workload through a
+:class:`QueryService` with differential verification on, and checks
+the containment invariants:
+
+* **No wrong answer escapes.**  Every result equals the fault-free
+  reference evaluation of its query.
+* **Every contained failure is journaled.**  A query that fell back
+  past its first engine, or failed outright, has a matching incident.
+* **Failures are typed.**  Whatever escapes ``result()`` is a
+  :class:`repro.errors.ReproError`, never a bare stack unwind.
+* **Quarantined plans stay quarantined** for the life of the service.
+* **Shutdown is clean**: ``close()`` settles every ticket and joins
+  every worker.
+
+Seeds are offsets from ``REPRO_CHAOS_SEED`` (default 1337), so CI can
+pin one storm and a red run reproduces locally with the same number.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.expr import evaluate
+from repro.runtime.faults import FaultPlan
+from repro.runtime.service import FALLBACK_CHAIN, BreakerConfig, QueryService
+from repro.workloads.random_db import random_database, random_join_query
+
+SEED_BASE = int(os.environ.get("REPRO_CHAOS_SEED", "1337"))
+
+N_SCENARIOS = 24
+
+#: fault clause templates the storm generator draws from
+_FAULT_MENU = [
+    "vector:crash@{p}",
+    "hash:crash@{p}",
+    "vector.join:crash@{p}",
+    "hash.scan:crash@{p}",
+    "cache.get:crash@{p}",
+    "cache:latency=1ms@{p}",
+    "vector:latency=2ms@{p}",
+    "stats:perturb=8x",
+    "stats:perturb=0.1x",
+]
+
+
+def build_scenario(seed: int):
+    """Database, queries, fault plan, and service knobs from one seed."""
+    rng = random.Random(seed)
+    n_rel = rng.randint(2, 4)
+    names = [f"r{i}" for i in range(1, n_rel + 1)]
+    db = random_database(
+        rng, names, max_rows=4, null_probability=0.2, min_rows=1
+    )
+    queries = [
+        random_join_query(rng, n_rel, outer_probability=0.5)
+        for _ in range(rng.randint(4, 8))
+    ]
+    clauses = rng.sample(_FAULT_MENU, rng.randint(1, 3))
+    plan_text = ",".join(
+        clause.format(p=round(rng.uniform(0.1, 0.9), 2)) for clause in clauses
+    )
+    return {
+        "db": db,
+        "queries": queries,
+        "fault_plan": FaultPlan.parse(plan_text, seed=seed),
+        "workers": rng.randint(1, 3),
+        "engine": rng.choice(["vector", "hash"]),
+    }
+
+
+@pytest.mark.parametrize("offset", range(N_SCENARIOS))
+def test_fault_storm_contains_every_failure(offset):
+    seed = SEED_BASE + offset
+    scenario = build_scenario(seed)
+    db = scenario["db"]
+
+    # ground truth computed fault-free, before any injection is active
+    expected = [evaluate(q, db) for q in scenario["queries"]]
+
+    service = QueryService(
+        db,
+        workers=scenario["workers"],
+        queue_depth=64,
+        engine=scenario["engine"],
+        verify=True,
+        fault_plan=scenario["fault_plan"],
+        breaker=BreakerConfig(failure_threshold=2, window_s=600.0, cooldown_s=600.0),
+    )
+    try:
+        tickets = [service.submit(q) for q in scenario["queries"]]
+        outcomes = []
+        for ticket in tickets:
+            try:
+                outcomes.append(ticket.result(timeout=120))
+            except ReproError as exc:
+                outcomes.append(exc)
+            # anything else (bare Exception) fails the test by escaping
+
+        for query, truth, outcome in zip(
+            scenario["queries"], expected, outcomes
+        ):
+            if isinstance(outcome, ReproError):
+                # invariant: a failed query left a journal trail
+                assert any(
+                    incident.kind
+                    in (
+                        "query-failed",
+                        "budget-exhausted",
+                        "query-cancelled",
+                        "engine-failure",
+                    )
+                    for incident in service.incidents
+                ), f"seed {seed}: failure without incident: {outcome!r}"
+                continue
+            # invariant: no wrong answer escapes, whatever was injected
+            assert outcome.relation.same_content(truth), (
+                f"seed {seed}: wrong answer from engine {outcome.engine} "
+                f"for {query}"
+            )
+            # invariant: a rerouted query has incidents explaining why
+            crash_attempts = [
+                attempt
+                for attempt in outcome.attempts
+                if attempt[1] != "breaker-open"
+            ]
+            if crash_attempts:
+                assert service.incidents.count("engine-failure") >= len(
+                    crash_attempts
+                ), f"seed {seed}: reroute without engine-failure incident"
+            # invariant: a quarantined plan is remembered by the service
+            if outcome.verified is False:
+                assert len(service.quarantined) >= 1
+
+        # invariant: quarantined plans never come back out of the cache
+        for plan in service.quarantined:
+            assert service.plan_cache.evict_plan(plan) == 0, (
+                f"seed {seed}: quarantined plan still cached"
+            )
+
+        # invariant: the books balance
+        snap = service.snapshot()
+        assert snap["completed"] + snap["failed"] == len(tickets)
+    finally:
+        service.close()
+
+    # invariant: clean shutdown -- every ticket settled, workers joined
+    assert all(t.done() for t in tickets)
+    for thread in service._threads:
+        assert not thread.is_alive()
+
+
+def test_same_seed_reproduces_the_same_storm():
+    """The whole point of seeding: identical seeds, identical outcomes."""
+    def run_once():
+        scenario = build_scenario(SEED_BASE)
+        service = QueryService(
+            scenario["db"],
+            workers=1,  # single worker: identical processing order too
+            queue_depth=64,
+            engine=scenario["engine"],
+            fault_plan=scenario["fault_plan"],
+            breaker=BreakerConfig(failure_threshold=2),
+        )
+        trace = []
+        try:
+            for query in scenario["queries"]:
+                try:
+                    result = service.run(query, timeout=120)
+                    trace.append(("ok", result.engine, len(result.relation)))
+                except ReproError as exc:
+                    trace.append(("err", type(exc).__name__))
+        finally:
+            service.close()
+        return trace
+
+    assert run_once() == run_once()
+
+
+def test_breaker_storm_routes_to_the_floor():
+    """With every optimized engine crashing, the floor still answers."""
+    rng = random.Random(SEED_BASE)
+    names = ["r1", "r2"]
+    db = random_database(rng, names, max_rows=3, min_rows=1)
+    query = random_join_query(rng, 2)
+    expected = evaluate(query, db)
+    service = QueryService(
+        db,
+        workers=2,
+        fault_plan=FaultPlan.parse("vector:crash@1,hash:crash@1", seed=SEED_BASE),
+        breaker=BreakerConfig(failure_threshold=1, cooldown_s=600.0),
+    )
+    try:
+        for _ in range(6):
+            result = service.run(query, timeout=120)
+            assert result.engine == "reference"
+            assert result.relation.same_content(expected)
+        # both breakers opened exactly once and stayed open
+        assert service.breakers["vector"].state.value == "open"
+        assert service.breakers["hash"].state.value == "open"
+        assert service.incidents.count("breaker-open") == 2
+    finally:
+        service.close()
+    assert set(service.snapshot()["breakers"]) == set(FALLBACK_CHAIN)

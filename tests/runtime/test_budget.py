@@ -1,14 +1,17 @@
 """Budget mechanics: caps, checkpoints, slicing, typed errors."""
 
+import threading
+
 import pytest
 
 from repro.errors import (
     BudgetExceeded,
     DeadlineExceeded,
     PlanBudgetExceeded,
+    QueryCancelled,
     RowBudgetExceeded,
 )
-from repro.runtime import Budget
+from repro.runtime import Budget, CancelToken
 
 
 class TestCounters:
@@ -142,3 +145,107 @@ class TestCooperativeEnforcement:
             runner(query, db, Budget(max_rows=100))
         # a generous cap does not disturb the result
         assert len(runner(query, db, Budget(max_rows=10_000))) == 900
+
+
+class TestCancellation:
+    def test_token_starts_clear(self):
+        budget = Budget(cancel=CancelToken())
+        budget.tick(where="test")  # does not raise
+
+    def test_cancel_raises_at_next_checkpoint(self):
+        token = CancelToken()
+        budget = Budget(cancel=token)
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            budget.tick(where="checkpoint")
+
+    def test_cancel_beats_deadline_check(self):
+        token = CancelToken()
+        token.cancel()
+        budget = Budget(deadline_ms=10_000, cancel=token)
+        with pytest.raises(QueryCancelled):
+            budget.check_deadline("test")
+
+    def test_stage_shares_the_token(self):
+        token = CancelToken()
+        budget = Budget(deadline_ms=10_000, cancel=token)
+        child = budget.stage(0.5)
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            child.tick(where="stage")
+
+    def test_stage_of_cancelled_parent_raises_eagerly(self):
+        token = CancelToken()
+        budget = Budget(cancel=token)
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            budget.stage(0.5)
+
+
+class TestEagerStageExpiry:
+    def test_stage_on_expired_parent_raises_deadline(self):
+        budget = Budget(deadline_ms=0.0)
+        with pytest.raises(DeadlineExceeded) as info:
+            budget.stage(0.5, where="full-stage")
+        assert info.value.where == "full-stage"
+
+    def test_stage_on_live_parent_returns_child(self):
+        budget = Budget(deadline_ms=60_000)
+        assert budget.stage(0.5).deadline_ms is not None
+
+
+class TestThreadSafety:
+    def test_concurrent_charges_do_not_lose_updates(self):
+        budget = Budget()
+        threads = [
+            threading.Thread(
+                target=lambda: [budget.charge_plans(1) for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert budget.plans == 8000
+
+    def test_concurrent_row_charges(self):
+        budget = Budget()
+        threads = [
+            threading.Thread(
+                target=lambda: [budget.charge_rows(3) for _ in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert budget.rows == 12000
+
+
+class TestParentAbsorption:
+    """A stage's spend is visible on the budget it was carved from."""
+
+    def test_stage_spend_flows_to_parent(self):
+        budget = Budget()
+        child = budget.stage(0.5)
+        child.charge_plans(4)
+        child.charge_rows(10)
+        assert (budget.plans, budget.rows) == (4, 10)
+
+    def test_absorption_recurses_through_grandparent(self):
+        budget = Budget()
+        child = budget.stage(0.5)
+        grandchild = child.stage(0.5)
+        grandchild.charge_rows(7)
+        assert child.rows == 7
+        assert budget.rows == 7
+
+    def test_parent_caps_are_not_enforced_mid_stage(self):
+        # the parent's cap is checked at the parent's own sites, not
+        # while a (cap-lifted) child is spending
+        budget = Budget(max_plans=2)
+        child = budget.stage(0.5, max_plans=None)
+        child.charge_plans(5)  # does not raise
+        assert budget.plans == 5

@@ -1,0 +1,81 @@
+"""The incident log as a bounded ring buffer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.runtime.incidents import Incident, IncidentLog
+
+
+def make(i: int) -> Incident:
+    return Incident(kind="test", query=f"q{i}", detail={"i": i})
+
+
+class TestRingBuffer:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            IncidentLog(capacity=0)
+
+    def test_under_capacity_keeps_everything(self):
+        log = IncidentLog(capacity=10)
+        for i in range(5):
+            log.record(make(i))
+        assert len(log) == 5
+        assert log.dropped == 0
+
+    def test_overflow_drops_oldest_first(self):
+        log = IncidentLog(capacity=3)
+        for i in range(5):
+            log.record(make(i))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [incident.query for incident in log.records] == ["q2", "q3", "q4"]
+
+    def test_count_by_kind(self):
+        log = IncidentLog()
+        log.record(make(0))
+        log.record(Incident(kind="other", query="x"))
+        assert log.count("test") == 1
+        assert log.count("other") == 1
+        assert log.count("absent") == 0
+
+    def test_concurrent_records_are_not_lost(self):
+        log = IncidentLog(capacity=10_000)
+        threads = [
+            threading.Thread(
+                target=lambda: [log.record(make(i)) for i in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 4000
+        assert log.dropped == 0
+
+
+class TestJsonExport:
+    def test_no_trailer_when_nothing_dropped(self):
+        log = IncidentLog(capacity=10)
+        log.record(make(0))
+        lines = log.to_json_lines().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "test"
+
+    def test_trailer_carries_drop_count(self):
+        log = IncidentLog(capacity=2)
+        for i in range(5):
+            log.record(make(i))
+        lines = log.to_json_lines().splitlines()
+        assert len(lines) == 3  # 2 retained records + the trailer
+        trailer = json.loads(lines[-1])
+        assert trailer == {
+            "kind": "incident-log-truncated",
+            "dropped": 3,
+            "capacity": 2,
+        }
+        # the retained records are the newest ones
+        assert json.loads(lines[0])["query"] == "q3"
+        assert json.loads(lines[1])["query"] == "q4"

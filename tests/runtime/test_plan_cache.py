@@ -169,3 +169,115 @@ class TestSessionIntegration:
         assert first.relation.same_content(expected)
         assert second.relation.same_content(expected)
         assert second.plan_cache["hit"] is True
+
+
+class TestCrossSessionQuarantine:
+    """A plan quarantined by one session must not be re-served by another
+    session sharing the same cache (the service's workers do exactly this)."""
+
+    def _wrong_rewrite(self):
+        for path, node in iter_nodes(QUERY):
+            if isinstance(node, Join) and node.kind is JoinKind.LEFT:
+                return replace_at(
+                    QUERY,
+                    path,
+                    Join(JoinKind.INNER, node.left, node.right, node.predicate),
+                )
+        raise AssertionError("no outer join in the fixture query")
+
+    def test_quarantined_plan_is_not_served_to_a_sibling_session(self):
+        wrong = self._wrong_rewrite()
+
+        def bad_optimize(query, stats, max_plans=5000, budget=None, **kwargs):
+            return OptimizationResult(
+                best=wrong,
+                best_cost=1.0,
+                original_cost=2.0,
+                plans_considered=1,
+                ranked=[(1.0, wrong)],
+            )
+
+        db = emp_db()
+        shared_cache = PlanCache()
+        quarantined: set = set()
+        first = QuerySession(
+            db,
+            verify=True,
+            optimize_fn=bad_optimize,
+            plan_cache=shared_cache,
+            quarantined=quarantined,
+        )
+        # the poisoned entry is cached before verification catches it
+        shared_cache.store(
+            QUERY,
+            first.stats.version,
+            OptimizationResult(
+                best=wrong,
+                best_cost=1.0,
+                original_cost=2.0,
+                plans_considered=1,
+                ranked=[(1.0, wrong)],
+            ),
+        )
+        result = first.run(QUERY)
+        assert result.verified is False
+        assert wrong in quarantined
+        assert len(shared_cache) == 0  # evicted, not just bypassed
+
+        # a sibling session sharing cache + quarantine set plans afresh
+        # and never picks the quarantined plan, even if re-offered
+        second = QuerySession(
+            db,
+            verify=True,
+            optimize_fn=bad_optimize,
+            plan_cache=shared_cache,
+            quarantined=quarantined,
+        )
+        sibling = second.run(QUERY)
+        assert sibling.chosen != wrong
+        assert sibling.relation.same_content(evaluate(QUERY, db))
+        assert len(shared_cache) == 0  # a quarantined best is never re-cached
+
+
+class TestConcurrentAccess:
+    def test_parallel_store_lookup_evict_is_safe(self):
+        import threading
+
+        from repro.expr.nodes import Select
+
+        cache = PlanCache(max_entries=8)
+        queries = [
+            Select(QUERY, cmp_const("eid", "=", i)) for i in range(16)
+        ]
+
+        def result_for(q):
+            return OptimizationResult(
+                best=q,
+                best_cost=1.0,
+                original_cost=2.0,
+                plans_considered=1,
+                ranked=[(1.0, q)],
+            )
+
+        errors = []
+
+        def worker(offset: int) -> None:
+            try:
+                for round_ in range(50):
+                    q = queries[(offset + round_) % len(queries)]
+                    cache.store(q, 0, result_for(q))
+                    cache.lookup(q, 0)
+                    if round_ % 7 == 0:
+                        cache.evict_plan(q)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+        counters = cache.counters()
+        assert counters["hits"] + counters["misses"] == 8 * 50

@@ -155,3 +155,109 @@ class TestMain:
         args = ["run", str(script), "--data", str(data_dir), "--max-rows", "1"]
         assert main(args) == 3
         assert "rows budget exceeded" in capsys.readouterr().err
+
+
+class TestServicePath:
+    """`--workers` / `--faults` route through the concurrent service."""
+
+    def _script(self, tmp_path):
+        script = tmp_path / "q.sql"
+        script.write_text(
+            "select eid, dname from emp left outer join dept "
+            "on emp.dept = dept.did;"
+        )
+        return script
+
+    def test_workers_flag_uses_service_and_prints_rows(
+        self, data_dir, tmp_path, capsys
+    ):
+        script = self._script(tmp_path)
+        args = ["run", str(script), "--data", str(data_dir), "--workers", "2"]
+        assert main(args) == 0
+        assert "4 row(s)" in capsys.readouterr().out
+
+    def test_faults_reroute_and_report(self, data_dir, tmp_path, capsys):
+        script = self._script(tmp_path)
+        args = [
+            "run",
+            str(script),
+            "--data",
+            str(data_dir),
+            "--engine",
+            "vector",
+            "--faults",
+            "vector:crash@1",
+            "--fault-seed",
+            "7",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "4 row(s)" in out
+        assert "-- engine: hash" in out  # rerouted off the crashing engine
+        assert "-- incidents:" in out
+
+    def test_all_engines_crashing_is_exit_5(self, data_dir, tmp_path, capsys):
+        script = self._script(tmp_path)
+        args = [
+            "run",
+            str(script),
+            "--data",
+            str(data_dir),
+            "--faults",
+            "vector:crash@1,hash:crash@1,reference:crash@1",
+        ]
+        assert main(args) == 5
+        assert "repro:" in capsys.readouterr().err
+
+    def test_quarantine_fallback_is_exit_4(self, data_dir, tmp_path, capsys):
+        from repro.expr.nodes import Join, JoinKind
+        from repro.expr.rewrite import iter_nodes, replace_at
+        from repro.optimizer import OptimizationResult
+        from repro.runtime import QuerySession
+
+        def wrongify(query):
+            for path, node in iter_nodes(query):
+                if isinstance(node, Join) and node.kind is JoinKind.LEFT:
+                    return replace_at(
+                        query,
+                        path,
+                        Join(
+                            JoinKind.INNER, node.left, node.right, node.predicate
+                        ),
+                    )
+            return query
+
+        def bad_optimize(query, stats, max_plans=5000, budget=None, **kwargs):
+            wrong = wrongify(query)
+            return OptimizationResult(
+                best=wrong,
+                best_cost=1.0,
+                original_cost=2.0,
+                plans_considered=1,
+                ranked=[(1.0, wrong)],
+            )
+
+        db, catalog = load_csv_database(data_dir)
+        session = QuerySession(
+            db, catalog=catalog, verify=True, optimize_fn=bad_optimize
+        )
+        out = io.StringIO()
+        code = run_script(
+            "select eid, dname from emp left outer join dept "
+            "on emp.dept = dept.did;",
+            db,
+            catalog,
+            out=out,
+            verify=True,
+            session=session,
+        )
+        assert code == 4
+        text = out.getvalue()
+        assert "MISMATCH" in text
+        assert "4 row(s)" in text  # the original query's (correct) rows
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "--help"])
+        assert info.value.code == 0
+        assert "exit codes:" in capsys.readouterr().out
