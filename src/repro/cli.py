@@ -5,6 +5,8 @@
                                    [--max-plans N] [--max-rows N] [--verify]
                                    [--workers N] [--queue-depth N]
                                    [--faults PLAN] [--fault-seed N]
+                                   [--analyze] [--trace-out FILE]
+                                   [--metrics-out FILE]
     python -m repro explain script.sql --data DIR [--plans N] [--budget-ms MS]
     python -m repro demo
 
@@ -38,7 +40,9 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
+import time
 from fractions import Fraction
 from pathlib import Path
 
@@ -54,7 +58,15 @@ from repro.runtime import (
     FaultPlan,
     QueryService,
     QuerySession,
+    Tracer,
+    trace_scope,
 )
+from repro.runtime.metrics import (
+    MetricsRegistry,
+    service_registry,
+    sync_cache_metrics,
+)
+from repro.runtime.tracing import span
 from repro.sql import SqlCatalog, parse_statements, translate
 from repro.sql.ast import CreateViewStmt, SelectStmt, UnionStmt
 
@@ -179,18 +191,30 @@ def run_script(
     fault_seed: int = 0,
     workers: int = 0,
     queue_depth: int = 16,
+    analyze: bool = False,
+    trace_out: Path | None = None,
+    metrics_out: Path | None = None,
 ) -> int:
     """Run (or explain) a script; returns the process exit code.
 
     With ``workers >= 1`` or a ``faults`` plan, statements route
     through a :class:`repro.runtime.QueryService` (admission control,
     circuit breakers, engine fallback) instead of a bare session.
+
+    ``analyze=True`` is EXPLAIN ANALYZE mode: each select is planned,
+    compiled to the physical engine with cost estimates stamped on
+    every operator, executed under a tracer, and reported as an
+    operator tree (est/actual rows, per-operator time) plus the plan
+    lifecycle's span timings.  Analyze always uses the plain-session
+    path.  ``trace_out`` / ``metrics_out`` write a Chrome-trace JSON /
+    a metrics export (JSON or Prometheus text by extension) at exit.
     """
     out = out if out is not None else sys.stdout
     if engine is None:
         engine = "hash" if fast else "reference"
+    tracer = Tracer() if (analyze or trace_out is not None) else None
     service: QueryService | None = None
-    if not explain and session is None and (workers >= 1 or faults):
+    if not explain and not analyze and session is None and (workers >= 1 or faults):
         service = QueryService(
             db,
             catalog=catalog,
@@ -213,6 +237,9 @@ def run_script(
             executor=engine,
             max_plans=2000,
         )
+    registry: MetricsRegistry | None = None
+    if metrics_out is not None:
+        registry = service.metrics if service is not None else service_registry()
     code = EXIT_OK
     try:
         statements = parse_statements(text)
@@ -226,10 +253,25 @@ def run_script(
             if explain:
                 _explain(translation.expr, db, out, plans, session)
                 continue
+            if analyze:
+                _analyze(translation.expr, db, out, session, tracer)
+                continue
+            t0 = time.perf_counter()
             if service is not None:
                 outcome = service.run(translation.expr)
             else:
-                outcome = session.run(translation.expr)
+                with trace_scope(tracer):
+                    outcome = session.run(translation.expr)
+                if registry is not None:
+                    # the service records its own metrics; the plain
+                    # session path mirrors the essential ones here
+                    registry.counter("repro_admissions_total").inc()
+                    registry.counter("repro_queries_total").labels(
+                        outcome="ok"
+                    ).inc()
+                    registry.histogram("repro_query_latency_ms").observe(
+                        (time.perf_counter() - t0) * 1000.0
+                    )
             result = _order_and_limit(outcome.relation, translation)
             renamed = _friendly_columns(result, translation.columns)
             ordered = bool(translation.order_by)
@@ -251,6 +293,21 @@ def run_script(
         if service is not None:
             _print_service_footers(service, out)
             service.close()
+        if registry is not None:
+            if service is not None:
+                service.export_metrics()
+            else:
+                sync_cache_metrics(registry, session.plan_cache)
+            text_out = (
+                registry.to_json()
+                if str(metrics_out).endswith(".json")
+                else registry.to_prometheus()
+            )
+            Path(metrics_out).write_text(text_out)
+            print(f"-- metrics written to {metrics_out}", file=out)
+        if trace_out is not None and tracer is not None:
+            Path(trace_out).write_text(json.dumps(tracer.to_chrome_trace()))
+            print(f"-- trace written to {trace_out}", file=out)
     return code
 
 
@@ -324,6 +381,44 @@ def _explain(
         from repro.expr import to_algebra
 
         print(f"--   {cost:10.0f}  {to_algebra(plan)}", file=out)
+
+
+def _analyze(
+    expr, db: Database, out, session: QuerySession, tracer: Tracer
+) -> None:
+    """EXPLAIN ANALYZE one statement: est/actual tree + span timings.
+
+    The statement is planned through the session's degradation ladder,
+    compiled to the pull-based physical engine with the cost model as
+    cardinality estimator (so every operator carries ``est_rows``),
+    executed, and reported as the analyzed operator tree followed by
+    the plan-lifecycle spans recorded while doing all of the above.
+    """
+    from repro.optimizer.cost import CostModel
+    from repro.physical import compile_plan, explain_analyze
+
+    first_root = len(tracer.roots)
+    with trace_scope(tracer):
+        with span("session.plan"):
+            result, level, reason = session.plan(expr)
+        chosen = expr if result is None else result.best
+        model = CostModel(session.stats)
+        plan = compile_plan(
+            chosen, estimator=lambda node: model.estimate(node).rows
+        )
+        with span("physical.execute"):
+            report = explain_analyze(plan, db, timings=True)
+    if level is not DegradationLevel.FULL:
+        print(
+            f"-- stage: {level.name.lower()}"
+            + (f" ({reason})" if reason else ""),
+            file=out,
+        )
+    print(report, file=out)
+    print("-- spans:", file=out)
+    rendered = tracer.render(roots=tracer.roots[first_root:])
+    for line in rendered.splitlines():
+        print(f"--   {line}", file=out)
 
 
 DEMO_SCRIPT = """
@@ -457,6 +552,31 @@ def main(argv: list[str] | None = None) -> int:
         help="seed for the fault plan; same seed + same script = "
         "identical injected faults",
     )
+    run_p.add_argument(
+        "--analyze",
+        action="store_true",
+        help="EXPLAIN ANALYZE mode: plan each statement, execute it on "
+        "the physical engine, and print the operator tree with "
+        "estimated vs actual row counts, per-operator wall time, and "
+        "the plan lifecycle's span timings (plain-session path only)",
+    )
+    run_p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace JSON of every span recorded during "
+        "the run (open in chrome://tracing or ui.perfetto.dev); "
+        "spans are captured on the plain-session path",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write service metrics at exit: JSON when FILE ends in "
+        ".json, Prometheus text exposition format otherwise",
+    )
 
     sub.add_parser("demo", help="run a canned demonstration")
 
@@ -492,6 +612,9 @@ def main(argv: list[str] | None = None) -> int:
                 fault_seed=args.fault_seed,
                 workers=args.workers,
                 queue_depth=args.queue_depth,
+                analyze=args.analyze,
+                trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
             )
         return run_script(
             text, db, catalog, explain=True, plans=args.plans, budget=budget

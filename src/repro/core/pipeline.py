@@ -25,6 +25,7 @@ from repro.expr.nodes import (
 from repro.core.aggregation import pull_up_aggregations
 from repro.core.simplify import simplify_outer_joins
 from repro.core.transform import enumerate_plans
+from repro.runtime.tracing import span
 
 
 def reorder_pipeline(
@@ -40,7 +41,8 @@ def reorder_pipeline(
     :class:`repro.errors.BudgetExceeded` family instead of running
     unbounded (see :func:`repro.core.transform.enumerate_plans`).
     """
-    normalized = pull_up_aggregations(simplify_outer_joins(query))
+    with span("pipeline.normalize"):
+        normalized = pull_up_aggregations(simplify_outer_joins(query))
     if budget is not None:
         budget.check_deadline("reorder_pipeline")
 
@@ -53,7 +55,9 @@ def reorder_pipeline(
         core = core.children()[0]
 
     plans = []
-    for core_plan in enumerate_plans(core, max_plans=max_plans, budget=budget):
+    with span("pipeline.enumerate"):
+        core_plans = enumerate_plans(core, max_plans=max_plans, budget=budget)
+    for core_plan in core_plans:
         plan = core_plan
         for wrapper in reversed(stack):
             plan = _rewrap(wrapper, plan)

@@ -49,6 +49,7 @@ from repro.expr.nodes import (
 )
 from repro.expr.predicates import Predicate, conjuncts_of, make_conjunction
 from repro.expr.rewrite import Path, ancestors_of, node_at, replace_at
+from repro.runtime.tracing import add_counter
 
 
 class SplitError(OptimizerInternalError):
@@ -83,6 +84,7 @@ def defer_conjunct(root: Expr, path: Path, conjunct: Predicate) -> DeferResult:
     pipeline arranges this by operating on join cores.  Returns the
     equivalent expression ``σ*_conjunct[groups](root')``.
     """
+    add_counter("defer_conjunct_calls")
     target = node_at(root, path)
     if not isinstance(target, Join):
         raise SplitError(f"node at {path} is not a join")

@@ -28,6 +28,7 @@ from repro.errors import OptimizerInternalError
 from repro.expr.nodes import Expr, Join, JoinKind
 from repro.hypergraph import conf, hypergraph_of, pres, pres_away, pres_sides
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph
+from repro.runtime.tracing import add_counter
 
 
 class Theorem1Error(OptimizerInternalError):
@@ -51,6 +52,7 @@ def theorem1_preserved_sets(query: Expr) -> tuple[frozenset[str], ...]:
     """
     if not isinstance(query, Join):
         raise Theorem1Error("Theorem 1 needs a binary operator at the root")
+    add_counter("theorem1_analyses")
     graph = hypergraph_of(query)
     h = root_edge(graph, query)
 

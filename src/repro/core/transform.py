@@ -47,6 +47,7 @@ from repro.expr.predicates import (
 )
 from repro.expr.rewrite import iter_nodes, replace_at
 from repro.core.split import SplitError, defer_conjunct
+from repro.runtime.tracing import add_counter
 
 
 def _mirror(kind: JoinKind) -> JoinKind:
@@ -397,8 +398,10 @@ def enumerate_plans(
         budget.charge_plans(1, "enumerate_plans")
     seen: dict[Expr, None] = {seed: None}
     frontier = [seed]
+    expansions = 0
     while frontier:
         expr = frontier.pop()
+        expansions += 1
         if budget is not None:
             budget.check_deadline("enumerate_plans")
         variants: list[Expr] = list(_local_variants(expr, rules))
@@ -407,9 +410,16 @@ def enumerate_plans(
         for variant in variants:
             if variant not in seen:
                 if len(seen) >= max_plans:
-                    return list(seen)
+                    return _accounted(seen, expansions)
                 if budget is not None:
                     budget.charge_plans(1, "enumerate_plans")
                 seen[variant] = None
                 frontier.append(variant)
+    return _accounted(seen, expansions)
+
+
+def _accounted(seen: dict[Expr, None], expansions: int) -> list[Expr]:
+    """Stamp the enumeration counters on the enclosing trace span."""
+    add_counter("plans_admitted", len(seen))
+    add_counter("frontier_expansions", expansions)
     return list(seen)

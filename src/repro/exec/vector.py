@@ -50,6 +50,7 @@ from repro.expr.predicates import Predicate, TRUE
 from repro.exec.vector_predicates import compile_predicate
 from repro.relalg.columnar import ColumnarRelation, concat_columns
 from repro.runtime.faults import fault_point
+from repro.runtime.tracing import add_counter, trace_op
 from repro.relalg.nulls import NULL
 from repro.relalg.relation import Relation
 from repro.relalg.schema import Schema
@@ -73,6 +74,7 @@ def execute(expr: Expr, db: Database, budget=None) -> Relation:
 
 def _tick(budget, out: ColumnarRelation, where: str) -> ColumnarRelation:
     fault_point("vector", op=where.partition(":")[2])
+    add_counter("batches")
     if budget is not None:
         budget.tick(rows=len(out), where=where)
     return out
@@ -92,6 +94,19 @@ def _restrict(
 
 
 def _execute(
+    expr: Expr,
+    db: Database,
+    budget=None,
+    needed: frozenset[str] | None = None,
+) -> ColumnarRelation:
+    """Tracing wrapper: one ``vector.<op>`` span per operator batch."""
+    with trace_op("vector", expr):
+        out = _execute_node(expr, db, budget, needed)
+        add_counter("rows_out", len(out))
+    return out
+
+
+def _execute_node(
     expr: Expr,
     db: Database,
     budget=None,
@@ -587,6 +602,7 @@ def _generalized_selection(
                     emitted.add(part)
                     pad_parts.append(part)
         if pad_parts:
+            add_counter("gs_preserved_rows", len(pad_parts))
             spec_of = {a: pos for pos, a in enumerate(order)}
             for a in target:
                 col = out_columns[a]

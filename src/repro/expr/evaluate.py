@@ -42,6 +42,7 @@ from repro.expr.nodes import (
 )
 from repro.expr.predicates import Predicate, TRUE
 from repro.runtime.faults import fault_point
+from repro.runtime.tracing import add_counter, trace_op
 
 
 class Database:
@@ -92,7 +93,9 @@ def evaluate(expr: Expr, db: Database, budget=None) -> Relation:
     process.
     """
     fault_point("reference", expr)
-    result = _evaluate(expr, db, budget)
+    with trace_op("reference", expr):
+        result = _evaluate(expr, db, budget)
+        add_counter("rows_out", len(result))
     if budget is not None:
         budget.tick(rows=len(result), where="evaluate")
     return result

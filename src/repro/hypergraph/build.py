@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.expr.nodes import Expr, GenSelect, GroupBy, Join, JoinKind, Project, Select, SemiJoin
 from repro.expr.predicates import TRUE
 from repro.hypergraph.hypergraph import Hyperedge, Hypergraph, HypergraphError
+from repro.runtime.tracing import add_counter
 
 
 def hypergraph_of(expr: Expr, edge_prefix: str = "h") -> Hypergraph:
@@ -22,6 +23,9 @@ def hypergraph_of(expr: Expr, edge_prefix: str = "h") -> Hypergraph:
     transparent: the hypergraph describes only the binary join
     skeleton, which is what the reordering machinery works over.
     """
+    # a counter, not a span: builds happen per rewrite-candidate inside
+    # enumeration -- thousands per query -- and would drown the trace
+    add_counter("hypergraph_builds")
     edges: list[Hyperedge] = []
     counter = [0]
 

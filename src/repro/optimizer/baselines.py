@@ -36,6 +36,7 @@ from repro.expr.nodes import (
 from repro.optimizer.cost import CostModel, estimated_cost
 from repro.optimizer.planner import OptimizationResult
 from repro.optimizer.stats import Statistics
+from repro.runtime.tracing import span
 
 
 def as_written(query: Expr, stats: Statistics) -> float:
@@ -93,6 +94,13 @@ def greedy_reorder(
     Either way the result is bag-equivalent to ``query`` -- both
     strategies only apply verified rewrites.
     """
+    with span("optimize.greedy"):
+        return _greedy_reorder(query, stats, budget)
+
+
+def _greedy_reorder(
+    query: Expr, stats: Statistics, budget: "Budget | None"
+) -> OptimizationResult:
     from repro.optimizer.dp import DpError, dp_join_order
 
     normalized = simplify_outer_joins(query)

@@ -31,6 +31,7 @@ from repro.expr.rewrite import iter_nodes
 from repro.hypergraph import hypergraph_of
 from repro.optimizer.cardinality import Estimate, estimate, selectivity
 from repro.optimizer.stats import Statistics
+from repro.runtime.tracing import span
 
 
 class DpError(OptimizerInternalError):
@@ -116,44 +117,50 @@ def dp_join_order(query: Expr, stats: Statistics, budget=None) -> Expr:
     }
 
     bit = graph.node_bit
-    for size in range(2, len(names) + 1):
-        for combo in combinations(names, size):
-            if budget is not None:
-                budget.check_deadline("dp_join_order")
-            mask = 0
-            for name in combo:
-                mask |= bit[name]
-            if not graph.is_connected_mask(mask):
-                continue
-            subset = frozenset(combo)
-            subset_attrs = ws.attrs_of(subset)
-            output = ws.cardinality(subset)
-            candidate: tuple[float, Expr] | None = None
-            for left, right in _splits(subset):
-                if left not in best or right not in best:
+    with span("optimize.dp") as sp:
+        masks_expanded = 0
+        for size in range(2, len(names) + 1):
+            for combo in combinations(names, size):
+                if budget is not None:
+                    budget.check_deadline("dp_join_order")
+                mask = 0
+                for name in combo:
+                    mask |= bit[name]
+                if not graph.is_connected_mask(mask):
                     continue
-                left_attrs = ws.attrs_of(left)
-                right_attrs = ws.attrs_of(right)
-                applicable = [
-                    atom
-                    for atom in ws.atoms
-                    if atom.attrs <= subset_attrs
-                    and atom.attrs & left_attrs
-                    and atom.attrs & right_attrs
-                ]
-                if not applicable:
-                    continue
-                cost = best[left][0] + best[right][0] + output
-                if candidate is None or cost < candidate[0]:
-                    plan = Join(
-                        JoinKind.INNER,
-                        best[left][1],
-                        best[right][1],
-                        make_conjunction(applicable),
-                    )
-                    candidate = (cost, plan)
-            if candidate is not None:
-                best[subset] = candidate
+                masks_expanded += 1
+                subset = frozenset(combo)
+                subset_attrs = ws.attrs_of(subset)
+                output = ws.cardinality(subset)
+                candidate: tuple[float, Expr] | None = None
+                for left, right in _splits(subset):
+                    if left not in best or right not in best:
+                        continue
+                    left_attrs = ws.attrs_of(left)
+                    right_attrs = ws.attrs_of(right)
+                    applicable = [
+                        atom
+                        for atom in ws.atoms
+                        if atom.attrs <= subset_attrs
+                        and atom.attrs & left_attrs
+                        and atom.attrs & right_attrs
+                    ]
+                    if not applicable:
+                        continue
+                    cost = best[left][0] + best[right][0] + output
+                    if candidate is None or cost < candidate[0]:
+                        plan = Join(
+                            JoinKind.INNER,
+                            best[left][1],
+                            best[right][1],
+                            make_conjunction(applicable),
+                        )
+                        candidate = (cost, plan)
+                if candidate is not None:
+                    best[subset] = candidate
+        if sp is not None:
+            sp.add_counter("masks_expanded", masks_expanded)
+            sp.add_counter("subsets_kept", len(best))
 
     full = frozenset(names)
     if full not in best:

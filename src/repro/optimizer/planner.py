@@ -19,6 +19,7 @@ from repro.core.pipeline import reorder_pipeline
 from repro.expr.nodes import Expr
 from repro.optimizer.cost import CostModel
 from repro.optimizer.stats import Statistics
+from repro.runtime.tracing import add_counter, span
 
 
 @dataclass
@@ -52,13 +53,16 @@ def optimize(
     under cooperative checkpoints and raise the typed
     :class:`repro.errors.BudgetExceeded` family when a cap is hit.
     """
-    plans = reorder_pipeline(query, max_plans=max_plans, budget=budget)
+    with span("optimize.enumerate"):
+        plans = reorder_pipeline(query, max_plans=max_plans, budget=budget)
     model = CostModel(stats)
     scored = []
-    for i, plan in enumerate(plans):
-        if budget is not None and i % 64 == 0:
-            budget.check_deadline("optimize/costing")
-        scored.append((model.cost(plan), i, plan))
+    with span("optimize.cost"):
+        for i, plan in enumerate(plans):
+            if budget is not None and i % 64 == 0:
+                budget.check_deadline("optimize/costing")
+            scored.append((model.cost(plan), i, plan))
+        add_counter("plans_costed", len(scored))
     scored.sort(key=lambda t: (t[0], t[1]))
     best_cost, _, best = scored[0]
     return OptimizationResult(

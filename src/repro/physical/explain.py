@@ -12,9 +12,20 @@ def run_plan(plan: PhysicalOperator, db: Database) -> Relation:
     return plan.to_relation(db)
 
 
-def explain_analyze(plan: PhysicalOperator, db: Database) -> str:
-    """Execute and render the operator tree with actual row counts."""
+def explain_analyze(
+    plan: PhysicalOperator, db: Database, *, timings: bool = False
+) -> str:
+    """Execute and render the operator tree with actual row counts.
+
+    Args:
+        plan: A compiled physical plan (see
+            :func:`repro.physical.planner.compile_plan`).
+        db: The database to run against.
+        timings: Also show the estimated cardinality (``est=?`` when
+            the plan was compiled without an estimator) and the
+            cumulative wall time of every operator subtree.
+    """
     result = run_plan(plan, db)
-    lines = plan.tree_lines()
+    lines = plan.tree_lines(analyze=timings)
     lines.append(f"-- result: {len(result)} row(s)")
     return "\n".join(lines)

@@ -1,14 +1,19 @@
 """Pull-based physical operators.
 
 Every operator produces an iterator of :class:`repro.relalg.row.Row`
-and records how many rows it emitted (``rows_out``), which is what
-``explain_analyze`` reports.  Operators are built by the planner from
-logical nodes and carry their output schema (real and virtual
-attribute orders) so results can be wrapped back into relations.
+and records how many rows it emitted (``rows_out``) and how long its
+subtree spent producing them (``elapsed_ms``, cumulative: a parent's
+time includes the pulls it forwarded to its children).  The planner
+may additionally stamp an estimated cardinality (``est_rows``) on each
+node so ``explain_analyze`` can diff estimate against actual.
+Operators are built by the planner from logical nodes and carry their
+output schema (real and virtual attribute orders) so results can be
+wrapped back into relations.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.expr.evaluate import Database
@@ -38,12 +43,26 @@ class PhysicalOperator:
         self.virtual = tuple(virtual)
         self.children = tuple(children)
         self.rows_out = 0
+        #: estimated output cardinality, stamped by the planner when an
+        #: estimator is supplied; ``None`` means "not estimated".
+        self.est_rows: float | None = None
+        #: cumulative wall time spent inside this subtree's ``rows()``.
+        self.elapsed_ms = 0.0
 
     # -- execution --
 
     def rows(self, db: Database) -> Iterator[Row]:
         self.rows_out = 0
-        for row in self._produce(db):
+        self.elapsed_ms = 0.0
+        produce = self._produce(db)
+        while True:
+            t0 = time.perf_counter()
+            try:
+                row = next(produce)
+            except StopIteration:
+                self.elapsed_ms += (time.perf_counter() - t0) * 1000.0
+                return
+            self.elapsed_ms += (time.perf_counter() - t0) * 1000.0
             self.rows_out += 1
             yield row
 
@@ -55,10 +74,26 @@ class PhysicalOperator:
 
     # -- reporting --
 
-    def tree_lines(self, indent: str = "") -> list[str]:
-        lines = [f"{indent}{self.label}  (rows={self.rows_out})"]
+    def tree_lines(self, indent: str = "", *, analyze: bool = False) -> list[str]:
+        """Indented rendering of the subtree, one operator per line.
+
+        The default format (``label  (rows=N)``) is the stable EXPLAIN
+        shape; ``analyze=True`` adds the estimated cardinality
+        (``est=?`` when the planner had no estimator) and the
+        cumulative wall time of the subtree.
+        """
+        if analyze:
+            est = "?" if self.est_rows is None else format(self.est_rows, "g")
+            head = (
+                f"{indent}{self.label}  "
+                f"(est={est} rows={self.rows_out} "
+                f"time={self.elapsed_ms:.3f}ms)"
+            )
+        else:
+            head = f"{indent}{self.label}  (rows={self.rows_out})"
+        lines = [head]
         for child in self.children:
-            lines.extend(child.tree_lines(indent + "  "))
+            lines.extend(child.tree_lines(indent + "  ", analyze=analyze))
         return lines
 
     @property

@@ -22,6 +22,8 @@ materializing columns.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.exec.hash_join import split_equi_conjuncts
 from repro.expr.nodes import (
     AdjustPadding,
@@ -71,26 +73,58 @@ def _batch_profitable(expr: Expr) -> bool:
 
 
 def compile_plan(
-    expr: Expr, prefer_merge: bool = False, prefer_vector: bool = False
+    expr: Expr,
+    prefer_merge: bool = False,
+    prefer_vector: bool = False,
+    estimator: "Callable[[Expr], float] | None" = None,
 ) -> PhysicalOperator:
-    """Compile a logical expression into a physical operator tree."""
+    """Compile a logical expression into a physical operator tree.
+
+    Args:
+        expr: The logical plan to compile.
+        prefer_merge: Use sort-merge joins where the kind allows it
+            (inner/left); other kinds fall back to hash joins.
+        prefer_vector: Hand batch-profitable subtrees to the columnar
+            vector engine as a single :class:`VectorFragment`.
+        estimator: Optional ``expr -> estimated rows`` callable (e.g.
+            ``lambda e: CostModel(stats).estimate(e).rows``).  When
+            given, every compiled operator is stamped with
+            ``est_rows`` so ``explain_analyze`` can diff estimated
+            against actual cardinalities; estimator failures on a node
+            leave that node's estimate at ``None``.
+    """
+    op = _compile_node(expr, prefer_merge, prefer_vector, estimator)
+    if estimator is not None and op.est_rows is None:
+        try:
+            op.est_rows = float(estimator(expr))
+        except Exception:
+            op.est_rows = None
+    return op
+
+
+def _compile_node(
+    expr: Expr,
+    prefer_merge: bool,
+    prefer_vector: bool,
+    estimator: "Callable[[Expr], float] | None",
+) -> PhysicalOperator:
     if prefer_vector and _batch_profitable(expr):
         return VectorFragment(expr)
     if isinstance(expr, BaseRel):
         return Scan(expr.name, expr.real_attrs, expr.virtual_attrs)
     if isinstance(expr, Select):
-        return Filter(compile_plan(expr.child, prefer_merge, prefer_vector), expr.predicate)
+        return Filter(compile_plan(expr.child, prefer_merge, prefer_vector, estimator), expr.predicate)
     if isinstance(expr, Project):
         return ProjectOp(
-            compile_plan(expr.child, prefer_merge, prefer_vector), expr.attrs, expr.distinct
+            compile_plan(expr.child, prefer_merge, prefer_vector, estimator), expr.attrs, expr.distinct
         )
     if isinstance(expr, Rename):
         return RenameOp(
-            compile_plan(expr.child, prefer_merge, prefer_vector), dict(expr.mapping)
+            compile_plan(expr.child, prefer_merge, prefer_vector, estimator), dict(expr.mapping)
         )
     if isinstance(expr, Join):
-        left = compile_plan(expr.left, prefer_merge, prefer_vector)
-        right = compile_plan(expr.right, prefer_merge, prefer_vector)
+        left = compile_plan(expr.left, prefer_merge, prefer_vector, estimator)
+        right = compile_plan(expr.right, prefer_merge, prefer_vector, estimator)
         if expr.predicate is TRUE and expr.kind is JoinKind.INNER:
             return CrossProduct(left, right)
         keys, residual = split_equi_conjuncts(
@@ -105,12 +139,12 @@ def compile_plan(
         return HashJoinOp(left, right, keys, residual, expr.kind)
     if isinstance(expr, UnionAll):
         return UnionAllOp(
-            compile_plan(expr.left, prefer_merge, prefer_vector),
-            compile_plan(expr.right, prefer_merge, prefer_vector),
+            compile_plan(expr.left, prefer_merge, prefer_vector, estimator),
+            compile_plan(expr.right, prefer_merge, prefer_vector, estimator),
         )
     if isinstance(expr, SemiJoin):
-        left = compile_plan(expr.left, prefer_merge, prefer_vector)
-        right = compile_plan(expr.right, prefer_merge, prefer_vector)
+        left = compile_plan(expr.left, prefer_merge, prefer_vector, estimator)
+        right = compile_plan(expr.right, prefer_merge, prefer_vector, estimator)
         keys, residual = split_equi_conjuncts(
             expr.predicate,
             frozenset(left.all_attrs),
@@ -119,7 +153,7 @@ def compile_plan(
         return HashSemiJoin(left, right, keys, residual, expr.anti)
     if isinstance(expr, GroupBy):
         return HashAggregate(
-            compile_plan(expr.child, prefer_merge, prefer_vector),
+            compile_plan(expr.child, prefer_merge, prefer_vector, estimator),
             expr.group_by,
             expr.aggregates,
             expr.name,
@@ -129,10 +163,10 @@ def compile_plan(
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
         ]
         return GeneralizedSelectionOp(
-            compile_plan(expr.child, prefer_merge, prefer_vector), expr.predicate, specs
+            compile_plan(expr.child, prefer_merge, prefer_vector, estimator), expr.predicate, specs
         )
     if isinstance(expr, AdjustPadding):
         return AdjustPaddingOp(
-            compile_plan(expr.child, prefer_merge, prefer_vector), expr.witness, expr.targets
+            compile_plan(expr.child, prefer_merge, prefer_vector, estimator), expr.witness, expr.targets
         )
     raise ExprError(f"cannot compile {type(expr).__name__}")

@@ -82,6 +82,7 @@ def generalized_selection(
     selected = select(relation, predicate)
     target = relation.all_attrs.attrs
     out_rows = list(selected.rows)
+    qualifying = len(out_rows)
     for spec in preserved:
         order = tuple(
             a
@@ -104,6 +105,11 @@ def generalized_selection(
                 continue
             emitted.add(part)
             out_rows.append(pad_row(part, target))
+    if len(out_rows) > qualifying:
+        # local import: relalg is below repro.runtime in the layering
+        from repro.runtime.tracing import add_counter
+
+        add_counter("gs_preserved_rows", len(out_rows) - qualifying)
     return Relation(relation.real, relation.virtual, out_rows)
 
 

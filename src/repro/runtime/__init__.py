@@ -33,7 +33,12 @@ service needs:
 * :class:`FaultPlan` -- deterministic, seeded fault injection at
   operator/cache/statistics boundaries, so all of the above is
   exercised by construction (the chaos suite in
-  ``tests/integration/test_chaos.py``).
+  ``tests/integration/test_chaos.py``);
+* :class:`Tracer` / :class:`MetricsRegistry` -- the observability
+  layer: contextvar-scoped span trees over the whole plan lifecycle
+  (sharing the fault layer's operator-site seam) and service-level
+  counters/histograms exportable as JSON or Prometheus text (see
+  ``docs/OBSERVABILITY.md``).
 
 See ``docs/ROBUSTNESS.md`` for the operational story.
 
@@ -53,7 +58,9 @@ from repro.runtime.faults import (
     perturb_factor,
 )
 from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.metrics import MetricsRegistry, parse_prometheus, service_registry
 from repro.runtime.plan_cache import PlanCache, query_fingerprint
+from repro.runtime.tracing import Span, Tracer, trace_op, trace_scope
 
 _LAZY = {
     "DegradationLevel": "repro.runtime.session",
@@ -103,8 +110,15 @@ __all__ = [
     "BreakerConfig",
     "BreakerState",
     "CircuitBreaker",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
     "fault_point",
     "fault_scope",
+    "parse_prometheus",
     "perturb_factor",
     "query_fingerprint",
+    "service_registry",
+    "trace_op",
+    "trace_scope",
 ]

@@ -57,10 +57,12 @@ class CancelToken:
         self._event = threading.Event()
 
     def cancel(self) -> None:
+        """Request cancellation (idempotent, callable from any thread)."""
         self._event.set()
 
     @property
     def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
         return self._event.is_set()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -103,6 +105,7 @@ class Budget:
 
     @property
     def elapsed_ms(self) -> float:
+        """Wall milliseconds since construction or the last :meth:`restart`."""
         return (time.monotonic() - self._t0) * 1000.0
 
     @property
@@ -115,10 +118,27 @@ class Budget:
     # -- checkpoints -----------------------------------------------------
 
     def check_cancelled(self, where: str = "") -> None:
+        """Observe the cancellation token.
+
+        Args:
+            where: Checkpoint label included in the error message.
+
+        Raises:
+            QueryCancelled: If the token was cancelled.
+        """
         if self.cancel is not None and self.cancel.cancelled:
             raise QueryCancelled(where)
 
     def check_deadline(self, where: str = "") -> None:
+        """Check the clock (and the cancellation token first).
+
+        Args:
+            where: Checkpoint label included in the error message.
+
+        Raises:
+            QueryCancelled: If the token was cancelled.
+            DeadlineExceeded: If the wall-clock deadline has passed.
+        """
         self.check_cancelled(where)
         if self.deadline_ms is not None and self.elapsed_ms > self.deadline_ms:
             raise DeadlineExceeded(self.deadline_ms, self.elapsed_ms, where)
@@ -138,6 +158,15 @@ class Budget:
             self.parent._absorb(plans, rows)
 
     def charge_plans(self, n: int = 1, where: str = "") -> None:
+        """Charge ``n`` enumerated plans (propagated to ancestors).
+
+        Args:
+            n: Plans to add to this budget's counter.
+            where: Checkpoint label included in the error message.
+
+        Raises:
+            PlanBudgetExceeded: If the counter passes ``max_plans``.
+        """
         with self._lock:
             self.plans += n
             spent = self.plans
@@ -147,6 +176,15 @@ class Budget:
             raise PlanBudgetExceeded(self.max_plans, spent, where)
 
     def charge_rows(self, n: int, where: str = "") -> None:
+        """Charge ``n`` materialized rows (propagated to ancestors).
+
+        Args:
+            n: Intermediate rows to add to this budget's counter.
+            where: Checkpoint label included in the error message.
+
+        Raises:
+            RowBudgetExceeded: If the counter passes ``max_rows``.
+        """
         with self._lock:
             self.rows += n
             spent = self.rows

@@ -169,6 +169,19 @@ class FaultPlan:
 
     @staticmethod
     def parse(text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a comma-separated clause list into a plan.
+
+        Args:
+            text: Clauses like
+                ``"vector.join:crash@0.05,cache.get:latency=50ms@0.1,stats:perturb=2x"``
+                -- ``site[:kind[=value]][@probability]`` per clause,
+                where a site prefix matches every sub-site.
+            seed: Base seed; :meth:`stream` mixes it with the query
+                index so runs are reproducible end to end.
+
+        Raises:
+            UserInputError: On an empty plan or a malformed clause.
+        """
         clauses = [c for c in text.split(",") if c.strip()]
         if not clauses:
             raise UserInputError(f"empty fault plan {text!r}")
@@ -182,6 +195,7 @@ class FaultPlan:
         return ",".join(str(s) for s in self.specs)
 
     def to_dict(self) -> dict:
+        """Structured form for incident records and service snapshots."""
         return {"seed": self.seed, "specs": [str(s) for s in self.specs]}
 
 

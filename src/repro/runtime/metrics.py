@@ -1,0 +1,442 @@
+"""Service-level metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a small, thread-safe, zero-dependency
+metric store in the Prometheus data model: named *families* of a fixed
+type, each holding one child per distinct label set.  The runtime
+wires one registry into :class:`repro.runtime.QueryService` (admissions,
+sheds, breaker transitions, per-query latency) and the CLI exports it
+via ``--metrics-out`` as either JSON or Prometheus text exposition
+format, chosen by file extension.
+
+The exposition writer follows the Prometheus text format rules that
+matter for correctness: one ``# HELP`` / ``# TYPE`` header per family,
+label values escaped (backslash, double quote, newline), histograms
+rendered as cumulative ``_bucket{le=...}`` series ending in ``+Inf``
+plus ``_sum`` and ``_count``.
+
+Histograms additionally keep a bounded reservoir of raw samples
+(newest :data:`SAMPLE_WINDOW` observations) so the JSON export and the
+CLI footer can report p50/p99 without a Prometheus server in the loop.
+
+Like the rest of ``repro.runtime`` this module is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from typing import Iterable, Mapping
+
+#: Raw observations kept per histogram child for quantile estimates.
+SAMPLE_WINDOW = 4096
+
+#: Default latency buckets (milliseconds), roughly log-spaced.
+DEFAULT_BUCKETS = (
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_suffix(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """Nearest-rank quantile of ``samples`` (0 for an empty set).
+
+    Args:
+        samples: Raw observations, any order.
+        q: Quantile in [0, 1], e.g. 0.99.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[idx]
+
+
+class _Child:
+    """One (family, label set) time series."""
+
+    __slots__ = ("labels", "value", "sum", "count", "bucket_counts", "samples")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...], buckets=None):
+        self.labels = labels
+        self.value = 0.0
+        if buckets is not None:
+            self.sum = 0.0
+            self.count = 0
+            self.bucket_counts = [0] * (len(buckets) + 1)  # last = +Inf
+            self.samples: deque[float] = deque(maxlen=SAMPLE_WINDOW)
+
+
+class _Family:
+    """A named metric family: fixed type, one child per label set."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        lock: threading.Lock,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.help = help
+        self.buckets = buckets
+        self._lock = lock
+        self._children: dict[tuple[tuple[str, str], ...], _Child] = {}
+
+    def labels(self, **labels: str) -> "_Bound":
+        """The child for this label set (created on first use)."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = _Child(key, self.buckets)
+                self._children[key] = child
+        return _Bound(self, child)
+
+    # conveniences acting on the no-label child
+    def inc(self, n: float = 1.0) -> None:
+        self.labels().inc(n)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def value_for(self, **labels: str) -> float:
+        """Current value of the child for ``labels`` (0 if absent)."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            child = self._children.get(key)
+            return child.value if child is not None else 0.0
+
+
+class _Bound:
+    """A family child ready to be incremented/observed."""
+
+    __slots__ = ("_family", "_child")
+
+    def __init__(self, family: _Family, child: _Child) -> None:
+        self._family = family
+        self._child = child
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (counters must only go up; gauges may use any n)."""
+        if self._family.kind == "counter" and n < 0:
+            raise ValueError(f"counter {self._family.name} cannot decrease")
+        with self._family._lock:
+            self._child.value += n
+
+    def set(self, value: float) -> None:
+        """Set a gauge to ``value``."""
+        if self._family.kind != "gauge":
+            raise ValueError(f"{self._family.name} is not a gauge")
+        with self._family._lock:
+            self._child.value = value
+
+    def observe(self, value: float) -> None:
+        """Record one histogram observation."""
+        if self._family.kind != "histogram":
+            raise ValueError(f"{self._family.name} is not a histogram")
+        fam, child = self._family, self._child
+        with fam._lock:
+            child.sum += value
+            child.count += 1
+            child.samples.append(value)
+            for i, bound in enumerate(fam.buckets):
+                if value <= bound:
+                    child.bucket_counts[i] += 1
+                    break
+            else:
+                child.bucket_counts[-1] += 1
+
+
+class MetricsRegistry:
+    """A set of metric families with JSON and Prometheus exports.
+
+    Families are created idempotently: asking for an existing name
+    returns the same family (type and buckets must match).  All
+    mutation happens under one registry lock -- contention is trivial
+    next to query execution, and it keeps exports consistent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name, kind, help, buckets=None) -> _Family:
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = _Family(name, kind, help, self._lock, buckets)
+                self._families[name] = fam
+                return fam
+        if fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "") -> _Family:
+        """A monotonically increasing counter family.
+
+        Args:
+            name: Prometheus-style name, e.g. ``repro_sheds_total``.
+            help: One-line description for the ``# HELP`` header.
+        """
+        return self._family(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> _Family:
+        """A gauge family (settable to arbitrary values)."""
+        return self._family(name, "gauge", help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> _Family:
+        """A histogram family with fixed cumulative ``buckets``."""
+        return self._family(name, "histogram", help, tuple(buckets))
+
+    def to_prometheus(self) -> str:
+        """Render every family in Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.values(), key=lambda f: f.name)
+            for fam in families:
+                if fam.help:
+                    lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+                lines.append(f"# TYPE {fam.name} {fam.kind}")
+                for child in fam._children.values():
+                    if fam.kind == "histogram":
+                        cumulative = 0
+                        for bound, n in zip(
+                            list(fam.buckets) + [math.inf],
+                            child.bucket_counts,
+                        ):
+                            cumulative += n
+                            suffix = _label_suffix(
+                                child.labels,
+                                f'le="{_format_value(bound)}"',
+                            )
+                            lines.append(
+                                f"{fam.name}_bucket{suffix} {cumulative}"
+                            )
+                        base = _label_suffix(child.labels)
+                        lines.append(
+                            f"{fam.name}_sum{base} {_format_value(child.sum)}"
+                        )
+                        lines.append(f"{fam.name}_count{base} {child.count}")
+                    else:
+                        suffix = _label_suffix(child.labels)
+                        lines.append(
+                            f"{fam.name}{suffix} {_format_value(child.value)}"
+                        )
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> dict:
+        """Plain-data export with p50/p99 estimates for histograms."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            for fam in sorted(self._families.values(), key=lambda f: f.name):
+                series = []
+                for child in fam._children.values():
+                    entry: dict = {"labels": dict(child.labels)}
+                    if fam.kind == "histogram":
+                        entry.update(
+                            count=child.count,
+                            sum=round(child.sum, 6),
+                            p50=round(quantile(child.samples, 0.50), 6),
+                            p99=round(quantile(child.samples, 0.99), 6),
+                        )
+                    else:
+                        entry["value"] = child.value
+                    series.append(entry)
+                out[fam.name] = {
+                    "type": fam.kind,
+                    "help": fam.help,
+                    "series": series,
+                }
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        """``to_dict`` serialized as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse text exposition back into ``{name: {type, samples}}``.
+
+    A deliberately small reader -- enough for tests and smoke checks
+    to round-trip :meth:`MetricsRegistry.to_prometheus` output: it
+    collects ``# TYPE`` declarations and every sample line as
+    ``(metric name, frozen label dict, float value)``.
+
+    Raises:
+        ValueError: On a malformed sample or header line.
+    """
+    out: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"malformed TYPE line: {raw!r}")
+            _, _, name, kind = parts
+            out.setdefault(name, {"type": kind, "samples": []})
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        labels: dict[str, str] = {}
+        name = name_part
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ValueError(f"malformed labels in: {raw!r}")
+            name, _, label_text = name_part.partition("{")
+            labels = _parse_labels(label_text[:-1], raw)
+        value = math.inf if value_part == "+Inf" else float(value_part)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in out:
+                family = name[: -len(suffix)]
+                break
+        out.setdefault(family, {"type": "untyped", "samples": []})
+        out[family]["samples"].append((name, labels, value))
+    return out
+
+
+def _parse_labels(text: str, raw: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq]
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in: {raw!r}")
+        j = eq + 2
+        value: list[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                nxt = text[j + 1]
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[nxt])
+                j += 2
+            else:
+                value.append(text[j])
+                j += 1
+        labels[key] = "".join(value)
+        i = j + 1
+        if i < len(text) and text[i] == ",":
+            i += 1
+    return labels
+
+
+def service_registry() -> MetricsRegistry:
+    """A registry pre-declaring the QueryService metric families.
+
+    Declared up front so exports show every family (at zero) even
+    before the first query, which keeps dashboards and the smoke
+    checks deterministic.
+    """
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_admissions_total", "Queries accepted into the service queue"
+    )
+    reg.counter(
+        "repro_sheds_total", "Queries rejected at admission (queue full)"
+    )
+    reg.counter("repro_queries_total", "Queries finished, by outcome")
+    reg.counter(
+        "repro_breaker_transitions_total",
+        "Circuit-breaker state transitions, by engine and new state",
+    )
+    reg.counter(
+        "repro_engine_failures_total", "Engine attempts that raised, by engine"
+    )
+    reg.histogram(
+        "repro_query_latency_ms", "End-to-end per-query service latency"
+    )
+    reg.counter("repro_plan_cache_hits_total", "Plan-cache lookup hits")
+    reg.counter("repro_plan_cache_misses_total", "Plan-cache lookup misses")
+    reg.gauge("repro_plan_cache_entries", "Plans currently cached")
+    reg.gauge(
+        "repro_plan_cache_hit_ratio", "hits / (hits + misses), 0 when idle"
+    )
+    return reg
+
+
+def sync_cache_metrics(reg: MetricsRegistry, cache) -> None:
+    """Copy a :class:`PlanCache`'s counters into ``reg``'s families.
+
+    Counter families are monotonically increased by the delta since
+    the last sync (so repeated exports don't double-count); gauges are
+    set outright.
+    """
+    counters: Mapping[str, int] = cache.counters()
+    hits = counters.get("hits", 0)
+    misses = counters.get("misses", 0)
+    hit_fam = reg.counter("repro_plan_cache_hits_total")
+    miss_fam = reg.counter("repro_plan_cache_misses_total")
+    hit_fam.inc(max(0, hits - hit_fam.value_for()))
+    miss_fam.inc(max(0, misses - miss_fam.value_for()))
+    reg.gauge("repro_plan_cache_entries").set(counters.get("entries", len(cache)))
+    total = hits + misses
+    reg.gauge("repro_plan_cache_hit_ratio").set(hits / total if total else 0.0)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "SAMPLE_WINDOW",
+    "parse_prometheus",
+    "quantile",
+    "service_registry",
+    "sync_cache_metrics",
+]

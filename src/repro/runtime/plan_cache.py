@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 
 from repro.expr.nodes import Expr
 from repro.runtime.faults import fault_point
+from repro.runtime.tracing import add_counter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.planner import OptimizationResult
@@ -57,6 +58,12 @@ class PlanCache:
     """
 
     def __init__(self, max_entries: int = 256) -> None:
+        """Create a bounded cache.
+
+        Args:
+            max_entries: LRU bound; ``0`` disables caching entirely
+                (every store is immediately evicted).
+        """
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple[str, int], "OptimizationResult"] = (
             OrderedDict()
@@ -73,21 +80,41 @@ class PlanCache:
     def lookup(
         self, query: Expr, stats_version: int
     ) -> "OptimizationResult | None":
-        """The cached result for ``query``, or None (counts hit/miss)."""
+        """The cached result for ``query``, or ``None`` on a miss.
+
+        Args:
+            query: The logical expression being planned (fingerprinted
+                structurally, constants included).
+            stats_version: :attr:`Statistics.version` the caller plans
+                under; entries stored under another version never hit.
+
+        Both outcomes move the hit/miss counters and fire the
+        ``cache.get`` fault/trace checkpoint.
+        """
         fault_point("cache", op="get")
         key = (query_fingerprint(query), stats_version)
         with self._lock:
             found = self._entries.get(key)
             if found is None:
                 self.misses += 1
+                add_counter("cache_misses")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            add_counter("cache_hits")
             return found
 
     def store(
         self, query: Expr, stats_version: int, result: "OptimizationResult"
     ) -> None:
+        """Cache ``result`` for ``(query, stats_version)``, LRU-evicting.
+
+        Args:
+            query: The logical expression the result was planned for.
+            stats_version: Statistics version the plan was costed under.
+            result: A full-rung :class:`OptimizationResult` whose
+                verification (if any) did not fail.
+        """
         fault_point("cache", op="put")
         key = (query_fingerprint(query), stats_version)
         with self._lock:
@@ -110,6 +137,7 @@ class PlanCache:
             return len(stale)
 
     def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
 

@@ -64,6 +64,11 @@ from repro.optimizer import Statistics
 from repro.runtime.budget import Budget, CancelToken
 from repro.runtime.faults import FaultPlan, fault_scope
 from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.metrics import (
+    MetricsRegistry,
+    service_registry,
+    sync_cache_metrics,
+)
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.session import QuerySession, SessionResult
 
@@ -310,6 +315,10 @@ class QueryService:
         stream for its admission index.
     breaker:
         :class:`BreakerConfig` shared by all engine breakers.
+    metrics:
+        Shared :class:`repro.runtime.metrics.MetricsRegistry`; a fresh
+        pre-declared service registry by default.  Exported via
+        :meth:`export_metrics` (JSON or Prometheus text).
     session_factory:
         Test hook: ``f(engine) -> QuerySession`` replacing the default
         construction (used to inject failing planners and gates).
@@ -335,6 +344,7 @@ class QueryService:
         breaker: BreakerConfig | None = None,
         plan_cache: PlanCache | None = None,
         incident_capacity: int = 1000,
+        metrics: MetricsRegistry | None = None,
         session_factory=None,
         clock=time.monotonic,
     ) -> None:
@@ -359,6 +369,7 @@ class QueryService:
         self._service_budget = service_budget
         self._session_factory = session_factory
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.metrics = metrics if metrics is not None else service_registry()
         self.incidents = IncidentLog(capacity=incident_capacity)
         self.quarantined: set[Expr] = set()
         self.breakers = {
@@ -387,12 +398,21 @@ class QueryService:
     # -- admission -------------------------------------------------------
 
     def submit(self, query: Expr) -> QueryTicket:
-        """Admit ``query`` or shed it with a typed rejection."""
+        """Admit ``query`` or shed it with a typed rejection.
+
+        Args:
+            query: The logical expression to run.
+
+        Raises:
+            repro.errors.AdmissionRejected: The service is closed, its
+                budget is exhausted, or the admission queue is full.
+        """
         with self._lock:
             if self._closed:
                 raise AdmissionRejected("service is closed")
             if self._budget_exhausted:
                 self.rejected += 1
+                self.metrics.counter("repro_sheds_total").inc()
                 raise AdmissionRejected("service budget exhausted")
             ticket = QueryTicket(self._next_index, query)
             self._next_index += 1
@@ -401,6 +421,7 @@ class QueryService:
         except queue.Full:
             with self._lock:
                 self.rejected += 1
+            self.metrics.counter("repro_sheds_total").inc()
             self.incidents.record(
                 Incident(
                     kind="admission-rejected",
@@ -414,6 +435,7 @@ class QueryService:
             ) from None
         with self._lock:
             self.submitted += 1
+        self.metrics.counter("repro_admissions_total").inc()
         return ticket
 
     def run(self, query: Expr, timeout: float | None = None) -> ServiceResult:
@@ -492,6 +514,16 @@ class QueryService:
             "plan_cache": self.plan_cache.counters(),
             "fault_plan": self.fault_plan.to_dict() if self.fault_plan else None,
         }
+
+    def export_metrics(self) -> MetricsRegistry:
+        """The service registry, with plan-cache gauges freshly synced.
+
+        Use this (rather than :attr:`metrics` directly) when exporting:
+        cache hits/misses live in the shared :class:`PlanCache` and are
+        copied into the registry at export time.
+        """
+        sync_cache_metrics(self.metrics, self.plan_cache)
+        return self.metrics
 
     # -- worker machinery ------------------------------------------------
 
@@ -581,6 +613,9 @@ class QueryService:
     def _note_transition(self, engine: str, transition: str | None, query) -> None:
         if transition is None:
             return
+        self.metrics.counter("repro_breaker_transitions_total").labels(
+            engine=engine, to=transition
+        ).inc()
         kind = {
             "open": "breaker-open",
             "half-open": "breaker-half-open",
@@ -685,6 +720,9 @@ class QueryService:
                 message = f"{type(exc).__name__}: {exc}"
                 attempts.append((engine, message))
                 last_error = exc
+                self.metrics.counter("repro_engine_failures_total").labels(
+                    engine=engine
+                ).inc()
                 self.incidents.record(
                     Incident(
                         kind="engine-failure",
@@ -712,13 +750,18 @@ class QueryService:
                 )
             with self._lock:
                 self.completed += 1
+            service_ms = (time.monotonic() - t0) * 1000.0
+            self.metrics.counter("repro_queries_total").labels(
+                outcome="ok"
+            ).inc()
+            self.metrics.histogram("repro_query_latency_ms").observe(service_ms)
             ticket._resolve(
                 ServiceResult(
                     session=result,
                     engine=engine,
                     attempts=tuple(attempts),
                     index=ticket.index,
-                    service_ms=(time.monotonic() - t0) * 1000.0,
+                    service_ms=service_ms,
                     queue_ms=queue_ms,
                 )
             )
@@ -742,6 +785,7 @@ class QueryService:
     def _settle_failure(self, ticket: QueryTicket, exc: BaseException) -> None:
         with self._lock:
             self.failed += 1
+        self.metrics.counter("repro_queries_total").labels(outcome="error").inc()
         if not isinstance(exc, ReproError):
             exc = EngineFailure([("service", f"{type(exc).__name__}: {exc}")])
         if not ticket.done():

@@ -51,6 +51,7 @@ from repro.relalg import Relation
 from repro.runtime.budget import Budget
 from repro.runtime.incidents import Incident, IncidentLog
 from repro.runtime.plan_cache import PlanCache
+from repro.runtime.tracing import set_tag, span
 
 
 class DegradationLevel(IntEnum):
@@ -247,7 +248,24 @@ class QuerySession:
     # -- the ladder ------------------------------------------------------
 
     def run(self, query: Expr, budget: Budget | None = None) -> SessionResult:
-        """Run ``query`` through the degradation ladder."""
+        """Run ``query`` through the degradation ladder.
+
+        Args:
+            query: The logical expression to answer.
+            budget: Per-query :class:`Budget`; a fresh one from the
+                session template when omitted.
+
+        Raises:
+            repro.errors.BudgetExceeded: The row cap was breached even
+                at the as-written rung (deadline overruns degrade
+                instead of raising).
+            repro.errors.QueryCancelled: The budget's cancel token
+                fired at a checkpoint.
+        """
+        with span("session.run", executor=self.executor):
+            return self._run(query, budget)
+
+    def _run(self, query: Expr, budget: Budget | None) -> SessionResult:
         t0 = time.monotonic()
         run_budget = budget if budget is not None else self._fresh_budget()
         reasons: list[str] = []
@@ -271,13 +289,18 @@ class QuerySession:
                     )
                 )
                 continue
+            set_tag("stage", outcome.degradation_level.name.lower())
             return self._finalize(outcome, t0, run_budget, reasons)
 
         # rung 2: the original query.  The deadline bounds *optimization*
         # effort; down here a late answer beats no answer, so only the
         # row cap (the memory guard) stays -- exceeding it propagates as
         # a typed RowBudgetExceeded instead of OOMing the process.
-        relation = self._execute(query, self._last_resort_budget(run_budget))
+        set_tag("stage", "as_written")
+        with span("execute", engine=self.executor, stage="as_written"):
+            relation = self._execute(
+                query, self._last_resort_budget(run_budget)
+            )
         result = SessionResult(
             relation=relation,
             chosen=query,
@@ -304,19 +327,24 @@ class QuerySession:
             where=f"{level.name.lower()}-stage",
         )
         cache_hit = False
-        if level is DegradationLevel.FULL:
-            cached = self.plan_cache.lookup(query, self.stats.version)
-            if cached is not None:
-                optimized = cached
-                cache_hit = True
+        with span(f"plan.{level.name.lower()}"):
+            if level is DegradationLevel.FULL:
+                cached = self.plan_cache.lookup(query, self.stats.version)
+                if cached is not None:
+                    optimized = cached
+                    cache_hit = True
+                else:
+                    optimized = self._optimize_fn(
+                        query,
+                        self.stats,
+                        max_plans=self.max_plans,
+                        budget=stage_budget,
+                    )
             else:
-                optimized = self._optimize_fn(
-                    query, self.stats, max_plans=self.max_plans, budget=stage_budget
-                )
-        else:
-            optimized = greedy_reorder(query, self.stats, budget=stage_budget)
-        plan = self._pick_plan(optimized)
-        relation = self._execute(plan, stage_budget)
+                optimized = greedy_reorder(query, self.stats, budget=stage_budget)
+            plan = self._pick_plan(optimized)
+        with span("execute", engine=self.executor):
+            relation = self._execute(plan, stage_budget)
 
         verified: bool | None = None
         incident: Incident | None = None
@@ -399,6 +427,12 @@ class QuerySession:
         """
         if plan == original:
             return True, None
+        with span("verify"):
+            return self._verify_on_sample(original, plan, run_budget)
+
+    def _verify_on_sample(
+        self, original: Expr, plan: Expr, run_budget: Budget
+    ) -> tuple[bool | None, Incident | None]:
         sample = self._sample_database()
         remaining = run_budget.remaining_ms
         check_budget = Budget(
@@ -461,6 +495,13 @@ class QuerySession:
 
         ``create view`` statements register views in the session
         catalog; every ``select`` runs via :meth:`run`.
+
+        Args:
+            text: The SQL script (the subset in ``repro.sql``).
+
+        Raises:
+            repro.errors.UserInputError: The script does not parse or
+                references unknown tables/columns.
         """
         from repro.sql import parse_statements, translate
         from repro.sql.ast import CreateViewStmt
@@ -489,7 +530,18 @@ class QuerySession:
     def plan(
         self, query: Expr, budget: Budget | None = None
     ) -> tuple[OptimizationResult | None, DegradationLevel, str | None]:
-        """The ladder's planning half only (for EXPLAIN-style output)."""
+        """The ladder's planning half only (for EXPLAIN-style output).
+
+        Args:
+            query: The logical expression to plan.
+            budget: Per-query :class:`Budget`; a fresh one from the
+                session template when omitted.
+
+        Returns:
+            ``(optimized, level, reason)`` -- the optimization result
+            (``None`` when every optimizing rung was abandoned), the
+            rung that produced it, and the abandoned rungs' reasons.
+        """
         run_budget = budget if budget is not None else self._fresh_budget()
         reasons: list[str] = []
         for level in (DegradationLevel.FULL, DegradationLevel.HEURISTIC):

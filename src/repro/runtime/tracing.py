@@ -1,0 +1,364 @@
+"""Structured tracing for the plan lifecycle.
+
+Observability sibling of :mod:`repro.runtime.faults`: where faults
+*inject* behaviour at well-known points in the stack, this module
+*records* it.  The two layers deliberately share one seam -- the
+operator-site naming table -- so a span named ``vector.join`` is the
+same place a ``vector.join:crash`` fault would fire.
+
+A :class:`Tracer` owns a forest of :class:`Span` nodes.  Each span has
+a monotonic start time and duration, free-form string tags, integer
+counters, and children.  Activation is **contextvar-scoped** exactly
+like fault streams: :func:`trace_scope` binds a tracer to the current
+context (thread/task), so the QueryService's worker pool can trace
+concurrent queries without cross-talk, and nested :func:`span` calls
+build the tree through a second contextvar holding the innermost open
+span.
+
+When no tracer is active, :func:`span` / :func:`trace_op` return a
+shared no-op context manager and :func:`add_counter` /
+:func:`set_tag` are a single contextvar read -- cheap enough to leave
+compiled into the hot engines (the same contract ``fault_point``
+honours).  The module-level :data:`SPANS_STARTED` counter only moves
+when a span is actually recorded, which is how the test suite asserts
+the disabled path allocates nothing.
+
+Exports: :meth:`Tracer.to_dict` (plain JSON),
+:meth:`Tracer.to_chrome_trace` (Chrome ``chrome://tracing`` / Perfetto
+event list) and :meth:`Tracer.render` (indented text tree, the
+backbone of ``EXPLAIN ANALYZE``'s span section).
+
+This module must stay import-light (stdlib + :mod:`repro.runtime.faults`
+only): the engines import it at module load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator
+
+from repro.runtime.faults import _NODE_SITES
+
+_ACTIVE: ContextVar["Tracer | None"] = ContextVar("repro_tracer", default=None)
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_span", default=None)
+
+#: Total spans ever recorded in this process.  Only incremented when a
+#: tracer is active; the disabled-overhead test pins it before/after.
+SPANS_STARTED = 0
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    Attributes:
+        name: Dotted span name (``"optimize.enumerate"``,
+            ``"vector.join"``).
+        tags: Free-form string annotations (``engine``, ``stage`` ...).
+        counters: Integer event counts (``rows_out``, ``plans`` ...).
+        dur_ms: Wall duration in milliseconds; ``None`` while open.
+        children: Sub-spans, in start order.
+        tid: OS thread ident that opened the span.
+    """
+
+    __slots__ = ("name", "tags", "counters", "t0", "dur_ms", "children", "tid")
+
+    def __init__(self, name: str, tags: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.tags: dict[str, str] = tags or {}
+        self.counters: dict[str, int] = {}
+        self.t0 = time.perf_counter()
+        self.dur_ms: float | None = None
+        self.children: list[Span] = []
+        self.tid = threading.get_ident()
+
+    def add_counter(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_tag(self, key: str, value: Any) -> None:
+        """Attach ``key=value`` (stringified) to the span."""
+        self.tags[key] = str(value)
+
+    def iter(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        for sp in self.iter():
+            if sp.name == name:
+                return sp
+        return None
+
+    def to_dict(self) -> dict:
+        """Plain-data form: name/tags/counters/dur_ms/children."""
+        out: dict[str, Any] = {"name": self.name}
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        out["dur_ms"] = None if self.dur_ms is None else round(self.dur_ms, 3)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dur = "open" if self.dur_ms is None else f"{self.dur_ms:.3f}ms"
+        return f"Span({self.name!r}, {dur}, children={len(self.children)})"
+
+
+class Tracer:
+    """A forest of spans for one traced unit of work.
+
+    Thread-safe at the root: spans opened with no enclosing span (as
+    each worker thread's first span is) append to :attr:`roots` under
+    a lock.  Within one context the tree is built lock-free through
+    the current-span contextvar.
+    """
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def _add_root(self, span: Span) -> None:
+        with self._lock:
+            self.roots.append(span)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every span in the forest, depth-first."""
+        for root in self.roots:
+            yield from root.iter()
+
+    def find(self, name: str) -> Span | None:
+        """First span named ``name`` anywhere in the forest."""
+        for sp in self.iter_spans():
+            if sp.name == name:
+                return sp
+        return None
+
+    def counter_total(self, name: str) -> int:
+        """Sum of counter ``name`` across every span."""
+        return sum(sp.counters.get(name, 0) for sp in self.iter_spans())
+
+    def to_dict(self) -> dict:
+        return {"spans": [r.to_dict() for r in self.roots]}
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome-trace event list (``ph: "X"`` complete events).
+
+        Load the JSON into ``chrome://tracing`` or https://ui.perfetto.dev
+        for a flame view.  Timestamps are microseconds relative to the
+        tracer's creation; thread idents are renumbered densely.
+        """
+        events: list[dict] = []
+        tids: dict[int, int] = {}
+        for sp in self.iter_spans():
+            tid = tids.setdefault(sp.tid, len(tids))
+            args: dict[str, Any] = dict(sp.tags)
+            args.update(sp.counters)
+            events.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "ts": round((sp.t0 - self.epoch) * 1e6, 1),
+                    "dur": round((sp.dur_ms or 0.0) * 1e3, 1),
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        return events
+
+    def render(
+        self, *, min_ms: float = 0.0, roots: "list[Span] | None" = None
+    ) -> str:
+        """Indented text tree: ``name  12.3ms  k=v ...`` per line.
+
+        Args:
+            min_ms: Hide spans (and their subtrees) shorter than this.
+            roots: Render only these root spans (default: all of them;
+                the CLI passes a slice to show one statement's spans
+                out of a script-level tracer).
+        """
+        lines: list[str] = []
+
+        def walk(span: Span, indent: str) -> None:
+            if span.dur_ms is not None and span.dur_ms < min_ms:
+                return
+            dur = "  ..." if span.dur_ms is None else f"  {span.dur_ms:.3f}ms"
+            extras = [f"{k}={v}" for k, v in span.tags.items()]
+            extras += [f"{k}={v}" for k, v in span.counters.items()]
+            tail = ("  " + " ".join(extras)) if extras else ""
+            lines.append(f"{indent}{span.name}{dur}{tail}")
+            for child in span.children:
+                walk(child, indent + "  ")
+
+        for root in self.roots if roots is None else roots:
+            walk(root, "")
+        return "\n".join(lines)
+
+
+class _NullCm:
+    """Shared do-nothing span context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CM = _NullCm()
+
+
+class _SpanCm:
+    """Opens a span on enter, closes and restores the parent on exit."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_span", "_token")
+
+    def __init__(self, tracer: Tracer, name: str, tags: dict[str, str] | None):
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+
+    def __enter__(self) -> Span:
+        global SPANS_STARTED
+        SPANS_STARTED += 1
+        sp = Span(self._name, self._tags)
+        parent = _CURRENT.get()
+        if parent is None:
+            self._tracer._add_root(sp)
+        else:
+            parent.children.append(sp)
+        self._token = _CURRENT.set(sp)
+        self._span = sp
+        sp.t0 = time.perf_counter()  # exclude bookkeeping from the timing
+        return sp
+
+    def __exit__(self, *exc) -> bool:
+        sp = self._span
+        sp.dur_ms = (time.perf_counter() - sp.t0) * 1000.0
+        _CURRENT.reset(self._token)
+        return False
+
+
+# -- the hooks the rest of the stack calls -------------------------------
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer bound to the current context, if any."""
+    return _ACTIVE.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span in the current context, if any."""
+    return _CURRENT.get()
+
+
+def span(name: str, **tags: str):
+    """Context manager recording a span; no-op without an active tracer.
+
+    Usage::
+
+        with tracing.span("optimize.enumerate", stage="full") as sp:
+            ...
+            if sp is not None:
+                sp.add_counter("plans", n)
+
+    The disabled path returns a shared null manager whose ``__enter__``
+    yields ``None``; prefer :func:`add_counter` / :func:`set_tag` from
+    instrumented callees so they need no span handle at all.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_CM
+    return _SpanCm(tracer, name, tags or None)
+
+
+def trace_op(engine: str, node=None, op: str | None = None):
+    """Span for one operator, named like the matching fault site.
+
+    ``engine`` is the site prefix (``"vector"``, ``"hash"``,
+    ``"reference"``); the suffix comes from ``op`` or from the
+    expression ``node``'s type via the shared site table -- so
+    ``trace_op("vector", node)`` times exactly the operator that
+    ``fault_point("vector", node)`` can crash.
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_CM
+    if op is None:
+        name = type(node).__name__
+        op = _NODE_SITES.get(name, name.lower())
+    return _SpanCm(tracer, f"{engine}.{op}", None)
+
+
+def add_counter(name: str, n: int = 1) -> None:
+    """Add ``n`` to counter ``name`` on the innermost open span.
+
+    A single contextvar read when idle -- safe to call from hot loops
+    deep in the engines (GS padding, batch ticks, cache probes).
+    """
+    sp = _CURRENT.get()
+    if sp is not None:
+        sp.counters[name] = sp.counters.get(name, 0) + n
+
+
+def set_tag(key: str, value: Any) -> None:
+    """Attach ``key=value`` to the innermost open span (no-op when idle)."""
+    sp = _CURRENT.get()
+    if sp is not None:
+        sp.tags[key] = str(value)
+
+
+@contextmanager
+def trace_scope(tracer: Tracer | None):
+    """Activate ``tracer`` for the current context (thread/task).
+
+    Mirrors :func:`repro.runtime.faults.fault_scope`.  Passing ``None``
+    yields without touching the context, so call sites can write
+    ``with trace_scope(maybe_tracer):`` unconditionally.  The current
+    span is reset to ``None`` on entry so a scope started from inside
+    another traced region begins a fresh root (worker threads start
+    with an empty context and need no such reset, but inline re-entry
+    does).
+    """
+    if tracer is None:
+        yield None
+        return
+    token = _ACTIVE.set(tracer)
+    span_token = _CURRENT.set(None)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(span_token)
+        _ACTIVE.reset(token)
+
+
+def timed(name: str, fn: Callable[[], Any]) -> Any:
+    """Run ``fn()`` inside a span named ``name`` (helper for lambdas)."""
+    with span(name):
+        return fn()
+
+
+__all__ = [
+    "SPANS_STARTED",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "add_counter",
+    "current_span",
+    "set_tag",
+    "span",
+    "timed",
+    "trace_op",
+    "trace_scope",
+]

@@ -1,0 +1,131 @@
+"""EXPLAIN ANALYZE rendering: est/actual cardinalities and timings.
+
+The centerpiece is a golden-file test on the paper's Example 3.1 shape
+(a left outer join whose ON references a count column, pulled up into
+a generalized selection): the analyzed operator tree -- with wall
+times masked -- must match ``golden/example31_analyze.txt`` exactly.
+Regenerate the golden by running this file as a script:
+
+    PYTHONPATH=src python tests/physical/test_explain_analyze.py
+"""
+
+import re
+from pathlib import Path
+
+from repro.core.aggregation import pull_up_once
+from repro.expr import BaseRel, Database, GenSelect, GroupBy, left_outer
+from repro.expr.predicates import Col, Comparison, eq, make_conjunction
+from repro.optimizer.cost import CostModel
+from repro.optimizer.stats import Statistics
+from repro.physical import compile_plan, explain_analyze
+from repro.relalg import Relation
+from repro.relalg.aggregates import count_star
+
+GOLDEN = Path(__file__).parent / "golden" / "example31_analyze.txt"
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+
+
+def example31_query():
+    """Example 3.1's shape: the ON references the count column."""
+    grouped = GroupBy(R2, ("r2_a0",), (count_star("cnt"),), "g")
+    on = make_conjunction(
+        [eq("r1_a0", "r2_a0"), Comparison(Col("r1_a1"), "<", Col("cnt"))]
+    )
+    return left_outer(R1, grouped, on)
+
+
+def example31_database() -> Database:
+    return Database(
+        {
+            "r1": Relation.base(
+                "r1",
+                ["r1_a0", "r1_a1"],
+                [("k1", 0), ("k1", 5), ("k2", 1), ("k3", 0)],
+            ),
+            "r2": Relation.base(
+                "r2",
+                ["r2_a0", "r2_a1"],
+                [("k1", 10), ("k1", 20), ("k2", 30)],
+            ),
+        }
+    )
+
+
+def analyzed_report() -> str:
+    db = example31_database()
+    query = example31_query()
+    plan_expr = pull_up_once(query)  # the GS-bearing rewrite
+    assert isinstance(plan_expr, GenSelect)
+    model = CostModel(Statistics.from_database(db))
+    plan = compile_plan(
+        plan_expr, estimator=lambda node: model.estimate(node).rows
+    )
+    return explain_analyze(plan, db, timings=True)
+
+
+def mask_times(text: str) -> str:
+    """Mask run-dependent fragments: wall times, and the witness-column
+    counter (a process-global sequence, so its number depends on how
+    many pull-ups ran earlier in the test session)."""
+    text = re.sub(r"time=\d+\.\d+ms", "time=<T>", text)
+    return re.sub(r"__witness\d+", "__witness<N>", text)
+
+
+class TestGolden:
+    def test_example31_matches_golden(self):
+        got = mask_times(analyzed_report())
+        want = GOLDEN.read_text().rstrip("\n")
+        assert got == want, f"regenerate with:\n  python {__file__}\ngot:\n{got}"
+
+
+class TestEstimates:
+    def test_gs_plan_has_estimates_on_every_operator(self):
+        db = example31_database()
+        plan_expr = pull_up_once(example31_query())
+        model = CostModel(Statistics.from_database(db))
+        plan = compile_plan(
+            plan_expr, estimator=lambda node: model.estimate(node).rows
+        )
+
+        def walk(op):
+            yield op
+            for child in op.children:
+                yield from walk(child)
+
+        for op in walk(plan):
+            assert op.est_rows is not None, f"{op.label} missing est_rows"
+            assert op.est_rows >= 0
+        # the rendered analyze tree therefore never shows "est=?"
+        explain_analyze(plan, db, timings=True)
+        assert "est=?" not in "\n".join(plan.tree_lines(analyze=True))
+
+    def test_without_estimator_est_is_unknown(self):
+        db = example31_database()
+        plan = compile_plan(pull_up_once(example31_query()))
+        text = explain_analyze(plan, db, timings=True)
+        assert "est=?" in text
+        # and the stable default EXPLAIN shape is untouched
+        assert "(rows=" in explain_analyze(plan, db)
+        assert "est=" not in explain_analyze(plan, db)
+
+    def test_elapsed_accumulates_per_operator(self):
+        db = example31_database()
+        plan = compile_plan(pull_up_once(example31_query()))
+        explain_analyze(plan, db)
+        assert plan.elapsed_ms > 0.0
+
+        def walk(op):
+            yield op
+            for child in op.children:
+                yield from walk(child)
+
+        for op in walk(plan):
+            assert op.elapsed_ms >= 0.0
+
+
+if __name__ == "__main__":  # golden regeneration
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(mask_times(analyzed_report()) + "\n")
+    print(f"wrote {GOLDEN}")

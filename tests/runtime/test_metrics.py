@@ -1,0 +1,209 @@
+"""Tests for the metrics registry and its Prometheus exposition.
+
+The export is checked both structurally (HELP/TYPE headers, cumulative
+buckets ending in ``+Inf``) and by round-tripping through the small
+``parse_prometheus`` reader -- the same check the CI smoke runs over
+the CLI's ``--metrics-out`` file.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.runtime.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+    quantile,
+    service_registry,
+    sync_cache_metrics,
+)
+
+
+class TestFamilies:
+    def test_counter_inc_and_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("queries_total", "Queries by outcome")
+        fam.labels(outcome="ok").inc()
+        fam.labels(outcome="ok").inc(2)
+        fam.labels(outcome="error").inc()
+        assert fam.value_for(outcome="ok") == 3
+        assert fam.value_for(outcome="error") == 1
+        assert fam.value_for(outcome="missing") == 0
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge_set_and_type_guards(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(2.5)
+        assert reg.gauge("g").value_for() == 2.5
+        with pytest.raises(ValueError):
+            reg.counter("c").labels().set(1.0)
+        with pytest.raises(ValueError):
+            reg.gauge("g").labels().observe(1.0)
+
+    def test_family_is_idempotent_but_typed(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        with pytest.raises(ValueError):
+            reg.gauge("c")
+
+    def test_histogram_buckets_sum_count(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat_ms", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            fam.observe(value)
+        child = fam.labels()._child
+        assert child.bucket_counts == [1, 1, 1]  # <=1, <=10, +Inf
+        assert child.count == 3
+        assert child.sum == 55.5
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert quantile(samples, 0.50) == 50
+        assert quantile(samples, 0.99) == 99
+        assert quantile(samples, 1.0) == 100
+
+    def test_empty_is_zero(self):
+        assert quantile([], 0.99) == 0.0
+
+
+class TestPrometheusText:
+    def test_headers_and_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "A counter").inc(2)
+        hist = reg.histogram("h_ms", "A histogram", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = reg.to_prometheus()
+        assert "# HELP c_total A counter" in text
+        assert "# TYPE c_total counter" in text
+        assert "# TYPE h_ms histogram" in text
+        assert 'h_ms_bucket{le="1"} 1' in text
+        assert 'h_ms_bucket{le="10"} 2' in text  # cumulative
+        assert 'h_ms_bucket{le="+Inf"} 2' in text
+        assert "h_ms_sum 5.5" in text
+        assert "h_ms_count 2" in text
+        assert text.endswith("\n")
+
+    def test_label_value_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        nasty = 'back\\slash "quoted"\nnewline'
+        reg.counter("c_total").labels(msg=nasty).inc()
+        text = reg.to_prometheus()
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+        parsed = parse_prometheus(text)
+        ((_, labels, value),) = parsed["c_total"]["samples"]
+        assert labels == {"msg": nasty}
+        assert value == 1
+
+    def test_full_round_trip(self):
+        reg = service_registry()
+        reg.counter("repro_admissions_total").inc(4)
+        reg.counter("repro_queries_total").labels(outcome="ok").inc(3)
+        reg.histogram("repro_query_latency_ms").observe(12.0)
+        reg.gauge("repro_plan_cache_entries").set(7)
+        parsed = parse_prometheus(reg.to_prometheus())
+        assert parsed["repro_admissions_total"]["type"] == "counter"
+        assert parsed["repro_query_latency_ms"]["type"] == "histogram"
+        assert parsed["repro_plan_cache_entries"]["samples"][0][2] == 7
+
+        def sample(family, name, **labels):
+            for n, l, v in parsed[family]["samples"]:
+                if n == name and l == labels:
+                    return v
+            raise AssertionError(f"{name}{labels} not found")
+
+        assert sample("repro_admissions_total", "repro_admissions_total") == 4
+        assert (
+            sample(
+                "repro_queries_total", "repro_queries_total", outcome="ok"
+            )
+            == 3
+        )
+        assert (
+            sample(
+                "repro_query_latency_ms", "repro_query_latency_ms_count"
+            )
+            == 1
+        )
+        # the bucket series is cumulative and ends at +Inf
+        inf = sample(
+            "repro_query_latency_ms",
+            "repro_query_latency_ms_bucket",
+            le="+Inf",
+        )
+        assert inf == 1
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE broken")
+        with pytest.raises(ValueError):
+            parse_prometheus('m{x=unquoted} 1')
+
+
+class TestJsonExport:
+    def test_to_json_includes_quantiles(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_ms")
+        for value in (1.0, 2.0, 3.0, 100.0):
+            hist.observe(value)
+        data = json.loads(reg.to_json())
+        (series,) = data["lat_ms"]["series"]
+        assert series["count"] == 4
+        assert series["p50"] == 2.0
+        assert series["p99"] == 100.0
+
+
+class _FakeCache:
+    """Just enough of PlanCache's surface for sync_cache_metrics."""
+
+    def __init__(self):
+        self.state = {"hits": 3, "misses": 1, "entries": 2, "evictions": 0}
+
+    def counters(self):
+        return dict(self.state)
+
+    def __len__(self):
+        return self.state["entries"]
+
+
+class TestCacheSync:
+    def test_sync_is_delta_based(self):
+        reg = service_registry()
+        cache = _FakeCache()
+        sync_cache_metrics(reg, cache)
+        sync_cache_metrics(reg, cache)  # repeated export: no double count
+        assert reg.counter("repro_plan_cache_hits_total").value_for() == 3
+        assert reg.counter("repro_plan_cache_misses_total").value_for() == 1
+        cache.state.update(hits=5, entries=4)
+        sync_cache_metrics(reg, cache)
+        assert reg.counter("repro_plan_cache_hits_total").value_for() == 5
+        assert reg.gauge("repro_plan_cache_entries").value_for() == 4
+        assert reg.gauge("repro_plan_cache_hit_ratio").value_for() == 5 / 6
+
+    def test_service_registry_predeclares_families(self):
+        text = service_registry().to_prometheus()
+        for name in (
+            "repro_admissions_total",
+            "repro_sheds_total",
+            "repro_queries_total",
+            "repro_breaker_transitions_total",
+            "repro_engine_failures_total",
+            "repro_query_latency_ms",
+            "repro_plan_cache_hits_total",
+            "repro_plan_cache_misses_total",
+            "repro_plan_cache_entries",
+            "repro_plan_cache_hit_ratio",
+        ):
+            assert f"# TYPE {name} " in text
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert math.inf not in DEFAULT_BUCKETS

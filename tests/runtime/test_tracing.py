@@ -1,0 +1,211 @@
+"""Tests for the structured tracer: scoping, nesting, exports.
+
+The contracts under test mirror the module docstring: spans only
+exist inside a ``trace_scope``; the disabled path records nothing
+(pinned by the module-level ``SPANS_STARTED`` counter); worker threads
+build their own root spans without cross-talk; and the three exports
+(dict, Chrome trace, text render) agree on the recorded tree.
+"""
+
+import json
+import threading
+
+import repro.runtime.tracing as tracing
+from repro.expr import BaseRel, inner
+from repro.expr.predicates import eq
+from repro.runtime.tracing import (
+    Tracer,
+    active_tracer,
+    add_counter,
+    current_span,
+    set_tag,
+    span,
+    timed,
+    trace_op,
+    trace_scope,
+)
+
+R1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+R2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+
+
+class TestDisabledPath:
+    def test_records_nothing_without_a_scope(self):
+        before = tracing.SPANS_STARTED
+        with span("a", k="v") as sp:
+            assert sp is None
+            add_counter("x", 5)
+            set_tag("k", "v")
+        with trace_op("vector", R1):
+            add_counter("rows_out", 3)
+        assert tracing.SPANS_STARTED == before
+        assert active_tracer() is None
+        assert current_span() is None
+
+    def test_null_manager_is_shared(self):
+        # one singleton for every disabled call: no per-call allocation
+        assert span("a") is span("b") is trace_op("hash", R1)
+
+    def test_trace_scope_none_is_a_noop(self):
+        before = tracing.SPANS_STARTED
+        with trace_scope(None):
+            with span("a"):
+                pass
+        assert tracing.SPANS_STARTED == before
+
+
+class TestSpanTree:
+    def test_nesting_and_counters(self):
+        t = Tracer()
+        with trace_scope(t):
+            assert active_tracer() is t
+            with span("outer", stage="full") as outer:
+                assert current_span() is outer
+                with span("inner") as sp:
+                    add_counter("rows", 2)
+                    add_counter("rows", 3)
+                    set_tag("engine", "hash")
+                assert current_span() is outer
+        assert [r.name for r in t.roots] == ["outer"]
+        assert t.roots[0].tags == {"stage": "full"}
+        child = t.roots[0].children[0]
+        assert child.name == "inner"
+        assert child.counters == {"rows": 5}
+        assert child.tags == {"engine": "hash"}
+        assert child.dur_ms is not None and child.dur_ms >= 0.0
+
+    def test_trace_op_uses_fault_site_names(self):
+        t = Tracer()
+        join = inner(R1, R2, eq("r1_a0", "r2_a0"))
+        with trace_scope(t):
+            with trace_op("vector", join):
+                with trace_op("reference", R1):
+                    pass
+            with trace_op("hash", op="scan"):
+                pass
+        names = [sp.name for sp in t.iter_spans()]
+        assert names == ["vector.join", "reference.scan", "hash.scan"]
+
+    def test_exception_still_closes_the_span(self):
+        t = Tracer()
+        try:
+            with trace_scope(t), span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert t.roots[0].dur_ms is not None
+        assert current_span() is None
+
+    def test_find_and_counter_total(self):
+        t = Tracer()
+        with trace_scope(t):
+            with span("a"):
+                add_counter("n", 1)
+                with span("b"):
+                    add_counter("n", 2)
+            with span("b"):
+                add_counter("n", 4)
+        assert t.find("b").counters["n"] == 2  # depth-first: nested first
+        assert t.find("missing") is None
+        assert t.counter_total("n") == 7
+
+    def test_nested_scope_starts_a_fresh_root(self):
+        outer_tracer, inner_tracer = Tracer(), Tracer()
+        with trace_scope(outer_tracer), span("outer"):
+            with trace_scope(inner_tracer):
+                with span("standalone"):
+                    pass
+            # back in the outer scope, nesting resumes under "outer"
+            with span("child"):
+                pass
+        assert [r.name for r in inner_tracer.roots] == ["standalone"]
+        assert [c.name for c in outer_tracer.roots[0].children] == ["child"]
+
+    def test_timed_returns_the_value(self):
+        t = Tracer()
+        with trace_scope(t):
+            assert timed("compute", lambda: 42) == 42
+        assert t.roots[0].name == "compute"
+
+
+class TestThreads:
+    def test_worker_threads_build_disjoint_roots(self):
+        t = Tracer()
+        errors = []
+
+        def work(name):
+            try:
+                with trace_scope(t):
+                    with span(name):
+                        with span(f"{name}.child"):
+                            add_counter("ticks")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(f"w{i}",)) for i in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert sorted(r.name for r in t.roots) == ["w0", "w1", "w2", "w3"]
+        for root in t.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+        assert t.counter_total("ticks") == 4
+
+
+class TestExports:
+    def _sample_tracer(self) -> Tracer:
+        t = Tracer()
+        with trace_scope(t):
+            with span("plan", stage="full"):
+                with span("enumerate"):
+                    add_counter("plans", 7)
+        return t
+
+    def test_to_dict_shape(self):
+        data = self._sample_tracer().to_dict()
+        (root,) = data["spans"]
+        assert root["name"] == "plan"
+        assert root["tags"] == {"stage": "full"}
+        assert root["children"][0]["counters"] == {"plans": 7}
+        assert isinstance(root["dur_ms"], float)
+
+    def test_chrome_trace_events(self):
+        t = self._sample_tracer()
+        events = t.to_chrome_trace()
+        assert [e["name"] for e in events] == ["plan", "enumerate"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1
+            assert event["tid"] == 0  # single thread, densely renumbered
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        assert events[1]["args"] == {"plans": 7}
+        json.dumps(events)  # must be serializable as-is
+
+    def test_render_text_tree(self):
+        text = self._sample_tracer().render()
+        lines = text.splitlines()
+        assert lines[0].startswith("plan") and "stage=full" in lines[0]
+        assert lines[1].startswith("  enumerate") and "plans=7" in lines[1]
+        assert "ms" in lines[0]
+
+    def test_render_min_ms_hides_fast_spans(self):
+        t = self._sample_tracer()
+        t.roots[0].dur_ms = 10.0
+        t.roots[0].children[0].dur_ms = 0.01
+        text = t.render(min_ms=1.0)
+        assert "plan" in text and "enumerate" not in text
+
+    def test_render_roots_subset(self):
+        t = Tracer()
+        with trace_scope(t):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        text = t.render(roots=t.roots[1:])
+        assert "second" in text and "first" not in text

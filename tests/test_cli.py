@@ -261,3 +261,97 @@ class TestServicePath:
             main(["run", "--help"])
         assert info.value.code == 0
         assert "exit codes:" in capsys.readouterr().out
+
+
+class TestObservability:
+    """`--analyze`, `--trace-out`, `--metrics-out`."""
+
+    #: Example 3.1's shape in SQL: the join condition references the
+    #: count column, so the full rewrite carries a generalized selection.
+    EXAMPLE31_SQL = (
+        "create view busy as "
+        "select dept as d, n = count(*) from emp group by dept; "
+        "select dname, n from busy left outer join dept "
+        "on busy.d = dept.did where n < 3;"
+    )
+
+    def _script(self, tmp_path):
+        script = tmp_path / "q.sql"
+        script.write_text(self.EXAMPLE31_SQL)
+        return script
+
+    def test_analyze_prints_est_actual_and_spans(
+        self, data_dir, tmp_path, capsys
+    ):
+        script = self._script(tmp_path)
+        args = ["run", str(script), "--data", str(data_dir), "--analyze"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # operator tree with estimated vs actual cardinalities + time
+        assert "est=" in out and "rows=" in out and "time=" in out
+        assert "Scan(emp)" in out
+        # plan-lifecycle span timings follow the tree
+        assert "-- spans:" in out
+        assert "session.plan" in out
+        assert "physical.execute" in out
+        assert "ms" in out
+
+    def test_trace_out_writes_chrome_trace(self, data_dir, tmp_path, capsys):
+        import json
+
+        script = self._script(tmp_path)
+        trace = tmp_path / "trace.json"
+        args = [
+            "run", str(script), "--data", str(data_dir),
+            "--trace-out", str(trace),
+        ]
+        assert main(args) == 0
+        events = json.loads(trace.read_text())
+        assert events, "no spans captured"
+        names = {e["name"] for e in events}
+        assert "session.run" in names
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid"}
+
+    def test_metrics_out_prometheus_parses_back(
+        self, data_dir, tmp_path, capsys
+    ):
+        from repro.runtime.metrics import parse_prometheus
+
+        script = self._script(tmp_path)
+        metrics = tmp_path / "metrics.prom"
+        args = [
+            "run", str(script), "--data", str(data_dir),
+            "--metrics-out", str(metrics),
+        ]
+        assert main(args) == 0
+        parsed = parse_prometheus(metrics.read_text())
+        assert parsed["repro_admissions_total"]["type"] == "counter"
+        samples = {
+            name: value
+            for name, labels, value in parsed["repro_admissions_total"][
+                "samples"
+            ]
+        }
+        assert samples["repro_admissions_total"] == 1
+        latency = parsed["repro_query_latency_ms"]["samples"]
+        assert any(n == "repro_query_latency_ms_count" for n, _, _ in latency)
+
+    def test_metrics_out_json_on_service_path(
+        self, data_dir, tmp_path, capsys
+    ):
+        import json
+
+        script = self._script(tmp_path)
+        metrics = tmp_path / "metrics.json"
+        args = [
+            "run", str(script), "--data", str(data_dir),
+            "--workers", "2", "--metrics-out", str(metrics),
+        ]
+        assert main(args) == 0
+        data = json.loads(metrics.read_text())
+        (admissions,) = data["repro_admissions_total"]["series"]
+        assert admissions["value"] == 1
+        (latency,) = data["repro_query_latency_ms"]["series"]
+        assert latency["count"] == 1 and latency["p50"] >= 0

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Documentation lint: dead intra-repo links and unnamed code fences.
+
+Scans ``README.md`` and every ``docs/*.md`` for
+
+* **dead intra-repo links** -- ``[text](target)`` where ``target`` is
+  a relative path (external ``http(s)``/``mailto`` URLs and pure
+  ``#anchor`` links are skipped) that does not exist on disk relative
+  to the file containing it;
+* **unnamed code fences** -- every opening ``` fence must carry an
+  info string (``python``, ``bash``, ``text``, ...), so renderers
+  highlight consistently and snippets stay greppable by language.
+
+Exit status is non-zero when any problem is found; each problem is
+reported as ``path:line: message``.  Run from the repo root (CI's
+``docs-check`` job does) or from anywhere -- paths resolve relative
+to this file's repository.
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` -- good enough for the markdown these docs use;
+#: images (``![alt](src)``) match too, which is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^\s*```(.*)$")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links(path: Path, lines: list[str]) -> list[str]:
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(lines, 1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:  # code samples may show url-ish text; skip them
+            continue
+        # inline code spans hold algebra like σ*_p[r1,…,rn](r), which
+        # the link regex would misread -- blank them out first
+        for target in _LINK.findall(_CODE_SPAN.sub("", line)):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:  # pure #anchor
+                continue
+            resolved = (path.parent / target).resolve()
+            if REPO not in resolved.parents and resolved != REPO:
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: link escapes the "
+                    f"repository: {target}"
+                )
+            elif not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: dead link: {target}"
+                )
+    return problems
+
+
+def check_fences(path: Path, lines: list[str]) -> list[str]:
+    problems = []
+    open_fence_line = None
+    for lineno, line in enumerate(lines, 1):
+        match = _FENCE.match(line)
+        if not match:
+            continue
+        if open_fence_line is None:
+            open_fence_line = lineno
+            if not match.group(1).strip():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: unnamed code fence "
+                    "(add a language, e.g. ```python or ```text)"
+                )
+        else:
+            if match.group(1).strip():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: closing fence "
+                    "carries text (missing blank ``` for the previous "
+                    f"fence opened at line {open_fence_line}?)"
+                )
+            open_fence_line = None
+    if open_fence_line is not None:
+        problems.append(
+            f"{path.relative_to(REPO)}:{open_fence_line}: unclosed code fence"
+        )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = doc_files()
+    for path in files:
+        lines = path.read_text().splitlines()
+        problems += check_links(path, lines)
+        problems += check_fences(path, lines)
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(files)} file(s): "
+        + ("OK" if not problems else f"{len(problems)} problem(s)")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
