@@ -7,6 +7,8 @@
                                    [--faults PLAN] [--fault-seed N]
                                    [--analyze] [--trace-out FILE]
                                    [--metrics-out FILE]
+                                   [--replan-threshold N]
+                                   [--feedback-in FILE] [--feedback-out FILE]
     python -m repro explain script.sql --data DIR [--plans N] [--budget-ms MS]
     python -m repro demo
 
@@ -26,6 +28,14 @@ heuristic -> as written) when a cap is hit, e.g.
 
 A degraded or verification-quarantined statement reports its stage in
 a ``-- stage: ...`` footer; see docs/ROBUSTNESS.md.
+
+``--replan-threshold N`` arms adaptive re-optimization: operators
+report observed cardinalities into a :class:`FeedbackStore`, and a
+mid-flight plan whose actual rows blow past ``N x`` the estimate is
+aborted, re-planned under the observed counts, and resumed from its
+materialized intermediates (a ``-- replans:`` footer reports it).
+``--feedback-out`` persists the learned corrections as JSON and
+``--feedback-in`` preloads them, so a later run starts pre-corrected.
 
 With ``--workers`` (or any ``--faults`` plan) statements route through
 the concurrent :class:`repro.runtime.QueryService`: per-engine circuit
@@ -56,6 +66,7 @@ from repro.runtime import (
     Budget,
     DegradationLevel,
     FaultPlan,
+    FeedbackStore,
     QueryService,
     QuerySession,
     Tracer,
@@ -153,6 +164,14 @@ def _print_outcome_footers(outcome, verify: bool, out) -> int:
             f"entries {cache.get('entries', 0)})",
             file=out,
         )
+    if getattr(outcome, "replans", 0):
+        events = getattr(outcome, "replan_events", []) or []
+        outcomes = ", ".join(e.get("outcome", "?") for e in events)
+        print(
+            f"-- replans: {outcome.replans}"
+            + (f" ({outcomes})" if outcomes else ""),
+            file=out,
+        )
     return code
 
 
@@ -172,6 +191,14 @@ def _print_service_footers(service: QueryService, out) -> None:
             kinds[incident.kind] = kinds.get(incident.kind, 0) + 1
         mix = ", ".join(f"{k}: {n}" for k, n in sorted(kinds.items()))
         print(f"-- incidents: {len(service.incidents)} ({mix})", file=out)
+    feedback = snapshot.get("feedback")
+    if feedback and feedback.get("ingests"):
+        print(
+            f"-- feedback: {feedback['entries']} entries, "
+            f"generation {feedback['generation']}, "
+            f"{feedback['quarantined_entries']} quarantined",
+            file=out,
+        )
 
 
 def run_script(
@@ -194,6 +221,9 @@ def run_script(
     analyze: bool = False,
     trace_out: Path | None = None,
     metrics_out: Path | None = None,
+    replan_threshold: float | None = None,
+    feedback_in: Path | None = None,
+    feedback_out: Path | None = None,
 ) -> int:
     """Run (or explain) a script; returns the process exit code.
 
@@ -208,11 +238,22 @@ def run_script(
     lifecycle's span timings.  Analyze always uses the plain-session
     path.  ``trace_out`` / ``metrics_out`` write a Chrome-trace JSON /
     a metrics export (JSON or Prometheus text by extension) at exit.
+
+    ``replan_threshold`` arms mid-query re-planning (and cardinality
+    feedback) on whichever path handles the statements;
+    ``feedback_in`` / ``feedback_out`` preload / persist the
+    :class:`FeedbackStore` as JSON, so corrections learned by one run
+    carry into the next.
     """
     out = out if out is not None else sys.stdout
     if engine is None:
         engine = "hash" if fast else "reference"
     tracer = Tracer() if (analyze or trace_out is not None) else None
+    feedback: FeedbackStore | None = None
+    if feedback_in is not None:
+        feedback = FeedbackStore.load(feedback_in)
+    elif feedback_out is not None or replan_threshold is not None:
+        feedback = FeedbackStore()
     service: QueryService | None = None
     if not explain and not analyze and session is None and (workers >= 1 or faults):
         service = QueryService(
@@ -226,6 +267,8 @@ def run_script(
             verify_seed=verify_seed,
             max_plans=2000,
             fault_plan=FaultPlan.parse(faults, seed=fault_seed) if faults else None,
+            feedback=feedback,
+            replan_threshold=replan_threshold,
         )
     elif session is None:
         session = QuerySession(
@@ -236,6 +279,8 @@ def run_script(
             verify_seed=verify_seed,
             executor=engine,
             max_plans=2000,
+            feedback=feedback,
+            replan_threshold=replan_threshold,
         )
     registry: MetricsRegistry | None = None
     if metrics_out is not None:
@@ -308,6 +353,15 @@ def run_script(
         if trace_out is not None and tracer is not None:
             Path(trace_out).write_text(json.dumps(tracer.to_chrome_trace()))
             print(f"-- trace written to {trace_out}", file=out)
+        if feedback_out is not None and feedback is not None:
+            feedback.save(feedback_out)
+            counters = feedback.counters()
+            print(
+                f"-- feedback written to {feedback_out} "
+                f"({counters['entries']} entries, "
+                f"generation {counters['generation']})",
+                file=out,
+            )
     return code
 
 
@@ -398,10 +452,22 @@ def _analyze(
     from repro.physical import compile_plan, explain_analyze
 
     first_root = len(tracer.roots)
+    replan_events: list[dict] = []
     with trace_scope(tracer):
-        with span("session.plan"):
-            result, level, reason = session.plan(expr)
-        chosen = expr if result is None else result.best
+        if session.replan_threshold is not None:
+            # adaptive path: run through the session so the monitor can
+            # trigger mid-query re-plans, then analyze the plan the run
+            # actually settled on (post-feedback estimates included)
+            with span("session.run"):
+                adaptive = session.run(expr)
+            chosen = adaptive.chosen
+            level = adaptive.degradation_level
+            reason = adaptive.degradation_reason
+            replan_events = adaptive.replan_events
+        else:
+            with span("session.plan"):
+                result, level, reason = session.plan(expr)
+            chosen = expr if result is None else result.best
         model = CostModel(session.stats)
         plan = compile_plan(
             chosen, estimator=lambda node: model.estimate(node).rows
@@ -412,6 +478,13 @@ def _analyze(
         print(
             f"-- stage: {level.name.lower()}"
             + (f" ({reason})" if reason else ""),
+            file=out,
+        )
+    for event in replan_events:
+        print(
+            f"-- replan: {event.get('outcome', '?')} at {event['site']} "
+            f"(est {event['est']:g} rows, actual {event['actual']:g}, "
+            f"threshold {event['threshold']:g}x)",
             file=out,
         )
     print(report, file=out)
@@ -577,6 +650,33 @@ def main(argv: list[str] | None = None) -> int:
         help="write service metrics at exit: JSON when FILE ends in "
         ".json, Prometheus text exposition format otherwise",
     )
+    run_p.add_argument(
+        "--replan-threshold",
+        type=float,
+        default=None,
+        metavar="N",
+        help="arm adaptive re-optimization: abort and re-plan a query "
+        "mid-flight when an operator's actual rows exceed N times its "
+        "estimate (N > 1; re-plans are capped and reported in a "
+        "`-- replans:` footer)",
+    )
+    run_p.add_argument(
+        "--feedback-in",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="preload cardinality-feedback corrections from a JSON "
+        "file written by a previous run's --feedback-out",
+    )
+    run_p.add_argument(
+        "--feedback-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="persist the cardinality-feedback store as JSON at exit "
+        "(observed est/actual corrections, keyed by predicate and "
+        "subtree fingerprints)",
+    )
 
     sub.add_parser("demo", help="run a canned demonstration")
 
@@ -615,6 +715,9 @@ def main(argv: list[str] | None = None) -> int:
                 analyze=args.analyze,
                 trace_out=args.trace_out,
                 metrics_out=args.metrics_out,
+                replan_threshold=args.replan_threshold,
+                feedback_in=args.feedback_in,
+                feedback_out=args.feedback_out,
             )
         return run_script(
             text, db, catalog, explain=True, plans=args.plans, budget=budget

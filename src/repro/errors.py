@@ -90,6 +90,43 @@ class RowBudgetExceeded(BudgetExceeded):
     dimension = "rows"
 
 
+class ReplanTriggered(ReproError):
+    """An operator's observed cardinality blew past its estimate.
+
+    Internal control flow for adaptive re-optimization: raised at an
+    engine operator boundary by the cardinality monitor
+    (:mod:`repro.runtime.feedback`) and caught by the session's
+    adaptive executor, which re-costs the query with the observed
+    counts and resumes from the materialized intermediates.
+    Deliberately *not* a :class:`BudgetExceeded` or
+    :class:`OptimizerInternalError`: the degradation ladder must never
+    absorb it as a stage failure -- a triggered re-plan is a decision,
+    not a defect.
+    """
+
+    def __init__(
+        self, site: str, est: float, actual: float, threshold: float
+    ) -> None:
+        self.site = site
+        self.est = est
+        self.actual = actual
+        self.threshold = threshold
+        super().__init__(
+            f"replan triggered at {site}: actual {actual:g} rows > "
+            f"{threshold:g}x estimated {est:g}"
+        )
+
+    def to_dict(self) -> dict:
+        """Structured form for incident records."""
+        return {
+            "error": type(self).__name__,
+            "site": self.site,
+            "est": self.est,
+            "actual": self.actual,
+            "threshold": self.threshold,
+        }
+
+
 class VerificationFailed(ReproError):
     """Differential verification found a plan/original mismatch.
 
@@ -167,6 +204,7 @@ __all__ = [
     "DeadlineExceeded",
     "PlanBudgetExceeded",
     "RowBudgetExceeded",
+    "ReplanTriggered",
     "VerificationFailed",
     "QueryCancelled",
     "AdmissionRejected",

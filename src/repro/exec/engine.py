@@ -26,6 +26,7 @@ from repro.expr.nodes import (
 from repro.expr.predicates import TRUE
 from repro.exec.hash_join import hash_join
 from repro.runtime.faults import fault_point
+from repro.runtime.feedback import monitor_lookup, monitor_record
 from repro.runtime.tracing import add_counter, trace_op
 from repro.relalg import (
     PreservedSpec,
@@ -51,11 +52,16 @@ def execute(expr: Expr, db: Database, budget=None) -> Relation:
     :class:`repro.errors.BudgetExceeded` instead of exhausting memory.
     """
     fault_point("hash", expr)
+    cached = monitor_lookup(expr)
+    if cached is not None:
+        # adaptive resume: already materialized before a re-plan
+        return cached
     with trace_op("hash", expr):
         result = _execute(expr, db, budget)
         add_counter("rows_out", len(result))
     if budget is not None:
         budget.tick(rows=len(result), where="execute")
+    monitor_record(expr, len(result), result)
     return result
 
 

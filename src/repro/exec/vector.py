@@ -50,6 +50,7 @@ from repro.expr.predicates import Predicate, TRUE
 from repro.exec.vector_predicates import compile_predicate
 from repro.relalg.columnar import ColumnarRelation, concat_columns
 from repro.runtime.faults import fault_point
+from repro.runtime.feedback import monitor_lookup, monitor_record
 from repro.runtime.tracing import add_counter, trace_op
 from repro.relalg.nulls import NULL
 from repro.relalg.relation import Relation
@@ -100,9 +101,15 @@ def _execute(
     needed: frozenset[str] | None = None,
 ) -> ColumnarRelation:
     """Tracing wrapper: one ``vector.<op>`` span per operator batch."""
+    cached = monitor_lookup(expr, needed)
+    if cached is not None:
+        # adaptive resume: this (subtree, needed) pair was already
+        # materialized before a re-plan; no recomputation, no re-tick
+        return cached
     with trace_op("vector", expr):
         out = _execute_node(expr, db, budget, needed)
         add_counter("rows_out", len(out))
+    monitor_record(expr, len(out), out, needed)
     return out
 
 

@@ -42,6 +42,7 @@ from repro.expr.nodes import (
 )
 from repro.expr.predicates import Predicate, TRUE
 from repro.runtime.faults import fault_point
+from repro.runtime.feedback import monitor_lookup, monitor_record
 from repro.runtime.tracing import add_counter, trace_op
 
 
@@ -93,11 +94,16 @@ def evaluate(expr: Expr, db: Database, budget=None) -> Relation:
     process.
     """
     fault_point("reference", expr)
+    cached = monitor_lookup(expr)
+    if cached is not None:
+        # adaptive resume: already materialized before a re-plan
+        return cached
     with trace_op("reference", expr):
         result = _evaluate(expr, db, budget)
         add_counter("rows_out", len(result))
     if budget is not None:
         budget.tick(rows=len(result), where="evaluate")
+    monitor_record(expr, len(result), result)
     return result
 
 

@@ -93,14 +93,32 @@ def estimate(
     subtrees; the enumerator's plans overlap almost entirely, so the
     optimizer passes one memo across the whole costing loop.  Cached
     Estimates are shared -- callers must treat them as immutable.
+
+    When ``stats`` carries a feedback store (see
+    :class:`repro.optimizer.stats.Statistics`), every node's static
+    estimate is corrected by observed cardinalities before parents
+    consume it: an exact subtree observation overrides the guess
+    outright, and a per-predicate selectivity factor transfers to
+    every re-ordered plan that evaluates the same predicate.
     """
     if memo is None:
-        return _estimate(expr, stats, None)
+        return _corrected(_estimate(expr, stats, None), expr, stats)
     found = memo.get(expr)
     if found is None:
-        found = _estimate(expr, stats, memo)
+        found = _corrected(_estimate(expr, stats, memo), expr, stats)
         memo[expr] = found
     return found
+
+
+def _corrected(est: Estimate, expr: Expr, stats: Statistics) -> Estimate:
+    """Apply cardinality feedback, when a store is attached."""
+    feedback = getattr(stats, "feedback", None)
+    if feedback is None:
+        return est
+    rows = feedback.corrected_rows(expr, est.rows, stats.version)
+    if rows is None or rows == est.rows:
+        return est
+    return _scaled(est, rows)
 
 
 def _estimate(expr: Expr, stats: Statistics, memo) -> Estimate:

@@ -36,11 +36,23 @@ class Statistics:
     consumers that cache derived artifacts (notably the plan cache in
     :mod:`repro.runtime.plan_cache`) can key on it and invalidate
     automatically when statistics are refreshed.
+
+    ``feedback`` optionally attaches a
+    :class:`repro.runtime.feedback.FeedbackStore`: when present, the
+    estimator (:func:`repro.optimizer.cardinality.estimate`) corrects
+    its static guesses with the store's observed cardinalities, and
+    the runtime composes the store's generation with ``version`` in
+    its plan-cache key.
     """
 
-    def __init__(self, tables: dict[str, TableStats] | None = None) -> None:
+    def __init__(
+        self,
+        tables: dict[str, TableStats] | None = None,
+        feedback=None,
+    ) -> None:
         self._tables = dict(tables or {})
         self.version = 0
+        self.feedback = feedback
 
     def add(self, name: str, stats: TableStats) -> None:
         self._tables[name] = stats

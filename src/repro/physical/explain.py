@@ -22,8 +22,11 @@ def explain_analyze(
             :func:`repro.physical.planner.compile_plan`).
         db: The database to run against.
         timings: Also show the estimated cardinality (``est=?`` when
-            the plan was compiled without an estimator) and the
-            cumulative wall time of every operator subtree.
+            the plan was compiled without an estimator), the
+            misestimation ratio (``err=N.Nx`` = actual / estimated,
+            shown only when the estimate missed -- the same ratio
+            adaptive re-planning thresholds on), and the cumulative
+            wall time of every operator subtree.
     """
     result = run_plan(plan, db)
     lines = plan.tree_lines(analyze=timings)

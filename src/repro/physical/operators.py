@@ -79,14 +79,21 @@ class PhysicalOperator:
 
         The default format (``label  (rows=N)``) is the stable EXPLAIN
         shape; ``analyze=True`` adds the estimated cardinality
-        (``est=?`` when the planner had no estimator) and the
-        cumulative wall time of the subtree.
+        (``est=?`` when the planner had no estimator), the cumulative
+        wall time of the subtree, and -- when the estimate missed --
+        the misestimation ratio ``err=N.Nx`` (actual / estimated, the
+        quantity adaptive re-planning thresholds on; omitted when the
+        estimate was exact or absent).
         """
         if analyze:
             est = "?" if self.est_rows is None else format(self.est_rows, "g")
+            err = ""
+            if self.est_rows is not None and self.rows_out != self.est_rows:
+                ratio = self.rows_out / max(self.est_rows, 1e-9)
+                err = f" err={ratio:.1f}x"
             head = (
                 f"{indent}{self.label}  "
-                f"(est={est} rows={self.rows_out} "
+                f"(est={est} rows={self.rows_out}{err} "
                 f"time={self.elapsed_ms:.3f}ms)"
             )
         else:

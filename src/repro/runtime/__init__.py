@@ -34,6 +34,13 @@ service needs:
   operator/cache/statistics boundaries, so all of the above is
   exercised by construction (the chaos suite in
   ``tests/integration/test_chaos.py``);
+* :class:`FeedbackStore` / :class:`CardinalityMonitor` -- adaptive
+  re-optimization: observed est/actual cardinality deltas correct the
+  cost model's estimates (bumping a generation the plan-cache key
+  composes with, so stale plans self-invalidate), and an armed monitor
+  aborts a mid-flight plan whose actual cardinalities blow past their
+  estimates, re-plans with the observed counts, and resumes from
+  materialized intermediates;
 * :class:`Tracer` / :class:`MetricsRegistry` -- the observability
   layer: contextvar-scoped span trees over the whole plan lifecycle
   (sharing the fault layer's operator-site seam) and service-level
@@ -56,6 +63,11 @@ from repro.runtime.faults import (
     fault_point,
     fault_scope,
     perturb_factor,
+)
+from repro.runtime.feedback import (
+    CardinalityMonitor,
+    FeedbackStore,
+    monitor_scope,
 )
 from repro.runtime.incidents import Incident, IncidentLog
 from repro.runtime.metrics import MetricsRegistry, parse_prometheus, service_registry
@@ -94,9 +106,11 @@ def __dir__():
 __all__ = [
     "Budget",
     "CancelToken",
+    "CardinalityMonitor",
     "FaultPlan",
     "FaultSpec",
     "FaultStream",
+    "FeedbackStore",
     "Incident",
     "IncidentLog",
     "DegradationLevel",
@@ -115,6 +129,7 @@ __all__ = [
     "Tracer",
     "fault_point",
     "fault_scope",
+    "monitor_scope",
     "parse_prometheus",
     "perturb_factor",
     "query_fingerprint",

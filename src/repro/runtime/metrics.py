@@ -48,6 +48,23 @@ DEFAULT_BUCKETS = (
     2500.0,
 )
 
+#: actual/estimated cardinality ratio buckets: symmetric around 1.0
+#: (well-estimated), stretching to the 1000x blowups re-planning exists
+#: to contain.
+RATIO_BUCKETS = (
+    0.01,
+    0.1,
+    0.25,
+    0.5,
+    0.8,
+    1.25,
+    2.0,
+    4.0,
+    10.0,
+    100.0,
+    1000.0,
+)
+
 
 def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
@@ -409,6 +426,26 @@ def service_registry() -> MetricsRegistry:
     reg.gauge(
         "repro_plan_cache_hit_ratio", "hits / (hits + misses), 0 when idle"
     )
+    reg.counter(
+        "repro_replans_total", "Mid-query re-plans triggered, by outcome"
+    )
+    reg.counter(
+        "repro_feedback_ingests_total",
+        "Cardinality observations ingested into the feedback store",
+    )
+    reg.counter(
+        "repro_feedback_quarantines_total",
+        "Feedback entries quarantined as suspect",
+    )
+    reg.gauge(
+        "repro_feedback_generation", "Feedback store invalidation generation"
+    )
+    reg.gauge("repro_feedback_entries", "Feedback fingerprints currently held")
+    reg.histogram(
+        "repro_estimate_error_ratio",
+        "Observed actual/estimated rows per executed operator",
+        buckets=RATIO_BUCKETS,
+    )
     return reg
 
 
@@ -431,12 +468,31 @@ def sync_cache_metrics(reg: MetricsRegistry, cache) -> None:
     reg.gauge("repro_plan_cache_hit_ratio").set(hits / total if total else 0.0)
 
 
+def sync_feedback_metrics(reg: MetricsRegistry, feedback) -> None:
+    """Copy a :class:`FeedbackStore`'s counters into ``reg``.
+
+    Same delta discipline as :func:`sync_cache_metrics`: counters are
+    bumped by the delta since the last sync, gauges set outright.
+    """
+    counters: Mapping[str, int] = feedback.counters()
+    ingest_fam = reg.counter("repro_feedback_ingests_total")
+    quarantine_fam = reg.counter("repro_feedback_quarantines_total")
+    ingest_fam.inc(max(0, counters.get("ingests", 0) - ingest_fam.value_for()))
+    quarantine_fam.inc(
+        max(0, counters.get("quarantines", 0) - quarantine_fam.value_for())
+    )
+    reg.gauge("repro_feedback_generation").set(counters.get("generation", 0))
+    reg.gauge("repro_feedback_entries").set(counters.get("entries", 0))
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
+    "RATIO_BUCKETS",
     "SAMPLE_WINDOW",
     "parse_prometheus",
     "quantile",
     "service_registry",
     "sync_cache_metrics",
+    "sync_feedback_metrics",
 ]

@@ -13,6 +13,10 @@ optimization results keyed by
   choice; and
 * the **statistics version** (:attr:`Statistics.version`), so a
   refreshed catalog invalidates every entry without explicit flushes.
+  The version may be any hashable -- the session composes it with the
+  cardinality-feedback generation (``(stats_version, generation)``, see
+  :mod:`repro.runtime.feedback`) so observed-cardinality corrections
+  also self-invalidate stale plans.
 
 Only trustworthy entries are stored: full-rung results whose
 verification did not fail (``verified is not False``).  A later
@@ -86,7 +90,9 @@ class PlanCache:
             query: The logical expression being planned (fingerprinted
                 structurally, constants included).
             stats_version: :attr:`Statistics.version` the caller plans
-                under; entries stored under another version never hit.
+                under (or any hashable composed from it, e.g. a
+                ``(stats_version, feedback_generation)`` tuple);
+                entries stored under another version never hit.
 
         Both outcomes move the hit/miss counters and fire the
         ``cache.get`` fault/trace checkpoint.

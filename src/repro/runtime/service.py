@@ -64,10 +64,12 @@ from repro.optimizer import Statistics
 from repro.runtime.budget import Budget, CancelToken
 from repro.runtime.faults import FaultPlan, fault_scope
 from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.feedback import FeedbackStore
 from repro.runtime.metrics import (
     MetricsRegistry,
     service_registry,
     sync_cache_metrics,
+    sync_feedback_metrics,
 )
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.session import QuerySession, SessionResult
@@ -227,6 +229,14 @@ class ServiceResult:
     def plan_cache(self):
         return self.session.plan_cache
 
+    @property
+    def replans(self):
+        return self.session.replans
+
+    @property
+    def replan_events(self):
+        return self.session.replan_events
+
     def to_dict(self) -> dict:
         return {
             **self.session.to_dict(),
@@ -324,6 +334,18 @@ class QueryService:
         construction (used to inject failing planners and gates).
     clock:
         Injectable monotonic clock for the breakers.
+    feedback:
+        Shared :class:`repro.runtime.feedback.FeedbackStore` for
+        cardinality feedback across every worker session.  ``None``
+        (default) disables feedback unless ``replan_threshold`` is
+        set, in which case a service-private store is created.
+    replan_threshold:
+        Arm mid-query re-planning in every worker session (see
+        :class:`QuerySession`).  Re-plans run inside the query's
+        carved budget, so re-plan storms still respect deadlines,
+        circuit breakers and admission control.
+    max_replans:
+        Per-query re-plan cap forwarded to worker sessions.
     """
 
     def __init__(
@@ -347,6 +369,9 @@ class QueryService:
         metrics: MetricsRegistry | None = None,
         session_factory=None,
         clock=time.monotonic,
+        feedback: FeedbackStore | None = None,
+        replan_threshold: float | None = None,
+        max_replans: int = 2,
     ) -> None:
         if engine not in FALLBACK_CHAIN:
             raise ValueError(
@@ -369,6 +394,13 @@ class QueryService:
         self._service_budget = service_budget
         self._session_factory = session_factory
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        if feedback is None and replan_threshold is not None:
+            feedback = FeedbackStore()
+        self.feedback = feedback
+        if feedback is not None:
+            self.stats.feedback = feedback
+        self.replan_threshold = replan_threshold
+        self.max_replans = max_replans
         self.metrics = metrics if metrics is not None else service_registry()
         self.incidents = IncidentLog(capacity=incident_capacity)
         self.quarantined: set[Expr] = set()
@@ -512,6 +544,8 @@ class QueryService:
             "incidents": len(self.incidents),
             "incidents_dropped": self.incidents.dropped,
             "plan_cache": self.plan_cache.counters(),
+            "feedback": self.feedback.counters() if self.feedback else None,
+            "replan_threshold": self.replan_threshold,
             "fault_plan": self.fault_plan.to_dict() if self.fault_plan else None,
         }
 
@@ -523,6 +557,8 @@ class QueryService:
         copied into the registry at export time.
         """
         sync_cache_metrics(self.metrics, self.plan_cache)
+        if self.feedback is not None:
+            sync_feedback_metrics(self.metrics, self.feedback)
         return self.metrics
 
     # -- worker machinery ------------------------------------------------
@@ -563,6 +599,10 @@ class QueryService:
                     plan_cache=self.plan_cache,
                     incidents=self.incidents,
                     quarantined=self.quarantined,
+                    feedback=self.feedback,
+                    replan_threshold=self.replan_threshold,
+                    max_replans=self.max_replans,
+                    metrics=self.metrics,
                 )
         return sessions[engine]
 

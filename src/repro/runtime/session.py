@@ -36,7 +36,7 @@ import time
 from dataclasses import dataclass, field
 from enum import IntEnum
 
-from repro.errors import BudgetExceeded, OptimizerInternalError
+from repro.errors import BudgetExceeded, OptimizerInternalError, ReplanTriggered
 from repro.exec import execute as hash_execute
 from repro.exec import execute_vector
 from repro.expr.evaluate import Database, evaluate
@@ -47,8 +47,15 @@ from repro.optimizer import (
     greedy_reorder,
     optimize,
 )
+from repro.optimizer.cost import CostModel
 from repro.relalg import Relation
 from repro.runtime.budget import Budget
+from repro.runtime.faults import fault_point
+from repro.runtime.feedback import (
+    CardinalityMonitor,
+    FeedbackStore,
+    monitor_scope,
+)
 from repro.runtime.incidents import Incident, IncidentLog
 from repro.runtime.plan_cache import PlanCache
 from repro.runtime.tracing import set_tag, span
@@ -90,6 +97,8 @@ class SessionResult:
     elapsed_ms: float
     budget_snapshot: dict = field(default_factory=dict)
     plan_cache: dict = field(default_factory=dict)
+    replans: int = 0
+    replan_events: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """Machine-readable summary (bench JSON, logs)."""
@@ -103,6 +112,7 @@ class SessionResult:
             "elapsed_ms": round(self.elapsed_ms, 3),
             "budget": self.budget_snapshot,
             "plan_cache": self.plan_cache,
+            "replans": self.replans,
         }
 
 
@@ -158,6 +168,30 @@ class QuerySession:
         Shared quarantine set; a fresh one by default.  Sharing it
         (together with the plan cache) means a plan quarantined by one
         session is never served by a concurrent one.
+    feedback:
+        A :class:`repro.runtime.feedback.FeedbackStore` to learn
+        observed cardinalities into (shareable across sessions, like
+        the plan cache).  When present, every monitored execution's
+        est/actual deltas are ingested, the estimator corrects future
+        plans with them, and the store's generation is composed into
+        the plan-cache key so corrected estimates invalidate stale
+        plans automatically.  ``None`` (the default) disables
+        feedback unless ``replan_threshold`` is set, in which case a
+        private store is created.
+    replan_threshold:
+        Arm mid-query re-planning: when an operator's actual
+        cardinality exceeds its estimate by this factor (e.g. ``4.0``
+        = 4x), the full-rung execution aborts, re-costs with the
+        observed counts, and resumes from materialized intermediates.
+        ``None`` (the default) disables re-planning.
+    max_replans:
+        Re-plans allowed per query before the session gives up and
+        runs the current plan to completion (the give-up path into the
+        normal degradation ladder) -- re-planning can never loop.
+    metrics:
+        Optional :class:`repro.runtime.metrics.MetricsRegistry` for
+        re-plan counters and est/actual ratio histograms (the service
+        passes its own registry to every worker session).
     """
 
     def __init__(
@@ -175,6 +209,10 @@ class QuerySession:
         plan_cache: PlanCache | None = None,
         incidents: IncidentLog | None = None,
         quarantined: set[Expr] | None = None,
+        feedback: FeedbackStore | None = None,
+        replan_threshold: float | None = None,
+        max_replans: int = 2,
+        metrics=None,
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
@@ -195,6 +233,15 @@ class QuerySession:
             quarantined if quarantined is not None else set()
         )
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        if feedback is None and replan_threshold is not None:
+            feedback = FeedbackStore()
+        self.feedback = feedback
+        if feedback is not None:
+            # the estimator reads corrections through the stats object
+            self.stats.feedback = feedback
+        self.replan_threshold = replan_threshold
+        self.max_replans = max_replans
+        self.metrics = metrics
 
     # -- plumbing --------------------------------------------------------
 
@@ -210,6 +257,14 @@ class QuerySession:
 
     def _execute(self, plan: Expr, budget: Budget) -> Relation:
         return _EXECUTORS[self.executor](plan, self.db, budget)
+
+    def _plan_version(self):
+        """The plan-cache version key: ``stats_version`` alone, or
+        composed with the feedback generation so corrected estimates
+        invalidate stale plans automatically."""
+        if self.feedback is None:
+            return self.stats.version
+        return (self.stats.version, self.feedback.generation)
 
     @staticmethod
     def _last_resort_budget(run_budget: Budget) -> Budget:
@@ -329,7 +384,7 @@ class QuerySession:
         cache_hit = False
         with span(f"plan.{level.name.lower()}"):
             if level is DegradationLevel.FULL:
-                cached = self.plan_cache.lookup(query, self.stats.version)
+                cached = self.plan_cache.lookup(query, self._plan_version())
                 if cached is not None:
                     optimized = cached
                     cache_hit = True
@@ -343,8 +398,14 @@ class QuerySession:
             else:
                 optimized = greedy_reorder(query, self.stats, budget=stage_budget)
             plan = self._pick_plan(optimized)
-        with span("execute", engine=self.executor):
-            relation = self._execute(plan, stage_budget)
+        if self.feedback is not None:
+            relation, plan, optimized, replans, replan_events = (
+                self._execute_adaptive(query, plan, optimized, stage_budget, level)
+            )
+        else:
+            replans, replan_events = 0, []
+            with span("execute", engine=self.executor):
+                relation = self._execute(plan, stage_budget)
 
         verified: bool | None = None
         incident: Incident | None = None
@@ -370,12 +431,17 @@ class QuerySession:
                     elapsed_ms=0.0,  # stamped by _finalize
                     budget_snapshot={},
                     plan_cache={"hit": cache_hit},
+                    replans=replans,
+                    replan_events=replan_events,
                 )
         # only trustworthy full-rung results are cached: a failed
         # verification never reaches here (handled above), and
-        # heuristic plans would shadow the better full plan on reuse
-        if level is DegradationLevel.FULL and not cache_hit:
-            self.plan_cache.store(query, self.stats.version, optimized)
+        # heuristic plans would shadow the better full plan on reuse.
+        # A re-planned query re-stores even on a cache hit: the hit was
+        # under the pre-feedback generation, and ``optimized`` now holds
+        # the corrected plan keyed by the bumped generation.
+        if level is DegradationLevel.FULL and (not cache_hit or replans):
+            self.plan_cache.store(query, self._plan_version(), optimized)
         return SessionResult(
             relation=relation,
             chosen=plan,
@@ -387,7 +453,173 @@ class QuerySession:
             elapsed_ms=0.0,  # stamped by _finalize
             budget_snapshot={},
             plan_cache={"hit": cache_hit},
+            replans=replans,
+            replan_events=replan_events,
         )
+
+    # -- adaptive execution (cardinality feedback + re-planning) ---------
+
+    def _execute_adaptive(
+        self,
+        query: Expr,
+        plan: Expr,
+        optimized: OptimizationResult,
+        stage_budget: Budget,
+        level: DegradationLevel,
+    ) -> tuple[Relation, Expr, OptimizationResult, int, list]:
+        """Execute ``plan`` under a cardinality monitor.
+
+        Every operator boundary reports est/actual to the monitor;
+        observations are ingested into the feedback store either way,
+        so *future* queries plan on corrected estimates.  When armed
+        (``replan_threshold`` set, full rung only -- the heuristic rung
+        observes without triggering), an actual count beyond Nx its
+        estimate aborts execution mid-query: the session ingests the
+        observed counts, re-optimizes under what remains of the stage
+        budget, and re-executes -- with the monitor's materialized
+        intermediates serving every subtree the new plan shares with
+        the old one.  After ``max_replans`` re-plans (or a failed
+        re-optimization) the monitor is disarmed and the current plan
+        runs to completion; a blown budget still degrades down the
+        normal ladder.  ``replan.trigger`` / ``replan.reoptimize`` /
+        ``replan.resume`` are both tracing spans and fault-injection
+        sites.
+        """
+        armed = (
+            self.replan_threshold is not None
+            and level is DegradationLevel.FULL
+        )
+        monitor = CardinalityMonitor(
+            threshold=self.replan_threshold if armed else None,
+            max_cached_rows=(
+                stage_budget.max_rows
+                if stage_budget.max_rows is not None
+                else 200_000
+            ),
+        )
+        self._stamp_estimates(monitor, plan)
+        replans = 0
+        events: list[dict] = []
+        while True:
+            try:
+                with span(
+                    "execute", engine=self.executor, replans=str(replans)
+                ), monitor_scope(monitor):
+                    relation = self._execute(plan, stage_budget)
+                break
+            except ReplanTriggered as trigger:
+                replans += 1
+                plan, optimized = self._handle_replan(
+                    query, plan, optimized, stage_budget,
+                    monitor, trigger, replans, events,
+                )
+        self._ingest_observations(monitor)
+        return relation, plan, optimized, replans, events
+
+    def _handle_replan(
+        self,
+        query: Expr,
+        plan: Expr,
+        optimized: OptimizationResult,
+        stage_budget: Budget,
+        monitor: CardinalityMonitor,
+        trigger: ReplanTriggered,
+        replans: int,
+        events: list,
+    ) -> tuple[Expr, OptimizationResult]:
+        """One triggered re-plan; returns the plan to resume with."""
+        event = {**trigger.to_dict(), "replans": replans}
+        event.pop("error", None)
+        with span(
+            "replan.trigger",
+            site=trigger.site,
+            est=f"{trigger.est:g}",
+            actual=f"{trigger.actual:g}",
+        ):
+            fault_point("replan", op="trigger")
+            # believe the observed counts before re-costing: this bumps
+            # the feedback generation, so the stale cached plan for this
+            # query self-invalidates
+            self._ingest_observations(monitor)
+
+        if replans > self.max_replans:
+            monitor.disarm()
+            event["outcome"] = "gave-up"
+            self._record_replan(query, event, "replan-cap-reached")
+            events.append(event)
+            return plan, optimized
+
+        with span("replan.reoptimize"):
+            fault_point("replan", op="reoptimize")
+            model = CostModel(self.stats)
+            try:
+                event["old_cost"] = model.cost(plan)
+                reopt = self._optimize_fn(
+                    query,
+                    self.stats,
+                    max_plans=self.max_plans,
+                    budget=stage_budget,
+                )
+                new_plan = self._pick_plan(reopt)
+                event["new_cost"] = model.cost(new_plan)
+            except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
+                # give up re-planning, keep the answer coming: the
+                # current plan runs to completion (shared subtrees are
+                # already materialized), and a truly blown budget still
+                # degrades down the normal ladder
+                monitor.disarm()
+                event["outcome"] = "reoptimize-failed"
+                event["error"] = f"{type(exc).__name__}: {exc}"
+                self._record_replan(query, event, "reoptimize-failed")
+                events.append(event)
+                return plan, optimized
+
+        if new_plan == plan:
+            # the estimates moved but the plan did not; the monitor's
+            # fired-set guarantees this node cannot trigger again
+            event["outcome"] = "same-plan"
+            self._record_replan(query, event, "same-plan")
+            events.append(event)
+            return plan, optimized
+
+        with span("replan.resume", reused=str(monitor.reused)):
+            fault_point("replan", op="resume")
+            self._stamp_estimates(monitor, new_plan)
+        event["outcome"] = "replanned"
+        self._record_replan(query, event, "replanned")
+        events.append(event)
+        return new_plan, reopt
+
+    def _stamp_estimates(self, monitor: CardinalityMonitor, plan: Expr) -> None:
+        """Stamp per-node row estimates for the plan about to run."""
+        model = CostModel(self.stats)
+        monitor.stamp(plan, lambda node: model.estimate(node).rows)
+
+    def _ingest_observations(self, monitor: CardinalityMonitor) -> None:
+        """Drain the monitor's est/actual pairs into the store."""
+        if self.feedback is None:
+            return
+        version = self.stats.version
+        for node, est, actual in monitor.drain():
+            self.feedback.observe(node, est, actual, stats_version=version)
+            if self.metrics is not None and est is not None and est > 0:
+                self.metrics.histogram("repro_estimate_error_ratio").observe(
+                    actual / est
+                )
+
+    def _record_replan(self, query: Expr, event: dict, outcome: str) -> None:
+        self.incidents.record(
+            Incident(
+                kind="replan",
+                query=str(query),
+                detail=dict(event),
+                action=outcome,
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.counter("repro_replans_total").labels(
+                outcome=event.get("outcome", outcome)
+            ).inc()
 
     def _finalize(
         self,
@@ -555,7 +787,7 @@ class QuerySession:
                     where=f"{level.name.lower()}-stage",
                 )
                 if level is DegradationLevel.FULL:
-                    cached = self.plan_cache.lookup(query, self.stats.version)
+                    cached = self.plan_cache.lookup(query, self._plan_version())
                     if cached is not None:
                         return cached, level, "; ".join(reasons) or None
                     optimized = self._optimize_fn(
@@ -564,7 +796,7 @@ class QuerySession:
                         max_plans=self.max_plans,
                         budget=stage_budget,
                     )
-                    self.plan_cache.store(query, self.stats.version, optimized)
+                    self.plan_cache.store(query, self._plan_version(), optimized)
                 else:
                     optimized = greedy_reorder(
                         query, self.stats, budget=stage_budget

@@ -25,14 +25,22 @@ import random
 import pytest
 
 from repro.errors import ReproError
-from repro.expr import evaluate
+from repro.expr import BaseRel, Database, JoinKind, evaluate
+from repro.expr.nodes import Join
+from repro.expr.predicates import eq
+from repro.optimizer import TableStats
+from repro.optimizer.stats import Statistics
+from repro.relalg import Relation
 from repro.runtime.faults import FaultPlan
+from repro.runtime.feedback import FeedbackStore
 from repro.runtime.service import FALLBACK_CHAIN, BreakerConfig, QueryService
 from repro.workloads.random_db import random_database, random_join_query
 
 SEED_BASE = int(os.environ.get("REPRO_CHAOS_SEED", "1337"))
 
 N_SCENARIOS = 24
+
+N_ADAPTIVE_SCENARIOS = 10
 
 #: fault clause templates the storm generator draws from
 _FAULT_MENU = [
@@ -179,6 +187,195 @@ def test_same_seed_reproduces_the_same_storm():
         return trace
 
     assert run_once() == run_once()
+
+
+#: fault menu for adaptive storms: lying statistics force re-plans,
+#: poisoned feedback exercises quarantine, and crashes at the replan
+#: sites prove a re-plan storm is contained like any other failure
+_ADAPTIVE_FAULT_MENU = [
+    "stats:perturb=0.05x",
+    "stats:perturb=8x",
+    "stats:perturb=64x",
+    "feedback:perturb=16x",
+    "feedback:perturb=0.1x",
+    "vector.join:crash@{p}",
+    "hash.scan:crash@{p}",
+    "replan.trigger:crash@{p}",
+    "replan.reoptimize:crash@{p}",
+]
+
+
+def build_adaptive_scenario(seed: int):
+    """An adaptive storm: misestimation + poisoned feedback + crashes."""
+    rng = random.Random(seed)
+    n_rel = rng.randint(2, 4)
+    names = [f"r{i}" for i in range(1, n_rel + 1)]
+    db = random_database(
+        rng, names, max_rows=5, null_probability=0.2, min_rows=2
+    )
+    queries = [
+        random_join_query(rng, n_rel, outer_probability=0.4)
+        for _ in range(rng.randint(3, 6))
+    ]
+    clauses = rng.sample(_ADAPTIVE_FAULT_MENU, rng.randint(2, 3))
+    plan_text = ",".join(
+        clause.format(p=round(rng.uniform(0.1, 0.6), 2)) for clause in clauses
+    )
+    return {
+        "db": db,
+        "queries": queries,
+        "fault_plan": FaultPlan.parse(plan_text, seed=seed),
+        "workers": rng.randint(1, 3),
+        "engine": rng.choice(["vector", "hash"]),
+        "threshold": rng.choice([2.0, 4.0, 8.0]),
+    }
+
+
+@pytest.mark.parametrize("offset", range(N_ADAPTIVE_SCENARIOS))
+def test_adaptive_storm_contains_misestimation(offset):
+    """Re-planning under fire: lying stats trigger mid-query re-plans,
+    ``feedback:perturb`` poisons the store, crashes hit the replan
+    sites themselves -- and still no wrong answer escapes.  Every
+    query runs twice so corrections learned by the first pass steer
+    the second pass's planning."""
+    seed = SEED_BASE + 1000 + offset
+    scenario = build_adaptive_scenario(seed)
+    db = scenario["db"]
+
+    expected = [evaluate(q, db) for q in scenario["queries"]]
+
+    feedback = FeedbackStore(suspect_ratio=1e3)
+    service = QueryService(
+        db,
+        workers=scenario["workers"],
+        queue_depth=64,
+        engine=scenario["engine"],
+        verify=True,
+        fault_plan=scenario["fault_plan"],
+        breaker=BreakerConfig(failure_threshold=2, window_s=600.0, cooldown_s=600.0),
+        feedback=feedback,
+        replan_threshold=scenario["threshold"],
+    )
+    try:
+        doubled = scenario["queries"] + scenario["queries"]
+        truths = expected + expected
+        tickets = [service.submit(q) for q in doubled]
+        outcomes = []
+        for ticket in tickets:
+            try:
+                outcomes.append(ticket.result(timeout=120))
+            except ReproError as exc:
+                outcomes.append(exc)
+
+        for query, truth, outcome in zip(doubled, truths, outcomes):
+            if isinstance(outcome, ReproError):
+                assert any(
+                    incident.kind
+                    in (
+                        "query-failed",
+                        "budget-exhausted",
+                        "query-cancelled",
+                        "engine-failure",
+                    )
+                    for incident in service.incidents
+                ), f"seed {seed}: failure without incident: {outcome!r}"
+                continue
+            # THE invariant: re-planning mid-flight, resuming from
+            # cached intermediates, and poisoned feedback must never
+            # change an answer
+            assert outcome.relation.same_content(truth), (
+                f"seed {seed}: wrong answer from engine {outcome.engine} "
+                f"(replans={outcome.replans}) for {query}"
+            )
+            # a triggered re-plan always leaves a journal trail
+            if outcome.replans:
+                assert service.incidents.count("replan") >= 1, (
+                    f"seed {seed}: replan without incident"
+                )
+
+        # the store never wedges: poisoned fingerprints are quarantined,
+        # the rest keep serving (counters stay coherent)
+        counters = feedback.counters()
+        assert counters["quarantined_entries"] <= counters["entries"]
+        assert counters["generation"] >= counters["quarantines"]
+
+        snap = service.snapshot()
+        assert snap["completed"] + snap["failed"] == len(tickets)
+        assert snap["feedback"]["ingests"] == counters["ingests"]
+    finally:
+        service.close()
+
+    assert all(t.done() for t in tickets)
+    for thread in service._threads:
+        assert not thread.is_alive()
+
+
+def test_replan_storm_lands_on_a_cheaper_plan():
+    """The directed misestimation storm: statistics undersell r><s by
+    12x and oversell t by 50x, so the optimizer leads with the
+    fan-out join.  The monitor must abort it, re-plan onto the
+    (s><t)-first tree at a strictly lower estimated cost, resume, and
+    answer correctly -- all visible through incidents and metrics."""
+    db = Database(
+        {
+            "r": Relation.base(
+                "r", ["r_a", "r_b"], [(i, i % 10) for i in range(120)]
+            ),
+            "s": Relation.base(
+                "s", ["s_b", "s_c"], [(i % 10, i) for i in range(120)]
+            ),
+            "t": Relation.base(
+                "t", ["t_c", "t_d"], [(i, i * 2) for i in range(12)]
+            ),
+        }
+    )
+    r, s, t = (
+        BaseRel("r", ("r_a", "r_b")),
+        BaseRel("s", ("s_b", "s_c")),
+        BaseRel("t", ("t_c", "t_d")),
+    )
+    query = Join(
+        JoinKind.INNER,
+        Join(JoinKind.INNER, r, s, eq("r_b", "s_b")),
+        t,
+        eq("s_c", "t_c"),
+    )
+    truth = evaluate(query, db)
+    stats = Statistics(
+        {
+            "r": TableStats(120, {"r_a": 120, "r_b": 120}),
+            "s": TableStats(120, {"s_b": 120, "s_c": 120}),
+            "t": TableStats(600, {"t_c": 120, "t_d": 120}),
+        }
+    )
+    service = QueryService(
+        db, workers=2, engine="vector", stats=stats, replan_threshold=4.0
+    )
+    try:
+        result = service.run(query, timeout=120)
+        assert result.relation.same_content(truth)
+        assert result.replans == 1
+        (event,) = result.replan_events
+        assert event["outcome"] == "replanned"
+        assert event["new_cost"] < event["old_cost"]
+        # the journal and the metrics both saw it
+        replan = next(i for i in service.incidents if i.kind == "replan")
+        assert replan.action == "replanned"
+        assert replan.detail["new_cost"] < replan.detail["old_cost"]
+        service.export_metrics()
+        assert (
+            service.metrics.counter("repro_replans_total").value_for(
+                outcome="replanned"
+            )
+            == 1.0
+        )
+        # the second submission plans with the corrected estimates:
+        # no trigger, and the cheap plan is now the cached one
+        again = service.run(query, timeout=120)
+        assert again.replans == 0
+        assert again.relation.same_content(truth)
+    finally:
+        service.close()
 
 
 def test_breaker_storm_routes_to_the_floor():

@@ -1,0 +1,391 @@
+"""Cardinality feedback, mid-query re-planning, containment."""
+
+import json
+
+import pytest
+
+from repro.errors import ReplanTriggered, UserInputError
+from repro.expr import BaseRel, Database, JoinKind
+from repro.expr.evaluate import evaluate
+from repro.expr.nodes import Join
+from repro.expr.predicates import eq
+from repro.optimizer import TableStats
+from repro.optimizer.cardinality import estimate
+from repro.optimizer.stats import Statistics
+from repro.relalg import Relation
+from repro.runtime import (
+    CardinalityMonitor,
+    DegradationLevel,
+    FaultPlan,
+    FeedbackStore,
+    PlanCache,
+    QuerySession,
+    Tracer,
+    fault_scope,
+    trace_scope,
+)
+from repro.runtime.feedback import (
+    monitor_record,
+    monitor_scope,
+    predicate_key,
+    subtree_key,
+)
+
+R = BaseRel("r", ("r_a", "r_b"))
+S = BaseRel("s", ("s_b", "s_c"))
+T = BaseRel("t", ("t_c", "t_d"))
+RS = Join(JoinKind.INNER, R, S, eq("r_b", "s_b"))
+QUERY = Join(JoinKind.INNER, RS, T, eq("s_c", "t_c"))
+
+
+def skewed_db() -> Database:
+    """r join s fans out 12x (10 distinct b values over 120 rows each);
+    s join t is tiny (t has 12 rows, unique c)."""
+    return Database(
+        {
+            "r": Relation.base(
+                "r", ["r_a", "r_b"], [(i, i % 10) for i in range(120)]
+            ),
+            "s": Relation.base(
+                "s", ["s_b", "s_c"], [(i % 10, i) for i in range(120)]
+            ),
+            "t": Relation.base(
+                "t", ["t_c", "t_d"], [(i, i * 2) for i in range(12)]
+            ),
+        }
+    )
+
+
+def lying_stats(t_rows: int = 600) -> Statistics:
+    """Statistics that undersell r join s (distincts inflated to 120,
+    so est = 120 vs actual 1440) and oversell t (claimed ``t_rows``
+    vs actual 12) -- the misestimation the adaptive loop must catch."""
+    stats = Statistics(
+        {
+            "r": TableStats(120, {"r_a": 120, "r_b": 120}),
+            "s": TableStats(120, {"s_b": 120, "s_c": 120}),
+            "t": TableStats(t_rows, {"t_c": 120, "t_d": 120}),
+        }
+    )
+    stats.version = 7
+    return stats
+
+
+class TestFeedbackStoreUnit:
+    def test_subtree_observation_overrides_estimate(self):
+        store = FeedbackStore()
+        store.observe(RS, est=120.0, actual=1440.0)
+        assert store.corrected_rows(RS, 120.0) == 1440.0
+
+    def test_predicate_factor_transfers_to_other_join_orders(self):
+        store = FeedbackStore()
+        store.observe(RS, est=120.0, actual=1440.0)
+        # same predicate in a different tree: no subtree entry, but the
+        # 12x selectivity factor carries over
+        flipped = Join(JoinKind.INNER, S, R, eq("r_b", "s_b"))
+        assert store.corrected_rows(flipped, 50.0) == pytest.approx(600.0)
+
+    def test_predicate_factor_composes_to_a_fixpoint(self):
+        store = FeedbackStore()
+        store.observe(RS, est=120.0, actual=1440.0)
+        factor = store._entries[predicate_key(RS.predicate)].factor
+        assert factor == pytest.approx(12.0)
+        # next round the estimate already includes the 12x factor, so a
+        # matching observation must leave it unchanged
+        store.observe(RS, est=1440.0, actual=1440.0)
+        factor = store._entries[predicate_key(RS.predicate)].factor
+        assert factor == pytest.approx(12.0)
+
+    def test_generation_bumps_only_on_material_change(self):
+        store = FeedbackStore(bump_ratio=2.0)
+        store.observe(RS, est=100.0, actual=130.0)  # 1.3x: immaterial
+        assert store.generation == 0
+        store.observe(RS, est=130.0, actual=600.0)  # >2x: material
+        assert store.generation > 0
+
+    def test_lru_bound_evicts_oldest_fingerprint(self):
+        store = FeedbackStore(max_entries=3)
+        rels = [BaseRel(f"x{i}", (f"x{i}_a",)) for i in range(5)]
+        for rel in rels:
+            store.observe(rel, est=10.0, actual=10.0)
+        assert len(store) == 3
+        assert store.evictions == 2
+        assert store.corrected_rows(rels[0], 10.0) is None  # evicted
+        assert store.corrected_rows(rels[4], 99.0) == 10.0  # retained
+
+    def test_entries_are_inert_under_a_different_stats_version(self):
+        store = FeedbackStore()
+        store.observe(RS, est=120.0, actual=1440.0, stats_version=1)
+        assert store.corrected_rows(RS, 120.0, stats_version=1) == 1440.0
+        assert store.corrected_rows(RS, 120.0, stats_version=2) is None
+
+    def test_suspect_ratio_quarantines_immediately(self):
+        store = FeedbackStore(suspect_ratio=1e4)
+        store.observe(RS, est=10.0, actual=10.0 * 1e5)  # wildly off
+        counters = store.counters()
+        assert counters["quarantines"] >= 1
+        assert store.corrected_rows(RS, 10.0) is None
+        # quarantine sticks: later sane observations are not believed
+        store.observe(RS, est=10.0, actual=20.0)
+        assert store.corrected_rows(RS, 10.0) is None
+
+    def test_oscillation_quarantines_after_max_swings(self):
+        store = FeedbackStore(swing_ratio=16.0, max_swings=2)
+        x = BaseRel("x", ("x_a",))
+        store.observe(x, est=100.0, actual=100.0 * 32)  # up 32x
+        store.observe(x, est=100.0, actual=100.0 / 32)  # down 32x: swing 1
+        store.observe(x, est=100.0, actual=100.0 * 32)  # up again: swing 2
+        assert store.counters()["quarantined_entries"] >= 1
+        assert store.corrected_rows(x, 100.0) is None
+
+    def test_quarantine_bumps_generation(self):
+        store = FeedbackStore(suspect_ratio=1e4)
+        store.observe(RS, est=120.0, actual=1440.0)
+        before = store.generation
+        store.observe(RS, est=120.0, actual=1440.0 * 1e5)
+        assert store.generation > before
+
+    def test_clear_quarantine_lets_a_fingerprint_learn_again(self):
+        store = FeedbackStore(suspect_ratio=1e4)
+        store.observe(RS, est=10.0, actual=10.0 * 1e5)
+        assert store.clear_quarantine() >= 1
+        store.observe(RS, est=10.0, actual=40.0)
+        assert store.corrected_rows(RS, 10.0) == 40.0
+
+    def test_json_round_trip_preserves_corrections(self, tmp_path):
+        store = FeedbackStore()
+        store.observe(RS, est=120.0, actual=1440.0, stats_version=3)
+        path = tmp_path / "fb.json"
+        store.save(path)
+        loaded = FeedbackStore.load(path)
+        assert loaded.generation == store.generation
+        assert loaded.corrected_rows(RS, 120.0, stats_version=3) == 1440.0
+        # the file is plain JSON with a schema version
+        data = json.loads(path.read_text())
+        assert data["version"] == 1 and data["entries"]
+
+    def test_bad_json_is_a_typed_user_error(self):
+        with pytest.raises(UserInputError):
+            FeedbackStore.from_json("not json")
+        with pytest.raises(UserInputError):
+            FeedbackStore.from_json('{"entries": [{"kind": "subtree"}]}')
+
+    def test_feedback_perturb_fault_poisons_then_quarantines(self):
+        # a feedback:perturb clause scales observations at the
+        # feedback.ingest site -- enough rounds of a 16x lie must end
+        # in quarantine, never in a permanently wedged store
+        plan = FaultPlan.parse("feedback:perturb=1000000x", seed=1)
+        store = FeedbackStore(suspect_ratio=1e4)
+        with fault_scope(plan.stream(0)):
+            store.observe(RS, est=120.0, actual=120.0)
+        assert store.counters()["quarantines"] >= 1
+        assert store.corrected_rows(RS, 120.0) is None
+
+
+class TestCardinalityMonitor:
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(UserInputError):
+            CardinalityMonitor(threshold=1.0)
+
+    def test_record_triggers_once_per_node(self):
+        monitor = CardinalityMonitor(threshold=4.0)
+        monitor.estimates[subtree_key(RS)] = 100.0
+        with pytest.raises(ReplanTriggered) as excinfo:
+            monitor.record(RS, 1000)
+        assert excinfo.value.est == 100.0
+        assert excinfo.value.actual == 1000.0
+        monitor.record(RS, 1000)  # fired set: same node never re-trips
+
+    def test_result_is_cached_before_the_trigger_raises(self):
+        monitor = CardinalityMonitor(threshold=4.0)
+        monitor.estimates[subtree_key(RS)] = 100.0
+        sentinel = object()
+        with pytest.raises(ReplanTriggered):
+            monitor.record(RS, 1000, result=sentinel)
+        assert monitor.lookup(RS) is sentinel
+        assert monitor.reused == 1
+
+    def test_cache_respects_the_row_bound(self):
+        monitor = CardinalityMonitor(max_cached_rows=10)
+        monitor.record(R, 8, result="small")
+        monitor.record(S, 8, result="too-big-now")
+        assert monitor.lookup(R) == "small"
+        assert monitor.lookup(S) is None
+
+    def test_disarm_keeps_observing_without_triggering(self):
+        monitor = CardinalityMonitor(threshold=4.0)
+        monitor.estimates[subtree_key(RS)] = 100.0
+        monitor.disarm()
+        monitor.record(RS, 10_000)
+        assert not monitor.armed
+        assert len(monitor.drain()) == 1
+
+    def test_hooks_are_inert_without_an_active_scope(self):
+        monitor_record(RS, 10_000)  # no monitor: must not raise
+        monitor = CardinalityMonitor(threshold=4.0)
+        monitor.estimates[subtree_key(RS)] = 1.0
+        with monitor_scope(monitor):
+            with pytest.raises(ReplanTriggered):
+                monitor_record(RS, 1000)
+
+
+class TestEstimatorCorrection:
+    def test_estimate_applies_feedback_and_scales_parents(self):
+        stats = lying_stats()
+        baseline = estimate(QUERY, stats).rows
+        feedback = FeedbackStore()
+        feedback.observe(RS, est=120.0, actual=1440.0, stats_version=7)
+        stats.feedback = feedback
+        corrected = estimate(RS, stats).rows
+        assert corrected == 1440.0
+        assert estimate(QUERY, stats).rows > baseline  # parent re-scaled
+
+    def test_no_feedback_attached_means_no_change(self):
+        stats = lying_stats()
+        assert estimate(RS, stats).rows == pytest.approx(120.0)
+
+
+class TestAdaptiveSession:
+    def test_replan_lands_on_a_cheaper_plan_and_stays_correct(self):
+        db = skewed_db()
+        truth = evaluate(QUERY, db)
+        session = QuerySession(
+            db, stats=lying_stats(), executor="vector", replan_threshold=4.0
+        )
+        tracer = Tracer()
+        with trace_scope(tracer):
+            result = session.run(QUERY)
+        assert result.relation.same_content(truth)
+        assert result.replans == 1
+        (event,) = result.replan_events
+        assert event["outcome"] == "replanned"
+        assert event["new_cost"] < event["old_cost"]
+        assert event["actual"] >= 4.0 * event["est"]
+        spans = {s.name for s in tracer.iter_spans()}
+        assert {"replan.trigger", "replan.reoptimize", "replan.resume"} <= spans
+        incident = next(i for i in session.incidents if i.kind == "replan")
+        assert incident.action == "replanned"
+
+    def test_second_run_is_pre_corrected_and_replan_free(self):
+        db = skewed_db()
+        session = QuerySession(
+            db, stats=lying_stats(), executor="vector", replan_threshold=4.0
+        )
+        first = session.run(QUERY)
+        second = session.run(QUERY)
+        assert first.replans == 1
+        assert second.replans == 0
+        assert second.relation.same_content(first.relation)
+
+    def test_replan_cap_gives_up_gracefully(self):
+        db = skewed_db()
+        session = QuerySession(
+            db,
+            stats=lying_stats(),
+            executor="vector",
+            replan_threshold=1.5,
+            max_replans=0,
+        )
+        result = session.run(QUERY)
+        truth = evaluate(QUERY, db)
+        assert result.relation.same_content(truth)
+        assert any(
+            e["outcome"] == "gave-up" for e in result.replan_events
+        )
+
+    def test_all_three_engines_answer_correctly_under_replanning(self):
+        db = skewed_db()
+        truth = evaluate(QUERY, db)
+        for engine in ("vector", "hash", "reference"):
+            session = QuerySession(
+                db,
+                stats=lying_stats(),
+                executor=engine,
+                replan_threshold=4.0,
+            )
+            result = session.run(QUERY)
+            assert result.relation.same_content(truth), engine
+            assert result.replans >= 1, engine
+
+    def test_bad_threshold_is_a_typed_user_error(self):
+        with pytest.raises(UserInputError):
+            QuerySession(skewed_db(), replan_threshold=0.5).run(QUERY)
+
+
+class TestPlanCacheFeedbackInvalidation:
+    def test_warm_hit_then_material_ingest_then_miss_then_recached(self):
+        db = skewed_db()
+        stats = Statistics.from_database(db)  # honest stats: no replans
+        feedback = FeedbackStore()
+        session = QuerySession(
+            db,
+            stats=stats,
+            executor="vector",
+            feedback=feedback,
+            replan_threshold=50.0,
+        )
+        session.run(QUERY)
+        session.run(QUERY)
+        counters = session.plan_cache.counters()
+        assert counters["hits"] == 1  # warm
+        # a material correction bumps the generation...
+        generation = feedback.generation
+        feedback.observe(RS, est=10.0, actual=10_000.0,
+                         stats_version=stats.version)
+        assert feedback.generation > generation
+        # ...so the cached plan self-invalidates (miss) and is re-cached
+        session.run(QUERY)
+        after = session.plan_cache.counters()
+        assert after["hits"] == 1
+        assert after["misses"] == counters["misses"] + 1
+        session.run(QUERY)
+        assert session.plan_cache.counters()["hits"] == 2
+
+    def test_generation_composes_across_sessions_sharing_the_cache(self):
+        # the PR-4 shared-cache path: worker sessions share one
+        # PlanCache *and* one FeedbackStore, so one worker's correction
+        # invalidates every worker's cached plans
+        db = skewed_db()
+        stats = Statistics.from_database(db)
+        cache = PlanCache()
+        feedback = FeedbackStore()
+
+        def worker() -> QuerySession:
+            return QuerySession(
+                db,
+                stats=stats,
+                executor="vector",
+                plan_cache=cache,
+                feedback=feedback,
+                replan_threshold=50.0,
+            )
+
+        worker().run(QUERY)
+        assert worker().run(QUERY).plan_cache["hit"] is True
+        feedback.observe(RS, est=10.0, actual=10_000.0,
+                         stats_version=stats.version)
+        third = worker().run(QUERY)
+        assert third.plan_cache["hit"] is False  # invalidated for all
+        assert worker().run(QUERY).plan_cache["hit"] is True  # re-cached
+
+    def test_monitor_only_arms_at_the_full_rung(self):
+        # with optimization unavailable the ladder answers as written;
+        # re-planning must not trigger there (nothing to re-plan with)
+        db = skewed_db()
+
+        def broken_optimize(*args, **kwargs):
+            from repro.errors import OptimizerInternalError
+
+            raise OptimizerInternalError("no optimizer today")
+
+        session = QuerySession(
+            db,
+            stats=lying_stats(),
+            executor="vector",
+            replan_threshold=1.5,
+            optimize_fn=broken_optimize,
+        )
+        result = session.run(QUERY)
+        assert result.degradation_level is not DegradationLevel.FULL
+        assert result.replans == 0
+        assert result.relation.same_content(evaluate(QUERY, db))
