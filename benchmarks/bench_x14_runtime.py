@@ -77,7 +77,7 @@ def test_x14_runtime(benchmark):
     # every mode returns the same bag of rows
     assert len({r["rows"] for r in results}) == 1
     # the starved runs degraded instead of hanging
-    assert results[3]["level"] in ("heuristic", "as_written")
+    assert results[3]["level"] in ("greedy", "heuristic", "as_written")
     lines = table(
         ["mode", "rows", "stage", "plans", "wall (ms)"],
         [

@@ -1,0 +1,221 @@
+"""X20 -- enumeration tiers past the full-enumeration ceiling.
+
+Not a paper table: the paper's enumerators (the rewrite closure and
+the exact subset DP) are exponential in the relation count, and
+machine-generated queries at service scale reach 20-60 joins.  This
+bench shows the tiered ladder breaking that ceiling:
+
+* at every benched size the *full* DP blows a generous deadline
+  (``DeadlineExceeded``), while the partitioned and GOO tiers answer
+  in milliseconds;
+* at ``n = EXACT_N`` (just above the default full-tier threshold,
+  where the exact DP still finishes) the partitioned tier's plan cost
+  is recorded as a ratio of the exact optimum -- 1.0 on chains, where
+  the linearized refinement recovers the bushy optimum;
+* at every size the partitioned tier's estimated C_out (the DP's own
+  shape-independent measure, :func:`repro.optimizer.dp.dp_cost`) is
+  compared against the System-R left-deep baseline and the greedy
+  closure -- strictly better than both at n=20;
+* every tier/baseline plan is differentially verified against the
+  as-written query on a small database: zero wrong answers.
+
+Emits ``BENCH_x20_tiers.json``.  Quick mode (``REPRO_BENCH_QUICK=1``):
+differential verification at n=20 only (the n=40/60 reference
+evaluations dominate the full run's wall time).
+"""
+
+import os
+import random
+import time
+
+from repro.errors import BudgetExceeded
+from repro.expr import Database, evaluate
+from repro.optimizer import Statistics, TableStats, optimize_no_gs
+from repro.optimizer.baselines import GREEDY_PLAN_CAP, left_deep_join_order
+from repro.optimizer.dp import dp_cost, dp_join_order
+from repro.optimizer.tiers import goo_join_order, partitioned_dp_join_order
+from repro.relalg import Relation
+from repro.runtime import Budget
+from repro.workloads.topologies import chain_query
+
+from harness import json_record, report, table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+NS = (20, 40, 60)
+#: Largest n where the exact DP still completes comfortably -- the
+#: anchor for the tier-quality cost ratios.
+EXACT_N = 14
+STATS_SEED = 54
+#: Generous time for the full DP to prove it cannot finish; quick mode
+#: shortens the demonstration (the outcome is identical at n >= 20).
+FULL_DP_BUDGET_MS = 400.0 if QUICK else 1500.0
+TIER_BUDGET_MS = 5000.0
+
+
+def chain_stats(n: int, seed: int = STATS_SEED) -> Statistics:
+    rng = random.Random(seed)
+    stats = Statistics()
+    for i in range(1, n + 1):
+        rows = rng.choice((10, 100, 1000, 10000))
+        stats.add(
+            f"r{i}",
+            TableStats(rows, {f"r{i}_a0": rows // 2, f"r{i}_a1": rows // 2}),
+        )
+    return stats
+
+
+def chain_database(n: int, rows: int = 4) -> Database:
+    """Tiny tables whose chain joins stay bounded (for verification)."""
+    db = Database()
+    for i in range(1, n + 1):
+        name = f"r{i}"
+        db.add(
+            name,
+            Relation.base(
+                name,
+                [f"{name}_a0", f"{name}_a1"],
+                [((j + i) % 4, (j + 2 * i) % 4) for j in range(rows)],
+            ),
+        )
+    return db
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, (time.perf_counter() - t0) * 1000.0
+
+
+def run_suite():
+    results = []
+    for n in NS:
+        query = chain_query(n)
+        stats = chain_stats(n)
+        row = {"n": n}
+
+        try:
+            dp_join_order(
+                query, stats, budget=Budget(deadline_ms=FULL_DP_BUDGET_MS)
+            )
+            row["full_dp"] = "completed"  # pragma: no cover - n >= 20 cannot
+        except BudgetExceeded as exc:
+            row["full_dp"] = type(exc).__name__
+
+        budget = Budget(deadline_ms=TIER_BUDGET_MS)
+        part, row["part_ms"] = _timed(
+            lambda: partitioned_dp_join_order(query, stats, budget=budget)
+        )
+        goo, row["goo_ms"] = _timed(
+            lambda: goo_join_order(query, stats, budget=budget)
+        )
+        left_deep, row["ld_ms"] = _timed(
+            lambda: left_deep_join_order(query, stats)
+        )
+        closure, row["closure_ms"] = _timed(
+            lambda: optimize_no_gs(query, stats, max_plans=GREEDY_PLAN_CAP).best
+        )
+        row["part_cost"] = dp_cost(part, stats)
+        row["goo_cost"] = dp_cost(goo, stats)
+        row["ld_cost"] = dp_cost(left_deep, stats)
+        row["closure_cost"] = dp_cost(closure, stats)
+
+        row["verified"] = "-"
+        if n == 20 or not QUICK:
+            db = chain_database(n)
+            reference = evaluate(query, db)
+            row["verified"] = sum(
+                not evaluate(plan, db).same_content(reference)
+                for plan in (part, goo, left_deep)
+            )
+        results.append(row)
+
+    # quality anchor: ratios vs the exact optimum where it still runs
+    anchor_query = chain_query(EXACT_N)
+    anchor_stats = chain_stats(EXACT_N)
+    exact = dp_cost(dp_join_order(anchor_query, anchor_stats), anchor_stats)
+    anchor = {
+        "n": EXACT_N,
+        "exact_cost": exact,
+        "part_ratio": dp_cost(
+            partitioned_dp_join_order(anchor_query, anchor_stats), anchor_stats
+        )
+        / exact,
+        "goo_ratio": dp_cost(
+            goo_join_order(anchor_query, anchor_stats), anchor_stats
+        )
+        / exact,
+    }
+    return results, anchor
+
+
+def test_x20_tiers(benchmark):
+    t0 = time.perf_counter()
+    results, anchor = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - t0
+
+    for row in results:
+        # the ceiling: full enumeration cannot answer at these sizes ...
+        assert row["full_dp"] == "DeadlineExceeded"
+        # ... while the tiers answer well inside the same budget
+        assert row["part_ms"] < TIER_BUDGET_MS
+        assert row["goo_ms"] < TIER_BUDGET_MS
+        # the partitioned tier is never worse than either baseline
+        assert row["part_cost"] <= row["ld_cost"] + 1e-9
+        assert row["part_cost"] <= row["closure_cost"] + 1e-9
+        # differential verification: zero wrong answers
+        assert row["verified"] in ("-", 0)
+    at20 = next(r for r in results if r["n"] == 20)
+    # strict wins over both baselines at n=20 (the acceptance bar)
+    assert at20["part_cost"] < at20["ld_cost"]
+    assert at20["part_cost"] < at20["closure_cost"]
+    # quality anchor: partitioned recovers the chain optimum exactly;
+    # GOO stays within a small constant factor
+    assert anchor["part_ratio"] <= 1.0 + 1e-9
+    assert anchor["goo_ratio"] <= 3.0
+
+    lines = table(
+        ["n", "full DP", "part C_out", "GOO C_out", "left-deep", "closure-64",
+         "part ms", "verified"],
+        [
+            [
+                r["n"],
+                r["full_dp"],
+                f"{r['part_cost']:.1f}",
+                f"{r['goo_cost']:.1f}",
+                f"{r['ld_cost']:.1f}",
+                f"{r['closure_cost']:.1f}",
+                f"{r['part_ms']:.0f}",
+                "ok" if r["verified"] == 0 else r["verified"],
+            ]
+            for r in results
+        ],
+    )
+    lines.append("")
+    lines.append(
+        f"exact anchor n={anchor['n']}: partitioned/exact = "
+        f"{anchor['part_ratio']:.3f}, GOO/exact = {anchor['goo_ratio']:.3f}"
+    )
+    report(
+        "x20_tiers",
+        "X20: enumeration tiers vs the ceiling" + (" [quick]" if QUICK else ""),
+        lines,
+    )
+    json_record(
+        "x20_tiers",
+        wall_time_s=wall_s,
+        quick=QUICK,
+        sizes={
+            str(r["n"]): {
+                "full_dp": r["full_dp"],
+                "partitioned_cost": r["part_cost"],
+                "goo_cost": r["goo_cost"],
+                "left_deep_cost": r["ld_cost"],
+                "greedy_closure_cost": r["closure_cost"],
+                "partitioned_ms": r["part_ms"],
+                "goo_ms": r["goo_ms"],
+                "verify_mismatches": r["verified"],
+            }
+            for r in results
+        },
+        anchor=anchor,
+    )

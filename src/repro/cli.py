@@ -3,6 +3,7 @@
     python -m repro run script.sql --data DIR [--engine reference|hash|vector]
                                    [--fast] [--budget-ms MS]
                                    [--max-plans N] [--max-rows N] [--verify]
+                                   [--enum-tier auto|dp|partitioned|goo]
                                    [--workers N] [--queue-depth N]
                                    [--faults PLAN] [--fault-seed N]
                                    [--analyze] [--trace-out FILE]
@@ -10,6 +11,7 @@
                                    [--replan-threshold N]
                                    [--feedback-in FILE] [--feedback-out FILE]
     python -m repro explain script.sql --data DIR [--plans N] [--budget-ms MS]
+                                       [--enum-tier auto|dp|partitioned|goo]
     python -m repro demo
 
 ``DIR`` holds one CSV per base table (header row = column names;
@@ -19,8 +21,9 @@ statements register views, each ``select`` runs (or is explained).
 
 Every statement goes through the resilient runtime
 (:class:`repro.runtime.QuerySession`): optimization and execution run
-under the budget, degrading gracefully (full reorder -> greedy/DP
-heuristic -> as written) when a cap is hit, e.g.
+under the budget, degrading gracefully (full reorder -> partitioned
+DP -> greedy operator ordering -> greedy closure -> as written) when a
+cap is hit or the query joins too many relations for a rung, e.g.
 
     # answer within ~half a second of optimization effort, and
     # double-check the chosen plan against the reference interpreter:
@@ -224,6 +227,7 @@ def run_script(
     replan_threshold: float | None = None,
     feedback_in: Path | None = None,
     feedback_out: Path | None = None,
+    enum_tier: str = "auto",
 ) -> int:
     """Run (or explain) a script; returns the process exit code.
 
@@ -244,6 +248,10 @@ def run_script(
     ``feedback_in`` / ``feedback_out`` preload / persist the
     :class:`FeedbackStore` as JSON, so corrections learned by one run
     carry into the next.
+
+    ``enum_tier`` picks the join-enumeration tier policy (``auto``
+    sizes the rung to the query's relation count; ``dp`` /
+    ``partitioned`` / ``goo`` force a specific tier).
     """
     out = out if out is not None else sys.stdout
     if engine is None:
@@ -269,6 +277,7 @@ def run_script(
             fault_plan=FaultPlan.parse(faults, seed=fault_seed) if faults else None,
             feedback=feedback,
             replan_threshold=replan_threshold,
+            enum_tier=enum_tier,
         )
     elif session is None:
         session = QuerySession(
@@ -281,6 +290,7 @@ def run_script(
             max_plans=2000,
             feedback=feedback,
             replan_threshold=replan_threshold,
+            enum_tier=enum_tier,
         )
     registry: MetricsRegistry | None = None
     if metrics_out is not None:
@@ -579,6 +589,15 @@ def main(argv: list[str] | None = None) -> int:
             default=None,
             help="cap on cumulative intermediate rows materialized per query",
         )
+        p.add_argument(
+            "--enum-tier",
+            choices=("auto", "dp", "partitioned", "goo"),
+            default="auto",
+            help="join-enumeration tier: auto sizes the attempt to the "
+            "query's relation count (full DP, then partitioned DP, then "
+            "greedy operator ordering); dp/partitioned/goo force one tier "
+            "(default: auto)",
+        )
     run_p.add_argument(
         "--verify",
         action="store_true",
@@ -718,9 +737,16 @@ def main(argv: list[str] | None = None) -> int:
                 replan_threshold=args.replan_threshold,
                 feedback_in=args.feedback_in,
                 feedback_out=args.feedback_out,
+                enum_tier=args.enum_tier,
             )
         return run_script(
-            text, db, catalog, explain=True, plans=args.plans, budget=budget
+            text,
+            db,
+            catalog,
+            explain=True,
+            plans=args.plans,
+            budget=budget,
+            enum_tier=args.enum_tier,
         )
     except BudgetExceeded as exc:
         # the row cap is hard even at the last-resort rung (it bounds

@@ -4,9 +4,18 @@ from repro.optimizer.stats import Statistics, TableStats
 from repro.optimizer.cardinality import estimate
 from repro.optimizer.cost import estimated_cost, measured_cost
 from repro.optimizer.planner import OptimizationResult, optimize
+from repro.optimizer.tiers import (
+    choose_tier,
+    goo_join_order,
+    goo_reorder,
+    partitioned_dp_join_order,
+    partitioned_reorder,
+)
 from repro.optimizer.baselines import (
+    EmptyClosureError,
     as_written,
     greedy_reorder,
+    left_deep_join_order,
     optimize_no_gs,
     tis_cost,
 )
@@ -19,8 +28,15 @@ __all__ = [
     "measured_cost",
     "OptimizationResult",
     "optimize",
+    "choose_tier",
+    "goo_join_order",
+    "goo_reorder",
+    "partitioned_dp_join_order",
+    "partitioned_reorder",
+    "EmptyClosureError",
     "as_written",
     "greedy_reorder",
+    "left_deep_join_order",
     "optimize_no_gs",
     "tis_cost",
 ]

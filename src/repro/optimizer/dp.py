@@ -17,6 +17,22 @@ the tests verify the DP optimum equals the full closure's optimum
 exactly).  Predicate atoms are attached to the unique join where their
 relations first become available; connectivity uses the hypergraph's
 broken-up sub-edges (Definition 3.2 item 3).
+
+A connected subset can still have *no* applicable atom on any split --
+a predicate spanning three or more relations keeps the subset
+connected through its hyperedge while none of its atoms is evaluable
+until every referenced relation is present (the same happens on star
+schemas whose written form carries a cross product).  Such subsets
+take a cross-product split as a last resort; the atoms attach later,
+at the first join where all their relations are available.  Splits
+with applicable atoms always win over cross products for the same
+subset, so queries that never need the fallback get byte-identical
+plans.
+
+:func:`dp_order_subset` exposes the same table-fill over an arbitrary
+node subset of a shared workspace/hypergraph pair -- the partitioned
+enumeration tier (:mod:`repro.optimizer.tiers`) solves each partition
+exactly with it and stitches the results.
 """
 
 from __future__ import annotations
@@ -110,42 +126,88 @@ def dp_join_order(query: Expr, stats: Statistics, budget=None) -> Expr:
         return query
 
     graph = hypergraph_of(query)
-    names = sorted(ws.leaves)
+    names = frozenset(ws.leaves)
 
+    with span("optimize.dp") as sp:
+        entry, masks_expanded = dp_order_subset(ws, graph, names, budget)
+        if sp is not None:
+            sp.add_counter("masks_expanded", masks_expanded)
+
+    if entry is None:
+        raise DpError("query hypergraph is disconnected")
+    return entry[1]
+
+
+def dp_order_subset(
+    ws: _Workspace,
+    graph,
+    names: frozenset[str],
+    budget=None,
+) -> tuple[tuple[float, Expr] | None, int]:
+    """Exact DP over ``names`` (a node subset of ``graph``).
+
+    Fills the classical bottom-up table restricted to ``names`` and
+    returns ``((cost, plan), masks_expanded)`` for the full subset, or
+    ``(None, masks_expanded)`` when it is unreachable (the induced
+    sub-hypergraph is disconnected).  ``ws`` and ``graph`` may cover a
+    superset of ``names`` -- the partitioned tier shares one workspace
+    across every partition it solves.
+    """
+    ordered = sorted(names)
     best: dict[frozenset[str], tuple[float, Expr]] = {
-        frozenset((name,)): (0.0, ws.leaves[name]) for name in names
+        frozenset((name,)): (0.0, ws.leaves[name]) for name in ordered
     }
 
     bit = graph.node_bit
-    with span("optimize.dp") as sp:
-        masks_expanded = 0
-        for size in range(2, len(names) + 1):
-            for combo in combinations(names, size):
-                if budget is not None:
-                    budget.check_deadline("dp_join_order")
-                mask = 0
-                for name in combo:
-                    mask |= bit[name]
-                if not graph.is_connected_mask(mask):
+    masks_expanded = 0
+    for size in range(2, len(ordered) + 1):
+        for combo in combinations(ordered, size):
+            if budget is not None:
+                budget.check_deadline("dp_join_order")
+            mask = 0
+            for name in combo:
+                mask |= bit[name]
+            if not graph.is_connected_mask(mask):
+                continue
+            masks_expanded += 1
+            subset = frozenset(combo)
+            subset_attrs = ws.attrs_of(subset)
+            output = ws.cardinality(subset)
+            candidate: tuple[float, Expr] | None = None
+            for left, right in _splits(subset):
+                if left not in best or right not in best:
                     continue
-                masks_expanded += 1
-                subset = frozenset(combo)
-                subset_attrs = ws.attrs_of(subset)
-                output = ws.cardinality(subset)
-                candidate: tuple[float, Expr] | None = None
+                left_attrs = ws.attrs_of(left)
+                right_attrs = ws.attrs_of(right)
+                applicable = [
+                    atom
+                    for atom in ws.atoms
+                    if atom.attrs <= subset_attrs
+                    and atom.attrs & left_attrs
+                    and atom.attrs & right_attrs
+                ]
+                if not applicable:
+                    continue
+                cost = best[left][0] + best[right][0] + output
+                if candidate is None or cost < candidate[0]:
+                    plan = Join(
+                        JoinKind.INNER,
+                        best[left][1],
+                        best[right][1],
+                        make_conjunction(applicable),
+                    )
+                    candidate = (cost, plan)
+            if candidate is None:
+                # the subset is connected (a hyperedge spans it) yet no
+                # split carries an evaluable atom -- e.g. a predicate
+                # over three relations with only two of them present.
+                # Without a fallback the subset never enters the table
+                # and a *connected* query dies with a spurious
+                # "disconnected" error; allow the cheapest cross-product
+                # split instead, and let the atoms attach at the first
+                # join where all their relations are available.
                 for left, right in _splits(subset):
                     if left not in best or right not in best:
-                        continue
-                    left_attrs = ws.attrs_of(left)
-                    right_attrs = ws.attrs_of(right)
-                    applicable = [
-                        atom
-                        for atom in ws.atoms
-                        if atom.attrs <= subset_attrs
-                        and atom.attrs & left_attrs
-                        and atom.attrs & right_attrs
-                    ]
-                    if not applicable:
                         continue
                     cost = best[left][0] + best[right][0] + output
                     if candidate is None or cost < candidate[0]:
@@ -153,19 +215,13 @@ def dp_join_order(query: Expr, stats: Statistics, budget=None) -> Expr:
                             JoinKind.INNER,
                             best[left][1],
                             best[right][1],
-                            make_conjunction(applicable),
+                            make_conjunction(()),
                         )
                         candidate = (cost, plan)
-                if candidate is not None:
-                    best[subset] = candidate
-        if sp is not None:
-            sp.add_counter("masks_expanded", masks_expanded)
-            sp.add_counter("subsets_kept", len(best))
+            if candidate is not None:
+                best[subset] = candidate
 
-    full = frozenset(names)
-    if full not in best:
-        raise DpError("query hypergraph is disconnected")
-    return best[full][1]
+    return best.get(frozenset(ordered)), masks_expanded
 
 
 def dp_cost(plan: Expr, stats: Statistics) -> float:

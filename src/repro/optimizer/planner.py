@@ -16,10 +16,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runtime -> optimizer
     from repro.runtime.budget import Budget
 
 from repro.core.pipeline import reorder_pipeline
+from repro.errors import OptimizerInternalError
 from repro.expr.nodes import Expr
 from repro.optimizer.cost import CostModel
 from repro.optimizer.stats import Statistics
 from repro.runtime.tracing import add_counter, span
+
+
+class OptimizerDeclined(OptimizerInternalError):
+    """The planner declined the query before doing any work.
+
+    Raised eagerly when ``max_relations`` says the query is too large
+    for full closure enumeration -- the caller (the session ladder, or
+    a direct API user) should route it to an enumeration tier
+    (:mod:`repro.optimizer.tiers`) instead of letting the exponential
+    enumeration burn its whole budget first.
+    """
 
 
 @dataclass
@@ -46,13 +58,26 @@ def optimize(
     max_plans: int = 5000,
     keep_ranked: int = 10,
     budget: "Budget | None" = None,
+    max_relations: int | None = None,
 ) -> OptimizationResult:
     """Optimize ``query``: normalize, enumerate, cost, pick the minimum.
 
     With a ``budget``, both the enumeration and the costing loop run
     under cooperative checkpoints and raise the typed
     :class:`repro.errors.BudgetExceeded` family when a cap is hit.
+    With ``max_relations``, queries joining more relations than that
+    are declined *eagerly* with :class:`OptimizerDeclined` -- full
+    closure enumeration is exponential, and a caller with a fallback
+    (the session ladder, the enumeration tiers) is better served by an
+    instant typed refusal than by a burned budget.
     """
+    if max_relations is not None:
+        n = len(query.base_names)
+        if n > max_relations:
+            raise OptimizerDeclined(
+                f"query joins {n} relations, above the full-enumeration "
+                f"ceiling of {max_relations}"
+            )
     with span("optimize.enumerate"):
         plans = reorder_pipeline(query, max_plans=max_plans, budget=budget)
     model = CostModel(stats)

@@ -43,6 +43,38 @@ from repro.errors import (
 )
 
 
+@dataclass(frozen=True)
+class TierThresholds:
+    """Enumeration-tier selection policy (see :mod:`repro.optimizer.tiers`).
+
+    The degradation ladder consults these to pick how join ordering is
+    *attempted* for a query of ``n`` relations, instead of letting the
+    exponential enumerators crash into their budgets:
+
+    * ``n <= full_max_relations`` -- full rewrite-closure / exact DP;
+    * ``n <= partitioned_max_relations`` -- partition the hypergraph
+      into blocks of at most ``partition_size`` relations, solve each
+      exactly, stitch with a bounded best-first search (``stitch_beam``
+      successors per expansion, at most ``stitch_expansions``
+      expansions);
+    * beyond that -- greedy operator ordering (GOO) only.
+
+    Attach to a :class:`Budget` (``Budget(tiers=...)``) to override per
+    query; ``DEFAULT_TIERS`` applies when unset.
+    """
+
+    full_max_relations: int = 12
+    partitioned_max_relations: int = 40
+    partition_size: int = 8
+    stitch_beam: int = 3
+    stitch_expansions: int = 256
+
+
+#: The stock policy: exact enumeration up to 12 relations, partitioned
+#: DP up to 40, greedy operator ordering beyond.
+DEFAULT_TIERS = TierThresholds()
+
+
 class CancelToken:
     """A thread-safe cooperative cancellation flag.
 
@@ -87,6 +119,9 @@ class Budget:
     plans: int = 0
     rows: int = 0
     cancel: CancelToken | None = field(default=None, compare=False)
+    #: Enumeration-tier policy carried alongside the caps; consulted by
+    #: the session ladder, never enforced by the budget itself.
+    tiers: TierThresholds | None = field(default=None, compare=False)
     parent: "Budget | None" = field(default=None, repr=False, compare=False)
     _t0: float = field(default_factory=time.monotonic, repr=False)
     _lock: threading.Lock = field(
@@ -234,6 +269,7 @@ class Budget:
             max_plans=self.max_plans if max_plans == "inherit" else max_plans,
             max_rows=self.max_rows if max_rows == "inherit" else max_rows,
             cancel=self.cancel,
+            tiers=self.tiers,
             parent=self,
         )
 

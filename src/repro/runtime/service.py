@@ -346,6 +346,10 @@ class QueryService:
         circuit breakers and admission control.
     max_replans:
         Per-query re-plan cap forwarded to worker sessions.
+    enum_tier:
+        Join-enumeration tier policy forwarded to worker sessions
+        (``auto`` | ``dp`` | ``partitioned`` | ``goo``; see
+        :class:`QuerySession`).
     """
 
     def __init__(
@@ -372,6 +376,7 @@ class QueryService:
         feedback: FeedbackStore | None = None,
         replan_threshold: float | None = None,
         max_replans: int = 2,
+        enum_tier: str = "auto",
     ) -> None:
         if engine not in FALLBACK_CHAIN:
             raise ValueError(
@@ -401,6 +406,7 @@ class QueryService:
             self.stats.feedback = feedback
         self.replan_threshold = replan_threshold
         self.max_replans = max_replans
+        self.enum_tier = enum_tier
         self.metrics = metrics if metrics is not None else service_registry()
         self.incidents = IncidentLog(capacity=incident_capacity)
         self.quarantined: set[Expr] = set()
@@ -603,6 +609,7 @@ class QueryService:
                     replan_threshold=self.replan_threshold,
                     max_replans=self.max_replans,
                     metrics=self.metrics,
+                    enum_tier=self.enum_tier,
                 )
         return sessions[engine]
 

@@ -1,16 +1,26 @@
 """The :class:`QuerySession` facade: budgets, degradation, verification.
 
 A session owns a database (plus optional SQL catalog and statistics)
-and runs queries through a three-rung degradation ladder, each rung
-attempted under its slice of the per-query budget:
+and runs queries through a degradation ladder, each rung attempted
+under its slice of the per-query budget:
 
-====  ==============  ====================================================
-rung  level           strategy
-====  ==============  ====================================================
-0     ``FULL``        full rewrite-closure optimization (``optimize``)
-1     ``HEURISTIC``   greedy/DP baseline (``greedy_reorder``)
-2     ``AS_WRITTEN``  execute the query exactly as the analyst wrote it
-====  ==============  ====================================================
+====  ==================  ================================================
+rung  level               strategy
+====  ==================  ================================================
+0     ``FULL``            full rewrite-closure optimization (``optimize``)
+1     ``PARTITIONED_DP``  partition-solve-stitch enumeration tier
+2     ``GOO``             greedy operator ordering tier
+3     ``GREEDY``          greedy/DP baseline (``greedy_reorder``)
+4     ``AS_WRITTEN``      execute the query exactly as the analyst wrote
+====  ==================  ================================================
+
+Which rungs are *attempted* is a policy, not a crash path: the
+``enum_tier`` session knob (``auto`` by default) and the budget's
+:class:`repro.runtime.budget.TierThresholds` pick a rung list by the
+query's relation count -- small queries go ``FULL -> GREEDY``,
+mid-size ones ``PARTITIONED_DP -> GOO -> GREEDY``, very large ones
+``GOO -> GREEDY`` (see :func:`repro.optimizer.tiers.choose_tier`).
+Forcing ``enum_tier`` pins the first rung for experiments.
 
 A rung is abandoned -- with the reason recorded -- when it raises a
 :class:`repro.errors.BudgetExceeded` (the budget's typed family) or an
@@ -44,12 +54,15 @@ from repro.expr.nodes import Expr, ExprError
 from repro.optimizer import (
     OptimizationResult,
     Statistics,
+    goo_reorder,
     greedy_reorder,
     optimize,
+    partitioned_reorder,
 )
 from repro.optimizer.cost import CostModel
+from repro.optimizer.tiers import TIER_NAMES
 from repro.relalg import Relation
-from repro.runtime.budget import Budget
+from repro.runtime.budget import DEFAULT_TIERS, Budget, TierThresholds
 from repro.runtime.faults import fault_point
 from repro.runtime.feedback import (
     CardinalityMonitor,
@@ -62,18 +75,29 @@ from repro.runtime.tracing import set_tag, span
 
 
 class DegradationLevel(IntEnum):
-    """Which rung of the ladder produced the answer."""
+    """Which rung of the ladder produced the answer.
+
+    ``HEURISTIC`` is a backward-compatible alias of ``GREEDY`` (the
+    pre-tier name of the rung): identity comparisons written against
+    the old three-rung ladder keep working, while ``.name`` reports
+    the current ``GREEDY``.
+    """
 
     FULL = 0
-    HEURISTIC = 1
-    AS_WRITTEN = 2
+    PARTITIONED_DP = 1
+    GOO = 2
+    GREEDY = 3
+    HEURISTIC = 3  # legacy alias
+    AS_WRITTEN = 4
 
 
 #: Share of the remaining per-query time each optimizing rung may burn
-#: before the runtime moves on (rung 2 gets whatever is left).
+#: before the runtime moves on (the as-written rung gets what's left).
 _STAGE_FRACTIONS = {
     DegradationLevel.FULL: 0.5,
-    DegradationLevel.HEURISTIC: 0.6,
+    DegradationLevel.PARTITIONED_DP: 0.5,
+    DegradationLevel.GOO: 0.5,
+    DegradationLevel.GREEDY: 0.6,
 }
 
 _EXECUTORS = {
@@ -192,6 +216,12 @@ class QuerySession:
         Optional :class:`repro.runtime.metrics.MetricsRegistry` for
         re-plan counters and est/actual ratio histograms (the service
         passes its own registry to every worker session).
+    enum_tier:
+        Join-enumeration tier policy: ``"auto"`` (default) picks the
+        first rung from the query's relation count and the budget's
+        :class:`repro.runtime.budget.TierThresholds`; ``"dp"``,
+        ``"partitioned"`` and ``"goo"`` pin it for experiments (the
+        greedy and as-written rungs always remain below).
     """
 
     def __init__(
@@ -213,10 +243,15 @@ class QuerySession:
         replan_threshold: float | None = None,
         max_replans: int = 2,
         metrics=None,
+        enum_tier: str = "auto",
     ) -> None:
         if executor not in _EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; pick from {sorted(_EXECUTORS)}"
+            )
+        if enum_tier not in TIER_NAMES:
+            raise ValueError(
+                f"unknown enum_tier {enum_tier!r}; pick from {sorted(TIER_NAMES)}"
             )
         self.db = db
         self.catalog = catalog
@@ -242,6 +277,7 @@ class QuerySession:
         self.replan_threshold = replan_threshold
         self.max_replans = max_replans
         self.metrics = metrics
+        self.enum_tier = enum_tier
 
     # -- plumbing --------------------------------------------------------
 
@@ -253,7 +289,64 @@ class QuerySession:
             deadline_ms=template.deadline_ms,
             max_plans=template.max_plans,
             max_rows=template.max_rows,
+            tiers=template.tiers,
         )
+
+    def _thresholds(self, budget: Budget) -> TierThresholds:
+        if budget.tiers is not None:
+            return budget.tiers
+        template = self._budget_template
+        if template is not None and template.tiers is not None:
+            return template.tiers
+        return DEFAULT_TIERS
+
+    def _rungs(self, query: Expr, thresholds: TierThresholds) -> tuple:
+        """The optimizing rungs to attempt, best-first (policy, not crash).
+
+        The as-written rung is implicit below whatever is returned.
+        """
+        if self.enum_tier == "dp":
+            return (DegradationLevel.FULL, DegradationLevel.GREEDY)
+        if self.enum_tier == "partitioned":
+            return (DegradationLevel.PARTITIONED_DP, DegradationLevel.GREEDY)
+        if self.enum_tier == "goo":
+            return (DegradationLevel.GOO, DegradationLevel.GREEDY)
+        n = len(query.base_names)
+        if n <= thresholds.full_max_relations:
+            return (DegradationLevel.FULL, DegradationLevel.GREEDY)
+        if n <= thresholds.partitioned_max_relations:
+            return (
+                DegradationLevel.PARTITIONED_DP,
+                DegradationLevel.GOO,
+                DegradationLevel.GREEDY,
+            )
+        return (DegradationLevel.GOO, DegradationLevel.GREEDY)
+
+    def _plan_rung(
+        self,
+        query: Expr,
+        level: DegradationLevel,
+        stage_budget: Budget,
+        thresholds: TierThresholds,
+    ) -> OptimizationResult:
+        """Invoke one rung's planner."""
+        if level is DegradationLevel.FULL:
+            return self._optimize_fn(
+                query, self.stats, max_plans=self.max_plans, budget=stage_budget
+            )
+        if level is DegradationLevel.PARTITIONED_DP:
+            return partitioned_reorder(
+                query, self.stats, budget=stage_budget, thresholds=thresholds
+            )
+        if level is DegradationLevel.GOO:
+            return goo_reorder(query, self.stats, budget=stage_budget)
+        return greedy_reorder(query, self.stats, budget=stage_budget)
+
+    def _count_tier(self, level: DegradationLevel) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("repro_enum_tier_total").labels(
+                tier=level.name.lower()
+            ).inc()
 
     def _execute(self, plan: Expr, budget: Budget) -> Relation:
         return _EXECUTORS[self.executor](plan, self.db, budget)
@@ -325,9 +418,12 @@ class QuerySession:
         run_budget = budget if budget is not None else self._fresh_budget()
         reasons: list[str] = []
 
-        for level in (DegradationLevel.FULL, DegradationLevel.HEURISTIC):
+        rungs = self._rungs(query, self._thresholds(run_budget))
+        for level in rungs:
             try:
-                outcome = self._attempt_optimized(query, run_budget, level)
+                outcome = self._attempt_optimized(
+                    query, run_budget, level, primary=level is rungs[0]
+                )
             except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
                 reason = f"{level.name.lower()} stage abandoned: {exc}"
                 reasons.append(reason)
@@ -345,6 +441,7 @@ class QuerySession:
                 )
                 continue
             set_tag("stage", outcome.degradation_level.name.lower())
+            self._count_tier(outcome.degradation_level)
             return self._finalize(outcome, t0, run_budget, reasons)
 
         # rung 2: the original query.  The deadline bounds *optimization*
@@ -352,6 +449,7 @@ class QuerySession:
         # row cap (the memory guard) stays -- exceeding it propagates as
         # a typed RowBudgetExceeded instead of OOMing the process.
         set_tag("stage", "as_written")
+        self._count_tier(DegradationLevel.AS_WRITTEN)
         with span("execute", engine=self.executor, stage="as_written"):
             relation = self._execute(
                 query, self._last_resort_budget(run_budget)
@@ -371,32 +469,38 @@ class QuerySession:
         return result
 
     def _attempt_optimized(
-        self, query: Expr, run_budget: Budget, level: DegradationLevel
+        self,
+        query: Expr,
+        run_budget: Budget,
+        level: DegradationLevel,
+        primary: bool = True,
     ) -> SessionResult:
-        """One optimizing rung: plan, execute, verify -- under a slice."""
+        """One optimizing rung: plan, execute, verify -- under a slice.
+
+        ``primary`` marks the rung the tier policy chose first: only
+        its plans go through the cross-query plan cache (a lower rung's
+        plan reached after a failure would shadow the better plan on
+        reuse).
+        """
         stage_budget = run_budget.stage(
             _STAGE_FRACTIONS[level],
-            # the heuristic rung runs *because* the plan cap blew; its
-            # own effort is bounded structurally (DP / GREEDY_PLAN_CAP)
+            # the fallback rungs run *because* the plan cap blew; their
+            # own effort is bounded structurally (tiers / GREEDY_PLAN_CAP)
             max_plans="inherit" if level is DegradationLevel.FULL else None,
             where=f"{level.name.lower()}-stage",
         )
         cache_hit = False
         with span(f"plan.{level.name.lower()}"):
-            if level is DegradationLevel.FULL:
+            optimized = None
+            if primary:
                 cached = self.plan_cache.lookup(query, self._plan_version())
                 if cached is not None:
                     optimized = cached
                     cache_hit = True
-                else:
-                    optimized = self._optimize_fn(
-                        query,
-                        self.stats,
-                        max_plans=self.max_plans,
-                        budget=stage_budget,
-                    )
-            else:
-                optimized = greedy_reorder(query, self.stats, budget=stage_budget)
+            if optimized is None:
+                optimized = self._plan_rung(
+                    query, level, stage_budget, self._thresholds(run_budget)
+                )
             plan = self._pick_plan(optimized)
         if self.feedback is not None:
             relation, plan, optimized, replans, replan_events = (
@@ -434,13 +538,13 @@ class QuerySession:
                     replans=replans,
                     replan_events=replan_events,
                 )
-        # only trustworthy full-rung results are cached: a failed
-        # verification never reaches here (handled above), and
-        # heuristic plans would shadow the better full plan on reuse.
-        # A re-planned query re-stores even on a cache hit: the hit was
-        # under the pre-feedback generation, and ``optimized`` now holds
-        # the corrected plan keyed by the bumped generation.
-        if level is DegradationLevel.FULL and (not cache_hit or replans):
+        # only trustworthy primary-rung results are cached: a failed
+        # verification never reaches here (handled above), and a
+        # fallback rung's plan would shadow the better primary plan on
+        # reuse.  A re-planned query re-stores even on a cache hit: the
+        # hit was under the pre-feedback generation, and ``optimized``
+        # now holds the corrected plan keyed by the bumped generation.
+        if primary and (not cache_hit or replans):
             self.plan_cache.store(query, self._plan_version(), optimized)
         return SessionResult(
             relation=relation,
@@ -775,8 +879,11 @@ class QuerySession:
             rung that produced it, and the abandoned rungs' reasons.
         """
         run_budget = budget if budget is not None else self._fresh_budget()
+        thresholds = self._thresholds(run_budget)
         reasons: list[str] = []
-        for level in (DegradationLevel.FULL, DegradationLevel.HEURISTIC):
+        rungs = self._rungs(query, thresholds)
+        for level in rungs:
+            primary = level is rungs[0]
             try:
                 # inside the try: carving from an expired budget raises
                 # DeadlineExceeded eagerly, which is just another way
@@ -786,21 +893,13 @@ class QuerySession:
                     max_plans="inherit" if level is DegradationLevel.FULL else None,
                     where=f"{level.name.lower()}-stage",
                 )
-                if level is DegradationLevel.FULL:
+                if primary:
                     cached = self.plan_cache.lookup(query, self._plan_version())
                     if cached is not None:
                         return cached, level, "; ".join(reasons) or None
-                    optimized = self._optimize_fn(
-                        query,
-                        self.stats,
-                        max_plans=self.max_plans,
-                        budget=stage_budget,
-                    )
+                optimized = self._plan_rung(query, level, stage_budget, thresholds)
+                if primary:
                     self.plan_cache.store(query, self._plan_version(), optimized)
-                else:
-                    optimized = greedy_reorder(
-                        query, self.stats, budget=stage_budget
-                    )
             except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
                 reasons.append(f"{level.name.lower()}: {exc}")
                 continue

@@ -86,6 +86,85 @@ class TestScalability:
         assert atom_bag(plan) == atom_bag(query)
 
 
+class TestHyperedgeConnectivity:
+    """Regression: connected subsets reachable only through a 3-relation
+    hyperedge (or an explicit cross product) used to be reported as
+    "disconnected" because no binary split of them carried an atom.
+    The cross-product last resort in ``_splits`` fixes that: the DP now
+    always returns a plan for a connected query, and it is still the
+    closure optimum under its own measure.
+    """
+
+    @staticmethod
+    def _hyperedge_query():
+        from repro.expr.predicates import Arith, Col, Comparison
+
+        r1 = BaseRel("r1", ("r1_a0", "r1_a1"))
+        r2 = BaseRel("r2", ("r2_a0", "r2_a1"))
+        r3 = BaseRel("r3", ("r3_a0", "r3_a1"))
+        r4 = BaseRel("r4", ("r4_a0", "r4_a1"))
+        # r1 x r2, connected to r3 only through a single atom spanning
+        # all three relations, then an ordinary binary atom to r4
+        three_way = Comparison(
+            Arith(Col("r1_a0"), "+", Col("r2_a0")), "=", Col("r3_a0")
+        )
+        return inner(
+            inner(
+                inner(r1, r2, make_conjunction(())),
+                r3,
+                three_way,
+            ),
+            r4,
+            eq("r3_a1", "r4_a0"),
+        )
+
+    @staticmethod
+    def _stats():
+        stats = Statistics()
+        for i, rows in enumerate((10, 20, 40, 80), start=1):
+            stats.add(
+                f"r{i}",
+                TableStats(
+                    rows, {f"r{i}_a0": rows // 2, f"r{i}_a1": rows // 2}
+                ),
+            )
+        return stats
+
+    def test_returns_plan_not_disconnected_error(self):
+        plan = dp_join_order(self._hyperedge_query(), self._stats())
+        assert plan.base_names == {"r1", "r2", "r3", "r4"}
+
+    def test_plan_is_closure_optimal(self):
+        from repro.optimizer.dp import dp_cost
+
+        query = self._hyperedge_query()
+        stats = self._stats()
+        plan = dp_join_order(query, stats)
+        closure = enumerate_plans(query, max_plans=6000, with_gs=False)
+        closure_best = min(dp_cost(p, stats) for p in closure)
+        assert dp_cost(plan, stats) <= closure_best + 1e-9
+
+    def test_plan_is_equivalent(self):
+        rng = random.Random(7)
+        query = self._hyperedge_query()
+        db = random_database(
+            rng, ("r1", "r2", "r3", "r4"), max_rows=5, null_probability=0.1
+        )
+        plan = dp_join_order(query, self._stats())
+        assert evaluate(plan, db).same_content(evaluate(query, db))
+
+    def test_pure_cross_product_still_planned(self):
+        # no predicates at all: every split is a cross product
+        r1 = BaseRel("r1", ("r1_a0",))
+        r2 = BaseRel("r2", ("r2_a0",))
+        r3 = BaseRel("r3", ("r3_a0",))
+        query = inner(
+            inner(r1, r2, make_conjunction(())), r3, make_conjunction(())
+        )
+        plan = dp_join_order(query, self._stats())
+        assert plan.base_names == {"r1", "r2", "r3"}
+
+
 class TestScope:
     def test_outer_join_rejected(self):
         q = left_outer(

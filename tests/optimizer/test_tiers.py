@@ -1,0 +1,214 @@
+"""The enumeration tiers: GOO and partitioned DP between full DP and greedy."""
+
+import random
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.expr import BaseRel, evaluate, inner, left_outer
+from repro.expr.nodes import Project, Select
+from repro.expr.predicates import cmp_const, eq
+from repro.optimizer import Statistics, TableStats
+from repro.optimizer.dp import DpError, dp_cost, dp_join_order
+from repro.optimizer.tiers import (
+    TIER_NAMES,
+    choose_tier,
+    goo_join_order,
+    goo_reorder,
+    partitioned_dp_join_order,
+    partitioned_reorder,
+    peel_wrappers,
+    rebuild_wrappers,
+)
+from repro.runtime.budget import Budget, TierThresholds
+from repro.workloads.random_db import random_database, random_join_query
+from repro.workloads.topologies import chain_query, star_query
+
+from tests.optimizer.test_dp import chain_stats
+
+
+def star_stats(n_satellites, seed=1):
+    rng = random.Random(seed)
+    stats = Statistics()
+    hub_attrs = {f"r0_a{i}": 5 for i in range(n_satellites)}
+    stats.add("r0", TableStats(10, hub_attrs))
+    for i in range(1, n_satellites + 1):
+        rows = rng.choice((10, 100, 1000))
+        stats.add(
+            f"r{i}",
+            TableStats(rows, {f"r{i}_a0": rows // 2, f"r{i}_a1": rows // 2}),
+        )
+    return stats
+
+
+class TestPolicy:
+    def test_choose_tier_default_thresholds(self):
+        assert choose_tier(2) == "dp"
+        assert choose_tier(12) == "dp"
+        assert choose_tier(13) == "partitioned"
+        assert choose_tier(40) == "partitioned"
+        assert choose_tier(41) == "goo"
+
+    def test_choose_tier_custom_thresholds(self):
+        th = TierThresholds(full_max_relations=3, partitioned_max_relations=5)
+        assert choose_tier(3, th) == "dp"
+        assert choose_tier(4, th) == "partitioned"
+        assert choose_tier(6, th) == "goo"
+
+    def test_tier_names_cover_the_cli_choices(self):
+        assert TIER_NAMES == ("auto", "dp", "partitioned", "goo")
+
+
+class TestPeelRebuild:
+    def test_round_trip_is_identity(self):
+        core = chain_query(3)
+        wrapped = Project(
+            Select(core, cmp_const("r1_a0", ">=", 0)), ("r1_a0", "r2_a0")
+        )
+        stack, peeled = peel_wrappers(wrapped)
+        assert peeled is core
+        assert [type(w) for w in stack] == [Project, Select]
+        assert rebuild_wrappers(stack, peeled) == wrapped
+
+    def test_bare_core_peels_to_itself(self):
+        core = chain_query(2)
+        stack, peeled = peel_wrappers(core)
+        assert stack == [] and peeled is core
+
+
+class TestGooQuality:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_chain_cost_close_to_exact(self, n, seed):
+        query = chain_query(n)
+        stats = chain_stats(n, seed)
+        exact = dp_cost(dp_join_order(query, stats), stats)
+        greedy = dp_cost(goo_join_order(query, stats), stats)
+        assert greedy >= exact - 1e-9  # sanity: exact really is a lower bound
+        assert greedy <= 3.0 * exact + 1e-9
+
+    def test_star_matches_exact(self):
+        query = star_query(4)
+        stats = star_stats(4)
+        exact = dp_cost(dp_join_order(query, stats), stats)
+        greedy = dp_cost(goo_join_order(query, stats), stats)
+        assert greedy == pytest.approx(exact)
+
+
+class TestPartitionedQuality:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_chain_recovers_exact_optimum(self, seed):
+        """On a chain every connected subset is an interval of the BFS
+        order, so the linearized refinement recovers the exact bushy
+        optimum even when the partitions cut the chain."""
+        query = chain_query(9)
+        stats = chain_stats(9, seed)
+        exact = dp_cost(dp_join_order(query, stats), stats)
+        tiered = partitioned_dp_join_order(
+            query, stats, thresholds=TierThresholds(partition_size=3)
+        )
+        assert dp_cost(tiered, stats) == pytest.approx(exact)
+
+    @pytest.mark.parametrize("n", [8, 12])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_never_worse_than_goo(self, n, seed):
+        query = chain_query(n, complex_every=3)
+        stats = chain_stats(n, seed)
+        goo = dp_cost(goo_join_order(query, stats), stats)
+        tiered = dp_cost(
+            partitioned_dp_join_order(
+                query, stats, thresholds=TierThresholds(partition_size=4)
+            ),
+            stats,
+        )
+        assert tiered <= goo + 1e-9
+
+
+class TestEquivalence:
+    """Both tiers only recombine the query's own atoms -- every plan
+    must return the exact same bag as the original query."""
+
+    @pytest.mark.parametrize("order_fn", [goo_join_order, partitioned_dp_join_order])
+    def test_random_inner_queries(self, order_fn):
+        rng = random.Random(20)
+        for _ in range(10):
+            query = random_join_query(
+                rng, rng.randint(2, 6), outer_probability=0.0,
+                complex_probability=0.4,
+            )
+            names = tuple(sorted(query.base_names))
+            db = random_database(rng, names, null_probability=0.1)
+            stats = Statistics.from_database(db)
+            plan = order_fn(query, stats)
+            assert evaluate(plan, db).same_content(evaluate(query, db))
+
+    @pytest.mark.parametrize("order_fn", [goo_join_order, partitioned_dp_join_order])
+    def test_chain_with_complex_predicates(self, order_fn):
+        rng = random.Random(21)
+        query = chain_query(7, complex_every=3)
+        names = tuple(sorted(query.base_names))
+        db = random_database(rng, names, max_rows=4, null_probability=0.0)
+        stats = Statistics.from_database(db)
+        plan = order_fn(query, stats)
+        assert evaluate(plan, db).same_content(evaluate(query, db))
+        assert plan.base_names == query.base_names
+
+
+class TestScalability:
+    def test_goo_handles_sixty_relations(self):
+        query = chain_query(60)
+        stats = chain_stats(60)
+        start = time.perf_counter()
+        plan = goo_join_order(query, stats)
+        assert time.perf_counter() - start < 10.0
+        assert plan.base_names == query.base_names
+
+    def test_partitioned_handles_forty_relations(self):
+        query = chain_query(40)
+        stats = chain_stats(40)
+        start = time.perf_counter()
+        plan = partitioned_dp_join_order(query, stats)
+        assert time.perf_counter() - start < 20.0
+        assert plan.base_names == query.base_names
+
+
+class TestBudgets:
+    def test_goo_observes_the_deadline(self):
+        budget = Budget(deadline_ms=0.0)
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceeded):
+            goo_join_order(chain_query(6), chain_stats(6), budget=budget)
+
+    def test_partitioned_observes_the_deadline(self):
+        budget = Budget(deadline_ms=0.0)
+        time.sleep(0.002)
+        with pytest.raises(DeadlineExceeded):
+            partitioned_dp_join_order(
+                chain_query(16), chain_stats(16), budget=budget
+            )
+
+
+class TestScope:
+    @pytest.mark.parametrize("reorder", [goo_reorder, partitioned_reorder])
+    def test_outer_join_core_declined(self, reorder):
+        q = left_outer(
+            BaseRel("a", ("ax",)), BaseRel("b", ("bx",)), eq("ax", "bx")
+        )
+        with pytest.raises(DpError):
+            reorder(q, Statistics())
+
+    @pytest.mark.parametrize(
+        "order_fn", [goo_join_order, partitioned_dp_join_order]
+    )
+    def test_single_relation_passthrough(self, order_fn):
+        rel = BaseRel("a", ("ax",))
+        assert order_fn(rel, Statistics()) is rel
+
+    def test_reorder_peels_wrappers_and_reports_costs(self):
+        query = Select(chain_query(4), cmp_const("r1_a0", ">=", 0))
+        stats = chain_stats(4)
+        result = goo_reorder(query, stats)
+        assert isinstance(result.best, Select)
+        assert result.plans_considered == 1
+        assert result.best_cost == result.ranked[0][0]

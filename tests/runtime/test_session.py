@@ -135,8 +135,8 @@ class TestFallbackChain:
         db = chain_database(3)
         session = QuerySession(db, budget=Budget(max_plans=1))
         summary = session.run(query).to_dict()
-        assert summary["degradation_level"] == 1
-        assert summary["degradation_stage"] == "heuristic"
+        assert summary["degradation_level"] == 3
+        assert summary["degradation_stage"] == "greedy"
         assert summary["budget"]["max_plans"] == 1
 
 
@@ -299,3 +299,89 @@ class TestSeededVerification:
         session.run(EMP_DEPT_LOJ)
         record = json.loads(session.incidents.to_json_lines().splitlines()[0])
         assert record["detail"]["verify_seed"] == 42
+
+
+class TestEnumerationTiers:
+    """The tier policy: which rungs run, forced tiers, and the metric."""
+
+    def test_unknown_enum_tier_rejected(self, emp_db):
+        with pytest.raises(ValueError, match="enum_tier"):
+            QuerySession(emp_db, enum_tier="exhaustive")
+
+    def test_heuristic_alias_still_names_the_greedy_rung(self):
+        assert DegradationLevel.HEURISTIC is DegradationLevel.GREEDY
+        assert DegradationLevel.HEURISTIC.name == "GREEDY"
+        assert int(DegradationLevel.AS_WRITTEN) == 4
+
+    def test_forced_goo_tier_answers_at_the_goo_rung(self):
+        query = chain_query(4)
+        db = chain_database(4)
+        session = QuerySession(db, enum_tier="goo")
+        result = session.run(query)
+        assert result.degradation_level is DegradationLevel.GOO
+        assert result.relation.same_content(evaluate(query, db))
+
+    def test_forced_partitioned_tier_answers_at_its_rung(self):
+        query = chain_query(4)
+        db = chain_database(4)
+        session = QuerySession(db, enum_tier="partitioned")
+        result = session.run(query)
+        assert result.degradation_level is DegradationLevel.PARTITIONED_DP
+        assert result.relation.same_content(evaluate(query, db))
+
+    def test_auto_policy_routes_large_queries_to_partitioned(self):
+        from repro.runtime.budget import TierThresholds
+
+        query = chain_query(5)
+        db = chain_database(5)
+        tiers = TierThresholds(full_max_relations=3, partitioned_max_relations=8)
+        session = QuerySession(db, budget=Budget(tiers=tiers))
+        result = session.run(query)
+        assert result.degradation_level is DegradationLevel.PARTITIONED_DP
+        assert result.relation.same_content(evaluate(query, db))
+
+    def test_auto_policy_routes_huge_queries_to_goo(self):
+        from repro.runtime.budget import TierThresholds
+
+        query = chain_query(5)
+        db = chain_database(5)
+        tiers = TierThresholds(full_max_relations=2, partitioned_max_relations=3)
+        session = QuerySession(db, budget=Budget(tiers=tiers))
+        result = session.run(query)
+        assert result.degradation_level is DegradationLevel.GOO
+
+    def test_small_queries_still_use_full_optimization(self, emp_db):
+        session = QuerySession(emp_db)
+        result = session.run(EMP_DEPT_LOJ)
+        assert result.degradation_level is DegradationLevel.FULL
+
+    def test_tier_metric_counts_the_answering_rung(self):
+        from repro.runtime.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        query = chain_query(4)
+        session = QuerySession(
+            chain_database(4), enum_tier="goo", metrics=registry
+        )
+        session.run(query)
+        family = registry.counter("repro_enum_tier_total")
+        assert family.value_for(tier="goo") == 1.0
+        assert family.value_for(tier="full") == 0.0
+
+    def test_forced_tier_still_degrades_to_greedy_on_outer_join(self):
+        # the GOO workspace declines outer-join cores; the ladder must
+        # still answer at the greedy rung below
+        session = QuerySession(
+            Database(
+                {
+                    "emp": Relation.base(
+                        "emp", ["eid", "dept", "salary"], [(1, 10, 100)]
+                    ),
+                    "dept": Relation.base("dept", ["did", "dname"], [(10, "x")]),
+                }
+            ),
+            enum_tier="goo",
+        )
+        result = session.run(EMP_DEPT_LOJ)
+        assert result.degradation_level is DegradationLevel.GREEDY
+        assert "goo stage abandoned" in result.degradation_reason
