@@ -1,0 +1,285 @@
+"""X21 -- order-aware planning: streaming vs hashing, orders in the DP.
+
+Not a paper table: the paper costs joins alone, but its C_out measure
+extends naturally to order enforcers (Guravannavar's partial-sort
+discount, Szlichta's equality-derived free orders -- see PAPERS.md).
+This bench makes the order machinery pay its way:
+
+* **streaming aggregation** -- grouped SUM over 100k pre-sorted rows,
+  hash grouping vs the run-boundary streaming pass the vector engine
+  takes when the input order covers the group keys.  The acceptance
+  bar is >= 2x, with byte-identical output;
+* **merge vs hash join** -- pair generation over key-sorted inputs at
+  10k-100k rows/side, the run-merging two-pointer pass vs build+probe,
+  identical pair lists required;
+* **orders in the DP** -- on chain topologies, the Pareto DP's plan
+  under a required order is never costlier than the order-blind
+  optimum plus one root sort (the fallback it can always take), and
+  its advantage over that fallback is recorded;
+* **differential gate** -- ordered random queries across all three
+  engines: zero mismatches, exact output sequences.
+
+Emits ``BENCH_x21_order.json``.  Quick mode (``REPRO_BENCH_QUICK=1``)
+shrinks the scales; the >= 2x aggregation bar is asserted only at the
+full 100k scale where constant overheads have died out.
+"""
+
+import os
+import random
+import time
+
+from repro.exec import execute, execute_vector
+from repro.exec.vector import _group_by, _group_by_sorted, _hash_pairs, _merge_pairs
+from repro.expr import evaluate
+from repro.expr.nodes import Sort
+from repro.expr.orderprops import order_satisfies, provided_order
+from repro.optimizer import Statistics, TableStats
+from repro.optimizer.cost import CostModel, sort_penalty
+from repro.optimizer.dp import dp_cost, dp_join_order, dp_join_order_pareto
+from repro.optimizer.orders import equality_classes
+from repro.relalg.aggregates import AggregateFunction, AggregateSpec
+from repro.relalg.columnar import ColumnarRelation
+from repro.relalg.schema import Schema
+from repro.workloads.random_db import random_database, random_join_query
+from repro.workloads.topologies import chain_query
+
+from harness import json_record, report, table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+AGG_N = 10_000 if QUICK else 100_000
+AGG_GROUPS = 200
+JOIN_NS = (5_000, 10_000) if QUICK else (10_000, 30_000, 100_000)
+JOIN_DUP = 4  # average rows per key value on each side
+DP_SIZES = (3, 4, 5, 6)
+DIFF_TRIALS = 4 if QUICK else 10
+SEED = 2101
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, (time.perf_counter() - t0) * 1000.0
+
+
+def _sorted_agg_input(n: int) -> ColumnarRelation:
+    """Pre-sorted (clustered) group keys with a payload column."""
+    rng = random.Random(SEED)
+    keys = sorted(rng.randrange(AGG_GROUPS) for _ in range(n))
+    values = [rng.randrange(1000) for _ in range(n)]
+    return ColumnarRelation(
+        Schema(("g", "v")), Schema(()), {"g": keys, "v": values}, n
+    )
+
+
+def bench_aggregation() -> dict:
+    child = _sorted_agg_input(AGG_N)
+    # SUM, not COUNT: COUNT(*)-only grouping has its own C-level fast
+    # path in the hash operator, which would understate hashing's
+    # per-row dict cost on the aggregate shapes that matter
+    specs = (AggregateSpec("s", AggregateFunction.SUM, "v"),)
+    hashed, hash_ms = _timed(lambda: _group_by(child, ("g",), specs, "g1"))
+    streamed, stream_ms = _timed(
+        lambda: _group_by_sorted(child, ("g",), specs, "g1", ("g",))
+    )
+    same = (
+        hashed.gather("g") == streamed.gather("g")
+        and hashed.gather("s") == streamed.gather("s")
+        and hashed.gather("#g1") == streamed.gather("#g1")
+    )
+    return {
+        "rows": AGG_N,
+        "groups": AGG_GROUPS,
+        "hash_ms": hash_ms,
+        "stream_ms": stream_ms,
+        "speedup": hash_ms / stream_ms if stream_ms else float("inf"),
+        "identical": same,
+    }
+
+
+def _sorted_join_side(n: int, prefix: str, rng: random.Random) -> dict:
+    keys = sorted(rng.randrange(max(1, n // JOIN_DUP)) for _ in range(n))
+    return {f"{prefix}_k": keys, f"{prefix}_p": list(range(n))}
+
+
+def bench_joins() -> list[dict]:
+    out = []
+    for n in JOIN_NS:
+        rng = random.Random(SEED + n)
+        lcols = _sorted_join_side(n, "l", rng)
+        rcols = _sorted_join_side(n, "r", rng)
+        keys = (("l_k", "r_k"),)
+        (h_li, h_ri), hash_ms = _timed(
+            lambda: _hash_pairs(lcols, rcols, n, keys)
+        )
+        (m_li, m_ri), merge_ms = _timed(
+            lambda: _merge_pairs(lcols, rcols, keys)
+        )
+        out.append(
+            {
+                "n": n,
+                "pairs": len(h_li),
+                "hash_ms": hash_ms,
+                "merge_ms": merge_ms,
+                "identical": (h_li, h_ri) == (m_li, m_ri),
+            }
+        )
+    return out
+
+
+def _chain_stats(n: int, seed: int) -> Statistics:
+    rng = random.Random(seed)
+    stats = Statistics()
+    for i in range(1, n + 1):
+        rows = rng.choice((10, 100, 1000))
+        stats.add(
+            f"r{i}",
+            TableStats(rows, {f"r{i}_a0": rows // 2, f"r{i}_a1": rows // 2}),
+        )
+    return stats
+
+
+def bench_dp_orders() -> list[dict]:
+    out = []
+    for n in DP_SIZES:
+        for seed in (1, 2):
+            query = chain_query(n)
+            stats = _chain_stats(n, seed)
+            required = (("r1_a0", False),)
+            model = CostModel(stats)
+            blind = dp_join_order(query, stats)
+            root_rows = model.estimate(blind).rows
+            fallback = dp_cost(blind, stats) + sort_penalty(
+                root_rows, root_rows or 1.0
+            )
+            plan, cost = dp_join_order_pareto(
+                query, stats, required=required
+            )
+            satisfied = order_satisfies(
+                provided_order(plan), required, equality_classes(query)
+            )
+            out.append(
+                {
+                    "n": n,
+                    "seed": seed,
+                    "aware_cost": cost,
+                    "blind_plus_sort": fallback,
+                    "ratio": cost / fallback if fallback else 1.0,
+                    "satisfied": satisfied,
+                }
+            )
+    return out
+
+
+def bench_differential() -> dict:
+    """Ordered random queries: engines must agree on the sequence."""
+    rng = random.Random(SEED)
+    mismatches = 0
+    for _ in range(DIFF_TRIALS):
+        query = random_join_query(rng, rng.randint(2, 4), outer_probability=0.3)
+        attr = rng.choice(query.real_attrs)
+        ordered = Sort(query, ((attr, rng.random() < 0.5),))
+        db = random_database(
+            rng,
+            tuple(sorted(query.base_names)),
+            null_probability=0.2,
+            max_rows=5,
+        )
+        want = evaluate(ordered, db)
+        attrs = want.real.attrs
+        sig = [tuple(repr(r[a]) for a in attrs) for r in want.rows]
+        for engine in (execute, execute_vector):
+            got = engine(ordered, db)
+            if [tuple(repr(r[a]) for a in attrs) for r in got.rows] != sig:
+                mismatches += 1
+    return {"trials": DIFF_TRIALS, "mismatches": mismatches}
+
+
+def run_suite():
+    return {
+        "agg": bench_aggregation(),
+        "joins": bench_joins(),
+        "dp": bench_dp_orders(),
+        "diff": bench_differential(),
+    }
+
+
+def test_x21_order(benchmark):
+    t0 = time.perf_counter()
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    wall_s = time.perf_counter() - t0
+
+    agg = results["agg"]
+    assert agg["identical"], "streaming aggregation diverged from hash"
+    if not QUICK:
+        # the acceptance bar: streaming >= 2x over hashing at 100k
+        assert agg["speedup"] >= 2.0, agg
+    else:
+        # at quick scale just require streaming not to lose
+        assert agg["speedup"] >= 1.0, agg
+
+    for row in results["joins"]:
+        assert row["identical"], f"merge pairs diverged at n={row['n']}"
+
+    for row in results["dp"]:
+        assert row["satisfied"], row
+        # criterion 3: never worse than order-blind + one root sort
+        assert row["aware_cost"] <= row["blind_plus_sort"] + 1e-9, row
+
+    assert results["diff"]["mismatches"] == 0
+
+    lines = [
+        f"streaming GROUP BY (SUM) over {agg['rows']} pre-sorted rows, "
+        f"{agg['groups']} groups:",
+        f"  hash {agg['hash_ms']:.1f} ms, streaming {agg['stream_ms']:.1f} ms "
+        f"-> {agg['speedup']:.2f}x (identical output)",
+        "",
+        "merge vs hash pair generation over key-sorted inputs:",
+    ]
+    lines += table(
+        ["rows/side", "pairs", "hash (ms)", "merge (ms)", "identical"],
+        [
+            [
+                r["n"],
+                r["pairs"],
+                f"{r['hash_ms']:.1f}",
+                f"{r['merge_ms']:.1f}",
+                "ok" if r["identical"] else "MISMATCH",
+            ]
+            for r in results["joins"]
+        ],
+    )
+    lines += ["", "order-aware DP vs blind-optimum + root sort (C_out):"]
+    lines += table(
+        ["n", "seed", "aware", "blind+sort", "ratio"],
+        [
+            [
+                r["n"],
+                r["seed"],
+                f"{r['aware_cost']:.1f}",
+                f"{r['blind_plus_sort']:.1f}",
+                f"{r['ratio']:.3f}",
+            ]
+            for r in results["dp"]
+        ],
+    )
+    diff = results["diff"]
+    lines += [
+        "",
+        f"differential: {diff['trials']} ordered queries x 2 engines, "
+        f"{diff['mismatches']} mismatches",
+    ]
+    report(
+        "x21_order",
+        "X21: order-aware planning" + (" [quick]" if QUICK else ""),
+        lines,
+    )
+    json_record(
+        "x21_order",
+        wall_time_s=wall_s,
+        quick=QUICK,
+        agg=agg,
+        joins=results["joins"],
+        dp_ratio_best=min(r["ratio"] for r in results["dp"]),
+        dp_ratio_worst=max(r["ratio"] for r in results["dp"]),
+        differential_mismatches=diff["mismatches"],
+    )

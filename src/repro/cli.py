@@ -79,6 +79,7 @@ from repro.runtime.metrics import (
     MetricsRegistry,
     service_registry,
     sync_cache_metrics,
+    sync_engine_metrics,
 )
 from repro.runtime.tracing import span
 from repro.sql import SqlCatalog, parse_statements, translate
@@ -306,17 +307,22 @@ def run_script(
             assert isinstance(statement, (SelectStmt, UnionStmt))
             translation = translate(statement, catalog)
             if explain:
-                _explain(translation.expr, db, out, plans, session)
+                _explain(translation, db, out, plans, session)
                 continue
             if analyze:
-                _analyze(translation.expr, db, out, session, tracer)
+                _analyze(translation, db, out, session, tracer)
                 continue
             t0 = time.perf_counter()
             if service is not None:
-                outcome = service.run(translation.expr)
+                outcome = service.run(
+                    translation.expr, required_order=translation.order_by
+                )
             else:
                 with trace_scope(tracer):
-                    outcome = session.run(translation.expr)
+                    outcome = session.run(
+                        translation.expr,
+                        required_order=translation.order_by,
+                    )
                 if registry is not None:
                     # the service records its own metrics; the plain
                     # session path mirrors the essential ones here
@@ -327,7 +333,9 @@ def run_script(
                     registry.histogram("repro_query_latency_ms").observe(
                         (time.perf_counter() - t0) * 1000.0
                     )
-            result = _order_and_limit(outcome.relation, translation)
+            result = _order_and_limit(
+                outcome.relation, translation, chosen=outcome.chosen
+            )
             renamed = _friendly_columns(result, translation.columns)
             ordered = bool(translation.order_by)
             print(renamed.to_text(preserve_order=ordered), file=out)
@@ -353,6 +361,7 @@ def run_script(
                 service.export_metrics()
             else:
                 sync_cache_metrics(registry, session.plan_cache)
+                sync_engine_metrics(registry)
             text_out = (
                 registry.to_json()
                 if str(metrics_out).endswith(".json")
@@ -376,19 +385,37 @@ def run_script(
 
 
 def _sort_key(value):
-    from repro.relalg.nulls import is_null
+    # the one NULLS-LAST convention shared with the Sort operator
+    from repro.relalg.ordering import value_key
 
-    if is_null(value):
-        return (1, "", 0)
-    return (0, type(value).__name__, value)
+    return value_key(value)
 
 
-def _order_and_limit(relation: Relation, translation) -> Relation:
-    """Apply the statement's ORDER BY / LIMIT presentation directives."""
+def _order_and_limit(relation: Relation, translation, chosen=None) -> Relation:
+    """Apply the statement's ORDER BY / LIMIT presentation directives.
+
+    When the chosen plan already delivers the rows in the requested
+    order (an order-aware plan with a Sort enforcer, or an order that
+    falls out of the join/grouping structure), the sort is skipped
+    entirely.  With a LIMIT, the sort+slice collapses to a single
+    top-N selection (``heapq.nsmallest`` under one composite key)
+    instead of sorting everything to keep ``limit`` rows.
+    """
+    from repro.expr.orderprops import order_satisfies, provided_order
+    from repro.relalg.ordering import sort_rows, top_n_rows
+
     rows = list(relation.rows)
-    for attr, descending in reversed(translation.order_by):
-        rows.sort(key=lambda row: _sort_key(row[attr]), reverse=descending)
-    if translation.limit is not None:
+    keys = tuple(translation.order_by)
+    if keys and chosen is not None and order_satisfies(
+        provided_order(chosen), keys
+    ):
+        keys = ()  # the engine already delivered this order
+    if keys:
+        if translation.limit is not None:
+            rows = top_n_rows(rows, keys, translation.limit)
+        else:
+            rows = sort_rows(rows, keys)
+    elif translation.limit is not None:
         rows = rows[: translation.limit]
     return relation.with_rows(rows)
 
@@ -410,12 +437,28 @@ def _friendly_columns(relation: Relation, columns) -> Relation:
     return rename(narrowed, mapping) if mapping else narrowed
 
 
+def _render_order(order) -> str:
+    return ", ".join(f"{a} desc" if d else a for a, d in order) or "(none)"
+
+
 def _explain(
-    expr, db: Database, out, plans: int, session: QuerySession
+    translation, db: Database, out, plans: int, session: QuerySession
 ) -> None:
-    result, level, reason = session.plan(expr)
+    from repro.expr.orderprops import provided_order
+
+    expr = translation.expr
+    result, level, reason = session.plan(
+        expr, required_order=translation.order_by
+    )
     print("-- query plan (as written):", file=out)
     print(to_tree(expr), file=out)
+    if translation.order_by:
+        chosen = expr if result is None else result.best
+        print(
+            f"-- order: required {_render_order(translation.order_by)}; "
+            f"plan provides {_render_order(provided_order(chosen))}",
+            file=out,
+        )
     if result is None:
         print(f"-- stage: {level.name.lower()}" + (f" ({reason})" if reason else ""), file=out)
         print("-- plans considered : 0 (budget exhausted; original kept)", file=out)
@@ -448,19 +491,24 @@ def _explain(
 
 
 def _analyze(
-    expr, db: Database, out, session: QuerySession, tracer: Tracer
+    translation, db: Database, out, session: QuerySession, tracer: Tracer
 ) -> None:
     """EXPLAIN ANALYZE one statement: est/actual tree + span timings.
 
-    The statement is planned through the session's degradation ladder,
-    compiled to the pull-based physical engine with the cost model as
+    The statement is planned through the session's degradation ladder
+    (with the statement's ORDER BY as the required order, so the
+    order-aware pass runs exactly as it would for execution), compiled
+    to the pull-based physical engine with the cost model as
     cardinality estimator (so every operator carries ``est_rows``),
     executed, and reported as the analyzed operator tree followed by
     the plan-lifecycle spans recorded while doing all of the above.
     """
+    from repro.expr.orderprops import provided_order
     from repro.optimizer.cost import CostModel
     from repro.physical import compile_plan, explain_analyze
 
+    expr = translation.expr
+    required = tuple(translation.order_by)
     first_root = len(tracer.roots)
     replan_events: list[dict] = []
     with trace_scope(tracer):
@@ -469,14 +517,16 @@ def _analyze(
             # trigger mid-query re-plans, then analyze the plan the run
             # actually settled on (post-feedback estimates included)
             with span("session.run"):
-                adaptive = session.run(expr)
+                adaptive = session.run(expr, required_order=required)
             chosen = adaptive.chosen
             level = adaptive.degradation_level
             reason = adaptive.degradation_reason
             replan_events = adaptive.replan_events
         else:
             with span("session.plan"):
-                result, level, reason = session.plan(expr)
+                result, level, reason = session.plan(
+                    expr, required_order=required
+                )
             chosen = expr if result is None else result.best
         model = CostModel(session.stats)
         plan = compile_plan(
@@ -488,6 +538,12 @@ def _analyze(
         print(
             f"-- stage: {level.name.lower()}"
             + (f" ({reason})" if reason else ""),
+            file=out,
+        )
+    if required:
+        print(
+            f"-- order: required {_render_order(required)}; "
+            f"plan provides {_render_order(provided_order(chosen))}",
             file=out,
         )
     for event in replan_events:

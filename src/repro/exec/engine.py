@@ -21,13 +21,16 @@ from repro.expr.nodes import (
     Rename,
     Select,
     SemiJoin,
+    Sort,
     UnionAll,
 )
+from repro.expr.orderprops import provided_order, streaming_run_prefix
 from repro.expr.predicates import TRUE
 from repro.exec.hash_join import hash_join
 from repro.runtime.faults import fault_point
 from repro.runtime.feedback import monitor_lookup, monitor_record
-from repro.runtime.tracing import add_counter, trace_op
+from repro.runtime.metrics import record_engine_counter
+from repro.runtime.tracing import add_counter, span, trace_op
 from repro.relalg import (
     PreservedSpec,
     Relation,
@@ -36,9 +39,12 @@ from repro.relalg import (
     product,
     project,
     select,
+    streaming_generalized_projection,
+    streaming_generalized_selection,
 )
 from repro.relalg.nulls import NULL
 from repro.relalg.operators import rename as relalg_rename
+from repro.relalg.ordering import attr_key_fn
 from repro.relalg.row import Row
 from repro.relalg.schema import Schema
 
@@ -63,6 +69,20 @@ def execute(expr: Expr, db: Database, budget=None) -> Relation:
         budget.tick(rows=len(result), where="execute")
     monitor_record(expr, len(result), result)
     return result
+
+
+def _gs_run_prefix(expr: GenSelect, specs) -> tuple[str, ...]:
+    """Run keys for streaming σ*: every preserved part must be confined
+    to one run, so the prefix is taken within the *intersection* of the
+    specs' attribute sets (empty when there is nothing to preserve --
+    a bare σ* is just a selection and needs no runs)."""
+    if not specs:
+        return ()
+    allowed = None
+    for spec in specs:
+        attrs = spec.real_attrs | spec.virtual_attrs
+        allowed = attrs if allowed is None else (allowed & attrs)
+    return streaming_run_prefix(provided_order(expr.child), allowed or ())
 
 
 def _execute(expr: Expr, db: Database, budget=None) -> Relation:
@@ -126,8 +146,30 @@ def _execute(expr: Expr, db: Database, budget=None) -> Relation:
 
         op = anti_join if expr.anti else semi_join
         return op(left, right, _PredicateAdapter(expr.predicate))
+    if isinstance(expr, Sort):
+        child = execute(expr.child, db, budget)
+        with span("sort.enforce", engine="hash"):
+            fault_point("sort", op="enforce")
+            rows = sorted(child, key=attr_key_fn(expr.keys))
+        record_engine_counter("repro_sort_rows_total", len(rows))
+        return child.with_rows(rows)
     if isinstance(expr, GroupBy):
         child = execute(expr.child, db, budget)
+        run = streaming_run_prefix(provided_order(expr.child), expr.group_by)
+        if run:
+            # input is clustered on a group-key prefix: one pass, one
+            # run's state at a time, same rows in the same order
+            with span("groupby.stream", engine="hash", run=",".join(run)):
+                fault_point("groupby", op="stream")
+                result = streaming_generalized_projection(
+                    child,
+                    expr.group_by,
+                    expr.aggregates,
+                    name=expr.name,
+                    run_attrs=run,
+                )
+            record_engine_counter("repro_streaming_groupby_total")
+            return result
         return generalized_projection(
             child, expr.group_by, expr.aggregates, name=expr.name
         )
@@ -136,6 +178,18 @@ def _execute(expr: Expr, db: Database, budget=None) -> Relation:
         specs = [
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
         ]
+        run = _gs_run_prefix(expr, specs)
+        if run:
+            with span("groupby.stream", engine="hash", run=",".join(run)):
+                fault_point("groupby", op="stream")
+                result = streaming_generalized_selection(
+                    child,
+                    _PredicateAdapter(expr.predicate),
+                    specs,
+                    run_attrs=run,
+                )
+            record_engine_counter("repro_streaming_groupby_total")
+            return result
         return generalized_selection(child, _PredicateAdapter(expr.predicate), specs)
     if isinstance(expr, Rename):
         return relalg_rename(execute(expr.child, db, budget), dict(expr.mapping))

@@ -26,7 +26,7 @@ operator result, same cadence as the row engines.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from itertools import repeat
+from itertools import groupby, repeat
 from typing import Sequence
 
 from repro.exec.hash_join import split_equi_conjuncts
@@ -44,15 +44,23 @@ from repro.expr.nodes import (
     Rename,
     Select,
     SemiJoin,
+    Sort,
     UnionAll,
+)
+from repro.expr.orderprops import (
+    order_satisfies,
+    provided_order,
+    streaming_run_prefix,
 )
 from repro.expr.predicates import Predicate, TRUE
 from repro.exec.vector_predicates import compile_predicate
 from repro.relalg.columnar import ColumnarRelation, concat_columns
 from repro.runtime.faults import fault_point
 from repro.runtime.feedback import monitor_lookup, monitor_record
-from repro.runtime.tracing import add_counter, trace_op
+from repro.runtime.metrics import record_engine_counter
+from repro.runtime.tracing import add_counter, span, trace_op
 from repro.relalg.nulls import NULL
+from repro.relalg.ordering import value_key
 from repro.relalg.relation import Relation
 from repro.relalg.schema import Schema
 
@@ -160,6 +168,15 @@ def _execute_node(
         child = _execute(expr.child, db, budget, frozenset(expr.attrs))
         out = _restrict(_distinct_project(child, expr.attrs), needed)
         return _tick(budget, out, "vector:distinct")
+    if isinstance(expr, Sort):
+        key_attrs = frozenset(a for a, _ in expr.keys)
+        child_needed = None if needed is None else needed | key_attrs
+        child = _execute(expr.child, db, budget, child_needed)
+        with span("sort.enforce", engine="vector"):
+            fault_point("sort", op="enforce")
+            out = _sort(child, expr.keys)
+        record_engine_counter("repro_sort_rows_total", len(out))
+        return _tick(budget, _restrict(out, needed), "vector:sort")
     if isinstance(expr, Join):
         wanted = None
         if needed is not None:
@@ -172,7 +189,10 @@ def _execute_node(
             expr.right, db, budget,
             None if wanted is None else wanted & expr.right.attr_set,
         ).compact()
-        out = _join(left, right, expr.predicate, expr.kind)
+        out = _join(
+            left, right, expr.predicate, expr.kind,
+            merge_keys=_merge_key_order(expr),
+        )
         return _tick(budget, _restrict(out, needed), "vector:join")
     if isinstance(expr, UnionAll):
         left = _execute(
@@ -203,11 +223,27 @@ def _execute_node(
             spec.arg for spec in expr.aggregates if spec.arg is not None
         )
         child = _execute(expr.child, db, budget, child_needed).compact()
-        out = _group_by(child, expr.group_by, expr.aggregates, expr.name)
+        run = streaming_run_prefix(provided_order(expr.child), expr.group_by)
+        if run:
+            with span("groupby.stream", engine="vector", run=",".join(run)):
+                fault_point("groupby", op="stream")
+                out = _group_by_sorted(
+                    child, expr.group_by, expr.aggregates, expr.name, run
+                )
+            record_engine_counter("repro_streaming_groupby_total")
+        else:
+            out = _group_by(child, expr.group_by, expr.aggregates, expr.name)
         return _tick(budget, _restrict(out, needed), "vector:groupby")
     if isinstance(expr, GenSelect):
         child = _execute(expr.child, db, budget).compact()
-        out = _generalized_selection(child, expr)
+        run = _gs_run_prefix(expr)
+        if run:
+            with span("groupby.stream", engine="vector", run=",".join(run)):
+                fault_point("groupby", op="stream")
+                out = _generalized_selection_sorted(child, expr, run)
+            record_engine_counter("repro_streaming_groupby_total")
+        else:
+            out = _generalized_selection(child, expr)
         return _tick(budget, _restrict(out, needed), "vector:genselect")
     if isinstance(expr, Rename):
         mapping = dict(expr.mapping)
@@ -254,6 +290,110 @@ def _distinct_project(child: ColumnarRelation, attrs: Sequence[str]) -> Columnar
     return child.view(keep).with_schema(Schema(attrs), Schema(()))
 
 
+# ---- ordering --------------------------------------------------------
+
+
+def _sort(child: ColumnarRelation, keys) -> ColumnarRelation:
+    """Argsort on the gathered key columns; rows move as a view.
+
+    Uses the shared ordering convention (:mod:`repro.relalg.ordering`),
+    so the vector Sort places NULLs exactly where the row engines do.
+    """
+    from repro.relalg.ordering import row_key
+
+    cols = [child.gather(a) for a, _ in keys]
+    positions = [(idx, desc) for idx, (_, desc) in enumerate(keys)]
+    rows = list(zip(*cols))
+    order = sorted(
+        range(len(rows)), key=lambda p: row_key(rows[p], positions)
+    )
+    indices = child.physical_indices()
+    return child.view([indices[p] for p in order])
+
+
+_NULL_RANK = value_key(None)[0]
+
+
+def _key_has_null(key: tuple) -> bool:
+    return any(part[0] == _NULL_RANK for part in key)
+
+
+def _merge_key_order(expr: Join):
+    """Equi-keys ordered so both inputs arrive sorted on them, or None.
+
+    The merge path applies when every equi-conjunct's attributes lead
+    both children's provided orders, ascending, in a consistent
+    sequence -- i.e. the optimizer (or the query itself) already paid
+    for sorts covering the join keys.
+    """
+    keys, _residual = split_equi_conjuncts(
+        expr.predicate,
+        frozenset(expr.left.attr_set),
+        frozenset(expr.right.attr_set),
+    )
+    if not keys:
+        return None
+    left_order = provided_order(expr.left)
+    pos = {attr: i for i, (attr, desc) in enumerate(left_order) if not desc}
+    if any(lk not in pos for lk, _ in keys):
+        return None
+    ordered = tuple(sorted(keys, key=lambda kv: pos[kv[0]]))
+    req_left = tuple((lk, False) for lk, _ in ordered)
+    req_right = tuple((rk, False) for _, rk in ordered)
+    if not order_satisfies(left_order, req_left):
+        return None
+    if not order_satisfies(provided_order(expr.right), req_right):
+        return None
+    return ordered
+
+
+def _merge_pairs(
+    lcols: dict[str, list],
+    rcols: dict[str, list],
+    keys: Sequence[tuple[str, str]],
+) -> tuple[list[int], list[int]]:
+    """Run-merging join over key-sorted inputs (two pointers, no table).
+
+    Emits the same (left-major, right-ascending-within-run) pair order
+    as :func:`_hash_pairs` on the same inputs.  NULL-bearing keys never
+    match and are skipped in place -- they sit in sorted position but
+    form runs of their own.
+    """
+    lk = [tuple(map(value_key, t)) for t in zip(*(lcols[k] for k, _ in keys))]
+    rk = [tuple(map(value_key, t)) for t in zip(*(rcols[k] for _, k in keys))]
+    li: list[int] = []
+    ri: list[int] = []
+    li_extend, ri_extend = li.extend, ri.extend
+    i, j = 0, 0
+    nleft, nright = len(lk), len(rk)
+    while i < nleft and j < nright:
+        ki = lk[i]
+        if _key_has_null(ki):
+            i += 1
+            continue
+        kj = rk[j]
+        if _key_has_null(kj):
+            j += 1
+            continue
+        if ki < kj:
+            i += 1
+        elif kj < ki:
+            j += 1
+        else:
+            i2 = i + 1
+            while i2 < nleft and lk[i2] == ki:
+                i2 += 1
+            j2 = j + 1
+            while j2 < nright and rk[j2] == kj:
+                j2 += 1
+            run_r = list(range(j, j2))
+            for a in range(i, i2):
+                li_extend(repeat(a, len(run_r)))
+                ri_extend(run_r)
+            i, j = i2, j2
+    return li, ri
+
+
 # ---- joins -----------------------------------------------------------
 
 
@@ -267,6 +407,7 @@ def _join(
     right: ColumnarRelation,
     predicate: Predicate,
     kind: JoinKind,
+    merge_keys: Sequence[tuple[str, str]] | None = None,
 ) -> ColumnarRelation:
     real = left.real.concat(right.real)
     virtual = left.virtual.concat(right.virtual)
@@ -287,7 +428,12 @@ def _join(
     if not keys:
         li, ri = _nested_loop_pairs(lcols, rcols, nleft, nright, predicate)
     else:
-        li, ri = _hash_pairs(lcols, rcols, nleft, keys)
+        if merge_keys is not None and set(merge_keys) == set(keys):
+            with span("merge.join", engine="vector"):
+                fault_point("merge", op="join")
+                li, ri = _merge_pairs(lcols, rcols, merge_keys)
+        else:
+            li, ri = _hash_pairs(lcols, rcols, nleft, keys)
         if residual is not TRUE and li:
             li, ri = _filter_pairs(lcols, rcols, li, ri, residual)
     return _assemble_join(
@@ -565,7 +711,184 @@ def _group_by(
     return ColumnarRelation(out_real, out_virtual, columns, len(groups))
 
 
+def _run_boundaries(
+    run_cols: Sequence[list], n: int
+) -> list[tuple[int, int]]:
+    """``[start, end)`` index ranges of maximal equal-key runs.
+
+    ``itertools.groupby`` keeps the scan at C speed (one Python-level
+    iteration per *run*, not per row); a per-row tuple-building loop
+    here costs more than the whole hash aggregation it is meant to
+    beat.
+    """
+    if n == 0:
+        return []
+    it = run_cols[0] if len(run_cols) == 1 else zip(*run_cols)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for _key, group in groupby(it):
+        length = len(list(group))
+        bounds.append((start, start + length))
+        start += length
+    return bounds
+
+
+def _group_by_sorted(
+    child: ColumnarRelation,
+    group_by: Sequence[str],
+    aggregates,
+    name: str,
+    run_attrs: Sequence[str],
+) -> ColumnarRelation:
+    """Streaming grouped aggregation over ``run_attrs``-clustered input.
+
+    When the runs cover *all* group keys, every run is one group and
+    the pass is pure boundary detection plus aggregate computation
+    over column slices -- no per-row dict at all.  With a partial
+    prefix, a per-run dict (bounded by the run, not the input) handles
+    the remaining keys.  Output rows, order and virtual ids match
+    :func:`_group_by` exactly (groups are confined to runs, and runs
+    arrive in input order, so per-run first-occurrence order *is* the
+    global first-occurrence order).
+    """
+    n = len(child)
+    real_keys = [a for a in group_by if a in child.real]
+    virtual_keys = [a for a in group_by if a in child.virtual]
+    out_real = Schema(real_keys + [spec.output for spec in aggregates])
+    vid = f"#{name}"
+    out_virtual = Schema(virtual_keys + [vid])
+
+    key_cols = [child.gather(a) for a in group_by]
+    run_cols = [child.gather(a) for a in run_attrs]
+    arg_cols = {
+        spec.arg: child.gather(spec.arg)
+        for spec in aggregates
+        if spec.arg is not None
+    }
+    columns: dict[str, list] = {a: [] for a in group_by}
+    agg_out: dict[str, list] = {spec.output: [] for spec in aggregates}
+    bounds = _run_boundaries(run_cols, n)
+
+    if set(run_attrs) == set(group_by):
+        # one run == one group: boundary scan + slice aggregates
+        for start, end in bounds:
+            for attr, col in zip(group_by, key_cols):
+                columns[attr].append(col[start])
+            for spec in aggregates:
+                if spec.arg is None:
+                    agg_out[spec.output].append(end - start)
+                else:
+                    agg_out[spec.output].append(
+                        spec.compute(arg_cols[spec.arg][start:end])
+                    )
+    else:
+        for start, end in bounds:
+            groups: dict = {}
+            groups_get = groups.get
+            for i in range(start, end):
+                k = tuple(col[i] for col in key_cols)
+                members = groups_get(k)
+                if members is None:
+                    groups[k] = members = []
+                members.append(i)
+            for k, members in groups.items():
+                for pos, attr in enumerate(group_by):
+                    columns[attr].append(k[pos])
+                for spec in aggregates:
+                    if spec.arg is None:
+                        agg_out[spec.output].append(len(members))
+                    else:
+                        col = arg_cols[spec.arg]
+                        agg_out[spec.output].append(
+                            spec.compute([col[i] for i in members])
+                        )
+
+    ngroups = len(columns[group_by[0]])
+    out_columns = {**columns, **agg_out}
+    out_columns[vid] = [(name, i) for i in range(ngroups)]
+    return ColumnarRelation(out_real, out_virtual, out_columns, ngroups)
+
+
 # ---- generalized selection (Definition 2.1) --------------------------
+
+
+def _gs_run_prefix(expr: GenSelect) -> tuple[str, ...]:
+    """Run keys for streaming σ*: the child-order prefix inside the
+    intersection of the preserved specs' attribute sets (every part
+    must be confined to one run)."""
+    if not expr.preserved:
+        return ()
+    allowed = None
+    for pres in expr.preserved:
+        attrs = frozenset(pres.real) | frozenset(pres.virtual)
+        allowed = attrs if allowed is None else (allowed & attrs)
+    return streaming_run_prefix(provided_order(expr.child), allowed)
+
+
+def _generalized_selection_sorted(
+    child: ColumnarRelation, expr: GenSelect, run_attrs: Sequence[str]
+) -> ColumnarRelation:
+    """Per-run σ* over ``run_attrs``-clustered input.
+
+    Same bag as :func:`_generalized_selection`; state (survivor and
+    emitted part sets) is bounded by one run.  Pad rows surface at
+    their run's boundary rather than all at the end -- σ* promises no
+    order, and verification is bag-based.
+    """
+    n = len(child)
+    columns = child.physical_columns()  # compact: physical == visible
+    pred = compile_predicate(expr.predicate)
+    target = child.all_attrs
+    run_cols = [columns[a] for a in run_attrs]
+    out_columns: dict[str, list] = {a: [] for a in target}
+
+    spec_info = []
+    for pres in expr.preserved:
+        spec_attrs = pres.real | pres.virtual
+        order = tuple(a for a in target if a in spec_attrs)
+        presence_attrs = tuple(
+            a for a in order if a in (pres.virtual or pres.real)
+        )
+        spec_of = {a: pos for pos, a in enumerate(order)}
+        spec_info.append((order, presence_attrs, spec_of))
+
+    pads_total = 0
+    for start, end in _run_boundaries(run_cols, n):
+        sel = pred(columns, range(start, end))
+        for a in target:
+            col = columns[a]
+            out_columns[a].extend(col[i] for i in sel)
+        for order, presence_attrs, spec_of in spec_info:
+            part_cols = [columns[a] for a in order]
+            presence_cols = [columns[a] for a in presence_attrs]
+
+            def part(i: int) -> tuple:
+                return tuple(c[i] for c in part_cols)
+
+            def present(i: int) -> bool:
+                return any(c[i] is not NULL for c in presence_cols)
+
+            emitted = {part(i) for i in sel if present(i)}
+            pad_parts: list[tuple] = []
+            for i in range(start, end):
+                if present(i):
+                    p = part(i)
+                    if p not in emitted:
+                        emitted.add(p)
+                        pad_parts.append(p)
+            if pad_parts:
+                pads_total += len(pad_parts)
+                for a in target:
+                    col = out_columns[a]
+                    pos = spec_of.get(a)
+                    if pos is None:
+                        col.extend([NULL] * len(pad_parts))
+                    else:
+                        col.extend(p[pos] for p in pad_parts)
+    if pads_total:
+        add_counter("gs_preserved_rows", pads_total)
+    nrows = len(next(iter(out_columns.values()))) if target else 0
+    return ColumnarRelation(child.real, child.virtual, out_columns, nrows)
 
 
 def _generalized_selection(

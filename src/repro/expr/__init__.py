@@ -28,6 +28,7 @@ from repro.expr.nodes import (
     Rename,
     Select,
     GenSelect,
+    Sort,
     inner,
     left_outer,
     right_outer,
@@ -57,6 +58,7 @@ __all__ = [
     "Project",
     "Select",
     "GenSelect",
+    "Sort",
     "inner",
     "left_outer",
     "right_outer",

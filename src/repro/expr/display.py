@@ -20,8 +20,13 @@ from repro.expr.nodes import (
     Join,
     Project,
     Select,
+    Sort,
 )
 from repro.expr.predicates import TRUE
+
+
+def _sort_keys(expr: Sort) -> str:
+    return ", ".join(f"{a} desc" if d else a for a, d in expr.keys)
 
 
 def to_algebra(expr: Expr) -> str:
@@ -60,6 +65,8 @@ def to_algebra(expr: Expr) -> str:
         return f"ρ[{pairs}]({to_algebra(expr.child)})"
     if isinstance(expr, AdjustPadding):
         return f"adjust[{expr.witness}]({to_algebra(expr.child)})"
+    if isinstance(expr, Sort):
+        return f"sort[{_sort_keys(expr)}]({to_algebra(expr.child)})"
     return repr(expr)
 
 
@@ -89,6 +96,8 @@ def tree_lines(expr: Expr, indent: str = "") -> list[str]:
         label = "ρ[" + ", ".join(f"{o}→{n}" for o, n in expr.mapping) + "]"
     elif isinstance(expr, AdjustPadding):
         label = f"adjust[{expr.witness}]"
+    elif isinstance(expr, Sort):
+        label = f"sort[{_sort_keys(expr)}]"
     else:
         label = repr(expr)
     lines = [indent + label]

@@ -38,12 +38,14 @@ from repro.expr.nodes import (
     Project,
     Select,
     SemiJoin,
+    Sort,
     UnionAll,
 )
 from repro.expr.predicates import Predicate, TRUE
 from repro.runtime.faults import fault_point
 from repro.runtime.feedback import monitor_lookup, monitor_record
-from repro.runtime.tracing import add_counter, trace_op
+from repro.runtime.metrics import record_engine_counter
+from repro.runtime.tracing import add_counter, span, trace_op
 
 
 class Database:
@@ -160,6 +162,15 @@ def _evaluate(expr: Expr, db: Database, budget=None) -> Relation:
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved
         ]
         return generalized_selection(child, _PredicateAdapter(expr.predicate), specs)
+    if isinstance(expr, Sort):
+        from repro.relalg.ordering import attr_key_fn
+
+        child = evaluate(expr.child, db, budget)
+        with span("sort.enforce", engine="reference"):
+            fault_point("sort", op="enforce")
+            rows = sorted(child, key=attr_key_fn(expr.keys))
+        record_engine_counter("repro_sort_rows_total", len(rows))
+        return child.with_rows(rows)
     if isinstance(expr, Rename):
         from repro.relalg.operators import rename as relalg_rename
 

@@ -559,6 +559,44 @@ class AdjustPadding(Expr):
         return {a: owners[a] for a in self.all_attrs}
 
 
+@dataclass(frozen=True)
+class Sort(Expr):
+    """Order enforcer: emit the child's rows sorted on ``keys``.
+
+    ``keys`` is a tuple of ``(attribute, descending)`` pairs; the
+    comparison semantics (NULLS LAST ascending, the numeric/string/
+    other type ladder) live in :mod:`repro.relalg.ordering` and are
+    shared by every engine.  A Sort is a *physical property* enforcer:
+    it changes no bag, only the row order, so it is transparent to
+    cardinality estimation and to differential verification.
+    """
+
+    child: Expr
+    keys: tuple[tuple[str, bool], ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ExprError("Sort requires at least one key")
+        missing = {a for a, _ in self.keys} - set(self.child.real_attrs)
+        if missing:
+            raise ExprError(f"sort keys {sorted(missing)} not in child")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.child,)
+
+    @cached_property
+    def real_attrs(self) -> tuple[str, ...]:
+        return self.child.real_attrs
+
+    @cached_property
+    def virtual_attrs(self) -> tuple[str, ...]:
+        return self.child.virtual_attrs
+
+    @cached_property
+    def attr_owners(self) -> dict[str, frozenset[str]]:
+        return self.child.attr_owners
+
+
 # ---- hashing ----
 #
 # Frozen dataclasses recompute their hash from scratch on every call,
@@ -578,6 +616,7 @@ install_cached_hash(
     UnionAll,
     Rename,
     AdjustPadding,
+    Sort,
     Preserved,
 )
 

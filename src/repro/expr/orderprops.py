@@ -1,0 +1,171 @@
+"""Static physical-order properties of logical plans.
+
+An *order spec* is a tuple of ``(attribute, descending)`` pairs, e.g.
+``(("age", False), ("name", True))`` for ``ORDER BY age, name DESC``.
+:func:`provided_order` answers "what order does evaluating this
+subtree yield, in every engine?" and :func:`order_satisfies` answers
+"does that order cover a requirement?" -- optionally modulo attribute
+equivalence classes, so an order on ``r1.a`` satisfies a requirement
+on ``r2.b`` when the plan applied ``r1.a = r2.b`` (Szlichta et al.'s
+orders-for-free, restricted to equality-derived classes).
+
+The contract is deliberately conservative: a node claims an order
+only when **all three engines** (reference, hash, vector) provably
+emit it.  The load-bearing facts, verified against each engine:
+
+* Inner joins emit rows left-major (reference ``join = select ∘
+  product``; the row hash join iterates the left input probing a
+  right-side table; the vector join gathers left indices ascending),
+  so an inner :class:`Join` passes through its *left* child's order.
+  Outer joins append pad rows at the end and claim nothing.
+* GROUP BY emits groups in first-occurrence order everywhere
+  (insertion-ordered dicts), so a :class:`GroupBy` passes through the
+  longest child-order prefix that lies inside its group keys.
+* σ* (:class:`GenSelect`) and :class:`AdjustPadding` may append or
+  rewrite padded rows, so they claim nothing / stop at touched
+  attributes respectively.
+
+This module sits in the expr layer and imports nothing above it, so
+engines, the physical planner, and the optimizer can all use it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.expr.nodes import (
+    AdjustPadding,
+    BaseRel,
+    Expr,
+    GenSelect,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Rename,
+    Select,
+    Sort,
+)
+
+#: ((attribute, descending), ...); () means "no promised order".
+OrderSpec = tuple[tuple[str, bool], ...]
+
+__all__ = [
+    "OrderSpec",
+    "provided_order",
+    "order_satisfies",
+    "streaming_run_prefix",
+    "normalize_order",
+]
+
+
+def normalize_order(keys: Iterable[tuple[str, bool]]) -> OrderSpec:
+    """Drop repeated attributes (a later key on the same attribute is
+    a no-op: ties on the first occurrence are already fully broken by
+    it only when values repeat, but re-sorting the same attribute adds
+    no information either way)."""
+    seen: set[str] = set()
+    out: list[tuple[str, bool]] = []
+    for attr, descending in keys:
+        if attr in seen:
+            continue
+        seen.add(attr)
+        out.append((attr, bool(descending)))
+    return tuple(out)
+
+
+def provided_order(expr: Expr) -> OrderSpec:
+    """The order ``expr``'s output rows are guaranteed to carry."""
+    if isinstance(expr, Sort):
+        return normalize_order(expr.keys)
+    if isinstance(expr, Select):
+        return provided_order(expr.child)
+    if isinstance(expr, Project):
+        if expr.distinct:
+            return ()  # distinct runs through the grouping machinery
+        return _prefix_within(provided_order(expr.child), set(expr.attrs))
+    if isinstance(expr, Rename):
+        mapping = dict(expr.mapping)
+        return tuple(
+            (mapping.get(a, a), d) for a, d in provided_order(expr.child)
+        )
+    if isinstance(expr, Join):
+        if expr.kind is JoinKind.INNER:
+            return provided_order(expr.left)
+        return ()  # outer joins append pad rows at the end
+    if isinstance(expr, GroupBy):
+        keys = set(expr.group_by) & set(expr.real_attrs)
+        return _prefix_within(provided_order(expr.child), keys)
+    if isinstance(expr, AdjustPadding):
+        # row order survives, but the witness column disappears and the
+        # target columns may be rewritten to NULL
+        child = provided_order(expr.child)
+        stop = set(expr.targets) | {expr.witness}
+        out: list[tuple[str, bool]] = []
+        for attr, descending in child:
+            if attr in stop:
+                break
+            out.append((attr, descending))
+        return tuple(out)
+    if isinstance(expr, (GenSelect, BaseRel)):
+        return ()
+    return ()
+
+
+def _prefix_within(order: OrderSpec, allowed: set[str]) -> OrderSpec:
+    out: list[tuple[str, bool]] = []
+    for attr, descending in order:
+        if attr not in allowed:
+            break
+        out.append((attr, descending))
+    return tuple(out)
+
+
+def order_satisfies(
+    provided: OrderSpec,
+    required: Iterable[tuple[str, bool]],
+    eq: "dict[str, frozenset[str]] | None" = None,
+) -> bool:
+    """True when ``provided`` covers ``required`` position by position.
+
+    ``provided`` may be longer (a finer order satisfies a coarser
+    requirement on a shared prefix).  ``eq`` maps an attribute to its
+    equality-derived equivalence class; when given, a provided key
+    satisfies a required key on any attribute in the same class --
+    rows the plan has already filtered through ``a = b`` are sorted on
+    ``b`` exactly when sorted on ``a``.
+    """
+    required = normalize_order(required)
+    if len(required) > len(provided):
+        return False
+    for (p_attr, p_desc), (r_attr, r_desc) in zip(provided, required):
+        if p_desc != r_desc:
+            return False
+        if p_attr == r_attr:
+            continue
+        if eq is not None and r_attr in eq.get(p_attr, frozenset()):
+            continue
+        return False
+    return True
+
+
+def streaming_run_prefix(
+    order: OrderSpec, allowed_attrs: Iterable[str]
+) -> tuple[str, ...]:
+    """Run keys usable for streaming over ``order``-sorted input.
+
+    The longest prefix of ``order`` confined to ``allowed_attrs``
+    (group keys for streaming aggregation, a preserved spec's real
+    attributes for streaming σ*).  Rows agreeing on these attributes
+    are contiguous, so a per-run operator flushed at run boundaries is
+    bag-equivalent to its hash-table counterpart.  Direction does not
+    matter for run detection -- only contiguity does.
+    """
+    allowed = set(allowed_attrs)
+    out: list[str] = []
+    for attr, _descending in order:
+        if attr not in allowed:
+            break
+        out.append(attr)
+    return tuple(out)

@@ -3,6 +3,13 @@
 from repro.optimizer.stats import Statistics, TableStats
 from repro.optimizer.cardinality import estimate
 from repro.optimizer.cost import estimated_cost, measured_cost
+from repro.optimizer.dp import dp_join_order_pareto, pareto_frontier
+from repro.optimizer.orders import (
+    equality_classes,
+    interesting_orders,
+    order_aware_reorder,
+    refined_cost,
+)
 from repro.optimizer.planner import OptimizationResult, optimize
 from repro.optimizer.tiers import (
     choose_tier,
@@ -28,6 +35,12 @@ __all__ = [
     "measured_cost",
     "OptimizationResult",
     "optimize",
+    "dp_join_order_pareto",
+    "pareto_frontier",
+    "equality_classes",
+    "interesting_orders",
+    "order_aware_reorder",
+    "refined_cost",
     "choose_tier",
     "goo_join_order",
     "goo_reorder",

@@ -18,12 +18,48 @@ being good.
 
 from __future__ import annotations
 
+import math
+
 from repro.expr.evaluate import Database, evaluate
-from repro.expr.nodes import BaseRel, Expr, GenSelect, GroupBy, Join
+from repro.expr.nodes import BaseRel, Expr, GenSelect, GroupBy, Join, Sort
+from repro.expr.orderprops import order_satisfies, provided_order
 from repro.optimizer.cardinality import Estimate, estimate
 from repro.optimizer.stats import Statistics
 
 _COSTED = (Join, GroupBy, GenSelect)
+
+
+def sort_penalty(rows: float, runs: float = 1.0) -> float:
+    """Comparison-count model for enforcing an order on ``rows`` rows.
+
+    A full sort is ``rows·log2(rows)``.  When the input already
+    arrives clustered into ``runs`` sorted runs on a key prefix
+    (Guravannavar's partial sort), only each run's interior needs
+    sorting: ``rows·log2(rows/runs)``, floored at one comparison per
+    row so a sort is never free unless it is skipped entirely.
+    """
+    rows = max(rows, 1.0)
+    runs = max(1.0, min(runs, rows))
+    return rows * math.log2(max(rows / runs, 2.0))
+
+
+def sort_node_cost(expr: Sort, child_est: Estimate) -> float:
+    """Cost of a :class:`Sort` enforcer given its child's estimate.
+
+    Free when the child already provides the order (the enforcer
+    degenerates to a pass-through); otherwise a partial sort whose run
+    count is the product of distinct counts over the already-ordered
+    key prefix.
+    """
+    provided = provided_order(expr.child)
+    if order_satisfies(provided, expr.keys):
+        return 0.0
+    runs = 1.0
+    for (p_attr, p_desc), (k_attr, k_desc) in zip(provided, expr.keys):
+        if p_attr != k_attr or p_desc != k_desc:
+            break
+        runs *= child_est.distinct_of(p_attr)
+    return sort_penalty(child_est.rows, runs)
 
 
 class CostModel:
@@ -53,6 +89,8 @@ class CostModel:
             total += self.estimate(expr).rows
         if isinstance(expr, GenSelect):
             total += self.estimate(expr.child).rows
+        if isinstance(expr, Sort):
+            total += sort_node_cost(expr, self.estimate(expr.child))
         for child in expr.children():
             total += self.cost(child)
         self._costs[expr] = total

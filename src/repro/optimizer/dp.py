@@ -41,7 +41,8 @@ from repro.errors import OptimizerInternalError
 
 from itertools import combinations
 
-from repro.expr.nodes import BaseRel, Expr, Join, JoinKind
+from repro.expr.nodes import BaseRel, Expr, Join, JoinKind, Sort
+from repro.expr.orderprops import OrderSpec, normalize_order, order_satisfies
 from repro.expr.predicates import Predicate, conjuncts_of, make_conjunction
 from repro.expr.rewrite import iter_nodes
 from repro.hypergraph import hypergraph_of
@@ -67,6 +68,8 @@ class _Workspace:
                 self.atoms.extend(conjuncts_of(node.predicate))
             elif isinstance(node, BaseRel):
                 self.leaves[node.name] = node
+            elif isinstance(node, Sort):
+                pass  # order enforcers are transparent to the join core
             else:
                 raise DpError(
                     f"unsupported node {type(node).__name__} in the join core"
@@ -222,6 +225,261 @@ def dp_order_subset(
                 best[subset] = candidate
 
     return best.get(frozenset(ordered)), masks_expanded
+
+
+# ---- Pareto DP over (subset, interesting order) ----------------------
+#
+# The order-aware extension keeps, per connected subset, not one best
+# plan but the Pareto frontier over *physical order*: the cheapest
+# plan per order the subset can usefully provide.  Inner hash joins
+# pass their left child's order through (the engines emit inner-join
+# rows left-major); Sort enforcers add entries for each interesting
+# order at every subset, costed with Guravannavar's partial-sort
+# discount, so order is bought at the cheapest point in the tree
+# rather than always at the root.  The no-order entries replicate the
+# blind DP move for move, which is what makes the "never worse than
+# blind optimum + root sort" guarantee structural rather than
+# empirical.
+
+#: Pareto table entry: order spec -> (cost, plan providing that order).
+ParetoEntries = "dict[OrderSpec, tuple[float, Expr]]"
+
+
+def _real_attrs_of(ws: _Workspace, subset: frozenset[str]) -> set[str]:
+    out: set[str] = set()
+    for name in subset:
+        out.update(ws.leaves[name].attrs)
+    return out
+
+
+def _entry_rank(order: OrderSpec) -> tuple:
+    # deterministic strict tie-break: prefer the finer (longer) order,
+    # then lexicographic -- makes mutual domination drop exactly one
+    return (-len(order), order)
+
+
+def _prune_dominated(entries, eq) -> None:
+    """Drop entries another entry dominates (cheaper-or-equal cost AND
+    satisfies the dropped entry's order).  Ties break on
+    :func:`_entry_rank`, so equivalent entries never eliminate each
+    other simultaneously."""
+    items = list(entries.items())
+    for o, (c, _plan) in items:
+        for o2, (c2, _plan2) in items:
+            if o2 == o or o2 not in entries:
+                continue
+            if (c2, _entry_rank(o2)) < (c, _entry_rank(o)) and order_satisfies(
+                o2, o, eq
+            ):
+                entries.pop(o, None)
+                break
+
+
+def _sort_runs(ws: _Workspace, provided: OrderSpec, target: OrderSpec) -> float:
+    """Sorted-run count of ``provided`` input w.r.t. ``target``: the
+    product of distinct counts over the matching key prefix."""
+    runs = 1.0
+    for (p_attr, p_desc), (t_attr, t_desc) in zip(provided, target):
+        if p_attr != t_attr or p_desc != t_desc:
+            break
+        runs *= max(1.0, ws._global.distinct.get(p_attr, 1.0))
+    return runs
+
+
+def _add_enforcers(
+    ws: _Workspace,
+    subset: frozenset[str],
+    entries,
+    interesting,
+    eq,
+) -> None:
+    """Extend ``entries`` with the cheapest way to provide each
+    applicable interesting order (pass-through when some entry already
+    satisfies it, partial/full Sort otherwise)."""
+    from repro.optimizer.cost import sort_penalty
+
+    rows = ws.cardinality(subset)
+    real_attrs = _real_attrs_of(ws, subset)
+    for order in interesting:
+        if not order or not {a for a, _ in order} <= real_attrs:
+            continue
+        best = entries.get(order)
+        for have, (cost, plan) in list(entries.items()):
+            if order_satisfies(have, order, eq):
+                cand_cost, cand_plan = cost, plan
+            else:
+                runs = min(_sort_runs(ws, have, order), rows or 1.0)
+                cand_cost = cost + sort_penalty(rows, runs)
+                cand_plan = Sort(plan, order)
+            if best is None or cand_cost < best[0]:
+                best = (cand_cost, cand_plan)
+        if best is not None:
+            entries[order] = best
+
+
+def dp_order_subset_pareto(
+    ws: _Workspace,
+    graph,
+    names: frozenset[str],
+    interesting,
+    budget=None,
+    eq=None,
+):
+    """Pareto DP over ``names``: cheapest plan per (subset, order).
+
+    ``interesting`` is a collection of order specs worth tracking
+    (seeded from join predicates, GROUP BY keys and the query's ORDER
+    BY); ``eq`` maps attributes to equality-derived equivalence
+    classes for Szlichta-style free orders.  Returns ``(entries,
+    masks_expanded)`` where ``entries`` maps order spec -> (cost,
+    plan) for the full subset (``None`` when disconnected).  The
+    empty-order entries replicate :func:`dp_order_subset` exactly.
+    """
+    interesting = tuple(
+        dict.fromkeys(normalize_order(o) for o in interesting if o)
+    )
+    ordered = sorted(names)
+    table: dict[frozenset[str], dict] = {}
+    for name in ordered:
+        leaf = frozenset((name,))
+        entries = {(): (0.0, ws.leaves[name])}
+        _add_enforcers(ws, leaf, entries, interesting, eq)
+        _prune_dominated(entries, eq)
+        table[leaf] = entries
+
+    bit = graph.node_bit
+    masks_expanded = 0
+    for size in range(2, len(ordered) + 1):
+        for combo in combinations(ordered, size):
+            if budget is not None:
+                budget.check_deadline("dp_order_pareto")
+            mask = 0
+            for name in combo:
+                mask |= bit[name]
+            if not graph.is_connected_mask(mask):
+                continue
+            masks_expanded += 1
+            subset = frozenset(combo)
+            subset_attrs = ws.attrs_of(subset)
+            output = ws.cardinality(subset)
+            entries: dict = {}
+
+            def consider(left, right, applicable) -> None:
+                predicate = make_conjunction(applicable)
+                for o_left, (c_left, p_left) in table[left].items():
+                    for o_right, (c_right, p_right) in table[right].items():
+                        cost = c_left + c_right + output
+                        held = entries.get(o_left)
+                        if held is not None and held[0] <= cost:
+                            continue
+                        plan = Join(
+                            JoinKind.INNER, p_left, p_right, predicate
+                        )
+                        entries[o_left] = (cost, plan)
+
+            atom_split_found = False
+            for left, right in _splits(subset):
+                if left not in table or right not in table:
+                    continue
+                left_attrs = ws.attrs_of(left)
+                right_attrs = ws.attrs_of(right)
+                applicable = [
+                    atom
+                    for atom in ws.atoms
+                    if atom.attrs <= subset_attrs
+                    and atom.attrs & left_attrs
+                    and atom.attrs & right_attrs
+                ]
+                if not applicable:
+                    continue
+                atom_split_found = True
+                consider(left, right, applicable)
+            if not atom_split_found:
+                # same cross-product last resort as dp_order_subset
+                for left, right in _splits(subset):
+                    if left not in table or right not in table:
+                        continue
+                    consider(left, right, ())
+            if entries:
+                _add_enforcers(ws, subset, entries, interesting, eq)
+                _prune_dominated(entries, eq)
+                table[subset] = entries
+
+    return table.get(frozenset(ordered)), masks_expanded
+
+
+def pareto_frontier(
+    query: Expr,
+    stats: Statistics,
+    interesting=(),
+    budget=None,
+    eq=None,
+):
+    """The root Pareto frontier of an inner-join core.
+
+    Returns a ``dict`` mapping each surviving order spec to ``(cost,
+    plan)``; the ``()`` entry is the order-blind optimum (identical
+    plan and cost to :func:`dp_join_order`), and every other entry is
+    the cheapest way to additionally provide that order.
+    """
+    interesting = tuple(
+        dict.fromkeys(normalize_order(o) for o in interesting if o)
+    )
+    ws = _Workspace(query, stats)
+    names = frozenset(ws.leaves)
+    if len(ws.leaves) < 2:
+        entries = {(): (0.0, query)}
+        _add_enforcers(ws, names, entries, interesting, eq)
+        return entries
+    graph = hypergraph_of(query)
+    with span("optimize.dp", mode="pareto") as sp:
+        entries, masks_expanded = dp_order_subset_pareto(
+            ws, graph, names, interesting, budget, eq
+        )
+        if sp is not None:
+            sp.add_counter("masks_expanded", masks_expanded)
+    if entries is None:
+        raise DpError("query hypergraph is disconnected")
+    return entries
+
+
+def dp_join_order_pareto(
+    query: Expr,
+    stats: Statistics,
+    interesting=(),
+    required: OrderSpec = (),
+    budget=None,
+    eq=None,
+) -> tuple[Expr, float]:
+    """Order-aware DP over an inner-join core.
+
+    Returns ``(plan, cost)`` where the plan's output satisfies
+    ``required`` (when non-empty) and the cost never exceeds the
+    order-blind optimum plus a root Sort -- that candidate is always
+    in the table, since enforcer entries are added at every subset
+    including the root.
+    """
+    required = normalize_order(required)
+    interesting = tuple(interesting) + ((required,) if required else ())
+    entries = pareto_frontier(query, stats, interesting, budget, eq)
+    if required:
+        best = None
+        for have, (cost, plan) in entries.items():
+            if order_satisfies(have, required, eq):
+                if best is None or (cost, _entry_rank(have)) < best[0]:
+                    best = ((cost, _entry_rank(have)), plan)
+        if best is None:
+            # applicability can fail only if the order names unknown attrs
+            raise DpError(
+                f"required order references attributes outside the query: "
+                f"{[a for a, _ in required]}"
+            )
+        return best[1], best[0][0]
+    cost, plan = min(
+        ((c, p) for c, p in entries.values()),
+        key=lambda t: t[0],
+    )
+    return plan, cost
 
 
 def dp_cost(plan: Expr, stats: Statistics) -> float:

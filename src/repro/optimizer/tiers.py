@@ -59,6 +59,7 @@ from repro.expr.nodes import (
     JoinKind,
     Project,
     Select,
+    Sort,
 )
 from repro.expr.predicates import make_conjunction
 from repro.hypergraph import hypergraph_of
@@ -71,7 +72,7 @@ from repro.runtime.tracing import span
 
 #: The unary wrappers the reordering tiers peel off the join core, in
 #: the order they may legally nest (outermost first during peeling).
-WRAPPER_TYPES = (GroupBy, GenSelect, AdjustPadding, Project, Select)
+WRAPPER_TYPES = (GroupBy, GenSelect, AdjustPadding, Project, Select, Sort)
 
 #: CLI-facing tier names.
 TIER_NAMES = ("auto", "dp", "partitioned", "goo")

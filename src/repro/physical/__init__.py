@@ -10,12 +10,21 @@ generalized selection costs like MGOJ/GOJ becomes concrete here: the
 operator is one build + one probe pass, just like a hash outer join.
 """
 
-from repro.physical.operators import PhysicalOperator, VectorFragment
+from repro.physical.operators import (
+    MergeJoinOp,
+    PhysicalOperator,
+    SortOp,
+    StreamAggregate,
+    VectorFragment,
+)
 from repro.physical.planner import compile_plan
 from repro.physical.explain import explain_analyze, run_plan
 
 __all__ = [
+    "MergeJoinOp",
     "PhysicalOperator",
+    "SortOp",
+    "StreamAggregate",
     "VectorFragment",
     "compile_plan",
     "explain_analyze",

@@ -23,9 +23,14 @@ from repro.relalg.aggregates import AggregateSpec
 from repro.relalg.generalized_projection import generalized_projection
 from repro.relalg.generalized_selection import PreservedSpec
 from repro.relalg.nulls import NULL, Truth, is_null
+from repro.relalg.ordering import attr_key_fn, value_key
 from repro.relalg.relation import Relation, pad_row
 from repro.relalg.row import Row
 from repro.relalg.schema import Schema
+from repro.relalg.streaming import streaming_generalized_projection
+from repro.runtime.faults import fault_point
+from repro.runtime.metrics import record_engine_counter
+from repro.runtime.tracing import span
 
 
 class PhysicalOperator:
@@ -270,13 +275,124 @@ class HashJoinOp(PhysicalOperator):
                     yield pad_row(build[index], target)
 
 
+class SortOp(PhysicalOperator):
+    """Order enforcer: full sort, or top-N when a limit is pushed in.
+
+    Keys follow the shared NULLS-LAST (ASC) convention from
+    :mod:`repro.relalg.ordering`, so the output order is exactly what
+    :func:`repro.expr.orderprops.provided_order` promises for the
+    logical :class:`~repro.expr.nodes.Sort` node.  With ``limit`` the
+    operator keeps a bounded heap (``heapq.nsmallest`` under the same
+    composite key) instead of sorting everything -- both are stable,
+    so the first ``limit`` rows agree element for element.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        keys: Sequence[tuple[str, bool]],
+        limit: int | None = None,
+    ):
+        key_text = ", ".join(
+            f"{a} desc" if d else a for a, d in keys
+        )
+        label = (
+            f"TopN[{limit}; {key_text}]"
+            if limit is not None
+            else f"Sort[{key_text}]"
+        )
+        super().__init__(label, child.real, child.virtual, (child,))
+        self.keys = tuple((a, bool(d)) for a, d in keys)
+        self.limit = limit
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        import heapq
+
+        source = self.children[0].rows(db)
+        with span(
+            "sort.enforce",
+            engine="physical",
+            keys=",".join(a for a, _ in self.keys),
+        ):
+            fault_point("sort", op="enforce")
+            if self.limit is not None:
+                out = heapq.nsmallest(
+                    max(self.limit, 0), source, key=attr_key_fn(self.keys)
+                )
+            else:
+                out = sorted(source, key=attr_key_fn(self.keys))
+        record_engine_counter("repro_sort_rows_total", len(out))
+        yield from out
+
+
+class StreamAggregate(PhysicalOperator):
+    """Single-pass aggregation over run-clustered input.
+
+    The planner installs this instead of :class:`HashAggregate` when
+    the child's provided order has a prefix inside the group keys:
+    each group is then confined to one contiguous run, so flushing
+    per-run state is bag-equivalent to hash grouping -- byte-identical
+    in fact, including virtual-id numbering (see
+    :mod:`repro.relalg.streaming`).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        name: str,
+        run_attrs: Sequence[str],
+    ):
+        real_keys = [a for a in group_by if a in child.real]
+        virtual_keys = [a for a in group_by if a in child.virtual]
+        real = tuple(real_keys) + tuple(s.output for s in aggregates)
+        virtual = tuple(virtual_keys) + (f"#{name}",)
+        agg_text = ", ".join(f"{s.output}={s.label()}" for s in aggregates)
+        super().__init__(
+            f"StreamAggregate[{', '.join(group_by)}; {agg_text}; "
+            f"run={', '.join(run_attrs)}]",
+            real,
+            virtual,
+            (child,),
+        )
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        self.name = name
+        self.run_attrs = tuple(run_attrs)
+
+    def _produce(self, db: Database) -> Iterator[Row]:
+        child = self.children[0]
+        relation = Relation(
+            Schema(child.real), Schema(child.virtual), child.rows(db)
+        )
+        with span(
+            "groupby.stream",
+            engine="physical",
+            run=",".join(self.run_attrs),
+        ):
+            fault_point("groupby", op="stream")
+            out = streaming_generalized_projection(
+                relation,
+                self.group_by,
+                self.aggregates,
+                name=self.name,
+                run_attrs=self.run_attrs,
+            )
+        record_engine_counter("repro_streaming_groupby_total")
+        yield from out.rows
+
+
 class MergeJoinOp(PhysicalOperator):
     """Sort-merge join on equality keys (inner and left outer).
 
-    Both inputs are sorted on the key under a consistent total order
-    (equality matching only needs grouping, so any order works as long
-    as both sides use the same one); NULL keys never match and are
-    emitted as unmatched when the kind preserves their side.
+    Both inputs are sorted on the key under the shared convention from
+    :mod:`repro.relalg.ordering` (equality matching only needs
+    grouping, but using *the* convention means input that an upstream
+    :class:`SortOp` or order-aware plan already sorted arrives as one
+    ascending run, which Timsort recognises in linear time); NULL keys
+    never match and are emitted as unmatched when the kind preserves
+    their side.
     """
 
     def __init__(
@@ -302,7 +418,7 @@ class MergeJoinOp(PhysicalOperator):
 
     @staticmethod
     def _order_key(values: tuple) -> tuple:
-        return tuple((type(v).__name__, repr(v)) for v in values)
+        return tuple(value_key(v) for v in values)
 
     def _produce(self, db: Database) -> Iterator[Row]:
         left, right = self.children
@@ -310,22 +426,24 @@ class MergeJoinOp(PhysicalOperator):
         right_keys = [k for _, k in self.keys]
         target = self.all_attrs
 
-        left_rows = list(left.rows(db))
-        right_rows = list(right.rows(db))
+        with span("merge.join", engine="physical"):
+            fault_point("merge", op="join")
+            left_rows = list(left.rows(db))
+            right_rows = list(right.rows(db))
 
-        def splits(rows: list[Row], keys: list[str]):
-            keyed, nulls = [], []
-            for row in rows:
-                values = row.values_tuple(keys)
-                if any(is_null(v) for v in values):
-                    nulls.append(row)
-                else:
-                    keyed.append((self._order_key(values), row))
-            keyed.sort(key=lambda t: t[0])
-            return keyed, nulls
+            def splits(rows: list[Row], keys: list[str]):
+                keyed, nulls = [], []
+                for row in rows:
+                    values = row.values_tuple(keys)
+                    if any(is_null(v) for v in values):
+                        nulls.append(row)
+                    else:
+                        keyed.append((self._order_key(values), row))
+                keyed.sort(key=lambda t: t[0])
+                return keyed, nulls
 
-        left_sorted, left_nulls = splits(left_rows, left_keys)
-        right_sorted, right_nulls = splits(right_rows, right_keys)
+            left_sorted, left_nulls = splits(left_rows, left_keys)
+            right_sorted, right_nulls = splits(right_rows, right_keys)
 
         i = j = 0
         while i < len(left_sorted) and j < len(right_sorted):

@@ -38,8 +38,10 @@ from repro.expr.nodes import (
     Rename,
     Select,
     SemiJoin,
+    Sort,
     UnionAll,
 )
+from repro.expr.orderprops import provided_order, streaming_run_prefix
 from repro.expr.predicates import TRUE
 from repro.physical.operators import (
     AdjustPaddingOp,
@@ -56,6 +58,8 @@ from repro.physical.operators import (
     ProjectOp,
     RenameOp,
     Scan,
+    SortOp,
+    StreamAggregate,
     VectorFragment,
 )
 from repro.relalg.generalized_selection import PreservedSpec
@@ -70,6 +74,25 @@ def _batch_profitable(expr: Expr) -> bool:
     if isinstance(expr, _BATCH_PROFITABLE):
         return True
     return any(_batch_profitable(child) for child in expr.children())
+
+
+def _both_sides_ordered(expr: Join, keys) -> bool:
+    """Both join inputs already arrive clustered on the equality keys.
+
+    A merge join re-sorts internally under the shared convention, so
+    this is a *profitability* test, not a correctness one: when each
+    side's provided order leads with its key attributes the internal
+    sort degenerates to a linear run-detection pass, and merge beats
+    building a hash table.
+    """
+    left_attrs = {a for a, _ in keys}
+    right_attrs = {b for _, b in keys}
+    for child, attrs in ((expr.left, left_attrs), (expr.right, right_attrs)):
+        order = provided_order(child)
+        lead = {a for a, _ in order[: len(attrs)]}
+        if lead != attrs:
+            return False
+    return True
 
 
 def compile_plan(
@@ -134,7 +157,9 @@ def _compile_node(
         )
         if not keys:
             return NestedLoopJoin(left, right, expr.predicate, expr.kind)
-        if prefer_merge and expr.kind in (JoinKind.INNER, JoinKind.LEFT):
+        if expr.kind in (JoinKind.INNER, JoinKind.LEFT) and (
+            prefer_merge or _both_sides_ordered(expr, keys)
+        ):
             return MergeJoinOp(left, right, keys, residual, expr.kind)
         return HashJoinOp(left, right, keys, residual, expr.kind)
     if isinstance(expr, UnionAll):
@@ -151,13 +176,19 @@ def _compile_node(
             frozenset(right.all_attrs),
         )
         return HashSemiJoin(left, right, keys, residual, expr.anti)
-    if isinstance(expr, GroupBy):
-        return HashAggregate(
+    if isinstance(expr, Sort):
+        return SortOp(
             compile_plan(expr.child, prefer_merge, prefer_vector, estimator),
-            expr.group_by,
-            expr.aggregates,
-            expr.name,
+            expr.keys,
         )
+    if isinstance(expr, GroupBy):
+        child = compile_plan(expr.child, prefer_merge, prefer_vector, estimator)
+        run = streaming_run_prefix(provided_order(expr.child), expr.group_by)
+        if run:
+            return StreamAggregate(
+                child, expr.group_by, expr.aggregates, expr.name, run
+            )
+        return HashAggregate(child, expr.group_by, expr.aggregates, expr.name)
     if isinstance(expr, GenSelect):
         specs = [
             PreservedSpec.of(p.name, p.real, p.virtual) for p in expr.preserved

@@ -47,6 +47,11 @@ from repro.relalg.aggregates import (
 from repro.relalg.columnar import ColumnarRelation
 from repro.relalg.generalized_projection import generalized_projection
 from repro.relalg.generalized_selection import PreservedSpec, generalized_selection
+from repro.relalg.ordering import sort_rows, top_n_rows, value_key
+from repro.relalg.streaming import (
+    streaming_generalized_projection,
+    streaming_generalized_selection,
+)
 
 __all__ = [
     "ColumnarRelation",
@@ -83,4 +88,9 @@ __all__ = [
     "generalized_projection",
     "PreservedSpec",
     "generalized_selection",
+    "sort_rows",
+    "top_n_rows",
+    "value_key",
+    "streaming_generalized_projection",
+    "streaming_generalized_selection",
 ]

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Iterable
 
-from repro.relalg.nulls import NULL, is_null
+from repro.relalg.nulls import NULL
 
 
 class AggregateFunction(enum.Enum):
@@ -59,7 +59,10 @@ class AggregateSpec:
         """
         if self.arg is None:
             return sum(1 for _ in values)
-        items = [v for v in values if not is_null(v)]
+        # NULL is a singleton (``__reduce__`` preserves identity across
+        # pickling), so an identity test is equivalent to is_null() and
+        # keeps this per-value scan free of function calls
+        items = [v for v in values if v is not NULL]
         if self.distinct:
             seen: list[Any] = []
             for v in items:
@@ -91,7 +94,15 @@ class AggregateSpec:
 
 
 def _numeric_sum(items: list[Any]) -> Any:
-    total = items[0]
+    # builtin sum() starts from 0, which not every addable type
+    # accepts; take the C fast path only for plain numbers
+    first = items[0]
+    if type(first) is int or type(first) is float:
+        try:
+            return sum(items)
+        except TypeError:
+            pass
+    total = first
     for v in items[1:]:
         total = total + v
     return total

@@ -1,0 +1,145 @@
+"""One total order for heterogeneous SQL values, shared by every sorter.
+
+Before this module each consumer invented its own comparison hack:
+the CLI sorted on ``(isnull, type-name, value)``, ``Relation.sorted_rows``
+on ``(isnull, repr)``, and the physical merge join on ``(type-name,
+repr)``.  Three conventions means three NULL placements and three
+answers for ``ORDER BY`` -- and no way for an optimizer to claim one
+operator's output order satisfies another's requirement.
+
+The convention, used everywhere an order is produced or compared:
+
+* NULLS LAST under ascending order (and therefore first under
+  descending, which is what you get by negating the key).
+* Numbers (``int``/``float``/``bool``/``Fraction``) compare among
+  themselves numerically.
+* Strings compare among themselves lexicographically, after numbers.
+* Anything else compares after strings, grouped by type name then
+  ``repr`` -- arbitrary but *deterministic*, which is all a sorter
+  needs from values SQL never promises an order for.
+
+Descending keys are handled by wrapping the per-value key in
+:class:`_Desc`, which inverts ``__lt__``; that keeps one composite
+key usable by both ``list.sort`` (stable) and ``heapq.nsmallest``
+(the CLI top-N fast path).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+from numbers import Number
+from typing import Any
+
+from repro.relalg.nulls import is_null
+
+__all__ = [
+    "value_key",
+    "row_key",
+    "row_key_fn",
+    "attr_key_fn",
+    "sort_rows",
+    "top_n_rows",
+]
+
+_RANK_VALUE = 0
+_RANK_NULL = 1
+
+_TYPE_NUMBER = 0
+_TYPE_STRING = 1
+_TYPE_OTHER = 2
+
+
+def value_key(value: Any) -> tuple:
+    """Totally ordered key for one SQL value (NULLS LAST ascending)."""
+    if value is None or is_null(value):
+        return (_RANK_NULL, 0, 0)
+    if isinstance(value, bool) or isinstance(value, Number):
+        return (_RANK_VALUE, _TYPE_NUMBER, value)
+    if isinstance(value, str):
+        return (_RANK_VALUE, _TYPE_STRING, value)
+    return (_RANK_VALUE, _TYPE_OTHER, (type(value).__name__, repr(value)))
+
+
+class _Desc:
+    """Order-inverting wrapper so DESC keys ride in an ASC composite."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple):
+        self.key = key
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.key < self.key
+
+    def __le__(self, other: "_Desc") -> bool:
+        return other.key <= self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and other.key == self.key
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are not hashed
+        return hash(self.key)
+
+
+def row_key(
+    row: Sequence[Any], positions: Sequence[tuple[Any, bool]]
+) -> tuple:
+    """Composite key for ``row`` over ``(column, descending)`` specs.
+
+    ``column`` is whatever subscript the row type understands: an
+    integer position for tuple rows, an attribute name for
+    mapping-style :class:`repro.relalg.row.Row` objects.  NULLS stay
+    last under ASC and come first under DESC -- the single convention
+    promised by the module docstring, for every consumer.
+    """
+    parts = []
+    for pos, descending in positions:
+        key = value_key(row[pos])
+        parts.append(_Desc(key) if descending else key)
+    return tuple(parts)
+
+
+def row_key_fn(positions: Sequence[tuple[Any, bool]]):
+    """Bind :func:`row_key` to ``positions`` for use as a ``key=``."""
+
+    def _key(row: Sequence[Any]) -> tuple:
+        return row_key(row, positions)
+
+    return _key
+
+
+def attr_key_fn(keys: Sequence[tuple[str, bool]]):
+    """Like :func:`row_key_fn` for mapping-style rows (``row[attr]``)."""
+
+    def _key(row) -> tuple:
+        parts = []
+        for attr, descending in keys:
+            key = value_key(row[attr])
+            parts.append(_Desc(key) if descending else key)
+        return tuple(parts)
+
+    return _key
+
+
+def sort_rows(
+    rows: Iterable[Sequence[Any]], positions: Sequence[tuple[Any, bool]]
+) -> list:
+    """Stable sort of ``rows`` by the shared convention."""
+    return sorted(rows, key=row_key_fn(positions))
+
+
+def top_n_rows(
+    rows: Iterable[Sequence[Any]],
+    positions: Sequence[tuple[Any, bool]],
+    n: int,
+) -> list:
+    """First ``n`` rows of the sorted order without a full sort.
+
+    ``heapq.nsmallest`` is O(rows · log n); the composite key makes it
+    agree element-for-element with :func:`sort_rows` truncated to
+    ``n`` (both are stable: ties keep input order).
+    """
+    if n <= 0:
+        return []
+    return heapq.nsmallest(n, rows, key=row_key_fn(positions))

@@ -172,16 +172,17 @@ class Relation:
         return mine == theirs
 
     def sorted_rows(self) -> list[Row]:
-        """Rows in a stable display order (NULLs sort last)."""
+        """Rows in a stable display order (NULLs sort last).
 
-        def key(row: Row):
-            out = []
-            for attr in self._real.attrs:
-                value = row[attr]
-                out.append((1, "") if is_null(value) else (0, repr(value)))
-            return out
+        Uses the shared ordering convention from
+        :mod:`repro.relalg.ordering` -- the same total order the Sort
+        operator and the CLI ORDER BY fallback apply, so a displayed
+        relation and a sorted one can never disagree on placement.
+        """
+        from repro.relalg.ordering import attr_key_fn
 
-        return sorted(self._rows, key=key)
+        keys = tuple((attr, False) for attr in self._real.attrs)
+        return sorted(self._rows, key=attr_key_fn(keys))
 
     def to_text(
         self, include_virtual: bool = False, preserve_order: bool = False

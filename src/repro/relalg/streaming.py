@@ -1,0 +1,198 @@
+"""Streaming (sorted-run) variants of the grouping operators.
+
+When an input arrives sorted on a prefix of the grouping keys, every
+group is confined to one contiguous *run* of rows agreeing on that
+prefix.  A single pass that flushes per-run state at each run
+boundary is then bag-equivalent to the hash-table operators in
+:mod:`repro.relalg.generalized_projection` /
+:mod:`repro.relalg.generalized_selection`, while holding only one
+run's state instead of the whole input's.
+
+Correctness conditions (the callers -- the engines, via
+:func:`repro.expr.orderprops.streaming_run_prefix` -- enforce them):
+
+* streaming GP: ``run_attrs`` ⊆ ``group_by``.  Rows of one group agree
+  on all group keys, hence on the run attributes, hence live in one
+  run; and because runs appear in input order, per-run first-occurrence
+  output order equals the hash operator's global first-occurrence
+  order *exactly* (same rows, same order, same virtual-id numbering).
+* streaming σ*: ``run_attrs`` ⊆ every preserved spec's attributes.
+  Two rows embedding the same preserved part agree on the spec's
+  attributes, hence on the run key, hence share a run -- so the
+  per-run set difference finds exactly the globally-unmatched parts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.relalg.aggregates import AggregateSpec
+from repro.relalg.generalized_projection import _COUNT_STAR_SENTINEL
+from repro.relalg.generalized_selection import PreservedSpec, _validate
+from repro.relalg.nulls import Truth
+from repro.relalg.operators import RowPredicate
+from repro.relalg.relation import Relation, pad_row
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema, SchemaError
+
+__all__ = [
+    "iter_runs",
+    "streaming_generalized_projection",
+    "streaming_generalized_selection",
+]
+
+
+def iter_runs(
+    rows: Sequence[Row], run_attrs: Sequence[str]
+) -> Iterator[list[Row]]:
+    """Maximal blocks of consecutive rows agreeing on ``run_attrs``."""
+    run: list[Row] = []
+    run_key: tuple | None = None
+    for row in rows:
+        key = row.values_tuple(run_attrs)
+        if run and key != run_key:
+            yield run
+            run = []
+        run_key = key
+        run.append(row)
+    if run:
+        yield run
+
+
+def streaming_generalized_projection(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregates: Iterable[AggregateSpec] = (),
+    name: str | None = None,
+    run_attrs: Sequence[str] = (),
+) -> Relation:
+    """Single-pass π_{X, f(Y)} over input sorted on ``run_attrs``.
+
+    Matches :func:`generalized_projection` row for row (same output
+    order, same virtual ids) whenever the input really is run-
+    clustered on ``run_attrs`` ⊆ ``group_by``.
+    """
+    aggregates = tuple(aggregates)
+    all_attrs = relation.all_attrs.as_set()
+    for attr in group_by:
+        if attr not in all_attrs:
+            raise SchemaError(f"group-by attribute {attr!r} not in input")
+    missing = set(run_attrs) - set(group_by)
+    if missing:
+        raise SchemaError(
+            f"run attributes {sorted(missing)} not among the group keys"
+        )
+    for spec in aggregates:
+        if spec.arg is not None and spec.arg not in all_attrs:
+            raise SchemaError(f"aggregate argument {spec.arg!r} not in input")
+        if spec.output in group_by:
+            raise SchemaError(
+                f"aggregate output {spec.output!r} collides with a group key"
+            )
+
+    real_keys = [a for a in group_by if a in relation.real]
+    virtual_keys = [a for a in group_by if a in relation.virtual]
+    out_real = Schema(real_keys + [spec.output for spec in aggregates])
+    if name is None:
+        from repro.relalg.generalized_projection import _gp_counter
+
+        name = f"gp{next(_gp_counter)}"
+    vid = f"#{name}"
+    out_virtual = Schema(virtual_keys + [vid])
+
+    out_rows: list[Row] = []
+    gid = 0
+
+    def flush(groups: dict[tuple, list[Row]], order: list[tuple]) -> None:
+        nonlocal gid
+        for key in order:
+            members = groups[key]
+            data = dict(zip(group_by, key))
+            for spec in aggregates:
+                if spec.arg is None:
+                    values: Iterable = (_COUNT_STAR_SENTINEL for _ in members)
+                else:
+                    values = (m[spec.arg] for m in members)
+                data[spec.output] = spec.compute(values)
+            data[vid] = (name, gid)
+            gid += 1
+            out_rows.append(Row(data))
+
+    saw_rows = False
+    for run in iter_runs(relation.rows, run_attrs):
+        saw_rows = True
+        groups: dict[tuple, list[Row]] = {}
+        order: list[tuple] = []
+        for row in run:
+            key = row.values_tuple(group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        flush(groups, order)
+
+    if not group_by and not saw_rows:
+        # SQL: a global aggregate over an empty input yields one row
+        flush({(): []}, [()])
+    return Relation(out_real, out_virtual, out_rows)
+
+
+def streaming_generalized_selection(
+    relation: Relation,
+    predicate: RowPredicate,
+    preserved: Sequence[PreservedSpec] = (),
+    run_attrs: Sequence[str] = (),
+) -> Relation:
+    """Per-run σ*_p[preserved...] over input sorted on ``run_attrs``.
+
+    Bag-equivalent to :func:`generalized_selection` when every
+    preserved part is confined to one run, i.e. ``run_attrs`` is
+    contained in each spec's (real ∪ virtual) attribute set.  Pad rows
+    surface at their run's boundary rather than all at the end, so
+    output *order* differs -- σ* promises none.
+    """
+    _validate(relation, preserved)
+    for spec in preserved:
+        outside = set(run_attrs) - (spec.real_attrs | spec.virtual_attrs)
+        if outside:
+            raise SchemaError(
+                f"run attributes {sorted(outside)} not covered by "
+                f"preserved {spec.name!r}; parts would straddle runs"
+            )
+    target = relation.all_attrs.attrs
+    orders = {
+        spec.name: tuple(
+            a
+            for a in target
+            if a in spec.real_attrs or a in spec.virtual_attrs
+        )
+        for spec in preserved
+    }
+    out_rows: list[Row] = []
+    preserved_pads = 0
+    for run in iter_runs(relation.rows, run_attrs):
+        selected = [
+            row for row in run if predicate.evaluate(row) is Truth.TRUE
+        ]
+        out_rows.extend(selected)
+        for spec in preserved:
+            order = orders[spec.name]
+            surviving = {
+                part
+                for row in selected
+                if (part := spec.part_of(row, order)) is not None
+            }
+            emitted: set[Row] = set()
+            for row in run:
+                part = spec.part_of(row, order)
+                if part is None or part in surviving or part in emitted:
+                    continue
+                emitted.add(part)
+                out_rows.append(pad_row(part, target))
+                preserved_pads += 1
+    if preserved_pads:
+        # local import: relalg is below repro.runtime in the layering
+        from repro.runtime.tracing import add_counter
+
+        add_counter("gs_preserved_rows", preserved_pads)
+    return Relation(relation.real, relation.virtual, out_rows)

@@ -66,6 +66,7 @@ _NODE_SITES = {
     "GenSelect": "genselect",
     "Rename": "rename",
     "AdjustPadding": "adjust",
+    "Sort": "sort",
 }
 
 

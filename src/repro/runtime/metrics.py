@@ -446,7 +446,52 @@ def service_registry() -> MetricsRegistry:
         "Observed actual/estimated rows per executed operator",
         buckets=RATIO_BUCKETS,
     )
+    reg.counter(
+        "repro_sort_rows_total", "Rows passed through order enforcers"
+    )
+    reg.counter(
+        "repro_streaming_groupby_total",
+        "Grouping operators answered by the streaming (sorted-run) path",
+    )
     return reg
+
+
+# -- engine-side counters --------------------------------------------
+#
+# The engines sit *below* repro.runtime in the layering and own no
+# registry; they record into a process-global table (one lock, two
+# ints in the steady state) that :func:`sync_engine_metrics` copies
+# into a registry at export time with the same delta discipline as the
+# cache/feedback syncs.
+
+_ENGINE_HELP = {
+    "repro_sort_rows_total": "Rows passed through order enforcers",
+    "repro_streaming_groupby_total": (
+        "Grouping operators answered by the streaming (sorted-run) path"
+    ),
+}
+
+_engine_lock = threading.Lock()
+_engine_counters: dict[str, int] = {}
+
+
+def record_engine_counter(name: str, n: int = 1) -> None:
+    """Bump process-global engine counter ``name`` by ``n``."""
+    with _engine_lock:
+        _engine_counters[name] = _engine_counters.get(name, 0) + n
+
+
+def engine_counters() -> dict[str, int]:
+    """Snapshot of the engine counter table."""
+    with _engine_lock:
+        return dict(_engine_counters)
+
+
+def sync_engine_metrics(reg: MetricsRegistry) -> None:
+    """Copy the engine counter table into ``reg`` (delta discipline)."""
+    for name, value in engine_counters().items():
+        fam = reg.counter(name, _ENGINE_HELP.get(name, name))
+        fam.inc(max(0, value - fam.value_for()))
 
 
 def sync_cache_metrics(reg: MetricsRegistry, cache) -> None:
@@ -495,4 +540,7 @@ __all__ = [
     "service_registry",
     "sync_cache_metrics",
     "sync_feedback_metrics",
+    "record_engine_counter",
+    "engine_counters",
+    "sync_engine_metrics",
 ]

@@ -69,6 +69,7 @@ from repro.runtime.metrics import (
     MetricsRegistry,
     service_registry,
     sync_cache_metrics,
+    sync_engine_metrics,
     sync_feedback_metrics,
 )
 from repro.runtime.plan_cache import PlanCache
@@ -210,6 +211,10 @@ class ServiceResult:
         return self.session.relation
 
     @property
+    def chosen(self):
+        return self.session.chosen
+
+    @property
     def degradation_level(self):
         return self.session.degradation_level
 
@@ -251,9 +256,15 @@ class ServiceResult:
 class QueryTicket:
     """A handle on one admitted query: wait, inspect, cancel."""
 
-    def __init__(self, index: int, query: Expr) -> None:
+    def __init__(
+        self,
+        index: int,
+        query: Expr,
+        required_order: tuple[tuple[str, bool], ...] = (),
+    ) -> None:
         self.index = index
         self.query = query
+        self.required_order = required_order
         self.cancel_token = CancelToken()
         self.submitted_at = time.monotonic()
         self._done = threading.Event()
@@ -435,11 +446,18 @@ class QueryService:
 
     # -- admission -------------------------------------------------------
 
-    def submit(self, query: Expr) -> QueryTicket:
+    def submit(
+        self,
+        query: Expr,
+        required_order: tuple[tuple[str, bool], ...] = (),
+    ) -> QueryTicket:
         """Admit ``query`` or shed it with a typed rejection.
 
         Args:
             query: The logical expression to run.
+            required_order: Desired output order, forwarded to every
+                worker session's planner (see
+                :meth:`repro.runtime.QuerySession.run`).
 
         Raises:
             repro.errors.AdmissionRejected: The service is closed, its
@@ -452,7 +470,7 @@ class QueryService:
                 self.rejected += 1
                 self.metrics.counter("repro_sheds_total").inc()
                 raise AdmissionRejected("service budget exhausted")
-            ticket = QueryTicket(self._next_index, query)
+            ticket = QueryTicket(self._next_index, query, required_order)
             self._next_index += 1
         try:
             self._queue.put_nowait(ticket)
@@ -476,9 +494,14 @@ class QueryService:
         self.metrics.counter("repro_admissions_total").inc()
         return ticket
 
-    def run(self, query: Expr, timeout: float | None = None) -> ServiceResult:
+    def run(
+        self,
+        query: Expr,
+        timeout: float | None = None,
+        required_order: tuple[tuple[str, bool], ...] = (),
+    ) -> ServiceResult:
         """Submit and wait: the synchronous convenience entry point."""
-        return self.submit(query).result(timeout)
+        return self.submit(query, required_order).result(timeout)
 
     # -- shutdown --------------------------------------------------------
 
@@ -563,6 +586,7 @@ class QueryService:
         copied into the registry at export time.
         """
         sync_cache_metrics(self.metrics, self.plan_cache)
+        sync_engine_metrics(self.metrics)
         if self.feedback is not None:
             sync_feedback_metrics(self.metrics, self.feedback)
         return self.metrics
@@ -733,7 +757,14 @@ class QueryService:
                 continue
             session = self._session_for(engine)
             try:
-                result = session.run(ticket.query, budget=qbudget)
+                # the kwarg is omitted when empty so injected session
+                # doubles with the older run() signature keep working
+                kwargs = (
+                    {"required_order": ticket.required_order}
+                    if ticket.required_order
+                    else {}
+                )
+                result = session.run(ticket.query, budget=qbudget, **kwargs)
             except QueryCancelled as exc:
                 with self._lock:
                     self.cancelled += 1

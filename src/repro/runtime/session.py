@@ -351,13 +351,19 @@ class QuerySession:
     def _execute(self, plan: Expr, budget: Budget) -> Relation:
         return _EXECUTORS[self.executor](plan, self.db, budget)
 
-    def _plan_version(self):
+    def _plan_version(self, required_order=()):
         """The plan-cache version key: ``stats_version`` alone, or
         composed with the feedback generation so corrected estimates
-        invalidate stale plans automatically."""
-        if self.feedback is None:
-            return self.stats.version
-        return (self.stats.version, self.feedback.generation)
+        invalidate stale plans automatically.  A required output order
+        is part of the key too -- an order-aware plan must not be
+        served to (or shadowed by) an order-indifferent run of the
+        same query."""
+        version = self.stats.version
+        if self.feedback is not None:
+            version = (version, self.feedback.generation)
+        if required_order:
+            version = (version, ("order",) + tuple(required_order))
+        return version
 
     @staticmethod
     def _last_resort_budget(run_budget: Budget) -> Budget:
@@ -395,13 +401,24 @@ class QuerySession:
 
     # -- the ladder ------------------------------------------------------
 
-    def run(self, query: Expr, budget: Budget | None = None) -> SessionResult:
+    def run(
+        self,
+        query: Expr,
+        budget: Budget | None = None,
+        required_order: tuple[tuple[str, bool], ...] = (),
+    ) -> SessionResult:
         """Run ``query`` through the degradation ladder.
 
         Args:
             query: The logical expression to answer.
             budget: Per-query :class:`Budget`; a fresh one from the
                 session template when omitted.
+            required_order: ``(attribute, descending)`` pairs the
+                caller wants the answer ordered by (the query's ORDER
+                BY).  The optimizer tries to provide it cheaply (sort
+                pushed below joins, streamed through groupings); when
+                the chosen plan cannot, the caller must sort the
+                result itself -- check the plan's provided order.
 
         Raises:
             repro.errors.BudgetExceeded: The row cap was breached even
@@ -411,9 +428,14 @@ class QuerySession:
                 fired at a checkpoint.
         """
         with span("session.run", executor=self.executor):
-            return self._run(query, budget)
+            return self._run(query, budget, required_order)
 
-    def _run(self, query: Expr, budget: Budget | None) -> SessionResult:
+    def _run(
+        self,
+        query: Expr,
+        budget: Budget | None,
+        required_order: tuple[tuple[str, bool], ...] = (),
+    ) -> SessionResult:
         t0 = time.monotonic()
         run_budget = budget if budget is not None else self._fresh_budget()
         reasons: list[str] = []
@@ -422,7 +444,11 @@ class QuerySession:
         for level in rungs:
             try:
                 outcome = self._attempt_optimized(
-                    query, run_budget, level, primary=level is rungs[0]
+                    query,
+                    run_budget,
+                    level,
+                    primary=level is rungs[0],
+                    required_order=required_order,
                 )
             except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
                 reason = f"{level.name.lower()} stage abandoned: {exc}"
@@ -474,6 +500,7 @@ class QuerySession:
         run_budget: Budget,
         level: DegradationLevel,
         primary: bool = True,
+        required_order: tuple[tuple[str, bool], ...] = (),
     ) -> SessionResult:
         """One optimizing rung: plan, execute, verify -- under a slice.
 
@@ -493,13 +520,18 @@ class QuerySession:
         with span(f"plan.{level.name.lower()}"):
             optimized = None
             if primary:
-                cached = self.plan_cache.lookup(query, self._plan_version())
+                cached = self.plan_cache.lookup(
+                    query, self._plan_version(required_order)
+                )
                 if cached is not None:
                     optimized = cached
                     cache_hit = True
             if optimized is None:
                 optimized = self._plan_rung(
                     query, level, stage_budget, self._thresholds(run_budget)
+                )
+                optimized = self._order_pass(
+                    optimized, required_order, stage_budget
                 )
             plan = self._pick_plan(optimized)
         if self.feedback is not None:
@@ -545,7 +577,9 @@ class QuerySession:
         # hit was under the pre-feedback generation, and ``optimized``
         # now holds the corrected plan keyed by the bumped generation.
         if primary and (not cache_hit or replans):
-            self.plan_cache.store(query, self._plan_version(), optimized)
+            self.plan_cache.store(
+                query, self._plan_version(required_order), optimized
+            )
         return SessionResult(
             relation=relation,
             chosen=plan,
@@ -559,6 +593,44 @@ class QuerySession:
             plan_cache={"hit": cache_hit},
             replans=replans,
             replan_events=replan_events,
+        )
+
+    def _order_pass(
+        self,
+        optimized: OptimizationResult,
+        required_order: tuple[tuple[str, bool], ...],
+        stage_budget: Budget,
+    ) -> OptimizationResult:
+        """Order-aware refinement of the rung's chosen plan.
+
+        Re-plans the inner-join core with the Pareto DP (interesting
+        orders from join keys, group keys and ``required_order``) and
+        keeps whichever of {rung plan, ordered candidates} has the
+        lowest refined cost.  A pass that declines (non-inner core,
+        budget, internal error) leaves the rung's result untouched --
+        ordering is an optimization, never a failure mode.
+        """
+        from repro.optimizer.orders import order_aware_reorder
+
+        try:
+            with span("plan.order"):
+                best = order_aware_reorder(
+                    optimized.best,
+                    self.stats,
+                    required=tuple(required_order),
+                    budget=stage_budget,
+                )
+        except (BudgetExceeded, OptimizerInternalError, ExprError):
+            return optimized
+        if best == optimized.best:
+            return optimized
+        cost = CostModel(self.stats).cost(best)
+        return OptimizationResult(
+            best=best,
+            best_cost=cost,
+            original_cost=optimized.original_cost,
+            plans_considered=optimized.plans_considered,
+            ranked=[(cost, best)] + optimized.ranked,
         )
 
     # -- adaptive execution (cardinality feedback + re-planning) ---------
@@ -856,7 +928,10 @@ class QuerySession:
                 StatementOutcome(
                     kind="select",
                     translation=translation,
-                    result=self.run(translation.expr),
+                    result=self.run(
+                        translation.expr,
+                        required_order=translation.order_by,
+                    ),
                 )
             )
         return outcomes
@@ -864,7 +939,10 @@ class QuerySession:
     # -- planning without execution (EXPLAIN) ----------------------------
 
     def plan(
-        self, query: Expr, budget: Budget | None = None
+        self,
+        query: Expr,
+        budget: Budget | None = None,
+        required_order: tuple[tuple[str, bool], ...] = (),
     ) -> tuple[OptimizationResult | None, DegradationLevel, str | None]:
         """The ladder's planning half only (for EXPLAIN-style output).
 
@@ -872,6 +950,7 @@ class QuerySession:
             query: The logical expression to plan.
             budget: Per-query :class:`Budget`; a fresh one from the
                 session template when omitted.
+            required_order: Desired output order, as in :meth:`run`.
 
         Returns:
             ``(optimized, level, reason)`` -- the optimization result
@@ -894,12 +973,19 @@ class QuerySession:
                     where=f"{level.name.lower()}-stage",
                 )
                 if primary:
-                    cached = self.plan_cache.lookup(query, self._plan_version())
+                    cached = self.plan_cache.lookup(
+                        query, self._plan_version(required_order)
+                    )
                     if cached is not None:
                         return cached, level, "; ".join(reasons) or None
                 optimized = self._plan_rung(query, level, stage_budget, thresholds)
+                optimized = self._order_pass(
+                    optimized, required_order, stage_budget
+                )
                 if primary:
-                    self.plan_cache.store(query, self._plan_version(), optimized)
+                    self.plan_cache.store(
+                        query, self._plan_version(required_order), optimized
+                    )
             except (BudgetExceeded, OptimizerInternalError, ExprError) as exc:
                 reasons.append(f"{level.name.lower()}: {exc}")
                 continue

@@ -250,12 +250,18 @@ def _apply_select(
         for binding in scope.bindings():
             order_scope.bind(binding, scope.columns_of(binding))
         order_scope.bind("@out", {name: attr for name, attr in columns})
+        seen_keys: set[str] = set()
         for ref, descending in statement.order_by:
             attr = order_scope.resolve(ref)
             if attr not in set(tree.real_attrs):
                 raise SqlTranslationError(
                     f"ORDER BY column {ref} is not in the result"
                 )
+            if attr in seen_keys:
+                # a repeated key cannot refine the order further; the
+                # first occurrence (with its direction) wins
+                continue
+            seen_keys.add(attr)
             order_by.append((attr, descending))
     return Translation(tree, columns, tuple(order_by), statement.limit)
 

@@ -1,0 +1,203 @@
+"""Property tests: order-aware execution == reference, adversarially.
+
+The order machinery adds three behaviors that must not change query
+*content*: the Sort enforcer (all engines must emit the exact same
+sequence, not just the same bag -- that is the operator's whole
+contract), the vector engine's merge join (taken when both inputs
+arrive sorted on the keys), and the streaming GROUP BY / σ* paths
+(taken when the input is run-clustered).  Inputs are duplicate-heavy
+and NULL-salted on purpose: ties, NULL keys, and padded tuples are
+where run detection and merge alignment break first.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import enumerate_plans
+from repro.exec import execute, execute_vector
+from repro.expr import evaluate, to_algebra
+from repro.expr.nodes import BaseRel, GenSelect, GroupBy, Join, JoinKind, Sort
+from repro.expr.orderprops import provided_order, streaming_run_prefix
+from repro.expr.predicates import eq
+from repro.relalg.aggregates import AggregateFunction, AggregateSpec
+from repro.relalg.ordering import attr_key_fn
+from repro.workloads.random_db import random_database, random_join_query
+
+_ENGINES = (evaluate, execute, execute_vector)
+
+
+def _signature(relation):
+    """Row sequence projected to real attrs (virtual ids differ by
+    construction order across engines only for non-Sort shapes)."""
+    attrs = relation.real.attrs
+    return [tuple(repr(row[a]) for a in attrs) for row in relation.rows]
+
+
+def _sorted_query(rng, n):
+    """A random inner/outer join wrapped in a root Sort on real attrs."""
+    query = random_join_query(rng, n, outer_probability=0.4)
+    attrs = rng.sample(query.real_attrs, k=min(2, len(query.real_attrs)))
+    keys = tuple((a, rng.random() < 0.5) for a in attrs)
+    return Sort(query, keys)
+
+
+class TestSortEnforcer:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        n=st.integers(min_value=2, max_value=4),
+        null_probability=st.sampled_from([0.0, 0.2, 0.4]),
+    )
+    def test_all_engines_emit_identical_sequences(
+        self, seed, n, null_probability
+    ):
+        rng = random.Random(seed)
+        query = _sorted_query(rng, n)
+        db = random_database(
+            rng,
+            tuple(sorted(query.base_names)),
+            null_probability=null_probability,
+            max_rows=5,
+        )
+        want = evaluate(query, db)
+        # exact sequence equality, not bag equality: Sort's contract
+        for engine in (execute, execute_vector):
+            got = engine(query, db)
+            assert _signature(got) == _signature(want), to_algebra(query)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_output_actually_sorted_by_the_convention(self, seed):
+        rng = random.Random(seed)
+        query = _sorted_query(rng, 3)
+        db = random_database(
+            rng,
+            tuple(sorted(query.base_names)),
+            null_probability=0.3,
+            max_rows=5,
+        )
+        rows = evaluate(query, db).rows
+        key = attr_key_fn(query.keys)
+        assert all(
+            key(rows[i]) <= key(rows[i + 1]) for i in range(len(rows) - 1)
+        )
+
+
+class TestMergeJoin:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        null_probability=st.sampled_from([0.0, 0.25, 0.5]),
+        dup_values=st.sampled_from([1, 2]),
+    )
+    def test_merge_path_matches_hash_on_duplicates_and_nulls(
+        self, seed, null_probability, dup_values
+    ):
+        """Both join inputs sorted on the keys routes the vector
+        engine through ``merge.join``; tiny key domains force heavy
+        duplication, the worst case for run alignment."""
+        rng = random.Random(seed)
+        db = random_database(
+            rng,
+            ("r1", "r2"),
+            null_probability=null_probability,
+            max_rows=3 + 3 * dup_values,
+        )
+        lk = f"r1_a{rng.randint(0, 1)}"
+        rk = f"r2_a{rng.randint(0, 1)}"
+        kind = rng.choice((JoinKind.INNER, JoinKind.LEFT))
+        sorted_join = Join(
+            kind,
+            Sort(BaseRel("r1", ("r1_a0", "r1_a1")), ((lk, False),)),
+            Sort(BaseRel("r2", ("r2_a0", "r2_a1")), ((rk, False),)),
+            eq(lk, rk),
+        )
+        want = evaluate(sorted_join, db)
+        assert execute(sorted_join, db).same_content(want)
+        assert execute_vector(sorted_join, db).same_content(want)
+
+    def test_left_major_order_passes_through(self):
+        """An inner join's output carries its left child's order, the
+        fact the Pareto DP leans on -- verified on every engine."""
+        rng = random.Random(11)
+        db = random_database(rng, ("r1", "r2"), max_rows=6)
+        join = Join(
+            JoinKind.INNER,
+            Sort(BaseRel("r1", ("r1_a0", "r1_a1")), (("r1_a0", False),)),
+            BaseRel("r2", ("r2_a0", "r2_a1")),
+            eq("r1_a1", "r2_a0"),
+        )
+        assert provided_order(join) == (("r1_a0", False),)
+        key = attr_key_fn(provided_order(join))
+        for engine in _ENGINES:
+            rows = engine(join, db).rows
+            assert all(
+                key(rows[i]) <= key(rows[i + 1])
+                for i in range(len(rows) - 1)
+            ), engine.__name__
+
+
+class TestStreamingGrouping:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        null_probability=st.sampled_from([0.0, 0.3]),
+        group_arity=st.integers(min_value=1, max_value=2),
+    )
+    def test_streaming_group_by_identical_to_hash(
+        self, seed, null_probability, group_arity
+    ):
+        """GROUP BY over a sorted child takes the streaming path; the
+        result must be byte-identical (same rows, same order, same
+        virtual ids) to the reference hash grouping."""
+        rng = random.Random(seed)
+        db = random_database(
+            rng, ("r1", "r2"), null_probability=null_probability, max_rows=6
+        )
+        core = random_join_query(rng, 2, outer_probability=0.0)
+        group_by = tuple(rng.sample(core.real_attrs, k=group_arity))
+        agg_arg = rng.choice(core.real_attrs)
+        specs = (
+            AggregateSpec("n", AggregateFunction.COUNT),
+            AggregateSpec("s", AggregateFunction.SUM, agg_arg),
+        )
+        sort_keys = tuple((a, False) for a in group_by)
+        streaming = GroupBy(
+            Sort(core, sort_keys), group_by, specs, name="g"
+        )
+        assert streaming_run_prefix(
+            provided_order(streaming.child), group_by
+        ), "precondition: the child order must enable streaming"
+        want = evaluate(GroupBy(Sort(core, sort_keys), group_by, specs, name="g"), db)
+        for engine in (execute, execute_vector):
+            got = engine(streaming, db)
+            assert _signature(got) == _signature(want), to_algebra(streaming)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        null_probability=st.sampled_from([0.1, 0.3]),
+    )
+    def test_gs_plans_over_sorted_inputs_match(self, seed, null_probability):
+        """σ*-bearing reordered plans stay bag-equivalent when their
+        outer-join inputs are NULL-salted -- the streaming σ* path's
+        per-run set difference against the hash operator's global
+        one."""
+        rng = random.Random(seed)
+        query = random_join_query(rng, 3, outer_probability=0.9)
+        plans = [
+            plan
+            for plan in enumerate_plans(query, max_plans=60)
+            if any(isinstance(node, GenSelect) for node in plan.walk())
+        ][:3]
+        db = random_database(
+            rng,
+            tuple(sorted(query.base_names)),
+            null_probability=null_probability,
+            max_rows=4,
+        )
+        want = evaluate(query, db)
+        for plan in plans:
+            for engine in (execute, execute_vector):
+                assert engine(plan, db).same_content(want), to_algebra(plan)

@@ -1,0 +1,133 @@
+"""Static order properties: what each plan shape promises, verified.
+
+``provided_order`` claims an order only when all three engines
+provably emit it; these tests check both directions -- the claims
+made (inner joins pass the left child's order through, GROUP BY keeps
+a group-key prefix, Sort provides its keys) and the claims refused
+(outer joins, σ*, distinct).  The *verification* that the claims hold
+at runtime lives in ``tests/exec/test_order_equivalence.py``; here we
+pin the algebra.
+"""
+
+from repro.expr.nodes import (
+    BaseRel,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Rename,
+    Select,
+    Sort,
+)
+from repro.expr.orderprops import (
+    normalize_order,
+    order_satisfies,
+    provided_order,
+    streaming_run_prefix,
+)
+from repro.expr.predicates import Col, Comparison
+from repro.relalg.aggregates import AggregateFunction, AggregateSpec
+
+
+def _rel(name, attrs):
+    return BaseRel(name, tuple(attrs))
+
+
+R1 = _rel("r1", ("a", "b"))
+R2 = _rel("r2", ("c", "d"))
+EQ_AC = Comparison(Col("a"), "=", Col("c"))
+
+
+class TestNormalizeOrder:
+    def test_drops_repeated_attributes(self):
+        assert normalize_order(
+            [("a", False), ("b", True), ("a", True)]
+        ) == (("a", False), ("b", True))
+
+    def test_empty(self):
+        assert normalize_order([]) == ()
+
+
+class TestProvidedOrder:
+    def test_base_rel_promises_nothing(self):
+        assert provided_order(R1) == ()
+
+    def test_sort_provides_its_keys(self):
+        s = Sort(R1, (("a", False), ("b", True)))
+        assert provided_order(s) == (("a", False), ("b", True))
+
+    def test_select_passes_through(self):
+        s = Select(Sort(R1, (("a", False),)), Comparison(Col("a"), "<", Col("b")))
+        assert provided_order(s) == (("a", False),)
+
+    def test_inner_join_passes_left_order(self):
+        j = Join(JoinKind.INNER, Sort(R1, (("a", False),)), R2, EQ_AC)
+        assert provided_order(j) == (("a", False),)
+
+    def test_outer_join_claims_nothing(self):
+        for kind in (JoinKind.LEFT, JoinKind.RIGHT, JoinKind.FULL):
+            j = Join(kind, Sort(R1, (("a", False),)), R2, EQ_AC)
+            assert provided_order(j) == ()
+
+    def test_group_by_keeps_group_key_prefix(self):
+        g = GroupBy(
+            Sort(R1, (("a", False), ("b", False))),
+            ("a",),
+            (AggregateSpec("n", AggregateFunction.COUNT),),
+            name="g",
+        )
+        # "a" is a group key, "b" is aggregated away: prefix stops there
+        assert provided_order(g) == (("a", False),)
+
+    def test_project_stops_at_dropped_attr(self):
+        p = Project(Sort(R1, (("a", False), ("b", False))), ("b",))
+        assert provided_order(p) == ()
+
+    def test_distinct_claims_nothing(self):
+        p = Project(Sort(R1, (("a", False),)), ("a",), distinct=True)
+        assert provided_order(p) == ()
+
+    def test_rename_maps_attributes(self):
+        r = Rename(Sort(R1, (("a", False),)), (("a", "z"),))
+        assert provided_order(r) == (("z", False),)
+
+
+class TestOrderSatisfies:
+    def test_finer_satisfies_coarser(self):
+        assert order_satisfies(
+            (("a", False), ("b", True)), (("a", False),)
+        )
+
+    def test_coarser_does_not_satisfy_finer(self):
+        assert not order_satisfies(
+            (("a", False),), (("a", False), ("b", True))
+        )
+
+    def test_direction_matters(self):
+        assert not order_satisfies((("a", True),), (("a", False),))
+
+    def test_equivalence_class_substitution(self):
+        eq = {"a": frozenset({"a", "c"}), "c": frozenset({"a", "c"})}
+        assert order_satisfies((("a", False),), (("c", False),), eq)
+        assert not order_satisfies((("a", False),), (("d", False),), eq)
+
+    def test_required_dedupe_before_matching(self):
+        # ORDER BY a, a is just ORDER BY a
+        assert order_satisfies(
+            (("a", False),), (("a", False), ("a", True))
+        )
+
+
+class TestStreamingRunPrefix:
+    def test_prefix_confined_to_allowed(self):
+        assert streaming_run_prefix(
+            (("a", False), ("b", True), ("c", False)), {"a", "b"}
+        ) == ("a", "b")
+
+    def test_direction_ignored(self):
+        assert streaming_run_prefix((("a", True),), {"a"}) == ("a",)
+
+    def test_stops_at_first_outside_attr(self):
+        assert streaming_run_prefix(
+            (("x", False), ("a", False)), {"a"}
+        ) == ()

@@ -403,3 +403,102 @@ def test_breaker_storm_routes_to_the_floor():
     finally:
         service.close()
     assert set(service.snapshot()["breakers"]) == set(FALLBACK_CHAIN)
+
+
+#: fault menu for order storms: the order-machinery sites (the sort
+#: enforcer, the vector merge join, the streaming group-by) plus one
+#: engine-wide crash so containment is exercised alongside injection
+_ORDER_FAULT_MENU = [
+    "sort.enforce:crash@{p}",
+    "merge.join:crash@{p}",
+    "groupby.stream:crash@{p}",
+    "sort.enforce:latency=1ms@{p}",
+    "vector:crash@{p}",
+]
+
+N_ORDER_SCENARIOS = 2
+
+
+def build_order_scenario(seed: int):
+    """A storm whose queries all carry a required order, so every plan
+    routes through sort enforcers (and, when the optimizer places an
+    enforcer below a join, the merge/streaming paths)."""
+    rng = random.Random(seed)
+    n_rel = rng.randint(2, 4)
+    names = [f"r{i}" for i in range(1, n_rel + 1)]
+    db = random_database(
+        rng, names, max_rows=4, null_probability=0.2, min_rows=1
+    )
+    queries = []
+    for _ in range(rng.randint(4, 7)):
+        query = random_join_query(rng, n_rel, outer_probability=0.4)
+        attr = rng.choice(query.real_attrs)
+        queries.append((query, ((attr, rng.random() < 0.5),)))
+    clauses = rng.sample(_ORDER_FAULT_MENU, rng.randint(2, 3))
+    plan_text = ",".join(
+        clause.format(p=round(rng.uniform(0.2, 0.9), 2)) for clause in clauses
+    )
+    return {
+        "db": db,
+        "queries": queries,
+        "fault_plan": FaultPlan.parse(plan_text, seed=seed),
+        "workers": rng.randint(1, 3),
+        "engine": rng.choice(["vector", "hash"]),
+    }
+
+
+@pytest.mark.parametrize("offset", range(N_ORDER_SCENARIOS))
+def test_order_storm_contains_sort_and_merge_faults(offset):
+    """Crashes injected at ``sort.enforce``/``merge.join``/
+    ``groupby.stream`` while every query demands an output order:
+    no wrong *bag* escapes, failures are typed and journaled, and
+    shutdown stays clean -- the same invariants as the generic storm,
+    now with the order machinery on the fault path."""
+    seed = SEED_BASE + 2000 + offset
+    scenario = build_order_scenario(seed)
+    db = scenario["db"]
+
+    expected = [evaluate(q, db) for q, _ in scenario["queries"]]
+
+    service = QueryService(
+        db,
+        workers=scenario["workers"],
+        queue_depth=64,
+        engine=scenario["engine"],
+        verify=True,
+        fault_plan=scenario["fault_plan"],
+        breaker=BreakerConfig(
+            failure_threshold=2, window_s=600.0, cooldown_s=600.0
+        ),
+    )
+    try:
+        tickets = [
+            service.submit(query, required_order=required)
+            for query, required in scenario["queries"]
+        ]
+        for ticket, truth in zip(tickets, expected):
+            try:
+                outcome = ticket.result(timeout=120)
+            except ReproError:
+                assert any(
+                    incident.kind
+                    in (
+                        "query-failed",
+                        "budget-exhausted",
+                        "query-cancelled",
+                        "engine-failure",
+                    )
+                    for incident in service.incidents
+                ), f"seed {seed}: failure without incident"
+                continue
+            assert outcome.relation.same_content(truth), (
+                f"seed {seed}: wrong answer under order-site faults "
+                f"(engine {outcome.engine})"
+            )
+        snap = service.snapshot()
+        assert snap["completed"] + snap["failed"] == len(tickets)
+    finally:
+        service.close()
+    assert all(t.done() for t in tickets)
+    for thread in service._threads:
+        assert not thread.is_alive()

@@ -1,0 +1,181 @@
+"""Physical order operators: SortOp, StreamAggregate, merge re-key.
+
+The planner side of order-awareness: ``Sort`` compiles to ``SortOp``
+(shared key convention, optional top-N), GROUP BY over a
+run-clustered child compiles to ``StreamAggregate`` and matches hash
+aggregation byte for byte, and a join whose inputs both arrive
+ordered on the keys auto-selects ``MergeJoinOp`` even without
+``prefer_merge`` -- the internal re-sort is then a linear pass.
+"""
+
+import random
+
+from repro.expr.evaluate import Database, evaluate
+from repro.expr.nodes import BaseRel, GroupBy, Join, JoinKind, Sort
+from repro.expr.predicates import eq
+from repro.physical import compile_plan, run_plan
+from repro.physical.operators import (
+    HashAggregate,
+    HashJoinOp,
+    MergeJoinOp,
+    SortOp,
+    StreamAggregate,
+)
+from repro.relalg.aggregates import AggregateFunction, AggregateSpec
+from repro.relalg.nulls import NULL
+from repro.relalg.ordering import attr_key_fn
+from repro.relalg.relation import Relation
+from repro.workloads.random_db import random_database
+
+
+def _db():
+    return Database(
+        {
+            "r1": Relation.base(
+                "r1",
+                ["a", "b"],
+                [(3, "x"), (1, "y"), (2, "z"), (1, "w"), (None, "n")],
+            ),
+            "r2": Relation.base(
+                "r2", ["c", "d"], [(1, 10), (2, 20), (1, 30), (None, 40)]
+            ),
+        }
+    )
+
+
+R1 = BaseRel("r1", ("a", "b"))
+R2 = BaseRel("r2", ("c", "d"))
+
+
+class TestSortOp:
+    def test_sort_compiles_and_orders_by_convention(self):
+        q = Sort(R1, (("a", False), ("b", True)))
+        plan = compile_plan(q)
+        assert isinstance(plan, SortOp)
+        rows = run_plan(plan, _db()).rows
+        key = attr_key_fn(q.keys)
+        assert all(
+            key(rows[i]) <= key(rows[i + 1]) for i in range(len(rows) - 1)
+        )
+        # NULLS LAST under the leading ascending key
+        assert rows[-1]["a"] is NULL or rows[-1]["a"] is None
+
+    def test_matches_reference_engine_sequence(self):
+        q = Sort(
+            Join(JoinKind.INNER, R1, R2, eq("a", "c")),
+            (("a", False), ("d", True)),
+        )
+        db = _db()
+        got = run_plan(compile_plan(q), db)
+        want = evaluate(q, db)
+        attrs = got.real.attrs
+        assert [tuple(repr(r[a]) for a in attrs) for r in got.rows] == [
+            tuple(repr(r[a]) for a in attrs) for r in want.rows
+        ]
+
+    def test_top_n_agrees_with_full_sort_prefix(self):
+        child = compile_plan(R1)
+        keys = (("a", False),)
+        db = _db()
+        full = run_plan(SortOp(compile_plan(R1), keys), db).rows
+        for n in (0, 1, 3, 10):
+            top = run_plan(SortOp(compile_plan(R1), keys, limit=n), db).rows
+            assert [repr(r) for r in top] == [repr(r) for r in full[:n]]
+
+    def test_labels(self):
+        assert SortOp(compile_plan(R1), (("a", True),)).label == "Sort[a desc]"
+        assert (
+            SortOp(compile_plan(R1), (("a", False),), limit=5).label
+            == "TopN[5; a]"
+        )
+
+
+class TestStreamAggregate:
+    def _specs(self):
+        return (
+            AggregateSpec("n", AggregateFunction.COUNT),
+            AggregateSpec("s", AggregateFunction.SUM, "a"),
+        )
+
+    def test_selected_for_run_clustered_child(self):
+        q = GroupBy(Sort(R1, (("a", False),)), ("a",), self._specs(), name="g")
+        plan = compile_plan(q)
+        assert isinstance(plan, StreamAggregate)
+
+    def test_hash_kept_for_unordered_child(self):
+        q = GroupBy(R1, ("a",), self._specs(), name="g")
+        assert isinstance(compile_plan(q), HashAggregate)
+
+    def test_identical_to_hash_aggregation(self):
+        """Same rows, same order, same virtual ids as the hash
+        operator over the identical (sorted) input."""
+        db = _db()
+        sorted_child = Sort(R1, (("a", False),))
+        q = GroupBy(sorted_child, ("a",), self._specs(), name="g")
+        streaming = run_plan(compile_plan(q), db)
+        hashed = HashAggregate(
+            compile_plan(sorted_child), ("a",), self._specs(), "g"
+        )
+        reference = hashed.to_relation(db)
+        attrs = streaming.all_attrs.attrs
+        assert [tuple(repr(r[a]) for a in attrs) for r in streaming.rows] == [
+            tuple(repr(r[a]) for a in attrs) for r in reference.rows
+        ]
+
+
+class TestMergeJoinSelection:
+    def test_auto_merge_when_both_sides_ordered(self):
+        q = Join(
+            JoinKind.INNER,
+            Sort(R1, (("a", False),)),
+            Sort(R2, (("c", False),)),
+            eq("a", "c"),
+        )
+        plan = compile_plan(q)
+        assert isinstance(plan, MergeJoinOp)
+
+    def test_hash_when_only_one_side_ordered(self):
+        q = Join(JoinKind.INNER, Sort(R1, (("a", False),)), R2, eq("a", "c"))
+        assert isinstance(compile_plan(q), HashJoinOp)
+
+    def test_merge_key_uses_shared_convention(self):
+        """Heterogeneous key values (ints mixed with strings) must
+        merge under the same total order the Sort enforcer uses --
+        the old per-operator ``(type, repr)`` key ordered ``10``
+        before ``9`` lexicographically and disagreed with SortOp."""
+        db = Database(
+            {
+                "r1": Relation.base(
+                    "r1", ["a", "b"], [(9, "i"), (10, "j"), ("x", "k")]
+                ),
+                "r2": Relation.base(
+                    "r2", ["c", "d"], [(10, 1), (9, 2), ("x", 3)]
+                ),
+            }
+        )
+        q = Join(
+            JoinKind.INNER,
+            Sort(R1, (("a", False),)),
+            Sort(R2, (("c", False),)),
+            eq("a", "c"),
+        )
+        got = run_plan(compile_plan(q), db)
+        want = evaluate(q, db)
+        assert got.same_content(want)
+        assert len(got) == 3
+
+    def test_merge_matches_hash_on_random_inputs(self):
+        rng = random.Random(3)
+        for trial in range(10):
+            db = random_database(
+                rng, ("r1", "r2"), null_probability=0.25, max_rows=6
+            )
+            kind = rng.choice((JoinKind.INNER, JoinKind.LEFT))
+            q = Join(
+                kind,
+                Sort(BaseRel("r1", ("r1_a0", "r1_a1")), (("r1_a0", False),)),
+                Sort(BaseRel("r2", ("r2_a0", "r2_a1")), (("r2_a0", False),)),
+                eq("r1_a0", "r2_a0"),
+            )
+            merged = run_plan(compile_plan(q), db)
+            assert merged.same_content(evaluate(q, db)), trial

@@ -1,0 +1,117 @@
+"""The shared sort-key convention: one total order, NULLS LAST (ASC).
+
+Every sorter in the system -- ``Relation.sorted_rows``, the CLI's
+ORDER BY/LIMIT path, the logical ``Sort`` enforcer in all three
+engines, the physical ``SortOp``/merge join -- keys rows through
+:mod:`repro.relalg.ordering`.  These tests pin the convention itself:
+total order over heterogeneous values, NULL placement, DESC via key
+inversion, and the top-N fast path agreeing element for element with
+a full stable sort.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.relalg.nulls import NULL
+from repro.relalg.ordering import (
+    attr_key_fn,
+    row_key,
+    sort_rows,
+    top_n_rows,
+    value_key,
+)
+from repro.relalg.relation import Relation
+from repro.relalg.row import Row
+
+#: value pool crossing every type class the convention distinguishes
+_VALUES = [None, NULL, -3, 0, 2.5, True, "a", "b", "", (1, 2), (1,)]
+
+
+def _value_strategy():
+    return st.sampled_from(_VALUES)
+
+
+class TestValueKey:
+    def test_total_order_over_mixed_types(self):
+        keys = [value_key(v) for v in _VALUES]
+        # keys must be mutually comparable: sorting must not raise
+        sorted(keys)
+
+    def test_nulls_last_ascending(self):
+        values = [3, None, 1, NULL, 2]
+        ordered = sorted(values, key=value_key)
+        assert ordered[:3] == [1, 2, 3]
+        # both NULL spellings land at the end
+        assert all(v is None or v is NULL for v in ordered[3:])
+
+    def test_null_spellings_key_identically(self):
+        assert value_key(None) == value_key(NULL)
+
+    def test_numbers_before_strings_before_other(self):
+        ordered = sorted([(1, 2), "a", 7], key=value_key)
+        assert ordered == [7, "a", (1, 2)]
+
+    def test_bool_compares_numerically(self):
+        assert sorted([2, True, 0], key=value_key) == [0, True, 2]
+
+    def test_other_types_deterministic(self):
+        a, b = value_key((1, 2)), value_key((1, 2))
+        assert a == b
+
+
+class TestRowKey:
+    def test_desc_inverts_and_puts_nulls_first(self):
+        rows = [(1,), (None,), (3,), (2,)]
+        ordered = sort_rows(rows, [(0, True)])
+        assert ordered == [(None,), (3,), (2,), (1,)]
+
+    def test_mixed_directions(self):
+        rows = [(1, "x"), (1, "y"), (2, "x")]
+        ordered = sort_rows(rows, [(0, False), (1, True)])
+        assert ordered == [(1, "y"), (1, "x"), (2, "x")]
+
+    def test_stable_on_ties(self):
+        rows = [(1, "first"), (1, "second"), (0, "zero")]
+        ordered = sort_rows(rows, [(0, False)])
+        assert ordered == [(0, "zero"), (1, "first"), (1, "second")]
+
+    def test_attr_key_fn_matches_row_key_on_rows(self):
+        row = Row({"a": 3, "b": None})
+        specs = [("a", False), ("b", True)]
+        assert attr_key_fn(specs)(row) == row_key(row, specs)
+
+
+class TestTopN:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(_value_strategy(), _value_strategy()), max_size=30
+        ),
+        n=st.integers(min_value=0, max_value=12),
+        descending=st.booleans(),
+    )
+    def test_top_n_equals_sorted_prefix(self, rows, n, descending):
+        """``heapq.nsmallest`` under the composite key agrees element
+        for element with a full stable sort truncated to ``n`` -- the
+        property the CLI's LIMIT fast path depends on."""
+        specs = [(0, descending), (1, not descending)]
+        assert top_n_rows(rows, specs, n) == sort_rows(rows, specs)[:n]
+
+    def test_non_positive_n_is_empty(self):
+        assert top_n_rows([(1,), (2,)], [(0, False)], 0) == []
+        assert top_n_rows([(1,), (2,)], [(0, False)], -3) == []
+
+
+class TestRelationSortedRows:
+    def test_sorted_rows_follows_the_convention(self):
+        rel = Relation.base("t", ["a"], [(2,), (None,), (1,)])
+        values = [row["a"] for row in rel.sorted_rows()]
+        assert values[:2] == [1, 2]
+        assert values[2] is None or values[2] is NULL
+
+    def test_duplicate_heavy_input_keeps_all_rows(self):
+        rng = random.Random(5)
+        data = [(rng.randint(0, 2), rng.randint(0, 1)) for _ in range(50)]
+        rel = Relation.base("t", ["a", "b"], data)
+        assert len(rel.sorted_rows()) == 50

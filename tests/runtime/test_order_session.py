@@ -1,0 +1,188 @@
+"""Required orders through the runtime: session, cache, CLI, EXPLAIN.
+
+The ORDER BY journey end to end: ``run_sql`` threads the translated
+order into ``QuerySession.run``, the order pass may rewrite the plan,
+the plan cache keys on the required order (an order-blind cached plan
+must never be replayed for an ordered query), and the CLI either
+skips its output sort (the plan already provides the order) or
+applies the shared-convention sort / top-N.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import run_script
+from repro.expr import Database
+from repro.expr.nodes import BaseRel, Join, JoinKind
+from repro.expr.orderprops import order_satisfies, provided_order
+from repro.expr.predicates import eq
+from repro.relalg import Relation
+from repro.relalg.ordering import attr_key_fn
+from repro.runtime import QuerySession
+from repro.sql import SqlCatalog
+from tests.runtime.test_session import chain_database
+from repro.workloads.topologies import chain_query
+
+
+@pytest.fixture()
+def emp_db() -> Database:
+    return Database(
+        {
+            "emp": Relation.base(
+                "emp",
+                ["eid", "dept", "salary"],
+                [(1, 10, 100), (2, 10, 200), (3, 20, 300), (4, 99, 50)],
+            ),
+            "dept": Relation.base(
+                "dept", ["did", "dname"], [(10, "eng"), (20, "ops"), (30, "hr")]
+            ),
+        }
+    )
+
+
+def _catalog():
+    return SqlCatalog(
+        {"emp": ("eid", "dept", "salary"), "dept": ("did", "dname")}
+    )
+
+
+class TestSessionRequiredOrder:
+    def test_run_with_required_order_provides_it(self):
+        db = chain_database(3)
+        session = QuerySession(db)
+        required = (("r1_a0", False),)
+        result = session.run(chain_query(3), required_order=required)
+        assert order_satisfies(provided_order(result.chosen), required)
+        key = attr_key_fn(required)
+        rows = result.relation.rows
+        assert all(
+            key(rows[i]) <= key(rows[i + 1]) for i in range(len(rows) - 1)
+        )
+
+    def test_same_bag_with_and_without_order(self):
+        db = chain_database(3)
+        session = QuerySession(db)
+        query = chain_query(3)
+        plain = session.run(query)
+        ordered = session.run(query, required_order=(("r2_a1", True),))
+        assert plain.relation.same_content(ordered.relation)
+
+    def test_cache_keys_on_required_order(self):
+        """An order-blind cached plan must not be replayed for the
+        ordered variant of the same query (and vice versa)."""
+        db = chain_database(3)
+        session = QuerySession(db)
+        query = chain_query(3)
+        required = (("r1_a0", False),)
+
+        session.run(query)  # populates the ()-order entry
+        ordered = session.run(query, required_order=required)
+        assert order_satisfies(provided_order(ordered.chosen), required)
+
+        # rerunning both shapes hits the cache, each under its own key
+        before = session.plan_cache.counters()["hits"]
+        again_plain = session.run(query)
+        again_ordered = session.run(query, required_order=required)
+        assert session.plan_cache.counters()["hits"] >= before + 2
+        assert not order_satisfies(
+            provided_order(again_plain.chosen), required
+        ) or order_satisfies(provided_order(again_ordered.chosen), required)
+        assert order_satisfies(
+            provided_order(again_ordered.chosen), required
+        )
+
+    def test_plan_with_required_order(self):
+        db = chain_database(3)
+        session = QuerySession(db)
+        required = (("r1_a0", False),)
+        result, level, reason = session.plan(
+            chain_query(3), required_order=required
+        )
+        assert result is not None
+        assert order_satisfies(provided_order(result.best), required)
+
+
+class TestCliOrderBy:
+    def test_order_by_sorts_output(self, emp_db):
+        out = io.StringIO()
+        run_script(
+            "select eid, salary from emp order by salary desc;",
+            emp_db,
+            _catalog(),
+            out=out,
+        )
+        body = [
+            line
+            for line in out.getvalue().splitlines()
+            if "|" in line and "salary" not in line and "+" not in line
+        ]
+        salaries = [int(line.split("|")[1]) for line in body]
+        assert salaries == sorted(salaries, reverse=True)
+
+    def test_limit_truncates_in_order(self, emp_db):
+        out = io.StringIO()
+        run_script(
+            "select eid, salary from emp order by salary limit 2;",
+            emp_db,
+            _catalog(),
+            out=out,
+        )
+        text = out.getvalue()
+        assert "2 row(s)" in text
+        body = [
+            line
+            for line in text.splitlines()
+            if "|" in line and "salary" not in line and "+" not in line
+        ]
+        # cheapest two salaries are eids 4 (50) and 1 (100), in order
+        assert [line.split("|")[0].strip() for line in body] == ["4", "1"]
+
+    def test_nulls_sort_last_ascending(self):
+        db = Database(
+            {
+                "t": Relation.base(
+                    "t", ["a", "b"], [(2, "x"), (None, "y"), (1, "z")]
+                )
+            }
+        )
+        out = io.StringIO()
+        run_script(
+            "select a, b from t order by a;",
+            db,
+            SqlCatalog({"t": ("a", "b")}),
+            out=out,
+        )
+        rows = [
+            line
+            for line in out.getvalue().splitlines()
+            if "|" in line and "+" not in line
+        ][1:]
+        assert rows[0].split("|")[0].strip() == "1"
+        assert rows[-1].split("|")[0].strip() in ("NULL", "", "None")
+
+    def test_explain_reports_order_properties(self, emp_db):
+        out = io.StringIO()
+        run_script(
+            "select eid from emp order by eid;",
+            emp_db,
+            _catalog(),
+            out=out,
+            explain=True,
+        )
+        text = out.getvalue()
+        assert "-- order: required emp_eid" in text
+        assert "plan provides" in text
+
+    def test_analyze_reports_order_properties(self, emp_db):
+        out = io.StringIO()
+        run_script(
+            "select eid from emp order by eid desc;",
+            emp_db,
+            _catalog(),
+            out=out,
+            analyze=True,
+        )
+        text = out.getvalue()
+        assert "-- order: required emp_eid desc" in text
+        assert "plan provides" in text
