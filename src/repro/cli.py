@@ -59,7 +59,12 @@ import time
 from fractions import Fraction
 from pathlib import Path
 
-from repro.errors import BudgetExceeded, EngineFailure, InjectedFault
+from repro.errors import (
+    BudgetExceeded,
+    EngineFailure,
+    InjectedFault,
+    WorkerCrashed,
+)
 from repro.expr import Database
 from repro.expr.display import to_tree
 from repro.optimizer import measured_cost
@@ -90,17 +95,21 @@ EXIT_OK = 0  # clean answer, or answered-but-degraded (footer says so)
 EXIT_BUDGET = 3  # a budget cap held even at the last-resort rung
 EXIT_QUARANTINE = 4  # answered via quarantine fallback (plan mismatch)
 EXIT_ENGINE = 5  # every engine failed (e.g. under an injected fault plan)
+EXIT_INTERRUPTED = 130  # SIGINT/SIGTERM: drained, shut down, no traceback
 
 _EXIT_CODE_DOC = """\
 exit codes:
-  0  clean success, including answered-but-degraded statements
-     (degradation is reported in a `-- stage:` footer, not an error)
-  3  a resource budget was exhausted at every rung, including the
-     last resort (the row cap bounds memory, so it is never lifted)
-  4  answered, but a chosen plan failed differential verification and
-     was quarantined (the reported rows come from the original query)
-  5  every execution engine failed the statement (seen under
-     `--faults` crash plans when the reference floor is also hit)
+  0    clean success, including answered-but-degraded statements
+       (degradation is reported in a `-- stage:` footer, not an error)
+  3    a resource budget was exhausted at every rung, including the
+       last resort (the row cap bounds memory, so it is never lifted)
+  4    answered, but a chosen plan failed differential verification and
+       was quarantined (the reported rows come from the original query)
+  5    every execution engine failed the statement, or (with
+       --isolation process) a worker died past its retry budget --
+       seen under `--faults` crash/kill9 plans
+  130  interrupted by SIGINT or SIGTERM: in-flight work was drained
+       and the service shut down cleanly before exiting
 """
 
 
@@ -229,12 +238,18 @@ def run_script(
     feedback_in: Path | None = None,
     feedback_out: Path | None = None,
     enum_tier: str = "auto",
+    isolation: str = "thread",
+    max_retries: int | None = None,
 ) -> int:
     """Run (or explain) a script; returns the process exit code.
 
-    With ``workers >= 1`` or a ``faults`` plan, statements route
-    through a :class:`repro.runtime.QueryService` (admission control,
-    circuit breakers, engine fallback) instead of a bare session.
+    With ``workers >= 1``, a ``faults`` plan, or
+    ``isolation="process"``, statements route through a
+    :class:`repro.runtime.QueryService` (admission control, circuit
+    breakers, engine fallback) instead of a bare session;
+    ``isolation="process"`` additionally runs the workers in
+    supervised child processes (see :mod:`repro.runtime.procpool`)
+    with ``max_retries`` redeliveries for queries whose worker died.
 
     ``analyze=True`` is EXPLAIN ANALYZE mode: each select is planned,
     compiled to the physical engine with cost estimates stamped on
@@ -264,7 +279,9 @@ def run_script(
     elif feedback_out is not None or replan_threshold is not None:
         feedback = FeedbackStore()
     service: QueryService | None = None
-    if not explain and not analyze and session is None and (workers >= 1 or faults):
+    if not explain and not analyze and session is None and (
+        workers >= 1 or faults or isolation == "process"
+    ):
         service = QueryService(
             db,
             catalog=catalog,
@@ -279,6 +296,8 @@ def run_script(
             feedback=feedback,
             replan_threshold=replan_threshold,
             enum_tier=enum_tier,
+            isolation=isolation,
+            max_retries=max_retries,
         )
     elif session is None:
         session = QuerySession(
@@ -402,7 +421,7 @@ def _order_and_limit(relation: Relation, translation, chosen=None) -> Relation:
     instead of sorting everything to keep ``limit`` rows.
     """
     from repro.expr.orderprops import order_satisfies, provided_order
-    from repro.relalg.ordering import sort_rows, top_n_rows
+    from repro.relalg.ordering import sort_rows, tiebreak_keys, top_n_rows
 
     rows = list(relation.rows)
     keys = tuple(translation.order_by)
@@ -411,6 +430,9 @@ def _order_and_limit(relation: Relation, translation, chosen=None) -> Relation:
     ):
         keys = ()  # the engine already delivered this order
     if keys:
+        # whole-row tiebreak: the printed sequence depends only on the
+        # result bag, not on which engine produced it in which order
+        keys = tiebreak_keys(keys, relation.real.attrs)
         if translation.limit is not None:
             rows = top_n_rows(rows, keys, translation.limit)
         else:
@@ -685,13 +707,34 @@ def main(argv: list[str] | None = None) -> int:
         "shed with a typed AdmissionRejected)",
     )
     run_p.add_argument(
+        "--isolation",
+        choices=("thread", "process"),
+        default="thread",
+        help="where service workers run: 'thread' (default) keeps them "
+        "in this process; 'process' runs each in a supervised child "
+        "process (heartbeats, restart with backoff, poisoned-query "
+        "quarantine), so a crashing or wedged worker costs one query, "
+        "not the service; implies the service path",
+    )
+    run_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process isolation only: redeliver a query whose worker "
+        "died up to N times (queries are read-only, so redelivery is "
+        "safe) before surfacing a typed WorkerCrashed (default: 2)",
+    )
+    run_p.add_argument(
         "--faults",
         default=None,
         metavar="PLAN",
         help="deterministic fault-injection plan, e.g. "
         "'vector.join:crash@0.05,cache.get:latency=50ms@0.1,"
-        "stats:perturb=2x'; implies the service path so crashes are "
-        "contained by engine fallback",
+        "stats:perturb=2x'; with --isolation process, the "
+        "'worker:kill9', 'worker:hang' and 'worker:exit' kinds kill, "
+        "wedge or hard-exit the worker child itself; implies the "
+        "service path so crashes are contained by engine fallback",
     )
     run_p.add_argument(
         "--fault-seed",
@@ -772,6 +815,20 @@ def main(argv: list[str] | None = None) -> int:
             max_plans=args.max_plans,
             max_rows=args.max_rows,
         )
+    # SIGTERM gets the same treatment the default SIGINT handler gives
+    # Ctrl-C: a KeyboardInterrupt that unwinds through run_script's
+    # ``finally`` (draining and closing the service) instead of dying
+    # mid-query with a traceback.  Installed only when this process
+    # owns the terminal session (main() as the program entry point).
+    import signal as _signal
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous_term = _signal.signal(_signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - non-main thread (embedding)
+        previous_term = None
     try:
         if args.command == "run":
             return run_script(
@@ -794,6 +851,8 @@ def main(argv: list[str] | None = None) -> int:
                 feedback_in=args.feedback_in,
                 feedback_out=args.feedback_out,
                 enum_tier=args.enum_tier,
+                isolation=args.isolation,
+                max_retries=args.max_retries,
             )
         return run_script(
             text,
@@ -809,11 +868,20 @@ def main(argv: list[str] | None = None) -> int:
         # memory, not optimization effort) -- report it, don't traceback
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_BUDGET
-    except (EngineFailure, InjectedFault) as exc:
+    except (EngineFailure, InjectedFault, WorkerCrashed) as exc:
         # a statement no engine could answer (crash fault plans can
-        # reach the reference floor) -- report it, don't traceback
+        # reach the reference floor), or a worker died past its retry
+        # budget -- report it, don't traceback
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_ENGINE
+    except KeyboardInterrupt:
+        # run_script's ``finally`` has already drained and closed the
+        # service on the way out; exit with the conventional 128+SIGINT
+        print("repro: interrupted; service drained and shut down", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        if previous_term is not None:
+            _signal.signal(_signal.SIGTERM, previous_term)
 
 
 if __name__ == "__main__":  # pragma: no cover

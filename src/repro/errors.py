@@ -181,6 +181,55 @@ class InjectedFault(ReproError):
         super().__init__(f"injected fault at {site}{suffix}")
 
 
+class WorkerCrashed(ReproError):
+    """A worker process died while executing this query.
+
+    Raised by the process-isolated service after retries are exhausted
+    (``retries``), or immediately when the query's fingerprint has been
+    quarantined as poisoned (``poisoned=True``) because it killed
+    multiple workers in a row.  ``reason`` records how the worker died
+    (``"exit:-9"``, ``"hang"``, ``"deadline"``, ``"pipe-closed"``).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        retries: int = 0,
+        poisoned: bool = False,
+        fingerprint: str = "",
+    ) -> None:
+        self.reason = reason
+        self.retries = retries
+        self.poisoned = poisoned
+        self.fingerprint = fingerprint
+        if poisoned:
+            detail = f"query quarantined as poisoned ({reason})"
+        else:
+            detail = f"worker died ({reason}) after {retries} retries"
+        super().__init__(detail)
+
+    def to_dict(self) -> dict:
+        """Structured form for incident records."""
+        return {
+            "error": type(self).__name__,
+            "reason": self.reason,
+            "retries": self.retries,
+            "poisoned": self.poisoned,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class WorkerPoolDegraded(AdmissionRejected):
+    """The worker pool is shedding load because restarts are churning.
+
+    Every worker slot is in the flapping state (too many restarts
+    inside the flap window), so instead of queueing work that would
+    only feed the churn, the service fails fast with this typed error.
+    An :class:`AdmissionRejected` subclass so callers that already shed
+    on admission pressure handle it for free.
+    """
+
+
 class EngineFailure(ReproError):
     """Every candidate engine failed to answer the query.
 
@@ -209,5 +258,7 @@ __all__ = [
     "QueryCancelled",
     "AdmissionRejected",
     "InjectedFault",
+    "WorkerCrashed",
+    "WorkerPoolDegraded",
     "EngineFailure",
 ]

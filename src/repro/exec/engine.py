@@ -44,7 +44,7 @@ from repro.relalg import (
 )
 from repro.relalg.nulls import NULL
 from repro.relalg.operators import rename as relalg_rename
-from repro.relalg.ordering import attr_key_fn
+from repro.relalg.ordering import attr_key_fn, tiebreak_keys
 from repro.relalg.row import Row
 from repro.relalg.schema import Schema
 
@@ -150,7 +150,8 @@ def _execute(expr: Expr, db: Database, budget=None) -> Relation:
         child = execute(expr.child, db, budget)
         with span("sort.enforce", engine="hash"):
             fault_point("sort", op="enforce")
-            rows = sorted(child, key=attr_key_fn(expr.keys))
+            keys = tiebreak_keys(expr.keys, child.real.attrs)
+            rows = sorted(child, key=attr_key_fn(keys))
         record_engine_counter("repro_sort_rows_total", len(rows))
         return child.with_rows(rows)
     if isinstance(expr, GroupBy):

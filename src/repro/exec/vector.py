@@ -174,7 +174,9 @@ def _execute_node(
         child = _execute(expr.child, db, budget, child_needed)
         with span("sort.enforce", engine="vector"):
             fault_point("sort", op="enforce")
-            out = _sort(child, expr.keys)
+            from repro.relalg.ordering import tiebreak_keys
+
+            out = _sort(child, tiebreak_keys(expr.keys, child.real.attrs))
         record_engine_counter("repro_sort_rows_total", len(out))
         return _tick(budget, _restrict(out, needed), "vector:sort")
     if isinstance(expr, Join):

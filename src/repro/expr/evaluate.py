@@ -163,12 +163,13 @@ def _evaluate(expr: Expr, db: Database, budget=None) -> Relation:
         ]
         return generalized_selection(child, _PredicateAdapter(expr.predicate), specs)
     if isinstance(expr, Sort):
-        from repro.relalg.ordering import attr_key_fn
+        from repro.relalg.ordering import attr_key_fn, tiebreak_keys
 
         child = evaluate(expr.child, db, budget)
         with span("sort.enforce", engine="reference"):
             fault_point("sort", op="enforce")
-            rows = sorted(child, key=attr_key_fn(expr.keys))
+            keys = tiebreak_keys(expr.keys, child.real.attrs)
+            rows = sorted(child, key=attr_key_fn(keys))
         record_engine_counter("repro_sort_rows_total", len(rows))
         return child.with_rows(rows)
     if isinstance(expr, Rename):

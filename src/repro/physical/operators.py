@@ -23,7 +23,7 @@ from repro.relalg.aggregates import AggregateSpec
 from repro.relalg.generalized_projection import generalized_projection
 from repro.relalg.generalized_selection import PreservedSpec
 from repro.relalg.nulls import NULL, Truth, is_null
-from repro.relalg.ordering import attr_key_fn, value_key
+from repro.relalg.ordering import attr_key_fn, tiebreak_keys, value_key
 from repro.relalg.relation import Relation, pad_row
 from repro.relalg.row import Row
 from repro.relalg.schema import Schema
@@ -315,12 +315,13 @@ class SortOp(PhysicalOperator):
             keys=",".join(a for a, _ in self.keys),
         ):
             fault_point("sort", op="enforce")
+            keys = tiebreak_keys(self.keys, self.real)
             if self.limit is not None:
                 out = heapq.nsmallest(
-                    max(self.limit, 0), source, key=attr_key_fn(self.keys)
+                    max(self.limit, 0), source, key=attr_key_fn(keys)
                 )
             else:
-                out = sorted(source, key=attr_key_fn(self.keys))
+                out = sorted(source, key=attr_key_fn(keys))
         record_engine_counter("repro_sort_rows_total", len(out))
         yield from out
 

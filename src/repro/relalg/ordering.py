@@ -40,6 +40,7 @@ __all__ = [
     "attr_key_fn",
     "sort_rows",
     "top_n_rows",
+    "tiebreak_keys",
 ]
 
 _RANK_VALUE = 0
@@ -120,6 +121,26 @@ def attr_key_fn(keys: Sequence[tuple[str, bool]]):
         return tuple(parts)
 
     return _key
+
+
+def tiebreak_keys(
+    keys: Sequence[tuple[str, bool]], attrs: Iterable[str]
+) -> tuple[tuple[str, bool], ...]:
+    """``keys`` extended with the remaining ``attrs``, ascending.
+
+    A stable sort on the requested keys alone leaves equal-key rows in
+    *input* order -- which differs between engines, because each join
+    algorithm emits matches in its own order.  Sorting by the extended
+    key instead makes the output sequence a function of the row bag
+    alone, so every engine's Sort emits the identical sequence and
+    differential verification can compare sequences, not just bags.
+    The extra attrs are appended in sorted name order, making the
+    tiebreak independent of schema column order too.
+    """
+    seen = {attr for attr, _ in keys}
+    return tuple(keys) + tuple(
+        (attr, False) for attr in sorted(attrs) if attr not in seen
+    )
 
 
 def sort_rows(

@@ -85,6 +85,8 @@ _LAZY = {
     "QueryService": "repro.runtime.service",
     "QueryTicket": "repro.runtime.service",
     "ServiceResult": "repro.runtime.service",
+    "ProcPoolConfig": "repro.runtime.procpool",
+    "WorkerSupervisor": "repro.runtime.procpool",
 }
 
 
@@ -124,6 +126,8 @@ __all__ = [
     "BreakerConfig",
     "BreakerState",
     "CircuitBreaker",
+    "ProcPoolConfig",
+    "WorkerSupervisor",
     "MetricsRegistry",
     "Span",
     "Tracer",

@@ -150,6 +150,35 @@ class Budget:
             return float("inf")
         return self.deadline_ms - self.elapsed_ms
 
+    # -- process-boundary transport --------------------------------------
+
+    def caps(self) -> dict:
+        """Picklable cap snapshot for shipping across a process boundary.
+
+        The deadline dimension carries the *remaining* milliseconds, not
+        the original allowance, so queue wait and pipe latency in the
+        parent keep counting against the query: the child rebuilds a
+        budget whose clock starts on arrival.  Locks, cancel tokens and
+        parent links stay behind -- they cannot cross the pipe.
+        """
+        remaining = self.remaining_ms
+        return {
+            "deadline_ms": None if remaining == float("inf") else max(remaining, 0.0),
+            "max_plans": self.max_plans,
+            "max_rows": self.max_rows,
+            "tiers": self.tiers,
+        }
+
+    @staticmethod
+    def from_caps(caps: dict) -> "Budget":
+        """Rebuild a fresh budget in a worker child from :meth:`caps`."""
+        return Budget(
+            deadline_ms=caps.get("deadline_ms"),
+            max_plans=caps.get("max_plans"),
+            max_rows=caps.get("max_rows"),
+            tiers=caps.get("tiers"),
+        )
+
     # -- checkpoints -----------------------------------------------------
 
     def check_cancelled(self, where: str = "") -> None:

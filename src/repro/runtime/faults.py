@@ -21,7 +21,13 @@ Each comma-separated clause is ``site:kind[@probability]``:
 * ``kind`` -- ``crash`` (raise :class:`repro.errors.InjectedFault`),
   ``latency=<n>ms|<n>s`` (sleep), or ``perturb=<f>x`` (scale the
   statistics the optimizer sees -- Shin's thesis in PAPERS.md is the
-  argument for treating estimates as fallible inputs).
+  argument for treating estimates as fallible inputs).  Three
+  *process-level* kinds -- ``kill9`` (SIGKILL self), ``hang`` (stop
+  responding forever), ``exit`` (hard ``os._exit``) -- target the
+  ``worker`` site and fire **only inside worker child processes** via
+  :meth:`FaultStream.apply_process`; the thread-mode :meth:`apply`
+  path ignores them, so a process-chaos plan can never take down the
+  parent.
 * ``probability`` -- per-checkpoint firing probability, default 1.
 
 Fault state is **contextvar-scoped**: a plan is activated per query
@@ -70,12 +76,21 @@ _NODE_SITES = {
 }
 
 
+#: Kinds that terminate or wedge an entire worker process.  They are
+#: only ever *applied* from inside a child via ``apply_process``; the
+#: in-thread ``apply`` path skips them by construction.
+PROCESS_KINDS = frozenset({"kill9", "hang", "exit"})
+
+#: Kinds whose clause body is the bare kind name (no ``=value``).
+_BARE_KINDS = frozenset({"crash"}) | PROCESS_KINDS
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One parsed fault clause."""
 
     site: str
-    kind: str  # "crash" | "latency" | "perturb"
+    kind: str  # "crash" | "latency" | "perturb" | "kill9" | "hang" | "exit"
     probability: float = 1.0
     latency_ms: float = 0.0
     factor: float = 1.0
@@ -89,8 +104,8 @@ class FaultSpec:
             body = f"latency={self.latency_ms:g}ms"
         elif self.kind == "perturb":
             body = f"perturb={self.factor:g}x"
-        else:
-            body = "crash"
+        else:  # bare kinds: crash, kill9, hang, exit
+            body = self.kind
         return f"{self.site}:{body}@{self.probability:g}"
 
 
@@ -119,8 +134,12 @@ def _parse_clause(clause: str) -> FaultSpec:
             )
     kind, _, value = rest.strip().partition("=")
     kind = kind.strip()
-    if kind == "crash":
-        return FaultSpec(site, "crash", probability)
+    if kind in _BARE_KINDS:
+        if value.strip():
+            raise UserInputError(
+                f"fault kind {kind!r} takes no value in {clause!r}"
+            )
+        return FaultSpec(site, kind, probability)
     if kind == "latency":
         text = value.strip().lower()
         try:
@@ -152,7 +171,7 @@ def _parse_clause(clause: str) -> FaultSpec:
         return FaultSpec(site, "perturb", probability, factor=factor)
     raise UserInputError(
         f"unknown fault kind {kind!r} in {clause!r} "
-        "(expected crash, latency=<n>ms, or perturb=<f>x)"
+        "(expected crash, kill9, hang, exit, latency=<n>ms, or perturb=<f>x)"
     )
 
 
@@ -188,9 +207,20 @@ class FaultPlan:
             raise UserInputError(f"empty fault plan {text!r}")
         return FaultPlan(tuple(_parse_clause(c) for c in clauses), seed)
 
-    def stream(self, index: int) -> "FaultStream":
-        """The reproducible fault stream for query number ``index``."""
-        return FaultStream(self.specs, random.Random(self.seed * 1_000_003 + index))
+    def stream(self, index: int, attempt: int = 0) -> "FaultStream":
+        """The reproducible fault stream for query number ``index``.
+
+        ``attempt`` salts the stream for *redeliveries* (the process
+        pool retrying a query whose worker died): attempt 0 is
+        bit-identical to the historical stream, while each retry draws
+        fresh -- but still seed-deterministic -- rolls.  Without the
+        salt a probabilistic ``worker:kill9`` would re-fire on every
+        retry and no crashed query could ever succeed.
+        """
+        return FaultStream(
+            self.specs,
+            random.Random(self.seed * 1_000_003 + index + 104_729 * attempt),
+        )
 
     def __str__(self) -> str:
         return ",".join(str(s) for s in self.specs)
@@ -212,9 +242,19 @@ class FaultStream:
         self.injected: list[tuple[str, str]] = []
 
     def apply(self, site: str) -> None:
-        """Roll every matching clause at ``site``; sleep and/or raise."""
+        """Roll every matching clause at ``site``; sleep and/or raise.
+
+        Process kinds are skipped: a ``worker:kill9`` clause must never
+        fire in the thread-mode path or it would take down the caller's
+        process -- only :meth:`apply_process`, called from inside a
+        worker child, performs those rolls.
+        """
         for spec in self.specs:
-            if spec.kind == "perturb" or not spec.matches(site):
+            if (
+                spec.kind == "perturb"
+                or spec.kind in PROCESS_KINDS
+                or not spec.matches(site)
+            ):
                 continue
             if self.rng.random() >= spec.probability:
                 continue
@@ -223,6 +263,28 @@ class FaultStream:
                 time.sleep(spec.latency_ms / 1000.0)
             else:  # crash
                 raise InjectedFault(site, str(spec))
+
+    def apply_process(self, site: str) -> str | None:
+        """Roll the process-level clauses at ``site``; return the kind
+        that fired (``"kill9"``/``"hang"``/``"exit"``) or ``None``.
+
+        The *caller* performs the action -- this module stays
+        import-light and side-effect-free, and only the worker child
+        in :mod:`repro.runtime.procpool` calls this.  Rolls consume the
+        same per-query RNG as :meth:`apply`, and are always made first
+        (at task receipt), so thread-mode and process-mode streams stay
+        independently deterministic.
+        """
+        fired: str | None = None
+        for spec in self.specs:
+            if spec.kind not in PROCESS_KINDS or not spec.matches(site):
+                continue
+            if self.rng.random() >= spec.probability:
+                continue
+            self.injected.append((site, spec.kind))
+            if fired is None:
+                fired = spec.kind
+        return fired
 
     def factor(self, site: str) -> float:
         """Combined perturbation factor for ``site`` (1.0 = untouched)."""
@@ -284,6 +346,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FaultStream",
+    "PROCESS_KINDS",
     "active_stream",
     "fault_point",
     "fault_scope",

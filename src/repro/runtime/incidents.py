@@ -86,6 +86,20 @@ class IncidentLog:
         )
         return incident
 
+    def extend(self, incidents) -> int:
+        """Merge a batch of incidents (e.g. a worker child's journal
+        delta shipped over the result pipe) into this log, in order.
+
+        Returns the number of records merged.  Each record goes through
+        :meth:`record`, so the ring bound, drop accounting and logger
+        mirroring all apply.
+        """
+        merged = 0
+        for incident in incidents:
+            self.record(incident)
+            merged += 1
+        return merged
+
     @property
     def records(self) -> tuple[Incident, ...]:
         with self._lock:

@@ -453,6 +453,18 @@ def service_registry() -> MetricsRegistry:
         "repro_streaming_groupby_total",
         "Grouping operators answered by the streaming (sorted-run) path",
     )
+    reg.counter(
+        "repro_worker_restarts_total",
+        "Worker processes (re)started by the supervisor, by reason",
+    )
+    reg.counter(
+        "repro_worker_retries_total",
+        "In-flight queries retried after their worker died",
+    )
+    reg.gauge(
+        "repro_worker_heartbeat_age_seconds",
+        "Seconds since each busy worker's last heartbeat (0 when idle)",
+    )
     return reg
 
 

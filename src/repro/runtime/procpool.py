@@ -1,0 +1,1031 @@
+"""Process-level fault isolation: a supervised worker-process pool.
+
+Thread workers (:class:`repro.runtime.QueryService`'s default) contain
+*typed* failures -- engine crashes, budget overruns, wrong plans -- but
+a segfaulting native extension, a runaway C loop, or an ``os._exit``
+deep in a dependency takes the whole process down, queries, breakers
+and all.  This module moves execution into child processes so the
+blast radius of a dying worker is one query, not the service:
+
+* A :class:`WorkerSupervisor` owns N ``multiprocessing`` workers
+  (``spawn`` start method -- the parent is threaded, so ``fork`` is
+  off the table).  Each child runs full :class:`QuerySession` stacks
+  over the pickled database/catalog/statistics; the pickled init blob
+  is built once and cached, so restarts are cheap.
+* **Three-way failure detection.**  (1) the child's exit code / death
+  signal, (2) missed heartbeats -- children beat over the result pipe
+  while a query is in flight, so a wedged worker is distinguishable
+  from an idle one -- and (3) per-query deadline overrun with a grace
+  period, after which the supervisor sends SIGKILL.
+* **Restart with backoff.**  A dead worker is respawned under
+  exponential backoff plus jitter.  Restarts are counted per slot in a
+  sliding window; past the threshold the slot enters a circuit-style
+  *flapping* state and sheds its work with the typed
+  :class:`repro.errors.WorkerPoolDegraded` until a cooldown expires --
+  a crash-looping pool must answer "no" cheaply, not respawn forever.
+* **At-most-``max_retries`` redelivery.**  Queries here are read-only,
+  so a query that was in flight on a dead worker is safely retried on
+  a fresh one; past the cap it surfaces the typed
+  :class:`repro.errors.WorkerCrashed` with the death reason journaled.
+* **Poisoned-query quarantine.**  A query fingerprint that kills
+  workers ``poison_threshold`` times in a row is quarantined: further
+  occurrences fail fast instead of grinding the pool down.
+
+Routing stays in the parent: the engine fallback walk, circuit
+breakers, admission control and budget carving are exactly the
+machinery of :class:`QueryService` -- each *engine attempt* is
+dispatched to a child, typed errors come back over the pipe (encoded
+structurally; exception classes with custom constructors do not
+survive pickling), and the child's incident-journal delta is merged
+into the parent log so one ring buffer tells the whole story.
+
+Determinism: the per-query fault stream is still derived from
+``(plan seed, admission index)`` -- the process-level kinds
+(``worker:kill9``, ``worker:hang``, ``worker:exit``) are rolled first,
+at task receipt inside the child, so chaos runs reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import random
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    EngineFailure,
+    InjectedFault,
+    OptimizerInternalError,
+    PlanBudgetExceeded,
+    QueryCancelled,
+    ReproError,
+    RowBudgetExceeded,
+    UserInputError,
+    VerificationFailed,
+    WorkerCrashed,
+    WorkerPoolDegraded,
+)
+from repro.runtime.budget import Budget
+from repro.runtime.incidents import Incident, IncidentLog
+from repro.runtime.plan_cache import PlanCache, query_fingerprint
+from repro.runtime.tracing import span
+
+#: The fault site process-level clauses target (``worker:kill9`` etc.
+#: match by dot-boundary prefix, exactly like engine sites).
+WORKER_FAULT_SITE = "worker.query"
+
+#: Exit code for the injected ``worker:exit`` fault (EX_SOFTWARE).
+_EXIT_FAULT_CODE = 70
+
+
+@dataclass(frozen=True)
+class ProcPoolConfig:
+    """Tunables for the supervised process pool.
+
+    The defaults favour fast tests over production patience: a worker
+    that misses heartbeats for two seconds is presumed wedged, and a
+    slot that restarts five times inside ten seconds is flapping.
+    """
+
+    max_retries: int = 2
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 2.0
+    deadline_grace_s: float = 0.5
+    poll_interval_s: float = 0.02
+    restart_backoff_s: float = 0.05
+    restart_backoff_cap_s: float = 2.0
+    restart_jitter_s: float = 0.02
+    flap_threshold: int = 5
+    flap_window_s: float = 10.0
+    flap_cooldown_s: float = 5.0
+    poison_threshold: int = 2
+    spawn_timeout_s: float = 60.0
+    start_method: str = "spawn"
+
+
+# -- error transport ------------------------------------------------------
+#
+# ReproError subclasses carry structured fields through custom
+# constructors, and ``pickle`` rebuilds exceptions via ``cls(*args)`` --
+# which explodes for anything whose ``__init__`` signature is not
+# ``(message)``.  So errors cross the pipe as plain dicts and are
+# rebuilt from a registry on the parent side.
+
+_MESSAGE_ERRORS = {
+    cls.__name__: cls
+    for cls in (
+        UserInputError,
+        OptimizerInternalError,
+        VerificationFailed,
+        ReproError,
+    )
+}
+_BUDGET_ERRORS = {
+    cls.__name__: cls
+    for cls in (BudgetExceeded, DeadlineExceeded, PlanBudgetExceeded, RowBudgetExceeded)
+}
+
+
+def encode_error(exc: BaseException) -> dict:
+    """Structural form of ``exc`` for the result pipe."""
+    out: dict = {"kind": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, BudgetExceeded):
+        out["detail"] = {
+            "limit": exc.limit,
+            "spent": exc.spent,
+            "where": exc.where,
+        }
+    elif isinstance(exc, QueryCancelled):
+        out["detail"] = {"where": exc.where}
+    elif isinstance(exc, InjectedFault):
+        out["detail"] = {"site": exc.site, "spec": exc.spec}
+    elif isinstance(exc, EngineFailure):
+        out["detail"] = {"attempts": [list(a) for a in exc.attempts]}
+    return out
+
+
+def decode_error(payload: dict) -> BaseException:
+    """Rebuild the typed error :func:`encode_error` flattened.
+
+    Unknown kinds (a genuine engine bug of any class) come back as
+    the member of the taxonomy the thread path would produce:
+    an :class:`EngineFailure` wrapping the message.
+    """
+    kind = payload.get("kind", "")
+    message = payload.get("message", "")
+    detail = payload.get("detail", {})
+    if kind in _BUDGET_ERRORS:
+        return _BUDGET_ERRORS[kind](
+            detail.get("limit", 0.0), detail.get("spent", 0.0), detail.get("where", "")
+        )
+    if kind == "QueryCancelled":
+        return QueryCancelled(detail.get("where", ""))
+    if kind == "InjectedFault":
+        return InjectedFault(detail.get("site", ""), detail.get("spec", ""))
+    if kind == "EngineFailure":
+        return EngineFailure([tuple(a) for a in detail.get("attempts", [])])
+    if kind in _MESSAGE_ERRORS:
+        return _MESSAGE_ERRORS[kind](message)
+    return EngineFailure([("worker", f"{kind}: {message}")])
+
+
+# -- the child ------------------------------------------------------------
+
+
+def _perform_process_fault(kind: str) -> None:
+    """Carry out a rolled process-level fault.  May never return."""
+    if kind == "kill9":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "exit":
+        os._exit(_EXIT_FAULT_CODE)
+    elif kind == "hang":
+        # wedged, not dead: never beats, never answers, never exits --
+        # exactly the failure mode heartbeat detection exists for.
+        while True:
+            time.sleep(60.0)
+
+
+def _heartbeat_loop(conn, send_lock, busy, stop, interval_s: float) -> None:
+    """Beat over the result pipe while a query is in flight.
+
+    Idle workers stay silent: an unbounded heartbeat stream into a
+    pipe nobody is draining would eventually fill the OS buffer and
+    deadlock the child.  The parent only watches for beats while it is
+    awaiting a result, so busy-only beats are exactly sufficient.
+    """
+    while not stop.is_set():
+        if not busy.wait(0.1):
+            continue
+        try:
+            with send_lock:
+                conn.send(("heartbeat",))
+        except (BrokenPipeError, OSError):
+            os._exit(0)  # the parent is gone; nothing left to serve
+        if stop.wait(interval_s):
+            return
+
+
+def _worker_main(conn, init_blob: bytes) -> None:
+    """Child entry point: sessions over the unpickled snapshot.
+
+    Protocol (tuples over the duplex pipe):
+
+    parent -> child: ``("task", {...})`` | ``("shutdown",)``
+    child -> parent: ``("ready", pid)`` | ``("heartbeat",)`` |
+    ``("result", payload)`` | ``("error", payload)`` | ``("bye",)``
+
+    Every result/error payload carries the child's incident-journal
+    delta and its budget spend, so parent-side observability and
+    service budget charge-back see through the process boundary.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the parent coordinates
+    init = pickle.loads(init_blob)
+    from repro.runtime.session import QuerySession
+
+    db = init["db"]
+    stats = init["stats"]
+    feedback = None
+    if init["replan_threshold"] is not None:
+        from repro.runtime.feedback import FeedbackStore
+
+        feedback = FeedbackStore()
+        stats.feedback = feedback
+    incidents = IncidentLog(capacity=init["incident_capacity"])
+    plan_cache = PlanCache()
+    quarantined: set = set()
+    sessions: dict[str, QuerySession] = {}
+
+    def session_for(engine: str) -> QuerySession:
+        if engine not in sessions:
+            sessions[engine] = QuerySession(
+                db,
+                catalog=init["catalog"],
+                stats=stats,
+                verify=init["verify"],
+                executor=engine,
+                max_plans=init["max_plans"],
+                verify_seed=init["verify_seed"],
+                plan_cache=plan_cache,
+                incidents=incidents,
+                quarantined=quarantined,
+                feedback=feedback,
+                replan_threshold=init["replan_threshold"],
+                max_replans=init["max_replans"],
+                enum_tier=init["enum_tier"],
+            )
+        return sessions[engine]
+
+    fault_plan = init["fault_plan"]
+    send_lock = threading.Lock()
+    busy = threading.Event()
+    stop = threading.Event()
+    beater = threading.Thread(
+        target=_heartbeat_loop,
+        args=(conn, send_lock, busy, stop, init["heartbeat_interval_s"]),
+        daemon=True,
+    )
+    beater.start()
+    with send_lock:
+        conn.send(("ready", os.getpid()))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return
+            if msg[0] == "shutdown":
+                with send_lock:
+                    conn.send(("bye",))
+                return
+            _run_task(msg[1], session_for, fault_plan, incidents, conn, send_lock, busy)
+    finally:
+        stop.set()
+
+
+def _run_task(task, session_for, fault_plan, incidents, conn, send_lock, busy) -> None:
+    from repro.runtime.faults import fault_scope
+
+    stream = (
+        fault_plan.stream(task["index"], task.get("attempt", 0))
+        if fault_plan
+        else None
+    )
+    journal_mark = len(incidents)
+    budget = Budget.from_caps(task["caps"])
+    try:
+        with fault_scope(stream):
+            if stream is not None:
+                # rolled before heartbeats start: an injected hang is
+                # caught by heartbeat timeout, not the deadline.
+                fired = stream.apply_process(WORKER_FAULT_SITE)
+                if fired is not None:
+                    _perform_process_fault(fired)
+            busy.set()
+            session = session_for(task["engine"])
+            kwargs = (
+                {"required_order": task["required_order"]}
+                if task["required_order"]
+                else {}
+            )
+            result = session.run(task["query"], budget=budget, **kwargs)
+        reply = (
+            "result",
+            {
+                "session": result,
+                "incidents": incidents.records[journal_mark:],
+                "spend": {"plans": budget.plans, "rows": budget.rows},
+            },
+        )
+    except BaseException as exc:
+        reply = (
+            "error",
+            {
+                **encode_error(exc),
+                "incidents": incidents.records[journal_mark:],
+                "spend": {"plans": budget.plans, "rows": budget.rows},
+            },
+        )
+    finally:
+        busy.clear()
+    with send_lock:
+        conn.send(reply)
+
+
+# -- the parent -----------------------------------------------------------
+
+
+class _Slot:
+    """One worker position: current process, pipe, and flap history.
+
+    A slot is owned by exactly one dispatcher thread; only the
+    flap-state fields are read cross-thread (under the supervisor
+    lock) to answer the pool-degraded question.
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.restarts: deque[float] = deque()
+        self.flapping_until = 0.0
+        self.consecutive_failures = 0
+        self.next_reason = "start"  # why the next (re)spawn happens
+
+
+class WorkerSupervisor:
+    """Owns the worker processes and routes tickets onto them.
+
+    Created by :class:`QueryService` when ``isolation="process"``; its
+    dispatcher threads take over the service's admission queue, so
+    admission control, budgets, breakers, counters and the incident
+    log are all the service's own -- this class adds only the process
+    boundary and its failure handling.
+    """
+
+    def __init__(self, service, workers: int, config: ProcPoolConfig) -> None:
+        self.service = service
+        self.config = config
+        self._ctx = multiprocessing.get_context(config.start_method)
+        self._slots = [_Slot(i) for i in range(workers)]
+        self._lock = threading.Lock()
+        self._rng = random.Random()
+        self._kills: dict[str, int] = {}  # fingerprint -> consecutive worker deaths
+        self._poisoned: set[str] = set()
+        self._shutdown = False
+        self.restarts = 0
+        self.retries = 0
+        self._init_blob = self._build_init_blob()
+
+    # -- wiring -----------------------------------------------------------
+
+    def start(self) -> list[threading.Thread]:
+        """Spawn the dispatcher threads (the service joins these)."""
+        threads = [
+            threading.Thread(
+                target=self._dispatch,
+                args=(slot,),
+                name=f"repro-procpool-{slot.index}",
+                daemon=True,
+            )
+            for slot in self._slots
+        ]
+        for thread in threads:
+            thread.start()
+        return threads
+
+    def _build_init_blob(self) -> bytes:
+        svc = self.service
+        # the feedback store holds locks and cannot cross the pipe;
+        # children build their own when re-planning is armed.
+        stashed = getattr(svc.stats, "feedback", None)
+        svc.stats.feedback = None
+        try:
+            return pickle.dumps(
+                {
+                    "db": svc.db,
+                    "catalog": svc.catalog,
+                    "stats": svc.stats,
+                    "verify": svc.verify,
+                    "verify_seed": svc.verify_seed,
+                    "max_plans": svc.max_plans,
+                    "replan_threshold": svc.replan_threshold,
+                    "max_replans": svc.max_replans,
+                    "enum_tier": svc.enum_tier,
+                    "fault_plan": svc.fault_plan,
+                    "incident_capacity": svc.incidents.capacity,
+                    "heartbeat_interval_s": self.config.heartbeat_interval_s,
+                }
+            )
+        finally:
+            svc.stats.feedback = stashed
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when *every* slot is flapping: shed at admission."""
+        now = time.monotonic()
+        with self._lock:
+            return all(slot.flapping_until > now for slot in self._slots)
+
+    def snapshot(self) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            flapping = sum(1 for s in self._slots if s.flapping_until > now)
+            return {
+                "workers": len(self._slots),
+                "alive": sum(
+                    1
+                    for s in self._slots
+                    if s.process is not None and s.process.is_alive()
+                ),
+                "restarts": self.restarts,
+                "retries": self.retries,
+                "flapping": flapping,
+                "degraded": flapping == len(self._slots),
+                "poisoned": len(self._poisoned),
+            }
+
+    # -- dispatcher loop ---------------------------------------------------
+
+    def _dispatch(self, slot: _Slot) -> None:
+        from repro.runtime.service import _STOP
+
+        queue = self.service._queue
+        while True:
+            item = queue.get()
+            try:
+                if item is _STOP:
+                    self._shutdown_slot(slot)
+                    return
+                self._process_ticket(slot, item)
+            except BaseException as exc:  # the pool must never lose a dispatcher
+                if not item.done():  # pragma: no cover - defensive
+                    item._reject(
+                        exc
+                        if isinstance(exc, ReproError)
+                        else EngineFailure(
+                            [("supervisor", f"{type(exc).__name__}: {exc}")]
+                        )
+                    )
+            finally:
+                queue.task_done()
+
+    def _process_ticket(self, slot: _Slot, ticket) -> None:
+        svc = self.service
+        t0 = time.monotonic()
+        queue_ms = (t0 - ticket.submitted_at) * 1000.0
+        if ticket.cancel_token.cancelled:
+            with svc._lock:
+                svc.cancelled += 1
+            svc.incidents.record(
+                Incident(
+                    kind="query-cancelled",
+                    query=str(ticket.query),
+                    detail={"index": ticket.index, "queue_ms": round(queue_ms, 3)},
+                    action="dropped-before-start",
+                )
+            )
+            ticket._reject(QueryCancelled("before start"))
+            return
+        fingerprint = query_fingerprint(ticket.query)
+        if fingerprint in self._poisoned:
+            svc.incidents.record(
+                Incident(
+                    kind="poisoned-query-rejected",
+                    query=str(ticket.query),
+                    detail={"index": ticket.index, "fingerprint": fingerprint},
+                    action="failed-fast",
+                )
+            )
+            svc._settle_failure(
+                ticket,
+                WorkerCrashed("poisoned", poisoned=True, fingerprint=fingerprint),
+            )
+            return
+        qbudget = None
+        try:
+            qbudget = svc._carve_budget(ticket)
+            self._route(slot, ticket, qbudget, fingerprint, t0, queue_ms)
+        except BaseException as exc:
+            svc._settle_failure(ticket, exc)
+        finally:
+            if qbudget is not None:
+                svc._charge_service(qbudget)
+
+    # -- routing (mirrors QueryService._route across the pipe) ------------
+
+    def _route(
+        self, slot: _Slot, ticket, qbudget: Budget, fingerprint: str, t0, queue_ms
+    ) -> None:
+        svc = self.service
+        attempts: list[tuple[str, str]] = []
+        last_error: BaseException | None = None
+        retries = 0
+        dispatches = 0  # salts the fault stream per delivery
+        for engine in svc._engine_order():
+            breaker = svc.breakers[engine]
+            if engine == "reference":
+                allowed, transition = True, None  # the floor is never gated
+            else:
+                allowed, transition = breaker.allow()
+            svc._note_transition(engine, transition, ticket.query)
+            if not allowed:
+                attempts.append((engine, "breaker-open"))
+                continue
+            while True:  # redelivery loop for worker deaths
+                self._ensure_worker(slot, ticket.query)
+                status, payload = self._exchange(
+                    slot, ticket, qbudget, engine, dispatches
+                )
+                dispatches += 1
+                if status != "died":
+                    break
+                reason = payload
+                slot.consecutive_failures += 1
+                self._kills[fingerprint] = self._kills.get(fingerprint, 0) + 1
+                svc.incidents.record(
+                    Incident(
+                        kind="worker-crashed",
+                        query=str(ticket.query),
+                        detail={
+                            "index": ticket.index,
+                            "worker": slot.index,
+                            "engine": engine,
+                            "reason": reason,
+                            "retries": retries,
+                        },
+                        action="worker-restarting",
+                    )
+                )
+                if self._kills[fingerprint] >= self.config.poison_threshold:
+                    self._poisoned.add(fingerprint)
+                    svc.incidents.record(
+                        Incident(
+                            kind="poisoned-query-quarantined",
+                            query=str(ticket.query),
+                            detail={
+                                "fingerprint": fingerprint,
+                                "worker_deaths": self._kills[fingerprint],
+                            },
+                            action="quarantined",
+                        )
+                    )
+                    svc._settle_failure(
+                        ticket,
+                        WorkerCrashed(
+                            reason,
+                            retries=retries,
+                            poisoned=True,
+                            fingerprint=fingerprint,
+                        ),
+                    )
+                    return
+                if retries >= self.config.max_retries:
+                    svc._settle_failure(
+                        ticket,
+                        WorkerCrashed(reason, retries=retries, fingerprint=fingerprint),
+                    )
+                    return
+                retries += 1
+                with self._lock:
+                    self.retries += 1
+                svc.metrics.counter("repro_worker_retries_total").inc()
+                with span(
+                    "worker.retry", worker=str(slot.index), reason=reason
+                ):
+                    pass
+            if status == "deadline":
+                # the worker blew through deadline + grace and was
+                # killed; surface the budget truth, not a crash.
+                limit = qbudget.deadline_ms or 0.0
+                exc = DeadlineExceeded(limit, qbudget.elapsed_ms, "worker-deadline")
+                svc.incidents.record(
+                    Incident(
+                        kind="budget-exhausted",
+                        query=str(ticket.query),
+                        detail={"engine": engine, **exc.to_dict()},
+                        action="worker-killed",
+                    )
+                )
+                svc._settle_failure(ticket, exc)
+                return
+            if status == "cancelled":
+                with svc._lock:
+                    svc.cancelled += 1
+                svc.incidents.record(
+                    Incident(
+                        kind="query-cancelled",
+                        query=str(ticket.query),
+                        detail={"index": ticket.index, "engine": engine},
+                        action="worker-killed",
+                    )
+                )
+                ticket._reject(QueryCancelled("worker-killed"))
+                return
+            # a completed exchange (ok or typed error): the query no
+            # longer kills workers, so its death streak resets
+            self._kills.pop(fingerprint, None)
+            slot.consecutive_failures = 0
+            spend = payload.get("spend", {})
+            try:
+                qbudget.tick(
+                    rows=spend.get("rows", 0),
+                    plans=spend.get("plans", 0),
+                    where="worker-spend",
+                )
+            except BudgetExceeded as exc:
+                svc.incidents.record(
+                    Incident(
+                        kind="budget-exhausted",
+                        query=str(ticket.query),
+                        detail={"engine": engine, **exc.to_dict()},
+                        action="typed-error",
+                    )
+                )
+                svc._settle_failure(ticket, exc)
+                return
+            if status == "error":
+                exc = decode_error(payload)
+                if isinstance(exc, QueryCancelled):
+                    with svc._lock:
+                        svc.cancelled += 1
+                    svc.incidents.record(
+                        Incident(
+                            kind="query-cancelled",
+                            query=str(ticket.query),
+                            detail={"index": ticket.index, "engine": engine},
+                            action="unwound-at-checkpoint",
+                        )
+                    )
+                    ticket._reject(exc)
+                    return
+                if isinstance(exc, BudgetExceeded):
+                    svc.incidents.record(
+                        Incident(
+                            kind="budget-exhausted",
+                            query=str(ticket.query),
+                            detail={"engine": engine, **exc.to_dict()},
+                            action="typed-error",
+                        )
+                    )
+                    svc._settle_failure(ticket, exc)
+                    return
+                if isinstance(exc, UserInputError):
+                    svc._settle_failure(ticket, exc)
+                    return
+                # engine crash (injected or genuine): try the next engine
+                message = f"{type(exc).__name__}: {exc}"
+                attempts.append((engine, message))
+                last_error = exc
+                svc.metrics.counter("repro_engine_failures_total").labels(
+                    engine=engine
+                ).inc()
+                svc.incidents.record(
+                    Incident(
+                        kind="engine-failure",
+                        query=str(ticket.query),
+                        detail={
+                            "engine": engine,
+                            "error": type(exc).__name__,
+                            "message": str(exc),
+                            "index": ticket.index,
+                        },
+                        action="rerouted",
+                    )
+                )
+                if engine != "reference":
+                    svc._trip(engine, ticket.query)
+                continue
+            # status == "ok"
+            result = payload["session"]
+            if result.verified is False:
+                if engine != "reference":
+                    svc._trip(engine, ticket.query)
+            elif engine != "reference":
+                svc._note_transition(
+                    engine, breaker.record_success(), ticket.query
+                )
+            with svc._lock:
+                svc.completed += 1
+            service_ms = (time.monotonic() - t0) * 1000.0
+            svc.metrics.counter("repro_queries_total").labels(outcome="ok").inc()
+            svc.metrics.histogram("repro_query_latency_ms").observe(service_ms)
+            from repro.runtime.service import ServiceResult
+
+            ticket._resolve(
+                ServiceResult(
+                    session=result,
+                    engine=engine,
+                    attempts=tuple(attempts),
+                    index=ticket.index,
+                    service_ms=service_ms,
+                    queue_ms=queue_ms,
+                )
+            )
+            return
+        error: BaseException
+        if isinstance(last_error, ReproError):
+            error = last_error
+        else:
+            error = EngineFailure(attempts)
+        svc.incidents.record(
+            Incident(
+                kind="query-failed",
+                query=str(ticket.query),
+                detail={"attempts": [list(a) for a in attempts]},
+                action="typed-error",
+            )
+        )
+        svc._settle_failure(ticket, error)
+
+    # -- one engine attempt over the pipe ----------------------------------
+
+    def _exchange(
+        self, slot: _Slot, ticket, qbudget: Budget, engine: str, attempt: int
+    ):
+        """Send one engine attempt to the slot's worker, watch it run.
+
+        Returns ``(status, payload)``:
+
+        * ``("ok", result_payload)`` / ``("error", error_payload)`` --
+          the child answered; incidents are already merged.
+        * ``("died", reason)`` -- the worker is gone (killed, crashed
+          or wedged); the slot has been reaped and ``slot.next_reason``
+          records why for the restart metric.
+        * ``("deadline", None)`` / ``("cancelled", None)`` -- the
+          supervisor killed the worker on purpose.
+        """
+        cfg = self.config
+        svc = self.service
+        conn = slot.conn
+        caps = qbudget.caps()
+        gauge = svc.metrics.gauge("repro_worker_heartbeat_age_seconds").labels(
+            worker=str(slot.index)
+        )
+        try:
+            while conn.poll(0):  # drop stale heartbeats from a prior task
+                conn.recv()
+            conn.send(
+                (
+                    "task",
+                    {
+                        "index": ticket.index,
+                        "query": ticket.query,
+                        "required_order": ticket.required_order,
+                        "caps": caps,
+                        "engine": engine,
+                        "attempt": attempt,
+                    },
+                )
+            )
+        except (BrokenPipeError, EOFError, OSError):
+            return ("died", self._reap(slot, expected_reason="pipe-closed"))
+        sent_at = time.monotonic()
+        deadline_at = (
+            None
+            if caps["deadline_ms"] is None
+            else sent_at + caps["deadline_ms"] / 1000.0 + cfg.deadline_grace_s
+        )
+        last_beat = sent_at
+        while True:
+            try:
+                ready = conn.poll(cfg.poll_interval_s)
+            except (BrokenPipeError, OSError):
+                return ("died", self._reap(slot, expected_reason="pipe-closed"))
+            if ready:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    return ("died", self._reap(slot, expected_reason="pipe-closed"))
+                tag = msg[0]
+                if tag == "heartbeat":
+                    last_beat = time.monotonic()
+                    gauge.set(0.0)
+                    continue
+                if tag in ("result", "error"):
+                    gauge.set(0.0)
+                    payload = msg[1]
+                    svc.incidents.extend(payload.get("incidents", ()))
+                    return ("ok" if tag == "result" else "error", payload)
+                continue  # unknown tag: ignore
+            now = time.monotonic()
+            if ticket.cancel_token.cancelled:
+                self._kill(slot, "cancel")
+                return ("cancelled", None)
+            age = now - last_beat
+            gauge.set(age)
+            if slot.process is not None and not slot.process.is_alive():
+                if conn.poll(0):
+                    continue  # drain the final buffered message first
+                return ("died", self._reap(slot))
+            if age > cfg.heartbeat_timeout_s:
+                self._kill(slot, "hang")
+                return ("died", "hang")
+            if deadline_at is not None and now > deadline_at:
+                self._kill(slot, "deadline")
+                return ("deadline", None)
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _ensure_worker(self, slot: _Slot, query) -> None:
+        """Make the slot's worker live, respawning under backoff.
+
+        Raises :class:`WorkerPoolDegraded` while the slot is flapping:
+        its dispatcher sheds work instead of feeding a crash loop.
+        """
+        if slot.process is not None and not slot.process.is_alive():
+            self._reap(slot)  # died idle between queries
+        if (
+            slot.process is not None
+            and slot.process.is_alive()
+            and slot.conn is not None
+        ):
+            return
+        cfg = self.config
+        now = time.monotonic()
+        with self._lock:
+            flapping = slot.flapping_until > now
+        if flapping:
+            raise WorkerPoolDegraded(
+                f"worker {slot.index} flapping "
+                f"({cfg.flap_threshold} restarts in {cfg.flap_window_s:g}s)"
+            )
+        reason = slot.next_reason
+        if reason != "start" and slot.consecutive_failures:
+            backoff = min(
+                cfg.restart_backoff_cap_s,
+                cfg.restart_backoff_s * (2 ** (slot.consecutive_failures - 1)),
+            ) + self._rng.random() * cfg.restart_jitter_s
+            time.sleep(backoff)
+        name = "worker.spawn" if reason == "start" else "worker.restart"
+        with span(name, worker=str(slot.index), reason=reason):
+            self._spawn(slot, reason, query)
+
+    def _spawn(self, slot: _Slot, reason: str, query) -> None:
+        cfg = self.config
+        svc = self.service
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._init_blob),
+            name=f"repro-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent's copy; the child keeps its own
+        svc.metrics.counter("repro_worker_restarts_total").labels(
+            reason=reason
+        ).inc()
+        with self._lock:
+            self.restarts += 1
+        if reason != "start":
+            self._note_flap(slot, query)
+        deadline = time.monotonic() + cfg.spawn_timeout_s
+
+        def _spawn_failed(why: str) -> WorkerPoolDegraded:
+            process.kill()
+            process.join(1.0)
+            try:
+                parent_conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            slot.process = None
+            slot.conn = None
+            slot.consecutive_failures += 1
+            slot.next_reason = "spawn-failed"
+            return WorkerPoolDegraded(f"worker {slot.index} failed to start: {why}")
+
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _spawn_failed(f"no ready within {cfg.spawn_timeout_s:g}s")
+            try:
+                ready = parent_conn.poll(min(0.05, max(remaining, 0.001)))
+            except (BrokenPipeError, OSError):
+                raise _spawn_failed("pipe closed during startup") from None
+            if ready:
+                try:
+                    msg = parent_conn.recv()
+                except (EOFError, OSError):
+                    raise _spawn_failed(
+                        f"died during startup (exit {process.exitcode})"
+                    ) from None
+                if msg[0] == "ready":
+                    break
+            elif not process.is_alive():
+                raise _spawn_failed(f"exited during startup ({process.exitcode})")
+        slot.process = process
+        slot.conn = parent_conn
+        slot.next_reason = "start"
+
+    def _note_flap(self, slot: _Slot, query) -> None:
+        cfg = self.config
+        now = time.monotonic()
+        with self._lock:
+            slot.restarts.append(now)
+            horizon = now - cfg.flap_window_s
+            while slot.restarts and slot.restarts[0] < horizon:
+                slot.restarts.popleft()
+            tripped = (
+                len(slot.restarts) >= cfg.flap_threshold
+                and slot.flapping_until <= now
+            )
+            if tripped:
+                slot.flapping_until = now + cfg.flap_cooldown_s
+                slot.restarts.clear()
+        if tripped:
+            self.service.incidents.record(
+                Incident(
+                    kind="worker-flapping",
+                    query=str(query),
+                    detail={
+                        "worker": slot.index,
+                        "threshold": cfg.flap_threshold,
+                        "window_s": cfg.flap_window_s,
+                        "cooldown_s": cfg.flap_cooldown_s,
+                    },
+                    action="slot-shedding",
+                )
+            )
+
+    def _kill(self, slot: _Slot, reason: str) -> None:
+        """SIGKILL the slot's worker and reap it (reason journaled)."""
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.kill()
+        self._reap(slot, expected_reason=reason)
+
+    def _reap(self, slot: _Slot, expected_reason: str | None = None) -> str:
+        """Collect a dead worker; returns the death reason string.
+
+        The exit code wins over a generic ``pipe-closed``: a SIGKILLed
+        child often surfaces first as an EOF on the pipe, but
+        ``exit:-9`` is the truth an incident reader wants.
+        """
+        process = slot.process
+        reason = expected_reason or "unknown"
+        if process is not None:
+            process.join(2.0)
+            if expected_reason in (None, "pipe-closed"):
+                code = process.exitcode
+                if code is not None:
+                    reason = f"exit:{code}"
+                elif expected_reason is None:
+                    reason = "exit:?"
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        slot.process = None
+        slot.conn = None
+        slot.next_reason = reason
+        return reason
+
+    def _shutdown_slot(self, slot: _Slot) -> None:
+        """Graceful drain for one worker: ask, wait briefly, then kill."""
+        process, conn = slot.process, slot.conn
+        if process is None:
+            return
+        try:
+            if conn is not None:
+                conn.send(("shutdown",))
+        except (BrokenPipeError, OSError):
+            pass
+        process.join(2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(1.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        slot.process = None
+        slot.conn = None
+
+    def shutdown(self) -> None:
+        """Reap every worker (idempotent; called after dispatchers join)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for slot in self._slots:
+            self._shutdown_slot(slot)
+
+
+__all__ = [
+    "ProcPoolConfig",
+    "WORKER_FAULT_SITE",
+    "WorkerSupervisor",
+    "decode_error",
+    "encode_error",
+]

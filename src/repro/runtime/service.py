@@ -361,6 +361,22 @@ class QueryService:
         Join-enumeration tier policy forwarded to worker sessions
         (``auto`` | ``dp`` | ``partitioned`` | ``goo``; see
         :class:`QuerySession`).
+    isolation:
+        ``"thread"`` (default) runs worker sessions on threads in this
+        process; ``"process"`` runs them in supervised child processes
+        (see :mod:`repro.runtime.procpool`), so a segfaulting or
+        wedged worker costs one query, not the service.  The API is
+        identical either way; ``session_factory`` is thread-only (an
+        arbitrary factory cannot cross a process boundary).
+    max_retries:
+        Process isolation only: how many times a query whose worker
+        died is redelivered to a fresh worker before it surfaces the
+        typed :class:`repro.errors.WorkerCrashed`.  ``None`` defers to
+        the :class:`repro.runtime.procpool.ProcPoolConfig` default.
+    procpool:
+        Optional :class:`repro.runtime.procpool.ProcPoolConfig` with
+        the supervisor's tunables (heartbeat cadence, restart backoff,
+        flap thresholds, poison threshold).
     """
 
     def __init__(
@@ -388,6 +404,9 @@ class QueryService:
         replan_threshold: float | None = None,
         max_replans: int = 2,
         enum_tier: str = "auto",
+        isolation: str = "thread",
+        max_retries: int | None = None,
+        procpool=None,
     ) -> None:
         if engine not in FALLBACK_CHAIN:
             raise ValueError(
@@ -397,6 +416,15 @@ class QueryService:
             raise ValueError("workers must be >= 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"unknown isolation {isolation!r}; pick 'thread' or 'process'"
+            )
+        if isolation == "process" and session_factory is not None:
+            raise ValueError(
+                "session_factory is thread-only: an arbitrary factory "
+                "cannot cross the process boundary"
+            )
         self.db = db
         self.catalog = catalog
         self.stats = stats if stats is not None else Statistics.from_database(db)
@@ -428,6 +456,7 @@ class QueryService:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._closed = False
+        self._close_done = threading.Event()
         self._budget_exhausted = False
         self._next_index = 0
         self.submitted = 0
@@ -435,14 +464,29 @@ class QueryService:
         self.failed = 0
         self.rejected = 0
         self.cancelled = 0
-        self._threads = [
-            threading.Thread(
-                target=self._worker, name=f"repro-service-{i}", daemon=True
-            )
-            for i in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self.isolation = isolation
+        self._supervisor = None
+        if isolation == "process":
+            # imported lazily: thread-mode services never pay for the
+            # multiprocessing machinery
+            from repro.runtime.procpool import ProcPoolConfig, WorkerSupervisor
+
+            config = procpool if procpool is not None else ProcPoolConfig()
+            if max_retries is not None:
+                from dataclasses import replace
+
+                config = replace(config, max_retries=max_retries)
+            self._supervisor = WorkerSupervisor(self, workers, config)
+            self._threads = self._supervisor.start()
+        else:
+            self._threads = [
+                threading.Thread(
+                    target=self._worker, name=f"repro-service-{i}", daemon=True
+                )
+                for i in range(workers)
+            ]
+            for thread in self._threads:
+                thread.start()
 
     # -- admission -------------------------------------------------------
 
@@ -462,7 +506,25 @@ class QueryService:
         Raises:
             repro.errors.AdmissionRejected: The service is closed, its
                 budget is exhausted, or the admission queue is full.
+            repro.errors.WorkerPoolDegraded: Process isolation only --
+                every worker slot is flapping, so load is shed instead
+                of queued (an ``AdmissionRejected`` subclass).
         """
+        if self._supervisor is not None and self._supervisor.degraded:
+            from repro.errors import WorkerPoolDegraded
+
+            with self._lock:
+                self.rejected += 1
+            self.metrics.counter("repro_sheds_total").inc()
+            self.incidents.record(
+                Incident(
+                    kind="admission-rejected",
+                    query=str(query),
+                    detail=self._supervisor.snapshot(),
+                    action="shed-load-pool-degraded",
+                )
+            )
+            raise WorkerPoolDegraded("worker pool degraded: every slot flapping")
         with self._lock:
             if self._closed:
                 raise AdmissionRejected("service is closed")
@@ -515,11 +577,24 @@ class QueryService:
         ``drain=True`` (default) lets queued queries finish;
         ``drain=False`` rejects them with
         :class:`repro.errors.QueryCancelled`.
+
+        Idempotent *and* re-entrant: exactly one caller performs the
+        shutdown; every other concurrent or later ``close()`` blocks
+        until that shutdown has fully completed, so no caller can
+        observe a half-torn-down service.
         """
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
+        if not first:
+            self._close_done.wait()
+            return
+        try:
+            self._close(drain)
+        finally:
+            self._close_done.set()
+
+    def _close(self, drain: bool) -> None:
         if not drain:
             while True:
                 try:
@@ -543,6 +618,8 @@ class QueryService:
             self._queue.put(_STOP)
         for thread in self._threads:
             thread.join()
+        if self._supervisor is not None:
+            self._supervisor.shutdown()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -566,6 +643,10 @@ class QueryService:
             **counters,
             "engine": self.engine,
             "workers": len(self._threads),
+            "isolation": self.isolation,
+            "procpool": (
+                self._supervisor.snapshot() if self._supervisor is not None else None
+            ),
             "queue_depth": self.queue_depth,
             "breakers": {
                 name: breaker.snapshot() for name, breaker in self.breakers.items()

@@ -3,6 +3,7 @@
 import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import InjectedFault, UserInputError
 from repro.expr import Database, evaluate
@@ -10,6 +11,7 @@ from repro.expr.nodes import BaseRel
 from repro.optimizer import Statistics
 from repro.relalg import Relation
 from repro.runtime.faults import (
+    PROCESS_KINDS,
     FaultPlan,
     FaultSpec,
     fault_point,
@@ -69,6 +71,60 @@ class TestParsing:
         with pytest.raises(UserInputError):
             FaultPlan.parse(bad)
 
+    @pytest.mark.parametrize("kind", sorted(PROCESS_KINDS))
+    def test_process_kinds_parse_bare(self, kind):
+        spec = FaultPlan.parse(f"worker:{kind}@0.25").specs[0]
+        assert (spec.site, spec.kind, spec.probability) == ("worker", kind, 0.25)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "worker:kill9=5",  # bare kinds take no value ...
+            "worker:hang=1s",
+            "worker:exit=0",
+            "a:crash=now",
+            "worker:exit@1.5",  # ... and obey the probability range
+            "worker:kill9@-0.1",
+            "worker:sigsegv",  # unknown kinds name the clause
+        ],
+    )
+    def test_malformed_clauses_quote_the_clause(self, bad):
+        with pytest.raises(UserInputError) as info:
+            FaultPlan.parse(bad)
+        assert repr(bad) in str(info.value) or bad in str(info.value)
+
+    @given(
+        st.lists(
+            st.builds(
+                lambda site, kind, prob, ms, factor: (
+                    FaultSpec(site, "latency", prob, latency_ms=ms)
+                    if kind == "latency"
+                    else FaultSpec(site, "perturb", prob, factor=factor)
+                    if kind == "perturb"
+                    else FaultSpec(site, kind, prob)
+                ),
+                st.sampled_from(
+                    ["vector", "vector.join", "hash.scan", "worker", "stats.t"]
+                ),
+                st.sampled_from(
+                    ["crash", "latency", "perturb", "kill9", "hang", "exit"]
+                ),
+                st.floats(0.0, 1.0, allow_nan=False).map(lambda p: round(p, 4)),
+                st.floats(0.0, 5000.0, allow_nan=False).map(lambda v: round(v, 2)),
+                st.floats(0.001, 100.0, allow_nan=False).map(lambda v: round(v, 3)),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_round_trip(self, specs, seed):
+        # str() and parse() are inverses for every representable plan:
+        # what a snapshot or incident records is re-runnable verbatim
+        plan = FaultPlan(tuple(specs), seed)
+        assert FaultPlan.parse(str(plan), seed=seed) == plan
+
     def test_prefix_matching_stops_at_dot_boundary(self):
         spec = FaultSpec("vector", "crash")
         assert spec.matches("vector.join")
@@ -111,6 +167,33 @@ class TestScoping:
 
         assert fires(0) == fires(0)  # same index -> same stream
         assert fires(0) != fires(1)  # different index -> independent
+
+    def test_apply_never_fires_process_kinds(self):
+        # a worker:kill9 clause in the thread path must be inert, or a
+        # process-chaos plan could take down the parent itself
+        plan = FaultPlan.parse("worker:kill9@1,worker:hang@1,worker:exit@1")
+        stream = plan.stream(0)
+        stream.apply("worker.query")  # must return, not kill/hang/raise
+        assert stream.injected == []
+
+    def test_apply_process_rolls_only_process_kinds(self):
+        plan = FaultPlan.parse("worker:crash@1,worker:kill9@1")
+        stream = plan.stream(0)
+        assert stream.apply_process("worker.query") == "kill9"
+        assert stream.injected == [("worker.query", "kill9")]
+
+    def test_attempt_salt_changes_redelivery_rolls(self):
+        # retries after a worker death draw fresh rolls; attempt 0 is
+        # bit-identical to the historical unsalted stream
+        plan = FaultPlan.parse("worker:kill9@0.5", seed=9)
+
+        def rolls(attempt: int, n: int = 16) -> list[str | None]:
+            stream = plan.stream(0, attempt)
+            return [stream.apply_process("worker.query") for _ in range(n)]
+
+        assert rolls(0) == rolls(0)
+        assert plan.stream(0).rng.random() == plan.stream(0, 0).rng.random()
+        assert rolls(0) != rolls(1)
 
     def test_latency_sleeps(self):
         plan = FaultPlan.parse("slow:latency=30ms@1")

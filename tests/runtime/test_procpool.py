@@ -1,0 +1,437 @@
+"""Process pool: error transport, supervision, retries, quarantine.
+
+Everything that can be proven without forking is (error codecs, config,
+budget caps); the rest drives a real ``isolation="process"`` service
+with tiny databases and aggressive timeouts so each test spawns at most
+a handful of interpreters.
+"""
+
+import dataclasses
+import threading
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    DeadlineExceeded,
+    EngineFailure,
+    InjectedFault,
+    PlanBudgetExceeded,
+    QueryCancelled,
+    RowBudgetExceeded,
+    UserInputError,
+    WorkerCrashed,
+    WorkerPoolDegraded,
+)
+from repro.expr import Database, evaluate
+from repro.expr.nodes import BaseRel, Join, JoinKind
+from repro.expr.predicates import eq
+from repro.relalg import Relation
+from repro.runtime.budget import Budget
+from repro.runtime.faults import FaultPlan
+from repro.runtime.procpool import (
+    ProcPoolConfig,
+    decode_error,
+    encode_error,
+)
+from repro.runtime.service import QueryService
+
+#: impatient supervision for tests: a wedged worker is declared dead in
+#: well under a second and restarts carry no sleep worth mentioning
+FAST = ProcPoolConfig(
+    heartbeat_timeout_s=0.8,
+    deadline_grace_s=0.2,
+    restart_backoff_s=0.01,
+    restart_backoff_cap_s=0.05,
+    restart_jitter_s=0.0,
+)
+
+
+def small_db() -> Database:
+    db = Database()
+    db.add(
+        "r",
+        Relation.base("r", ["r_a", "r_b"], [(1, 10), (2, 20), (3, 30)]),
+    )
+    db.add("s", Relation.base("s", ["s_a"], [(1,), (2,), (4,)]))
+    return db
+
+
+def join_query() -> Join:
+    return Join(
+        JoinKind.INNER,
+        BaseRel("r", ("r_a", "r_b")),
+        BaseRel("s", ("s_a",)),
+        eq("r_a", "s_a"),
+    )
+
+
+class TestErrorTransport:
+    """Typed errors must survive the pipe structurally intact."""
+
+    @pytest.mark.parametrize(
+        "cls", [DeadlineExceeded, PlanBudgetExceeded, RowBudgetExceeded]
+    )
+    def test_budget_family_round_trips(self, cls):
+        original = cls(100.0, 250.0, "enumerate")
+        rebuilt = decode_error(encode_error(original))
+        assert type(rebuilt) is cls
+        assert (rebuilt.limit, rebuilt.spent, rebuilt.where) == (
+            100.0,
+            250.0,
+            "enumerate",
+        )
+
+    def test_cancelled_round_trips(self):
+        rebuilt = decode_error(encode_error(QueryCancelled("mid-join")))
+        assert type(rebuilt) is QueryCancelled
+        assert rebuilt.where == "mid-join"
+
+    def test_injected_fault_round_trips(self):
+        original = InjectedFault("vector.join", "vector.join:crash@1")
+        rebuilt = decode_error(encode_error(original))
+        assert type(rebuilt) is InjectedFault
+        assert (rebuilt.site, rebuilt.spec) == (original.site, original.spec)
+
+    def test_engine_failure_round_trips(self):
+        original = EngineFailure([("vector", "boom"), ("hash", "breaker-open")])
+        rebuilt = decode_error(encode_error(original))
+        assert type(rebuilt) is EngineFailure
+        assert rebuilt.attempts == original.attempts
+
+    def test_user_input_error_round_trips(self):
+        rebuilt = decode_error(encode_error(UserInputError("bad query")))
+        assert type(rebuilt) is UserInputError
+        assert "bad query" in str(rebuilt)
+
+    def test_unknown_kind_becomes_engine_failure(self):
+        # a genuine bug of any class degrades to the taxonomy member
+        # the thread path would produce, never a bare unpickling error
+        rebuilt = decode_error(encode_error(ValueError("surprise")))
+        assert type(rebuilt) is EngineFailure
+        assert list(rebuilt.attempts) == [("worker", "ValueError: surprise")]
+
+
+class TestBudgetCaps:
+    def test_caps_round_trip(self):
+        budget = Budget(max_plans=10, max_rows=100)
+        caps = budget.caps()
+        rebuilt = Budget.from_caps(caps)
+        assert caps["deadline_ms"] is None
+        assert rebuilt.max_plans == 10
+        assert rebuilt.max_rows == 100
+
+    def test_caps_ship_the_remaining_deadline(self):
+        # queue wait must count against the query, so the child gets
+        # what is left, not the original grant
+        budget = Budget(deadline_ms=10_000.0)
+        caps = budget.caps()
+        assert caps["deadline_ms"] is not None
+        assert 0.0 < caps["deadline_ms"] <= 10_000.0
+
+
+class TestConfig:
+    def test_defaults_are_sane(self):
+        cfg = ProcPoolConfig()
+        assert cfg.max_retries >= 1
+        assert cfg.poison_threshold >= 2
+        assert cfg.heartbeat_timeout_s > cfg.heartbeat_interval_s
+        assert cfg.start_method == "spawn"
+
+    def test_config_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ProcPoolConfig().max_retries = 9
+
+    def test_session_factory_is_thread_only(self):
+        with pytest.raises(ValueError, match="session_factory"):
+            QueryService(
+                small_db(), isolation="process", session_factory=lambda e: None
+            )
+
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(ValueError, match="isolation"):
+            QueryService(small_db(), isolation="sandbox")
+
+
+class TestProcessIsolation:
+    def test_clean_run_matches_truth(self):
+        db = small_db()
+        query = join_query()
+        expected = evaluate(query, db)
+        service = QueryService(
+            db, workers=2, isolation="process", verify=True, procpool=FAST
+        )
+        try:
+            tickets = [service.submit(query) for _ in range(4)]
+            for ticket in tickets:
+                result = ticket.result(timeout=60)
+                assert result.relation.same_content(expected)
+                assert result.verified is not False
+            snap = service.snapshot()
+            assert snap["isolation"] == "process"
+            assert snap["procpool"]["workers"] == 2
+            assert snap["procpool"]["alive"] == 2
+            assert snap["completed"] == 4
+        finally:
+            service.close()
+        assert all(not t.is_alive() for t in service._threads)
+
+    def test_retry_salvages_a_crashed_query(self):
+        # seed 2 chosen so worker:kill9@0.5 fires on delivery 0 of
+        # query 0 but not on the retry: the crash is transparent
+        db = small_db()
+        query = join_query()
+        expected = evaluate(query, db)
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            fault_plan=FaultPlan.parse("worker:kill9@0.5", seed=2),
+            procpool=FAST,
+        )
+        try:
+            result = service.run(query, timeout=60)
+            assert result.relation.same_content(expected)
+            assert service._supervisor.retries == 1
+            assert service.incidents.count("worker-crashed") == 1
+            crash = next(
+                i for i in service.incidents if i.kind == "worker-crashed"
+            )
+            assert crash.detail["reason"] == "exit:-9"
+            assert (
+                service.metrics.counter("repro_worker_retries_total").value_for()
+                == 1.0
+            )
+            assert (
+                service.metrics.counter(
+                    "repro_worker_restarts_total"
+                ).value_for(reason="exit:-9")
+                == 1.0
+            )
+        finally:
+            service.close()
+
+    def test_kill_loop_poisons_the_fingerprint(self):
+        db = small_db()
+        query = join_query()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            fault_plan=FaultPlan.parse("worker:kill9@1"),
+            procpool=FAST,
+        )
+        try:
+            with pytest.raises(WorkerCrashed) as info:
+                service.run(query, timeout=60)
+            assert info.value.poisoned
+            assert info.value.reason == "exit:-9"
+            assert service.incidents.count("poisoned-query-quarantined") == 1
+            assert service.snapshot()["procpool"]["poisoned"] == 1
+
+            # the second occurrence fails fast: no fresh worker deaths
+            deaths = service.incidents.count("worker-crashed")
+            with pytest.raises(WorkerCrashed) as info:
+                service.run(query, timeout=60)
+            assert info.value.poisoned
+            assert service.incidents.count("worker-crashed") == deaths
+            assert service.incidents.count("poisoned-query-rejected") == 1
+        finally:
+            service.close()
+
+    def test_max_retries_cap_surfaces_typed(self):
+        db = small_db()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            max_retries=1,
+            fault_plan=FaultPlan.parse("worker:exit@1"),
+            procpool=dataclasses.replace(FAST, poison_threshold=99),
+        )
+        try:
+            with pytest.raises(WorkerCrashed) as info:
+                service.run(join_query(), timeout=60)
+            assert not info.value.poisoned
+            assert info.value.retries == 1
+            assert info.value.reason == "exit:70"
+        finally:
+            service.close()
+
+    def test_hang_is_caught_by_heartbeat_timeout(self):
+        db = small_db()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            fault_plan=FaultPlan.parse("worker:hang@1"),
+            procpool=dataclasses.replace(FAST, heartbeat_timeout_s=0.4),
+        )
+        try:
+            with pytest.raises(WorkerCrashed) as info:
+                service.run(join_query(), timeout=60)
+            assert info.value.reason == "hang"
+            assert info.value.poisoned  # hang@1 re-fires on the retry
+        finally:
+            service.close()
+
+    def test_deadline_overrun_is_killed_and_typed(self):
+        # the hang never beats, but with a 100ms deadline the
+        # supervisor's deadline watch fires long before the (5s)
+        # heartbeat timeout: the truth is a budget error, not a crash
+        db = small_db()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            budget=Budget(deadline_ms=100.0),
+            fault_plan=FaultPlan.parse("worker:hang@1"),
+            procpool=dataclasses.replace(FAST, heartbeat_timeout_s=5.0),
+        )
+        try:
+            with pytest.raises(DeadlineExceeded) as info:
+                service.run(join_query(), timeout=60)
+            assert info.value.where == "worker-deadline"
+            assert service.incidents.count("budget-exhausted") == 1
+        finally:
+            service.close()
+
+    def test_cancel_mid_flight_kills_the_worker(self):
+        db = small_db()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            fault_plan=FaultPlan.parse("worker:hang@1"),
+            procpool=dataclasses.replace(FAST, heartbeat_timeout_s=30.0),
+        )
+        try:
+            ticket = service.submit(join_query())
+            ticket.cancel()
+            with pytest.raises(QueryCancelled) as info:
+                ticket.result(timeout=60)
+            assert "worker-killed" in str(info.value) or "before start" in str(
+                info.value
+            )
+            assert service.cancelled == 1
+        finally:
+            service.close()
+
+    def test_flapping_slot_sheds_load(self):
+        db = small_db()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            max_retries=99,
+            fault_plan=FaultPlan.parse("worker:kill9@1"),
+            procpool=dataclasses.replace(
+                FAST,
+                poison_threshold=99,
+                flap_threshold=2,
+                flap_window_s=60.0,
+                flap_cooldown_s=60.0,
+            ),
+        )
+        try:
+            # the kill loop burns through restarts until the slot flaps
+            with pytest.raises(WorkerPoolDegraded):
+                service.run(join_query(), timeout=60)
+            assert service.incidents.count("worker-flapping") == 1
+            snap = service.snapshot()["procpool"]
+            assert snap["flapping"] == 1
+            assert snap["degraded"] is True
+            # every slot flapping: submissions shed at admission
+            with pytest.raises(WorkerPoolDegraded):
+                service.submit(join_query())
+            assert service.incidents.count("admission-rejected") == 1
+        finally:
+            service.close()
+
+    def test_engine_fallback_crosses_the_pipe(self):
+        # a thread-style crash inside the child is a typed error on the
+        # parent side, and the parent's breaker/fallback walk reroutes
+        db = small_db()
+        query = join_query()
+        expected = evaluate(query, db)
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            fault_plan=FaultPlan.parse("vector:crash@1", seed=5),
+            procpool=FAST,
+        )
+        try:
+            result = service.run(query, timeout=60)
+            assert result.engine == "hash"
+            assert result.attempts[0][0] == "vector"
+            assert result.relation.same_content(expected)
+            assert service.incidents.count("engine-failure") >= 1
+        finally:
+            service.close()
+
+    def test_child_spend_charges_the_service_budget(self):
+        # the child's row/plan spend crosses the pipe and lands on the
+        # parent's service budget, closing admission exactly like the
+        # thread path does
+        db = small_db()
+        service = QueryService(
+            db,
+            workers=1,
+            isolation="process",
+            engine="reference",
+            service_budget=Budget(max_rows=1),
+            procpool=FAST,
+        )
+        try:
+            service.run(join_query(), timeout=60)
+            with pytest.raises(AdmissionRejected) as info:
+                service.submit(join_query())
+            assert "budget" in str(info.value)
+        finally:
+            service.close()
+
+
+class TestProcessShutdown:
+    def test_close_is_idempotent_and_reentrant(self):
+        db = small_db()
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=FAST
+        )
+        ticket = service.submit(join_query())
+        errors = []
+
+        def closer():
+            try:
+                service.close()
+            except BaseException as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert all(not t.is_alive() for t in threads)
+        assert ticket.result(timeout=5).relation is not None
+        service.close()  # and again, after the fact
+        with pytest.raises(AdmissionRejected):
+            service.submit(join_query())
+
+    def test_close_reaps_every_worker(self):
+        db = small_db()
+        service = QueryService(
+            db, workers=2, isolation="process", procpool=FAST
+        )
+        service.run(join_query(), timeout=60)
+        procs = [
+            slot.process
+            for slot in service._supervisor._slots
+            if slot.process is not None
+        ]
+        assert procs  # at least the slot that served the query is live
+        service.close()
+        assert all(not p.is_alive() for p in procs)
+        assert all(s.process is None for s in service._supervisor._slots)
+        assert all(not t.is_alive() for t in service._threads)

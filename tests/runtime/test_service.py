@@ -423,6 +423,76 @@ class TestShutdown:
         assert service.cancelled == 3
         assert blocker.result(5).relation is not None
 
+    def test_workers_are_daemon_threads(self):
+        # a worker wedged in native code must never block interpreter
+        # exit: the threads are daemons and close() is what drains
+        service = QueryService(small_db(), workers=2)
+        try:
+            assert all(t.daemon for t in service._threads)
+        finally:
+            service.close()
+
+    def test_close_is_idempotent(self):
+        service = QueryService(small_db(), workers=1)
+        service.close()
+        service.close()  # second call is a no-op, not an error
+        assert all(not t.is_alive() for t in service._threads)
+
+    def test_concurrent_close_under_load_drains_once(self):
+        # several closers race while queued work drains: exactly one
+        # runs the drain, the rest wait for it, and every ticket
+        # settles successfully
+        db = small_db()
+        service = QueryService(db, workers=2, queue_depth=32)
+        tickets = [service.submit(join_query()) for _ in range(12)]
+        errors = []
+
+        def closer():
+            try:
+                service.close()
+            except BaseException as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        closers = [threading.Thread(target=closer) for _ in range(4)]
+        for thread in closers:
+            thread.start()
+        for thread in closers:
+            thread.join(timeout=30)
+        assert not errors
+        assert all(not t.is_alive() for t in closers)
+        assert all(t.done() for t in tickets)
+        assert service.completed == 12
+        for thread in service._threads:
+            assert not thread.is_alive()
+
+    def test_submit_during_and_after_close_is_typed(self):
+        db = small_db()
+        gate = threading.Event()
+        started = threading.Event()
+
+        def factory(engine):
+            return ScriptedSession(db, gate=gate, started=started)
+
+        service = QueryService(
+            db, workers=1, queue_depth=8, session_factory=factory
+        )
+        blocker = service.submit(join_query())
+        assert started.wait(5)
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        try:
+            # the close is in flight (blocked on the gated worker):
+            # late submits are shed with the admission type, not queued
+            with pytest.raises(AdmissionRejected):
+                service.submit(join_query())
+        finally:
+            gate.set()
+            closer.join(timeout=30)
+        assert not closer.is_alive()
+        assert blocker.result(5).relation is not None
+        with pytest.raises(AdmissionRejected):
+            service.submit(join_query())  # and still after close completes
+
     def test_context_manager_closes(self):
         with QueryService(small_db(), workers=1) as service:
             result = service.run(join_query(), timeout=30)
