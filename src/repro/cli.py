@@ -204,6 +204,16 @@ def _print_service_footers(service: QueryService, out) -> None:
             kinds[incident.kind] = kinds.get(incident.kind, 0) + 1
         mix = ", ".join(f"{k}: {n}" for k, n in sorted(kinds.items()))
         print(f"-- incidents: {len(service.incidents)} ({mix})", file=out)
+    procpool = snapshot.get("procpool") or {}
+    shm_info = procpool.get("shm")
+    if shm_info:
+        fallback = shm_info.get("fallback_tables") or []
+        print(
+            f"-- shm: {shm_info['segments']} segment(s), "
+            f"{shm_info['bytes']} bytes"
+            + (f", {len(fallback)} table(s) on pickle fallback" if fallback else ""),
+            file=out,
+        )
     feedback = snapshot.get("feedback")
     if feedback and feedback.get("ingests"):
         print(
@@ -240,6 +250,7 @@ def run_script(
     enum_tier: str = "auto",
     isolation: str = "thread",
     max_retries: int | None = None,
+    shm: bool | None = None,
 ) -> int:
     """Run (or explain) a script; returns the process exit code.
 
@@ -298,6 +309,7 @@ def run_script(
             enum_tier=enum_tier,
             isolation=isolation,
             max_retries=max_retries,
+            shm=shm,
         )
     elif session is None:
         session = QuerySession(
@@ -726,6 +738,16 @@ def main(argv: list[str] | None = None) -> int:
         "safe) before surfacing a typed WorkerCrashed (default: 2)",
     )
     run_p.add_argument(
+        "--shm",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="process isolation only: share base tables with workers "
+        "as zero-copy shared-memory columnar pages instead of pickling "
+        "them into every spawn (default: auto-detect; --no-shm forces "
+        "the pickle path; unpageable tables always fall back per "
+        "table; see docs/SCALING.md)",
+    )
+    run_p.add_argument(
         "--faults",
         default=None,
         metavar="PLAN",
@@ -853,6 +875,7 @@ def main(argv: list[str] | None = None) -> int:
                 enum_tier=args.enum_tier,
                 isolation=args.isolation,
                 max_retries=args.max_retries,
+                shm=args.shm,
             )
         return run_script(
             text,

@@ -105,6 +105,14 @@ class ColumnarRelation:
         cached = _TRANSPOSE_CACHE.get(relation)
         if cached is not None:
             return cached
+        page = getattr(relation, "page", None)
+        if page is not None:
+            # shared-memory-backed relation (repro.relalg.pages): the
+            # columnar twin reads straight off the attached page, no
+            # row materialization and no per-process transpose
+            out = page.columnar()
+            _TRANSPOSE_CACHE[relation] = out
+            return out
         rows = relation.rows
         columns = {
             attr: [row[attr] for row in rows] for attr in relation.all_attrs
@@ -154,6 +162,31 @@ class ColumnarRelation:
             f"virtual={list(self._virtual)}, rows={len(self)}{view})"
         )
 
+    # ---- pickling (the process pool's pickle fallback path) ----
+
+    def __getstate__(self):
+        """Ship only the visible data, as plain lists.
+
+        A selection view is compacted first so a k-row view over an
+        n-row backing store pickles O(k) values, not O(n); lazy
+        page-backed columns are materialized because shared-memory
+        buffers never cross a pipe.  The weak-keyed transpose cache is
+        module state and is never pickled at all.
+        """
+        com = self.compact()
+        columns = com._columns
+        if type(columns) is not dict:
+            columns = {a: columns[a] for a in columns}
+        return (com._real, com._virtual, columns, com._nrows)
+
+    def __setstate__(self, state) -> None:
+        real, virtual, columns, nrows = state
+        self._real = real
+        self._virtual = virtual
+        self._columns = columns
+        self._nrows = nrows
+        self._sel = None
+
     # ---- physical access (predicate compiler contract) ----
 
     def physical_columns(self) -> dict[str, list]:
@@ -201,8 +234,10 @@ class ColumnarRelation:
             if old not in self._real:
                 raise SchemaError(f"cannot rename unknown attribute {old!r}")
         real = Schema(mapping.get(a, a) for a in self._real)
+        # keyed access (not .items()) so lazily decoded page columns
+        # materialize instead of leaking their placeholders
         columns = {
-            mapping.get(a, a): col for a, col in self._columns.items()
+            mapping.get(a, a): self._columns[a] for a in self._columns
         }
         return ColumnarRelation(
             real, self._virtual, columns, self._nrows, self._sel
@@ -213,9 +248,10 @@ class ColumnarRelation:
         if self._sel is None:
             return self
         sel = self._sel
-        columns = {
-            attr: [col[i] for i in sel] for attr, col in self._columns.items()
-        }
+        columns: dict[str, list] = {}
+        for attr in self._columns:
+            col = self._columns[attr]  # keyed: decodes lazy page columns
+            columns[attr] = [col[i] for i in sel]
         return ColumnarRelation(
             self._real, self._virtual, columns, len(sel)
         )

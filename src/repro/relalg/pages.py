@@ -1,0 +1,719 @@
+"""Shared-memory columnar pages: zero-copy relations across processes.
+
+The process pool (``repro.runtime.procpool``) originally shipped the
+whole database to every worker by pickling it into the spawn blob.
+That tax is paid per worker *and again per respawn* -- under a
+``worker:kill9`` chaos storm the supervisor can easily spend more time
+re-pickling tables than running queries.  This module removes the copy:
+each base table is encoded once, in the parent, into an Arrow-like
+**page** living in a named ``multiprocessing.shared_memory`` segment,
+and children *attach* to the segments by name -- an O(1) ``mmap`` --
+instead of receiving rows.
+
+Page layout (one segment per table)::
+
+    offset 0   magic          8 bytes   b"RPRPAGE1"
+    offset 8   refcount       int64     best-effort attach count
+    offset 16  header length  int64     byte length of the JSON header
+    offset 24  header         JSON      schemas, nrows, column directory
+    ...        payload        8-byte-aligned column blobs
+
+Column encodings (directory ``kind``):
+
+* ``i64`` / ``f64`` -- native-endian fixed width, one validity bitmap
+  when the column carries NULLs (bit set = valid); NULL slots store 0.
+* ``bool`` -- one byte per row plus the same optional bitmap.
+* ``str`` -- UTF-8 blob plus an ``int64[nrows + 1]`` offsets array
+  (value *i* is ``blob[offs[i]:offs[i+1]]``), plus optional bitmap.
+* ``vid`` -- a base relation's virtual-id column holds ``(name, i)``
+  with a constant name and ``i`` equal to the physical row index, so
+  only the name is stored and the column is reconstructed for free.
+
+Everything else -- mixed-type columns, ints beyond 64 bits,
+``Fraction`` values from the CSV loader, vid columns that lost the
+base shape -- raises :class:`UnpageableError` and the table falls back
+to the pickle path (the registry records why).  SQL NULL stays the
+in-band singleton: the bitmap is decoded back to the identical
+:data:`repro.relalg.nulls.NULL` object, so three-valued logic is
+byte-for-byte unchanged across the process boundary.
+
+Attached pages decode **lazily, per column, on first touch**: a child
+that only ever filters two columns of a six-column table never pays
+for the other four, and the decode itself runs off the mapped buffer
+at ``memoryview.cast(...).tolist()`` speed.  Decoded columns are
+cached per process, so the cost is paid once per worker lifetime, not
+per query.
+
+Lifecycle: the parent creates segments (:class:`PageRegistry`),
+children attach (:class:`AttachedPage`), the parent unlinks at
+shutdown.  ``kill -9`` of the *parent* cannot unlink, so segment names
+embed the creator PID and :func:`sweep_orphans` -- run at every
+supervisor start -- reclaims segments whose creator is gone.  Children
+killed mid-query merely drop their mapping; the kernel reclaims it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from typing import Any, Iterable, Sequence
+
+from repro.relalg.columnar import ColumnarRelation
+from repro.relalg.nulls import NULL
+from repro.relalg.relation import Relation
+from repro.relalg.row import Row
+from repro.relalg.schema import Schema
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "UnpageableError",
+    "PageFormatError",
+    "PageHandle",
+    "AttachedPage",
+    "PagedRelation",
+    "PagedColumnarRelation",
+    "PageRegistry",
+    "build_page",
+    "attach_page",
+    "pages_supported",
+    "sweep_orphans",
+]
+
+#: Prefix of every segment name this module creates.  The full shape is
+#: ``repro_pg_<creator-pid>_<token>_<index>``; the PID is what lets
+#: :func:`sweep_orphans` decide whether a leftover segment's owner is
+#: still alive.
+SEGMENT_PREFIX = "repro_pg"
+
+_MAGIC = b"RPRPAGE1"
+_HEADER_FIXED = 24  # magic + refcount + header-length, all 8-byte slots
+_REFCOUNT_OFF = 8
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class UnpageableError(TypeError):
+    """A relation holds values the page format cannot encode.
+
+    Raising this is not a failure: the registry catches it and the
+    table rides the pickle fallback instead.
+    """
+
+
+class PageFormatError(ValueError):
+    """An attached segment is not a well-formed page."""
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+# ---------------------------------------------------------------------------
+# feature probe
+
+
+_PROBE: bool | None = None
+
+
+def pages_supported() -> bool:
+    """Can this platform create and attach shared-memory pages?
+
+    One probe segment is created and destroyed on first call; the
+    verdict is cached.  Setting ``REPRO_NO_SHM=1`` in the environment
+    forces ``False`` (the documented kill switch for the whole
+    subsystem, checked on every call so tests can flip it).
+    """
+    global _PROBE
+    if os.environ.get("REPRO_NO_SHM", "").lower() in ("1", "true", "yes"):
+        return False
+    if _PROBE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=16)
+            probe.close()
+            probe.unlink()
+            _PROBE = True
+        except Exception:
+            _PROBE = False
+    return _PROBE
+
+
+# ---------------------------------------------------------------------------
+# encoding
+
+
+def _bitmap(values: Sequence[Any]) -> bytes:
+    """Validity bitmap: bit set = value present (not NULL)."""
+    buf = bytearray((len(values) + 7) // 8)
+    for i, v in enumerate(values):
+        if v is not NULL:
+            buf[i >> 3] |= 1 << (i & 7)
+    return bytes(buf)
+
+
+def _classify(attr: str, values: Sequence[Any]) -> tuple[str, bool]:
+    """Column kind + has-NULLs, or :class:`UnpageableError`.
+
+    Kinds are strict: a column must be homogeneous (``bool`` is checked
+    before ``int`` because it subclasses it), so a round-tripped value
+    has not just equal content but the identical Python type.
+    """
+    kind: str | None = None
+    has_null = False
+    for v in values:
+        if v is NULL:
+            has_null = True
+            continue
+        if isinstance(v, bool):
+            k = "bool"
+        elif isinstance(v, int):
+            if not (_INT64_MIN <= v <= _INT64_MAX):
+                raise UnpageableError(
+                    f"column {attr!r}: int {v} exceeds 64 bits"
+                )
+            k = "i64"
+        elif isinstance(v, float):
+            k = "f64"
+        elif isinstance(v, str):
+            k = "str"
+        else:
+            raise UnpageableError(
+                f"column {attr!r}: unpageable value type "
+                f"{type(v).__name__}"
+            )
+        if kind is None:
+            kind = k
+        elif kind != k:
+            raise UnpageableError(f"column {attr!r}: mixed {kind}/{k} values")
+    return kind or "i64", has_null
+
+
+def _encode_vid(attr: str, values: Sequence[Any]) -> str:
+    """Validate the base-relation vid shape; return the constant name."""
+    name: str | None = None
+    for i, v in enumerate(values):
+        if (
+            not isinstance(v, tuple)
+            or len(v) != 2
+            or not isinstance(v[0], str)
+            or v[1] != i
+        ):
+            raise UnpageableError(
+                f"column {attr!r}: virtual ids are not in base shape"
+            )
+        if name is None:
+            name = v[0]
+        elif v[0] != name:
+            raise UnpageableError(
+                f"column {attr!r}: virtual ids name several relations"
+            )
+    return name if name is not None else attr.lstrip("#")
+
+
+def _encode_columns(
+    relation: Relation,
+) -> tuple[list[dict[str, Any]], list[bytes]]:
+    """Encode every column; returns (directory entries, payload blobs).
+
+    Directory offsets are relative to the payload base (which depends
+    on the final header length, unknown until the directory is built).
+    """
+    columnar = ColumnarRelation.from_relation(relation)
+    virtual = set(relation.virtual.attrs)
+    metas: list[dict[str, Any]] = []
+    blobs: list[bytes] = []
+    offset = 0
+
+    def put(blob: bytes) -> tuple[int, int]:
+        nonlocal offset
+        at = offset
+        blobs.append(blob)
+        offset = _align8(offset + len(blob))
+        return at, len(blob)
+
+    n = len(relation)
+    for attr in columnar.all_attrs:
+        values = columnar.gather(attr)
+        meta: dict[str, Any] = {"attr": attr}
+        if attr in virtual:
+            meta["kind"] = "vid"
+            meta["aux"] = _encode_vid(attr, values)
+            metas.append(meta)
+            continue
+        kind, has_null = _classify(attr, values)
+        meta["kind"] = kind
+        if kind == "i64":
+            ints = [0 if v is NULL else v for v in values]
+            meta["off"], meta["len"] = put(struct.pack(f"={n}q", *ints))
+        elif kind == "f64":
+            floats = [0.0 if v is NULL else v for v in values]
+            meta["off"], meta["len"] = put(struct.pack(f"={n}d", *floats))
+        elif kind == "bool":
+            meta["off"], meta["len"] = put(
+                bytes(0 if v is NULL else int(v) for v in values)
+            )
+        else:  # str
+            data = bytearray()
+            offs = [0]
+            for v in values:
+                if v is not NULL:
+                    data += v.encode("utf-8")
+                offs.append(len(data))
+            meta["ooff"], _ = put(struct.pack(f"={n + 1}q", *offs))
+            meta["off"], meta["len"] = put(bytes(data))
+        if has_null:
+            meta["voff"], meta["vlen"] = put(_bitmap(values))
+        metas.append(meta)
+    return metas, blobs
+
+
+class PageHandle:
+    """Everything a worker needs to attach a page: a few dozen bytes.
+
+    This -- not the relation -- is what crosses the pipe in the spawn
+    blob.  It is a plain picklable value object.
+    """
+
+    __slots__ = ("segment", "table", "nbytes", "nrows")
+
+    def __init__(self, segment: str, table: str, nbytes: int, nrows: int):
+        self.segment = segment
+        self.table = table
+        self.nbytes = nbytes
+        self.nrows = nrows
+
+    def __repr__(self) -> str:
+        return (
+            f"PageHandle(segment={self.segment!r}, table={self.table!r}, "
+            f"nbytes={self.nbytes}, nrows={self.nrows})"
+        )
+
+    def __reduce__(self):
+        return (PageHandle, (self.segment, self.table, self.nbytes, self.nrows))
+
+
+def build_page(table: str, relation: Relation, segment: str):
+    """Encode ``relation`` into a new shared segment named ``segment``.
+
+    Returns ``(shm, handle)``; the caller owns the
+    ``SharedMemory`` object and is responsible for ``unlink``.  Raises
+    :class:`UnpageableError` without creating the segment when any
+    column cannot be encoded.
+    """
+    from multiprocessing import shared_memory
+
+    metas, blobs = _encode_columns(relation)
+    header = {
+        "table": table,
+        "real": list(relation.real.attrs),
+        "virtual": list(relation.virtual.attrs),
+        "nrows": len(relation),
+        "columns": metas,
+    }
+    hjson = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    base = _align8(_HEADER_FIXED + len(hjson))
+    payload = sum(_align8(len(b)) for b in blobs)
+    total = max(base + payload, 16)
+    shm = shared_memory.SharedMemory(name=segment, create=True, size=total)
+    buf = shm.buf
+    buf[0:8] = _MAGIC
+    struct.pack_into("=q", buf, _REFCOUNT_OFF, 0)
+    struct.pack_into("=q", buf, 16, len(hjson))
+    buf[_HEADER_FIXED : _HEADER_FIXED + len(hjson)] = hjson
+    at = base
+    for blob in blobs:
+        buf[at : at + len(blob)] = blob
+        at = _align8(at + len(blob))
+    return shm, PageHandle(segment, table, total, len(relation))
+
+
+# ---------------------------------------------------------------------------
+# attaching
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(segment: str):
+    """Attach to ``segment`` without registering with the resource tracker.
+
+    On Python < 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with the resource tracker, which would unlink it at
+    tracker shutdown -- exactly wrong for a reader; only the creating
+    supervisor may unlink.  Un-registering after the fact is no better:
+    the tracker's cache is a per-name *set* shared by the whole process
+    tree, so a reader's unregister would also erase the creator's
+    registration and make the eventual ``unlink()`` complain.  The only
+    clean option is to suppress the registration itself for the
+    duration of the attach (serialized, since it patches module state).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip(name, rtype):
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip
+        try:
+            return shared_memory.SharedMemory(name=segment)
+        finally:
+            resource_tracker.register = original
+
+
+class AttachedPage:
+    """A read-side mapping of one page; decodes columns lazily.
+
+    Decoded columns are cached on the page, so the relation view, the
+    columnar view and every selection view share one decode per column
+    per process.
+    """
+
+    def __init__(self, handle: PageHandle, *, untrack: bool = True):
+        from multiprocessing import shared_memory
+
+        self.handle = handle
+        if untrack:
+            self._shm = _attach_untracked(handle.segment)
+        else:
+            self._shm = shared_memory.SharedMemory(name=handle.segment)
+        buf = self._shm.buf
+        if bytes(buf[0:8]) != _MAGIC:
+            self._shm.close()
+            raise PageFormatError(
+                f"segment {handle.segment!r} is not a repro page"
+            )
+        (hlen,) = struct.unpack_from("=q", buf, 16)
+        header = json.loads(bytes(buf[_HEADER_FIXED : _HEADER_FIXED + hlen]))
+        self._base = _align8(_HEADER_FIXED + hlen)
+        self.table: str = header["table"]
+        self.nrows: int = header["nrows"]
+        self.real = Schema(header["real"])
+        self.virtual = Schema(header["virtual"])
+        self._meta = {m["attr"]: m for m in header["columns"]}
+        self._decoded: dict[str, list] = {}
+        self._relation: PagedRelation | None = None
+        self._columnar: PagedColumnarRelation | None = None
+        self._addref(+1)
+
+    # -- refcount (best-effort diagnostics; correctness never depends on it)
+
+    def _addref(self, delta: int) -> None:
+        try:
+            (cur,) = struct.unpack_from("=q", self._shm.buf, _REFCOUNT_OFF)
+            struct.pack_into("=q", self._shm.buf, _REFCOUNT_OFF, cur + delta)
+        except (ValueError, TypeError):
+            pass
+
+    def refcount(self) -> int:
+        (cur,) = struct.unpack_from("=q", self._shm.buf, _REFCOUNT_OFF)
+        return cur
+
+    # -- decoding
+
+    def attrs(self) -> tuple[str, ...]:
+        return self.real.attrs + self.virtual.attrs
+
+    def column(self, attr: str) -> list:
+        """The fully decoded column (NULLs restored); cached."""
+        cached = self._decoded.get(attr)
+        if cached is not None:
+            return cached
+        meta = self._meta[attr]
+        kind = meta["kind"]
+        n = self.nrows
+        mv = self._shm.buf
+        if kind == "vid":
+            name = meta["aux"]
+            values: list = [(name, i) for i in range(n)]
+        elif kind == "str":
+            offs = self._cast(mv, meta["ooff"], 8 * (n + 1), "q")
+            data = bytes(
+                mv[self._base + meta["off"] : self._base + meta["off"] + meta["len"]]
+            )
+            values = [
+                data[offs[i] : offs[i + 1]].decode("utf-8") for i in range(n)
+            ]
+        elif kind == "bool":
+            raw = bytes(
+                mv[self._base + meta["off"] : self._base + meta["off"] + meta["len"]]
+            )
+            values = [b == 1 for b in raw]
+        else:  # i64 / f64
+            values = self._cast(
+                mv, meta["off"], meta["len"], "q" if kind == "i64" else "d"
+            )
+        vlen = meta.get("vlen", 0)
+        if vlen:
+            voff = self._base + meta["voff"]
+            bitmap = bytes(mv[voff : voff + vlen])
+            for i in range(n):
+                if not (bitmap[i >> 3] >> (i & 7)) & 1:
+                    values[i] = NULL
+        self._decoded[attr] = values
+        return values
+
+    def _cast(self, mv, rel_off: int, nbytes: int, code: str) -> list:
+        # released eagerly so close() never trips over exported views
+        seg = mv[self._base + rel_off : self._base + rel_off + nbytes]
+        try:
+            casted = seg.cast(code)
+            try:
+                return casted.tolist()
+            finally:
+                casted.release()
+        finally:
+            seg.release()
+
+    # -- views
+
+    def relation(self) -> "PagedRelation":
+        if self._relation is None:
+            self._relation = PagedRelation(self)
+        return self._relation
+
+    def columnar(self) -> "PagedColumnarRelation":
+        if self._columnar is None:
+            self._columnar = PagedColumnarRelation(
+                self.real, self.virtual, _LazyColumns(self), self.nrows
+            )
+        return self._columnar
+
+    def close(self) -> None:
+        self._addref(-1)
+        try:
+            self._shm.close()
+        except BufferError:
+            # a decoded view still exports the buffer; the mapping dies
+            # with the process either way
+            pass
+
+
+def attach_page(handle: PageHandle, *, untrack: bool = True) -> AttachedPage:
+    """Attach to an existing page by handle (the worker-side entry)."""
+    return AttachedPage(handle, untrack=untrack)
+
+
+# ---------------------------------------------------------------------------
+# relation / columnar views over an attached page
+
+
+class PagedRelation(Relation):
+    """A :class:`Relation` whose rows live in a shared page.
+
+    Rows materialize lazily on first access; the vector engine never
+    asks (it transposes via :meth:`page.columnar` through the
+    ``from_relation`` hook), so under the columnar engine a paged table
+    costs no per-row dicts at all.  Pickling materializes into a plain
+    :class:`Relation` -- memoryviews must never cross a pipe.
+    """
+
+    __slots__ = ("page",)
+
+    def __init__(self, page: AttachedPage):
+        super().__init__(page.real, page.virtual, ())
+        self.page = page
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        if not self._rows and self.page.nrows:
+            attrs = self.page.attrs()
+            cols = [self.page.column(a) for a in attrs]
+            self._rows = tuple(
+                Row(zip(attrs, values)) for values in zip(*cols)
+            )
+        return self._rows
+
+    def __len__(self) -> int:
+        return self.page.nrows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __reduce__(self):
+        return (Relation, (self._real, self._virtual, self.rows))
+
+
+_UNLOADED = object()
+
+
+class _LazyColumns(dict):
+    """Column mapping that decodes from the page on first ``[]`` access.
+
+    It *is* a dict (so schema iteration, ``in`` and ``len`` behave),
+    pre-seeded with a sentinel per attribute; raw ``.items()`` /
+    ``.values()`` access would leak sentinels, which is why
+    :class:`ColumnarRelation` derivation methods go through ``[]``.
+    """
+
+    __slots__ = ("_page",)
+
+    def __init__(self, page: AttachedPage):
+        super().__init__((a, _UNLOADED) for a in page.attrs())
+        self._page = page
+
+    def __getitem__(self, key: str) -> list:
+        value = dict.__getitem__(self, key)
+        if value is _UNLOADED:
+            value = self._page.column(key)
+            dict.__setitem__(self, key, value)
+        return value
+
+
+class PagedColumnarRelation(ColumnarRelation):
+    """A :class:`ColumnarRelation` backed directly by an attached page.
+
+    Construction skips the base-class column validation (nothing is
+    decoded yet); selection views share the same lazy mapping, so a
+    filter over a paged scan decodes exactly the predicate's columns
+    and nothing else.
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        real: Schema | Iterable[str],
+        virtual: Schema | Iterable[str],
+        columns,
+        nrows: int,
+        sel: list[int] | None = None,
+    ) -> None:
+        self._real = real if isinstance(real, Schema) else Schema(real)
+        self._virtual = (
+            virtual if isinstance(virtual, Schema) else Schema(virtual)
+        )
+        self._columns = columns
+        self._nrows = nrows
+        self._sel = sel
+
+    def view(self, sel: list[int]) -> "PagedColumnarRelation":
+        return PagedColumnarRelation(
+            self._real, self._virtual, self._columns, self._nrows, sel
+        )
+
+    def __reduce__(self):
+        # the page linkage cannot cross a pipe; downgrade to the plain
+        # class, compacted (same slim state the base class pickles)
+        real, virtual, columns, nrows = self.__getstate__()
+        return (ColumnarRelation, (real, virtual, columns, nrows))
+
+
+# ---------------------------------------------------------------------------
+# registry + orphan sweep
+
+
+class PageRegistry:
+    """Owns one segment per pageable table of a database.
+
+    Built by the supervisor before workers spawn.  ``handles`` is what
+    ships in the spawn blob; ``fallback`` maps each unpageable table to
+    the reason it stays on the pickle path.
+    """
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.token = os.urandom(4).hex()
+        self._segments: dict[str, Any] = {}
+        self.handles: dict[str, PageHandle] = {}
+        self.fallback: dict[str, str] = {}
+        self._closed = False
+
+    @classmethod
+    def build(cls, db) -> "PageRegistry":
+        registry = cls()
+        for name in db.names():
+            registry.add(name, db[name])
+        return registry
+
+    def add(self, table: str, relation: Relation) -> PageHandle | None:
+        """Page one table; on :class:`UnpageableError` record fallback."""
+        segment = f"{SEGMENT_PREFIX}_{self.pid}_{self.token}_{len(self._segments)}"
+        try:
+            shm, handle = build_page(table, relation, segment)
+        except UnpageableError as exc:
+            self.fallback[table] = str(exc)
+            return None
+        self._segments[table] = shm
+        self.handles[table] = handle
+        return handle
+
+    @property
+    def nbytes(self) -> int:
+        return sum(h.nbytes for h in self.handles.values())
+
+    def segment_names(self) -> list[str]:
+        return [h.segment for h in self.handles.values()]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "segments": len(self.handles),
+            "bytes": self.nbytes,
+            "fallback_tables": sorted(self.fallback),
+        }
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Release (and by default destroy) every segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            if unlink:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+        self._segments.clear()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+def sweep_orphans(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink page segments whose creator process no longer exists.
+
+    The supervisor runs this before building its own registry, so a
+    ``kill -9`` of a previous parent leaks at most until the next
+    start.  Unlinking never invalidates live mappings, so a racing
+    reader of a genuinely dead owner's segment is still safe.  Returns
+    the reclaimed segment names.
+    """
+    removed: list[str] = []
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return removed
+    for fname in names:
+        if not fname.startswith(SEGMENT_PREFIX + "_"):
+            continue
+        parts = fname.split("_")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(shm_dir, fname))
+        except OSError:
+            continue
+        removed.append(fname)
+    return removed

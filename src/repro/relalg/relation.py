@@ -127,6 +127,9 @@ class Relation:
 
     @property
     def rows(self) -> tuple[Row, ...]:
+        # Subclasses may materialize lazily (repro.relalg.pages); the
+        # derivation helpers below therefore go through this property,
+        # never through ``_rows`` directly.
         return self._rows
 
     @property
@@ -134,15 +137,15 @@ class Relation:
         return self._real.concat(self._virtual)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self.rows)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __repr__(self) -> str:
         return (
             f"Relation(real={list(self._real)}, virtual={list(self._virtual)}, "
-            f"rows={len(self._rows)})"
+            f"rows={len(self)})"
         )
 
     # ---- derivation helpers (used by the operator modules) ----
@@ -157,7 +160,7 @@ class Relation:
         equivalent iff their results agree on this multiset.
         """
         order = self._real.attrs
-        return Counter(row.values_tuple(order) for row in self._rows)
+        return Counter(row.values_tuple(order) for row in self.rows)
 
     def same_content(self, other: "Relation") -> bool:
         """True when both relations hold the same bag of real rows.
@@ -167,8 +170,8 @@ class Relation:
         if self._real.as_set() != other._real.as_set():
             return False
         order = self._real.attrs
-        mine = Counter(row.values_tuple(order) for row in self._rows)
-        theirs = Counter(row.values_tuple(order) for row in other._rows)
+        mine = Counter(row.values_tuple(order) for row in self.rows)
+        theirs = Counter(row.values_tuple(order) for row in other.rows)
         return mine == theirs
 
     def sorted_rows(self) -> list[Row]:
@@ -182,7 +185,7 @@ class Relation:
         from repro.relalg.ordering import attr_key_fn
 
         keys = tuple((attr, False) for attr in self._real.attrs)
-        return sorted(self._rows, key=attr_key_fn(keys))
+        return sorted(self.rows, key=attr_key_fn(keys))
 
     def to_text(
         self, include_virtual: bool = False, preserve_order: bool = False
@@ -200,7 +203,7 @@ class Relation:
             return "-" if is_null(value) else str(value)
 
         header = attrs
-        rows = list(self._rows) if preserve_order else self.sorted_rows()
+        rows = list(self.rows) if preserve_order else self.sorted_rows()
         body = [[fmt(row[a]) for a in attrs] for row in rows]
         widths = [
             max(len(header[i]), *(len(r[i]) for r in body), 1)

@@ -465,6 +465,26 @@ def service_registry() -> MetricsRegistry:
         "repro_worker_heartbeat_age_seconds",
         "Seconds since each busy worker's last heartbeat (0 when idle)",
     )
+    reg.gauge(
+        "repro_shm_segments",
+        "Shared-memory page segments currently owned by the supervisor",
+    )
+    reg.gauge(
+        "repro_shm_bytes",
+        "Total bytes across the supervisor's shared-memory pages",
+    )
+    reg.counter(
+        "repro_shm_orphans_swept_total",
+        "Orphaned page segments reclaimed at supervisor start",
+    )
+    reg.counter(
+        "repro_shm_fallback_total",
+        "Tables that fell back to the pickle path (unpageable types)",
+    )
+    reg.counter(
+        "repro_cache_warmup_total",
+        "Queries broadcast to fresh workers for plan-cache warm-up",
+    )
     return reg
 
 

@@ -54,7 +54,7 @@ import random
 import signal
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -74,7 +74,7 @@ from repro.errors import (
 )
 from repro.runtime.budget import Budget
 from repro.runtime.incidents import Incident, IncidentLog
-from repro.runtime.plan_cache import PlanCache, query_fingerprint
+from repro.runtime.plan_cache import ShardedPlanCache, query_fingerprint
 from repro.runtime.tracing import span
 
 #: The fault site process-level clauses target (``worker:kill9`` etc.
@@ -108,6 +108,11 @@ class ProcPoolConfig:
     poison_threshold: int = 2
     spawn_timeout_s: float = 60.0
     start_method: str = "spawn"
+    # sharded-cache warm-up: how many recently successful queries a
+    # fresh worker pre-plans, and the planning budget for each (a
+    # restart must come back warm, not come back late)
+    warmup_limit: int = 16
+    warmup_deadline_ms: float = 250.0
 
 
 # -- error transport ------------------------------------------------------
@@ -230,6 +235,17 @@ def _worker_main(conn, init_blob: bytes) -> None:
     from repro.runtime.session import QuerySession
 
     db = init["db"]
+    handles = init.get("page_handles") or {}
+    if handles:
+        # zero-copy path: the blob carried only unpageable tables; the
+        # rest attach from the supervisor's shared-memory pages.  The
+        # resource tracker is told to forget each segment -- only the
+        # creating parent may unlink.
+        from repro.relalg.pages import attach_page
+
+        for table, handle in handles.items():
+            with span("page.attach", table=table, segment=handle.segment):
+                db.add(table, attach_page(handle).relation())
     stats = init["stats"]
     feedback = None
     if init["replan_threshold"] is not None:
@@ -238,7 +254,7 @@ def _worker_main(conn, init_blob: bytes) -> None:
         feedback = FeedbackStore()
         stats.feedback = feedback
     incidents = IncidentLog(capacity=init["incident_capacity"])
-    plan_cache = PlanCache()
+    plan_cache = ShardedPlanCache()
     quarantined: set = set()
     sessions: dict[str, QuerySession] = {}
 
@@ -284,9 +300,39 @@ def _worker_main(conn, init_blob: bytes) -> None:
                 with send_lock:
                     conn.send(("bye",))
                 return
+            if msg[0] == "warmup":
+                _warm_cache(
+                    msg[1],
+                    session_for,
+                    init["engine"],
+                    init["warmup_deadline_ms"],
+                )
+                continue
             _run_task(msg[1], session_for, fault_plan, incidents, conn, send_lock, busy)
     finally:
         stop.set()
+
+
+def _warm_cache(entries, session_for, engine: str, deadline_ms: float) -> None:
+    """Pre-plan recently successful queries into this child's cache.
+
+    Runs between the ready handshake and the first task, so a
+    restarted worker answers its first repeated query from a warm
+    sharded cache instead of re-optimizing from scratch.  Each entry
+    gets a small planning budget and failures are ignored -- warm-up
+    is an optimization, never a correctness dependency.
+    """
+    session = session_for(engine)
+    for query, required_order in entries:
+        try:
+            with span("cache.warmup"):
+                session.plan(
+                    query,
+                    budget=Budget(deadline_ms=deadline_ms),
+                    required_order=required_order,
+                )
+        except Exception:
+            continue
 
 
 def _run_task(task, session_for, fault_plan, incidents, conn, send_lock, busy) -> None:
@@ -381,6 +427,39 @@ class WorkerSupervisor:
         self._shutdown = False
         self.restarts = 0
         self.retries = 0
+        # recently successful (query, required_order) pairs, newest
+        # last, broadcast to fresh workers so restarts come back warm
+        self._warm: OrderedDict[str, tuple] = OrderedDict()
+        self._warm_lock = threading.Lock()
+        self.page_registry = None
+        if getattr(service, "shm_enabled", False):
+            from repro.relalg.pages import PageRegistry, sweep_orphans
+
+            with span("page.sweep"):
+                swept = sweep_orphans()
+            if swept:
+                service.metrics.counter("repro_shm_orphans_swept_total").inc(
+                    len(swept)
+                )
+                service.incidents.record(
+                    Incident(
+                        kind="shm-orphans-swept",
+                        query="",
+                        detail={"segments": swept},
+                        action="unlinked",
+                    )
+                )
+            with span("page.build"):
+                self.page_registry = PageRegistry.build(service.db)
+            registry = self.page_registry
+            service.metrics.gauge("repro_shm_segments").set(
+                len(registry.handles)
+            )
+            service.metrics.gauge("repro_shm_bytes").set(registry.nbytes)
+            if registry.fallback:
+                service.metrics.counter("repro_shm_fallback_total").inc(
+                    len(registry.fallback)
+                )
         self._init_blob = self._build_init_blob()
 
     # -- wiring -----------------------------------------------------------
@@ -402,6 +481,19 @@ class WorkerSupervisor:
 
     def _build_init_blob(self) -> bytes:
         svc = self.service
+        registry = self.page_registry
+        if registry is None:
+            db = svc.db
+            page_handles = None
+        else:
+            # only unpageable tables ride the pickle; the rest cross
+            # as page handles, a few dozen bytes per table
+            from repro.expr.evaluate import Database
+
+            db = Database()
+            for table in registry.fallback:
+                db.add(table, svc.db[table])
+            page_handles = dict(registry.handles)
         # the feedback store holds locks and cannot cross the pipe;
         # children build their own when re-planning is armed.
         stashed = getattr(svc.stats, "feedback", None)
@@ -409,7 +501,10 @@ class WorkerSupervisor:
         try:
             return pickle.dumps(
                 {
-                    "db": svc.db,
+                    "db": db,
+                    "page_handles": page_handles,
+                    "engine": svc.engine,
+                    "warmup_deadline_ms": self.config.warmup_deadline_ms,
                     "catalog": svc.catalog,
                     "stats": svc.stats,
                     "verify": svc.verify,
@@ -451,6 +546,12 @@ class WorkerSupervisor:
                 "flapping": flapping,
                 "degraded": flapping == len(self._slots),
                 "poisoned": len(self._poisoned),
+                "shm": (
+                    self.page_registry.snapshot()
+                    if self.page_registry is not None
+                    else None
+                ),
+                "warm_queries": len(self._warm),
             }
 
     # -- dispatcher loop ---------------------------------------------------
@@ -715,6 +816,7 @@ class WorkerSupervisor:
                 )
             with svc._lock:
                 svc.completed += 1
+            self._note_warm(fingerprint, ticket.query, ticket.required_order)
             service_ms = (time.monotonic() - t0) * 1000.0
             svc.metrics.counter("repro_queries_total").labels(outcome="ok").inc()
             svc.metrics.histogram("repro_query_latency_ms").observe(service_ms)
@@ -922,9 +1024,31 @@ class WorkerSupervisor:
                     break
             elif not process.is_alive():
                 raise _spawn_failed(f"exited during startup ({process.exitcode})")
+        warm = self._warm_entries()
+        if warm:
+            # broadcast the warm-up set before the first task: the
+            # child processes messages in order, so its cache is hot
+            # by the time any query arrives
+            try:
+                parent_conn.send(("warmup", warm))
+                svc.metrics.counter("repro_cache_warmup_total").inc(len(warm))
+            except (BrokenPipeError, OSError):  # pragma: no cover - racy death
+                pass
         slot.process = process
         slot.conn = parent_conn
         slot.next_reason = "start"
+
+    def _warm_entries(self) -> list[tuple]:
+        with self._warm_lock:
+            return list(self._warm.values())
+
+    def _note_warm(self, fingerprint: str, query, required_order) -> None:
+        """Record a successful query for future worker warm-ups (LRU)."""
+        with self._warm_lock:
+            self._warm.pop(fingerprint, None)
+            self._warm[fingerprint] = (query, required_order)
+            while len(self._warm) > self.config.warmup_limit:
+                self._warm.popitem(last=False)
 
     def _note_flap(self, slot: _Slot, query) -> None:
         cfg = self.config
@@ -1020,6 +1144,9 @@ class WorkerSupervisor:
             self._shutdown = True
         for slot in self._slots:
             self._shutdown_slot(slot)
+        if self.page_registry is not None:
+            # workers are gone; destroying the segments is now safe
+            self.page_registry.close(unlink=True)
 
 
 __all__ = [

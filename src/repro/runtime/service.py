@@ -72,7 +72,7 @@ from repro.runtime.metrics import (
     sync_engine_metrics,
     sync_feedback_metrics,
 )
-from repro.runtime.plan_cache import PlanCache
+from repro.runtime.plan_cache import PlanCache, ShardedPlanCache
 from repro.runtime.session import QuerySession, SessionResult
 
 #: Engine fallback order: fastest first, ground truth last.
@@ -377,6 +377,14 @@ class QueryService:
         Optional :class:`repro.runtime.procpool.ProcPoolConfig` with
         the supervisor's tunables (heartbeat cadence, restart backoff,
         flap thresholds, poison threshold).
+    shm:
+        Process isolation only: ship base tables to workers as
+        shared-memory columnar pages (:mod:`repro.relalg.pages`)
+        instead of pickling them into the spawn blob.  ``None``
+        (default) auto-detects platform support; ``True`` requests it
+        (still falling back, per table or entirely, when paging is
+        impossible); ``False`` forces the pickle path.  See
+        ``docs/SCALING.md``.
     """
 
     def __init__(
@@ -407,6 +415,7 @@ class QueryService:
         isolation: str = "thread",
         max_retries: int | None = None,
         procpool=None,
+        shm: bool | None = None,
     ) -> None:
         if engine not in FALLBACK_CHAIN:
             raise ValueError(
@@ -437,7 +446,9 @@ class QueryService:
         self._budget_template = budget
         self._service_budget = service_budget
         self._session_factory = session_factory
-        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else ShardedPlanCache()
+        )
         if feedback is None and replan_threshold is not None:
             feedback = FeedbackStore()
         self.feedback = feedback
@@ -465,6 +476,12 @@ class QueryService:
         self.rejected = 0
         self.cancelled = 0
         self.isolation = isolation
+        self.shm = shm
+        self.shm_enabled = False
+        if isolation == "process" and shm is not False:
+            from repro.relalg.pages import pages_supported
+
+            self.shm_enabled = pages_supported()
         self._supervisor = None
         if isolation == "process":
             # imported lazily: thread-mode services never pay for the
@@ -644,6 +661,7 @@ class QueryService:
             "engine": self.engine,
             "workers": len(self._threads),
             "isolation": self.isolation,
+            "shm": self.shm_enabled,
             "procpool": (
                 self._supervisor.snapshot() if self._supervisor is not None else None
             ),

@@ -180,14 +180,28 @@ def test_proc_storm_contains_worker_death(offset):
         snap = service.snapshot()
         assert snap["completed"] + snap["failed"] == len(tickets)
         assert snap["failed"] >= crashes
+
+        # worker deaths never take the shared pages with them: every
+        # segment the supervisor built is still mapped mid-storm
+        registry = service._supervisor.page_registry
+        segments = registry.segment_names() if registry is not None else []
+        for segment in segments:
+            assert os.path.exists(f"/dev/shm/{segment}"), (
+                f"seed {seed}: segment {segment} lost during the storm"
+            )
     finally:
         service.close()
 
-    # clean shutdown: every ticket settled, dispatchers joined, children reaped
+    # clean shutdown: every ticket settled, dispatchers joined, children
+    # reaped, and every shared segment unlinked
     assert all(t.done() for t in tickets)
     for thread in service._threads:
         assert not thread.is_alive()
     assert all(slot.process is None for slot in service._supervisor._slots)
+    for segment in segments:
+        assert not os.path.exists(f"/dev/shm/{segment}"), (
+            f"seed {seed}: segment {segment} leaked past close()"
+        )
 
 
 def test_same_seed_reproduces_the_same_proc_storm():

@@ -146,3 +146,45 @@ class TestConcat:
     def test_columns_of_coerces_iterables(self):
         cols = columns_of({"a": range(3)})
         assert cols == {"a": [0, 1, 2]}
+
+
+class TestPickling:
+    """The fallback (pickle) path ships columnar state over worker
+    pipes; the payload must stay slim -- a narrow selection view over a
+    wide backing store compacts before serializing, and per-process
+    caches never ride along."""
+
+    def test_view_pickles_compact(self):
+        import pickle
+
+        n = 5000
+        base = ColumnarRelation(
+            ["a", "b"], [], {"a": list(range(n)), "b": ["pad" * 8] * n}, n
+        )
+        view = base.view([0, n // 2, n - 1])
+        full_size = len(pickle.dumps(base))
+        view_size = len(pickle.dumps(view))
+        # 3 of 5000 rows: the view payload must be a sliver, not a copy
+        assert view_size < full_size / 100
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.gather("a") == [0, n // 2, n - 1]
+        assert clone._sel is None  # arrives compacted
+
+    def test_unpickled_round_trip_matches(self, rel, col):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(col.view([1, 3])))
+        assert clone.gather("a") == [2, 2]
+        assert clone.gather("b") == [NULL, 40]
+        assert list(clone.real) == ["a", "b"]
+
+    def test_transpose_cache_not_pickled(self, rel):
+        import pickle
+
+        col = ColumnarRelation.from_relation(rel)
+        payload = pickle.dumps(col)
+        # the weak-keyed transpose cache and memoized views are
+        # process-local; nothing in the payload may reference them
+        assert b"_TRANSPOSE_CACHE" not in payload
+        clone = pickle.loads(payload)
+        assert clone.to_relation().same_content(rel)

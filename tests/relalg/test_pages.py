@@ -1,0 +1,348 @@
+"""Unit tests for the shared-memory page format.
+
+The page layer is the zero-copy substrate under process isolation:
+tables encode once into named ``multiprocessing.shared_memory``
+segments and worker children attach instead of receiving pickles.  The
+tests pin down the properties the runtime depends on:
+
+* **Round trips are byte-identical.**  Build -> attach -> read gives
+  back exactly the input values *and* their Python types -- NULL-heavy,
+  duplicate-heavy and GS-bearing (virtual-id carrying) inputs included.
+* **Attachment works across a real process boundary** (spawn child).
+* **Unpageable inputs fail closed**: mixed-type columns, oversized
+  integers and exotic values raise :class:`UnpageableError` before any
+  segment exists, and :class:`PageRegistry` routes those tables to the
+  pickle fallback instead of dying.
+* **Lifecycle is leak-free**: refcounts track attachments, close and
+  unlink are idempotent, and :func:`sweep_orphans` reclaims segments
+  whose owning pid is dead while leaving live owners alone.
+"""
+
+import multiprocessing
+import os
+import pickle
+import random
+import subprocess
+
+import pytest
+
+from repro.expr.evaluate import Database
+from repro.relalg import Relation
+from repro.relalg.columnar import ColumnarRelation
+from repro.relalg.nulls import NULL
+from repro.relalg.pages import (
+    SEGMENT_PREFIX,
+    AttachedPage,
+    PagedColumnarRelation,
+    PagedRelation,
+    PageFormatError,
+    PageRegistry,
+    UnpageableError,
+    attach_page,
+    build_page,
+    pages_supported,
+    sweep_orphans,
+)
+from repro.workloads.random_db import random_database
+
+pytestmark = pytest.mark.skipif(
+    not pages_supported(), reason="shared memory unavailable"
+)
+
+
+def _segment(tag: str) -> str:
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{tag}_{random.randrange(1 << 16)}"
+
+
+def _round_trip(relation: Relation, tag: str) -> None:
+    """Build a page from ``relation`` and assert the read side is
+    value- and type-identical, column by column."""
+    shm, handle = build_page("t", relation, _segment(tag))
+    try:
+        page = attach_page(handle)
+        try:
+            got = page.relation()
+            assert len(got) == len(relation)
+            assert got.real == relation.real
+            assert got.virtual == relation.virtual
+            attrs = relation.real.attrs + relation.virtual.attrs
+            want_rows = [tuple(row[a] for a in attrs) for row in relation]
+            got_rows = [tuple(row[a] for a in attrs) for row in got]
+            assert got_rows == want_rows
+            for want, got_row in zip(want_rows, got_rows):
+                for w, g in zip(want, got_row):
+                    assert type(w) is type(g), (w, g)
+            assert got.same_content(relation)
+        finally:
+            page.close()
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class TestRoundTrip:
+    def test_all_kinds(self):
+        rel = Relation.base(
+            "r",
+            ["i", "f", "s", "b"],
+            [
+                (1, 1.5, "alpha", True),
+                (-(2**62), 0.0, "", False),
+                (0, -2.25, "snow☃man", True),
+            ],
+        )
+        _round_trip(rel, "kinds")
+
+    def test_null_heavy(self):
+        rel = Relation.base(
+            "r",
+            ["a", "b", "c"],
+            [
+                (NULL, NULL, NULL),
+                (1, NULL, "x"),
+                (NULL, 2.5, NULL),
+                (NULL, NULL, "y"),
+            ],
+        )
+        _round_trip(rel, "nulls")
+
+    def test_duplicate_heavy(self):
+        rel = Relation.base(
+            "r", ["a", "b"], [(7, "dup")] * 50 + [(7, NULL)] * 10
+        )
+        _round_trip(rel, "dups")
+
+    def test_gs_bearing_virtual_ids(self):
+        # the virtual-id column of a base relation is the substrate of
+        # generalized selection; it must survive paging exactly
+        rel = Relation.base("orders", ["a"], [(i,) for i in range(9)])
+        _round_trip(rel, "vid")
+        shm, handle = build_page("orders", rel, _segment("vid2"))
+        try:
+            page = attach_page(handle)
+            try:
+                assert page.column("#orders") == [
+                    ("orders", i) for i in range(9)
+                ]
+            finally:
+                page.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_empty_relation(self):
+        _round_trip(Relation.base("r", ["a", "b"], []), "empty")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_random_databases(self, seed):
+        rng = random.Random(1000 + seed)
+        db = random_database(
+            rng,
+            ["r1", "r2", "r3"],
+            attrs_per_rel=3,
+            max_rows=20,
+            null_probability=0.4,
+            min_rows=0,
+        )
+        for name in db.names():
+            _round_trip(db[name], f"prop{seed}{name}")
+
+
+def _child_read(handle, conn):
+    page = attach_page(handle)
+    try:
+        attrs = page.attrs()
+        rows = [
+            tuple(row[a] for a in attrs) for row in page.relation().rows
+        ]
+        conn.send((attrs, rows, page.refcount()))
+    finally:
+        page.close()
+        conn.close()
+
+
+class TestChildAttach:
+    def test_spawned_child_reads_identical_rows(self):
+        rel = Relation.base(
+            "r", ["a", "s"], [(1, "x"), (NULL, "yy"), (3, NULL)]
+        )
+        shm, handle = build_page("r", rel, _segment("child"))
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_child_read, args=(handle, child))
+            proc.start()
+            try:
+                attrs, rows, refcount = parent.recv()
+            finally:
+                proc.join(timeout=60)
+            assert proc.exitcode == 0
+            assert refcount == 1  # the child was the only attachment
+            want = [tuple(row[a] for a in attrs) for row in rel]
+            assert rows == want
+            for w_row, g_row in zip(want, rows):
+                for w, g in zip(w_row, g_row):
+                    assert type(w) is type(g)
+            # the child's exit must not have unlinked the segment
+            assert os.path.exists(f"/dev/shm/{handle.segment}")
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestUnpageable:
+    def _refuses(self, rows):
+        rel = Relation.base("r", ["a"], rows)
+        with pytest.raises(UnpageableError):
+            build_page("r", rel, _segment("bad"))
+
+    def test_mixed_type_column(self):
+        self._refuses([(1,), ("two",)])
+
+    def test_oversized_integer(self):
+        self._refuses([(2**64,)])
+
+    def test_exotic_value(self):
+        from fractions import Fraction
+
+        self._refuses([(Fraction(1, 3),)])
+
+    def test_no_segment_left_behind(self):
+        before = set(os.listdir("/dev/shm"))
+        self._refuses([(1,), (None and 1 or "x",)])
+        assert set(os.listdir("/dev/shm")) == before
+
+
+class TestRegistry:
+    def test_build_pages_and_fallback_split(self):
+        from fractions import Fraction
+
+        db = Database()
+        db.add("good", Relation.base("good", ["a"], [(1,), (2,)]))
+        db.add(
+            "bad", Relation.base("bad", ["a"], [(Fraction(1, 2),)])
+        )
+        registry = PageRegistry.build(db)
+        try:
+            assert set(registry.handles) == {"good"}
+            assert set(registry.fallback) == {"bad"}
+            snap = registry.snapshot()
+            assert snap["segments"] == 1
+            assert snap["bytes"] > 0
+            assert snap["fallback_tables"] == ["bad"]
+            for segment in registry.segment_names():
+                assert os.path.exists(f"/dev/shm/{segment}")
+        finally:
+            registry.close(unlink=True)
+        for segment in registry.segment_names():
+            assert not os.path.exists(f"/dev/shm/{segment}")
+        registry.close(unlink=True)  # idempotent
+
+    def test_kill_switch_disables_probe(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        assert not pages_supported()
+        monkeypatch.delenv("REPRO_NO_SHM")
+        assert pages_supported()
+
+
+class TestLifecycle:
+    def test_refcount_tracks_attachments(self):
+        rel = Relation.base("r", ["a"], [(1,)])
+        shm, handle = build_page("r", rel, _segment("ref"))
+        try:
+            first = attach_page(handle)
+            second = attach_page(handle)
+            assert first.refcount() == 2
+            second.close()
+            assert first.refcount() == 1
+            first.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        name = _segment("foreign")
+        alien = shared_memory.SharedMemory(name=name, create=True, size=64)
+        try:
+            from repro.relalg.pages import PageHandle
+
+            with pytest.raises(PageFormatError):
+                attach_page(PageHandle(name, "t", 64, 0))
+        finally:
+            alien.close()
+            alien.unlink()
+
+    def test_sweep_reclaims_dead_owner_only(self):
+        from multiprocessing import shared_memory
+
+        proc = subprocess.Popen(["sleep", "0"])
+        proc.wait()
+        dead_pid = proc.pid
+        dead_name = f"{SEGMENT_PREFIX}_{dead_pid}_deadbeef_0"
+        live_name = f"{SEGMENT_PREFIX}_{os.getpid()}_cafe_0"
+        dead = shared_memory.SharedMemory(
+            name=dead_name, create=True, size=32
+        )
+        live = shared_memory.SharedMemory(
+            name=live_name, create=True, size=32
+        )
+        dead.close()
+        try:
+            swept = sweep_orphans()
+            assert dead_name in swept
+            assert live_name not in swept
+            assert not os.path.exists(f"/dev/shm/{dead_name}")
+            assert os.path.exists(f"/dev/shm/{live_name}")
+        finally:
+            live.close()
+            live.unlink()
+            if os.path.exists(f"/dev/shm/{dead_name}"):
+                os.unlink(f"/dev/shm/{dead_name}")
+
+
+class TestViews:
+    @pytest.fixture()
+    def paged(self):
+        rel = Relation.base(
+            "r", ["a", "b"], [(1, "x"), (2, NULL), (NULL, "z"), (2, "x")]
+        )
+        shm, handle = build_page("r", rel, _segment("views"))
+        page = attach_page(handle)
+        yield rel, page
+        page.close()
+        shm.close()
+        shm.unlink()
+
+    def test_from_relation_routes_through_page(self, paged):
+        rel, page = paged
+        col = ColumnarRelation.from_relation(page.relation())
+        assert isinstance(col, PagedColumnarRelation)
+        assert col.gather("a") == [1, 2, NULL, 2]
+        # memoized: repeated transposes share the decode
+        assert ColumnarRelation.from_relation(page.relation()) is col
+
+    def test_selection_views_over_pages(self, paged):
+        rel, page = paged
+        col = page.columnar()
+        view = col.view([0, 3])
+        assert view.gather("b") == ["x", "x"]
+        assert view.to_relation().same_content(
+            Relation.base("r", ["a", "b"], []).__class__(
+                rel.real, rel.virtual, (rel.rows[0], rel.rows[3])
+            )
+        )
+
+    def test_paged_relation_pickles_to_plain_relation(self, paged):
+        rel, page = paged
+        clone = pickle.loads(pickle.dumps(page.relation()))
+        assert type(clone) is Relation
+        assert clone.same_content(rel)
+
+    def test_paged_columnar_pickles_compact(self, paged):
+        rel, page = paged
+        view = page.columnar().view([1, 2])
+        clone = pickle.loads(pickle.dumps(view))
+        assert type(clone) is ColumnarRelation
+        assert clone.gather("a") == [2, NULL]

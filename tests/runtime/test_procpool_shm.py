@@ -1,0 +1,211 @@
+"""Shared-memory paging through the process pool.
+
+The page layer itself is proven in ``tests/relalg/test_pages.py``;
+these tests prove the *runtime threading*: the supervisor pages the
+database once at spawn, children attach instead of unpickling, the
+pickle fallback engages per-table and via the feature probe, warm-up
+broadcasts reach replacement workers, and every segment is reclaimed
+at shutdown.
+"""
+
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.expr import Database, evaluate
+from repro.expr.nodes import BaseRel, Join, JoinKind
+from repro.expr.predicates import eq
+from repro.relalg import Relation
+from repro.relalg.pages import pages_supported
+from repro.runtime.procpool import ProcPoolConfig
+from repro.runtime.service import QueryService
+
+pytestmark = pytest.mark.skipif(
+    not pages_supported(), reason="shared memory unavailable"
+)
+
+FAST = ProcPoolConfig(
+    heartbeat_timeout_s=5.0,
+    restart_backoff_s=0.01,
+    restart_backoff_cap_s=0.05,
+    restart_jitter_s=0.0,
+)
+
+
+def small_db() -> Database:
+    db = Database()
+    db.add(
+        "r",
+        Relation.base("r", ["r_a", "r_b"], [(1, 10), (2, 20), (3, 30)]),
+    )
+    db.add("s", Relation.base("s", ["s_a"], [(1,), (2,), (4,)]))
+    return db
+
+
+def join_query() -> Join:
+    return Join(
+        JoinKind.INNER,
+        BaseRel("r", ("r_a", "r_b")),
+        BaseRel("s", ("s_a",)),
+        eq("r_a", "s_a"),
+    )
+
+
+class TestShmPath:
+    def test_pages_built_and_reclaimed(self):
+        db = small_db()
+        expected = evaluate(join_query(), db)
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=FAST
+        )
+        try:
+            assert service.shm_enabled
+            registry = service._supervisor.page_registry
+            assert registry is not None
+            segments = registry.segment_names()
+            assert len(segments) == 2
+            for segment in segments:
+                assert os.path.exists(f"/dev/shm/{segment}")
+            result = service.run(join_query(), timeout=120)
+            assert result.relation.same_content(expected)
+            snap = service.snapshot()
+            assert snap["shm"] is True
+            proc = snap["procpool"]
+            assert proc["shm"]["segments"] == 2
+            assert proc["shm"]["fallback_tables"] == []
+            assert proc["shm"]["bytes"] > 0
+        finally:
+            service.close()
+        for segment in segments:
+            assert not os.path.exists(f"/dev/shm/{segment}")
+
+    def test_shm_metrics_gauges(self):
+        service = QueryService(
+            small_db(), workers=1, isolation="process", procpool=FAST
+        )
+        try:
+            metrics = service.metrics.to_dict()
+            segs = metrics["repro_shm_segments"]["series"][0]["value"]
+            nbytes = metrics["repro_shm_bytes"]["series"][0]["value"]
+            assert segs == 2.0
+            assert nbytes > 0
+        finally:
+            service.close()
+
+    def test_unpageable_table_falls_back_per_table(self):
+        db = small_db()
+        db.add(
+            "frac",
+            Relation.base("frac", ["f_a"], [(Fraction(1, 2),), (Fraction(2, 1),)]),
+        )
+        expected = evaluate(join_query(), db)
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=FAST
+        )
+        try:
+            registry = service._supervisor.page_registry
+            assert set(registry.fallback) == {"frac"}
+            assert set(registry.handles) == {"r", "s"}
+            snap = service.snapshot()["procpool"]["shm"]
+            assert snap["fallback_tables"] == ["frac"]
+            # a query over the paged tables still answers correctly
+            result = service.run(join_query(), timeout=120)
+            assert result.relation.same_content(expected)
+            # ... and so does one over the fallback table
+            frac = service.run(BaseRel("frac", ("f_a",)), timeout=120)
+            assert frac.relation.same_content(db["frac"])
+            fallbacks = service.metrics.counter(
+                "repro_shm_fallback_total"
+            ).value_for()
+            assert fallbacks == 1.0
+        finally:
+            service.close()
+
+
+class TestFallbackPaths:
+    def test_shm_false_forces_pickle_path(self):
+        db = small_db()
+        expected = evaluate(join_query(), db)
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=FAST, shm=False
+        )
+        try:
+            assert not service.shm_enabled
+            assert service._supervisor.page_registry is None
+            assert service.snapshot()["procpool"]["shm"] is None
+            result = service.run(join_query(), timeout=120)
+            assert result.relation.same_content(expected)
+        finally:
+            service.close()
+
+    def test_probe_kill_switch_forces_pickle_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        db = small_db()
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=FAST
+        )
+        try:
+            assert not service.shm_enabled
+            assert service._supervisor.page_registry is None
+            result = service.run(join_query(), timeout=120)
+            assert result.relation.same_content(evaluate(join_query(), db))
+        finally:
+            service.close()
+
+    def test_thread_isolation_never_pages(self):
+        service = QueryService(small_db(), workers=1, isolation="thread")
+        try:
+            assert not service.shm_enabled
+            assert service.snapshot()["procpool"] is None
+        finally:
+            service.close()
+
+
+class TestWarmup:
+    def test_replacement_worker_receives_warmup_broadcast(self):
+        db = small_db()
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=FAST
+        )
+        try:
+            service.run(join_query(), timeout=120)
+            supervisor = service._supervisor
+            assert supervisor.snapshot()["warm_queries"] == 1
+            before = service.metrics.counter(
+                "repro_cache_warmup_total"
+            ).value_for()
+            # force a respawn; the next route must broadcast the warm set
+            for slot in supervisor._slots:
+                supervisor._kill(slot, "test-warmup")
+            service.run(join_query(), timeout=120)
+            after = service.metrics.counter(
+                "repro_cache_warmup_total"
+            ).value_for()
+            assert after >= before + 1
+        finally:
+            service.close()
+
+    def test_warm_set_is_bounded(self):
+        db = small_db()
+        config = ProcPoolConfig(
+            heartbeat_timeout_s=5.0,
+            restart_backoff_s=0.01,
+            restart_jitter_s=0.0,
+            warmup_limit=2,
+        )
+        service = QueryService(
+            db, workers=1, isolation="process", procpool=config
+        )
+        try:
+            from repro.expr.nodes import Select
+            from repro.expr.predicates import cmp_const
+
+            for i in range(5):
+                q = Select(
+                    BaseRel("r", ("r_a", "r_b")), cmp_const("r_a", "=", i)
+                )
+                service.run(q, timeout=120)
+            assert service._supervisor.snapshot()["warm_queries"] == 2
+        finally:
+            service.close()
